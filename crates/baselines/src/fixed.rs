@@ -1,0 +1,148 @@
+//! The no-adaptation strawman: subscribe `k` layers and never change.
+//!
+//! Useful as a floor in comparisons and as a congestion generator in
+//! robustness tests (a fixed over-subscriber is a non-conforming flow from
+//! the network's point of view).
+
+use netsim::{App, Ctx, Packet, SeqTracker, SimDuration};
+use std::sync::{Arc, Mutex};
+use toposense::receiver::{ReceiverHandle, ReceiverShared};
+use traffic::session::SessionDef;
+
+const TOKEN_WINDOW: u64 = 1;
+
+/// A receiver pinned at a fixed subscription level.
+pub struct FixedReceiver {
+    def: SessionDef,
+    level: u8,
+    trackers: Vec<SeqTracker>,
+    window: SimDuration,
+    shared: ReceiverHandle,
+}
+
+impl FixedReceiver {
+    pub fn new(def: SessionDef, level: u8) -> (Self, ReceiverHandle) {
+        assert!(level >= 1 && level <= def.spec.max_level());
+        let shared: ReceiverHandle = Arc::new(Mutex::new(ReceiverShared::default()));
+        let layers = def.spec.layer_count();
+        let r = FixedReceiver {
+            def,
+            level,
+            trackers: (0..layers).map(|_| SeqTracker::new()).collect(),
+            window: SimDuration::from_secs(1),
+            shared: Arc::clone(&shared),
+        };
+        (r, shared)
+    }
+
+    /// The pinned level.
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+}
+
+impl App for FixedReceiver {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for layer in 0..self.level {
+            ctx.join(self.def.group_of_layer(layer));
+        }
+        self.shared.lock().unwrap().changes.push((ctx.now(), 0, self.level));
+        ctx.set_timer(self.window, TOKEN_WINDOW);
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, packet: &Packet) {
+        if let Some((session, layer, seq)) = packet.media_fields() {
+            if session == self.def.id && layer < self.level {
+                self.trackers[layer as usize].on_packet(seq, packet.size);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        let mut received = 0;
+        let mut lost = 0;
+        let mut bytes = 0;
+        for layer in 0..self.level {
+            let w = self.trackers[layer as usize].take_window();
+            received += w.received;
+            lost += w.lost;
+            bytes += w.bytes;
+        }
+        let expected = received + lost;
+        let loss = if expected == 0 { 0.0 } else { lost as f64 / expected as f64 };
+        {
+            let mut s = self.shared.lock().unwrap();
+            s.loss_series.push((ctx.now(), loss));
+            s.level_series.push((ctx.now(), self.level));
+            s.bytes_total += bytes;
+        }
+        ctx.set_timer(self.window, TOKEN_WINDOW);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::sim::{NetworkBuilder, SimConfig};
+    use netsim::{GroupId, LinkConfig, SessionId, SimTime};
+    use traffic::{LayerSpec, LayeredSource, TrafficModel};
+
+    fn run_fixed(level: u8, kbps: f64, secs: u64) -> ReceiverHandle {
+        let mut b = NetworkBuilder::new(SimConfig::default());
+        let src = b.add_node("src");
+        let rcv = b.add_node("rcv");
+        b.add_link(src, rcv, LinkConfig::kbps(kbps));
+        let mut sim = b.build();
+        let groups: Vec<GroupId> = (0..6).map(|_| sim.create_group(src)).collect();
+        let def = SessionDef {
+            id: SessionId(0),
+            source: src,
+            groups,
+            spec: LayerSpec::paper_default(),
+        };
+        sim.add_app(src, Box::new(LayeredSource::new(def.clone(), TrafficModel::Cbr, 2)));
+        let (r, shared) = FixedReceiver::new(def, level);
+        sim.add_app(rcv, Box::new(r));
+        sim.run_until(SimTime::from_secs(secs));
+        shared
+    }
+
+    #[test]
+    fn never_changes_level() {
+        let shared = run_fixed(3, 100_000.0, 60);
+        let s = shared.lock().unwrap();
+        assert_eq!(s.changes.len(), 1);
+        assert_eq!(s.final_level(), 3);
+        // Clean path: zero loss in every window.
+        assert!(s.loss_series.iter().all(|&(_, l)| l == 0.0));
+    }
+
+    #[test]
+    fn oversubscription_shows_persistent_loss() {
+        // Level 4 = 480 kb/s through a 150 kb/s pipe.
+        let shared = run_fixed(4, 150.0, 120);
+        let s = shared.lock().unwrap();
+        let late: Vec<f64> = s
+            .loss_series
+            .iter()
+            .filter(|&&(t, _)| t > SimTime::from_secs(30))
+            .map(|&(_, l)| l)
+            .collect();
+        assert!(!late.is_empty());
+        let mean = late.iter().sum::<f64>() / late.len() as f64;
+        assert!(mean > 0.4, "sustained overload must lose heavily, got {mean}");
+        assert_eq!(s.final_level(), 4, "and never adapt");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_level_rejected() {
+        let def = SessionDef {
+            id: SessionId(0),
+            source: netsim::NodeId(0),
+            groups: vec![GroupId(0)],
+            spec: LayerSpec::paper_default(),
+        };
+        let _ = FixedReceiver::new(def, 0);
+    }
+}

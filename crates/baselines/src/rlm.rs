@@ -1,0 +1,285 @@
+//! A receiver-driven layered-multicast baseline (RLM-style).
+//!
+//! Each receiver adapts **independently**, with no controller and no
+//! topology knowledge: it runs *join experiments* — periodically adding the
+//! next layer — and drops the top layer when a loss window exceeds a
+//! threshold, doubling that layer's join timer (exponential backoff). This
+//! is the class of "end-to-end information only" schemes the paper contrasts
+//! with; its pathology in Fig. 1 is that one receiver's failed experiment
+//! congests shared links and causes loss for topologically-related
+//! neighbours.
+
+use netsim::{App, Ctx, Packet, RngStream, SeqTracker, SimDuration};
+use std::sync::{Arc, Mutex};
+use toposense::receiver::{ReceiverHandle, ReceiverShared};
+use traffic::session::SessionDef;
+
+/// Tunables of the receiver-driven baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct RlmParams {
+    /// Loss-measurement window.
+    pub window: SimDuration,
+    /// Loss rate that triggers dropping the top layer.
+    pub drop_loss: f64,
+    /// Initial join-experiment timer per layer.
+    pub join_timer: SimDuration,
+    /// Cap on the backed-off join timer.
+    pub join_timer_max: SimDuration,
+    /// Multiplier applied to a layer's join timer after a failed experiment.
+    pub backoff_multiplier: f64,
+}
+
+impl Default for RlmParams {
+    fn default() -> Self {
+        RlmParams {
+            window: SimDuration::from_secs(1),
+            drop_loss: 0.10,
+            join_timer: SimDuration::from_secs(5),
+            join_timer_max: SimDuration::from_secs(120),
+            backoff_multiplier: 2.0,
+        }
+    }
+}
+
+const TOKEN_WINDOW: u64 = 1;
+
+/// The receiver-driven baseline app. Reuses [`ReceiverShared`] so metrics
+/// treat it identically to the TopoSense receiver.
+pub struct RlmReceiver {
+    def: SessionDef,
+    params: RlmParams,
+    level: u8,
+    trackers: Vec<SeqTracker>,
+    /// Per-level join timer (indexed by the level being *added*).
+    timers: Vec<SimDuration>,
+    /// Time of the next allowed join experiment.
+    next_join_at: netsim::SimTime,
+    /// Consecutive clean windows since the last change.
+    clean_windows: u32,
+    rng: RngStream,
+    shared: ReceiverHandle,
+}
+
+impl RlmReceiver {
+    pub fn new(def: SessionDef, params: RlmParams, seed: u64, label: &str) -> (Self, ReceiverHandle) {
+        let shared: ReceiverHandle = Arc::new(Mutex::new(ReceiverShared::default()));
+        let layers = def.spec.layer_count();
+        let r = RlmReceiver {
+            def,
+            params,
+            level: 0,
+            trackers: (0..layers).map(|_| SeqTracker::new()).collect(),
+            timers: vec![params.join_timer; layers + 1],
+            next_join_at: netsim::SimTime::ZERO,
+            clean_windows: 0,
+            rng: RngStream::derive(seed, &format!("rlm/{label}")),
+            shared: Arc::clone(&shared),
+        };
+        (r, shared)
+    }
+
+    /// Current subscription level.
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    fn set_level(&mut self, ctx: &mut Ctx<'_>, new: u8) {
+        let new = new.clamp(0, self.def.spec.max_level());
+        if new == self.level {
+            return;
+        }
+        let old = self.level;
+        if new > old {
+            for layer in old..new {
+                ctx.join(self.def.group_of_layer(layer));
+                // Forget any stale counts from a previous subscription of
+                // this layer: they cover a window when we were not listening
+                // and would surface as phantom loss in the next report.
+                let _ = self.trackers[layer as usize].take_window();
+                self.trackers[layer as usize].resync();
+            }
+        } else {
+            for layer in (new..old).rev() {
+                ctx.leave(self.def.group_of_layer(layer));
+                let _ = self.trackers[layer as usize].take_window();
+                self.trackers[layer as usize].resync();
+            }
+        }
+        self.level = new;
+        self.shared.lock().unwrap().changes.push((ctx.now(), old, new));
+    }
+
+    fn window_tick(&mut self, ctx: &mut Ctx<'_>) {
+        let mut received = 0;
+        let mut lost = 0;
+        let mut bytes = 0;
+        for layer in 0..self.level {
+            let w = self.trackers[layer as usize].take_window();
+            received += w.received;
+            lost += w.lost;
+            bytes += w.bytes;
+        }
+        let expected = received + lost;
+        let loss = if expected == 0 { 0.0 } else { lost as f64 / expected as f64 };
+        {
+            let mut s = self.shared.lock().unwrap();
+            s.loss_series.push((ctx.now(), loss));
+            s.level_series.push((ctx.now(), self.level));
+            s.bytes_total += bytes;
+        }
+
+        if loss > self.params.drop_loss && self.level > 1 {
+            // Failed experiment (or shared congestion): shed the top layer
+            // and back off its join timer exponentially.
+            let dropped = self.level;
+            let t = &mut self.timers[dropped as usize];
+            let backed = SimDuration::from_secs_f64(
+                (t.as_secs_f64() * self.params.backoff_multiplier)
+                    .min(self.params.join_timer_max.as_secs_f64()),
+            );
+            *t = backed;
+            let new = self.level - 1;
+            self.set_level(ctx, new);
+            self.next_join_at = ctx.now() + self.timers[(self.level + 1) as usize];
+            self.clean_windows = 0;
+        } else if loss == 0.0 {
+            self.clean_windows += 1;
+            // Join experiment: enough clean windows and the timer expired.
+            if self.level < self.def.spec.max_level()
+                && ctx.now() >= self.next_join_at
+                && self.clean_windows >= 2
+            {
+                let new = self.level + 1;
+                self.set_level(ctx, new);
+                // Jittered timer for the *next* experiment (to level + 1).
+                let next = (self.level as usize + 1).min(self.def.spec.max_level() as usize);
+                let base = self.timers[next];
+                let jitter = self.rng.range_f64(0.8, 1.2);
+                self.next_join_at =
+                    ctx.now() + SimDuration::from_secs_f64(base.as_secs_f64() * jitter);
+                self.clean_windows = 0;
+            }
+        } else {
+            self.clean_windows = 0;
+        }
+
+        ctx.set_timer(self.params.window, TOKEN_WINDOW);
+    }
+}
+
+impl App for RlmReceiver {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.set_level(ctx, 1);
+        self.next_join_at = ctx.now() + self.params.join_timer;
+        let jitter = self.rng.range_f64(0.0, self.params.window.as_secs_f64());
+        ctx.set_timer(SimDuration::from_secs_f64(jitter), TOKEN_WINDOW);
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, packet: &Packet) {
+        if let Some((session, layer, seq)) = packet.media_fields() {
+            if session == self.def.id && layer < self.level {
+                self.trackers[layer as usize].on_packet(seq, packet.size);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        debug_assert_eq!(token, TOKEN_WINDOW);
+        self.window_tick(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::sim::{NetworkBuilder, SimConfig};
+    use netsim::{GroupId, LinkConfig, SessionId, SimTime};
+    use traffic::{LayerSpec, LayeredSource, TrafficModel};
+
+    fn run_rlm(bottleneck_kbps: f64, secs: u64) -> ReceiverHandle {
+        let mut b = NetworkBuilder::new(SimConfig::default());
+        let src = b.add_node("src");
+        let rcv = b.add_node("rcv");
+        b.add_link(src, rcv, LinkConfig::kbps(bottleneck_kbps));
+        let mut sim = b.build();
+        let groups: Vec<GroupId> = (0..6).map(|_| sim.create_group(src)).collect();
+        let def = SessionDef {
+            id: SessionId(0),
+            source: src,
+            groups,
+            spec: LayerSpec::paper_default(),
+        };
+        sim.add_app(src, Box::new(LayeredSource::new(def.clone(), TrafficModel::Cbr, 2)));
+        let (r, shared) = RlmReceiver::new(def, RlmParams::default(), 3, "r0");
+        sim.add_app(rcv, Box::new(r));
+        sim.run_until(SimTime::from_secs(secs));
+        shared
+    }
+
+    #[test]
+    fn climbs_on_a_clean_path() {
+        let shared = run_rlm(100_000.0, 120);
+        let s = shared.lock().unwrap();
+        assert_eq!(s.final_level(), 6, "changes: {:?}", s.changes);
+        // Purely additive climb: no drops on a clean path.
+        assert!(s.changes.iter().all(|&(_, old, new)| new > old));
+    }
+
+    #[test]
+    fn oscillates_around_a_bottleneck() {
+        // 150 kb/s fits 2 layers; experiments to 3 must fail and back off.
+        let shared = run_rlm(150.0, 600);
+        let s = shared.lock().unwrap();
+        let ups = s.changes.iter().filter(|&&(_, o, n)| n > o).count();
+        let downs = s.changes.iter().filter(|&&(_, o, n)| n < o).count();
+        assert!(downs >= 1, "some experiment must fail: {:?}", s.changes);
+        assert!(ups >= downs, "cannot drop more than was added");
+        // Oscillates in the bottleneck's neighbourhood, never far above it.
+        assert!(
+            (1..=3).contains(&s.final_level()),
+            "final {} out of range; changes: {:?}",
+            s.final_level(),
+            s.changes
+        );
+        // The time-weighted level in the second half should sit around the
+        // 2-layer optimum (96 kb/s through a 150 kb/s pipe).
+        let half = SimTime::from_secs(300);
+        let mut level = 0u8;
+        let mut weighted = 0.0;
+        let mut last = half;
+        for &(t, _, new) in &s.changes {
+            if t <= half {
+                level = new;
+                continue;
+            }
+            weighted += level as f64 * t.since(last).as_secs_f64();
+            last = t;
+            level = new;
+        }
+        weighted += level as f64 * SimTime::from_secs(600).since(last).as_secs_f64();
+        let avg = weighted / 300.0;
+        assert!((1.2..=3.0).contains(&avg), "mean level {avg}; changes: {:?}", s.changes);
+    }
+
+    #[test]
+    fn backoff_spaces_out_failed_experiments() {
+        let shared = run_rlm(150.0, 900);
+        let s = shared.lock().unwrap();
+        // Gaps between successive drops should grow (exponential backoff).
+        let drops: Vec<SimTime> = s
+            .changes
+            .iter()
+            .filter(|&&(_, o, n)| n < o)
+            .map(|&(t, _, _)| t)
+            .collect();
+        assert!(drops.len() >= 2, "need at least two failed experiments");
+        let first_gap = drops[1].since(drops[0]).as_secs_f64();
+        let last_gap = drops[drops.len() - 1]
+            .since(drops[drops.len() - 2])
+            .as_secs_f64();
+        assert!(
+            last_gap >= first_gap * 0.9,
+            "gaps should not shrink: first {first_gap}, last {last_gap}"
+        );
+    }
+}

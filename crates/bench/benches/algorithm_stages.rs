@@ -1,0 +1,127 @@
+//! Micro-benchmarks of the five TopoSense stages and the full algorithm
+//! driver, across session-tree sizes. These quantify the paper's implicit
+//! scalability claim: the controller's per-interval work is linear-ish in
+//! the number of receivers/nodes of its domain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+use toposense::algorithm::{AlgorithmInputs, AlgorithmState};
+use toposense::stages::congestion::{self, LeafObs};
+use toposense::stages::{bottleneck, sharing};
+use toposense::Config;
+use toposense_bench::{balanced_session_tree, registry_for_leaves, reports_for_leaves};
+use traffic::LayerSpec;
+
+/// Tree sizes: fanout 4 with depths 2..4 = 16, 64, 256 leaves.
+const DEPTHS: [usize; 3] = [2, 3, 4];
+
+fn bench_congestion_stage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stage1_congestion");
+    let cfg = Config::default();
+    for depth in DEPTHS {
+        let (tree, leaves) = balanced_session_tree(0, 4, depth);
+        let obs: HashMap<_, _> = leaves
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                (n, LeafObs { loss: if i % 3 == 0 { 0.1 } else { 0.0 }, bytes: 25_000, level: 3 })
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(leaves.len()), &depth, |b, _| {
+            b.iter(|| black_box(congestion::compute(&tree, &obs, &cfg)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_bottleneck_stage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stage3_bottleneck");
+    for depth in DEPTHS {
+        let (tree, leaves) = balanced_session_tree(0, 4, depth);
+        g.bench_with_input(BenchmarkId::from_parameter(leaves.len()), &depth, |b, _| {
+            b.iter(|| {
+                black_box(bottleneck::compute(&tree, |l| {
+                    (l.0 % 7 == 0).then_some(500_000.0)
+                }))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_sharing_stage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stage4_sharing");
+    let spec = LayerSpec::paper_default();
+    for sessions in [2usize, 8, 16] {
+        let trees: Vec<_> = (0..sessions)
+            .map(|i| balanced_session_tree(i as u32, 2, 3).0)
+            .collect();
+        let specs: Vec<&LayerSpec> = trees.iter().map(|_| &spec).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(sessions), &sessions, |b, _| {
+            b.iter(|| {
+                black_box(sharing::compute(&trees, &specs, |l| {
+                    (l.0 % 3 == 0).then_some(1_000_000.0)
+                }))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_algorithm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithm_full_interval");
+    let spec = LayerSpec::paper_default();
+    for depth in DEPTHS {
+        let (tree, leaves) = balanced_session_tree(0, 4, depth);
+        let reports = reports_for_leaves(0, &leaves, 3, 4);
+        let registry = registry_for_leaves(0, &leaves);
+        let trees = vec![tree];
+        g.bench_with_input(BenchmarkId::from_parameter(leaves.len()), &depth, |b, _| {
+            let mut state = AlgorithmState::new(Config::default(), 1);
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 2;
+                let inputs = AlgorithmInputs {
+                    now: netsim::SimTime::from_secs(t),
+                    interval: netsim::SimDuration::from_secs(2),
+                    trees: &trees,
+                    specs: &[&spec],
+                    registry: &registry,
+                    reports: &reports,
+                };
+                black_box(state.run(&inputs))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_decision_table(c: &mut Criterion) {
+    use toposense::history::{BwEquality, CongestionHistory};
+    c.bench_function("table1_full_enumeration", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for kind in [toposense::NodeKind::Leaf, toposense::NodeKind::Internal] {
+                for h in 0..8u8 {
+                    for bw in [BwEquality::Lesser, BwEquality::Equal, BwEquality::Greater] {
+                        let a =
+                            toposense::decision::decide(kind, CongestionHistory::from_bits(h), bw);
+                        acc += matches!(a, toposense::Action::Maintain) as usize;
+                    }
+                }
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_congestion_stage,
+    bench_bottleneck_stage,
+    bench_sharing_stage,
+    bench_full_algorithm,
+    bench_decision_table
+);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! One benchmark per table/figure of the paper: times a scaled-down version
+//! of each regeneration (the full-length runs live in the `fig*` binaries).
+//! Useful both as a performance regression net for the experiment harness
+//! and as a single `cargo bench` entry point that exercises every
+//! experiment path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::SimDuration;
+use scenarios::experiments;
+use std::hint::black_box;
+use traffic::TrafficModel;
+
+const QUICK: SimDuration = SimDuration(60_000_000_000); // 60 simulated s
+
+fn bench_table1(c: &mut Criterion) {
+    use toposense::history::{BwEquality, CongestionHistory};
+    c.bench_function("table1_decision_lookup", |b| {
+        b.iter(|| {
+            let mut n = 0u32;
+            for h in 0..8u8 {
+                for bw in [BwEquality::Lesser, BwEquality::Equal, BwEquality::Greater] {
+                    let a = toposense::decision::decide(
+                        toposense::NodeKind::Leaf,
+                        CongestionHistory::from_bits(h),
+                        bw,
+                    );
+                    n = n.wrapping_add(matches!(a, toposense::Action::AddLayer) as u32);
+                }
+            }
+            black_box(n)
+        });
+    });
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_motivation");
+    g.sample_size(10);
+    g.bench_function("both_modes_60s", |b| {
+        b.iter(|| black_box(experiments::fig1_motivation(QUICK, 1)));
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_stability_a");
+    g.sample_size(10);
+    g.bench_function("two_points_60s", |b| {
+        b.iter(|| {
+            black_box(experiments::fig6_stability_a(&[1, 2], &[TrafficModel::Cbr], QUICK, 1))
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_stability_b");
+    g.sample_size(10);
+    g.bench_function("two_points_60s", |b| {
+        b.iter(|| {
+            black_box(experiments::fig7_stability_b(&[2, 4], &[TrafficModel::Cbr], QUICK, 1))
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_fairness");
+    g.sample_size(10);
+    g.bench_function("four_sessions_60s", |b| {
+        b.iter(|| {
+            black_box(experiments::fig8_fairness(
+                &[4],
+                &[TrafficModel::Vbr { p: 3.0 }],
+                QUICK,
+                1,
+            ))
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_timeseries");
+    g.sample_size(10);
+    g.bench_function("four_vbr_sessions_60s", |b| {
+        b.iter(|| black_box(experiments::fig9_timeseries(QUICK, 1)));
+    });
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_staleness");
+    g.sample_size(10);
+    g.bench_function("two_staleness_points_60s", |b| {
+        b.iter(|| black_box(experiments::fig10_staleness(&[1], &[0, 8], QUICK, 1)));
+    });
+    g.finish();
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("convergence_topology_a");
+    g.sample_size(10);
+    g.bench_function("cbr_60s", |b| {
+        b.iter(|| {
+            black_box(experiments::convergence_topology_a(2, TrafficModel::Cbr, QUICK, 1))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_fig1,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_fig10,
+    bench_convergence
+);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Benchmarks of the discrete-event simulator substrate: event throughput,
+//! link queueing, multicast membership churn, and routing construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netsim::sim::{NetworkBuilder, SimConfig};
+use netsim::{
+    App, Ctx, EventQueue, LinkConfig, NodeId, Packet, SimDuration, SimTime,
+};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for n in [1_000u64, 10_000, 100_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("schedule_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    // Pseudo-random interleaving without an RNG in the loop.
+                    let t = (i * 2_654_435_761) % 1_000_000;
+                    q.schedule(
+                        SimTime::from_millis(t),
+                        netsim::Event::Timer { app: netsim::AppId(0), token: i },
+                    );
+                }
+                let mut count = 0u64;
+                while q.pop().is_some() {
+                    count += 1;
+                }
+                black_box(count)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// A source flooding one multicast group; receivers at every leaf of a
+/// star. Measures end-to-end simulated-packet throughput.
+fn bench_multicast_fanout(c: &mut Criterion) {
+    struct Source {
+        group: netsim::GroupId,
+        rate_pps: u64,
+        seq: u64,
+    }
+    impl App for Source {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::from_millis(1), 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+            ctx.send_media(self.group, netsim::SessionId(0), 0, self.seq, 1000);
+            self.seq += 1;
+            ctx.set_timer(SimDuration(1_000_000_000 / self.rate_pps), 0);
+        }
+    }
+    struct Sink {
+        group: netsim::GroupId,
+        got: u64,
+    }
+    impl App for Sink {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.join(self.group);
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: &Packet) {
+            self.got += 1;
+        }
+    }
+
+    let mut g = c.benchmark_group("multicast_fanout");
+    g.sample_size(10);
+    for receivers in [4usize, 16, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("sim_100s", receivers),
+            &receivers,
+            |b, &receivers| {
+                b.iter(|| {
+                    let mut nb = NetworkBuilder::new(SimConfig::default());
+                    let src = nb.add_node("src");
+                    let hub = nb.add_node("hub");
+                    nb.add_link(src, hub, LinkConfig::kbps(100_000.0));
+                    let leaves: Vec<NodeId> = (0..receivers)
+                        .map(|i| {
+                            let n = nb.add_node(format!("r{i}"));
+                            nb.add_link(hub, n, LinkConfig::kbps(100_000.0));
+                            n
+                        })
+                        .collect();
+                    let mut sim = nb.build();
+                    let group = sim.create_group(src);
+                    for &leaf in &leaves {
+                        sim.add_app(leaf, Box::new(Sink { group, got: 0 }));
+                    }
+                    sim.add_app(src, Box::new(Source { group, rate_pps: 100, seq: 0 }));
+                    sim.run_until(SimTime::from_secs(100));
+                    black_box(sim.events_processed())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_routing_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing_build");
+    for nodes in [16usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            b.iter(|| {
+                // A random-ish tree: node i links to i/2 (heap shape).
+                let mut nb = NetworkBuilder::new(SimConfig::default());
+                let ids: Vec<NodeId> = (0..nodes).map(|i| nb.add_node(format!("n{i}"))).collect();
+                for i in 1..nodes {
+                    nb.add_link(ids[i / 2], ids[i], LinkConfig::kbps(1000.0));
+                }
+                let sim = nb.build();
+                black_box(sim.network().node_count())
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Full Topology B scenario wall-clock: how fast the whole reproduction
+/// harness simulates 60 seconds of the paper's hardest setup.
+fn bench_scenario_topology_b(c: &mut Criterion) {
+    use scenarios::{run, Scenario};
+    let mut g = c.benchmark_group("scenario_topology_b_60s");
+    g.sample_size(10);
+    for sessions in [4usize, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(sessions), &sessions, |b, &n| {
+            b.iter(|| {
+                let s = Scenario::new(
+                    topology::generators::topology_b_default(n),
+                    traffic::TrafficModel::Vbr { p: 3.0 },
+                    1,
+                )
+                .with_duration(SimDuration::from_secs(60));
+                black_box(run(&s).events)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_multicast_fanout,
+    bench_routing_build,
+    bench_scenario_topology_b
+);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! The paper's relative-deviation metric.
+//!
+//! For receiver `i` with subscription `x_i(Δt)` and optimal level `y_i`,
+//! over a set of intervals `Δt` covering a window:
+//!
+//! ```text
+//!            Σ_Δt | (x_i(Δt) − y_i) · ‖Δt‖ |
+//! rel-dev =  ───────────────────────────────
+//!            Σ_Δt   y_i · ‖Δt‖
+//! ```
+//!
+//! Smaller is better; zero means the receiver sat at its optimum for the
+//! whole window. Because a subscription series is piecewise constant, the
+//! sums are exact integrals over the [`StepSeries`].
+
+use crate::step::StepSeries;
+use netsim::SimTime;
+
+/// Relative deviation of one receiver over `[start, end]`.
+///
+/// Panics if `optimal` is zero (the metric is undefined) or the window is
+/// empty.
+pub fn relative_deviation(
+    series: &StepSeries,
+    optimal: u8,
+    start: SimTime,
+    end: SimTime,
+) -> f64 {
+    assert!(optimal >= 1, "relative deviation needs a positive optimum");
+    assert!(end > start, "empty window");
+    let num = series.integrate(start, end, |v| (v as f64 - optimal as f64).abs());
+    let den = optimal as f64 * end.since(start).as_secs_f64();
+    num / den
+}
+
+/// Mean relative deviation over several receivers (the quantity Fig. 8 and
+/// Fig. 10 plot). `pairs` holds `(series, optimal)` per receiver.
+pub fn mean_relative_deviation(
+    pairs: &[(&StepSeries, u8)],
+    start: SimTime,
+    end: SimTime,
+) -> f64 {
+    assert!(!pairs.is_empty());
+    pairs
+        .iter()
+        .map(|(s, y)| relative_deviation(s, *y, start, end))
+        .sum::<f64>()
+        / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn perfect_subscription_deviates_zero() {
+        let mut s = StepSeries::new();
+        s.push(t(0), 4);
+        assert_eq!(relative_deviation(&s, 4, t(0), t(100)), 0.0);
+    }
+
+    #[test]
+    fn constant_offset() {
+        // Held at 2 while the optimum is 4: |2-4| * T / (4 * T) = 0.5.
+        let mut s = StepSeries::new();
+        s.push(t(0), 2);
+        assert!((relative_deviation(&s, 4, t(0), t(60)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transient_excursion_weighted_by_time() {
+        // Optimal 2; at 2 except a 10 s excursion to 4 in a 100 s window:
+        // |4-2|*10 / (2*100) = 0.1.
+        let mut s = StepSeries::new();
+        s.push(t(0), 2);
+        s.push(t(50), 4);
+        s.push(t(60), 2);
+        let d = relative_deviation(&s, 2, t(0), t(100));
+        assert!((d - 0.1).abs() < 1e-12, "got {d}");
+    }
+
+    #[test]
+    fn window_restriction() {
+        let mut s = StepSeries::new();
+        s.push(t(0), 2);
+        s.push(t(50), 4);
+        s.push(t(60), 2);
+        // The second half [60, 100] is clean.
+        assert_eq!(relative_deviation(&s, 2, t(60), t(100)), 0.0);
+        // The window [50, 60] is entirely off by 2: 2*10/(2*10) = 1.
+        assert!((relative_deviation(&s, 2, t(50), t(60)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_and_under_subscription_both_count() {
+        // Optimal 3: 10 s at 1 (under by 2) + 10 s at 5 (over by 2).
+        let mut s = StepSeries::new();
+        s.push(t(0), 1);
+        s.push(t(10), 5);
+        s.push(t(20), 3);
+        let d = relative_deviation(&s, 3, t(0), t(20));
+        assert!((d - 2.0 / 3.0).abs() < 1e-12, "got {d}");
+    }
+
+    #[test]
+    fn mean_over_receivers() {
+        let mut a = StepSeries::new();
+        a.push(t(0), 4); // perfect, dev 0
+        let mut b = StepSeries::new();
+        b.push(t(0), 2); // optimal 4 -> dev 0.5
+        let m = mean_relative_deviation(&[(&a, 4), (&b, 4)], t(0), t(10));
+        assert!((m - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_optimum_panics() {
+        let s = StepSeries::new();
+        let _ = relative_deviation(&s, 0, t(0), t(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_window_panics() {
+        let mut s = StepSeries::new();
+        s.push(t(0), 1);
+        let _ = relative_deviation(&s, 1, t(5), t(5));
+    }
+}

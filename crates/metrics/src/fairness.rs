@@ -1,0 +1,82 @@
+//! Inter-session fairness helpers (Fig. 8 support).
+
+/// Jain's fairness index: `(Σx)² / (n · Σx²)`. 1.0 = perfectly fair;
+/// `1/n` = one party takes everything.
+pub fn jain_index(shares: &[f64]) -> f64 {
+    assert!(!shares.is_empty());
+    assert!(shares.iter().all(|&x| x >= 0.0), "shares must be non-negative");
+    let sum: f64 = shares.iter().sum();
+    if sum == 0.0 {
+        return 1.0; // all equal (at zero)
+    }
+    let sq: f64 = shares.iter().map(|&x| x * x).sum();
+    sum * sum / (shares.len() as f64 * sq)
+}
+
+/// Each party's fraction of the total.
+pub fn normalized_shares(values: &[f64]) -> Vec<f64> {
+    let total: f64 = values.iter().sum();
+    if total == 0.0 {
+        return vec![0.0; values.len()];
+    }
+    values.iter().map(|&v| v / total).collect()
+}
+
+/// Max/min ratio of the shares (∞ when someone is starved).
+pub fn max_min_ratio(shares: &[f64]) -> f64 {
+    assert!(!shares.is_empty());
+    let max = shares.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = shares.iter().copied().fold(f64::INFINITY, f64::min);
+    if min == 0.0 {
+        f64::INFINITY
+    } else {
+        max / min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_equal_shares_is_one() {
+        assert!((jain_index(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_single_hog_is_one_over_n() {
+        let j = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((j - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_intermediate() {
+        let j = jain_index(&[4.0, 2.0]);
+        // (6)^2 / (2 * 20) = 36/40 = 0.9.
+        assert!((j - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_all_zero_is_fair() {
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn normalized() {
+        assert_eq!(normalized_shares(&[1.0, 3.0]), vec![0.25, 0.75]);
+        assert_eq!(normalized_shares(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn ratio() {
+        assert!((max_min_ratio(&[4.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(max_min_ratio(&[1.0, 0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_share_panics() {
+        let _ = jain_index(&[1.0, -1.0]);
+    }
+}

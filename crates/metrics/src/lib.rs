@@ -1,0 +1,26 @@
+//! # metrics — the paper's evaluation metrics
+//!
+//! * [`step::StepSeries`] — piecewise-constant subscription-level series
+//!   built from a receiver's change log.
+//! * [`deviation`] — the paper's **relative deviation** metric:
+//!   `Σ_Δt |x_i(Δt) − y_i| · ‖Δt‖  /  Σ_Δt y_i · ‖Δt‖`.
+//! * [`stability`] — subscription-change counts and mean time between
+//!   changes (Figs. 6–7).
+//! * [`fairness`] — Jain's index and per-session shares (Fig. 8 support).
+//! * [`summary`] — small descriptive-statistics helpers.
+//! * [`timeseries`] — windowed stats, EWMA, and convergence-time
+//!   extraction for the ablation studies.
+
+pub mod deviation;
+pub mod fairness;
+pub mod stability;
+pub mod step;
+pub mod summary;
+pub mod timeseries;
+
+pub use deviation::relative_deviation;
+pub use fairness::jain_index;
+pub use stability::{change_count, mean_time_between_changes};
+pub use step::StepSeries;
+pub use summary::Summary;
+pub use timeseries::{convergence_time, ewma, window_mean};

@@ -1,0 +1,200 @@
+//! Piecewise-constant level series.
+//!
+//! A receiver's subscription over time is a step function: it holds a level
+//! until a change event. [`StepSeries`] stores the change points and answers
+//! time-weighted queries over arbitrary windows, which is exactly what the
+//! paper's relative-deviation metric integrates.
+
+use netsim::SimTime;
+
+/// A piecewise-constant `u8` level over time.
+///
+/// The value before the first change point is 0 (unsubscribed).
+///
+/// ```
+/// use metrics::StepSeries;
+/// use netsim::SimTime;
+/// let mut s = StepSeries::new();
+/// s.push(SimTime::from_secs(10), 2);
+/// s.push(SimTime::from_secs(20), 4);
+/// assert_eq!(s.value_at(SimTime::from_secs(15)), 2);
+/// // Time-weighted mean over [10, 30]: 2 for 10 s, 4 for 10 s.
+/// assert_eq!(s.mean(SimTime::from_secs(10), SimTime::from_secs(30)), 3.0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StepSeries {
+    /// `(time, value from that time on)`, strictly increasing in time.
+    points: Vec<(SimTime, u8)>,
+}
+
+impl StepSeries {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a change log of `(time, old, new)` entries in time order
+    /// (the format receivers record).
+    pub fn from_changes(changes: &[(SimTime, u8, u8)]) -> Self {
+        let mut s = StepSeries::new();
+        for &(t, _, new) in changes {
+            s.push(t, new);
+        }
+        s
+    }
+
+    /// Append a change point. Times must be non-decreasing; a same-time
+    /// push overwrites the previous value.
+    pub fn push(&mut self, time: SimTime, value: u8) {
+        if let Some(last) = self.points.last_mut() {
+            assert!(time >= last.0, "change points must be in time order");
+            if last.0 == time {
+                last.1 = value;
+                return;
+            }
+        }
+        self.points.push((time, value));
+    }
+
+    /// The value at time `t`.
+    pub fn value_at(&self, t: SimTime) -> u8 {
+        match self.points.partition_point(|&(pt, _)| pt <= t) {
+            0 => 0,
+            i => self.points[i - 1].1,
+        }
+    }
+
+    /// Number of change points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no change points are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Change points within `[start, end)`.
+    pub fn changes_in(&self, start: SimTime, end: SimTime) -> usize {
+        self.points.iter().filter(|&&(t, _)| t >= start && t < end).count()
+    }
+
+    /// Integrate `f(value)` over `[start, end]`, weighted by the time each
+    /// value is held.
+    pub fn integrate(&self, start: SimTime, end: SimTime, mut f: impl FnMut(u8) -> f64) -> f64 {
+        assert!(end >= start);
+        let mut acc = 0.0;
+        let mut t = start;
+        let mut v = self.value_at(start);
+        for &(pt, pv) in self.points.iter().filter(|&&(pt, _)| pt > start && pt < end) {
+            acc += f(v) * pt.since(t).as_secs_f64();
+            t = pt;
+            v = pv;
+        }
+        acc += f(v) * end.since(t).as_secs_f64();
+        acc
+    }
+
+    /// Time-weighted mean value over `[start, end]`.
+    pub fn mean(&self, start: SimTime, end: SimTime) -> f64 {
+        let dur = end.since(start).as_secs_f64();
+        if dur == 0.0 {
+            return self.value_at(start) as f64;
+        }
+        self.integrate(start, end, |v| v as f64) / dur
+    }
+
+    /// Iterate over the raw change points.
+    pub fn points(&self) -> impl Iterator<Item = (SimTime, u8)> + '_ {
+        self.points.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn series() -> StepSeries {
+        // 0 until t=10, then 2 until t=20, then 4 until t=30, then 1.
+        let mut s = StepSeries::new();
+        s.push(t(10), 2);
+        s.push(t(20), 4);
+        s.push(t(30), 1);
+        s
+    }
+
+    #[test]
+    fn value_lookup() {
+        let s = series();
+        assert_eq!(s.value_at(t(0)), 0);
+        assert_eq!(s.value_at(t(10)), 2);
+        assert_eq!(s.value_at(t(15)), 2);
+        assert_eq!(s.value_at(t(25)), 4);
+        assert_eq!(s.value_at(t(100)), 1);
+    }
+
+    #[test]
+    fn mean_is_time_weighted() {
+        let s = series();
+        // Over [10, 30]: 2 for 10 s, 4 for 10 s -> mean 3.
+        assert!((s.mean(t(10), t(30)) - 3.0).abs() < 1e-12);
+        // Over [0, 40]: 0*10 + 2*10 + 4*10 + 1*10 = 70 / 40 = 1.75.
+        assert!((s.mean(t(0), t(40)) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrate_arbitrary_function() {
+        let s = series();
+        // |v - 2| over [10, 30]: 0*10 + 2*10 = 20.
+        let dev = s.integrate(t(10), t(30), |v| (v as f64 - 2.0).abs());
+        assert!((dev - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn changes_in_window() {
+        let s = series();
+        assert_eq!(s.changes_in(t(0), t(100)), 3);
+        assert_eq!(s.changes_in(t(10), t(20)), 1);
+        assert_eq!(s.changes_in(t(11), t(20)), 0);
+        assert_eq!(s.changes_in(t(30), t(31)), 1);
+    }
+
+    #[test]
+    fn from_changes_log() {
+        let log = vec![(t(5), 0u8, 1u8), (t(8), 1, 2), (t(12), 2, 1)];
+        let s = StepSeries::from_changes(&log);
+        assert_eq!(s.value_at(t(6)), 1);
+        assert_eq!(s.value_at(t(9)), 2);
+        assert_eq!(s.value_at(t(20)), 1);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn same_time_push_overwrites() {
+        let mut s = StepSeries::new();
+        s.push(t(5), 1);
+        s.push(t(5), 3);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.value_at(t(5)), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_push_panics() {
+        let mut s = StepSeries::new();
+        s.push(t(5), 1);
+        s.push(t(4), 2);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = StepSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.value_at(t(10)), 0);
+        assert_eq!(s.mean(t(0), t(10)), 0.0);
+        assert_eq!(s.mean(t(5), t(5)), 0.0);
+    }
+}

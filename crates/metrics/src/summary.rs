@@ -1,0 +1,73 @@
+//! Descriptive statistics for experiment tables.
+
+/// Mean/std/min/max of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    pub n: usize,
+    pub mean: f64,
+    pub std: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute over a sample. Panics on an empty slice.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "summary of empty sample");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean={:.4} std={:.4} min={:.4} max={:.4} (n={})",
+            self.mean, self.std, self.min, self.max, self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        // Population std of 1..4 = sqrt(1.25).
+        assert!((s.std - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let s = Summary::of(&[1.0, 1.0]);
+        assert_eq!(format!("{s}"), "mean=1.0000 std=0.0000 min=1.0000 max=1.0000 (n=2)");
+    }
+}

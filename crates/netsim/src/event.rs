@@ -1,0 +1,175 @@
+//! The event queue at the heart of the simulator.
+//!
+//! A binary min-heap keyed on `(time, sequence)`. The monotonically
+//! increasing sequence number breaks ties deterministically: two events
+//! scheduled for the same instant fire in the order they were scheduled,
+//! which is what makes whole runs reproducible bit-for-bit.
+
+use crate::app::AppId;
+use crate::link::DirLinkId;
+use crate::multicast::GroupId;
+use crate::node::NodeId;
+use crate::packet::Packet;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Everything that can happen in the simulated world.
+#[derive(Debug)]
+pub enum Event {
+    /// A link finished serializing the packet at the head of its queue.
+    LinkTxDone(DirLinkId),
+    /// A packet arrives at a node after crossing a link.
+    Arrive { node: NodeId, from_link: Option<DirLinkId>, packet: Packet },
+    /// An application timer fires with an app-chosen token.
+    Timer { app: AppId, token: u64 },
+    /// A multicast graft completes: `link` starts carrying `group`.
+    GraftDone { group: GroupId, link: DirLinkId },
+    /// A multicast prune completes: `link` stops carrying `group`
+    /// (unless membership re-appeared in the meantime).
+    PruneDone { group: GroupId, link: DirLinkId },
+}
+
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic future-event list.
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+    scheduled: u64,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(1024), next_seq: 0, scheduled: 0 }
+    }
+
+    /// Schedule `event` to fire at `time`.
+    pub fn schedule(&mut self, time: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (diagnostics).
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn timer(token: u64) -> Event {
+        Event::Timer { app: AppId(0), token }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), timer(3));
+        q.schedule(SimTime::from_secs(1), timer(1));
+        q.schedule(SimTime::from_secs(2), timer(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for token in 0..100 {
+            q.schedule(t, timer(token));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), timer(10));
+        q.schedule(SimTime::from_secs(1), timer(1));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(1));
+        q.schedule(t + SimDuration::from_secs(2), timer(3));
+        let (t2, _) = q.pop().unwrap();
+        assert_eq!(t2, SimTime::from_secs(3));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.total_scheduled(), 3);
+    }
+
+    #[test]
+    fn empty_queue() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+        assert!(q.peek_time().is_none());
+    }
+}

@@ -1,0 +1,47 @@
+//! # netsim — deterministic discrete-event packet-network simulator
+//!
+//! A small, fully deterministic store-and-forward packet simulator built as
+//! the substrate for reproducing *"Using Tree Topology for Multicast
+//! Congestion Control"* (Jagannathan & Almeroth, ICPP 2001). It plays the
+//! role the paper's authors gave to *ns*: packets, drop-tail FIFO links with
+//! bandwidth and propagation delay, IP-multicast-style group membership with
+//! join/leave latency, and application agents that exchange packets over the
+//! simulated network.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Determinism** — identical seeds produce bit-identical runs. Event
+//!    ties are broken by insertion order; all randomness flows from
+//!    explicitly seeded per-component RNG streams.
+//! 2. **Fidelity where the paper needs it** — queueing loss at bottleneck
+//!    links, serialization + propagation delay, multicast fan-out along a
+//!    distribution tree, IGMP-style leave latency, lossy control traffic.
+//! 3. **Speed** — a 1200-simulated-second run with 16 layered sessions
+//!    completes in well under a second in release builds, so full parameter
+//!    sweeps for every figure are cheap.
+//!
+//! The top-level entry point is [`Simulator`]; applications implement
+//! [`App`] and interact with the world through [`Ctx`].
+
+pub mod app;
+pub mod event;
+pub mod link;
+pub mod multicast;
+pub mod node;
+pub mod packet;
+pub mod rng;
+pub mod sim;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use app::{App, AppId, Ctx};
+pub use event::{Event, EventQueue};
+pub use link::{DirLinkId, Link, LinkConfig, LinkStats, QueueDiscipline};
+pub use multicast::{GroupId, GroupSnapshot, MulticastConfig, TreeOp};
+pub use node::{Node, NodeId, Routing};
+pub use packet::{ControlBody, Dest, Packet, Payload, SessionId};
+pub use rng::RngStream;
+pub use sim::{NetworkBuilder, SimConfig, Simulator};
+pub use stats::{LossWindow, SeqTracker};
+pub use time::{SimDuration, SimTime};

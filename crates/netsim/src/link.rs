@@ -1,0 +1,398 @@
+//! Point-to-point links with bandwidth, propagation delay, and a drop-tail
+//! FIFO queue — the loss model the paper evaluates against ("a drop-tail
+//! policy was used at all nodes").
+//!
+//! A physical link is duplex: it is created as a pair of independent
+//! **directed** links, each with its own transmitter and queue. Packet
+//! transmission is store-and-forward: a packet occupies the transmitter for
+//! its serialization time, then crosses the wire in the propagation delay,
+//! and arrives at the far node. Packets that find the transmitter busy wait
+//! in the queue; packets that find the queue full are dropped.
+
+use crate::node::NodeId;
+use crate::packet::{Packet, Payload};
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Index of a **directed** link.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DirLinkId(pub u32);
+
+/// What happens when a packet arrives at a full queue.
+///
+/// The paper evaluates drop-tail ("a drop-tail policy was used at all
+/// nodes"); the layer-priority discipline implements the network-based
+/// priority-dropping alternative it cites (Bajaj, Breslau & Shenker): on
+/// overflow, evict the queued media packet of the **highest layer** — the
+/// least valuable in a cumulative layering — in favour of lower layers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueDiscipline {
+    /// FIFO, arrivals at a full queue are dropped.
+    #[default]
+    DropTail,
+    /// FIFO, but overflow evicts the queued packet with the highest media
+    /// layer (ties: latest arrival). Non-media packets count as layer 0.
+    PriorityDrop,
+}
+
+/// Parameters for one duplex link.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkConfig {
+    /// Capacity in bits per second (per direction).
+    pub bandwidth_bps: f64,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Drop-tail queue limit, in packets, per direction (excluding the
+    /// packet in transmission).
+    pub queue_packets: usize,
+    /// Overflow behaviour.
+    pub discipline: QueueDiscipline,
+    /// Independent per-packet corruption probability (bit-error model);
+    /// corrupted packets are counted and discarded at the receiving end of
+    /// the link. Lets experiments distinguish congestion loss from random
+    /// loss (§V "bursty losses vs sustained congestion").
+    pub random_loss: f64,
+}
+
+impl LinkConfig {
+    /// Convenience constructor with capacity in kilobits per second and the
+    /// paper's default 200 ms latency. The 10-packet drop-tail queue keeps
+    /// the queueing delay at a 150 kb/s bottleneck near half a second, so a
+    /// failed layer probe shows up in loss reports within one interval.
+    pub fn kbps(kbps: f64) -> Self {
+        LinkConfig {
+            bandwidth_bps: kbps * 1000.0,
+            delay: SimDuration::from_millis(200),
+            queue_packets: 10,
+            discipline: QueueDiscipline::DropTail,
+            random_loss: 0.0,
+        }
+    }
+
+    /// Override the propagation delay.
+    pub fn with_delay(mut self, delay: SimDuration) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Override the queue limit.
+    pub fn with_queue(mut self, packets: usize) -> Self {
+        self.queue_packets = packets;
+        self
+    }
+
+    /// Override the overflow discipline.
+    pub fn with_discipline(mut self, discipline: QueueDiscipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Add independent per-packet random loss.
+    pub fn with_random_loss(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "loss probability must be in [0, 1)");
+        self.random_loss = p;
+        self
+    }
+}
+
+/// Cumulative counters for one directed link.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinkStats {
+    /// Packets fully transmitted.
+    pub tx_packets: u64,
+    /// Bytes fully transmitted.
+    pub tx_bytes: u64,
+    /// Packets dropped at the queue (tail or priority eviction).
+    pub dropped_packets: u64,
+    /// Packets corrupted on the wire (random-loss model).
+    pub corrupted_packets: u64,
+    /// Bytes dropped at the queue tail.
+    pub dropped_bytes: u64,
+    /// Packets offered to the link (tx + queued + dropped).
+    pub offered_packets: u64,
+}
+
+impl LinkStats {
+    /// Fraction of offered packets that were dropped.
+    pub fn drop_rate(&self) -> f64 {
+        if self.offered_packets == 0 {
+            0.0
+        } else {
+            self.dropped_packets as f64 / self.offered_packets as f64
+        }
+    }
+}
+
+/// One directed link.
+pub struct Link {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Capacity in bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Per-packet corruption probability.
+    pub random_loss: f64,
+    discipline: QueueDiscipline,
+    queue_limit: usize,
+    queue: VecDeque<Packet>,
+    in_flight: Option<Packet>,
+    /// Cumulative statistics.
+    pub stats: LinkStats,
+}
+
+/// The media layer a packet carries (control packets rank as layer 0, i.e.
+/// most protected under priority dropping).
+fn layer_of(p: &Packet) -> u8 {
+    match p.payload {
+        Payload::Media { layer, .. } => layer,
+        Payload::Control(_) => 0,
+    }
+}
+
+/// Result of offering a packet to a link.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Enqueue {
+    /// Transmission started immediately; `LinkTxDone` fires after the
+    /// returned serialization time.
+    StartTx(SimDuration),
+    /// Packet queued behind the current transmission.
+    Queued,
+    /// Queue full; packet dropped.
+    Dropped,
+}
+
+impl Link {
+    pub fn new(from: NodeId, to: NodeId, cfg: &LinkConfig) -> Self {
+        assert!(cfg.bandwidth_bps > 0.0, "link bandwidth must be positive");
+        Link {
+            from,
+            to,
+            bandwidth_bps: cfg.bandwidth_bps,
+            delay: cfg.delay,
+            random_loss: cfg.random_loss,
+            discipline: cfg.discipline,
+            queue_limit: cfg.queue_packets,
+            queue: VecDeque::with_capacity(cfg.queue_packets.min(64)),
+            in_flight: None,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Offer a packet to this link.
+    pub fn enqueue(&mut self, packet: Packet) -> Enqueue {
+        self.stats.offered_packets += 1;
+        if self.in_flight.is_none() {
+            let ser = SimDuration::serialization(packet.size as u64, self.bandwidth_bps);
+            self.in_flight = Some(packet);
+            Enqueue::StartTx(ser)
+        } else if self.queue.len() < self.queue_limit {
+            self.queue.push_back(packet);
+            Enqueue::Queued
+        } else {
+            match self.discipline {
+                QueueDiscipline::DropTail => {
+                    self.drop_counted(&packet);
+                    Enqueue::Dropped
+                }
+                QueueDiscipline::PriorityDrop => {
+                    // Evict the queued packet of the highest layer if it is
+                    // strictly less valuable than the arrival; otherwise the
+                    // arrival itself is the least valuable and is dropped.
+                    let victim = self
+                        .queue
+                        .iter()
+                        .enumerate()
+                        .rev() // latest arrival loses ties
+                        .max_by_key(|(_, p)| layer_of(p))
+                        .map(|(i, p)| (i, layer_of(p)));
+                    match victim {
+                        Some((i, vl)) if vl > layer_of(&packet) => {
+                            let evicted =
+                                self.queue.remove(i).expect("victim index valid");
+                            self.drop_counted(&evicted);
+                            self.queue.push_back(packet);
+                            Enqueue::Queued
+                        }
+                        _ => {
+                            self.drop_counted(&packet);
+                            Enqueue::Dropped
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn drop_counted(&mut self, packet: &Packet) {
+        self.stats.dropped_packets += 1;
+        self.stats.dropped_bytes += packet.size as u64;
+    }
+
+    /// The current transmission finished. Returns the packet that now
+    /// crosses the wire (arriving after [`Link::delay`]) and, if another
+    /// packet was waiting, the serialization time of the next transmission.
+    pub fn tx_done(&mut self) -> (Packet, Option<SimDuration>) {
+        let sent = self.in_flight.take().expect("tx_done with idle transmitter");
+        self.stats.tx_packets += 1;
+        self.stats.tx_bytes += sent.size as u64;
+        let next = self.queue.pop_front().map(|p| {
+            let ser = SimDuration::serialization(p.size as u64, self.bandwidth_bps);
+            self.in_flight = Some(p);
+            ser
+        });
+        (sent, next)
+    }
+
+    /// Packets currently waiting (excluding the one in transmission).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if the transmitter is serializing a packet.
+    pub fn is_busy(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Time to serialize `bytes` on this link.
+    pub fn serialization_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::serialization(bytes, self.bandwidth_bps)
+    }
+
+    /// Average utilization over `[start, now]` from cumulative counters.
+    pub fn utilization(&self, start: SimTime, now: SimTime) -> f64 {
+        let secs = now.since(start).as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        (self.stats.tx_bytes as f64 * 8.0) / (self.bandwidth_bps * secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multicast::GroupId;
+    use crate::packet::SessionId;
+
+    fn pkt(size: u32) -> Packet {
+        Packet::media(NodeId(0), GroupId(0), SessionId(0), 0, 0, size)
+    }
+
+    fn link(kbps: f64, queue: usize) -> Link {
+        let cfg = LinkConfig::kbps(kbps).with_queue(queue);
+        Link::new(NodeId(0), NodeId(1), &cfg)
+    }
+
+    #[test]
+    fn idle_link_starts_tx_immediately() {
+        let mut l = link(32.0, 4);
+        match l.enqueue(pkt(1000)) {
+            Enqueue::StartTx(d) => assert_eq!(d, SimDuration::from_millis(250)),
+            other => panic!("expected StartTx, got {other:?}"),
+        }
+        assert!(l.is_busy());
+        assert_eq!(l.queue_len(), 0);
+    }
+
+    #[test]
+    fn busy_link_queues_then_drops() {
+        let mut l = link(32.0, 2);
+        assert!(matches!(l.enqueue(pkt(1000)), Enqueue::StartTx(_)));
+        assert_eq!(l.enqueue(pkt(1000)), Enqueue::Queued);
+        assert_eq!(l.enqueue(pkt(1000)), Enqueue::Queued);
+        assert_eq!(l.enqueue(pkt(1000)), Enqueue::Dropped);
+        assert_eq!(l.stats.dropped_packets, 1);
+        assert_eq!(l.stats.offered_packets, 4);
+        assert_eq!(l.queue_len(), 2);
+    }
+
+    #[test]
+    fn tx_done_advances_queue_fifo() {
+        let mut l = link(32.0, 4);
+        let mut first = pkt(1000);
+        first.size = 500; // distinguishable
+        assert!(matches!(l.enqueue(first), Enqueue::StartTx(_)));
+        l.enqueue(pkt(1000));
+        let (sent, next) = l.tx_done();
+        assert_eq!(sent.size, 500);
+        assert_eq!(next, Some(SimDuration::from_millis(250)));
+        assert!(l.is_busy());
+        let (sent2, next2) = l.tx_done();
+        assert_eq!(sent2.size, 1000);
+        assert_eq!(next2, None);
+        assert!(!l.is_busy());
+        assert_eq!(l.stats.tx_packets, 2);
+        assert_eq!(l.stats.tx_bytes, 1500);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tx_done_on_idle_panics() {
+        let mut l = link(32.0, 4);
+        let _ = l.tx_done();
+    }
+
+    #[test]
+    fn drop_rate_computation() {
+        let mut l = link(32.0, 0);
+        assert!(matches!(l.enqueue(pkt(1000)), Enqueue::StartTx(_)));
+        assert_eq!(l.enqueue(pkt(1000)), Enqueue::Dropped);
+        assert!((l.stats.drop_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn priority_drop_evicts_highest_layer() {
+        let cfg = LinkConfig::kbps(32.0)
+            .with_queue(2)
+            .with_discipline(QueueDiscipline::PriorityDrop);
+        let mut l = Link::new(NodeId(0), NodeId(1), &cfg);
+        let mk = |layer: u8| Packet::media(NodeId(0), GroupId(0), SessionId(0), layer, 0, 1000);
+        assert!(matches!(l.enqueue(mk(0)), Enqueue::StartTx(_)));
+        assert_eq!(l.enqueue(mk(3)), Enqueue::Queued);
+        assert_eq!(l.enqueue(mk(5)), Enqueue::Queued);
+        // Queue full; a base-layer packet evicts the layer-5 one.
+        assert_eq!(l.enqueue(mk(0)), Enqueue::Queued);
+        assert_eq!(l.stats.dropped_packets, 1);
+        // A layer-6 arrival is itself the least valuable: dropped.
+        assert_eq!(l.enqueue(mk(6)), Enqueue::Dropped);
+        assert_eq!(l.stats.dropped_packets, 2);
+        // Drain and verify the surviving layers.
+        let mut layers = Vec::new();
+        let (first, mut more) = l.tx_done();
+        layers.push(super::layer_of(&first));
+        while more.is_some() {
+            let (p, next) = l.tx_done();
+            layers.push(super::layer_of(&p));
+            more = next;
+        }
+        assert_eq!(layers, vec![0, 3, 0]);
+    }
+
+    #[test]
+    fn priority_drop_protects_control_packets() {
+        let cfg = LinkConfig::kbps(32.0)
+            .with_queue(1)
+            .with_discipline(QueueDiscipline::PriorityDrop);
+        let mut l = Link::new(NodeId(0), NodeId(1), &cfg);
+        let media = Packet::media(NodeId(0), GroupId(0), SessionId(0), 4, 0, 1000);
+        let ctrl = Packet::control(NodeId(0), NodeId(1), 64, std::sync::Arc::new(1u8));
+        assert!(matches!(l.enqueue(media.clone()), Enqueue::StartTx(_)));
+        assert_eq!(l.enqueue(media), Enqueue::Queued);
+        // Control packet (layer 0) evicts the queued layer-4 media packet.
+        assert_eq!(l.enqueue(ctrl), Enqueue::Queued);
+        assert_eq!(l.stats.dropped_packets, 1);
+    }
+
+    #[test]
+    fn utilization_from_counters() {
+        let mut l = link(80.0, 4); // 80 kbit/s
+        assert!(matches!(l.enqueue(pkt(1000)), Enqueue::StartTx(_)));
+        let _ = l.tx_done();
+        // 8000 bits sent; over 1 s at 80_000 bit/s => 10% utilization.
+        let u = l.utilization(SimTime::ZERO, SimTime::from_secs(1));
+        assert!((u - 0.1).abs() < 1e-9);
+    }
+}

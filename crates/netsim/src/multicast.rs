@@ -1,0 +1,428 @@
+//! IP-multicast-style group membership and distribution-tree maintenance.
+//!
+//! Each multicast group is rooted at its source node. The distribution tree
+//! of a group is the union of the routed paths from the root to every node
+//! with at least one subscribed application. Joining grafts the missing
+//! links onto the tree after a (small) graft latency; leaving prunes links
+//! after the IGMP-style **leave latency** — the delay the paper's §V calls
+//! out as a congestion hazard, because a dropped layer keeps flowing (and
+//! keeps congesting the bottleneck) until the prune takes effect.
+//!
+//! Grafts and prunes are *checked against current desire when they fire*:
+//! if membership changed again in flight, a stale graft does not activate a
+//! link nobody wants, and a stale prune does not cut a link that regained a
+//! subscriber.
+
+use crate::app::AppId;
+use crate::link::DirLinkId;
+use crate::node::{NodeId, Routing};
+use crate::time::SimDuration;
+use std::collections::{HashMap, HashSet};
+
+/// Index of a multicast group. Layered sessions use one group per layer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GroupId(pub u32);
+
+/// Latency parameters for multicast state changes.
+#[derive(Clone, Copy, Debug)]
+pub struct MulticastConfig {
+    /// Delay from a join until the grafted links carry traffic.
+    pub graft_latency: SimDuration,
+    /// Delay from the last local leave until pruned links stop carrying
+    /// traffic (IGMP group-leave latency).
+    pub leave_latency: SimDuration,
+}
+
+impl Default for MulticastConfig {
+    fn default() -> Self {
+        MulticastConfig {
+            graft_latency: SimDuration::from_millis(50),
+            leave_latency: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// A graft/prune the caller must schedule as a future event.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TreeOp {
+    Graft { group: GroupId, link: DirLinkId, after: SimDuration },
+    Prune { group: GroupId, link: DirLinkId, after: SimDuration },
+}
+
+#[derive(Default)]
+struct GroupState {
+    root: NodeId,
+    /// Subscribed apps per node (node-level membership is the count > 0).
+    members: HashMap<NodeId, HashSet<AppId>>,
+    /// Links currently carrying the group.
+    active: HashSet<DirLinkId>,
+    /// Outgoing active links per node (forwarding fast path).
+    active_out: HashMap<NodeId, Vec<DirLinkId>>,
+    /// Grafts in flight.
+    pending_graft: HashSet<DirLinkId>,
+    /// Prunes in flight.
+    pending_prune: HashSet<DirLinkId>,
+}
+
+/// All multicast state of the network.
+pub struct MulticastState {
+    cfg: MulticastConfig,
+    groups: Vec<GroupState>,
+}
+
+impl MulticastState {
+    pub fn new(cfg: MulticastConfig) -> Self {
+        MulticastState { cfg, groups: Vec::new() }
+    }
+
+    /// Register a new group rooted at `root`. Layered sources create one
+    /// group per layer, all rooted at the source's node.
+    pub fn create_group(&mut self, root: NodeId) -> GroupId {
+        let id = GroupId(self.groups.len() as u32);
+        self.groups.push(GroupState { root, ..GroupState::default() });
+        id
+    }
+
+    /// Number of registered groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The root (source node) of a group.
+    pub fn root(&self, group: GroupId) -> NodeId {
+        self.groups[group.0 as usize].root
+    }
+
+    /// Iterate over apps subscribed to `group` at `node`.
+    pub fn subscribers_at(&self, group: GroupId, node: NodeId) -> impl Iterator<Item = AppId> + '_ {
+        self.groups[group.0 as usize]
+            .members
+            .get(&node)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// Whether `app` at `node` is subscribed to `group`.
+    pub fn is_subscribed(&self, group: GroupId, node: NodeId, app: AppId) -> bool {
+        self.groups[group.0 as usize]
+            .members
+            .get(&node)
+            .is_some_and(|s| s.contains(&app))
+    }
+
+    /// Active outgoing links for `group` at `node`.
+    pub fn active_out(&self, group: GroupId, node: NodeId) -> &[DirLinkId] {
+        self.groups[group.0 as usize]
+            .active_out
+            .get(&node)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Whether a directed link currently carries `group`.
+    pub fn is_active(&self, group: GroupId, link: DirLinkId) -> bool {
+        self.groups[group.0 as usize].active.contains(&link)
+    }
+
+    /// The set of links that *should* carry the group given current
+    /// membership: the union of routed paths root -> member-node.
+    fn desired_links(
+        g: &GroupState,
+        routing: &Routing,
+        link_to: &impl Fn(DirLinkId) -> NodeId,
+    ) -> HashSet<DirLinkId> {
+        let mut desired = HashSet::new();
+        for (&node, apps) in &g.members {
+            if apps.is_empty() || node == g.root {
+                continue;
+            }
+            for l in routing.path(g.root, node, link_to) {
+                desired.insert(l);
+            }
+        }
+        desired
+    }
+
+    /// Subscribe `app` at `node` to `group`. Returns the tree operations the
+    /// simulator must schedule.
+    pub fn join(
+        &mut self,
+        group: GroupId,
+        node: NodeId,
+        app: AppId,
+        routing: &Routing,
+        link_to: impl Fn(DirLinkId) -> NodeId,
+    ) -> Vec<TreeOp> {
+        let graft_latency = self.cfg.graft_latency;
+        let g = &mut self.groups[group.0 as usize];
+        g.members.entry(node).or_default().insert(app);
+        let mut desired: Vec<DirLinkId> =
+            Self::desired_links(g, routing, &link_to).into_iter().collect();
+        // Sorted so the scheduled event order is independent of hash-map
+        // iteration order (determinism).
+        desired.sort_unstable();
+        let mut ops = Vec::new();
+        for l in desired {
+            // A link desired again cancels its pending prune logically: the
+            // prune re-checks desire when it fires. Only schedule a graft for
+            // links that are neither active nor already being grafted.
+            if !g.active.contains(&l) && !g.pending_graft.contains(&l) {
+                g.pending_graft.insert(l);
+                ops.push(TreeOp::Graft { group, link: l, after: graft_latency });
+            }
+        }
+        ops
+    }
+
+    /// Unsubscribe `app` at `node` from `group`.
+    pub fn leave(
+        &mut self,
+        group: GroupId,
+        node: NodeId,
+        app: AppId,
+        routing: &Routing,
+        link_to: impl Fn(DirLinkId) -> NodeId,
+    ) -> Vec<TreeOp> {
+        let leave_latency = self.cfg.leave_latency;
+        let g = &mut self.groups[group.0 as usize];
+        if let Some(apps) = g.members.get_mut(&node) {
+            apps.remove(&app);
+            if apps.is_empty() {
+                g.members.remove(&node);
+            }
+        }
+        let desired = Self::desired_links(g, routing, &link_to);
+        let mut active: Vec<DirLinkId> = g.active.iter().copied().collect();
+        active.sort_unstable();
+        let mut ops = Vec::new();
+        for l in active {
+            if !desired.contains(&l) && !g.pending_prune.contains(&l) {
+                g.pending_prune.insert(l);
+                ops.push(TreeOp::Prune { group, link: l, after: leave_latency });
+            }
+        }
+        ops
+    }
+
+    /// A graft completed. Activates the link iff it is still desired.
+    pub fn graft_done(
+        &mut self,
+        group: GroupId,
+        link: DirLinkId,
+        link_from: NodeId,
+        routing: &Routing,
+        link_to: impl Fn(DirLinkId) -> NodeId,
+    ) {
+        let g = &mut self.groups[group.0 as usize];
+        g.pending_graft.remove(&link);
+        let desired = Self::desired_links(g, routing, &link_to);
+        if desired.contains(&link) && g.active.insert(link) {
+            g.active_out.entry(link_from).or_default().push(link);
+        }
+    }
+
+    /// A prune completed. Deactivates the link iff it is still undesired.
+    pub fn prune_done(
+        &mut self,
+        group: GroupId,
+        link: DirLinkId,
+        link_from: NodeId,
+        routing: &Routing,
+        link_to: impl Fn(DirLinkId) -> NodeId,
+    ) {
+        let g = &mut self.groups[group.0 as usize];
+        g.pending_prune.remove(&link);
+        let desired = Self::desired_links(g, routing, &link_to);
+        if !desired.contains(&link) && g.active.remove(&link) {
+            if let Some(v) = g.active_out.get_mut(&link_from) {
+                v.retain(|&x| x != link);
+            }
+        }
+    }
+
+    /// Ground-truth snapshot: for each group, the set of active links and
+    /// member nodes. The topology-discovery tool reads this (possibly with
+    /// staleness added by the `topology` crate).
+    pub fn snapshot(&self) -> Vec<GroupSnapshot> {
+        self.groups
+            .iter()
+            .enumerate()
+            .map(|(i, g)| GroupSnapshot {
+                group: GroupId(i as u32),
+                root: g.root,
+                active_links: {
+                    let mut v: Vec<DirLinkId> = g.active.iter().copied().collect();
+                    v.sort_unstable();
+                    v
+                },
+                member_nodes: {
+                    let mut v: Vec<NodeId> = g.members.keys().copied().collect();
+                    v.sort_unstable();
+                    v
+                },
+            })
+            .collect()
+    }
+}
+
+/// Point-in-time view of one group's distribution tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupSnapshot {
+    pub group: GroupId,
+    pub root: NodeId,
+    pub active_links: Vec<DirLinkId>,
+    pub member_nodes: Vec<NodeId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Routing;
+
+    /// Chain 0 - 1 - 2; link ids: 0:0->1, 1:1->0, 2:1->2, 3:2->1.
+    fn setup() -> (MulticastState, Routing, impl Fn(DirLinkId) -> NodeId + Copy) {
+        let links = vec![
+            (DirLinkId(0), NodeId(0), NodeId(1)),
+            (DirLinkId(1), NodeId(1), NodeId(0)),
+            (DirLinkId(2), NodeId(1), NodeId(2)),
+            (DirLinkId(3), NodeId(2), NodeId(1)),
+        ];
+        let routing = Routing::build(3, &links);
+        let link_to = |l: DirLinkId| match l.0 {
+            0 => NodeId(1),
+            1 => NodeId(0),
+            2 => NodeId(2),
+            3 => NodeId(1),
+            _ => unreachable!(),
+        };
+        (MulticastState::new(MulticastConfig::default()), routing, link_to)
+    }
+
+    #[test]
+    fn join_grafts_path_from_root() {
+        let (mut m, r, to) = setup();
+        let g = m.create_group(NodeId(0));
+        let ops = m.join(g, NodeId(2), AppId(5), &r, to);
+        // Path 0->2 is links 0 and 2.
+        assert_eq!(ops.len(), 2);
+        assert!(ops.iter().all(|op| matches!(op, TreeOp::Graft { .. })));
+        // Not active until grafts complete.
+        assert!(!m.is_active(g, DirLinkId(0)));
+        m.graft_done(g, DirLinkId(0), NodeId(0), &r, to);
+        m.graft_done(g, DirLinkId(2), NodeId(1), &r, to);
+        assert!(m.is_active(g, DirLinkId(0)));
+        assert!(m.is_active(g, DirLinkId(2)));
+        assert_eq!(m.active_out(g, NodeId(0)), &[DirLinkId(0)]);
+        assert_eq!(m.active_out(g, NodeId(1)), &[DirLinkId(2)]);
+    }
+
+    #[test]
+    fn leave_prunes_unneeded_links_only() {
+        let (mut m, r, to) = setup();
+        let g = m.create_group(NodeId(0));
+        // Members at both node 1 and node 2.
+        for op in m.join(g, NodeId(1), AppId(1), &r, to) {
+            if let TreeOp::Graft { link, .. } = op {
+                m.graft_done(g, link, NodeId(0), &r, to);
+            }
+        }
+        for op in m.join(g, NodeId(2), AppId(2), &r, to) {
+            if let TreeOp::Graft { link, .. } = op {
+                m.graft_done(g, link, NodeId(1), &r, to);
+            }
+        }
+        // Node 2 leaves: only link 1->2 should be pruned.
+        let ops = m.leave(g, NodeId(2), AppId(2), &r, to);
+        assert_eq!(ops.len(), 1);
+        match &ops[0] {
+            TreeOp::Prune { link, .. } => assert_eq!(*link, DirLinkId(2)),
+            other => panic!("expected prune, got {other:?}"),
+        }
+        m.prune_done(g, DirLinkId(2), NodeId(1), &r, to);
+        assert!(!m.is_active(g, DirLinkId(2)));
+        assert!(m.is_active(g, DirLinkId(0)));
+    }
+
+    #[test]
+    fn rejoin_during_prune_keeps_link() {
+        let (mut m, r, to) = setup();
+        let g = m.create_group(NodeId(0));
+        for op in m.join(g, NodeId(2), AppId(2), &r, to) {
+            if let TreeOp::Graft { link, .. } = op {
+                let from = if link == DirLinkId(0) { NodeId(0) } else { NodeId(1) };
+                m.graft_done(g, link, from, &r, to);
+            }
+        }
+        let ops = m.leave(g, NodeId(2), AppId(2), &r, to);
+        assert_eq!(ops.len(), 2); // both links pruned
+        // Rejoin before prune fires.
+        let grafts = m.join(g, NodeId(2), AppId(2), &r, to);
+        // Links are still active, so no new grafts needed.
+        assert!(grafts.is_empty());
+        // The stale prunes fire and must be ignored.
+        m.prune_done(g, DirLinkId(0), NodeId(0), &r, to);
+        m.prune_done(g, DirLinkId(2), NodeId(1), &r, to);
+        assert!(m.is_active(g, DirLinkId(0)));
+        assert!(m.is_active(g, DirLinkId(2)));
+    }
+
+    #[test]
+    fn leave_during_graft_suppresses_activation() {
+        let (mut m, r, to) = setup();
+        let g = m.create_group(NodeId(0));
+        let _ = m.join(g, NodeId(2), AppId(2), &r, to);
+        let _ = m.leave(g, NodeId(2), AppId(2), &r, to);
+        // Graft fires after the member already left: must not activate.
+        m.graft_done(g, DirLinkId(0), NodeId(0), &r, to);
+        m.graft_done(g, DirLinkId(2), NodeId(1), &r, to);
+        assert!(!m.is_active(g, DirLinkId(0)));
+        assert!(!m.is_active(g, DirLinkId(2)));
+    }
+
+    #[test]
+    fn two_apps_same_node_count_as_one_membership() {
+        let (mut m, r, to) = setup();
+        let g = m.create_group(NodeId(0));
+        let ops1 = m.join(g, NodeId(2), AppId(1), &r, to);
+        assert_eq!(ops1.len(), 2);
+        for op in ops1 {
+            if let TreeOp::Graft { link, .. } = op {
+                let from = if link == DirLinkId(0) { NodeId(0) } else { NodeId(1) };
+                m.graft_done(g, link, from, &r, to);
+            }
+        }
+        // Second app at the same node: no new grafts.
+        assert!(m.join(g, NodeId(2), AppId(2), &r, to).is_empty());
+        // First app leaves: node still a member, nothing pruned.
+        assert!(m.leave(g, NodeId(2), AppId(1), &r, to).is_empty());
+        // Last app leaves: prunes scheduled.
+        assert_eq!(m.leave(g, NodeId(2), AppId(2), &r, to).len(), 2);
+    }
+
+    #[test]
+    fn member_at_root_needs_no_links() {
+        let (mut m, r, to) = setup();
+        let g = m.create_group(NodeId(0));
+        assert!(m.join(g, NodeId(0), AppId(9), &r, to).is_empty());
+        assert!(m.is_subscribed(g, NodeId(0), AppId(9)));
+        let subs: Vec<AppId> = m.subscribers_at(g, NodeId(0)).collect();
+        assert_eq!(subs, vec![AppId(9)]);
+    }
+
+    #[test]
+    fn snapshot_reports_sorted_state() {
+        let (mut m, r, to) = setup();
+        let g = m.create_group(NodeId(0));
+        for op in m.join(g, NodeId(2), AppId(2), &r, to) {
+            if let TreeOp::Graft { link, .. } = op {
+                let from = if link == DirLinkId(0) { NodeId(0) } else { NodeId(1) };
+                m.graft_done(g, link, from, &r, to);
+            }
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].root, NodeId(0));
+        assert_eq!(snap[0].active_links, vec![DirLinkId(0), DirLinkId(2)]);
+        assert_eq!(snap[0].member_nodes, vec![NodeId(2)]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Nodes (routers/hosts) and unicast routing.
+//!
+//! A node is a router that may also host application agents (a media source,
+//! a receiver, a controller). Unicast routing is precomputed: after the
+//! topology is frozen, a breadth-first search from every node fills a
+//! next-hop table. All evaluation topologies in the paper are trees, so the
+//! routes are the unique tree paths, but the BFS works for any connected
+//! graph.
+
+use crate::app::AppId;
+use crate::link::DirLinkId;
+use std::collections::VecDeque;
+
+/// Index of a node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One router/host.
+#[derive(Debug, Default)]
+pub struct Node {
+    /// Outgoing directed links.
+    pub out_links: Vec<DirLinkId>,
+    /// Applications hosted here.
+    pub apps: Vec<AppId>,
+    /// Human-readable label for traces and error messages.
+    pub label: String,
+}
+
+/// Precomputed next-hop table: `next[from][to]` is the directed link to take
+/// at `from` for a packet headed to `to`.
+pub struct Routing {
+    next: Vec<Vec<Option<DirLinkId>>>,
+}
+
+impl Routing {
+    /// Build by BFS from every destination over `links`, where each entry is
+    /// `(id, from, to)` of a directed link.
+    pub fn build(num_nodes: usize, links: &[(DirLinkId, NodeId, NodeId)]) -> Self {
+        // Adjacency: for each node, its outgoing (link, neighbor) pairs.
+        let mut adj: Vec<Vec<(DirLinkId, NodeId)>> = vec![Vec::new(); num_nodes];
+        for &(id, from, to) in links {
+            adj[from.index()].push((id, to));
+        }
+        let mut next = vec![vec![None; num_nodes]; num_nodes];
+        // BFS outward from each source; first-found path is shortest (hops).
+        for src in 0..num_nodes {
+            let mut visited = vec![false; num_nodes];
+            visited[src] = true;
+            let mut q = VecDeque::new();
+            // Seed with each first hop so we can record the originating link.
+            for &(l, nb) in &adj[src] {
+                if !visited[nb.index()] {
+                    visited[nb.index()] = true;
+                    next[src][nb.index()] = Some(l);
+                    q.push_back(nb);
+                }
+            }
+            while let Some(n) = q.pop_front() {
+                let via = next[src][n.index()];
+                for &(_, nb) in &adj[n.index()] {
+                    if !visited[nb.index()] {
+                        visited[nb.index()] = true;
+                        next[src][nb.index()] = via;
+                        q.push_back(nb);
+                    }
+                }
+            }
+        }
+        Routing { next }
+    }
+
+    /// Next directed link at `from` toward `to`, or `None` if unreachable or
+    /// already there.
+    pub fn next_hop(&self, from: NodeId, to: NodeId) -> Option<DirLinkId> {
+        self.next[from.index()][to.index()]
+    }
+
+    /// The sequence of directed links on the path `from -> to`.
+    ///
+    /// `link_to` maps a directed link to its head node. Returns an empty
+    /// vector when `from == to`; panics if `to` is unreachable.
+    pub fn path(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        link_to: impl Fn(DirLinkId) -> NodeId,
+    ) -> Vec<DirLinkId> {
+        let mut path = Vec::new();
+        let mut cur = from;
+        while cur != to {
+            let l = self
+                .next_hop(cur, to)
+                .unwrap_or_else(|| panic!("no route {cur:?} -> {to:?}"));
+            path.push(l);
+            cur = link_to(l);
+            assert!(path.len() <= self.next.len(), "routing loop {from:?} -> {to:?}");
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Chain 0 - 1 - 2 with duplex links (ids: 0:0->1, 1:1->0, 2:1->2, 3:2->1).
+    fn chain() -> Routing {
+        let links = vec![
+            (DirLinkId(0), NodeId(0), NodeId(1)),
+            (DirLinkId(1), NodeId(1), NodeId(0)),
+            (DirLinkId(2), NodeId(1), NodeId(2)),
+            (DirLinkId(3), NodeId(2), NodeId(1)),
+        ];
+        Routing::build(3, &links)
+    }
+
+    #[test]
+    fn next_hops_on_chain() {
+        let r = chain();
+        assert_eq!(r.next_hop(NodeId(0), NodeId(1)), Some(DirLinkId(0)));
+        assert_eq!(r.next_hop(NodeId(0), NodeId(2)), Some(DirLinkId(0)));
+        assert_eq!(r.next_hop(NodeId(1), NodeId(2)), Some(DirLinkId(2)));
+        assert_eq!(r.next_hop(NodeId(2), NodeId(0)), Some(DirLinkId(3)));
+        assert_eq!(r.next_hop(NodeId(1), NodeId(1)), None);
+    }
+
+    #[test]
+    fn path_walks_the_chain() {
+        let r = chain();
+        let to = |l: DirLinkId| match l.0 {
+            0 => NodeId(1),
+            1 => NodeId(0),
+            2 => NodeId(2),
+            3 => NodeId(1),
+            _ => unreachable!(),
+        };
+        assert_eq!(r.path(NodeId(0), NodeId(2), to), vec![DirLinkId(0), DirLinkId(2)]);
+        assert_eq!(r.path(NodeId(2), NodeId(2), to), Vec::<DirLinkId>::new());
+    }
+
+    #[test]
+    fn star_topology_routes_through_hub() {
+        // Hub 0 with leaves 1, 2, 3.
+        let mut links = Vec::new();
+        let mut id = 0;
+        for leaf in 1..4u32 {
+            links.push((DirLinkId(id), NodeId(0), NodeId(leaf)));
+            id += 1;
+            links.push((DirLinkId(id), NodeId(leaf), NodeId(0)));
+            id += 1;
+        }
+        let r = Routing::build(4, &links);
+        // leaf 1 -> leaf 2 goes via its uplink to the hub.
+        assert_eq!(r.next_hop(NodeId(1), NodeId(2)), Some(DirLinkId(1)));
+        assert_eq!(r.next_hop(NodeId(0), NodeId(3)), Some(DirLinkId(4)));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        // Two disconnected nodes.
+        let r = Routing::build(2, &[]);
+        assert_eq!(r.next_hop(NodeId(0), NodeId(1)), None);
+    }
+}

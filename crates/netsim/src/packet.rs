@@ -1,0 +1,141 @@
+//! Packets, addresses, and payloads.
+//!
+//! Two kinds of traffic cross the simulated network:
+//!
+//! * **Media** packets, multicast to a per-layer group. They carry a session
+//!   id, layer number and per-group sequence number — exactly the fields a
+//!   receiver needs to account for loss the way RTCP does (sequence gaps).
+//! * **Control** packets, unicast between receivers and the controller agent
+//!   (registrations, loss reports, subscription suggestions). Their concrete
+//!   message types belong to the protocol crates above; the simulator treats
+//!   them as opaque shared payloads with an explicitly declared wire size so
+//!   control traffic competes for bandwidth and can be lost, as in the paper.
+
+use crate::multicast::GroupId;
+use crate::node::NodeId;
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+/// A multicast session (one layered stream = a set of groups).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SessionId(pub u32);
+
+/// Opaque, shareable control-message body.
+///
+/// Protocol crates downcast this to their own message enum. Sharing via
+/// `Arc` keeps multicast fan-out and retransmission allocation-free.
+pub type ControlBody = Arc<dyn Any + Send + Sync>;
+
+/// Where a packet is headed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Dest {
+    /// Unicast to one node (delivered to all apps on it).
+    Node(NodeId),
+    /// Multicast to a group.
+    Group(GroupId),
+}
+
+/// What a packet carries.
+#[derive(Clone)]
+pub enum Payload {
+    /// A media packet of `layer` within `session`, with a per-group
+    /// sequence number stamped by the source.
+    Media { session: SessionId, layer: u8, seq: u64 },
+    /// An opaque control message.
+    Control(ControlBody),
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Payload::Media { session, layer, seq } => {
+                write!(f, "Media(s{}, l{}, #{})", session.0, layer, seq)
+            }
+            Payload::Control(_) => write!(f, "Control(..)"),
+        }
+    }
+}
+
+/// One packet in flight.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Originating node.
+    pub src: NodeId,
+    /// Destination address.
+    pub dest: Dest,
+    /// Wire size in bytes (headers included); drives serialization time
+    /// and queue occupancy.
+    pub size: u32,
+    /// The payload.
+    pub payload: Payload,
+}
+
+impl Packet {
+    /// Construct a media packet.
+    pub fn media(
+        src: NodeId,
+        group: GroupId,
+        session: SessionId,
+        layer: u8,
+        seq: u64,
+        size: u32,
+    ) -> Self {
+        Packet { src, dest: Dest::Group(group), size, payload: Payload::Media { session, layer, seq } }
+    }
+
+    /// Construct a unicast control packet.
+    pub fn control(src: NodeId, dest: NodeId, size: u32, body: ControlBody) -> Self {
+        Packet { src, dest: Dest::Node(dest), size, payload: Payload::Control(body) }
+    }
+
+    /// The media fields, if this is a media packet.
+    pub fn media_fields(&self) -> Option<(SessionId, u8, u64)> {
+        match self.payload {
+            Payload::Media { session, layer, seq } => Some((session, layer, seq)),
+            Payload::Control(_) => None,
+        }
+    }
+
+    /// Downcast a control payload to a concrete message type.
+    pub fn control_as<T: 'static>(&self) -> Option<&T> {
+        match &self.payload {
+            Payload::Control(body) => body.downcast_ref::<T>(),
+            Payload::Media { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn media_accessors() {
+        let p = Packet::media(NodeId(1), GroupId(7), SessionId(3), 2, 99, 1000);
+        assert_eq!(p.media_fields(), Some((SessionId(3), 2, 99)));
+        assert!(p.control_as::<String>().is_none());
+        assert_eq!(p.dest, Dest::Group(GroupId(7)));
+    }
+
+    #[test]
+    fn control_downcast() {
+        #[derive(Debug, PartialEq)]
+        struct Msg(u32);
+        let body: ControlBody = Arc::new(Msg(5));
+        let p = Packet::control(NodeId(0), NodeId(2), 64, body);
+        assert_eq!(p.control_as::<Msg>(), Some(&Msg(5)));
+        assert!(p.control_as::<u64>().is_none());
+        assert!(p.media_fields().is_none());
+    }
+
+    #[test]
+    fn clone_shares_control_body() {
+        let body: ControlBody = Arc::new(42u32);
+        let p = Packet::control(NodeId(0), NodeId(1), 64, Arc::clone(&body));
+        let q = p.clone();
+        assert_eq!(q.control_as::<u32>(), Some(&42));
+        // Arc count: `body`, `p`, `q`.
+        assert_eq!(Arc::strong_count(&body), 3);
+    }
+}

@@ -1,0 +1,134 @@
+//! Deterministic per-component random-number streams.
+//!
+//! Every stochastic component (each VBR source, each receiver's backoff
+//! timer, …) gets its own [`RngStream`] derived from the master seed and a
+//! stable component label. Streams are therefore independent of the order in
+//! which components are created or fire, which keeps sweeps comparable: the
+//! traffic a source generates does not change when an unrelated receiver is
+//! added to the scenario.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A named, seeded random stream.
+pub struct RngStream {
+    rng: StdRng,
+}
+
+/// Stable 64-bit FNV-1a hash used to mix labels into the master seed.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl RngStream {
+    /// Derive a stream from `master_seed` and a stable `label`.
+    pub fn derive(master_seed: u64, label: &str) -> Self {
+        let mixed = master_seed ^ fnv1a(label.as_bytes()).rotate_left(17);
+        RngStream { rng: StdRng::seed_from_u64(mixed) }
+    }
+
+    /// Derive a sub-stream, e.g. one per layer of a source.
+    pub fn derive_sub(master_seed: u64, label: &str, index: u64) -> Self {
+        let mixed = master_seed
+            ^ fnv1a(label.as_bytes()).rotate_left(17)
+            ^ index.wrapping_mul(0x9e3779b97f4a7c15);
+        RngStream { rng: StdRng::seed_from_u64(mixed) }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        if lo == hi {
+            return lo;
+        }
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.rng.gen::<f64>() < p
+    }
+
+    /// Access the underlying RNG for anything else.
+    pub fn inner(&mut self) -> &mut impl Rng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = RngStream::derive(42, "src/0");
+        let mut b = RngStream::derive(42, "src/0");
+        for _ in 0..100 {
+            assert_eq!(a.f64().to_bits(), b.f64().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let mut a = RngStream::derive(42, "src/0");
+        let mut b = RngStream::derive(42, "src/1");
+        let va: Vec<u64> = (0..8).map(|_| a.f64().to_bits()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.f64().to_bits()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = RngStream::derive(1, "x");
+        let mut b = RngStream::derive(2, "x");
+        let va: Vec<u64> = (0..8).map(|_| a.f64().to_bits()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.f64().to_bits()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn sub_streams_independent() {
+        let mut a = RngStream::derive_sub(7, "vbr", 0);
+        let mut b = RngStream::derive_sub(7, "vbr", 1);
+        let va: Vec<u64> = (0..8).map(|_| a.f64().to_bits()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.f64().to_bits()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn range_bounds_hold() {
+        let mut r = RngStream::derive(9, "range");
+        for _ in 0..1000 {
+            let v = r.range_f64(2.0, 3.0);
+            assert!((2.0..3.0).contains(&v));
+            let u = r.range_u64(5, 10);
+            assert!((5..10).contains(&u));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = RngStream::derive(9, "chance");
+        for _ in 0..100 {
+            assert!(!r.chance(0.0));
+            assert!(r.chance(1.0));
+        }
+    }
+}

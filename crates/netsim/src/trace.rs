@@ -1,0 +1,109 @@
+//! Lightweight structured tracing.
+//!
+//! Disabled by default (zero cost beyond a branch); scenarios that need the
+//! Fig. 9-style event history enable it and drain the records afterwards.
+
+use crate::link::DirLinkId;
+use crate::time::SimTime;
+
+/// One traced occurrence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A packet was dropped at a full queue.
+    Drop { time: SimTime, link: DirLinkId, bytes: u32 },
+}
+
+/// A bounded in-memory trace.
+pub struct TraceLog {
+    enabled: bool,
+    cap: usize,
+    events: Vec<TraceEvent>,
+    overflowed: bool,
+}
+
+impl TraceLog {
+    /// A trace that records nothing.
+    pub fn disabled() -> Self {
+        TraceLog { enabled: false, cap: 0, events: Vec::new(), overflowed: false }
+    }
+
+    /// A trace that keeps up to `cap` events, then stops recording (and
+    /// remembers that it overflowed).
+    pub fn bounded(cap: usize) -> Self {
+        TraceLog { enabled: true, cap, events: Vec::new(), overflowed: false }
+    }
+
+    /// Enable recording on an existing log.
+    pub fn enable(&mut self, cap: usize) {
+        self.enabled = true;
+        self.cap = cap;
+    }
+
+    pub(crate) fn drop(&mut self, time: SimTime, link: DirLinkId, bytes: u32) {
+        self.record(TraceEvent::Drop { time, link, bytes });
+    }
+
+    fn record(&mut self, ev: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            self.overflowed = true;
+        }
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// True if events were discarded because the bound was hit.
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Drain all recorded events.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut t = TraceLog::disabled();
+        t.drop(SimTime::ZERO, DirLinkId(0), 100);
+        assert!(t.events().is_empty());
+        assert!(!t.overflowed());
+    }
+
+    #[test]
+    fn bounded_log_caps_and_flags_overflow() {
+        let mut t = TraceLog::bounded(2);
+        for i in 0..3 {
+            t.drop(SimTime::from_secs(i), DirLinkId(0), 100);
+        }
+        assert_eq!(t.events().len(), 2);
+        assert!(t.overflowed());
+    }
+
+    #[test]
+    fn take_drains() {
+        let mut t = TraceLog::bounded(8);
+        t.drop(SimTime::ZERO, DirLinkId(1), 50);
+        let evs = t.take();
+        assert_eq!(evs.len(), 1);
+        assert!(t.events().is_empty());
+        match evs[0] {
+            TraceEvent::Drop { link, bytes, .. } => {
+                assert_eq!(link, DirLinkId(1));
+                assert_eq!(bytes, 50);
+            }
+        }
+    }
+}

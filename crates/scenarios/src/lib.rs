@@ -1,0 +1,19 @@
+//! # scenarios — end-to-end experiment harness
+//!
+//! Assembles a [`topology::TopoSpec`] into a live simulation — sources,
+//! receivers, controller — runs it, and collects the measurements the
+//! paper's figures are built from.
+//!
+//! * [`runner`] — one scenario = one simulation run ([`runner::run`]).
+//! * [`experiments`] — the parameter sweeps behind every figure of the
+//!   paper (Figs. 1 and 6–10 plus the §IV convergence claims), each
+//!   returning typed rows so binaries print them and tests assert on them.
+//! * [`ablations`] — sweeps for the open questions of the paper's §V
+//!   (interval size, leave latency, layer granularity, queue discipline,
+//!   control-traffic scaling).
+
+pub mod ablations;
+pub mod experiments;
+pub mod runner;
+
+pub use runner::{run, ControlMode, ReceiverOutcome, Scenario, ScenarioResult};

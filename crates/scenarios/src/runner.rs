@@ -1,0 +1,397 @@
+//! Scenario assembly and execution.
+//!
+//! [`run`] turns a declarative [`Scenario`] into a live simulation:
+//! multicast groups (one per layer per session), a layered source per
+//! session, a receiver agent per receiver role (TopoSense / RLM / fixed),
+//! and — for TopoSense — the controller agent on the spec's controller
+//! node. After `duration` simulated seconds it harvests every agent's
+//! shared stats plus the ground-truth optimum from the oracle.
+
+use baselines::oracle::{self, OptimalEntry};
+use baselines::rlm::{RlmParams, RlmReceiver};
+use baselines::tfrc::{TfrcParams, TfrcReceiver};
+use baselines::FixedReceiver;
+use metrics::StepSeries;
+use netsim::sim::SimConfig;
+use netsim::{GroupId, NodeId, SessionId, SimDuration, SimTime};
+use topology::spec::TopoSpec;
+use toposense::controller::{Controller, ControllerShared};
+use toposense::receiver::{Receiver, ReceiverHandle, ReceiverShared};
+use traffic::session::SessionDef;
+use traffic::{LayerSpec, LayeredSource, SessionCatalog, TrafficModel};
+
+/// How receivers are controlled.
+#[derive(Clone, Copy, Debug)]
+pub enum ControlMode {
+    /// The paper's system: controller + cooperating receivers, with the
+    /// discovery tool serving snapshots at least `staleness` old.
+    TopoSense { staleness: SimDuration },
+    /// Receiver-driven baseline (no controller, no topology).
+    Rlm(RlmParams),
+    /// Equation-based (TCP-friendly) baseline.
+    Tfrc(TfrcParams),
+    /// Pin every receiver at a fixed level (no adaptation).
+    Fixed(u8),
+}
+
+/// A complete experiment description.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    pub topo: TopoSpec,
+    pub layers: LayerSpec,
+    pub traffic: TrafficModel,
+    pub control: ControlMode,
+    pub cfg: toposense::Config,
+    pub seed: u64,
+    pub duration: SimDuration,
+    /// IGMP group-leave latency applied network-wide (§V ablation knob).
+    pub leave_latency: SimDuration,
+}
+
+impl Scenario {
+    /// A scenario with the paper's defaults (6 doubling layers, TopoSense
+    /// with an instantaneous discovery tool, 1200 s).
+    pub fn new(topo: TopoSpec, traffic: TrafficModel, seed: u64) -> Self {
+        Scenario {
+            topo,
+            layers: LayerSpec::paper_default(),
+            traffic,
+            control: ControlMode::TopoSense { staleness: SimDuration::ZERO },
+            cfg: toposense::Config::default(),
+            seed,
+            duration: SimDuration::from_secs(1200),
+            leave_latency: netsim::MulticastConfig::default().leave_latency,
+        }
+    }
+
+    pub fn with_control(mut self, control: ControlMode) -> Self {
+        self.control = control;
+        self
+    }
+
+    pub fn with_duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    pub fn with_config(mut self, cfg: toposense::Config) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    pub fn with_layers(mut self, layers: LayerSpec) -> Self {
+        self.layers = layers;
+        self
+    }
+
+    pub fn with_leave_latency(mut self, leave_latency: SimDuration) -> Self {
+        self.leave_latency = leave_latency;
+        self
+    }
+}
+
+/// One receiver's measurements plus its ground-truth optimum.
+#[derive(Clone, Debug)]
+pub struct ReceiverOutcome {
+    /// Spec node index the receiver sits on.
+    pub spec_node: usize,
+    /// Simulator node id.
+    pub node: NodeId,
+    pub session: u32,
+    pub set: u32,
+    /// Oracle-optimal subscription level.
+    pub optimal: u8,
+    /// The receiver's recorded stats.
+    pub stats: ReceiverShared,
+}
+
+impl ReceiverOutcome {
+    /// The subscription level as a step series.
+    pub fn level_series(&self) -> StepSeries {
+        StepSeries::from_changes(&self.stats.changes)
+    }
+
+    /// Relative deviation from the optimum over `[start, end]`.
+    pub fn relative_deviation(&self, start: SimTime, end: SimTime) -> f64 {
+        metrics::relative_deviation(&self.level_series(), self.optimal, start, end)
+    }
+
+    /// Mean loss rate over report windows in `[start, end)`.
+    pub fn mean_loss(&self, start: SimTime, end: SimTime) -> f64 {
+        let vals: Vec<f64> = self
+            .stats
+            .loss_series
+            .iter()
+            .filter(|&&(t, _)| t >= start && t < end)
+            .map(|&(_, l)| l)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+}
+
+/// Everything a scenario run produced.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    pub receivers: Vec<ReceiverOutcome>,
+    /// Controller stats when running TopoSense.
+    pub controller: Option<ControllerShared>,
+    pub duration: SimDuration,
+    /// Total packets dropped at queues across all links.
+    pub total_drops: u64,
+    /// Estimated control bytes exchanged (registrations excluded): reports
+    /// up plus suggestions down — the paper's §V claims this scales
+    /// linearly in receivers and sessions.
+    pub control_bytes: u64,
+    /// Total events processed (throughput diagnostics).
+    pub events: u64,
+    /// The oracle allocation (aligned with nothing; lookup by node).
+    pub optima: Vec<OptimalEntry>,
+}
+
+impl ScenarioResult {
+    /// Mean relative deviation across receivers over `[start, end]`
+    /// (the quantity Figs. 8 and 10 plot).
+    pub fn mean_relative_deviation(&self, start: SimTime, end: SimTime) -> f64 {
+        assert!(!self.receivers.is_empty());
+        self.receivers
+            .iter()
+            .map(|r| r.relative_deviation(start, end))
+            .sum::<f64>()
+            / self.receivers.len() as f64
+    }
+
+    /// `(max change count, mean gap)` over receivers in `[start, end)` —
+    /// one Fig. 6/7 point. The initial base-layer join is excluded.
+    pub fn stability(&self, start: SimTime, end: SimTime) -> (usize, f64) {
+        let series: Vec<StepSeries> = self.receivers.iter().map(|r| r.level_series()).collect();
+        let refs: Vec<&StepSeries> = series.iter().collect();
+        metrics::stability::worst_receiver(&refs, start, end)
+    }
+
+    /// Per-session received bytes (fairness shares).
+    pub fn session_bytes(&self) -> Vec<(u32, u64)> {
+        let mut map = std::collections::BTreeMap::new();
+        for r in &self.receivers {
+            *map.entry(r.session).or_insert(0u64) += r.stats.bytes_total;
+        }
+        map.into_iter().collect()
+    }
+}
+
+/// Run one scenario to completion.
+pub fn run(scenario: &Scenario) -> ScenarioResult {
+    let topo = &scenario.topo;
+    let sim_cfg = SimConfig {
+        seed: scenario.seed,
+        multicast: netsim::MulticastConfig {
+            leave_latency: scenario.leave_latency,
+            ..netsim::MulticastConfig::default()
+        },
+    };
+    let built = topo.instantiate(sim_cfg);
+    let mut sim = built.sim;
+
+    // Sessions: dense ids from the source roles.
+    let mut sources = topo.sources();
+    sources.sort_by_key(|&(_, s)| s);
+    assert!(
+        sources.iter().enumerate().all(|(i, &(_, s))| s == i as u32),
+        "session ids must be dense 0..n"
+    );
+
+    // One multicast group per layer per session, rooted at the source node.
+    let mut catalog = SessionCatalog::new();
+    for &(node_idx, session) in &sources {
+        let root = built.node_ids[node_idx];
+        let groups: Vec<GroupId> = (0..scenario.layers.layer_count())
+            .map(|_| sim.create_group(root))
+            .collect();
+        catalog.add(SessionDef {
+            id: SessionId(session),
+            source: root,
+            groups,
+            spec: scenario.layers.clone(),
+        });
+    }
+    let catalog = catalog.share();
+
+    // Controller (TopoSense only) — add first so suggestions start early.
+    let controller_handle = if let ControlMode::TopoSense { staleness } = scenario.control {
+        let ctrl_node = built.node_ids[topo.controller()];
+        let (ctrl, handle) = Controller::new(
+            std::sync::Arc::clone(&catalog),
+            scenario.cfg,
+            staleness,
+            scenario.seed ^ 0xc0f1,
+        );
+        sim.add_app(ctrl_node, Box::new(ctrl));
+        Some((ctrl_node, handle))
+    } else {
+        None
+    };
+
+    // Sources.
+    for &(node_idx, session) in &sources {
+        let def = catalog.get(SessionId(session)).clone();
+        let src = LayeredSource::new(def, scenario.traffic, scenario.seed ^ session as u64);
+        sim.add_app(built.node_ids[node_idx], Box::new(src));
+    }
+
+    // Receivers.
+    let optima = oracle::optimal_levels(topo, &scenario.layers, 1.0);
+    let mut handles: Vec<(usize, NodeId, u32, u32, ReceiverHandle)> = Vec::new();
+    for (i, (node_idx, (session, set))) in topo.receivers().into_iter().enumerate() {
+        let node = built.node_ids[node_idx];
+        let def = catalog.get(SessionId(session)).clone();
+        let label = format!("s{session}.r{i}");
+        let seed = scenario.seed ^ (0x9e37 + i as u64 * 0x61c8);
+        let handle = match scenario.control {
+            ControlMode::TopoSense { .. } => {
+                let ctrl_node = controller_handle
+                    .as_ref()
+                    .map(|&(n, _)| n)
+                    .expect("TopoSense mode has a controller");
+                let (rx, handle) = Receiver::new(def, ctrl_node, scenario.cfg, seed, &label);
+                sim.add_app(node, Box::new(rx));
+                handle
+            }
+            ControlMode::Rlm(params) => {
+                let (rx, handle) = RlmReceiver::new(def, params, seed, &label);
+                sim.add_app(node, Box::new(rx));
+                handle
+            }
+            ControlMode::Tfrc(params) => {
+                let (rx, handle) = TfrcReceiver::new(def, params, seed, &label);
+                sim.add_app(node, Box::new(rx));
+                handle
+            }
+            ControlMode::Fixed(level) => {
+                let (rx, handle) = FixedReceiver::new(def, level);
+                sim.add_app(node, Box::new(rx));
+                handle
+            }
+        };
+        handles.push((node_idx, node, session, set, handle));
+    }
+
+    // Run.
+    sim.run_until(SimTime::ZERO + scenario.duration);
+
+    // Harvest.
+    let receivers: Vec<ReceiverOutcome> = handles
+        .into_iter()
+        .map(|(spec_node, node, session, set, handle)| {
+            let stats = handle.lock().unwrap().clone();
+            let optimal = oracle::optimal_for_node(&optima, spec_node);
+            ReceiverOutcome { spec_node, node, session, set, optimal, stats }
+        })
+        .collect();
+    let net = sim.network();
+    let total_drops: u64 = (0..net.link_count() as u32)
+        .map(|i| net.link(netsim::DirLinkId(i)).stats.dropped_packets)
+        .sum();
+    let controller = controller_handle.map(|(_, h)| h.lock().unwrap().clone());
+    let control_bytes = receivers
+        .iter()
+        .map(|r| r.stats.reports_sent * scenario.cfg.report_size as u64)
+        .sum::<u64>()
+        + controller
+            .as_ref()
+            .map(|c| c.suggestions_sent * scenario.cfg.suggestion_size as u64)
+            .unwrap_or(0);
+
+    ScenarioResult {
+        receivers,
+        controller,
+        duration: scenario.duration,
+        total_drops,
+        control_bytes,
+        events: sim.events_processed(),
+        optima,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::generators;
+
+    #[test]
+    fn topology_a_scenario_assembles_and_runs() {
+        let s = Scenario::new(generators::topology_a_default(2), TrafficModel::Cbr, 1)
+            .with_duration(SimDuration::from_secs(60));
+        let r = run(&s);
+        assert_eq!(r.receivers.len(), 4);
+        assert!(r.controller.is_some());
+        let c = r.controller.as_ref().unwrap();
+        assert!(c.intervals >= 25);
+        assert_eq!(c.registered, 4);
+        // Oracle optima as designed: 2 for set 0, 4 for set 1.
+        for rec in &r.receivers {
+            let expect = if rec.set == 0 { 2 } else { 4 };
+            assert_eq!(rec.optimal, expect);
+            assert!(rec.stats.reports_sent > 0);
+        }
+    }
+
+    #[test]
+    fn rlm_mode_runs_without_controller() {
+        let s = Scenario::new(generators::topology_b_default(2), TrafficModel::Cbr, 1)
+            .with_control(ControlMode::Rlm(RlmParams::default()))
+            .with_duration(SimDuration::from_secs(30));
+        let r = run(&s);
+        assert!(r.controller.is_none());
+        assert_eq!(r.receivers.len(), 2);
+        for rec in &r.receivers {
+            assert!(rec.stats.final_level() >= 1);
+        }
+    }
+
+    #[test]
+    fn fixed_mode_pins_levels() {
+        let s = Scenario::new(generators::topology_b_default(2), TrafficModel::Cbr, 1)
+            .with_control(ControlMode::Fixed(3))
+            .with_duration(SimDuration::from_secs(20));
+        let r = run(&s);
+        for rec in &r.receivers {
+            assert_eq!(rec.stats.final_level(), 3);
+            assert_eq!(rec.stats.changes.len(), 1);
+        }
+    }
+
+    #[test]
+    fn determinism_across_identical_runs() {
+        let go = || {
+            let s = Scenario::new(generators::topology_a_default(1), TrafficModel::Vbr { p: 3.0 }, 42)
+                .with_duration(SimDuration::from_secs(90));
+            let r = run(&s);
+            (
+                r.events,
+                r.total_drops,
+                r.receivers
+                    .iter()
+                    .map(|x| x.stats.changes.clone())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let go = |seed| {
+            let s = Scenario::new(generators::topology_a_default(1), TrafficModel::Vbr { p: 3.0 }, seed)
+                .with_duration(SimDuration::from_secs(90));
+            run(&s).events
+        };
+        assert_ne!(go(1), go(2));
+    }
+}

@@ -1,0 +1,297 @@
+//! The topology-discovery tool.
+//!
+//! The paper deliberately abstracts the discovery mechanism (mtrace, SNMP,
+//! MHealth, mrtree, …): *"Our algorithm concerns itself only with the
+//! information and not how it was acquired."* What it does model is the
+//! information being **old**: Fig. 10 studies staleness from 2 s to 18 s.
+//!
+//! [`DiscoveryTool`] therefore archives ground-truth snapshots of the
+//! simulator's multicast state as they are captured and answers queries with
+//! the newest snapshot at least `staleness` old — a delayed oracle, which is
+//! exactly the paper's model of an imperfect tool.
+
+use netsim::sim::Network;
+use netsim::{DirLinkId, GroupId, GroupSnapshot, NodeId, SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// A directed link as seen by the discovery tool (no capacity: the paper
+/// assumes link capacities are *not* available and must be estimated).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkView {
+    pub id: DirLinkId,
+    pub from: NodeId,
+    pub to: NodeId,
+}
+
+/// One snapshot of the domain: physical links plus every group's
+/// distribution tree and membership.
+#[derive(Clone, Debug)]
+pub struct TopologyView {
+    /// When the snapshot was taken.
+    pub time: SimTime,
+    /// All directed links in the domain.
+    pub links: Vec<LinkView>,
+    /// Per-group distribution state.
+    pub groups: Vec<GroupSnapshot>,
+}
+
+impl TopologyView {
+    /// Capture the ground truth right now.
+    pub fn capture(net: &Network, now: SimTime) -> Self {
+        let links = (0..net.link_count() as u32)
+            .map(|i| {
+                let id = DirLinkId(i);
+                LinkView { id, from: net.link_tail(id), to: net.link_head(id) }
+            })
+            .collect();
+        TopologyView { time: now, links, groups: net.multicast_snapshot() }
+    }
+
+    /// The snapshot of one group, if it exists.
+    pub fn group(&self, g: GroupId) -> Option<&GroupSnapshot> {
+        self.groups.iter().find(|s| s.group == g)
+    }
+
+    /// Endpoints of a directed link.
+    pub fn link(&self, id: DirLinkId) -> Option<LinkView> {
+        self.links.iter().copied().find(|l| l.id == id)
+    }
+
+    /// Restrict the view to one administrative domain (the paper's Fig. 3:
+    /// "multiple controller agents, each concerned with one particular
+    /// administrative domain", each unaware of the others).
+    ///
+    /// Links with an endpoint outside `domain` disappear; each group's
+    /// member list is filtered; and the group root is re-based onto the
+    /// **domain ingress** — the node inside the domain through which the
+    /// session enters (the forest root whose subtree contains the domain's
+    /// members). A controller built on a restricted view manages only its
+    /// own subtree, exactly as the paper prescribes.
+    pub fn restrict(&self, domain: &std::collections::HashSet<NodeId>) -> TopologyView {
+        let links: Vec<LinkView> = self
+            .links
+            .iter()
+            .copied()
+            .filter(|l| domain.contains(&l.from) && domain.contains(&l.to))
+            .collect();
+        let kept: std::collections::HashSet<DirLinkId> = links.iter().map(|l| l.id).collect();
+        let groups = self
+            .groups
+            .iter()
+            .map(|g| {
+                let active_links: Vec<DirLinkId> =
+                    g.active_links.iter().copied().filter(|l| kept.contains(l)).collect();
+                let member_nodes: Vec<NodeId> =
+                    g.member_nodes.iter().copied().filter(|n| domain.contains(n)).collect();
+                let root = if domain.contains(&g.root) {
+                    g.root
+                } else {
+                    self.domain_ingress(&links, &active_links, &member_nodes)
+                        .unwrap_or(g.root)
+                };
+                netsim::GroupSnapshot { group: g.group, root, active_links, member_nodes }
+            })
+            .collect();
+        TopologyView { time: self.time, links, groups }
+    }
+
+    /// The forest root (a node with no retained in-link) whose subtree
+    /// contains a member, among the retained active links.
+    fn domain_ingress(
+        &self,
+        domain_links: &[LinkView],
+        active: &[DirLinkId],
+        members: &[NodeId],
+    ) -> Option<NodeId> {
+        let view_of =
+            |id: &DirLinkId| domain_links.iter().find(|l| l.id == *id).copied();
+        let heads: std::collections::HashSet<NodeId> =
+            active.iter().filter_map(view_of).map(|l| l.to).collect();
+        let mut candidates: Vec<NodeId> = active
+            .iter()
+            .filter_map(view_of)
+            .map(|l| l.from)
+            .filter(|n| !heads.contains(n))
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        // BFS each candidate's component; pick the one that reaches a member.
+        for &cand in &candidates {
+            let mut seen = std::collections::HashSet::from([cand]);
+            let mut queue = std::collections::VecDeque::from([cand]);
+            while let Some(n) = queue.pop_front() {
+                if members.contains(&n) {
+                    return Some(cand);
+                }
+                for l in active.iter().filter_map(view_of) {
+                    if l.from == n && seen.insert(l.to) {
+                        queue.push_back(l.to);
+                    }
+                }
+            }
+        }
+        // No active links inside the domain yet: a lone member is its own
+        // ingress.
+        members.first().copied()
+    }
+}
+
+/// Archives snapshots and serves them with a staleness delay.
+pub struct DiscoveryTool {
+    staleness: SimDuration,
+    history: VecDeque<TopologyView>,
+    max_history: usize,
+}
+
+impl DiscoveryTool {
+    /// `staleness` is the minimum age of any served snapshot; zero gives an
+    /// instantaneous oracle (the paper's baseline premise, which it calls
+    /// "clearly unrealistic").
+    pub fn new(staleness: SimDuration) -> Self {
+        DiscoveryTool { staleness, history: VecDeque::new(), max_history: 64 }
+    }
+
+    /// The configured staleness.
+    pub fn staleness(&self) -> SimDuration {
+        self.staleness
+    }
+
+    /// Record a snapshot (call this periodically, e.g. once per controller
+    /// interval). Old snapshots beyond what staleness can ever need are
+    /// discarded.
+    pub fn record(&mut self, view: TopologyView) {
+        debug_assert!(
+            self.history.back().is_none_or(|v| v.time <= view.time),
+            "snapshots must be recorded in time order"
+        );
+        self.history.push_back(view);
+        while self.history.len() > self.max_history {
+            self.history.pop_front();
+        }
+    }
+
+    /// The newest snapshot taken at or before `now - staleness`.
+    ///
+    /// Returns `None` when the tool has not been running long enough —
+    /// early in a session even a perfect tool has produced nothing yet.
+    pub fn query(&self, now: SimTime) -> Option<&TopologyView> {
+        let cutoff = now.saturating_sub(self.staleness);
+        self.history.iter().rev().find(|v| v.time <= cutoff)
+    }
+
+    /// Number of archived snapshots.
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view_at(secs: u64) -> TopologyView {
+        TopologyView { time: SimTime::from_secs(secs), links: Vec::new(), groups: Vec::new() }
+    }
+
+    #[test]
+    fn zero_staleness_serves_newest() {
+        let mut d = DiscoveryTool::new(SimDuration::ZERO);
+        d.record(view_at(1));
+        d.record(view_at(2));
+        d.record(view_at(3));
+        let v = d.query(SimTime::from_secs(3)).unwrap();
+        assert_eq!(v.time, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn staleness_delays_the_view() {
+        let mut d = DiscoveryTool::new(SimDuration::from_secs(4));
+        for s in [0u64, 2, 4, 6, 8, 10] {
+            d.record(view_at(s));
+        }
+        // At t=10, only snapshots taken at or before t=6 may be served.
+        let v = d.query(SimTime::from_secs(10)).unwrap();
+        assert_eq!(v.time, SimTime::from_secs(6));
+    }
+
+    #[test]
+    fn too_early_returns_none() {
+        let mut d = DiscoveryTool::new(SimDuration::from_secs(10));
+        d.record(view_at(2));
+        assert!(d.query(SimTime::from_secs(5)).is_none());
+        // Eventually the old snapshot becomes servable.
+        assert!(d.query(SimTime::from_secs(12)).is_some());
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut d = DiscoveryTool::new(SimDuration::ZERO);
+        for s in 0..200 {
+            d.record(view_at(s));
+        }
+        assert!(d.history_len() <= 64);
+        // Newest snapshots survive the trimming.
+        assert_eq!(d.query(SimTime::from_secs(500)).unwrap().time, SimTime::from_secs(199));
+    }
+
+    #[test]
+    fn empty_tool_returns_none() {
+        let d = DiscoveryTool::new(SimDuration::ZERO);
+        assert!(d.query(SimTime::from_secs(100)).is_none());
+    }
+
+    /// Chain 0 -> 1 -> 2 -> 3 with members at 2 and 3; domain = {2, 3}.
+    fn spanning_view() -> TopologyView {
+        let n = |i: u32| NodeId(i);
+        let l = |i: u32| DirLinkId(i);
+        TopologyView {
+            time: SimTime::ZERO,
+            links: vec![
+                LinkView { id: l(0), from: n(0), to: n(1) },
+                LinkView { id: l(1), from: n(1), to: n(2) },
+                LinkView { id: l(2), from: n(2), to: n(3) },
+            ],
+            groups: vec![netsim::GroupSnapshot {
+                group: GroupId(0),
+                root: n(0),
+                active_links: vec![l(0), l(1), l(2)],
+                member_nodes: vec![n(2), n(3)],
+            }],
+        }
+    }
+
+    #[test]
+    fn restrict_rebases_the_root_on_the_domain_ingress() {
+        let view = spanning_view();
+        let domain = std::collections::HashSet::from([NodeId(2), NodeId(3)]);
+        let r = view.restrict(&domain);
+        // Only the 2 -> 3 link survives.
+        assert_eq!(r.links.len(), 1);
+        assert_eq!(r.links[0].id, DirLinkId(2));
+        let g = &r.groups[0];
+        assert_eq!(g.active_links, vec![DirLinkId(2)]);
+        assert_eq!(g.member_nodes, vec![NodeId(2), NodeId(3)]);
+        // The ingress (node 2) becomes the domain-local root.
+        assert_eq!(g.root, NodeId(2));
+    }
+
+    #[test]
+    fn restrict_keeps_the_root_when_it_is_inside() {
+        let view = spanning_view();
+        let domain =
+            std::collections::HashSet::from([NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        let r = view.restrict(&domain);
+        assert_eq!(r.groups[0].root, NodeId(0));
+        assert_eq!(r.links.len(), 3);
+    }
+
+    #[test]
+    fn restrict_with_no_active_links_uses_a_member_as_ingress() {
+        let mut view = spanning_view();
+        view.groups[0].active_links.clear();
+        let domain = std::collections::HashSet::from([NodeId(3)]);
+        let r = view.restrict(&domain);
+        assert_eq!(r.groups[0].root, NodeId(3));
+        assert!(r.links.is_empty());
+    }
+}

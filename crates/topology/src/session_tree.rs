@@ -1,0 +1,181 @@
+//! Per-session overlay trees.
+//!
+//! A *multicast session* is a set of layers on different multicast groups;
+//! its *session topology* is the overlay of the per-layer distribution
+//! trees. Because layers are cumulative (a receiver of layer *i* also
+//! receives layers `0..i`), the overlay is itself a tree, rooted at the
+//! source — the structure every TopoSense stage operates on.
+
+use crate::discovery::TopologyView;
+use crate::tree::{Tree, TreeError};
+use netsim::{DirLinkId, GroupId, NodeId, SessionId};
+use std::collections::HashMap;
+
+/// The overlay of one session's per-layer trees.
+#[derive(Clone, Debug)]
+pub struct SessionTree {
+    session: SessionId,
+    tree: Tree,
+    /// Highest layer index crossing the edge *into* each non-root node.
+    max_layer_in: HashMap<NodeId, u8>,
+    /// The directed link carrying the session into each non-root node.
+    in_link: HashMap<NodeId, DirLinkId>,
+}
+
+impl SessionTree {
+    /// Build from a discovery snapshot.
+    ///
+    /// `groups[k]` must be the group carrying layer `k` of `session`; the
+    /// session root is taken from the base-layer group. Links active for a
+    /// higher layer but not the base layer still enter the overlay (this can
+    /// happen transiently while prunes are in flight).
+    pub fn build(
+        view: &TopologyView,
+        session: SessionId,
+        groups: &[GroupId],
+    ) -> Result<Self, TreeError> {
+        assert!(!groups.is_empty(), "a session needs at least a base layer");
+        let root = view
+            .group(groups[0])
+            .map(|g| g.root)
+            .expect("base-layer group missing from topology view");
+
+        let mut max_layer_in: HashMap<NodeId, u8> = HashMap::new();
+        let mut in_link: HashMap<NodeId, DirLinkId> = HashMap::new();
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for (layer, &gid) in groups.iter().enumerate() {
+            let Some(snap) = view.group(gid) else { continue };
+            for &lid in &snap.active_links {
+                let lv = view.link(lid).expect("group active on unknown link");
+                match max_layer_in.entry(lv.to) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(layer as u8);
+                        in_link.insert(lv.to, lid);
+                        edges.push((lv.from, lv.to));
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let cur = e.get_mut();
+                        *cur = (*cur).max(layer as u8);
+                    }
+                }
+            }
+        }
+        let tree = Tree::from_edges(root, &edges)?;
+        Ok(SessionTree { session, tree, max_layer_in, in_link })
+    }
+
+    /// Which session this tree describes.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// The overlay tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Highest layer crossing the edge into `node` (`None` for the root).
+    pub fn max_layer_into(&self, node: NodeId) -> Option<u8> {
+        self.max_layer_in.get(&node).copied()
+    }
+
+    /// The directed link carrying the session into `node` (`None` for the
+    /// root).
+    pub fn in_link(&self, node: NodeId) -> Option<DirLinkId> {
+        self.in_link.get(&node).copied()
+    }
+
+    /// Iterate `(node, incoming link, max layer)` over all non-root nodes.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, DirLinkId, u8)> + '_ {
+        self.tree.top_down().filter_map(move |n| {
+            let l = self.in_link.get(&n)?;
+            Some((n, *l, self.max_layer_in[&n]))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discovery::LinkView;
+    use netsim::{GroupSnapshot, SimTime};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+    fn l(i: u32) -> DirLinkId {
+        DirLinkId(i)
+    }
+
+    /// Chain src(0) -> a(1) -> b(2); directed links 0: 0->1, 2: 1->2 (odd
+    /// ids are the reverse directions).
+    fn view(groups: Vec<GroupSnapshot>) -> TopologyView {
+        TopologyView {
+            time: SimTime::ZERO,
+            links: vec![
+                LinkView { id: l(0), from: n(0), to: n(1) },
+                LinkView { id: l(1), from: n(1), to: n(0) },
+                LinkView { id: l(2), from: n(1), to: n(2) },
+                LinkView { id: l(3), from: n(2), to: n(1) },
+            ],
+            groups,
+        }
+    }
+
+    fn snap(g: u32, links: Vec<DirLinkId>, members: Vec<NodeId>) -> GroupSnapshot {
+        GroupSnapshot { group: GroupId(g), root: n(0), active_links: links, member_nodes: members }
+    }
+
+    #[test]
+    fn overlay_takes_max_layer_per_edge() {
+        // Layer 0 reaches node 2; layer 1 stops at node 1.
+        let v = view(vec![
+            snap(0, vec![l(0), l(2)], vec![n(1), n(2)]),
+            snap(1, vec![l(0)], vec![n(1)]),
+        ]);
+        let st = SessionTree::build(&v, SessionId(0), &[GroupId(0), GroupId(1)]).unwrap();
+        assert_eq!(st.tree().len(), 3);
+        assert_eq!(st.max_layer_into(n(1)), Some(1));
+        assert_eq!(st.max_layer_into(n(2)), Some(0));
+        assert_eq!(st.max_layer_into(n(0)), None);
+        assert_eq!(st.in_link(n(2)), Some(l(2)));
+    }
+
+    #[test]
+    fn empty_session_is_root_only() {
+        let v = view(vec![snap(0, vec![], vec![])]);
+        let st = SessionTree::build(&v, SessionId(0), &[GroupId(0)]).unwrap();
+        assert_eq!(st.tree().len(), 1);
+        assert_eq!(st.tree().root(), n(0));
+        assert_eq!(st.edges().count(), 0);
+    }
+
+    #[test]
+    fn higher_layer_only_link_still_enters_overlay() {
+        // Transient state: layer 1 active on 1->2 while layer 0 already
+        // pruned there.
+        let v = view(vec![
+            snap(0, vec![l(0)], vec![n(1)]),
+            snap(1, vec![l(0), l(2)], vec![n(1)]),
+        ]);
+        let st = SessionTree::build(&v, SessionId(0), &[GroupId(0), GroupId(1)]).unwrap();
+        assert_eq!(st.max_layer_into(n(2)), Some(1));
+        assert_eq!(st.tree().len(), 3);
+    }
+
+    #[test]
+    fn missing_higher_group_is_tolerated() {
+        let v = view(vec![snap(0, vec![l(0)], vec![n(1)])]);
+        // Group 9 not in the view at all (e.g. never announced).
+        let st = SessionTree::build(&v, SessionId(0), &[GroupId(0), GroupId(9)]).unwrap();
+        assert_eq!(st.max_layer_into(n(1)), Some(0));
+    }
+
+    #[test]
+    fn edges_iterates_top_down() {
+        let v = view(vec![snap(0, vec![l(0), l(2)], vec![n(2)])]);
+        let st = SessionTree::build(&v, SessionId(0), &[GroupId(0)]).unwrap();
+        let es: Vec<(NodeId, DirLinkId, u8)> = st.edges().collect();
+        assert_eq!(es, vec![(n(1), l(0), 0), (n(2), l(2), 0)]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Declarative topology descriptions.
+//!
+//! A [`TopoSpec`] is a plain description of nodes, roles, and links that can
+//! be instantiated into a live [`netsim::Simulator`]. Keeping the
+//! description separate from the simulator lets generators, tests, and the
+//! oracle baseline all reason about the *intended* topology (including true
+//! link capacities, which the running TopoSense controller is not allowed to
+//! see).
+
+use netsim::sim::{NetworkBuilder, SimConfig, Simulator};
+use netsim::{DirLinkId, LinkConfig, NodeId};
+
+/// What an instantiated node will host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeRole {
+    /// Pure router, no agents.
+    Router,
+    /// Hosts the source of `session`.
+    Source { session: u32 },
+    /// Hosts one receiver of `session`; `set` groups receivers that share a
+    /// bandwidth constraint (Topology A has two sets).
+    Receiver { session: u32, set: u32 },
+    /// Hosts the controller agent.
+    Controller,
+}
+
+/// One node of the spec.
+#[derive(Clone, Debug)]
+pub struct NodeSpec {
+    pub label: String,
+    pub roles: Vec<NodeRole>,
+}
+
+/// One duplex link of the spec, indexing into [`TopoSpec::nodes`].
+#[derive(Clone, Copy, Debug)]
+pub struct LinkSpec {
+    pub a: usize,
+    pub b: usize,
+    pub config: LinkConfig,
+}
+
+/// A whole topology with roles.
+#[derive(Clone, Debug)]
+pub struct TopoSpec {
+    pub name: String,
+    pub nodes: Vec<NodeSpec>,
+    pub links: Vec<LinkSpec>,
+}
+
+/// A spec instantiated into a simulator.
+pub struct Built {
+    pub sim: Simulator,
+    /// Spec node index -> simulator node id.
+    pub node_ids: Vec<NodeId>,
+    /// Spec link index -> the two directed halves `(a->b, b->a)`.
+    pub link_ids: Vec<(DirLinkId, DirLinkId)>,
+}
+
+impl TopoSpec {
+    pub fn new(name: impl Into<String>) -> Self {
+        TopoSpec { name: name.into(), nodes: Vec::new(), links: Vec::new() }
+    }
+
+    /// Add a node; returns its spec index.
+    pub fn node(&mut self, label: impl Into<String>, roles: Vec<NodeRole>) -> usize {
+        self.nodes.push(NodeSpec { label: label.into(), roles });
+        self.nodes.len() - 1
+    }
+
+    /// Add a duplex link between spec nodes `a` and `b`.
+    pub fn link(&mut self, a: usize, b: usize, config: LinkConfig) -> usize {
+        assert!(a < self.nodes.len() && b < self.nodes.len(), "link endpoint out of range");
+        self.links.push(LinkSpec { a, b, config });
+        self.links.len() - 1
+    }
+
+    /// Source nodes: `(spec index, session)`.
+    pub fn sources(&self) -> Vec<(usize, u32)> {
+        self.roles_of(|r| match r {
+            NodeRole::Source { session } => Some(session),
+            _ => None,
+        })
+    }
+
+    /// Receiver nodes: `(spec index, (session, set))`.
+    pub fn receivers(&self) -> Vec<(usize, (u32, u32))> {
+        self.roles_of(|r| match r {
+            NodeRole::Receiver { session, set } => Some((session, set)),
+            _ => None,
+        })
+    }
+
+    /// The controller's spec index (panics if absent or duplicated).
+    pub fn controller(&self) -> usize {
+        let v = self.roles_of(|r| if r == NodeRole::Controller { Some(()) } else { None });
+        assert_eq!(v.len(), 1, "expected exactly one controller, found {}", v.len());
+        v[0].0
+    }
+
+    /// Number of distinct sessions mentioned by sources.
+    pub fn session_count(&self) -> usize {
+        let mut ids: Vec<u32> = self.sources().into_iter().map(|(_, s)| s).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    fn roles_of<T>(&self, mut f: impl FnMut(NodeRole) -> Option<T>) -> Vec<(usize, T)> {
+        let mut out = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            for &r in &n.roles {
+                if let Some(t) = f(r) {
+                    out.push((i, t));
+                }
+            }
+        }
+        out
+    }
+
+    /// Instantiate into a simulator.
+    pub fn instantiate(&self, cfg: SimConfig) -> Built {
+        let mut b = NetworkBuilder::new(cfg);
+        let node_ids: Vec<NodeId> =
+            self.nodes.iter().map(|n| b.add_node(n.label.clone())).collect();
+        let link_ids: Vec<(DirLinkId, DirLinkId)> = self
+            .links
+            .iter()
+            .map(|l| b.add_link(node_ids[l.a], node_ids[l.b], l.config))
+            .collect();
+        Built { sim: b.build(), node_ids, link_ids }
+    }
+
+    /// Replace the queue discipline on every link (ablation knob for
+    /// drop-tail vs. layer-priority dropping).
+    pub fn with_discipline_everywhere(mut self, d: netsim::QueueDiscipline) -> Self {
+        for l in &mut self.links {
+            l.config.discipline = d;
+        }
+        self
+    }
+
+    /// The true capacity (bits/s) of the directed link `a -> b` between two
+    /// spec nodes, if such a link exists. Used by the oracle, never by the
+    /// controller.
+    pub fn capacity_between(&self, a: usize, b: usize) -> Option<f64> {
+        self.links
+            .iter()
+            .find(|l| (l.a == a && l.b == b) || (l.a == b && l.b == a))
+            .map(|l| l.config.bandwidth_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TopoSpec {
+        let mut s = TopoSpec::new("tiny");
+        let src = s.node("src", vec![NodeRole::Source { session: 0 }, NodeRole::Controller]);
+        let mid = s.node("mid", vec![NodeRole::Router]);
+        let rcv = s.node("rcv", vec![NodeRole::Receiver { session: 0, set: 0 }]);
+        s.link(src, mid, LinkConfig::kbps(1000.0));
+        s.link(mid, rcv, LinkConfig::kbps(100.0));
+        s
+    }
+
+    #[test]
+    fn role_queries() {
+        let s = tiny();
+        assert_eq!(s.sources(), vec![(0, 0)]);
+        assert_eq!(s.receivers(), vec![(2, (0, 0))]);
+        assert_eq!(s.controller(), 0);
+        assert_eq!(s.session_count(), 1);
+    }
+
+    #[test]
+    fn instantiation_maps_indices() {
+        let s = tiny();
+        let built = s.instantiate(SimConfig::default());
+        assert_eq!(built.node_ids.len(), 3);
+        assert_eq!(built.link_ids.len(), 2);
+        let net = built.sim.network();
+        assert_eq!(net.node_count(), 3);
+        assert_eq!(net.link_count(), 4); // 2 duplex links
+        assert_eq!(net.node_label(built.node_ids[0]), "src");
+        // Directed halves point the right way.
+        let (ab, ba) = built.link_ids[1];
+        assert_eq!(net.link_tail(ab), built.node_ids[1]);
+        assert_eq!(net.link_head(ab), built.node_ids[2]);
+        assert_eq!(net.link_tail(ba), built.node_ids[2]);
+    }
+
+    #[test]
+    fn capacity_lookup_is_direction_agnostic() {
+        let s = tiny();
+        assert_eq!(s.capacity_between(1, 2), Some(100_000.0));
+        assert_eq!(s.capacity_between(2, 1), Some(100_000.0));
+        assert_eq!(s.capacity_between(0, 2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one controller")]
+    fn missing_controller_panics() {
+        let mut s = TopoSpec::new("none");
+        s.node("a", vec![NodeRole::Router]);
+        let _ = s.controller();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_link_panics() {
+        let mut s = TopoSpec::new("bad");
+        let a = s.node("a", vec![]);
+        s.link(a, 5, LinkConfig::kbps(10.0));
+    }
+}

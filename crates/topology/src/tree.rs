@@ -1,0 +1,341 @@
+//! Rooted trees over simulator nodes.
+//!
+//! Every stage of the TopoSense algorithm is a pass over a tree: congestion
+//! states and demands flow **bottom-up**, bottleneck bandwidths and supplies
+//! flow **top-down**. [`Tree`] stores nodes in BFS order so both passes are
+//! simple slice iterations.
+
+use netsim::NodeId;
+use std::collections::HashMap;
+
+/// A rooted tree over [`NodeId`]s.
+#[derive(Clone, Debug)]
+pub struct Tree {
+    root: NodeId,
+    /// Nodes in BFS order from the root (root first).
+    order: Vec<NodeId>,
+    parent: HashMap<NodeId, NodeId>,
+    children: HashMap<NodeId, Vec<NodeId>>,
+}
+
+/// Error building a tree from an edge list.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TreeError {
+    /// A node was given two parents.
+    TwoParents(NodeId),
+    /// The root has an incoming edge.
+    RootHasParent,
+    /// An edge's parent is not reachable from the root (cycle or orphan).
+    Disconnected(NodeId),
+}
+
+impl Tree {
+    /// Build from `(parent, child)` edges rooted at `root`.
+    ///
+    /// Edges whose parent is unreachable from the root produce
+    /// [`TreeError::Disconnected`]; duplicate parents produce
+    /// [`TreeError::TwoParents`]. A root-only tree (no edges) is valid.
+    pub fn from_edges(root: NodeId, edges: &[(NodeId, NodeId)]) -> Result<Self, TreeError> {
+        let mut parent = HashMap::with_capacity(edges.len());
+        let mut children: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for &(p, c) in edges {
+            if c == root {
+                return Err(TreeError::RootHasParent);
+            }
+            if parent.insert(c, p).is_some() {
+                return Err(TreeError::TwoParents(c));
+            }
+            children.entry(p).or_default().push(c);
+        }
+        // BFS to establish order and check connectivity.
+        let mut order = Vec::with_capacity(edges.len() + 1);
+        order.push(root);
+        let mut i = 0;
+        while i < order.len() {
+            let n = order[i];
+            i += 1;
+            if let Some(cs) = children.get(&n) {
+                order.extend(cs.iter().copied());
+            }
+        }
+        if order.len() != edges.len() + 1 {
+            // Some edge's subtree never got visited.
+            let unreachable = edges
+                .iter()
+                .map(|&(_, c)| c)
+                .find(|c| !order.contains(c))
+                .expect("count mismatch implies an unreachable child");
+            return Err(TreeError::Disconnected(unreachable));
+        }
+        Ok(Tree { root, order, parent, children })
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes (including the root).
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True for a root-only tree.
+    pub fn is_empty(&self) -> bool {
+        self.order.len() == 1
+    }
+
+    /// Whether `node` is in the tree.
+    pub fn contains(&self, node: NodeId) -> bool {
+        node == self.root || self.parent.contains_key(&node)
+    }
+
+    /// The parent of `node` (`None` for the root or unknown nodes).
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.parent.get(&node).copied()
+    }
+
+    /// The children of `node`.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        self.children.get(&node).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// True when `node` has no children.
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        self.children(node).is_empty()
+    }
+
+    /// Nodes in BFS order, root first (the **top-down** pass order).
+    pub fn top_down(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// Nodes in reverse BFS order, leaves first (the **bottom-up** pass
+    /// order: every child is visited before its parent).
+    pub fn bottom_up(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.order.iter().rev().copied()
+    }
+
+    /// All leaves, in BFS order.
+    pub fn leaves(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.order.iter().copied().filter(|&n| self.is_leaf(n))
+    }
+
+    /// Leaves of the subtree rooted at `node`.
+    pub fn subtree_leaves(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            if self.is_leaf(n) {
+                out.push(n);
+            } else {
+                stack.extend(self.children(n).iter().copied());
+            }
+        }
+        out
+    }
+
+    /// All nodes of the subtree rooted at `node` (including `node`).
+    pub fn subtree(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            stack.extend(self.children(n).iter().copied());
+        }
+        out
+    }
+
+    /// Hop depth of `node` below the root (root = 0).
+    pub fn depth(&self, node: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// The path of nodes from the root to `node` (inclusive at both ends).
+    pub fn path_from_root(&self, node: NodeId) -> Vec<NodeId> {
+        let mut path = vec![node];
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Whether `ancestor` lies on the path from the root to `node`
+    /// (a node is its own ancestor).
+    pub fn is_ancestor(&self, ancestor: NodeId, node: NodeId) -> bool {
+        let mut cur = Some(node);
+        while let Some(n) = cur {
+            if n == ancestor {
+                return true;
+            }
+            cur = self.parent(n);
+        }
+        false
+    }
+
+    /// Lowest common ancestor of two nodes (both must be in the tree).
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let path_a = self.path_from_root(a);
+        let path_b = self.path_from_root(b);
+        let mut last = self.root;
+        for (&x, &y) in path_a.iter().zip(path_b.iter()) {
+            if x == y {
+                last = x;
+            } else {
+                break;
+            }
+        }
+        last
+    }
+
+    /// Graphviz DOT rendering (debugging aid); `label` decorates each node.
+    pub fn to_dot(&self, mut label: impl FnMut(NodeId) -> String) -> String {
+        let mut out = String::from("digraph tree {\n  rankdir=TB;\n");
+        for n in self.top_down() {
+            out.push_str(&format!("  n{} [label=\"{}\"];\n", n.0, label(n)));
+        }
+        for n in self.top_down() {
+            if let Some(p) = self.parent(n) {
+                out.push_str(&format!("  n{} -> n{};\n", p.0, n.0));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// The Fig. 1 tree: 0 -> 1, 1 -> {2, 5}, 2 -> {3, 4}.
+    fn fig1() -> Tree {
+        Tree::from_edges(
+            n(0),
+            &[(n(0), n(1)), (n(1), n(2)), (n(1), n(5)), (n(2), n(3)), (n(2), n(4))],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn structure_queries() {
+        let t = fig1();
+        assert_eq!(t.root(), n(0));
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.parent(n(3)), Some(n(2)));
+        assert_eq!(t.parent(n(0)), None);
+        assert_eq!(t.children(n(1)), &[n(2), n(5)]);
+        assert!(t.is_leaf(n(5)));
+        assert!(!t.is_leaf(n(1)));
+        assert!(t.contains(n(4)));
+        assert!(!t.contains(n(9)));
+    }
+
+    #[test]
+    fn bfs_orders_are_consistent() {
+        let t = fig1();
+        let down: Vec<NodeId> = t.top_down().collect();
+        assert_eq!(down[0], n(0));
+        // Every parent precedes its children.
+        let pos: HashMap<NodeId, usize> = down.iter().enumerate().map(|(i, &x)| (x, i)).collect();
+        for &node in &down {
+            if let Some(p) = t.parent(node) {
+                assert!(pos[&p] < pos[&node]);
+            }
+        }
+        let up: Vec<NodeId> = t.bottom_up().collect();
+        let mut rev = down.clone();
+        rev.reverse();
+        assert_eq!(up, rev);
+    }
+
+    #[test]
+    fn leaves_and_subtrees() {
+        let t = fig1();
+        let leaves: Vec<NodeId> = t.leaves().collect();
+        assert_eq!(leaves, vec![n(5), n(3), n(4)]);
+        let mut sl = t.subtree_leaves(n(2));
+        sl.sort();
+        assert_eq!(sl, vec![n(3), n(4)]);
+        let mut sub = t.subtree(n(1));
+        sub.sort();
+        assert_eq!(sub, vec![n(1), n(2), n(3), n(4), n(5)]);
+    }
+
+    #[test]
+    fn depth_path_ancestor() {
+        let t = fig1();
+        assert_eq!(t.depth(n(0)), 0);
+        assert_eq!(t.depth(n(4)), 3);
+        assert_eq!(t.path_from_root(n(4)), vec![n(0), n(1), n(2), n(4)]);
+        assert!(t.is_ancestor(n(1), n(4)));
+        assert!(t.is_ancestor(n(4), n(4)));
+        assert!(!t.is_ancestor(n(5), n(4)));
+    }
+
+    #[test]
+    fn root_only_tree() {
+        let t = Tree::from_edges(n(7), &[]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.leaves().collect::<Vec<_>>(), vec![n(7)]);
+        assert!(t.is_leaf(n(7)));
+    }
+
+    #[test]
+    fn error_two_parents() {
+        let e = Tree::from_edges(n(0), &[(n(0), n(1)), (n(0), n(2)), (n(2), n(1))]);
+        assert_eq!(e.unwrap_err(), TreeError::TwoParents(n(1)));
+    }
+
+    #[test]
+    fn error_root_has_parent() {
+        let e = Tree::from_edges(n(0), &[(n(1), n(0))]);
+        assert_eq!(e.unwrap_err(), TreeError::RootHasParent);
+    }
+
+    #[test]
+    fn error_disconnected() {
+        let e = Tree::from_edges(n(0), &[(n(0), n(1)), (n(5), n(6))]);
+        assert_eq!(e.unwrap_err(), TreeError::Disconnected(n(6)));
+    }
+
+    #[test]
+    fn lca_queries() {
+        let t = fig1();
+        assert_eq!(t.lca(n(3), n(4)), n(2));
+        assert_eq!(t.lca(n(3), n(5)), n(1));
+        assert_eq!(t.lca(n(0), n(4)), n(0));
+        assert_eq!(t.lca(n(4), n(4)), n(4));
+    }
+
+    #[test]
+    fn dot_rendering_contains_every_edge() {
+        let t = fig1();
+        let dot = t.to_dot(|n| format!("node{}", n.0));
+        assert!(dot.starts_with("digraph tree {"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("n2 -> n4;"));
+        assert!(dot.contains("[label=\"node5\"]"));
+        assert_eq!(dot.matches("->").count(), 5);
+    }
+
+    #[test]
+    fn error_cycle_detected_as_disconnected() {
+        let e = Tree::from_edges(n(0), &[(n(1), n(2)), (n(2), n(1))]);
+        assert!(matches!(e.unwrap_err(), TreeError::TwoParents(_) | TreeError::Disconnected(_)));
+    }
+}

@@ -1,0 +1,547 @@
+//! The algorithm driver: wires the five stages together and owns every
+//! piece of state that persists across intervals (congestion histories,
+//! byte/supply windows, capacity estimates, backoff timers).
+//!
+//! [`AlgorithmState::run`] is a pure-ish function of its inputs: given the
+//! same sequence of `(trees, reports)` and the same seed it produces the
+//! same suggestions, which is what makes whole simulations reproducible.
+
+use crate::config::Config;
+use crate::history::BwEquality;
+use crate::stages::capacity::{CapacityEstimator, SessionLinkObs};
+use crate::stages::congestion::{self, LeafObs};
+use crate::stages::subscription::{self, BackoffTable, DemandContext, NodeInputs};
+use crate::stages::{bottleneck, sharing};
+use crate::history::CongestionHistory;
+use netsim::{AppId, DirLinkId, NodeId, RngStream, SessionId, SimDuration, SimTime};
+use std::collections::HashMap;
+use topology::SessionTree;
+use traffic::LayerSpec;
+
+/// One receiver's aggregated report for the interval.
+#[derive(Clone, Copy, Debug)]
+pub struct ReceiverReport {
+    pub receiver: AppId,
+    pub node: NodeId,
+    pub session: SessionId,
+    /// Subscription level during the window.
+    pub level: u8,
+    pub received: u64,
+    pub lost: u64,
+    pub bytes: u64,
+}
+
+impl ReceiverReport {
+    pub fn loss_rate(&self) -> f64 {
+        let expected = self.received + self.lost;
+        if expected == 0 {
+            0.0
+        } else {
+            self.lost as f64 / expected as f64
+        }
+    }
+}
+
+/// Everything one interval of the algorithm consumes.
+pub struct AlgorithmInputs<'a> {
+    pub now: SimTime,
+    /// Time since the previous run.
+    pub interval: SimDuration,
+    /// `trees[i]` describes session `i` (aligned with `specs`).
+    pub trees: &'a [SessionTree],
+    pub specs: &'a [&'a LayerSpec],
+    /// All receivers known to the controller (reporters or not).
+    pub registry: &'a [(AppId, NodeId, SessionId)],
+    /// The interval's reports.
+    pub reports: &'a [ReceiverReport],
+}
+
+/// A prescribed subscription level for one receiver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SuggestionOut {
+    pub receiver: AppId,
+    pub session: SessionId,
+    pub level: u8,
+}
+
+/// One interval's outputs plus diagnostics.
+#[derive(Clone, Debug, Default)]
+pub struct AlgorithmOutputs {
+    pub suggestions: Vec<SuggestionOut>,
+    /// Links with a finite capacity estimate after this run.
+    pub estimated_links: Vec<(DirLinkId, f64)>,
+    /// Nodes labelled congested this run (across sessions).
+    pub congested_nodes: usize,
+    /// Per-session supply at the root (levels) — the session-wide ceiling.
+    pub root_supply: Vec<u8>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct NodeMemory {
+    hist: CongestionHistory,
+    bytes_older: u64,
+    bytes_recent: u64,
+    supply_older: u8,
+    supply_recent: u8,
+    demand_prev: Option<u8>,
+}
+
+impl Default for NodeMemory {
+    fn default() -> Self {
+        NodeMemory {
+            hist: CongestionHistory::new(),
+            bytes_older: 0,
+            bytes_recent: 0,
+            supply_older: 1,
+            supply_recent: 1,
+            demand_prev: None,
+        }
+    }
+}
+
+/// The controller's persistent algorithm state.
+pub struct AlgorithmState {
+    cfg: Config,
+    rng: RngStream,
+    estimator: CapacityEstimator,
+    memories: HashMap<(SessionId, NodeId), NodeMemory>,
+    backoffs: HashMap<SessionId, BackoffTable>,
+    runs: u64,
+}
+
+impl AlgorithmState {
+    pub fn new(cfg: Config, seed: u64) -> Self {
+        cfg.validate();
+        AlgorithmState {
+            cfg,
+            rng: RngStream::derive(seed, "toposense/algorithm"),
+            estimator: CapacityEstimator::new(),
+            memories: HashMap::new(),
+            backoffs: HashMap::new(),
+            runs: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Number of completed runs.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Current capacity estimate for a link (diagnostics / tests).
+    pub fn capacity_estimate(&self, link: DirLinkId) -> Option<f64> {
+        self.estimator.capacity(link)
+    }
+
+    /// Run one interval of the five-stage algorithm.
+    pub fn run(&mut self, inputs: &AlgorithmInputs<'_>) -> AlgorithmOutputs {
+        assert_eq!(inputs.trees.len(), inputs.specs.len());
+        let cfg = self.cfg;
+
+        // Aggregate reports per (session, node): loss = min, bytes/level = max.
+        let mut obs: HashMap<(SessionId, NodeId), LeafObs> = HashMap::new();
+        for r in inputs.reports {
+            let e = obs.entry((r.session, r.node)).or_insert(LeafObs {
+                loss: f64::INFINITY,
+                bytes: 0,
+                level: 0,
+            });
+            e.loss = e.loss.min(r.loss_rate());
+            e.bytes = e.bytes.max(r.bytes);
+            e.level = e.level.max(r.level);
+        }
+
+        // Stage 1 per session, then update histories and byte windows.
+        let mut congested_nodes = 0;
+        let mut session_states = Vec::with_capacity(inputs.trees.len());
+        for tree in inputs.trees {
+            let sid = tree.session();
+            let session_obs: HashMap<NodeId, LeafObs> = obs
+                .iter()
+                .filter(|((s, _), _)| *s == sid)
+                .map(|(&(_, n), &o)| (n, o))
+                .collect();
+            let sc = congestion::compute(tree, &session_obs, &cfg);
+            for node in tree.tree().top_down() {
+                let st = sc.node(node);
+                congested_nodes += st.congested as usize;
+                let mem = self.memories.entry((sid, node)).or_default();
+                mem.hist.push(st.congested);
+                mem.bytes_older = mem.bytes_recent;
+                mem.bytes_recent = st.max_bytes;
+            }
+            session_states.push((sc, session_obs));
+        }
+
+        // Stage 2: capacity estimation over every link any session crosses.
+        let mut usage: HashMap<DirLinkId, Vec<SessionLinkObs>> = HashMap::new();
+        for (tree, (sc, _)) in inputs.trees.iter().zip(&session_states) {
+            for (node, link, _) in tree.edges() {
+                let st = sc.node(node);
+                usage.entry(link).or_default().push(SessionLinkObs {
+                    session: tree.session(),
+                    loss: st.loss,
+                    bytes: st.max_bytes,
+                });
+            }
+        }
+        self.estimator.update(inputs.now, inputs.interval, &usage, &cfg);
+
+        // Stage 3 per session.
+        let bottlenecks: Vec<_> = inputs
+            .trees
+            .iter()
+            .map(|t| bottleneck::compute(t, |l| self.estimator.capacity(l)))
+            .collect();
+
+        // Stage 4 across sessions.
+        let shares = sharing::compute(inputs.trees, inputs.specs, |l| self.estimator.capacity(l));
+
+        // Stage 5 per session.
+        let mut outputs = AlgorithmOutputs::default();
+        for (i, tree) in inputs.trees.iter().enumerate() {
+            let sid = tree.session();
+            let spec = inputs.specs[i];
+            let (sc, session_obs) = &session_states[i];
+
+            let mut node_inputs: HashMap<NodeId, NodeInputs> = HashMap::new();
+            for node in tree.tree().top_down() {
+                let st = sc.node(node);
+                let sibling_congested = tree
+                    .tree()
+                    .parent(node)
+                    .map(|p| {
+                        tree.tree()
+                            .children(p)
+                            .iter()
+                            .any(|&c| c != node && sc.node(c).congested)
+                    })
+                    .unwrap_or(false);
+                let mem = self.memories.get(&(sid, node)).copied().unwrap_or_default();
+                // Receivers that did not report this interval fall back to
+                // the subscription implied by the tree itself.
+                let reported = session_obs
+                    .get(&node)
+                    .map(|o| o.level)
+                    .or_else(|| tree.max_layer_into(node).map(|l| l + 1));
+                // Reports lag suggestions by up to an interval. While a node
+                // is clean, a reported level below our last supply is just
+                // that lag (the receiver is catching up to the suggestion),
+                // not a deliberate drop — trusting the stale value makes the
+                // controller re-suggest it and flap. Under congestion the
+                // report is authoritative (unilateral drops are real).
+                // The trust is bounded to one unreported step (`r + 1`):
+                // with a stale discovery tool the reports lag by much more
+                // than an interval, and trusting the full supply would let
+                // the controller climb on the echo of its own suggestions.
+                let current_level = reported.map(|r| {
+                    if st.congested || st.loss > cfg.p_threshold {
+                        r
+                    } else {
+                        r.max(mem.supply_recent.min(r + 1))
+                    }
+                });
+                node_inputs.insert(
+                    node,
+                    NodeInputs {
+                        hist: mem.hist,
+                        parent_congested: st.parent_congested,
+                        sibling_congested,
+                        bw: BwEquality::classify(
+                            mem.bytes_older,
+                            mem.bytes_recent,
+                            cfg.bw_equal_tolerance,
+                        ),
+                        loss: st.loss,
+                        supply_older: mem.supply_older,
+                        supply_recent: mem.supply_recent,
+                        demand_prev: mem.demand_prev,
+                        current_level,
+                        // Two-interval max: during a neighbour's transient
+                        // probe this interval's goodput dips, but the prior
+                        // interval still witnesses the sustainable level, so
+                        // innocent subtrees are not dragged down with the
+                        // prober (see reduce_target).
+                        goodput_bps: mem.bytes_recent.max(mem.bytes_older) as f64 * 8.0
+                            / inputs.interval.as_secs_f64().max(1e-9),
+                    },
+                );
+            }
+
+            let bneck = &bottlenecks[i];
+            let shares_ref = &shares;
+            let level_cap = |node: NodeId| {
+                let bw = shares_ref.allowed(i, node).min(bneck.max_handle(node));
+                spec.level_fitting(bw)
+            };
+            let level_cap: &dyn Fn(NodeId) -> u8 = &level_cap;
+
+            let ctx = DemandContext {
+                tree,
+                spec,
+                cfg: &cfg,
+                now: inputs.now,
+                inputs: &node_inputs,
+                level_cap,
+            };
+            let backoffs = self.backoffs.entry(sid).or_default();
+            // A receiver sitting below the level we last supplied while its
+            // loss is high just aborted a failed probe (possibly
+            // unilaterally, if our drop suggestion died at the congested
+            // link). Arm the backoff for the abandoned level here, because
+            // the decision table never will: by the time it runs, the
+            // receiver's current level already equals the reduced target.
+            for node in tree.tree().top_down() {
+                let Some(o) = session_obs.get(&node) else { continue };
+                let st = sc.node(node);
+                let mem = self.memories.get(&(sid, node)).copied().unwrap_or_default();
+                if st.loss > cfg.high_loss && o.level < mem.supply_recent {
+                    backoffs.arm(node, mem.supply_recent, inputs.now, &cfg, &mut self.rng);
+                }
+            }
+            let result = subscription::compute(&ctx, backoffs, &mut self.rng);
+
+            if std::env::var_os("TOPOSENSE_TRACE").is_some() {
+                let mut line = format!("t={:.0}s s{}:", inputs.now.as_secs_f64(), sid.0);
+                for node in tree.tree().top_down() {
+                    let inp = &node_inputs[&node];
+                    line.push_str(&format!(
+                        " n{}[h{:03b} loss={:.2} gp={:.0}k cur={:?} cap={} d={} s={}]",
+                        node.0,
+                        inp.hist.bits(),
+                        inp.loss,
+                        inp.goodput_bps / 1000.0,
+                        inp.current_level,
+                        level_cap(node),
+                        result.demand[&node],
+                        result.supply[&node],
+                    ));
+                }
+                eprintln!("{line}");
+            }
+
+            // Persist supply/demand windows.
+            for node in tree.tree().top_down() {
+                let mem = self.memories.entry((sid, node)).or_default();
+                mem.supply_older = mem.supply_recent;
+                mem.supply_recent = result.supply[&node];
+                mem.demand_prev = Some(result.demand[&node]);
+            }
+            outputs.root_supply.push(result.supply[&tree.tree().root()]);
+
+            // Suggestions for every registered receiver of this session
+            // whose node is in the (possibly stale) tree.
+            for &(app, node, rsid) in inputs.registry {
+                if rsid != sid {
+                    continue;
+                }
+                if let Some(&level) = result.supply.get(&node) {
+                    outputs.suggestions.push(SuggestionOut {
+                        receiver: app,
+                        session: sid,
+                        level: level.clamp(1, spec.max_level()),
+                    });
+                }
+            }
+        }
+
+        outputs.estimated_links = usage
+            .keys()
+            .filter_map(|&l| self.estimator.capacity(l).map(|c| (l, c)))
+            .collect();
+        outputs.estimated_links.sort_by_key(|&(l, _)| l);
+        outputs.congested_nodes = congested_nodes;
+        self.runs += 1;
+        outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{GroupId, GroupSnapshot};
+    use topology::discovery::{LinkView, TopologyView};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+    fn l(i: u32) -> DirLinkId {
+        DirLinkId(i)
+    }
+
+    /// One session: 0 -> 1 -> {2, 3}, receivers at 2 and 3.
+    fn one_session_tree() -> SessionTree {
+        let view = TopologyView {
+            time: SimTime::ZERO,
+            links: vec![
+                LinkView { id: l(0), from: n(0), to: n(1) },
+                LinkView { id: l(1), from: n(1), to: n(2) },
+                LinkView { id: l(2), from: n(1), to: n(3) },
+            ],
+            groups: vec![GroupSnapshot {
+                group: GroupId(0),
+                root: n(0),
+                active_links: vec![l(0), l(1), l(2)],
+                member_nodes: vec![n(2), n(3)],
+            }],
+        };
+        SessionTree::build(&view, SessionId(0), &[GroupId(0)]).unwrap()
+    }
+
+    fn report(app: u32, node: u32, level: u8, received: u64, lost: u64, bytes: u64) -> ReceiverReport {
+        ReceiverReport {
+            receiver: AppId(app),
+            node: n(node),
+            session: SessionId(0),
+            level,
+            received,
+            lost,
+            bytes,
+        }
+    }
+
+    fn run_once(
+        state: &mut AlgorithmState,
+        tree: &SessionTree,
+        spec: &LayerSpec,
+        reports: &[ReceiverReport],
+        now_secs: u64,
+    ) -> AlgorithmOutputs {
+        let registry = vec![
+            (AppId(10), n(2), SessionId(0)),
+            (AppId(11), n(3), SessionId(0)),
+        ];
+        let inputs = AlgorithmInputs {
+            now: SimTime::from_secs(now_secs),
+            interval: SimDuration::from_secs(2),
+            trees: std::slice::from_ref(tree),
+            specs: &[spec],
+            registry: &registry,
+            reports,
+        };
+        state.run(&inputs)
+    }
+
+    #[test]
+    fn clean_network_lets_receivers_explore() {
+        let tree = one_session_tree();
+        let spec = LayerSpec::paper_default();
+        let mut state = AlgorithmState::new(Config::default(), 7);
+        let reports =
+            vec![report(10, 2, 2, 100, 0, 24_000), report(11, 3, 2, 100, 0, 24_000)];
+        // First runs settle the supply history at the current level; the
+        // add-layer rule requires two stable runs before exploring.
+        let _ = run_once(&mut state, &tree, &spec, &reports, 2);
+        let _ = run_once(&mut state, &tree, &spec, &reports, 4);
+        let out = run_once(&mut state, &tree, &spec, &reports, 6);
+        assert_eq!(out.suggestions.len(), 2);
+        for s in &out.suggestions {
+            assert_eq!(s.level, 3, "uncongested, settled receivers step up one layer");
+        }
+        assert!(out.estimated_links.is_empty());
+        assert_eq!(out.congested_nodes, 0);
+    }
+
+    #[test]
+    fn shared_loss_reduces_supply_without_estimating_private_links() {
+        let tree = one_session_tree();
+        let spec = LayerSpec::paper_default();
+        let mut state = AlgorithmState::new(Config::default(), 7);
+        // Both receivers at level 3 with ~30% similar loss on a
+        // single-session tree: the links carry only one session, so (per
+        // Fig. 4: estimates are for *shared* links) no capacity estimate is
+        // set — control comes from the congestion states instead.
+        let reports = vec![
+            report(10, 2, 3, 70, 30, 37_500), // 37.5 kB / 2 s = 150 kb/s
+            report(11, 3, 3, 72, 28, 37_500),
+        ];
+        let out = run_once(&mut state, &tree, &spec, &reports, 2);
+        assert!(out.congested_nodes > 0);
+        assert_eq!(state.capacity_estimate(l(0)), None, "single-session link");
+        // The congested subtree root reduces; goodput (150 kb/s -> 2 layers)
+        // floors the reduction, so suggestions land exactly on 2.
+        for s in &out.suggestions {
+            assert_eq!(s.level, 2, "expected the goodput-floored level");
+        }
+    }
+
+    #[test]
+    fn suggestions_address_registered_receivers() {
+        let tree = one_session_tree();
+        let spec = LayerSpec::paper_default();
+        let mut state = AlgorithmState::new(Config::default(), 7);
+        let reports = vec![report(10, 2, 1, 10, 0, 2500)];
+        let out = run_once(&mut state, &tree, &spec, &reports, 2);
+        let who: Vec<AppId> = out.suggestions.iter().map(|s| s.receiver).collect();
+        // Both registered receivers get suggestions (node 3 is in the tree
+        // even without a report this interval).
+        assert!(who.contains(&AppId(10)));
+        assert!(who.contains(&AppId(11)));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_output() {
+        let tree = one_session_tree();
+        let spec = LayerSpec::paper_default();
+        let go = || {
+            let mut state = AlgorithmState::new(Config::default(), 99);
+            let mut outs = Vec::new();
+            for t in 1..10u64 {
+                let reports = vec![
+                    report(10, 2, 2, 80, (t % 3) * 10, 20_000),
+                    report(11, 3, 2, 80, 5, 20_000),
+                ];
+                outs.push(run_once(&mut state, &tree, &spec, &reports, 2 * t).suggestions);
+            }
+            outs
+        };
+        assert_eq!(go(), go());
+    }
+
+    #[test]
+    fn run_counter_increments() {
+        let tree = one_session_tree();
+        let spec = LayerSpec::paper_default();
+        let mut state = AlgorithmState::new(Config::default(), 1);
+        assert_eq!(state.runs(), 0);
+        run_once(&mut state, &tree, &spec, &[], 2);
+        run_once(&mut state, &tree, &spec, &[], 4);
+        assert_eq!(state.runs(), 2);
+    }
+
+    #[test]
+    fn empty_tree_session_produces_no_suggestions() {
+        // Session with no receivers: root-only tree.
+        let view = TopologyView {
+            time: SimTime::ZERO,
+            links: vec![LinkView { id: l(0), from: n(0), to: n(1) }],
+            groups: vec![GroupSnapshot {
+                group: GroupId(0),
+                root: n(0),
+                active_links: vec![],
+                member_nodes: vec![],
+            }],
+        };
+        let tree = SessionTree::build(&view, SessionId(0), &[GroupId(0)]).unwrap();
+        let spec = LayerSpec::paper_default();
+        let mut state = AlgorithmState::new(Config::default(), 1);
+        let inputs = AlgorithmInputs {
+            now: SimTime::from_secs(2),
+            interval: SimDuration::from_secs(2),
+            trees: std::slice::from_ref(&tree),
+            specs: &[&spec],
+            registry: &[(AppId(10), n(2), SessionId(0))],
+            reports: &[],
+        };
+        let out = state.run(&inputs);
+        // Receiver's node is not in the stale tree: no suggestion for it.
+        assert!(out.suggestions.is_empty());
+        // A subscriber-less session still reports a root supply (its value
+        // is inconsequential — there is nobody to suggest anything to).
+        assert_eq!(out.root_supply.len(), 1);
+    }
+}

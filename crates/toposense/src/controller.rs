@@ -1,0 +1,379 @@
+//! The per-domain controller agent.
+//!
+//! The controller is an ordinary application on an ordinary node (the paper
+//! stations it at a source node, so its suggestion traffic shares links —
+//! and fate — with the media). Every interval it:
+//!
+//! 1. records a ground-truth topology snapshot into its [`DiscoveryTool`]
+//!    and queries the tool back — receiving a snapshot at least
+//!    `staleness` old, which is the paper's model of real discovery tools;
+//! 2. overlays the per-layer trees into per-session [`SessionTree`]s;
+//! 3. runs the five-stage algorithm over the trees and the receivers'
+//!    accumulated loss reports;
+//! 4. unicasts a [`Suggestion`] to every registered receiver.
+
+use crate::algorithm::{AlgorithmInputs, AlgorithmOutputs, AlgorithmState, ReceiverReport};
+use crate::config::Config;
+use crate::messages::{Register, Report, Suggestion};
+use netsim::{App, AppId, ControlBody, Ctx, NodeId, SessionId, SimDuration, SimTime};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use topology::discovery::{DiscoveryTool, TopologyView};
+use topology::SessionTree;
+use traffic::{LayerSpec, SessionCatalog};
+
+const TOKEN_TICK: u64 = 1;
+const TOKEN_SEND: u64 = 2;
+
+/// Gap between consecutive suggestion packets. Sending the whole batch
+/// back-to-back would tail-drop the same receivers' suggestions every
+/// interval at a congested link; spacing them shares the risk.
+const SEND_SPACING: SimDuration = SimDuration(25_000_000);
+
+/// Observable controller state, shared with the harness.
+#[derive(Clone, Debug, Default)]
+pub struct ControllerShared {
+    /// Algorithm intervals completed.
+    pub intervals: u64,
+    /// Suggestions sent (packets).
+    pub suggestions_sent: u64,
+    /// Registered receivers at last interval.
+    pub registered: usize,
+    /// Congested node-count history `(time, count)`.
+    pub congestion_series: Vec<(SimTime, usize)>,
+    /// Capacity-estimate history: one `(time, link, bits/s)` entry per
+    /// finitely-estimated link per interval (for estimator-accuracy
+    /// studies against ground truth).
+    pub estimate_series: Vec<(SimTime, netsim::DirLinkId, f64)>,
+    /// Last run's diagnostics.
+    pub last_outputs: Option<AlgorithmOutputs>,
+}
+
+/// Handle for reading controller stats after a run.
+pub type ControllerHandle = Arc<Mutex<ControllerShared>>;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Pending {
+    level: u8,
+    received: u64,
+    lost: u64,
+    bytes: u64,
+    last_at: Option<SimTime>,
+}
+
+/// The controller application.
+pub struct Controller {
+    catalog: Arc<SessionCatalog>,
+    cfg: Config,
+    state: AlgorithmState,
+    discovery: DiscoveryTool,
+    /// receiver -> (node, session).
+    registry: HashMap<AppId, (NodeId, SessionId)>,
+    /// Reports received but not yet *visible*: the paper's staleness knob
+    /// ages "topology and loss information", so reports pass through the
+    /// same delay as discovery snapshots.
+    inbox: std::collections::VecDeque<(SimTime, Report)>,
+    /// Reports accumulated since the last interval (already aged).
+    pending: HashMap<AppId, Pending>,
+    /// Most recent interval data per receiver, reused when reports are lost.
+    last_known: HashMap<AppId, (SimTime, ReceiverReport)>,
+    /// Administrative-domain filter (Fig. 3): when set, the controller
+    /// only sees — and manages — the subtree inside these nodes.
+    domain: Option<std::collections::HashSet<NodeId>>,
+    /// Suggestions awaiting their (staggered) send slot.
+    outbox: Vec<(NodeId, Suggestion)>,
+    rng: netsim::RngStream,
+    shared: ControllerHandle,
+}
+
+impl Controller {
+    /// Create a controller with a discovery tool of the given `staleness`.
+    pub fn new(
+        catalog: Arc<SessionCatalog>,
+        cfg: Config,
+        staleness: SimDuration,
+        seed: u64,
+    ) -> (Self, ControllerHandle) {
+        cfg.validate();
+        let shared: ControllerHandle = Arc::default();
+        let c = Controller {
+            catalog,
+            cfg,
+            state: AlgorithmState::new(cfg, seed),
+            discovery: DiscoveryTool::new(staleness),
+            registry: HashMap::new(),
+            inbox: std::collections::VecDeque::new(),
+            pending: HashMap::new(),
+            last_known: HashMap::new(),
+            domain: None,
+            outbox: Vec::new(),
+            rng: netsim::RngStream::derive(seed, "toposense/controller"),
+            shared: Arc::clone(&shared),
+        };
+        (c, shared)
+    }
+
+    /// Restrict this controller to one administrative domain (Fig. 3's
+    /// hierarchical control model): topology snapshots are clipped to
+    /// `nodes`, the session roots re-base onto the domain ingress, and the
+    /// controller manages only the receivers that register with it.
+    pub fn with_domain(mut self, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        self.domain = Some(nodes.into_iter().collect());
+        self
+    }
+
+    /// Direct access to the algorithm state (tests, experiments).
+    pub fn algorithm(&self) -> &AlgorithmState {
+        &self.state
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        // 0. Age the loss reports: only reports older than the staleness
+        // window become visible this interval (Fig. 10 ages "topology and
+        // loss information" together).
+        let visible_until = now.saturating_sub(self.discovery.staleness());
+        while let Some(&(t, _)) = self.inbox.front() {
+            if t > visible_until {
+                break;
+            }
+            let (_, r) = self.inbox.pop_front().expect("front just peeked");
+            let p = self.pending.entry(r.receiver).or_default();
+            p.level = r.level;
+            p.received += r.received;
+            p.lost += r.lost;
+            p.bytes += r.bytes;
+            p.last_at = Some(r.time);
+        }
+
+        // 1. Record ground truth (clipped to this controller's domain),
+        // query through the staleness filter.
+        let view = TopologyView::capture(ctx.network(), now);
+        let view = match &self.domain {
+            Some(domain) => view.restrict(domain),
+            None => view,
+        };
+        self.discovery.record(view);
+        let Some(view) = self.discovery.query(now) else {
+            return;
+        };
+
+        // 2. Per-session overlay trees. Transiently inconsistent snapshots
+        // (a node with two parents mid-regraft) skip the session this round.
+        let mut trees: Vec<SessionTree> = Vec::with_capacity(self.catalog.len());
+        for def in self.catalog.iter() {
+            if let Ok(t) = SessionTree::build(view, def.id, &def.groups) {
+                trees.push(t);
+            }
+        }
+        let specs: Vec<&LayerSpec> =
+            trees.iter().map(|t| &self.catalog.get(t.session()).spec).collect();
+
+        // 3. Assemble the interval's reports: fresh data, else the most
+        // recent report if it is not too old (reports can be lost).
+        // Sorted by receiver id so nothing downstream depends on hash-map
+        // iteration order (determinism).
+        let mut registry: Vec<(AppId, NodeId, SessionId)> =
+            self.registry.iter().map(|(&a, &(n, s))| (a, n, s)).collect();
+        registry.sort_unstable_by_key(|&(a, _, _)| a);
+        let mut reports: Vec<ReceiverReport> = Vec::with_capacity(self.registry.len());
+        for &(app, node, session) in &registry {
+            if let Some(p) = self.pending.remove(&app) {
+                let r = ReceiverReport {
+                    receiver: app,
+                    node,
+                    session,
+                    level: p.level,
+                    received: p.received,
+                    lost: p.lost,
+                    bytes: p.bytes,
+                };
+                self.last_known.insert(app, (now, r));
+                reports.push(r);
+            } else if let Some(&(t, r)) = self.last_known.get(&app) {
+                if now.since(t) <= self.cfg.interval * 2 {
+                    reports.push(r);
+                }
+            }
+        }
+
+        // 4. Run the algorithm and send the suggestions.
+        let inputs = AlgorithmInputs {
+            now,
+            interval: self.cfg.interval,
+            trees: &trees,
+            specs: &specs,
+            registry: &registry,
+            reports: &reports,
+        };
+        let outputs = self.state.run(&inputs);
+        // Queue suggestions in a random order and send them spaced out:
+        // a fixed back-to-back burst would tail-drop the same receivers'
+        // suggestions at a congested link every single interval.
+        self.outbox.clear();
+        for s in &outputs.suggestions {
+            let Some(&(node, _)) = self.registry.get(&s.receiver) else { continue };
+            let sug =
+                Suggestion { receiver: s.receiver, session: s.session, level: s.level, time: now };
+            let at = self.rng.range_u64(0, self.outbox.len() as u64 + 1) as usize;
+            self.outbox.insert(at, (node, sug));
+        }
+        if !self.outbox.is_empty() {
+            ctx.set_timer(SimDuration::ZERO, TOKEN_SEND);
+        }
+
+        let mut sh = self.shared.lock().unwrap();
+        sh.intervals += 1;
+        sh.suggestions_sent += outputs.suggestions.len() as u64;
+        sh.registered = self.registry.len();
+        sh.congestion_series.push((now, outputs.congested_nodes));
+        for &(l, c) in &outputs.estimated_links {
+            sh.estimate_series.push((now, l, c));
+        }
+        sh.last_outputs = Some(outputs);
+    }
+}
+
+impl App for Controller {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.cfg.interval, TOKEN_TICK);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: &netsim::Packet) {
+        if let Some(r) = packet.control_as::<Register>() {
+            self.registry.insert(r.receiver, (r.node, r.session));
+            return;
+        }
+        if let Some(r) = packet.control_as::<Report>() {
+            // Registration can be lost; a report is as good an announcement.
+            self.registry.entry(r.receiver).or_insert((r.node, r.session));
+            self.inbox.push_back((ctx.now(), r.clone()));
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            TOKEN_TICK => {
+                self.tick(ctx);
+                ctx.set_timer(self.cfg.interval, TOKEN_TICK);
+            }
+            TOKEN_SEND => {
+                if let Some((node, sug)) = self.outbox.pop() {
+                    let body: ControlBody = Arc::new(sug);
+                    ctx.send_control(node, self.cfg.suggestion_size, body);
+                }
+                if !self.outbox.is_empty() {
+                    ctx.set_timer(SEND_SPACING, TOKEN_SEND);
+                }
+            }
+            other => unreachable!("unknown controller timer {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::Receiver;
+    use netsim::sim::{NetworkBuilder, SimConfig};
+    use netsim::{GroupId, LinkConfig};
+    use traffic::session::SessionDef;
+    use traffic::{LayeredSource, TrafficModel};
+
+    /// A one-session chain: src(+controller) -> mid -> rcv with a generous
+    /// bottleneck; the receiver should be steered upward layer by layer.
+    #[test]
+    fn end_to_end_controller_steers_receiver_up() {
+        let mut b = NetworkBuilder::new(SimConfig::default());
+        let src = b.add_node("src");
+        let mid = b.add_node("mid");
+        let rcv = b.add_node("rcv");
+        b.add_link(src, mid, LinkConfig::kbps(100_000.0));
+        b.add_link(mid, rcv, LinkConfig::kbps(100_000.0));
+        let mut sim = b.build();
+        let groups: Vec<GroupId> = (0..6).map(|_| sim.create_group(src)).collect();
+        let def = SessionDef {
+            id: netsim::SessionId(0),
+            source: src,
+            groups,
+            spec: LayerSpec::paper_default(),
+        };
+        let mut catalog = SessionCatalog::new();
+        catalog.add(def.clone());
+        let catalog = catalog.share();
+
+        let cfg = Config::default();
+        let (ctrl, ctrl_shared) =
+            Controller::new(Arc::clone(&catalog), cfg, SimDuration::ZERO, 1);
+        sim.add_app(src, Box::new(ctrl));
+        sim.add_app(src, Box::new(LayeredSource::new(def.clone(), TrafficModel::Cbr, 2)));
+        let (rx, rx_shared) = Receiver::new(def, src, cfg, 3, "r0");
+        sim.add_app(rcv, Box::new(rx));
+
+        sim.run_until(SimTime::from_secs(60));
+
+        let c = ctrl_shared.lock().unwrap();
+        assert!(c.intervals >= 25, "controller ran {} intervals", c.intervals);
+        assert!(c.suggestions_sent > 0);
+        assert_eq!(c.registered, 1);
+        let r = rx_shared.lock().unwrap();
+        // Unconstrained path: the receiver must be steered to the top level.
+        assert_eq!(r.final_level(), 6, "changes: {:?}", r.changes);
+        assert!(r.suggestions_received > 0);
+    }
+
+    /// A 150 kb/s bottleneck must cap the receiver near 2 layers (96 kb/s).
+    #[test]
+    fn end_to_end_bottleneck_caps_subscription() {
+        let mut b = NetworkBuilder::new(SimConfig::default());
+        let src = b.add_node("src");
+        let mid = b.add_node("mid");
+        let rcv = b.add_node("rcv");
+        b.add_link(src, mid, LinkConfig::kbps(100_000.0));
+        b.add_link(mid, rcv, LinkConfig::kbps(150.0));
+        let mut sim = b.build();
+        let groups: Vec<GroupId> = (0..6).map(|_| sim.create_group(src)).collect();
+        let def = SessionDef {
+            id: netsim::SessionId(0),
+            source: src,
+            groups,
+            spec: LayerSpec::paper_default(),
+        };
+        let mut catalog = SessionCatalog::new();
+        catalog.add(def.clone());
+        let catalog = catalog.share();
+
+        let cfg = Config::default();
+        let (ctrl, _ctrl_shared) =
+            Controller::new(Arc::clone(&catalog), cfg, SimDuration::ZERO, 1);
+        sim.add_app(src, Box::new(ctrl));
+        sim.add_app(src, Box::new(LayeredSource::new(def.clone(), TrafficModel::Cbr, 2)));
+        let (rx, rx_shared) = Receiver::new(def, src, cfg, 3, "r0");
+        sim.add_app(rcv, Box::new(rx));
+
+        sim.run_until(SimTime::from_secs(300));
+
+        let r = rx_shared.lock().unwrap();
+        // Time-weighted average level over the second half must sit at ~2.
+        let half = SimTime::from_secs(150);
+        let mut level_at = 0u8;
+        let mut weighted = 0.0;
+        let mut last_t = half;
+        for &(t, _, new) in &r.changes {
+            if t <= half {
+                level_at = new;
+                continue;
+            }
+            weighted += level_at as f64 * t.since(last_t).as_secs_f64();
+            last_t = t;
+            level_at = new;
+        }
+        weighted += level_at as f64 * SimTime::from_secs(300).since(last_t).as_secs_f64();
+        let avg = weighted / 150.0;
+        assert!(
+            (1.5..=2.6).contains(&avg),
+            "average level {avg} out of range; changes: {:?}",
+            r.changes
+        );
+    }
+}

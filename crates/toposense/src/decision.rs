@@ -1,0 +1,230 @@
+//! Table I — the demand decision table.
+//!
+//! Reproduced verbatim from the paper (decision table for computing demand
+//! at each node at time `T2`). The table is a **total function** over
+//! `(node kind, 3-bit history, BW equality)`; [`decide`] encodes every row
+//! and the tests enumerate the full domain against the printed table.
+//!
+//! | Kind     | History     | BW Equality    | Action |
+//! |----------|-------------|----------------|--------|
+//! | Leaf     | 0           | Lesser         | Add next layer, if not backing off |
+//! | Leaf     | 1           | Lesser         | If loss rate is high, drop layer, set backoff |
+//! | Leaf     | 2,4,5,6     | Lesser         | Maintain demand |
+//! | Leaf     | 3           | Lesser         | Reduce demand to supply in `T0–Tn` |
+//! | Leaf     | 7           | Lesser         | Reduce demand to half the supply in `T0–Tn`, set backoff |
+//! | Leaf     | 0,4         | Equal          | Add next layer, if not backing off |
+//! | Leaf     | 1,2,5,6     | Equal          | Maintain demand |
+//! | Leaf     | 3,7         | Equal          | Reduce demand to half the supply in `T0–Tn`, set backoff |
+//! | Leaf     | 0           | Greater        | Add next layer, if not backing off |
+//! | Leaf     | 1,2,4,5,6   | Greater        | Maintain demand |
+//! | Leaf     | 3,7         | Greater        | If loss very high, reduce demand to half the supply in `T0–Tn` |
+//! | Internal | 0,4         | all            | Accept all demands of the child nodes |
+//! | Internal | 1,5,7       | Greater        | Reduce demand to half the supply in `Tn–T2n` |
+//! | Internal | 1,5,7       | Equal, Lesser  | Reduce demand to half the supply in `T0–Tn` |
+//! | Internal | 2,3,6       | all            | Maintain demand |
+//!
+//! The paper's interval naming: `T0–Tn` is the **older** of the two
+//! remembered supply windows and `Tn–T2n` the **recent** one.
+
+use crate::history::{BwEquality, CongestionHistory};
+
+/// Whether the deciding node is a leaf (a receiver host) or internal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    Leaf,
+    Internal,
+}
+
+/// Which remembered supply window a reduction refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SupplyWindow {
+    /// `T0–Tn`: the older window.
+    Older,
+    /// `Tn–T2n`: the recent window.
+    Recent,
+}
+
+/// The action Table I prescribes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Add the next layer, unless a backoff timer forbids it.
+    AddLayer,
+    /// Drop the top layer and set its backoff timer, but only if the loss
+    /// rate is high.
+    DropIfLossHigh,
+    /// Keep the current demand.
+    Maintain,
+    /// Set demand to the supply of the given window.
+    ReduceToSupply(SupplyWindow),
+    /// Set demand to half the supply of the given window; `backoff` says
+    /// whether the dropped layers also get backoff timers.
+    ReduceToHalfSupply { window: SupplyWindow, backoff: bool },
+    /// Like `ReduceToHalfSupply`, but only if the loss rate is very high.
+    ReduceToHalfSupplyIfLossVeryHigh(SupplyWindow),
+    /// Internal nodes: demand is the aggregation of the children's demands.
+    AcceptChildren,
+}
+
+/// Look up Table I.
+///
+/// ```
+/// use toposense::decision::decide;
+/// use toposense::{Action, NodeKind};
+/// use toposense::history::{BwEquality, CongestionHistory};
+/// // Never congested, bandwidth stable: explore the next layer.
+/// let a = decide(NodeKind::Leaf, CongestionHistory::from_bits(0), BwEquality::Equal);
+/// assert_eq!(a, Action::AddLayer);
+/// ```
+pub fn decide(kind: NodeKind, history: CongestionHistory, bw: BwEquality) -> Action {
+    use Action::*;
+    use BwEquality::*;
+    use NodeKind::*;
+    use SupplyWindow::*;
+    let h = history.bits();
+    match kind {
+        Leaf => match (h, bw) {
+            (0, Lesser) => AddLayer,
+            (1, Lesser) => DropIfLossHigh,
+            (2 | 4 | 5 | 6, Lesser) => Maintain,
+            (3, Lesser) => ReduceToSupply(Older),
+            (7, Lesser) => ReduceToHalfSupply { window: Older, backoff: true },
+            (0 | 4, Equal) => AddLayer,
+            (1 | 2 | 5 | 6, Equal) => Maintain,
+            (3 | 7, Equal) => ReduceToHalfSupply { window: Older, backoff: true },
+            (0, Greater) => AddLayer,
+            (1 | 2 | 4 | 5 | 6, Greater) => Maintain,
+            (3 | 7, Greater) => ReduceToHalfSupplyIfLossVeryHigh(Older),
+            _ => unreachable!("3-bit history"),
+        },
+        Internal => match (h, bw) {
+            (0 | 4, _) => AcceptChildren,
+            (1 | 5 | 7, Greater) => ReduceToHalfSupply { window: Recent, backoff: true },
+            (1 | 5 | 7, Equal | Lesser) => ReduceToHalfSupply { window: Older, backoff: true },
+            (2 | 3 | 6, _) => Maintain,
+            _ => unreachable!("3-bit history"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Action::*;
+    use BwEquality::*;
+    use SupplyWindow::*;
+
+    fn leaf(h: u8, bw: BwEquality) -> Action {
+        decide(NodeKind::Leaf, CongestionHistory::from_bits(h), bw)
+    }
+    fn internal(h: u8, bw: BwEquality) -> Action {
+        decide(NodeKind::Internal, CongestionHistory::from_bits(h), bw)
+    }
+
+    #[test]
+    fn leaf_lesser_rows() {
+        assert_eq!(leaf(0, Lesser), AddLayer);
+        assert_eq!(leaf(1, Lesser), DropIfLossHigh);
+        for h in [2, 4, 5, 6] {
+            assert_eq!(leaf(h, Lesser), Maintain, "history {h}");
+        }
+        assert_eq!(leaf(3, Lesser), ReduceToSupply(Older));
+        assert_eq!(leaf(7, Lesser), ReduceToHalfSupply { window: Older, backoff: true });
+    }
+
+    #[test]
+    fn leaf_equal_rows() {
+        for h in [0, 4] {
+            assert_eq!(leaf(h, Equal), AddLayer, "history {h}");
+        }
+        for h in [1, 2, 5, 6] {
+            assert_eq!(leaf(h, Equal), Maintain, "history {h}");
+        }
+        for h in [3, 7] {
+            assert_eq!(
+                leaf(h, Equal),
+                ReduceToHalfSupply { window: Older, backoff: true },
+                "history {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn leaf_greater_rows() {
+        assert_eq!(leaf(0, Greater), AddLayer);
+        for h in [1, 2, 4, 5, 6] {
+            assert_eq!(leaf(h, Greater), Maintain, "history {h}");
+        }
+        for h in [3, 7] {
+            assert_eq!(leaf(h, Greater), ReduceToHalfSupplyIfLossVeryHigh(Older), "history {h}");
+        }
+    }
+
+    #[test]
+    fn internal_rows() {
+        for bw in [Lesser, Equal, Greater] {
+            for h in [0, 4] {
+                assert_eq!(internal(h, bw), AcceptChildren, "history {h} bw {bw:?}");
+            }
+            for h in [2, 3, 6] {
+                assert_eq!(internal(h, bw), Maintain, "history {h} bw {bw:?}");
+            }
+        }
+        for h in [1, 5, 7] {
+            assert_eq!(
+                internal(h, Greater),
+                ReduceToHalfSupply { window: Recent, backoff: true },
+                "history {h}"
+            );
+            for bw in [Equal, Lesser] {
+                assert_eq!(
+                    internal(h, bw),
+                    ReduceToHalfSupply { window: Older, backoff: true },
+                    "history {h} bw {bw:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_is_total() {
+        // Every (kind, history, bw) combination returns without panicking.
+        for h in 0..8u8 {
+            for bw in [Lesser, Equal, Greater] {
+                let _ = leaf(h, bw);
+                let _ = internal(h, bw);
+            }
+        }
+    }
+
+    #[test]
+    fn uncongested_nodes_never_reduce() {
+        // Any history with bit 0 clear (not congested now) must not reduce
+        // demand at a leaf: reductions are rows 1, 3, 7 (and 1,5,7
+        // internal), all of which have the current-interval bit set.
+        for h in [0u8, 2, 4, 6] {
+            for bw in [Lesser, Equal, Greater] {
+                let a = leaf(h, bw);
+                assert!(
+                    matches!(a, AddLayer | Maintain),
+                    "history {h} bw {bw:?} unexpectedly {a:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn persistent_congestion_always_reduces_at_leaf() {
+        // History 7 (congested three intervals running) reduces or is
+        // conditioned on very-high loss, in every BW column.
+        for bw in [Lesser, Equal, Greater] {
+            let a = leaf(7, bw);
+            assert!(
+                matches!(
+                    a,
+                    ReduceToHalfSupply { .. } | ReduceToHalfSupplyIfLossVeryHigh(_)
+                ),
+                "history 7 bw {bw:?} unexpectedly {a:?}"
+            );
+        }
+    }
+}

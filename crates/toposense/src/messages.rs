@@ -1,0 +1,83 @@
+//! Control-plane messages between receivers and the controller.
+//!
+//! These travel as opaque payloads inside ordinary simulated packets, so
+//! they queue behind media traffic and can be lost at congested links —
+//! the paper made this deliberate by stationing the controller at a source
+//! node "so control messages could be lost due to congestion".
+
+use netsim::{AppId, NodeId, SessionId, SimTime};
+
+/// Receiver -> controller: announce existence (sent once at startup and
+/// re-sent until the first suggestion arrives).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Register {
+    pub receiver: AppId,
+    pub node: NodeId,
+    pub session: SessionId,
+    /// Subscription level at registration time.
+    pub level: u8,
+}
+
+/// Receiver -> controller: one report window of loss/throughput data.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    pub receiver: AppId,
+    pub node: NodeId,
+    pub session: SessionId,
+    /// Subscription level during the window.
+    pub level: u8,
+    /// Packets received across all subscribed layers in the window.
+    pub received: u64,
+    /// Packets lost (sequence gaps) across all subscribed layers.
+    pub lost: u64,
+    /// Bytes received across all subscribed layers.
+    pub bytes: u64,
+    /// When the window closed.
+    pub time: SimTime,
+}
+
+impl Report {
+    /// Loss rate of the window.
+    pub fn loss_rate(&self) -> f64 {
+        let expected = self.received + self.lost;
+        if expected == 0 {
+            0.0
+        } else {
+            self.lost as f64 / expected as f64
+        }
+    }
+}
+
+/// Controller -> receiver: the prescribed subscription level.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Suggestion {
+    pub receiver: AppId,
+    pub session: SessionId,
+    /// Subscribe to exactly this many layers.
+    pub level: u8,
+    /// When the controller computed it.
+    pub time: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_loss_rate() {
+        let mut r = Report {
+            receiver: AppId(1),
+            node: NodeId(2),
+            session: SessionId(0),
+            level: 3,
+            received: 90,
+            lost: 10,
+            bytes: 90_000,
+            time: SimTime::ZERO,
+        };
+        assert!((r.loss_rate() - 0.1).abs() < 1e-12);
+        r.received = 0;
+        r.lost = 0;
+        assert_eq!(r.loss_rate(), 0.0);
+    }
+}

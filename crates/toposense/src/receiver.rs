@@ -1,0 +1,453 @@
+//! The cooperating receiver agent.
+//!
+//! A receiver subscribes to the base layer at startup, registers with its
+//! domain's controller, accounts loss per layer from sequence gaps (the
+//! RTCP model), reports periodically, and obeys the controller's
+//! subscription suggestions. Because suggestion packets can be lost, a
+//! receiver that has heard nothing for a while "can make unilateral
+//! decisions": it sheds a layer on sustained high loss.
+
+use crate::config::Config;
+use crate::messages::{Register, Report, Suggestion};
+use netsim::{App, ControlBody, Ctx, NodeId, RngStream, SeqTracker, SimTime};
+use std::sync::{Arc, Mutex};
+use traffic::session::SessionDef;
+
+/// One subscription change: `(when, old level, new level)`.
+pub type LevelChange = (SimTime, u8, u8);
+
+/// Observable receiver state, shared with the harness for metrics.
+#[derive(Clone, Debug, Default)]
+pub struct ReceiverShared {
+    /// Every subscription change, including the initial join.
+    pub changes: Vec<LevelChange>,
+    /// `(window end, loss rate)` per report window.
+    pub loss_series: Vec<(SimTime, f64)>,
+    /// `(window end, level)` per report window.
+    pub level_series: Vec<(SimTime, u8)>,
+    /// Total media bytes received.
+    pub bytes_total: u64,
+    /// Suggestions received (and applied or confirmed).
+    pub suggestions_received: u64,
+    /// Times the receiver acted without the controller.
+    pub unilateral_actions: u64,
+    /// Reports sent.
+    pub reports_sent: u64,
+}
+
+impl ReceiverShared {
+    /// Subscription level at the end of the run.
+    pub fn final_level(&self) -> u8 {
+        self.changes.last().map(|&(_, _, new)| new).unwrap_or(0)
+    }
+}
+
+/// Handle the harness keeps to read stats after the run.
+pub type ReceiverHandle = Arc<Mutex<ReceiverShared>>;
+
+const TOKEN_REPORT: u64 = 1;
+const TOKEN_REREGISTER: u64 = 2;
+const TOKEN_ACTIVATE: u64 = 3;
+const TOKEN_STOP: u64 = 4;
+
+/// The receiver application.
+pub struct Receiver {
+    def: SessionDef,
+    controller: NodeId,
+    cfg: Config,
+    level: u8,
+    trackers: Vec<SeqTracker>,
+    last_suggestion_at: Option<SimTime>,
+    high_loss_windows: u32,
+    /// Until this instant, ignore suggestions that would *raise* the level:
+    /// right after a unilateral drop the controller's view lags, and its
+    /// in-flight suggestions still reflect the pre-drop state.
+    raise_guard_until: SimTime,
+    /// Lifetime window for churn scenarios: join at `start_at`, depart at
+    /// `stop_at` (None = whole run).
+    start_at: SimTime,
+    stop_at: Option<SimTime>,
+    active: bool,
+    rng: RngStream,
+    shared: ReceiverHandle,
+}
+
+impl Receiver {
+    /// Create a receiver for `def`, reporting to the controller at
+    /// `controller`. Returns the app and the stats handle.
+    pub fn new(
+        def: SessionDef,
+        controller: NodeId,
+        cfg: Config,
+        seed: u64,
+        label: &str,
+    ) -> (Self, ReceiverHandle) {
+        cfg.validate();
+        let shared: ReceiverHandle = Arc::default();
+        let trackers = (0..def.spec.layer_count()).map(|_| SeqTracker::new()).collect();
+        let r = Receiver {
+            def,
+            controller,
+            cfg,
+            level: 0,
+            trackers,
+            last_suggestion_at: None,
+            high_loss_windows: 0,
+            raise_guard_until: SimTime::ZERO,
+            start_at: SimTime::ZERO,
+            stop_at: None,
+            active: false,
+            rng: RngStream::derive(seed, &format!("receiver/{label}")),
+            shared: Arc::clone(&shared),
+        };
+        (r, shared)
+    }
+
+    /// Current subscription level.
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Delay joining until `start_at` and depart at `stop_at` — the
+    /// receiver-churn support the paper's long-lived-session architecture
+    /// needs (recipients "register themselves with the controller agent"
+    /// whenever they appear).
+    pub fn with_lifetime(mut self, start_at: SimTime, stop_at: Option<SimTime>) -> Self {
+        if let Some(stop) = stop_at {
+            assert!(stop > start_at, "stop must come after start");
+        }
+        self.start_at = start_at;
+        self.stop_at = stop_at;
+        self
+    }
+
+    fn activate(&mut self, ctx: &mut Ctx<'_>) {
+        self.active = true;
+        // Subscribe the base layer and announce ourselves.
+        self.set_level(ctx, 1);
+        self.register(ctx);
+        // Jitter the report phase so co-located receivers do not report in
+        // lockstep.
+        let jitter = self.rng.range_f64(0.0, self.cfg.report_interval.as_secs_f64());
+        ctx.set_timer(netsim::SimDuration::from_secs_f64(jitter), TOKEN_REPORT);
+        ctx.set_timer(self.cfg.interval * 2, TOKEN_REREGISTER);
+    }
+
+    fn set_level(&mut self, ctx: &mut Ctx<'_>, new: u8) {
+        let new = new.clamp(0, self.def.spec.max_level());
+        if new == self.level {
+            return;
+        }
+        let old = self.level;
+        if new > old {
+            for layer in old..new {
+                ctx.join(self.def.group_of_layer(layer));
+                // Forget any stale counts from a previous subscription of
+                // this layer: they cover a window when we were not listening
+                // and would surface as phantom loss in the next report.
+                let _ = self.trackers[layer as usize].take_window();
+                self.trackers[layer as usize].resync();
+            }
+        } else {
+            for layer in (new..old).rev() {
+                ctx.leave(self.def.group_of_layer(layer));
+                let _ = self.trackers[layer as usize].take_window();
+                self.trackers[layer as usize].resync();
+            }
+        }
+        self.level = new;
+        self.shared.lock().unwrap().changes.push((ctx.now(), old, new));
+    }
+
+    fn send_report(&mut self, ctx: &mut Ctx<'_>) {
+        // Aggregate the window across currently subscribed layers.
+        let mut received = 0;
+        let mut lost = 0;
+        let mut bytes = 0;
+        for layer in 0..self.level {
+            let w = self.trackers[layer as usize].take_window();
+            received += w.received;
+            lost += w.lost;
+            bytes += w.bytes;
+        }
+        let report = Report {
+            receiver: ctx.app_id(),
+            node: ctx.node_id(),
+            session: self.def.id,
+            level: self.level,
+            received,
+            lost,
+            bytes,
+            time: ctx.now(),
+        };
+        let loss = report.loss_rate();
+        {
+            let mut s = self.shared.lock().unwrap();
+            s.loss_series.push((ctx.now(), loss));
+            s.level_series.push((ctx.now(), self.level));
+            s.bytes_total += bytes;
+            s.reports_sent += 1;
+        }
+        let body: ControlBody = Arc::new(report);
+        ctx.send_control(self.controller, self.cfg.report_size, body);
+
+        // Unilateral fallback: sustained high loss with a silent controller.
+        let silent = match self.last_suggestion_at {
+            None => false, // never heard from it; keep registering instead
+            Some(t) => ctx.now().since(t) > self.cfg.unilateral_timeout,
+        };
+        if loss > self.cfg.unilateral_drop_loss {
+            self.high_loss_windows += 1;
+        } else {
+            self.high_loss_windows = 0;
+        }
+        if silent && self.high_loss_windows >= 2 && self.level > 1 {
+            // Shed one layer, or straight to the goodput-supported level
+            // when the overload is severe (a saturated bottleneck also
+            // starves the suggestion channel, so waiting for the controller
+            // can take a while).
+            let goodput = bytes as f64 * 8.0 / self.cfg.report_interval.as_secs_f64();
+            let fit = self.def.spec.level_fitting(goodput);
+            let new = if loss > 0.4 { fit } else { self.level - 1 }.clamp(1, self.level - 1);
+            self.set_level(ctx, new);
+            self.high_loss_windows = 0;
+            self.raise_guard_until = ctx.now() + self.cfg.interval * 2;
+            self.shared.lock().unwrap().unilateral_actions += 1;
+        }
+    }
+
+    fn register(&mut self, ctx: &mut Ctx<'_>) {
+        let body: ControlBody = Arc::new(Register {
+            receiver: ctx.app_id(),
+            node: ctx.node_id(),
+            session: self.def.id,
+            level: self.level,
+        });
+        ctx.send_control(self.controller, self.cfg.register_size, body);
+    }
+}
+
+impl App for Receiver {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.start_at > ctx.now() {
+            ctx.set_timer(self.start_at.since(ctx.now()), TOKEN_ACTIVATE);
+        } else {
+            self.activate(ctx);
+        }
+        if let Some(stop) = self.stop_at {
+            ctx.set_timer(stop.since(ctx.now()), TOKEN_STOP);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: &netsim::Packet) {
+        if !self.active {
+            return;
+        }
+        if let Some((session, layer, seq)) = packet.media_fields() {
+            if session == self.def.id && layer < self.level {
+                self.trackers[layer as usize].on_packet(seq, packet.size);
+            }
+            return;
+        }
+        if let Some(s) = packet.control_as::<Suggestion>() {
+            if s.receiver == ctx.app_id() && s.session == self.def.id {
+                self.last_suggestion_at = Some(ctx.now());
+                self.shared.lock().unwrap().suggestions_received += 1;
+                let level = s.level;
+                if level > self.level && ctx.now() < self.raise_guard_until {
+                    // A raise computed before our unilateral drop: skip it,
+                    // the next interval's suggestion will reflect reality.
+                    return;
+                }
+                self.set_level(ctx, level);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            TOKEN_REPORT if self.active => {
+                self.send_report(ctx);
+                ctx.set_timer(self.cfg.report_interval, TOKEN_REPORT);
+            }
+            TOKEN_REREGISTER if self.active => {
+                // Keep announcing until the controller talks back.
+                if self.last_suggestion_at.is_none() {
+                    self.register(ctx);
+                    ctx.set_timer(self.cfg.interval * 2, TOKEN_REREGISTER);
+                }
+            }
+            TOKEN_ACTIVATE => self.activate(ctx),
+            TOKEN_STOP => {
+                // Depart: leave every group; stop reporting (the controller
+                // forgets us when the tree no longer contains our node).
+                self.set_level(ctx, 0);
+                self.active = false;
+            }
+            // Timers for a departed/not-yet-active receiver.
+            TOKEN_REPORT | TOKEN_REREGISTER => {}
+            other => unreachable!("unknown receiver timer {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::sim::{NetworkBuilder, SimConfig};
+    use netsim::{GroupId, LinkConfig, Packet, SessionId};
+    use traffic::LayerSpec;
+
+    struct ControlCollector {
+        registers: Arc<Mutex<Vec<Register>>>,
+        reports: Arc<Mutex<Vec<Report>>>,
+    }
+    impl App for ControlCollector {
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, p: &Packet) {
+            if let Some(r) = p.control_as::<Register>() {
+                self.registers.lock().unwrap().push(r.clone());
+            }
+            if let Some(r) = p.control_as::<Report>() {
+                self.reports.lock().unwrap().push(r.clone());
+            }
+        }
+    }
+
+    fn setup() -> (netsim::Simulator, SessionDef, NodeId, NodeId) {
+        let mut b = NetworkBuilder::new(SimConfig::default());
+        let src = b.add_node("src");
+        let rcv = b.add_node("rcv");
+        b.add_link(src, rcv, LinkConfig::kbps(10_000.0));
+        let mut sim = b.build();
+        let groups: Vec<GroupId> = (0..6).map(|_| sim.create_group(src)).collect();
+        let def = SessionDef {
+            id: SessionId(0),
+            source: src,
+            groups,
+            spec: LayerSpec::paper_default(),
+        };
+        (sim, def, src, rcv)
+    }
+
+    #[test]
+    fn registers_and_reports() {
+        let (mut sim, def, src, rcv) = setup();
+        let registers = Arc::new(Mutex::new(Vec::new()));
+        let reports = Arc::new(Mutex::new(Vec::new()));
+        sim.add_app(
+            src,
+            Box::new(ControlCollector {
+                registers: Arc::clone(&registers),
+                reports: Arc::clone(&reports),
+            }),
+        );
+        let (r, shared) = Receiver::new(def, src, Config::default(), 5, "r0");
+        sim.add_app(rcv, Box::new(r));
+        sim.run_until(SimTime::from_secs(10));
+        assert!(!registers.lock().unwrap().is_empty(), "must register");
+        let reps = reports.lock().unwrap();
+        assert!(reps.len() >= 8, "got only {} reports", reps.len());
+        assert!(reps.iter().all(|r| r.level == 1));
+        let s = shared.lock().unwrap();
+        assert_eq!(s.final_level(), 1);
+        assert_eq!(s.changes.len(), 1, "only the initial join");
+    }
+
+    #[test]
+    fn obeys_suggestions() {
+        let (mut sim, def, src, rcv) = setup();
+
+        struct Suggester {
+            target: Option<netsim::AppId>,
+            dest_node: NodeId,
+            session: SessionId,
+        }
+        impl App for Suggester {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(netsim::SimDuration::from_secs(3), 0);
+                ctx.set_timer(netsim::SimDuration::from_secs(6), 1);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                let level = if token == 0 { 4 } else { 2 };
+                let body: ControlBody = Arc::new(Suggestion {
+                    receiver: self.target.unwrap(),
+                    session: self.session,
+                    level,
+                    time: ctx.now(),
+                });
+                ctx.send_control(self.dest_node, 64, body);
+            }
+        }
+
+        let (r, shared) = Receiver::new(def.clone(), src, Config::default(), 5, "r0");
+        // Receiver app id will be 1 (suggester added first gets 0).
+        let mut suggester = Suggester { target: None, dest_node: rcv, session: def.id };
+        suggester.target = Some(netsim::AppId(1));
+        sim.add_app(src, Box::new(suggester));
+        sim.add_app(rcv, Box::new(r));
+        sim.run_until(SimTime::from_secs(10));
+        let s = shared.lock().unwrap();
+        assert_eq!(s.suggestions_received, 2);
+        // 0 -> 1 (join), 1 -> 4, 4 -> 2.
+        let levels: Vec<(u8, u8)> = s.changes.iter().map(|&(_, o, n)| (o, n)).collect();
+        assert_eq!(levels, vec![(0, 1), (1, 4), (4, 2)]);
+        assert_eq!(s.final_level(), 2);
+    }
+
+    #[test]
+    fn lifetime_bounds_all_activity() {
+        let (mut sim, def, src, rcv) = setup();
+        let registers = Arc::new(Mutex::new(Vec::new()));
+        let reports = Arc::new(Mutex::new(Vec::new()));
+        sim.add_app(
+            src,
+            Box::new(ControlCollector {
+                registers: Arc::clone(&registers),
+                reports: Arc::clone(&reports),
+            }),
+        );
+        let (r, shared) = Receiver::new(def, src, Config::default(), 5, "r0");
+        let r = r.with_lifetime(SimTime::from_secs(5), Some(SimTime::from_secs(12)));
+        sim.add_app(rcv, Box::new(r));
+        sim.run_until(SimTime::from_secs(30));
+        let s = shared.lock().unwrap();
+        // Active only inside [5, 12): joined at 5, left at 12.
+        assert_eq!(s.changes.first().unwrap().0, SimTime::from_secs(5));
+        assert_eq!(s.final_level(), 0);
+        let reps = reports.lock().unwrap();
+        assert!(!reps.is_empty());
+        assert!(reps.iter().all(|r| {
+            r.time >= SimTime::from_secs(5) && r.time <= SimTime::from_millis(12_100)
+        }));
+    }
+
+    #[test]
+    fn ignores_suggestions_for_other_receivers() {
+        let (mut sim, def, src, rcv) = setup();
+        struct WrongSuggester {
+            dest_node: NodeId,
+            session: SessionId,
+        }
+        impl App for WrongSuggester {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(netsim::SimDuration::from_secs(3), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+                let body: ControlBody = Arc::new(Suggestion {
+                    receiver: netsim::AppId(999),
+                    session: self.session,
+                    level: 5,
+                    time: ctx.now(),
+                });
+                ctx.send_control(self.dest_node, 64, body);
+            }
+        }
+        sim.add_app(src, Box::new(WrongSuggester { dest_node: rcv, session: def.id }));
+        let (r, shared) = Receiver::new(def, src, Config::default(), 5, "r0");
+        sim.add_app(rcv, Box::new(r));
+        sim.run_until(SimTime::from_secs(10));
+        let s = shared.lock().unwrap();
+        assert_eq!(s.suggestions_received, 0);
+        assert_eq!(s.final_level(), 1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Stage 3 — finding bottleneck bandwidths.
+//!
+//! Two passes over each session tree:
+//!
+//! * **top-down**: propagate the minimum (estimated) link capacity from the
+//!   source to every node — `bottleneck(node)`;
+//! * **bottom-up**: the maximum bandwidth a node "can handle" is the maximum
+//!   bottleneck over its children — `max_handle(node)`, which caps the
+//!   subscription of a whole subtree at the best receiver's bottleneck
+//!   ("TopoSense limits the maximum subscription of layers in a subtree to
+//!   the maximum bandwidth between any receiver in the subtree and the
+//!   source").
+
+use netsim::{DirLinkId, NodeId};
+use std::collections::HashMap;
+use topology::SessionTree;
+
+/// Stage-3 output for one session.
+#[derive(Clone, Debug, Default)]
+pub struct BottleneckMap {
+    bottleneck: HashMap<NodeId, f64>,
+    max_handle: HashMap<NodeId, f64>,
+}
+
+impl BottleneckMap {
+    /// Minimum capacity on the path source -> `node` (∞ if unconstrained).
+    pub fn bottleneck(&self, node: NodeId) -> f64 {
+        self.bottleneck.get(&node).copied().unwrap_or(f64::INFINITY)
+    }
+
+    /// Max bottleneck over the subtree's receivers (∞ if unconstrained).
+    pub fn max_handle(&self, node: NodeId) -> f64 {
+        self.max_handle.get(&node).copied().unwrap_or(f64::INFINITY)
+    }
+}
+
+/// Compute both passes. `capacity(link)` returns the stage-2 estimate
+/// (`None` = infinite).
+pub fn compute(
+    tree: &SessionTree,
+    capacity: impl Fn(DirLinkId) -> Option<f64>,
+) -> BottleneckMap {
+    let t = tree.tree();
+    let mut bottleneck: HashMap<NodeId, f64> = HashMap::with_capacity(t.len());
+    for node in t.top_down() {
+        let b = match t.parent(node) {
+            None => f64::INFINITY,
+            Some(p) => {
+                let up = bottleneck[&p];
+                let cap = tree
+                    .in_link(node)
+                    .and_then(&capacity)
+                    .unwrap_or(f64::INFINITY);
+                up.min(cap)
+            }
+        };
+        bottleneck.insert(node, b);
+    }
+    let mut max_handle: HashMap<NodeId, f64> = HashMap::with_capacity(t.len());
+    for node in t.bottom_up() {
+        let children = t.children(node);
+        let m = if children.is_empty() {
+            bottleneck[&node]
+        } else {
+            children
+                .iter()
+                .map(|c| max_handle[c])
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        max_handle.insert(node, m);
+    }
+    BottleneckMap { bottleneck, max_handle }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{GroupId, GroupSnapshot, SessionId, SimTime};
+    use topology::discovery::{LinkView, TopologyView};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+    fn l(i: u32) -> DirLinkId {
+        DirLinkId(i)
+    }
+
+    /// 0 -> 1 (link 0); 1 -> 2 (link 1); 1 -> 3 (link 2).
+    fn tree() -> SessionTree {
+        let view = TopologyView {
+            time: SimTime::ZERO,
+            links: vec![
+                LinkView { id: l(0), from: n(0), to: n(1) },
+                LinkView { id: l(1), from: n(1), to: n(2) },
+                LinkView { id: l(2), from: n(1), to: n(3) },
+            ],
+            groups: vec![GroupSnapshot {
+                group: GroupId(0),
+                root: n(0),
+                active_links: vec![l(0), l(1), l(2)],
+                member_nodes: vec![n(2), n(3)],
+            }],
+        };
+        SessionTree::build(&view, SessionId(0), &[GroupId(0)]).unwrap()
+    }
+
+    #[test]
+    fn all_infinite_without_estimates() {
+        let m = compute(&tree(), |_| None);
+        for i in [0u32, 1, 2, 3] {
+            assert_eq!(m.bottleneck(n(i)), f64::INFINITY);
+            assert_eq!(m.max_handle(n(i)), f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn min_propagates_down() {
+        // link 0 = 500k, link 1 = 100k, link 2 unconstrained.
+        let m = compute(&tree(), |id| match id.0 {
+            0 => Some(500_000.0),
+            1 => Some(100_000.0),
+            _ => None,
+        });
+        assert_eq!(m.bottleneck(n(0)), f64::INFINITY);
+        assert_eq!(m.bottleneck(n(1)), 500_000.0);
+        assert_eq!(m.bottleneck(n(2)), 100_000.0);
+        assert_eq!(m.bottleneck(n(3)), 500_000.0);
+    }
+
+    #[test]
+    fn max_handle_is_best_child() {
+        let m = compute(&tree(), |id| match id.0 {
+            0 => Some(500_000.0),
+            1 => Some(100_000.0),
+            _ => None,
+        });
+        // Leaves handle their own bottleneck.
+        assert_eq!(m.max_handle(n(2)), 100_000.0);
+        assert_eq!(m.max_handle(n(3)), 500_000.0);
+        // Node 1 can handle the best of its children.
+        assert_eq!(m.max_handle(n(1)), 500_000.0);
+        assert_eq!(m.max_handle(n(0)), 500_000.0);
+    }
+
+    #[test]
+    fn tighter_upstream_cap_dominates() {
+        // Upstream link 0 tighter than everything below.
+        let m = compute(&tree(), |id| match id.0 {
+            0 => Some(50_000.0),
+            1 => Some(100_000.0),
+            _ => None,
+        });
+        assert_eq!(m.bottleneck(n(2)), 50_000.0);
+        assert_eq!(m.bottleneck(n(3)), 50_000.0);
+        assert_eq!(m.max_handle(n(0)), 50_000.0);
+    }
+
+    #[test]
+    fn unknown_node_is_unconstrained() {
+        let m = compute(&tree(), |_| None);
+        assert_eq!(m.bottleneck(n(42)), f64::INFINITY);
+    }
+}

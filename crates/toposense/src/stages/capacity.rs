@@ -1,0 +1,252 @@
+//! Stage 2 — estimating link capacities.
+//!
+//! The controller has no access to network internals beyond topology, so
+//! link capacities start at **infinity** and are learned from loss:
+//!
+//! 1. the overall loss at the link's head node exceeds a threshold, *and*
+//! 2. **every** session sharing the link sees loss above the threshold
+//!    (one lossy session alone may just have a congested node further
+//!    downstream — per-session loss at an internal node is only the minimum
+//!    over its subtree),
+//!
+//! then the capacity is taken to be the bits observed crossing the link in
+//! the interval. A set estimate creeps upward a little every interval
+//! (reported bytes can under-count packets still in flight) and is reset to
+//! infinity periodically so transient flows and downstream bottlenecks
+//! cannot poison it forever.
+
+use crate::config::Config;
+use netsim::{DirLinkId, SessionId, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// One session's view of one shared link for the current interval.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionLinkObs {
+    pub session: SessionId,
+    /// The session's loss at the link's head node (min over subtree).
+    pub loss: f64,
+    /// Max bytes received by any of the session's receivers below the link
+    /// this interval — the best available proxy for bytes that crossed it.
+    pub bytes: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Estimate {
+    capacity_bps: f64,
+    set_at: SimTime,
+}
+
+/// The persistent link-capacity estimator.
+#[derive(Debug, Default)]
+pub struct CapacityEstimator {
+    estimates: HashMap<DirLinkId, Estimate>,
+}
+
+impl CapacityEstimator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current estimate for `link`; `None` means "assumed infinite".
+    pub fn capacity(&self, link: DirLinkId) -> Option<f64> {
+        self.estimates.get(&link).map(|e| e.capacity_bps)
+    }
+
+    /// Number of links with a finite estimate.
+    pub fn estimated_links(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// Run one interval's update over every link seen in the session trees.
+    ///
+    /// `usage` maps each directed link to the per-session observations of
+    /// the sessions crossing it this interval.
+    pub fn update(
+        &mut self,
+        now: SimTime,
+        interval: SimDuration,
+        usage: &HashMap<DirLinkId, Vec<SessionLinkObs>>,
+        cfg: &Config,
+    ) {
+        // Periodic reset: stale estimates return to infinity and must be
+        // re-earned ("the capacity is reset to infinity at periodic
+        // intervals and recomputed").
+        self.estimates
+            .retain(|_, e| now.since(e.set_at) < cfg.capacity_reset);
+
+        let secs = interval.as_secs_f64();
+        for (&link, sessions) in usage {
+            if sessions.is_empty() {
+                continue;
+            }
+            // Fig. 4: "Estimate link bandwidths for all *shared* links."
+            // An estimate exists to split capacity between sessions; a
+            // single-session link is governed by the congestion states and
+            // the decision table instead, and estimating it would mistake
+            // one session's transient goodput for the link's capacity.
+            if sessions.len() < 2 {
+                if let Some(e) = self.estimates.get_mut(&link) {
+                    e.capacity_bps *= 1.0 + cfg.capacity_creep;
+                }
+                continue;
+            }
+            let total_bytes: u64 = sessions.iter().map(|s| s.bytes).sum();
+            let overall_loss = {
+                // Byte-weighted loss across sessions; falls back to the mean
+                // when no bytes were seen at all.
+                if total_bytes > 0 {
+                    sessions.iter().map(|s| s.loss * s.bytes as f64).sum::<f64>()
+                        / total_bytes as f64
+                } else {
+                    sessions.iter().map(|s| s.loss).sum::<f64>() / sessions.len() as f64
+                }
+            };
+            // The paper's condition 2 asks for *all* sessions to be lossy.
+            // With many sessions a single momentarily-clean low-rate session
+            // would forever block the estimate, so we use a quorum: most
+            // sessions (by count), carrying most of the bytes, must see loss
+            // above a (lower) per-session bar. Documented in DESIGN.md §5.
+            let per_session_bar = cfg.capacity_loss_threshold / 3.0;
+            let lossy: Vec<&SessionLinkObs> =
+                sessions.iter().filter(|s| s.loss > per_session_bar).collect();
+            let lossy_count_frac = lossy.len() as f64 / sessions.len() as f64;
+            let lossy_bytes: u64 = lossy.iter().map(|s| s.bytes).sum();
+            let lossy_bytes_frac = if total_bytes == 0 {
+                0.0
+            } else {
+                lossy_bytes as f64 / total_bytes as f64
+            };
+            let congested = overall_loss > cfg.capacity_loss_threshold
+                && lossy_count_frac >= 0.75
+                && lossy_bytes_frac >= 0.9;
+
+            let observed_bps = total_bytes as f64 * 8.0 / secs.max(1e-9);
+            match self.estimates.get_mut(&link) {
+                Some(e) if congested && total_bytes > 0 => {
+                    // Congested again: recompute from what actually got
+                    // through this interval. This lets a creep-inflated
+                    // estimate correct itself downward in one interval
+                    // instead of waiting for the periodic reset, and counts
+                    // as a fresh computation for the reset clock.
+                    e.capacity_bps = observed_bps;
+                    e.set_at = now;
+                }
+                Some(e) => {
+                    // Clean interval: creep upward ("the estimate is
+                    // increased every interval by a small amount").
+                    e.capacity_bps *= 1.0 + cfg.capacity_creep;
+                }
+                None if congested && total_bytes > 0 && secs > 0.0 => {
+                    self.estimates
+                        .insert(link, Estimate { capacity_bps: observed_bps, set_at: now });
+                }
+                None => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> DirLinkId {
+        DirLinkId(i)
+    }
+
+    fn obs(session: u32, loss: f64, bytes: u64) -> SessionLinkObs {
+        SessionLinkObs { session: SessionId(session), loss, bytes }
+    }
+
+    fn cfg() -> Config {
+        Config::default()
+    }
+
+    const INTERVAL: SimDuration = SimDuration(2_000_000_000);
+
+    #[test]
+    fn no_loss_keeps_infinity() {
+        let mut est = CapacityEstimator::new();
+        let usage = HashMap::from([(l(0), vec![obs(0, 0.0, 100_000), obs(1, 0.0, 25_000)])]);
+        est.update(SimTime::from_secs(2), INTERVAL, &usage, &cfg());
+        assert_eq!(est.capacity(l(0)), None);
+    }
+
+    #[test]
+    fn loss_on_all_sessions_sets_estimate_from_throughput() {
+        let mut est = CapacityEstimator::new();
+        // 125_000 B over 2 s = 500 kb/s.
+        let usage = HashMap::from([(l(0), vec![obs(0, 0.1, 100_000), obs(1, 0.08, 25_000)])]);
+        est.update(SimTime::from_secs(2), INTERVAL, &usage, &cfg());
+        let c = est.capacity(l(0)).unwrap();
+        assert!((c - 500_000.0).abs() < 1.0, "got {c}");
+    }
+
+    #[test]
+    fn one_clean_session_blocks_the_estimate() {
+        // Session 1 has loss below the threshold: the shared link may not be
+        // the culprit, so capacity stays infinite.
+        let mut est = CapacityEstimator::new();
+        let usage = HashMap::from([(l(0), vec![obs(0, 0.2, 100_000), obs(1, 0.0, 50_000)])]);
+        est.update(SimTime::from_secs(2), INTERVAL, &usage, &cfg());
+        assert_eq!(est.capacity(l(0)), None);
+    }
+
+    #[test]
+    fn estimate_creeps_upward_each_interval() {
+        let mut est = CapacityEstimator::new();
+        let usage = HashMap::from([(l(0), vec![obs(0, 0.1, 100_000), obs(1, 0.1, 25_000)])]);
+        est.update(SimTime::from_secs(2), INTERVAL, &usage, &cfg());
+        let c0 = est.capacity(l(0)).unwrap();
+        // Next interval, no matter the loss, the estimate creeps by 5%.
+        let quiet = HashMap::from([(l(0), vec![obs(0, 0.0, 100_000), obs(1, 0.0, 25_000)])]);
+        est.update(SimTime::from_secs(4), INTERVAL, &quiet, &cfg());
+        let c1 = est.capacity(l(0)).unwrap();
+        assert!((c1 / c0 - 1.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn periodic_reset_returns_to_infinity() {
+        let mut est = CapacityEstimator::new();
+        let usage = HashMap::from([(l(0), vec![obs(0, 0.1, 100_000), obs(1, 0.1, 25_000)])]);
+        est.update(SimTime::from_secs(2), INTERVAL, &usage, &cfg());
+        assert!(est.capacity(l(0)).is_some());
+        // Fast-forward past the reset period with clean traffic.
+        let quiet = HashMap::from([(l(0), vec![obs(0, 0.0, 100_000), obs(1, 0.0, 25_000)])]);
+        est.update(SimTime::from_secs(2 + 30), INTERVAL, &quiet, &cfg());
+        assert_eq!(est.capacity(l(0)), None, "estimate must reset to infinity");
+    }
+
+    #[test]
+    fn reset_then_relearn() {
+        let mut est = CapacityEstimator::new();
+        let lossy = HashMap::from([(l(0), vec![obs(0, 0.1, 100_000), obs(1, 0.1, 25_000)])]);
+        est.update(SimTime::from_secs(2), INTERVAL, &lossy, &cfg());
+        // Past reset, still lossy: re-learned in the same update.
+        let lossy2 = HashMap::from([(l(0), vec![obs(0, 0.1, 200_000), obs(1, 0.1, 50_000)])]);
+        est.update(SimTime::from_secs(40), INTERVAL, &lossy2, &cfg());
+        let c = est.capacity(l(0)).unwrap();
+        assert!((c - 1_000_000.0).abs() < 1.0, "got {c}");
+    }
+
+    #[test]
+    fn zero_bytes_never_sets_a_zero_capacity() {
+        let mut est = CapacityEstimator::new();
+        let usage = HashMap::from([(l(0), vec![obs(0, 0.5, 0), obs(1, 0.5, 0)])]);
+        est.update(SimTime::from_secs(2), INTERVAL, &usage, &cfg());
+        assert_eq!(est.capacity(l(0)), None);
+    }
+
+    #[test]
+    fn links_are_independent() {
+        let mut est = CapacityEstimator::new();
+        let usage = HashMap::from([
+            (l(0), vec![obs(0, 0.1, 100_000), obs(1, 0.1, 25_000)]),
+            (l(1), vec![obs(0, 0.0, 100_000), obs(1, 0.0, 25_000)]),
+        ]);
+        est.update(SimTime::from_secs(2), INTERVAL, &usage, &cfg());
+        assert!(est.capacity(l(0)).is_some());
+        assert!(est.capacity(l(1)).is_none());
+        assert_eq!(est.estimated_links(), 1);
+    }
+}

@@ -1,0 +1,230 @@
+//! Stage 1 — computing congestion states.
+//!
+//! Packet loss is known only at the leaves (receiver reports). The loss rate
+//! of an internal node is the **minimum** of its children's: "if all the
+//! children of a node are congested, then all the children will have to
+//! reduce their bandwidth demands", i.e. the parent is only as constrained
+//! as its least-lossy descendant. States flow bottom-up; parental congestion
+//! then flows back down, because a node whose parent is congested is
+//! congested too (and must defer action to the parent).
+//!
+//! An internal node is **self-congested** when all children exceed
+//! `p_threshold` *and* at least `eta_similar` of them sit close to the mean
+//! child loss — similar losses across siblings point at the shared upstream
+//! link rather than at independent downstream bottlenecks.
+//!
+//! The stage also records, per node, the maximum bytes received by any
+//! receiver in the subtree — the input to the capacity estimator.
+
+use crate::config::Config;
+use netsim::NodeId;
+use std::collections::HashMap;
+use topology::SessionTree;
+
+/// Aggregated observation at a node that hosts receivers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LeafObs {
+    /// Loss rate over the last interval (min across co-located receivers).
+    pub loss: f64,
+    /// Bytes received over the last interval (max across co-located
+    /// receivers).
+    pub bytes: u64,
+    /// Current subscription level (max across co-located receivers).
+    pub level: u8,
+}
+
+/// Stage-1 output for one node.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeState {
+    /// Effective loss rate at the node (min over children / own report).
+    pub loss: f64,
+    /// Congested by its own subtree's evidence.
+    pub self_congested: bool,
+    /// Congested overall (self, or any ancestor congested).
+    pub congested: bool,
+    /// Whether the parent is congested (leaves defer action when so).
+    pub parent_congested: bool,
+    /// Max bytes received by any receiver in the subtree.
+    pub max_bytes: u64,
+}
+
+/// Stage-1 output for one session.
+#[derive(Clone, Debug, Default)]
+pub struct SessionCongestion {
+    pub nodes: HashMap<NodeId, NodeState>,
+}
+
+impl SessionCongestion {
+    /// The state of `node` (default all-clear for unknown nodes).
+    pub fn node(&self, node: NodeId) -> NodeState {
+        self.nodes.get(&node).copied().unwrap_or_default()
+    }
+}
+
+/// Compute congestion states for one session tree.
+///
+/// `obs` maps receiver-hosting nodes to their aggregated report data.
+pub fn compute(
+    tree: &SessionTree,
+    obs: &HashMap<NodeId, LeafObs>,
+    cfg: &Config,
+) -> SessionCongestion {
+    let t = tree.tree();
+    let mut out: HashMap<NodeId, NodeState> = HashMap::with_capacity(t.len());
+
+    // Bottom-up: loss, self-congestion, subtree byte maxima.
+    for node in t.bottom_up() {
+        let children = t.children(node);
+        let own = obs.get(&node);
+        let mut state = NodeState::default();
+        if children.is_empty() {
+            let o = own.copied().unwrap_or_default();
+            state.loss = o.loss;
+            state.max_bytes = o.bytes;
+            state.self_congested = o.loss > cfg.p_threshold;
+        } else {
+            // Child losses, plus the node's own receivers as a pseudo-child
+            // when it hosts any (a member node can be internal).
+            let mut losses: Vec<f64> = children.iter().map(|c| out[c].loss).collect();
+            if let Some(o) = own {
+                losses.push(o.loss);
+            }
+            state.loss = losses.iter().copied().fold(f64::INFINITY, f64::min);
+            state.max_bytes = children
+                .iter()
+                .map(|c| out[c].max_bytes)
+                .chain(own.map(|o| o.bytes))
+                .max()
+                .unwrap_or(0);
+            let all_lossy = losses.iter().all(|&l| l > cfg.p_threshold);
+            if all_lossy {
+                let mean = losses.iter().sum::<f64>() / losses.len() as f64;
+                let close = losses
+                    .iter()
+                    .filter(|&&l| (l - mean).abs() <= cfg.similarity_tolerance)
+                    .count();
+                let frac = close as f64 / losses.len() as f64;
+                state.self_congested = frac >= cfg.eta_similar;
+            }
+        }
+        out.insert(node, state);
+    }
+
+    // Top-down: parental congestion propagates.
+    for node in t.top_down() {
+        let parent_congested = t
+            .parent(node)
+            .map(|p| out[&p].congested)
+            .unwrap_or(false);
+        let s = out.get_mut(&node).expect("visited in bottom-up pass");
+        s.parent_congested = parent_congested;
+        s.congested = s.self_congested || parent_congested;
+    }
+
+    SessionCongestion { nodes: out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{DirLinkId, GroupId, GroupSnapshot, SessionId, SimTime};
+    use topology::discovery::{LinkView, TopologyView};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Tree: 0 -> 1 -> {2, 3}; receivers at 2 and 3.
+    fn tree() -> SessionTree {
+        let view = TopologyView {
+            time: SimTime::ZERO,
+            links: vec![
+                LinkView { id: DirLinkId(0), from: n(0), to: n(1) },
+                LinkView { id: DirLinkId(1), from: n(1), to: n(2) },
+                LinkView { id: DirLinkId(2), from: n(1), to: n(3) },
+            ],
+            groups: vec![GroupSnapshot {
+                group: GroupId(0),
+                root: n(0),
+                active_links: vec![DirLinkId(0), DirLinkId(1), DirLinkId(2)],
+                member_nodes: vec![n(2), n(3)],
+            }],
+        };
+        SessionTree::build(&view, SessionId(0), &[GroupId(0)]).unwrap()
+    }
+
+    fn obs(pairs: &[(u32, f64, u64)]) -> HashMap<NodeId, LeafObs> {
+        pairs
+            .iter()
+            .map(|&(i, loss, bytes)| (n(i), LeafObs { loss, bytes, level: 1 }))
+            .collect()
+    }
+
+    #[test]
+    fn all_clear_when_no_loss() {
+        let sc = compute(&tree(), &obs(&[(2, 0.0, 1000), (3, 0.0, 2000)]), &Config::default());
+        for i in [0u32, 1, 2, 3] {
+            assert!(!sc.node(n(i)).congested, "node {i}");
+        }
+        // Byte maxima propagate up.
+        assert_eq!(sc.node(n(1)).max_bytes, 2000);
+        assert_eq!(sc.node(n(0)).max_bytes, 2000);
+    }
+
+    #[test]
+    fn single_lossy_leaf_congests_only_itself() {
+        let sc = compute(&tree(), &obs(&[(2, 0.2, 1000), (3, 0.0, 2000)]), &Config::default());
+        assert!(sc.node(n(2)).congested);
+        assert!(sc.node(n(2)).self_congested);
+        // Internal loss = min(0.2, 0.0) = 0 -> not congested.
+        assert!(!sc.node(n(1)).congested);
+        assert_eq!(sc.node(n(1)).loss, 0.0);
+        assert!(!sc.node(n(3)).congested);
+    }
+
+    #[test]
+    fn similar_sibling_losses_congest_the_parent() {
+        // Both leaves lossy at similar rates -> shared upstream bottleneck.
+        let sc = compute(&tree(), &obs(&[(2, 0.10, 1000), (3, 0.12, 1000)]), &Config::default());
+        assert!(sc.node(n(1)).self_congested);
+        assert!(sc.node(n(1)).congested);
+        // Parental congestion flows down to the leaves' flags.
+        assert!(sc.node(n(2)).parent_congested);
+        assert!(sc.node(n(3)).parent_congested);
+        // Root: child (node 1) is its only child with loss 0.10 > threshold;
+        // single-child similarity trivially holds, so the root also
+        // self-congests under the letter of the rule.
+        assert!(sc.node(n(0)).congested);
+    }
+
+    #[test]
+    fn dissimilar_sibling_losses_do_not_congest_the_parent() {
+        // Both lossy but very different: independent downstream causes.
+        let cfg = Config { eta_similar: 0.9, ..Config::default() };
+        let sc = compute(&tree(), &obs(&[(2, 0.05, 1000), (3, 0.60, 1000)]), &cfg);
+        assert!(!sc.node(n(1)).self_congested);
+        assert!(sc.node(n(2)).congested);
+        assert!(sc.node(n(3)).congested);
+    }
+
+    #[test]
+    fn internal_loss_is_min_of_children() {
+        let sc = compute(&tree(), &obs(&[(2, 0.3, 10), (3, 0.08, 20)]), &Config::default());
+        assert!((sc.node(n(1)).loss - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_observation_is_all_clear() {
+        let sc = compute(&tree(), &obs(&[(2, 0.5, 10)]), &Config::default());
+        // Node 3 never reported: loss 0, so the parent sees min = 0.
+        assert_eq!(sc.node(n(3)).loss, 0.0);
+        assert!(!sc.node(n(1)).self_congested);
+    }
+
+    #[test]
+    fn unknown_node_defaults() {
+        let sc = compute(&tree(), &obs(&[]), &Config::default());
+        let s = sc.node(n(99));
+        assert!(!s.congested && s.loss == 0.0 && s.max_bytes == 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Stage 4 — sharing bandwidth between competing sessions.
+//!
+//! Min-max fair allocations may not exist for discrete layers (Sarkar &
+//! Tassiulas), so the paper uses an intuitive proportional rule. At each
+//! shared link with estimated capacity `B`:
+//!
+//! 1. compute, per session, the **maximum possible demand** `x_i` (in
+//!    layers) the session could use through this link if every other
+//!    session took only its base layer — a top-down pass followed by a
+//!    bottom-up max over children;
+//! 2. allocate `share_i = x_i · B / Σ_j x_j`.
+//!
+//! A session bottlenecked further downstream therefore asks for little and
+//! cedes the rest: with downstream bottlenecks of 250 kb/s and 1 Mb/s the
+//! paper expects exactly those allocations, not an equal split.
+
+use netsim::{DirLinkId, NodeId};
+use std::collections::HashMap;
+use topology::SessionTree;
+use traffic::LayerSpec;
+
+/// Stage-4 output: per-session allowed bandwidth at every tree node.
+#[derive(Clone, Debug, Default)]
+pub struct ShareMap {
+    allowed: Vec<HashMap<NodeId, f64>>,
+}
+
+impl ShareMap {
+    /// The bandwidth session `idx` may use at `node` (∞ if unconstrained).
+    pub fn allowed(&self, idx: usize, node: NodeId) -> f64 {
+        self.allowed
+            .get(idx)
+            .and_then(|m| m.get(&node))
+            .copied()
+            .unwrap_or(f64::INFINITY)
+    }
+}
+
+/// Compute fair shares. `trees[i]` and `specs[i]` describe session `i`;
+/// `capacity` is the stage-2 estimate (`None` = infinite).
+pub fn compute(
+    trees: &[SessionTree],
+    specs: &[&LayerSpec],
+    capacity: impl Fn(DirLinkId) -> Option<f64>,
+) -> ShareMap {
+    assert_eq!(trees.len(), specs.len());
+
+    // Which sessions cross each link, and where that link enters their tree.
+    let mut crossing: HashMap<DirLinkId, Vec<(usize, NodeId)>> = HashMap::new();
+    for (i, tree) in trees.iter().enumerate() {
+        for (node, link, _) in tree.edges() {
+            crossing.entry(link).or_default().push((i, node));
+        }
+    }
+
+    // Pass A (top-down): max bandwidth possible per node if all *other*
+    // sessions on each link took only their base layer.
+    let mut maxposs: Vec<HashMap<NodeId, f64>> = Vec::with_capacity(trees.len());
+    for (i, tree) in trees.iter().enumerate() {
+        let t = tree.tree();
+        let mut m: HashMap<NodeId, f64> = HashMap::with_capacity(t.len());
+        for node in t.top_down() {
+            let v = match t.parent(node) {
+                None => f64::INFINITY,
+                Some(p) => {
+                    let up = m[&p];
+                    let link = tree.in_link(node).expect("non-root node has an in-link");
+                    let avail = match capacity(link) {
+                        None => f64::INFINITY,
+                        Some(b) => {
+                            let others_base: f64 = crossing[&link]
+                                .iter()
+                                .filter(|&&(j, _)| j != i)
+                                .map(|&(j, _)| specs[j].base_rate())
+                                .sum();
+                            // Every session is assumed to get at least its
+                            // own base layer's worth.
+                            (b - others_base).max(specs[i].base_rate())
+                        }
+                    };
+                    up.min(avail)
+                }
+            };
+            m.insert(node, v);
+        }
+        maxposs.push(m);
+    }
+
+    // Pass B (bottom-up): a node's max possible demand is the max over its
+    // children; leaves keep their own.
+    let mut aggdem: Vec<HashMap<NodeId, f64>> = Vec::with_capacity(trees.len());
+    for (i, tree) in trees.iter().enumerate() {
+        let t = tree.tree();
+        let mut m: HashMap<NodeId, f64> = HashMap::with_capacity(t.len());
+        for node in t.bottom_up() {
+            let children = t.children(node);
+            let v = if children.is_empty() {
+                maxposs[i][&node]
+            } else {
+                children.iter().map(|c| m[c]).fold(f64::NEG_INFINITY, f64::max)
+            };
+            m.insert(node, v);
+        }
+        aggdem.push(m);
+    }
+
+    // Per shared link: x_i in layers, then the proportional share.
+    let mut share: HashMap<(DirLinkId, usize), f64> = HashMap::new();
+    for (&link, sessions) in &crossing {
+        if sessions.len() < 2 {
+            continue;
+        }
+        let Some(b) = capacity(link) else { continue };
+        let xs: Vec<(usize, u32)> = sessions
+            .iter()
+            .map(|&(i, head)| {
+                let level = specs[i].level_fitting(aggdem[i][&head]).max(1);
+                (i, level as u32)
+            })
+            .collect();
+        let total: u32 = xs.iter().map(|&(_, x)| x).sum();
+        for (i, x) in xs {
+            share.insert((link, i), x as f64 * b / total as f64);
+        }
+    }
+
+    // Final top-down pass: allowed bandwidth per node = min over the path of
+    // (fair share on shared links, raw estimate on private links).
+    let mut allowed: Vec<HashMap<NodeId, f64>> = Vec::with_capacity(trees.len());
+    for (i, tree) in trees.iter().enumerate() {
+        let t = tree.tree();
+        let mut m: HashMap<NodeId, f64> = HashMap::with_capacity(t.len());
+        for node in t.top_down() {
+            let v = match t.parent(node) {
+                None => f64::INFINITY,
+                Some(p) => {
+                    let up = m[&p];
+                    let link = tree.in_link(node).expect("non-root node has an in-link");
+                    let limit = share
+                        .get(&(link, i))
+                        .copied()
+                        .or_else(|| capacity(link))
+                        .unwrap_or(f64::INFINITY);
+                    up.min(limit)
+                }
+            };
+            m.insert(node, v);
+        }
+        allowed.push(m);
+    }
+
+    ShareMap { allowed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{GroupId, GroupSnapshot, SessionId, SimTime};
+    use topology::discovery::{LinkView, TopologyView};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+    fn l(i: u32) -> DirLinkId {
+        DirLinkId(i)
+    }
+
+    /// Two sessions sharing link 0 (agg(0) -> dist(1)), then private links
+    /// 1 and 2 to receivers 2 and 3. Sources both at node 0.
+    fn two_sessions() -> (Vec<SessionTree>, LayerSpec) {
+        let links = vec![
+            LinkView { id: l(0), from: n(0), to: n(1) },
+            LinkView { id: l(1), from: n(1), to: n(2) },
+            LinkView { id: l(2), from: n(1), to: n(3) },
+        ];
+        let mk = |gid: u32, leaf_link: DirLinkId, leaf: NodeId| TopologyView {
+            time: SimTime::ZERO,
+            links: links.clone(),
+            groups: vec![GroupSnapshot {
+                group: GroupId(gid),
+                root: n(0),
+                active_links: vec![l(0), leaf_link],
+                member_nodes: vec![leaf],
+            }],
+        };
+        let t0 = SessionTree::build(&mk(0, l(1), n(2)), SessionId(0), &[GroupId(0)]).unwrap();
+        let t1 = SessionTree::build(&mk(1, l(2), n(3)), SessionId(1), &[GroupId(1)]).unwrap();
+        (vec![t0, t1], LayerSpec::paper_default())
+    }
+
+    #[test]
+    fn no_estimates_means_no_constraint() {
+        let (trees, spec) = two_sessions();
+        let m = compute(&trees, &[&spec, &spec], |_| None);
+        assert_eq!(m.allowed(0, n(2)), f64::INFINITY);
+        assert_eq!(m.allowed(1, n(3)), f64::INFINITY);
+    }
+
+    #[test]
+    fn equal_sessions_split_evenly() {
+        let (trees, spec) = two_sessions();
+        // Shared link estimated at 1 Mb/s, downstream unconstrained.
+        let m = compute(&trees, &[&spec, &spec], |id| (id == l(0)).then_some(1_000_000.0));
+        let a0 = m.allowed(0, n(2));
+        let a1 = m.allowed(1, n(3));
+        assert!((a0 - 500_000.0).abs() < 1.0, "got {a0}");
+        assert!((a1 - 500_000.0).abs() < 1.0, "got {a1}");
+        // Conservation: shares sum to B.
+        assert!((a0 + a1 - 1_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn downstream_bottleneck_cedes_bandwidth() {
+        let (trees, spec) = two_sessions();
+        // Session 0's private link is tiny (fits only the base layer);
+        // session 1 unconstrained downstream. B = 1 Mb/s on the shared link.
+        let m = compute(&trees, &[&spec, &spec], |id| match id.0 {
+            0 => Some(1_000_000.0),
+            1 => Some(40_000.0),
+            _ => None,
+        });
+        // x_0 = 1 layer, x_1 = level_fitting(1M - 32k) = 4 layers.
+        // share_0 = 1/5 MB, share_1 = 4/5 MB.
+        let a0 = m.allowed(0, n(2));
+        let a1 = m.allowed(1, n(3));
+        assert!((a1 - 800_000.0).abs() < 1.0, "got {a1}");
+        // Session 0 is further capped by its own 40 kb/s private link.
+        assert!((a0 - 40_000.0).abs() < 1.0, "got {a0}");
+        assert!(a1 > a0 * 10.0);
+    }
+
+    #[test]
+    fn single_session_links_use_raw_estimate() {
+        let (trees, spec) = two_sessions();
+        let m = compute(&trees, &[&spec, &spec], |id| (id == l(1)).then_some(123_000.0));
+        // Link 1 carries only session 0: no sharing, raw estimate applies.
+        assert!((m.allowed(0, n(2)) - 123_000.0).abs() < 1.0);
+        assert_eq!(m.allowed(1, n(3)), f64::INFINITY);
+    }
+
+    #[test]
+    fn every_session_keeps_at_least_base_worth_of_x() {
+        let (trees, spec) = two_sessions();
+        // Shared link barely fits one base layer; both sessions still get
+        // x >= 1, so neither share is zero.
+        let m = compute(&trees, &[&spec, &spec], |id| (id == l(0)).then_some(40_000.0));
+        assert!(m.allowed(0, n(2)) > 0.0);
+        assert!(m.allowed(1, n(3)) > 0.0);
+        let sum = m.allowed(0, n(2)) + m.allowed(1, n(3));
+        assert!((sum - 40_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn sixteen_equal_sessions_each_get_a_sixteenth() {
+        // Mirror of the paper's Topology B at n=16.
+        let links: Vec<LinkView> = std::iter::once(LinkView { id: l(0), from: n(0), to: n(1) })
+            .chain((0..16).map(|i| LinkView {
+                id: l(1 + i),
+                from: n(1),
+                to: n(2 + i),
+            }))
+            .collect();
+        let spec = LayerSpec::paper_default();
+        let trees: Vec<SessionTree> = (0..16u32)
+            .map(|i| {
+                let view = TopologyView {
+                    time: SimTime::ZERO,
+                    links: links.clone(),
+                    groups: vec![GroupSnapshot {
+                        group: GroupId(i),
+                        root: n(0),
+                        active_links: vec![l(0), l(1 + i)],
+                        member_nodes: vec![n(2 + i)],
+                    }],
+                };
+                SessionTree::build(&view, SessionId(i), &[GroupId(i)]).unwrap()
+            })
+            .collect();
+        let specs: Vec<&LayerSpec> = (0..16).map(|_| &spec).collect();
+        let b = 16.0 * 500_000.0;
+        let m = compute(&trees, &specs, |id| (id == l(0)).then_some(b));
+        for i in 0..16 {
+            let a = m.allowed(i, n(2 + i as u32));
+            assert!((a - 500_000.0).abs() < 1.0, "session {i} got {a}");
+        }
+    }
+}

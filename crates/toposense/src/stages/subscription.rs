@@ -1,0 +1,601 @@
+//! Stage 5 — computing subscription levels.
+//!
+//! Two passes per session:
+//!
+//! * **demand**, bottom-up, driven by the Table I decision table. A leaf's
+//!   demand starts from its current subscription; an internal node's from
+//!   the aggregate (max) of its children. If a node's parent is congested
+//!   the node defers — "in case of congestion in a sub-tree, action is
+//!   taken by the root of that sub-tree". A node that reduces its demand
+//!   sets a **backoff timer for the highest layer being dropped** so no
+//!   receiver in the subtree re-subscribes it soon — this is how receiver
+//!   coordination is achieved.
+//! * **supply**, top-down: each node gets the minimum of its demand, its
+//!   parent's supply, and the stage-3/4 bandwidth cap. Leaf supplies are
+//!   the suggestions sent to receivers.
+
+use crate::config::Config;
+use crate::decision::{decide, Action, NodeKind, SupplyWindow};
+use crate::history::{BwEquality, CongestionHistory};
+use netsim::{NodeId, RngStream, SimTime};
+use std::collections::HashMap;
+use topology::SessionTree;
+use traffic::LayerSpec;
+
+/// Per-node inputs assembled by the algorithm driver.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeInputs {
+    /// 3-bit congestion history with the current interval at bit 0.
+    pub hist: CongestionHistory,
+    /// Whether the parent is congested this interval (defer if so).
+    pub parent_congested: bool,
+    /// Whether any sibling subtree is congested this interval. Adding a
+    /// layer while a sibling hurts is exactly the topology-blind mistake of
+    /// Fig. 1 — the shared upstream link may be the cause — so exploration
+    /// pauses until the neighbourhood is clean.
+    pub sibling_congested: bool,
+    /// BW-equality classification of the last two intervals.
+    pub bw: BwEquality,
+    /// Effective loss rate this interval.
+    pub loss: f64,
+    /// Supply allocated two runs ago (`T0–Tn`, the older window), levels.
+    pub supply_older: u8,
+    /// Supply allocated last run (`Tn–T2n`, the recent window), levels.
+    pub supply_recent: u8,
+    /// Demand computed last run.
+    pub demand_prev: Option<u8>,
+    /// Current subscription level (receiver-hosting nodes).
+    pub current_level: Option<u8>,
+    /// Bandwidth demonstrably delivered to the subtree this interval
+    /// (max receiver bytes x 8 / interval). Reductions never go below the
+    /// level this goodput fits: that much bandwidth evidently exists, so
+    /// shedding further only under-subscribes (see DESIGN.md §5).
+    pub goodput_bps: f64,
+}
+
+impl Default for NodeInputs {
+    fn default() -> Self {
+        NodeInputs {
+            hist: CongestionHistory::new(),
+            parent_congested: false,
+            sibling_congested: false,
+            bw: BwEquality::Equal,
+            loss: 0.0,
+            supply_older: 1,
+            supply_recent: 1,
+            demand_prev: None,
+            current_level: None,
+            goodput_bps: 0.0,
+        }
+    }
+}
+
+/// Per-session backoff timers: `(node, level) -> expiry`.
+///
+/// A leaf may raise its demand to `level` only if neither it nor any
+/// ancestor holds an active backoff for that level.
+#[derive(Clone, Debug, Default)]
+pub struct BackoffTable {
+    until: HashMap<(NodeId, u8), SimTime>,
+    /// How often this (node, level) has been backed off; each repeat
+    /// doubles the drawn duration (capped), so a layer that keeps failing
+    /// gets probed more and more rarely — the same exponential persistence
+    /// RLM applies to its join timers.
+    failures: HashMap<(NodeId, u8), u32>,
+}
+
+/// Cap on the exponential backoff doubling (2^3 = 8x the base draw).
+const MAX_BACKOFF_EXPONENT: u32 = 3;
+
+impl BackoffTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm a timer at `node` for `level`, drawing a random base duration
+    /// from `cfg` and doubling it per previous failure of the same pair.
+    pub fn arm(
+        &mut self,
+        node: NodeId,
+        level: u8,
+        now: SimTime,
+        cfg: &Config,
+        rng: &mut RngStream,
+    ) {
+        let fails = self.failures.entry((node, level)).or_insert(0);
+        let lo = cfg.backoff_min.nanos();
+        let hi = cfg.backoff_max.nanos().max(lo + 1);
+        let base = rng.range_u64(lo, hi);
+        let scaled = base.saturating_mul(1 << (*fails).min(MAX_BACKOFF_EXPONENT));
+        *fails += 1;
+        self.set(node, level, now + netsim::SimDuration(scaled));
+    }
+
+    /// Arm a timer at `node` for `level` with an explicit expiry.
+    pub fn set(&mut self, node: NodeId, level: u8, until: SimTime) {
+        let e = self.until.entry((node, level)).or_insert(until);
+        *e = (*e).max(until);
+    }
+
+    /// Is subscribing `level` blocked at `node` (checking ancestors too)?
+    pub fn blocked(&self, tree: &SessionTree, node: NodeId, level: u8, now: SimTime) -> bool {
+        if self.until.is_empty() {
+            return false;
+        }
+        let t = tree.tree();
+        let mut cur = Some(node);
+        while let Some(n) = cur {
+            if self.until.get(&(n, level)).is_some_and(|&u| u > now) {
+                return true;
+            }
+            cur = t.parent(n);
+        }
+        false
+    }
+
+    /// Drop expired timers.
+    pub fn expire(&mut self, now: SimTime) {
+        self.until.retain(|_, &mut u| u > now);
+    }
+
+    /// Number of live timers (diagnostics).
+    pub fn len(&self) -> usize {
+        self.until.len()
+    }
+
+    /// True when no timers are armed.
+    pub fn is_empty(&self) -> bool {
+        self.until.is_empty()
+    }
+}
+
+/// Stage-5 output.
+#[derive(Clone, Debug, Default)]
+pub struct SubscriptionResult {
+    /// Demand per node (levels).
+    pub demand: HashMap<NodeId, u8>,
+    /// Supply per node (levels); leaf entries are the suggestions.
+    pub supply: HashMap<NodeId, u8>,
+}
+
+/// Everything stage 5 needs for one session.
+pub struct DemandContext<'a> {
+    pub tree: &'a SessionTree,
+    pub spec: &'a LayerSpec,
+    pub cfg: &'a Config,
+    pub now: SimTime,
+    pub inputs: &'a HashMap<NodeId, NodeInputs>,
+    /// Bandwidth cap per node from stages 3+4, already in level units.
+    pub level_cap: &'a dyn Fn(NodeId) -> u8,
+}
+
+/// Run both passes. `backoffs` is the session's persistent backoff table;
+/// `rng` draws the random backoff durations.
+pub fn compute(
+    ctx: &DemandContext<'_>,
+    backoffs: &mut BackoffTable,
+    rng: &mut RngStream,
+) -> SubscriptionResult {
+    let t = ctx.tree.tree();
+    let cfg = ctx.cfg;
+    let spec = ctx.spec;
+    let mut demand: HashMap<NodeId, u8> = HashMap::with_capacity(t.len());
+
+    backoffs.expire(ctx.now);
+
+    // Demand, bottom-up.
+    for node in t.bottom_up() {
+        let inp = ctx.inputs.get(&node).copied().unwrap_or_default();
+        let children = t.children(node);
+        let d = if children.is_empty() {
+            let cur = inp.current_level.unwrap_or(1).max(1);
+            if inp.parent_congested {
+                // Defer: the congested ancestor acts for the subtree.
+                cur
+            } else {
+                let floor = spec.level_fitting(inp.goodput_bps);
+                let cap = (ctx.level_cap)(node);
+                match decide(NodeKind::Leaf, inp.hist, inp.bw) {
+                    Action::AddLayer => {
+                        // Explore only after the current level has been held
+                        // for two runs: loss feedback lags a join by about
+                        // one interval, and climbing every interval would
+                        // overshoot bottlenecks by several layers before the
+                        // first loss report lands.
+                        let settled = inp.supply_recent == cur && inp.supply_older == cur;
+                        let target = (cur + 1).min(spec.max_level());
+                        // Climbing toward a *freshly estimated fair share*
+                        // is not an experiment — the bandwidth is known to
+                        // exist — so neither the settling gate nor a backoff
+                        // from an earlier over-subscription applies. This is
+                        // what makes freed capacity get "fairly and fully
+                        // utilized" quickly after a crash.
+                        let known_safe = cap < spec.max_level() && target <= cap;
+                        if target > cur
+                            && !inp.sibling_congested
+                            && (known_safe
+                                || (settled
+                                    && !backoffs.blocked(ctx.tree, node, target, ctx.now)))
+                        {
+                            target
+                        } else {
+                            cur
+                        }
+                    }
+                    Action::DropIfLossHigh => {
+                        if inp.loss > cfg.high_loss && cur > 1 {
+                            let d = reduce_target(cur - 1, floor, cap, cur);
+                            if d < cur {
+                                backoffs.arm(node, cur, ctx.now, cfg, rng);
+                            }
+                            d
+                        } else {
+                            cur
+                        }
+                    }
+                    Action::Maintain => cur,
+                    Action::ReduceToSupply(w) => {
+                        reduce_target(supply_of(&inp, w), floor, cap, cur)
+                    }
+                    Action::ReduceToHalfSupply { window, backoff } => {
+                        let t = half_supply_level(spec, &inp, window);
+                        let d = reduce_target(t, floor, cap, cur);
+                        if backoff && cur > d {
+                            backoffs.arm(node, cur, ctx.now, cfg, rng);
+                        }
+                        d
+                    }
+                    Action::ReduceToHalfSupplyIfLossVeryHigh(w) => {
+                        if inp.loss > cfg.very_high_loss {
+                            let t = half_supply_level(spec, &inp, w);
+                            reduce_target(t, floor, cap, cur)
+                        } else {
+                            cur
+                        }
+                    }
+                    Action::AcceptChildren => unreachable!("leaf cannot accept children"),
+                }
+            }
+        } else {
+            let childmax = children.iter().map(|c| demand[c]).max().unwrap_or(1);
+            if inp.parent_congested {
+                childmax
+            } else {
+                let floor = spec.level_fitting(inp.goodput_bps);
+                let cap = (ctx.level_cap)(node);
+                match decide(NodeKind::Internal, inp.hist, inp.bw) {
+                    Action::AcceptChildren => childmax,
+                    Action::Maintain => childmax.min(inp.demand_prev.unwrap_or(childmax)),
+                    Action::ReduceToHalfSupply { window, backoff } => {
+                        let t = half_supply_level(spec, &inp, window);
+                        let d = reduce_target(t, floor, cap, childmax);
+                        if backoff && childmax > d {
+                            backoffs.arm(node, childmax, ctx.now, cfg, rng);
+                        }
+                        d
+                    }
+                    other => unreachable!("internal rows never yield {other:?}"),
+                }
+            }
+        };
+        demand.insert(node, d.max(1));
+    }
+
+    // Supply, top-down.
+    let mut supply: HashMap<NodeId, u8> = HashMap::with_capacity(t.len());
+    for node in t.top_down() {
+        let cap = (ctx.level_cap)(node);
+        let s = match t.parent(node) {
+            None => demand[&node].min(cap),
+            Some(p) => demand[&node].min(supply[&p]).min(cap),
+        };
+        // The paper assumes every session keeps at least its base layer.
+        supply.insert(node, s.max(1));
+    }
+
+    SubscriptionResult { demand, supply }
+}
+
+/// Clamp a table-prescribed reduction `target` (from `basis`, the current
+/// level or child max):
+///
+/// * never below the **goodput floor** — the level whose cumulative rate
+///   the subtree demonstrably received this interval;
+/// * snapped up to the fair-share **cap** when the cap is what explains the
+///   congestion (we are above it): reducing below the freshly estimated
+///   fair share only under-subscribes and re-probes later;
+/// * never above `basis` (this is a reduction) and never below base.
+fn reduce_target(target: u8, floor: u8, cap: u8, basis: u8) -> u8 {
+    let mut t = target.max(floor);
+    if cap < basis {
+        t = t.max(cap);
+    }
+    t.min(basis).max(1)
+}
+
+fn supply_of(inp: &NodeInputs, w: SupplyWindow) -> u8 {
+    match w {
+        SupplyWindow::Older => inp.supply_older,
+        SupplyWindow::Recent => inp.supply_recent,
+    }
+}
+
+/// The level whose cumulative rate fits half the window's supplied
+/// bandwidth (never below the base layer).
+fn half_supply_level(spec: &LayerSpec, inp: &NodeInputs, w: SupplyWindow) -> u8 {
+    let bw = spec.cumulative_rate(supply_of(inp, w)) / 2.0;
+    spec.level_fitting(bw).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{DirLinkId, GroupId, GroupSnapshot, SessionId, SimTime};
+    use topology::discovery::{LinkView, TopologyView};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Tree 0 -> 1 -> {2, 3}; receivers at 2 and 3.
+    fn tree() -> SessionTree {
+        let view = TopologyView {
+            time: SimTime::ZERO,
+            links: vec![
+                LinkView { id: DirLinkId(0), from: n(0), to: n(1) },
+                LinkView { id: DirLinkId(1), from: n(1), to: n(2) },
+                LinkView { id: DirLinkId(2), from: n(1), to: n(3) },
+            ],
+            groups: vec![GroupSnapshot {
+                group: GroupId(0),
+                root: n(0),
+                active_links: vec![DirLinkId(0), DirLinkId(1), DirLinkId(2)],
+                member_nodes: vec![n(2), n(3)],
+            }],
+        };
+        SessionTree::build(&view, SessionId(0), &[GroupId(0)]).unwrap()
+    }
+
+    fn run(
+        inputs: HashMap<NodeId, NodeInputs>,
+        cap: impl Fn(NodeId) -> u8 + 'static,
+        backoffs: &mut BackoffTable,
+        now: SimTime,
+    ) -> SubscriptionResult {
+        let tree = tree();
+        let spec = LayerSpec::paper_default();
+        let cfg = Config::default();
+        let cap: Box<dyn Fn(NodeId) -> u8> = Box::new(cap);
+        let ctx = DemandContext { tree: &tree, spec: &spec, cfg: &cfg, now, inputs: &inputs, level_cap: &cap };
+        let mut rng = RngStream::derive(1, "stage5-test");
+        compute(&ctx, backoffs, &mut rng)
+    }
+
+    fn leaf_inp(level: u8, hist: u8, bw: BwEquality, loss: f64) -> NodeInputs {
+        NodeInputs {
+            hist: CongestionHistory::from_bits(hist),
+            bw,
+            loss,
+            current_level: Some(level),
+            supply_older: level,
+            supply_recent: level,
+            ..NodeInputs::default()
+        }
+    }
+
+    #[test]
+    fn uncongested_leaves_explore_one_layer() {
+        let inputs = HashMap::from([
+            (n(2), leaf_inp(2, 0, BwEquality::Equal, 0.0)),
+            (n(3), leaf_inp(3, 0, BwEquality::Equal, 0.0)),
+        ]);
+        let r = run(inputs, |_| 6, &mut BackoffTable::new(), SimTime::from_secs(10));
+        assert_eq!(r.supply[&n(2)], 3);
+        assert_eq!(r.supply[&n(3)], 4);
+        // Internal demand aggregates the max.
+        assert_eq!(r.demand[&n(1)], 4);
+    }
+
+    #[test]
+    fn cap_clamps_supply_but_not_demand() {
+        let inputs = HashMap::from([
+            (n(2), leaf_inp(3, 0, BwEquality::Equal, 0.0)),
+            (n(3), leaf_inp(3, 0, BwEquality::Equal, 0.0)),
+        ]);
+        let r = run(inputs, |_| 2, &mut BackoffTable::new(), SimTime::from_secs(10));
+        assert_eq!(r.demand[&n(2)], 4, "demand may explore past the cap");
+        assert_eq!(r.supply[&n(2)], 2, "supply respects the cap");
+        assert_eq!(r.supply[&n(3)], 2);
+    }
+
+    #[test]
+    fn lossy_leaf_drops_and_backs_off() {
+        let mut backoffs = BackoffTable::new();
+        // hist=1 (congested now), BW grew -> Lesser -> drop if loss high.
+        let inputs = HashMap::from([
+            (n(2), leaf_inp(3, 1, BwEquality::Lesser, 0.4)),
+            (n(3), leaf_inp(1, 0, BwEquality::Equal, 0.0)),
+        ]);
+        let now = SimTime::from_secs(10);
+        let r = run(inputs, |_| 6, &mut backoffs, now);
+        assert_eq!(r.supply[&n(2)], 2);
+        // Level 3 is now backed off at node 2.
+        assert!(backoffs.blocked(&tree(), n(2), 3, now + netsim::SimDuration::from_secs(1)));
+        // Far in the future the timer has expired.
+        assert!(!backoffs.blocked(&tree(), n(2), 3, now + netsim::SimDuration::from_secs(100)));
+    }
+
+    #[test]
+    fn low_loss_does_not_trigger_the_drop_rule() {
+        let inputs = HashMap::from([(n(2), leaf_inp(3, 1, BwEquality::Lesser, 0.05))]);
+        let r = run(inputs, |_| 6, &mut BackoffTable::new(), SimTime::from_secs(10));
+        assert_eq!(r.demand[&n(2)], 3, "loss below high_loss maintains");
+    }
+
+    #[test]
+    fn backoff_blocks_exploration_including_ancestors() {
+        let mut backoffs = BackoffTable::new();
+        let now = SimTime::from_secs(10);
+        // Backoff armed at the *internal* node 1 for level 3.
+        backoffs.set(n(1), 3, now + netsim::SimDuration::from_secs(30));
+        let inputs = HashMap::from([(n(2), leaf_inp(2, 0, BwEquality::Equal, 0.0))]);
+        let r = run(inputs, |_| 6, &mut backoffs, now);
+        assert_eq!(r.demand[&n(2)], 2, "add blocked by ancestor backoff");
+    }
+
+    #[test]
+    fn persistent_congestion_halves_supply() {
+        // hist=7, Equal at a leaf whose parent is NOT congested:
+        // reduce to half the older supply. Older supply = 4 (480 kb/s);
+        // half = 240 kb/s -> level 3 (224k).
+        let mut inp = leaf_inp(4, 7, BwEquality::Equal, 0.2);
+        inp.supply_older = 4;
+        let inputs = HashMap::from([(n(2), inp)]);
+        let r = run(inputs, |_| 6, &mut BackoffTable::new(), SimTime::from_secs(10));
+        assert_eq!(r.demand[&n(2)], 3);
+    }
+
+    #[test]
+    fn children_defer_to_congested_parent() {
+        // Parent (node 1) congested: leaves maintain; node 1 acts.
+        let mut l2 = leaf_inp(3, 1, BwEquality::Lesser, 0.4);
+        l2.parent_congested = true;
+        let mut l3 = leaf_inp(3, 1, BwEquality::Lesser, 0.4);
+        l3.parent_congested = true;
+        let n1 = NodeInputs {
+            hist: CongestionHistory::from_bits(1),
+            bw: BwEquality::Lesser,
+            supply_older: 3,
+            supply_recent: 3,
+            ..NodeInputs::default()
+        };
+        let inputs = HashMap::from([(n(2), l2), (n(3), l3), (n(1), n1)]);
+        let mut backoffs = BackoffTable::new();
+        let now = SimTime::from_secs(10);
+        let r = run(inputs, |_| 6, &mut backoffs, now);
+        // Leaves kept demand 3 (deferred)...
+        assert_eq!(r.demand[&n(2)], 3);
+        assert_eq!(r.demand[&n(3)], 3);
+        // ...but node 1 reduced to half its older supply:
+        // cum(3) = 224k, half = 112k -> level 2.
+        assert_eq!(r.demand[&n(1)], 2);
+        assert_eq!(r.supply[&n(2)], 2);
+        assert_eq!(r.supply[&n(3)], 2);
+        // The highest dropped layer (3) is backed off at the subtree root.
+        assert!(backoffs.blocked(&tree(), n(2), 3, now + netsim::SimDuration::from_secs(1)));
+    }
+
+    #[test]
+    fn supply_never_below_base() {
+        let mut inp = leaf_inp(1, 7, BwEquality::Equal, 0.9);
+        inp.supply_older = 1;
+        let inputs = HashMap::from([(n(2), inp)]);
+        let r = run(inputs, |_| 0, &mut BackoffTable::new(), SimTime::from_secs(10));
+        assert_eq!(r.supply[&n(2)], 1);
+    }
+
+    #[test]
+    fn internal_maintain_uses_previous_demand() {
+        // Node 1 hist=3 (congested, already reduced last run): maintain the
+        // reduced demand even though children ask for more.
+        let l2 = leaf_inp(4, 0, BwEquality::Equal, 0.0);
+        let n1 = NodeInputs {
+            hist: CongestionHistory::from_bits(3),
+            bw: BwEquality::Equal,
+            demand_prev: Some(2),
+            ..NodeInputs::default()
+        };
+        let inputs = HashMap::from([(n(2), l2), (n(1), n1)]);
+        let r = run(inputs, |_| 6, &mut BackoffTable::new(), SimTime::from_secs(10));
+        assert_eq!(r.demand[&n(1)], 2);
+        assert_eq!(r.supply[&n(2)], 2);
+    }
+
+    #[test]
+    fn very_high_loss_rule_on_greater() {
+        // hist=3, Greater: only reduces when loss is very high.
+        let mild = HashMap::from([(n(2), leaf_inp(4, 3, BwEquality::Greater, 0.2))]);
+        let r = run(mild, |_| 6, &mut BackoffTable::new(), SimTime::from_secs(10));
+        assert_eq!(r.demand[&n(2)], 4, "20% loss is not 'very high'");
+        let severe = HashMap::from([(n(2), leaf_inp(4, 3, BwEquality::Greater, 0.5))]);
+        let r = run(severe, |_| 6, &mut BackoffTable::new(), SimTime::from_secs(10));
+        // half of cum(4)=480k -> 240k -> level 3.
+        assert_eq!(r.demand[&n(2)], 3);
+    }
+
+    #[test]
+    fn backoff_table_expire_and_len() {
+        let mut b = BackoffTable::new();
+        b.set(n(1), 2, SimTime::from_secs(5));
+        b.set(n(1), 3, SimTime::from_secs(50));
+        assert_eq!(b.len(), 2);
+        b.expire(SimTime::from_secs(10));
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn arm_scales_exponentially_per_failure() {
+        let mut b = BackoffTable::new();
+        let cfg = Config::default();
+        let mut rng = RngStream::derive(1, "arm-test");
+        let now = SimTime::from_secs(100);
+        // Repeated failures of the same (node, level) must stay blocked for
+        // geometrically longer horizons (capped at 8x the max base draw).
+        let base_max = cfg.backoff_max.as_secs_f64();
+        let mut prev_horizon = 0.0;
+        for k in 0..4 {
+            let mut fresh = b.clone();
+            fresh.arm(n(3), 4, now, &cfg, &mut rng);
+            // Find the expiry by probing.
+            let mut horizon = 0.0;
+            for secs in 1..(base_max as u64 * 16) {
+                let t = now + netsim::SimDuration::from_secs(secs);
+                if !fresh.blocked(&tree(), n(3), 4, t) {
+                    horizon = secs as f64;
+                    break;
+                }
+            }
+            assert!(horizon > 0.0, "failure {k}: timer never expired in probe range");
+            assert!(
+                horizon >= prev_horizon * 0.9,
+                "failure {k}: horizon {horizon} shrank from {prev_horizon}"
+            );
+            // Within the cap.
+            assert!(horizon <= base_max * 8.0 + 1.0, "failure {k}: {horizon}");
+            prev_horizon = horizon;
+            // Arm for real to bump the failure counter.
+            b.arm(n(3), 4, now, &cfg, &mut rng);
+        }
+        // After 4 failures the scale factor is at the 8x cap.
+        let mut capped = b.clone();
+        capped.arm(n(3), 4, now, &cfg, &mut rng);
+        let far = now + netsim::SimDuration::from_secs((base_max * 8.0) as u64 + 2);
+        assert!(!capped.blocked(&tree(), n(3), 4, far), "must respect the 8x cap");
+    }
+
+    #[test]
+    fn arm_counters_are_per_node_and_level() {
+        let mut b = BackoffTable::new();
+        let cfg = Config::default();
+        let mut rng = RngStream::derive(2, "arm-iso");
+        let now = SimTime::from_secs(10);
+        for _ in 0..4 {
+            b.arm(n(3), 4, now, &cfg, &mut rng);
+        }
+        // A different level at the same node still gets a base-range draw.
+        b.arm(n(3), 2, now, &cfg, &mut rng);
+        let past_base = now + netsim::SimDuration::from_secs(
+            cfg.backoff_max.as_secs_f64() as u64 + 1,
+        );
+        assert!(!b.blocked(&tree(), n(3), 2, past_base), "level 2 not scaled");
+    }
+
+    #[test]
+    fn backoff_set_keeps_latest_expiry() {
+        let mut b = BackoffTable::new();
+        b.set(n(1), 2, SimTime::from_secs(50));
+        b.set(n(1), 2, SimTime::from_secs(5));
+        assert!(b.blocked(&tree(), n(1), 2, SimTime::from_secs(30)));
+    }
+}

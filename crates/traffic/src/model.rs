@@ -1,0 +1,109 @@
+//! CBR / VBR packet-count processes.
+//!
+//! Both models are expressed the same way: per one-second frame, a layer
+//! emits some number of packets, evenly spaced within the frame. CBR emits
+//! exactly the mean; VBR follows the two-point distribution of
+//! Gopalakrishnan et al. (see crate docs) whose mean is the CBR rate and
+//! whose peak is `P` times it.
+
+use netsim::RngStream;
+
+/// How a layer's packet count per one-second frame is drawn.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TrafficModel {
+    /// Constant bit rate: the mean count every frame.
+    Cbr,
+    /// Variable bit rate with peak-to-mean ratio `p` (paper uses 3 and 6).
+    Vbr { p: f64 },
+}
+
+impl TrafficModel {
+    /// Draw the packet count for one frame given mean `a` packets/frame.
+    ///
+    /// For VBR: `n = 1` w.p. `1 - 1/P`, `n = P·A + 1 - P` w.p. `1/P`
+    /// (rounded to the nearest packet, floored at 1).
+    pub fn packets_in_frame(&self, a: f64, rng: &mut RngStream) -> u32 {
+        debug_assert!(a >= 1.0, "mean packets per frame must be >= 1, got {a}");
+        match *self {
+            TrafficModel::Cbr => a.round() as u32,
+            TrafficModel::Vbr { p } => {
+                debug_assert!(p >= 1.0, "peak-to-mean ratio must be >= 1");
+                if rng.chance(1.0 / p) {
+                    let peak = p * a + 1.0 - p;
+                    peak.round().max(1.0) as u32
+                } else {
+                    1
+                }
+            }
+        }
+    }
+
+    /// Short label for experiment output ("CBR", "VBR(P=3)", …).
+    pub fn label(&self) -> String {
+        match *self {
+            TrafficModel::Cbr => "CBR".to_string(),
+            TrafficModel::Vbr { p } => format!("VBR(P={p:.0})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbr_is_exact() {
+        let mut rng = RngStream::derive(1, "cbr");
+        for _ in 0..32 {
+            assert_eq!(TrafficModel::Cbr.packets_in_frame(4.0, &mut rng), 4);
+        }
+    }
+
+    #[test]
+    fn vbr_takes_only_two_values() {
+        let mut rng = RngStream::derive(2, "vbr");
+        let m = TrafficModel::Vbr { p: 3.0 };
+        // A = 4, P = 3 -> peak = 3*4 + 1 - 3 = 10.
+        for _ in 0..1000 {
+            let n = m.packets_in_frame(4.0, &mut rng);
+            assert!(n == 1 || n == 10, "unexpected count {n}");
+        }
+    }
+
+    #[test]
+    fn vbr_mean_approximates_a() {
+        let mut rng = RngStream::derive(3, "vbr-mean");
+        let m = TrafficModel::Vbr { p: 6.0 };
+        let a = 16.0;
+        let trials = 20_000;
+        let total: u64 = (0..trials).map(|_| m.packets_in_frame(a, &mut rng) as u64).sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - a).abs() < 0.5, "mean {mean} too far from {a}");
+    }
+
+    #[test]
+    fn vbr_peak_scales_with_p() {
+        let mut rng = RngStream::derive(4, "vbr-peak");
+        let m = TrafficModel::Vbr { p: 6.0 };
+        let a = 8.0;
+        let max = (0..5000).map(|_| m.packets_in_frame(a, &mut rng)).max().unwrap();
+        // Peak = 6*8 + 1 - 6 = 43.
+        assert_eq!(max, 43);
+    }
+
+    #[test]
+    fn vbr_never_emits_zero() {
+        let mut rng = RngStream::derive(5, "vbr-zero");
+        // Degenerate: A=1, P=10 -> peak = 10 + 1 - 10 = 1.
+        let m = TrafficModel::Vbr { p: 10.0 };
+        for _ in 0..100 {
+            assert!(m.packets_in_frame(1.0, &mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(TrafficModel::Cbr.label(), "CBR");
+        assert_eq!(TrafficModel::Vbr { p: 3.0 }.label(), "VBR(P=3)");
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: the smallest complete TopoSense deployment.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! One layered source, one receiver behind a 250 kb/s bottleneck, one
+//! controller. The oracle says 3 layers (224 kb/s) fit; we watch the
+//! controller steer the receiver there.
+
+use netsim::sim::{NetworkBuilder, SimConfig};
+use netsim::{GroupId, LinkConfig, SessionId, SimDuration, SimTime};
+use std::sync::Arc;
+use toposense::{Config, Controller, Receiver};
+use traffic::{LayerSpec, LayeredSource, SessionCatalog, TrafficModel};
+use traffic::session::SessionDef;
+
+fn main() {
+    // 1. A three-node network: source -- router -- receiver, with the
+    //    paper's 200 ms links; the last hop is the 250 kb/s bottleneck.
+    let mut b = NetworkBuilder::new(SimConfig { seed: 42, ..SimConfig::default() });
+    let src = b.add_node("source");
+    let mid = b.add_node("router");
+    let rcv = b.add_node("receiver");
+    b.add_link(src, mid, LinkConfig::kbps(10_000.0));
+    b.add_link(mid, rcv, LinkConfig::kbps(250.0));
+    let mut sim = b.build();
+
+    // 2. Advertise one session: 6 cumulative layers, base 32 kb/s,
+    //    doubling — one multicast group per layer, rooted at the source.
+    let spec = LayerSpec::paper_default();
+    let groups: Vec<GroupId> =
+        (0..spec.layer_count()).map(|_| sim.create_group(src)).collect();
+    let def = SessionDef { id: SessionId(0), source: src, groups, spec };
+    let mut catalog = SessionCatalog::new();
+    catalog.add(def.clone());
+    let catalog = catalog.share();
+
+    // 3. Agents: controller (stationed at the source node, like the paper),
+    //    the source, and the receiver.
+    let cfg = Config::default();
+    let (controller, ctrl_stats) =
+        Controller::new(Arc::clone(&catalog), cfg, SimDuration::ZERO, 1);
+    sim.add_app(src, Box::new(controller));
+    sim.add_app(src, Box::new(LayeredSource::new(def.clone(), TrafficModel::Cbr, 2)));
+    let (receiver, rcv_stats) = Receiver::new(def, src, cfg, 3, "r0");
+    sim.add_app(rcv, Box::new(receiver));
+
+    // 4. Run five simulated minutes.
+    sim.run_until(SimTime::from_secs(300));
+
+    // 5. Inspect.
+    let r = rcv_stats.lock().unwrap();
+    let c = ctrl_stats.lock().unwrap();
+    println!("subscription changes:");
+    for &(t, old, new) in &r.changes {
+        println!("  {:>7.1}s  {} -> {} layers", t.as_secs_f64(), old, new);
+    }
+    println!("final level:            {} (optimal for 250 kb/s: 3)", r.final_level());
+    println!("bytes received:         {}", r.bytes_total);
+    println!("suggestions obeyed:     {}", r.suggestions_received);
+    println!("controller intervals:   {}", c.intervals);
+    println!("events processed:       {}", sim.events_processed());
+    assert!(
+        (2..=4).contains(&r.final_level()),
+        "expected convergence near 3 layers"
+    );
+}

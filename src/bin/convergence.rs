@@ -1,0 +1,68 @@
+//! §IV prior-work claims re-validated: convergence to optimal subscription
+//! and intra-session fairness on Topology A.
+//!
+//! ```text
+//! cargo run --release --bin convergence [-- --quick] [-- --json]
+//! ```
+//!
+//! For each receiver set of Topology A (optima 2 and 4 layers), prints the
+//! time-weighted mean subscription over the second half of the run, the
+//! relative deviation from optimal, and the spread between co-set receivers
+//! (intra-session fairness: should be near zero).
+
+use netsim::SimDuration;
+use scenarios::experiments::convergence_topology_a;
+use traffic::TrafficModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let duration = if quick { SimDuration::from_secs(240) } else { SimDuration::from_secs(1200) };
+    let models =
+        [TrafficModel::Cbr, TrafficModel::Vbr { p: 3.0 }, TrafficModel::Vbr { p: 6.0 }];
+
+    let mut all = Vec::new();
+    for model in models {
+        let rows = convergence_topology_a(4, model, duration, 1);
+        for r in rows {
+            all.push((model.label(), r));
+        }
+    }
+
+    if json {
+        let out: Vec<serde_json::Value> = all
+            .iter()
+            .map(|(m, r)| {
+                serde_json::json!({
+                    "model": m,
+                    "set": r.set,
+                    "optimal": r.optimal,
+                    "mean_level_late": r.mean_level_late,
+                    "deviation_late": r.deviation_late,
+                    "intra_set_spread": r.intra_set_spread,
+                })
+            })
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&out).unwrap());
+        return;
+    }
+
+    println!("Convergence & intra-session fairness — Topology A, 4 receivers/set\n");
+    println!(
+        "{:<10} {:>4} {:>8} {:>16} {:>14} {:>12}",
+        "traffic", "set", "optimal", "mean lvl (late)", "rel. dev.", "set spread"
+    );
+    println!("{}", "-".repeat(70));
+    for (m, r) in &all {
+        println!(
+            "{:<10} {:>4} {:>8} {:>16.2} {:>14.4} {:>12.3}",
+            m, r.set, r.optimal, r.mean_level_late, r.deviation_late, r.intra_set_spread
+        );
+    }
+    println!(
+        "\nShape check (paper §IV, citing [5]): TopoSense converges to the optimal\n\
+         subscription in a heterogeneous environment and treats same-set receivers\n\
+         identically (small spread = intra-session fairness)."
+    );
+}

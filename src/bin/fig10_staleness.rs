@@ -1,0 +1,72 @@
+//! Fig. 10 — impact of stale topology information (Topology A, VBR P=3).
+//!
+//! ```text
+//! cargo run --release --bin fig10_staleness [-- --quick] [-- --json]
+//! ```
+//!
+//! Sweeps the discovery tool's snapshot age from 0 to 18 s for sessions
+//! with different receiver counts and prints the mean relative deviation
+//! from the optimal subscription.
+
+use netsim::SimDuration;
+use scenarios::experiments::fig10_staleness;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let duration = if quick { SimDuration::from_secs(200) } else { SimDuration::from_secs(1200) };
+    let receivers: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let staleness: &[u64] = if quick { &[0, 4, 8] } else { &[0, 2, 4, 6, 8, 10, 12, 14, 16, 18] };
+
+    let rows = fig10_staleness(receivers, staleness, duration, 1);
+
+    if json {
+        let out: Vec<serde_json::Value> = rows
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "receivers_per_set": r.receivers_per_set,
+                    "staleness_secs": r.staleness_secs,
+                    "mean_relative_deviation": r.mean_relative_deviation,
+                    "mean_loss": r.mean_loss,
+                })
+            })
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&out).unwrap());
+        return;
+    }
+
+    println!("Fig. 10 — Impact of stale topology information (Topology A, VBR P=3)");
+    println!("rows: staleness (s); columns: receivers per set\n");
+    for (title, get) in [
+        ("mean relative deviation", 0usize),
+        ("mean loss rate", 1usize),
+    ] {
+        println!("[{title}]");
+        print!("{:>12}", "staleness");
+        for &n in receivers {
+            print!("{:>12}", format!("{}/set", n));
+        }
+        println!();
+        println!("{}", "-".repeat(12 + 12 * receivers.len()));
+        for &st in staleness {
+            print!("{st:>12}");
+            for &n in receivers {
+                let v = rows
+                    .iter()
+                    .find(|r| r.receivers_per_set == n && r.staleness_secs == st)
+                    .map(|r| if get == 0 { r.mean_relative_deviation } else { r.mean_loss })
+                    .unwrap_or(f64::NAN);
+                print!("{v:>12.4}");
+            }
+            println!();
+        }
+        println!();
+    }
+    println!(
+        "\nShape check (paper): performance deteriorates with staleness; the session\n\
+         with the fewest receivers is least affected; deterioration shows after ~4 s\n\
+         and plateaus around 10 s (max source-receiver latency here is 600 ms)."
+    );
+}

@@ -1,0 +1,58 @@
+//! Fig. 1 — the motivating example, quantified.
+//!
+//! ```text
+//! cargo run --release --bin fig1_motivation [-- --quick] [-- --json]
+//! ```
+//!
+//! On the Fig. 1 tree, a receiver at node 4 that over-subscribes congests
+//! the shared link into node 2 and causes losses for the slower sibling at
+//! node 3. A topology-blind scheme (the RLM baseline) keeps re-running that
+//! failed experiment; TopoSense, knowing nodes 3 and 4 share a bottleneck,
+//! caps the subtree and protects the innocent receiver.
+
+use netsim::SimDuration;
+use scenarios::experiments::fig1_motivation;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let duration = if quick { SimDuration::from_secs(200) } else { SimDuration::from_secs(1200) };
+
+    let rows = fig1_motivation(duration, 1);
+
+    if json {
+        let out: Vec<serde_json::Value> = rows
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "mode": r.mode,
+                    "n3_loss": r.n3_loss,
+                    "n3_mean_level": r.n3_mean_level,
+                    "n4_mean_level": r.n4_mean_level,
+                    "n5_mean_level": r.n5_mean_level,
+                })
+            })
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&out).unwrap());
+        return;
+    }
+
+    println!("Fig. 1 — motivating example (optima: n3 = 1 layer, n4 = 2, n5 = 4)\n");
+    println!(
+        "{:<12} {:>14} {:>14} {:>14} {:>14}",
+        "control", "n3 loss", "n3 mean lvl", "n4 mean lvl", "n5 mean lvl"
+    );
+    println!("{}", "-".repeat(74));
+    for r in &rows {
+        println!(
+            "{:<12} {:>14.4} {:>14.2} {:>14.2} {:>14.2}",
+            r.mode, r.n3_loss, r.n3_mean_level, r.n4_mean_level, r.n5_mean_level
+        );
+    }
+    println!(
+        "\nShape check (paper): without topology awareness the slow receiver n3\n\
+         suffers loss caused by its sibling's exploration; TopoSense keeps n3's\n\
+         loss near zero while n5 (a disjoint subtree) is unaffected in both modes."
+    );
+}

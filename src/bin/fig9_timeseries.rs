@@ -1,0 +1,73 @@
+//! Fig. 9 — layer subscription and loss history, 4 competing VBR sessions.
+//!
+//! ```text
+//! cargo run --release --bin fig9_timeseries [-- --quick] [-- --json]
+//! ```
+//!
+//! Reproduces the paper's sample plot: the per-session subscription level
+//! and loss rate over time for four VBR(P=3) sessions sharing a 2 Mb/s
+//! link. Prints a 10-second excerpt as an ASCII strip chart plus summary
+//! statistics; `--json` dumps the full series for external plotting.
+
+use netsim::SimDuration;
+use scenarios::experiments::fig9_timeseries;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let duration = if quick { SimDuration::from_secs(120) } else { SimDuration::from_secs(1200) };
+
+    let out = fig9_timeseries(duration, 1);
+
+    if json {
+        let v = serde_json::json!({
+            "levels": out.levels,
+            "losses": out.losses,
+            "oversubscription_seen": out.oversubscription_seen,
+        });
+        println!("{}", serde_json::to_string_pretty(&v).unwrap());
+        return;
+    }
+
+    println!("Fig. 9 — Layer subscription and loss, 4 competing VBR(P=3) sessions\n");
+
+    // A 10 s window from the middle of the run, as in the paper's excerpt.
+    let mid = duration.as_secs_f64() / 2.0;
+    let (w0, w1) = (mid, mid + 10.0);
+    println!("Subscription levels over the window {w0:.0}-{w1:.0} s:");
+    println!("{:<8} levels per session  s0 s1 s2 s3", "time(s)");
+    let mut t = w0;
+    while t < w1 {
+        let mut line = format!("{t:<8.0}");
+        for s in &out.levels {
+            let level = s
+                .iter()
+                .take_while(|&&(ts, _)| ts <= t)
+                .last()
+                .map(|&(_, l)| l)
+                .unwrap_or(0);
+            line.push_str(&format!(" {level:>4}"));
+        }
+        println!("{line}");
+        t += 1.0;
+    }
+
+    println!("\nPer-session summary over the full run:");
+    println!("{:<8} {:>12} {:>12} {:>14}", "session", "mean level", "max level", "mean loss");
+    for (i, (levels, losses)) in out.levels.iter().zip(&out.losses).enumerate() {
+        let mean_level =
+            levels.iter().map(|&(_, l)| l as f64).sum::<f64>() / levels.len().max(1) as f64;
+        let max_level = levels.iter().map(|&(_, l)| l).max().unwrap_or(0);
+        let mean_loss =
+            losses.iter().map(|&(_, l)| l).sum::<f64>() / losses.len().max(1) as f64;
+        println!("{i:<8} {mean_level:>12.2} {max_level:>12} {mean_loss:>14.4}");
+    }
+    println!(
+        "\nShape check (paper): sessions transiently over-subscribe to layers 5/6 when\n\
+         the capacity estimate resets or bursts mask loss; heavy loss then re-teaches\n\
+         the estimate and the system returns to the 4-layer fair state.\n\
+         Over-subscription above optimum observed this run: {}",
+        out.oversubscription_seen
+    );
+}

@@ -1,0 +1,72 @@
+//! Diagnostics: per-receiver change logs and controller state for the
+//! three canonical topologies.
+//!
+//! ```text
+//! cargo run --release --bin inspect -- <a2|b4|fig1> [secs] [staleness_secs]
+//! ```
+//!
+//! * `a2`   — Topology A with 2 receivers per set (optima 2 and 4 layers)
+//! * `b4`   — Topology B with 4 competing sessions (optimum 4 each)
+//! * `fig1` — the Fig. 1 motivating example (optima 1 / 2 / 4)
+//!
+//! Set `TOPOSENSE_TRACE=1` to additionally dump, on stderr, the controller's
+//! per-interval view of every session-tree node (history bits, loss,
+//! goodput, cap, demand, supply) — the raw material behind every debugging
+//! session of this reproduction.
+
+use netsim::{SimDuration, SimTime};
+use scenarios::{run, ControlMode, Scenario};
+use topology::generators;
+use traffic::TrafficModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(|s| s.as_str()).unwrap_or("b4");
+    let secs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(240);
+    let topo = match which {
+        "b4" => generators::topology_b_default(4),
+        "a2" => generators::topology_a_default(2),
+        "fig1" => generators::figure1(),
+        _ => panic!("unknown"),
+    };
+    let staleness: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let s = Scenario::new(topo, TrafficModel::Vbr { p: 3.0 }, 1)
+        .with_control(ControlMode::TopoSense {
+            staleness: SimDuration::from_secs(staleness),
+        })
+        .with_duration(SimDuration::from_secs(secs));
+    let r = run(&s);
+    for rec in &r.receivers {
+        println!(
+            "receiver set={} session={} node={:?} optimal={} final={} bytes={} sugg={} unilateral={}",
+            rec.set,
+            rec.session,
+            rec.node,
+            rec.optimal,
+            rec.stats.final_level(),
+            rec.stats.bytes_total,
+            rec.stats.suggestions_received,
+            rec.stats.unilateral_actions,
+        );
+        let ch: Vec<String> = rec
+            .stats
+            .changes
+            .iter()
+            .map(|&(t, o, n)| format!("{:.0}s:{}->{}", t.as_secs_f64(), o, n))
+            .collect();
+        println!("  changes: {}", ch.join(" "));
+        let late_loss = rec.mean_loss(SimTime::from_secs(secs / 2), SimTime::from_secs(secs));
+        println!("  late mean loss: {late_loss:.4}");
+    }
+    if let Some(c) = &r.controller {
+        println!(
+            "controller: intervals={} suggestions={} registered={}",
+            c.intervals, c.suggestions_sent, c.registered
+        );
+        if let Some(o) = &c.last_outputs {
+            println!("  last estimates: {:?}", o.estimated_links);
+            println!("  last root supplies: {:?}", o.root_supply);
+        }
+    }
+    println!("total drops: {}", r.total_drops);
+}

@@ -1,0 +1,62 @@
+//! Table I — print the full decision table as implemented.
+//!
+//! ```text
+//! cargo run --release --bin table1_decisions
+//! ```
+//!
+//! Enumerates every `(node kind, 3-bit congestion history, BW equality)`
+//! combination and prints the action `toposense::decision::decide` returns,
+//! in the paper's row order. The unit tests in `toposense::decision` assert
+//! each row against the printed table; this binary regenerates it for
+//! side-by-side comparison with the paper.
+
+use toposense::history::{BwEquality, CongestionHistory};
+use toposense::{decision, Action, NodeKind, SupplyWindow};
+
+fn action_str(a: Action) -> String {
+    match a {
+        Action::AddLayer => "Add next layer, if not backing off".into(),
+        Action::DropIfLossHigh => "If loss rate is high, drop layer, set backoff timer".into(),
+        Action::Maintain => "Maintain Demand".into(),
+        Action::ReduceToSupply(w) => format!("Reduce demand to supply in {}", win(w)),
+        Action::ReduceToHalfSupply { window, backoff } => {
+            if backoff {
+                format!("Reduce Demand to half the supply in {}; set backoff", win(window))
+            } else {
+                format!("Reduce Demand to half the supply in {}", win(window))
+            }
+        }
+        Action::ReduceToHalfSupplyIfLossVeryHigh(w) => {
+            format!("If loss is very high, reduce demand to half the supply in {}", win(w))
+        }
+        Action::AcceptChildren => "Accept all demands of the child nodes".into(),
+    }
+}
+
+fn win(w: SupplyWindow) -> &'static str {
+    match w {
+        SupplyWindow::Older => "T0-Tn",
+        SupplyWindow::Recent => "Tn-T2n",
+    }
+}
+
+fn main() {
+    println!("Table I — decision table for computing demand at each node at time T2");
+    println!("(history bits: T0 at bit 2, T1 at bit 1, T2 at bit 0; CONGESTED = 1)\n");
+    println!("{:<10} {:>8} {:<9} Action", "Kind", "History", "BW-Eq");
+    println!("{}", "-".repeat(96));
+    for kind in [NodeKind::Leaf, NodeKind::Internal] {
+        for bw in [BwEquality::Lesser, BwEquality::Equal, BwEquality::Greater] {
+            for h in 0..8u8 {
+                let a = decision::decide(kind, CongestionHistory::from_bits(h), bw);
+                println!(
+                    "{:<10} {:>8} {:<9} {}",
+                    format!("{kind:?}"),
+                    h,
+                    format!("{bw:?}"),
+                    action_str(a)
+                );
+            }
+        }
+    }
+}

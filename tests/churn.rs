@@ -1,0 +1,120 @@
+//! Receiver churn: the paper's architecture registers receivers whenever
+//! they appear and forgets them when their nodes leave the tree; the
+//! long-lived session must keep serving everyone else undisturbed.
+
+use netsim::sim::{NetworkBuilder, SimConfig};
+use netsim::{GroupId, LinkConfig, NodeId, SessionId, SimDuration, SimTime};
+use std::sync::Arc;
+use toposense::receiver::ReceiverHandle;
+use toposense::{Config, Controller, Receiver};
+use traffic::session::SessionDef;
+use traffic::{LayerSpec, LayeredSource, SessionCatalog, TrafficModel};
+
+/// Shared-bottleneck star: src -- [cap kbps] -- hub -- receivers.
+fn build(
+    cap_kbps: f64,
+    n_receivers: usize,
+    lifetimes: &[(u64, Option<u64>)],
+    seed: u64,
+) -> (netsim::Simulator, Vec<ReceiverHandle>) {
+    assert_eq!(lifetimes.len(), n_receivers);
+    let mut b = NetworkBuilder::new(SimConfig { seed, ..SimConfig::default() });
+    let src = b.add_node("src");
+    let hub = b.add_node("hub");
+    b.add_link(src, hub, LinkConfig::kbps(cap_kbps));
+    let leaves: Vec<NodeId> = (0..n_receivers)
+        .map(|i| {
+            let n = b.add_node(format!("r{i}"));
+            b.add_link(hub, n, LinkConfig::kbps(10_000.0));
+            n
+        })
+        .collect();
+    let mut sim = b.build();
+    let spec = LayerSpec::paper_default();
+    let groups: Vec<GroupId> =
+        (0..spec.layer_count()).map(|_| sim.create_group(src)).collect();
+    let def = SessionDef { id: SessionId(0), source: src, groups, spec };
+    let mut catalog = SessionCatalog::new();
+    catalog.add(def.clone());
+    let catalog = catalog.share();
+    let cfg = Config::default();
+    let (ctrl, _) = Controller::new(Arc::clone(&catalog), cfg, SimDuration::ZERO, 1);
+    sim.add_app(src, Box::new(ctrl));
+    sim.add_app(src, Box::new(LayeredSource::new(def.clone(), TrafficModel::Cbr, 2)));
+    let mut handles = Vec::new();
+    for (i, (&leaf, &(start, stop))) in leaves.iter().zip(lifetimes).enumerate() {
+        let (rx, h) = Receiver::new(def.clone(), src, cfg, 100 + i as u64, &format!("r{i}"));
+        let rx = rx.with_lifetime(
+            SimTime::from_secs(start),
+            stop.map(SimTime::from_secs),
+        );
+        sim.add_app(leaf, Box::new(rx));
+        handles.push(h);
+    }
+    (sim, handles)
+}
+
+#[test]
+fn late_joiner_is_steered_like_everyone_else() {
+    // 600 kb/s bottleneck, optimum 4 layers. Receiver 1 joins at t=120.
+    let (mut sim, handles) = build(600.0, 2, &[(0, None), (120, None)], 3);
+    sim.run_until(SimTime::from_secs(400));
+    let early = handles[0].lock().unwrap().clone();
+    let late = handles[1].lock().unwrap().clone();
+    // The late joiner produced nothing before its start.
+    assert!(late.changes.first().unwrap().0 >= SimTime::from_secs(120));
+    // Both sit near the optimum at the end.
+    for (name, s) in [("early", &early), ("late", &late)] {
+        let series = metrics::StepSeries::from_changes(&s.changes);
+        let mean = series.mean(SimTime::from_secs(300), SimTime::from_secs(400));
+        assert!((mean - 4.0).abs() < 1.0, "{name}: late mean {mean:.2}");
+        assert!(s.suggestions_received > 0, "{name} heard from the controller");
+    }
+}
+
+#[test]
+fn departure_releases_the_tree() {
+    // One receiver leaves mid-run; the stayer keeps its subscription and
+    // the departed node's groups stop flowing (no more bytes for it).
+    let (mut sim, handles) = build(600.0, 2, &[(0, None), (0, Some(150))], 7);
+    sim.run_until(SimTime::from_secs(400));
+    let stayer = handles[0].lock().unwrap().clone();
+    let leaver = handles[1].lock().unwrap().clone();
+    assert_eq!(leaver.final_level(), 0, "departed receiver left all groups");
+    // No loss/level samples after departure (+ one report window slack).
+    let last_sample = leaver.level_series.last().unwrap().0;
+    assert!(last_sample <= SimTime::from_secs(152));
+    // The stayer is unaffected late in the run.
+    let series = metrics::StepSeries::from_changes(&stayer.changes);
+    let mean = series.mean(SimTime::from_secs(300), SimTime::from_secs(400));
+    assert!((mean - 4.0).abs() < 1.0, "stayer mean {mean:.2}");
+}
+
+#[test]
+fn rolling_churn_does_not_wedge_the_controller() {
+    // Five receivers with staggered, overlapping lifetimes.
+    let lifetimes = [
+        (0u64, Some(200u64)),
+        (50, Some(250)),
+        (100, Some(300)),
+        (150, None),
+        (200, None),
+    ];
+    let (mut sim, handles) = build(600.0, 5, &lifetimes, 11);
+    sim.run_until(SimTime::from_secs(420));
+    // The survivors converge.
+    for (i, h) in handles.iter().enumerate().skip(3) {
+        let s = h.lock().unwrap().clone();
+        let series = metrics::StepSeries::from_changes(&s.changes);
+        let mean = series.mean(SimTime::from_secs(350), SimTime::from_secs(420));
+        assert!(
+            (mean - 4.0).abs() < 1.2,
+            "survivor r{i}: late mean {mean:.2}; changes {:?}",
+            s.changes
+        );
+    }
+    // The departed are all at level 0.
+    for h in handles.iter().take(3) {
+        assert_eq!(h.lock().unwrap().final_level(), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! The paper's Fig. 3: hierarchical control with multiple per-domain
+//! controller agents, each managing its own subtree and unaware of the
+//! others.
+//!
+//! Topology (capacities in kb/s):
+//!
+//! ```text
+//!            src ──10000── core
+//!                     ┌──────┴──────┐
+//!                  [150]         [600]
+//!                  gwA            gwB          <- domain gateways
+//!                 /    \         /    \
+//!               ra1    ra2     rb1    rb2      <- receivers (fat last hops)
+//! ```
+//!
+//! Domain A = {gwA, ra1, ra2} with its controller at gwA; domain B likewise
+//! at gwB. Optima: 2 layers in A, 4 in B. Each controller sees only its
+//! domain (restricted topology views, domain-local registrations) and must
+//! converge its own receivers.
+
+use netsim::sim::{NetworkBuilder, SimConfig};
+use netsim::{GroupId, LinkConfig, SessionId, SimDuration, SimTime};
+use std::sync::Arc;
+use toposense::{Config, Controller, Receiver};
+use traffic::session::SessionDef;
+use traffic::{LayerSpec, LayeredSource, SessionCatalog, TrafficModel};
+
+#[test]
+fn two_domain_controllers_each_converge_their_subtree() {
+    let mut b = NetworkBuilder::new(SimConfig { seed: 5, ..SimConfig::default() });
+    let src = b.add_node("src");
+    let core = b.add_node("core");
+    let gw_a = b.add_node("gwA");
+    let gw_b = b.add_node("gwB");
+    b.add_link(src, core, LinkConfig::kbps(10_000.0));
+    b.add_link(core, gw_a, LinkConfig::kbps(150.0));
+    b.add_link(core, gw_b, LinkConfig::kbps(600.0));
+    let ra: Vec<_> = (0..2)
+        .map(|i| {
+            let n = b.add_node(format!("ra{i}"));
+            b.add_link(gw_a, n, LinkConfig::kbps(10_000.0));
+            n
+        })
+        .collect();
+    let rb: Vec<_> = (0..2)
+        .map(|i| {
+            let n = b.add_node(format!("rb{i}"));
+            b.add_link(gw_b, n, LinkConfig::kbps(10_000.0));
+            n
+        })
+        .collect();
+    let mut sim = b.build();
+
+    let spec = LayerSpec::paper_default();
+    let groups: Vec<GroupId> =
+        (0..spec.layer_count()).map(|_| sim.create_group(src)).collect();
+    let def = SessionDef { id: SessionId(0), source: src, groups, spec };
+    let mut catalog = SessionCatalog::new();
+    catalog.add(def.clone());
+    let catalog = catalog.share();
+    let cfg = Config::default();
+
+    // Two controllers, each clipped to its domain, sitting on the gateway.
+    let (ctrl_a, shared_a) =
+        Controller::new(Arc::clone(&catalog), cfg, SimDuration::ZERO, 1);
+    let ctrl_a = ctrl_a.with_domain([gw_a, ra[0], ra[1]]);
+    sim.add_app(gw_a, Box::new(ctrl_a));
+    let (ctrl_b, shared_b) =
+        Controller::new(Arc::clone(&catalog), cfg, SimDuration::ZERO, 2);
+    let ctrl_b = ctrl_b.with_domain([gw_b, rb[0], rb[1]]);
+    sim.add_app(gw_b, Box::new(ctrl_b));
+
+    sim.add_app(src, Box::new(LayeredSource::new(def.clone(), TrafficModel::Cbr, 3)));
+
+    // Receivers register with *their* domain's controller node.
+    let mut handles = Vec::new();
+    for (i, &n) in ra.iter().enumerate() {
+        let (rx, h) = Receiver::new(def.clone(), gw_a, cfg, 10 + i as u64, &format!("a{i}"));
+        sim.add_app(n, Box::new(rx));
+        handles.push((0u32, h));
+    }
+    for (i, &n) in rb.iter().enumerate() {
+        let (rx, h) = Receiver::new(def.clone(), gw_b, cfg, 20 + i as u64, &format!("b{i}"));
+        sim.add_app(n, Box::new(rx));
+        handles.push((1u32, h));
+    }
+
+    sim.run_until(SimTime::from_secs(600));
+
+    // Both controllers ran and manage exactly their own two receivers.
+    let a = shared_a.lock().unwrap();
+    let b_ = shared_b.lock().unwrap();
+    assert!(a.intervals > 250 && b_.intervals > 250);
+    assert_eq!(a.registered, 2, "domain A sees only its receivers");
+    assert_eq!(b_.registered, 2, "domain B sees only its receivers");
+
+    // Per-domain convergence to the per-domain optimum (2 vs 4 layers).
+    for (domain, handle) in &handles {
+        let stats = handle.lock().unwrap().clone();
+        let series = metrics::StepSeries::from_changes(&stats.changes);
+        let mean = series.mean(SimTime::from_secs(300), SimTime::from_secs(600));
+        let optimal = if *domain == 0 { 2.0 } else { 4.0 };
+        assert!(
+            (mean - optimal).abs() < 0.8,
+            "domain {domain}: late mean level {mean:.2}, expected ~{optimal}"
+        );
+        assert!(stats.suggestions_received > 0, "domain {domain} receiver steered");
+    }
+}
+
+#[test]
+fn domain_controller_ignores_outside_receivers() {
+    // A receiver that (mis)registers with a foreign domain's controller
+    // gets no suggestions — its node is not in any restricted tree.
+    let mut b = NetworkBuilder::new(SimConfig { seed: 8, ..SimConfig::default() });
+    let src = b.add_node("src");
+    let gw = b.add_node("gw");
+    let inside = b.add_node("inside");
+    let outside = b.add_node("outside");
+    b.add_link(src, gw, LinkConfig::kbps(10_000.0));
+    b.add_link(gw, inside, LinkConfig::kbps(500.0));
+    b.add_link(src, outside, LinkConfig::kbps(500.0));
+    let mut sim = b.build();
+    let spec = LayerSpec::paper_default();
+    let groups: Vec<GroupId> =
+        (0..spec.layer_count()).map(|_| sim.create_group(src)).collect();
+    let def = SessionDef { id: SessionId(0), source: src, groups, spec };
+    let mut catalog = SessionCatalog::new();
+    catalog.add(def.clone());
+    let catalog = catalog.share();
+    let cfg = Config::default();
+
+    let (ctrl, _) = Controller::new(Arc::clone(&catalog), cfg, SimDuration::ZERO, 1);
+    let ctrl = ctrl.with_domain([gw, inside]);
+    sim.add_app(gw, Box::new(ctrl));
+    sim.add_app(src, Box::new(LayeredSource::new(def.clone(), TrafficModel::Cbr, 3)));
+    let (rx_in, h_in) = Receiver::new(def.clone(), gw, cfg, 1, "in");
+    sim.add_app(inside, Box::new(rx_in));
+    // The outside receiver wrongly reports to this controller.
+    let (rx_out, h_out) = Receiver::new(def, gw, cfg, 2, "out");
+    sim.add_app(outside, Box::new(rx_out));
+
+    sim.run_until(SimTime::from_secs(120));
+    assert!(h_in.lock().unwrap().suggestions_received > 0);
+    assert_eq!(
+        h_out.lock().unwrap().suggestions_received,
+        0,
+        "outside-node receiver is invisible to a domain-restricted controller"
+    );
+}

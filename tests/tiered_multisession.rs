@@ -1,0 +1,64 @@
+//! Stress test: multiple sessions interleaved across one random tiered
+//! tree (Fig. 2-style topology), so almost every interior link is shared
+//! by several sessions — the hardest case for the capacity estimator and
+//! the fair-share stage at once.
+
+use netsim::{RngStream, SimDuration, SimTime};
+use scenarios::{run, Scenario};
+use topology::generators::{self, TieredParams};
+use traffic::TrafficModel;
+
+#[test]
+fn three_sessions_on_a_tiered_tree_stay_sane() {
+    let mut rng = RngStream::derive(21, "tiered-ms-test");
+    let params =
+        TieredParams { tiers: 3, fanout: (2, 3), top_kbps: 8000.0, capacity_decay: 3.0 };
+    let topo = generators::tiered_multisession(&mut rng, params, 3);
+    let n_receivers = topo.receivers().len();
+    assert!(n_receivers >= 6, "want a real tree, got {n_receivers} receivers");
+
+    let s = Scenario::new(topo, TrafficModel::Cbr, 9)
+        .with_duration(SimDuration::from_secs(400));
+    let result = run(&s);
+    assert_eq!(result.receivers.len(), n_receivers);
+
+    let half = SimTime::from_secs(200);
+    let end = SimTime::from_secs(400);
+    let mut worst = 0.0f64;
+    for r in &result.receivers {
+        // Sanity: every receiver holds a valid level and was steered.
+        let f = r.stats.final_level();
+        assert!((1..=6).contains(&f), "receiver {:?} at level {f}", r.node);
+        assert!(r.stats.suggestions_received > 0, "receiver {:?} unsteered", r.node);
+        worst = worst.max(r.relative_deviation(half, end));
+    }
+    // Loose bound: random shared-tier topology with interleaved sessions;
+    // the point is no receiver is starved or runaway.
+    assert!(worst < 1.2, "worst receiver deviation {worst:.2}");
+    let mean = result.mean_relative_deviation(half, end);
+    assert!(mean < 0.6, "mean deviation {mean:.3}");
+
+    // No session is starved relative to the others beyond a factor of ~20
+    // (they have different tree placements, so shares legitimately differ).
+    let bytes: Vec<f64> =
+        result.session_bytes().iter().map(|&(_, b)| b as f64).collect();
+    assert_eq!(bytes.len(), 3);
+    let max = bytes.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = bytes.iter().copied().fold(f64::INFINITY, f64::min);
+    assert!(min > 0.0, "a session was fully starved: {bytes:?}");
+    assert!(max / min < 20.0, "extreme session imbalance: {bytes:?}");
+}
+
+#[test]
+fn deterministic_under_multisession_stress() {
+    let go = || {
+        let mut rng = RngStream::derive(5, "tiered-ms-det");
+        let params = TieredParams::default();
+        let topo = generators::tiered_multisession(&mut rng, params, 2);
+        let s = Scenario::new(topo, TrafficModel::Vbr { p: 3.0 }, 77)
+            .with_duration(SimDuration::from_secs(200));
+        let r = run(&s);
+        (r.events, r.total_drops)
+    };
+    assert_eq!(go(), go());
+}
