@@ -94,12 +94,8 @@ mod tests {
         b.add_link(src, rcv, LinkConfig::kbps(kbps));
         let mut sim = b.build();
         let groups: Vec<GroupId> = (0..6).map(|_| sim.create_group(src)).collect();
-        let def = SessionDef {
-            id: SessionId(0),
-            source: src,
-            groups,
-            spec: LayerSpec::paper_default(),
-        };
+        let def =
+            SessionDef { id: SessionId(0), source: src, groups, spec: LayerSpec::paper_default() };
         sim.add_app(src, Box::new(LayeredSource::new(def.clone(), TrafficModel::Cbr, 2)));
         let (r, shared) = FixedReceiver::new(def, level);
         sim.add_app(rcv, Box::new(r));

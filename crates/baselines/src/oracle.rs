@@ -130,9 +130,7 @@ pub fn optimal_levels(spec: &TopoSpec, layer_spec: &LayerSpec, headroom: f64) ->
         for ((du, _), lvl) in &max_level {
             *load.entry(*du).or_insert(0.0) += layer_spec.cumulative_rate(*lvl);
         }
-        load.iter().all(|(&(li, _), &bps)| {
-            bps <= spec.links[li].config.bandwidth_bps * headroom
-        })
+        load.iter().all(|(&(li, _), &bps)| bps <= spec.links[li].config.bandwidth_bps * headroom)
     };
 
     assert!(fits(&receivers), "even base layers do not fit this topology");

@@ -61,7 +61,12 @@ pub struct RlmReceiver {
 }
 
 impl RlmReceiver {
-    pub fn new(def: SessionDef, params: RlmParams, seed: u64, label: &str) -> (Self, ReceiverHandle) {
+    pub fn new(
+        def: SessionDef,
+        params: RlmParams,
+        seed: u64,
+        label: &str,
+    ) -> (Self, ReceiverHandle) {
         let shared: ReceiverHandle = Arc::new(Mutex::new(ReceiverShared::default()));
         let layers = def.spec.layer_count();
         let r = RlmReceiver {
@@ -203,12 +208,8 @@ mod tests {
         b.add_link(src, rcv, LinkConfig::kbps(bottleneck_kbps));
         let mut sim = b.build();
         let groups: Vec<GroupId> = (0..6).map(|_| sim.create_group(src)).collect();
-        let def = SessionDef {
-            id: SessionId(0),
-            source: src,
-            groups,
-            spec: LayerSpec::paper_default(),
-        };
+        let def =
+            SessionDef { id: SessionId(0), source: src, groups, spec: LayerSpec::paper_default() };
         sim.add_app(src, Box::new(LayeredSource::new(def.clone(), TrafficModel::Cbr, 2)));
         let (r, shared) = RlmReceiver::new(def, RlmParams::default(), 3, "r0");
         sim.add_app(rcv, Box::new(r));
@@ -266,17 +267,11 @@ mod tests {
         let shared = run_rlm(150.0, 900);
         let s = shared.lock().unwrap();
         // Gaps between successive drops should grow (exponential backoff).
-        let drops: Vec<SimTime> = s
-            .changes
-            .iter()
-            .filter(|&&(_, o, n)| n < o)
-            .map(|&(t, _, _)| t)
-            .collect();
+        let drops: Vec<SimTime> =
+            s.changes.iter().filter(|&&(_, o, n)| n < o).map(|&(t, _, _)| t).collect();
         assert!(drops.len() >= 2, "need at least two failed experiments");
         let first_gap = drops[1].since(drops[0]).as_secs_f64();
-        let last_gap = drops[drops.len() - 1]
-            .since(drops[drops.len() - 2])
-            .as_secs_f64();
+        let last_gap = drops[drops.len() - 1].since(drops[drops.len() - 2]).as_secs_f64();
         assert!(
             last_gap >= first_gap * 0.9,
             "gaps should not shrink: first {first_gap}, last {last_gap}"

@@ -41,9 +41,7 @@ fn bench_bottleneck_stage(c: &mut Criterion) {
         let (tree, leaves) = balanced_session_tree(0, 4, depth);
         g.bench_with_input(BenchmarkId::from_parameter(leaves.len()), &depth, |b, _| {
             b.iter(|| {
-                black_box(bottleneck::compute(&tree, |l| {
-                    (l.0 % 7 == 0).then_some(500_000.0)
-                }))
+                black_box(bottleneck::compute(&tree, |l| (l.0 % 7 == 0).then_some(500_000.0)))
             });
         });
     }
@@ -54,9 +52,8 @@ fn bench_sharing_stage(c: &mut Criterion) {
     let mut g = c.benchmark_group("stage4_sharing");
     let spec = LayerSpec::paper_default();
     for sessions in [2usize, 8, 16] {
-        let trees: Vec<_> = (0..sessions)
-            .map(|i| balanced_session_tree(i as u32, 2, 3).0)
-            .collect();
+        let trees: Vec<_> =
+            (0..sessions).map(|i| balanced_session_tree(i as u32, 2, 3).0).collect();
         let specs: Vec<&LayerSpec> = trees.iter().map(|_| &spec).collect();
         g.bench_with_input(BenchmarkId::from_parameter(sessions), &sessions, |b, _| {
             b.iter(|| {

@@ -68,12 +68,7 @@ fn bench_fig8(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("four_sessions_60s", |b| {
         b.iter(|| {
-            black_box(experiments::fig8_fairness(
-                &[4],
-                &[TrafficModel::Vbr { p: 3.0 }],
-                QUICK,
-                1,
-            ))
+            black_box(experiments::fig8_fairness(&[4], &[TrafficModel::Vbr { p: 3.0 }], QUICK, 1))
         });
     });
     g.finish();
@@ -101,9 +96,7 @@ fn bench_convergence(c: &mut Criterion) {
     let mut g = c.benchmark_group("convergence_topology_a");
     g.sample_size(10);
     g.bench_function("cbr_60s", |b| {
-        b.iter(|| {
-            black_box(experiments::convergence_topology_a(2, TrafficModel::Cbr, QUICK, 1))
-        });
+        b.iter(|| black_box(experiments::convergence_topology_a(2, TrafficModel::Cbr, QUICK, 1)));
     });
     g.finish();
 }

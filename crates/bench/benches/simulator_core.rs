@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use netsim::sim::{NetworkBuilder, SimConfig};
-use netsim::{
-    App, Ctx, EventQueue, LinkConfig, NodeId, Packet, SimDuration, SimTime,
-};
+use netsim::{App, Ctx, EventQueue, LinkConfig, NodeId, Packet, SimDuration, SimTime};
 use std::hint::black_box;
 
 fn bench_event_queue(c: &mut Criterion) {
@@ -68,33 +66,29 @@ fn bench_multicast_fanout(c: &mut Criterion) {
     let mut g = c.benchmark_group("multicast_fanout");
     g.sample_size(10);
     for receivers in [4usize, 16, 64] {
-        g.bench_with_input(
-            BenchmarkId::new("sim_100s", receivers),
-            &receivers,
-            |b, &receivers| {
-                b.iter(|| {
-                    let mut nb = NetworkBuilder::new(SimConfig::default());
-                    let src = nb.add_node("src");
-                    let hub = nb.add_node("hub");
-                    nb.add_link(src, hub, LinkConfig::kbps(100_000.0));
-                    let leaves: Vec<NodeId> = (0..receivers)
-                        .map(|i| {
-                            let n = nb.add_node(format!("r{i}"));
-                            nb.add_link(hub, n, LinkConfig::kbps(100_000.0));
-                            n
-                        })
-                        .collect();
-                    let mut sim = nb.build();
-                    let group = sim.create_group(src);
-                    for &leaf in &leaves {
-                        sim.add_app(leaf, Box::new(Sink { group, got: 0 }));
-                    }
-                    sim.add_app(src, Box::new(Source { group, rate_pps: 100, seq: 0 }));
-                    sim.run_until(SimTime::from_secs(100));
-                    black_box(sim.events_processed())
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("sim_100s", receivers), &receivers, |b, &receivers| {
+            b.iter(|| {
+                let mut nb = NetworkBuilder::new(SimConfig::default());
+                let src = nb.add_node("src");
+                let hub = nb.add_node("hub");
+                nb.add_link(src, hub, LinkConfig::kbps(100_000.0));
+                let leaves: Vec<NodeId> = (0..receivers)
+                    .map(|i| {
+                        let n = nb.add_node(format!("r{i}"));
+                        nb.add_link(hub, n, LinkConfig::kbps(100_000.0));
+                        n
+                    })
+                    .collect();
+                let mut sim = nb.build();
+                let group = sim.create_group(src);
+                for &leaf in &leaves {
+                    sim.add_app(leaf, Box::new(Sink { group, got: 0 }));
+                }
+                sim.add_app(src, Box::new(Source { group, rate_pps: 100, seq: 0 }));
+                sim.run_until(SimTime::from_secs(100));
+                black_box(sim.events_processed())
+            });
+        });
     }
     g.finish();
 }

@@ -20,12 +20,7 @@ use netsim::SimTime;
 ///
 /// Panics if `optimal` is zero (the metric is undefined) or the window is
 /// empty.
-pub fn relative_deviation(
-    series: &StepSeries,
-    optimal: u8,
-    start: SimTime,
-    end: SimTime,
-) -> f64 {
+pub fn relative_deviation(series: &StepSeries, optimal: u8, start: SimTime, end: SimTime) -> f64 {
     assert!(optimal >= 1, "relative deviation needs a positive optimum");
     assert!(end > start, "empty window");
     let num = series.integrate(start, end, |v| (v as f64 - optimal as f64).abs());
@@ -35,16 +30,9 @@ pub fn relative_deviation(
 
 /// Mean relative deviation over several receivers (the quantity Fig. 8 and
 /// Fig. 10 plot). `pairs` holds `(series, optimal)` per receiver.
-pub fn mean_relative_deviation(
-    pairs: &[(&StepSeries, u8)],
-    start: SimTime,
-    end: SimTime,
-) -> f64 {
+pub fn mean_relative_deviation(pairs: &[(&StepSeries, u8)], start: SimTime, end: SimTime) -> f64 {
     assert!(!pairs.is_empty());
-    pairs
-        .iter()
-        .map(|(s, y)| relative_deviation(s, *y, start, end))
-        .sum::<f64>()
+    pairs.iter().map(|(s, y)| relative_deviation(s, *y, start, end)).sum::<f64>()
         / pairs.len() as f64
 }
 

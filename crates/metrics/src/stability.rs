@@ -19,11 +19,8 @@ pub fn change_count(series: &StepSeries, start: SimTime, end: SimTime) -> usize 
 /// With fewer than two changes there is no gap to average; the window
 /// length is returned (the subscription was stable for the whole window).
 pub fn mean_time_between_changes(series: &StepSeries, start: SimTime, end: SimTime) -> f64 {
-    let times: Vec<SimTime> = series
-        .points()
-        .map(|(t, _)| t)
-        .filter(|&t| t >= start && t < end)
-        .collect();
+    let times: Vec<SimTime> =
+        series.points().map(|(t, _)| t).filter(|&t| t >= start && t < end).collect();
     if times.len() < 2 {
         return end.since(start).as_secs_f64();
     }
@@ -34,11 +31,7 @@ pub fn mean_time_between_changes(series: &StepSeries, start: SimTime, end: SimTi
 /// The worst (max-change) receiver of a set: returns
 /// `(max change count, mean time between changes of that receiver)`, the
 /// pair each point of Figs. 6–7 reports.
-pub fn worst_receiver(
-    series: &[&StepSeries],
-    start: SimTime,
-    end: SimTime,
-) -> (usize, f64) {
+pub fn worst_receiver(series: &[&StepSeries], start: SimTime, end: SimTime) -> (usize, f64) {
     assert!(!series.is_empty());
     let (idx, count) = series
         .iter()

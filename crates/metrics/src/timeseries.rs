@@ -8,11 +8,8 @@ use netsim::SimTime;
 /// Mean of the samples falling in `[start, end)`; `None` when the window is
 /// empty.
 pub fn window_mean(series: &[(SimTime, f64)], start: SimTime, end: SimTime) -> Option<f64> {
-    let vals: Vec<f64> = series
-        .iter()
-        .filter(|&&(t, _)| t >= start && t < end)
-        .map(|&(_, v)| v)
-        .collect();
+    let vals: Vec<f64> =
+        series.iter().filter(|&&(t, _)| t >= start && t < end).map(|&(_, v)| v).collect();
     if vals.is_empty() {
         None
     } else {
@@ -74,10 +71,7 @@ pub fn convergence_time(
         // check the value at `start` and at every change inside the window.
         let ok_at = |t: SimTime| (series.value_at(t) as f64 - target).abs() <= tolerance;
         let all_ok = ok_at(start)
-            && series
-                .points()
-                .filter(|&(t, _)| t > start && t < hold_end)
-                .all(|(t, _)| ok_at(t));
+            && series.points().filter(|&(t, _)| t > start && t < hold_end).all(|(t, _)| ok_at(t));
         if all_ok {
             return Some(start);
         }

@@ -9,9 +9,9 @@
 //! domain are unaware of their existence*.
 
 use crate::event::{Event, EventQueue};
+use crate::multicast::{GroupId, TreeOp};
 use crate::node::NodeId;
 use crate::packet::{ControlBody, Packet, SessionId};
-use crate::multicast::{GroupId, TreeOp};
 use crate::sim::Network;
 use crate::time::{SimDuration, SimTime};
 
@@ -78,7 +78,14 @@ impl Ctx<'_> {
     }
 
     /// Multicast a media packet of `layer` in `session` to `group`.
-    pub fn send_media(&mut self, group: GroupId, session: SessionId, layer: u8, seq: u64, size: u32) {
+    pub fn send_media(
+        &mut self,
+        group: GroupId,
+        session: SessionId,
+        layer: u8,
+        seq: u64,
+        size: u32,
+    ) {
         let pkt = Packet::media(self.node, group, session, layer, seq, size);
         self.originate(pkt);
     }

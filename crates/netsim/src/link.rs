@@ -210,8 +210,7 @@ impl Link {
                         .map(|(i, p)| (i, layer_of(p)));
                     match victim {
                         Some((i, vl)) if vl > layer_of(&packet) => {
-                            let evicted =
-                                self.queue.remove(i).expect("victim index valid");
+                            let evicted = self.queue.remove(i).expect("victim index valid");
                             self.drop_counted(&evicted);
                             self.queue.push_back(packet);
                             Enqueue::Queued
@@ -345,9 +344,8 @@ mod tests {
 
     #[test]
     fn priority_drop_evicts_highest_layer() {
-        let cfg = LinkConfig::kbps(32.0)
-            .with_queue(2)
-            .with_discipline(QueueDiscipline::PriorityDrop);
+        let cfg =
+            LinkConfig::kbps(32.0).with_queue(2).with_discipline(QueueDiscipline::PriorityDrop);
         let mut l = Link::new(NodeId(0), NodeId(1), &cfg);
         let mk = |layer: u8| Packet::media(NodeId(0), GroupId(0), SessionId(0), layer, 0, 1000);
         assert!(matches!(l.enqueue(mk(0)), Enqueue::StartTx(_)));
@@ -373,9 +371,8 @@ mod tests {
 
     #[test]
     fn priority_drop_protects_control_packets() {
-        let cfg = LinkConfig::kbps(32.0)
-            .with_queue(1)
-            .with_discipline(QueueDiscipline::PriorityDrop);
+        let cfg =
+            LinkConfig::kbps(32.0).with_queue(1).with_discipline(QueueDiscipline::PriorityDrop);
         let mut l = Link::new(NodeId(0), NodeId(1), &cfg);
         let media = Packet::media(NodeId(0), GroupId(0), SessionId(0), 4, 0, 1000);
         let ctrl = Packet::control(NodeId(0), NodeId(1), 64, std::sync::Arc::new(1u8));

@@ -95,28 +95,17 @@ impl MulticastState {
 
     /// Iterate over apps subscribed to `group` at `node`.
     pub fn subscribers_at(&self, group: GroupId, node: NodeId) -> impl Iterator<Item = AppId> + '_ {
-        self.groups[group.0 as usize]
-            .members
-            .get(&node)
-            .into_iter()
-            .flat_map(|s| s.iter().copied())
+        self.groups[group.0 as usize].members.get(&node).into_iter().flat_map(|s| s.iter().copied())
     }
 
     /// Whether `app` at `node` is subscribed to `group`.
     pub fn is_subscribed(&self, group: GroupId, node: NodeId, app: AppId) -> bool {
-        self.groups[group.0 as usize]
-            .members
-            .get(&node)
-            .is_some_and(|s| s.contains(&app))
+        self.groups[group.0 as usize].members.get(&node).is_some_and(|s| s.contains(&app))
     }
 
     /// Active outgoing links for `group` at `node`.
     pub fn active_out(&self, group: GroupId, node: NodeId) -> &[DirLinkId] {
-        self.groups[group.0 as usize]
-            .active_out
-            .get(&node)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.groups[group.0 as usize].active_out.get(&node).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// Whether a directed link currently carries `group`.
@@ -355,7 +344,7 @@ mod tests {
         }
         let ops = m.leave(g, NodeId(2), AppId(2), &r, to);
         assert_eq!(ops.len(), 2); // both links pruned
-        // Rejoin before prune fires.
+                                  // Rejoin before prune fires.
         let grafts = m.join(g, NodeId(2), AppId(2), &r, to);
         // Links are still active, so no new grafts needed.
         assert!(grafts.is_empty());

@@ -94,9 +94,7 @@ impl Routing {
         let mut path = Vec::new();
         let mut cur = from;
         while cur != to {
-            let l = self
-                .next_hop(cur, to)
-                .unwrap_or_else(|| panic!("no route {cur:?} -> {to:?}"));
+            let l = self.next_hop(cur, to).unwrap_or_else(|| panic!("no route {cur:?} -> {to:?}"));
             path.push(l);
             cur = link_to(l);
             assert!(path.len() <= self.next.len(), "routing loop {from:?} -> {to:?}");

@@ -81,7 +81,12 @@ impl Packet {
         seq: u64,
         size: u32,
     ) -> Self {
-        Packet { src, dest: Dest::Group(group), size, payload: Payload::Media { session, layer, seq } }
+        Packet {
+            src,
+            dest: Dest::Group(group),
+            size,
+            payload: Payload::Media { session, layer, seq },
+        }
     }
 
     /// Construct a unicast control packet.

@@ -271,16 +271,16 @@ impl Simulator {
             Event::GraftDone { group, link } => {
                 let from = self.net.links[link.0 as usize].from;
                 let links = &self.net.links;
-                self.net.mcast.graft_done(group, link, from, &self.net.routing, |l| {
-                    links[l.0 as usize].to
-                });
+                self.net
+                    .mcast
+                    .graft_done(group, link, from, &self.net.routing, |l| links[l.0 as usize].to);
             }
             Event::PruneDone { group, link } => {
                 let from = self.net.links[link.0 as usize].from;
                 let links = &self.net.links;
-                self.net.mcast.prune_done(group, link, from, &self.net.routing, |l| {
-                    links[l.0 as usize].to
-                });
+                self.net
+                    .mcast
+                    .prune_done(group, link, from, &self.net.routing, |l| links[l.0 as usize].to);
             }
         }
     }
@@ -290,8 +290,7 @@ impl Simulator {
         let (packet, next) = link.tx_done();
         let arrive_at = self.clock + link.delay;
         let head = link.to;
-        let corrupted =
-            link.random_loss > 0.0 && self.corruption_rng.chance(link.random_loss);
+        let corrupted = link.random_loss > 0.0 && self.corruption_rng.chance(link.random_loss);
         if corrupted {
             link.stats.corrupted_packets += 1;
         }
@@ -384,8 +383,8 @@ mod tests {
     use super::*;
     use crate::packet::{ControlBody, SessionId};
     use crate::time::SimDuration;
-    use std::sync::Arc;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
 
     /// Two nodes, one duplex 32 kb/s link.
     fn two_node_sim() -> (Simulator, NodeId, NodeId) {

@@ -36,16 +36,12 @@ pub struct AblationRow {
 fn measure(scenario: &Scenario, knob: String) -> AblationRow {
     let r = runner::run(scenario);
     let end = SimTime::ZERO + scenario.duration;
-    let mean_loss = r
-        .receivers
-        .iter()
-        .map(|x| x.mean_loss(SimTime::ZERO, end))
-        .sum::<f64>()
+    let mean_loss = r.receivers.iter().map(|x| x.mean_loss(SimTime::ZERO, end)).sum::<f64>()
         / r.receivers.len() as f64;
     let (max_changes, _) = r.stability(SimTime::from_secs(5), end);
     AblationRow {
         knob,
-        deviation: r.mean_relative_deviation(SimTime::ZERO, end),
+        deviation: r.mean_relative_deviation(SimTime::ZERO, end).unwrap_or(f64::NAN),
         mean_loss,
         max_changes,
         control_bytes: r.control_bytes,
@@ -53,11 +49,7 @@ fn measure(scenario: &Scenario, knob: String) -> AblationRow {
 }
 
 /// §V "Interval size": sweep the controller interval on Topology A.
-pub fn interval_size(
-    intervals_secs: &[u64],
-    duration: SimDuration,
-    seed: u64,
-) -> Vec<AblationRow> {
+pub fn interval_size(intervals_secs: &[u64], duration: SimDuration, seed: u64) -> Vec<AblationRow> {
     intervals_secs
         .par_iter()
         .map(|&iv| {
@@ -77,21 +69,13 @@ pub fn interval_size(
 }
 
 /// §V "Group-leave latency": sweep the IGMP leave latency on Topology A.
-pub fn leave_latency(
-    latencies_ms: &[u64],
-    duration: SimDuration,
-    seed: u64,
-) -> Vec<AblationRow> {
+pub fn leave_latency(latencies_ms: &[u64], duration: SimDuration, seed: u64) -> Vec<AblationRow> {
     latencies_ms
         .par_iter()
         .map(|&ms| {
-            let s = Scenario::new(
-                generators::topology_a_default(2),
-                TrafficModel::Cbr,
-                seed,
-            )
-            .with_leave_latency(SimDuration::from_millis(ms))
-            .with_duration(duration);
+            let s = Scenario::new(generators::topology_a_default(2), TrafficModel::Cbr, seed)
+                .with_leave_latency(SimDuration::from_millis(ms))
+                .with_duration(duration);
             measure(&s, format!("{ms}ms"))
         })
         .collect()
@@ -111,13 +95,9 @@ pub fn layer_granularity(duration: SimDuration, seed: u64) -> Vec<AblationRow> {
     variants
         .par_iter()
         .map(|(name, layers)| {
-            let s = Scenario::new(
-                generators::topology_a_default(2),
-                TrafficModel::Cbr,
-                seed,
-            )
-            .with_layers(layers.clone())
-            .with_duration(duration);
+            let s = Scenario::new(generators::topology_a_default(2), TrafficModel::Cbr, seed)
+                .with_layers(layers.clone())
+                .with_duration(duration);
             measure(&s, name.clone())
         })
         .collect()
@@ -151,12 +131,8 @@ pub fn control_traffic(
     receiver_counts
         .par_iter()
         .map(|&n| {
-            let s = Scenario::new(
-                generators::topology_a_default(n),
-                TrafficModel::Cbr,
-                seed,
-            )
-            .with_duration(duration);
+            let s = Scenario::new(generators::topology_a_default(n), TrafficModel::Cbr, seed)
+                .with_duration(duration);
             measure(&s, format!("{} receivers", 2 * n))
         })
         .collect()
@@ -248,10 +224,7 @@ mod tests {
         let rows = control_traffic(&[1, 4], SimDuration::from_secs(200), 3);
         assert!(rows[1].control_bytes > rows[0].control_bytes);
         // Linear-ish: 4x the receivers should cost no more than ~6x bytes.
-        assert!(
-            (rows[1].control_bytes as f64) < rows[0].control_bytes as f64 * 6.0,
-            "{rows:?}"
-        );
+        assert!((rows[1].control_bytes as f64) < rows[0].control_bytes as f64 * 6.0, "{rows:?}");
     }
 
     #[test]
@@ -269,10 +242,6 @@ mod tests {
         // estimate probes upward between congestion events), so the mean
         // error is dominated by the sawtooth amplitude, not by bad
         // measurements.
-        assert!(
-            r.mean_rel_error < 0.6,
-            "mean relative error {:.3} too large",
-            r.mean_rel_error
-        );
+        assert!(r.mean_rel_error < 0.6, "mean relative error {:.3} too large", r.mean_rel_error);
     }
 }

@@ -108,13 +108,12 @@ pub fn fig8_fairness(
             let r = runner::run(&s);
             let half = SimTime::ZERO + duration / 2;
             let end = SimTime::ZERO + duration;
-            let bytes: Vec<f64> =
-                r.session_bytes().iter().map(|&(_, b)| b as f64).collect();
+            let bytes: Vec<f64> = r.session_bytes().iter().map(|&(_, b)| b as f64).collect();
             FairnessRow {
                 model: model.label(),
                 sessions: n,
-                dev_first_half: r.mean_relative_deviation(SimTime::ZERO, half),
-                dev_second_half: r.mean_relative_deviation(half, end),
+                dev_first_half: r.mean_relative_deviation(SimTime::ZERO, half).unwrap_or(f64::NAN),
+                dev_second_half: r.mean_relative_deviation(half, end).unwrap_or(f64::NAN),
                 jain: metrics::jain_index(&bytes),
             }
         })
@@ -136,30 +135,18 @@ pub struct TimeseriesOut {
 
 /// Fig. 9 — the raw series behind the sample plot.
 pub fn fig9_timeseries(duration: SimDuration, seed: u64) -> TimeseriesOut {
-    let s = Scenario::new(
-        generators::topology_b_default(4),
-        TrafficModel::Vbr { p: 3.0 },
-        seed,
-    )
-    .with_duration(duration);
+    let s = Scenario::new(generators::topology_b_default(4), TrafficModel::Vbr { p: 3.0 }, seed)
+        .with_duration(duration);
     let r = runner::run(&s);
     let mut levels = Vec::new();
     let mut losses = Vec::new();
     let mut over = false;
     for rec in &r.receivers {
         levels.push(
-            rec.stats
-                .level_series
-                .iter()
-                .map(|&(t, l)| (t.as_secs_f64(), l))
-                .collect::<Vec<_>>(),
+            rec.stats.level_series.iter().map(|&(t, l)| (t.as_secs_f64(), l)).collect::<Vec<_>>(),
         );
         losses.push(
-            rec.stats
-                .loss_series
-                .iter()
-                .map(|&(t, l)| (t.as_secs_f64(), l))
-                .collect::<Vec<_>>(),
+            rec.stats.loss_series.iter().map(|&(t, l)| (t.as_secs_f64(), l)).collect::<Vec<_>>(),
         );
         over |= rec.stats.level_series.iter().any(|&(_, l)| l > rec.optimal);
     }
@@ -201,19 +188,16 @@ pub fn fig10_staleness(
     let devs: Vec<((usize, u64), f64, f64)> = runs
         .par_iter()
         .map(|&(n, st, sd)| {
-            let s = Scenario::new(
-                generators::topology_a_default(n),
-                TrafficModel::Vbr { p: 3.0 },
-                sd,
-            )
-            .with_control(ControlMode::TopoSense {
-                staleness: SimDuration::from_secs(st),
-            })
-            .with_duration(duration);
+            let s =
+                Scenario::new(generators::topology_a_default(n), TrafficModel::Vbr { p: 3.0 }, sd)
+                    .with_control(ControlMode::TopoSense { staleness: SimDuration::from_secs(st) })
+                    .with_duration(duration);
             let r = runner::run(&s);
             // Measure from t=0: convergence delay is part of what staleness
             // costs (the paper's runs were measured whole).
-            let dev = r.mean_relative_deviation(SimTime::ZERO, SimTime::ZERO + duration);
+            let dev = r
+                .mean_relative_deviation(SimTime::ZERO, SimTime::ZERO + duration)
+                .unwrap_or(f64::NAN);
             let loss = r
                 .receivers
                 .iter()
@@ -226,11 +210,8 @@ pub fn fig10_staleness(
     points
         .iter()
         .map(|&(n, st)| {
-            let vals: Vec<(f64, f64)> = devs
-                .iter()
-                .filter(|&&(k, _, _)| k == (n, st))
-                .map(|&(_, d, l)| (d, l))
-                .collect();
+            let vals: Vec<(f64, f64)> =
+                devs.iter().filter(|&&(k, _, _)| k == (n, st)).map(|&(_, d, l)| (d, l)).collect();
             let count = vals.len() as f64;
             StalenessRow {
                 receivers_per_set: n,
@@ -263,10 +244,7 @@ pub struct MotivationRow {
 /// Run the Fig. 1 example under TopoSense and under the RLM baseline.
 pub fn fig1_motivation(duration: SimDuration, seed: u64) -> Vec<MotivationRow> {
     let modes: Vec<(String, ControlMode)> = vec![
-        (
-            "TopoSense".into(),
-            ControlMode::TopoSense { staleness: SimDuration::ZERO },
-        ),
+        ("TopoSense".into(), ControlMode::TopoSense { staleness: SimDuration::ZERO }),
         ("RLM".into(), ControlMode::Rlm(RlmParams::default())),
     ];
     modes
@@ -279,10 +257,7 @@ pub fn fig1_motivation(duration: SimDuration, seed: u64) -> Vec<MotivationRow> {
             let start = SimTime::from_secs(30);
             let end = SimTime::ZERO + duration;
             let by_set = |set: u32| {
-                r.receivers
-                    .iter()
-                    .find(|x| x.set == set)
-                    .expect("figure1 has sets 0..3")
+                r.receivers.iter().find(|x| x.set == set).expect("figure1 has sets 0..3")
             };
             let mean_level = |set: u32| by_set(set).level_series().mean(start, end);
             MotivationRow {
@@ -336,11 +311,9 @@ pub fn convergence_topology_a(
             let mean_level_late = means.iter().sum::<f64>() / means.len() as f64;
             let spread = means.iter().copied().fold(f64::NEG_INFINITY, f64::max)
                 - means.iter().copied().fold(f64::INFINITY, f64::min);
-            let deviation_late = members
-                .iter()
-                .map(|m| m.relative_deviation(half, end))
-                .sum::<f64>()
-                / members.len() as f64;
+            let deviation_late =
+                members.iter().map(|m| m.relative_deviation(half, end)).sum::<f64>()
+                    / members.len() as f64;
             ConvergenceRow {
                 set,
                 optimal: members[0].optimal,
@@ -355,9 +328,7 @@ pub fn convergence_topology_a(
 // ------------------------------------------------------------------ misc
 
 fn cartesian<A: Copy + Send + Sync, B: Copy + Send + Sync>(xs: &[A], ys: &[B]) -> Vec<(A, B)> {
-    xs.iter()
-        .flat_map(|&x| ys.iter().map(move |&y| (x, y)))
-        .collect()
+    xs.iter().flat_map(|&x| ys.iter().map(move |&y| (x, y))).collect()
 }
 
 #[cfg(test)]

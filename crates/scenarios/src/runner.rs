@@ -154,14 +154,16 @@ pub struct ScenarioResult {
 
 impl ScenarioResult {
     /// Mean relative deviation across receivers over `[start, end]`
-    /// (the quantity Figs. 8 and 10 plot).
-    pub fn mean_relative_deviation(&self, start: SimTime, end: SimTime) -> f64 {
-        assert!(!self.receivers.is_empty());
-        self.receivers
-            .iter()
-            .map(|r| r.relative_deviation(start, end))
-            .sum::<f64>()
-            / self.receivers.len() as f64
+    /// (the quantity Figs. 8 and 10 plot). `None` when the scenario had
+    /// no receivers — there is nothing to average.
+    pub fn mean_relative_deviation(&self, start: SimTime, end: SimTime) -> Option<f64> {
+        if self.receivers.is_empty() {
+            return None;
+        }
+        Some(
+            self.receivers.iter().map(|r| r.relative_deviation(start, end)).sum::<f64>()
+                / self.receivers.len() as f64,
+        )
     }
 
     /// `(max change count, mean gap)` over receivers in `[start, end)` —
@@ -207,9 +209,8 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
     let mut catalog = SessionCatalog::new();
     for &(node_idx, session) in &sources {
         let root = built.node_ids[node_idx];
-        let groups: Vec<GroupId> = (0..scenario.layers.layer_count())
-            .map(|_| sim.create_group(root))
-            .collect();
+        let groups: Vec<GroupId> =
+            (0..scenario.layers.layer_count()).map(|_| sim.create_group(root)).collect();
         catalog.add(SessionDef {
             id: SessionId(session),
             source: root,
@@ -339,6 +340,22 @@ mod tests {
     }
 
     #[test]
+    fn mean_relative_deviation_is_none_without_receivers() {
+        // Regression: this used to assert (and panic) on an empty receiver
+        // set instead of reporting "nothing to average".
+        let r = ScenarioResult {
+            receivers: Vec::new(),
+            controller: None,
+            duration: SimDuration::from_secs(10),
+            total_drops: 0,
+            control_bytes: 0,
+            events: 0,
+            optima: Vec::new(),
+        };
+        assert_eq!(r.mean_relative_deviation(SimTime::ZERO, SimTime::from_secs(10)), None);
+    }
+
+    #[test]
     fn rlm_mode_runs_without_controller() {
         let s = Scenario::new(generators::topology_b_default(2), TrafficModel::Cbr, 1)
             .with_control(ControlMode::Rlm(RlmParams::default()))
@@ -366,16 +383,14 @@ mod tests {
     #[test]
     fn determinism_across_identical_runs() {
         let go = || {
-            let s = Scenario::new(generators::topology_a_default(1), TrafficModel::Vbr { p: 3.0 }, 42)
-                .with_duration(SimDuration::from_secs(90));
+            let s =
+                Scenario::new(generators::topology_a_default(1), TrafficModel::Vbr { p: 3.0 }, 42)
+                    .with_duration(SimDuration::from_secs(90));
             let r = run(&s);
             (
                 r.events,
                 r.total_drops,
-                r.receivers
-                    .iter()
-                    .map(|x| x.stats.changes.clone())
-                    .collect::<Vec<_>>(),
+                r.receivers.iter().map(|x| x.stats.changes.clone()).collect::<Vec<_>>(),
             )
         };
         let a = go();
@@ -388,8 +403,12 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let go = |seed| {
-            let s = Scenario::new(generators::topology_a_default(1), TrafficModel::Vbr { p: 3.0 }, seed)
-                .with_duration(SimDuration::from_secs(90));
+            let s = Scenario::new(
+                generators::topology_a_default(1),
+                TrafficModel::Vbr { p: 3.0 },
+                seed,
+            )
+            .with_duration(SimDuration::from_secs(90));
             run(&s).events
         };
         assert_ne!(go(1), go(2));

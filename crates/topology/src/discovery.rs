@@ -86,8 +86,7 @@ impl TopologyView {
                 let root = if domain.contains(&g.root) {
                     g.root
                 } else {
-                    self.domain_ingress(&links, &active_links, &member_nodes)
-                        .unwrap_or(g.root)
+                    self.domain_ingress(&links, &active_links, &member_nodes).unwrap_or(g.root)
                 };
                 netsim::GroupSnapshot { group: g.group, root, active_links, member_nodes }
             })
@@ -103,8 +102,7 @@ impl TopologyView {
         active: &[DirLinkId],
         members: &[NodeId],
     ) -> Option<NodeId> {
-        let view_of =
-            |id: &DirLinkId| domain_links.iter().find(|l| l.id == *id).copied();
+        let view_of = |id: &DirLinkId| domain_links.iter().find(|l| l.id == *id).copied();
         let heads: std::collections::HashSet<NodeId> =
             active.iter().filter_map(view_of).map(|l| l.to).collect();
         let mut candidates: Vec<NodeId> = active
@@ -278,8 +276,7 @@ mod tests {
     #[test]
     fn restrict_keeps_the_root_when_it_is_inside() {
         let view = spanning_view();
-        let domain =
-            std::collections::HashSet::from([NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        let domain = std::collections::HashSet::from([NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
         let r = view.restrict(&domain);
         assert_eq!(r.groups[0].root, NodeId(0));
         assert_eq!(r.links.len(), 3);

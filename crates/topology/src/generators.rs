@@ -47,10 +47,7 @@ pub fn topology_a(receivers_per_set: usize, cap_a_kbps: f64, cap_b_kbps: f64) ->
         let lan = s.node(format!("lan{set}"), vec![NodeRole::Router]);
         s.link(core, lan, thin(cap));
         for r in 0..receivers_per_set {
-            let rcv = s.node(
-                format!("rcv{set}.{r}"),
-                vec![NodeRole::Receiver { session: 0, set }],
-            );
+            let rcv = s.node(format!("rcv{set}.{r}"), vec![NodeRole::Receiver { session: 0, set }]);
             s.link(lan, rcv, fat());
         }
     }
@@ -91,10 +88,7 @@ pub fn topology_b(n_sessions: usize, per_session_kbps: f64) -> TopoSpec {
         };
         let src = s.node(format!("s{i}"), roles);
         s.link(src, agg, fat());
-        let rcv = s.node(
-            format!("r{i}"),
-            vec![NodeRole::Receiver { session: i as u32, set: 0 }],
-        );
+        let rcv = s.node(format!("r{i}"), vec![NodeRole::Receiver { session: i as u32, set: 0 }]);
         s.link(dist, rcv, fat());
     }
     s
@@ -194,11 +188,7 @@ pub fn tiered(rng: &mut RngStream, p: TieredParams) -> TopoSpec {
 /// receivers are assigned to sessions round-robin, so sessions interleave
 /// across the whole tree and every interior link is *shared* — the
 /// stress case for the capacity estimator and the fair-share stage.
-pub fn tiered_multisession(
-    rng: &mut RngStream,
-    p: TieredParams,
-    n_sessions: usize,
-) -> TopoSpec {
+pub fn tiered_multisession(rng: &mut RngStream, p: TieredParams, n_sessions: usize) -> TopoSpec {
     assert!(n_sessions >= 1);
     let mut s = tiered(rng, p);
     // Re-role: the single source node hosts every session's source; leaf

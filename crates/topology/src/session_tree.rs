@@ -12,14 +12,21 @@ use netsim::{DirLinkId, GroupId, NodeId, SessionId};
 use std::collections::HashMap;
 
 /// The overlay of one session's per-layer trees.
+///
+/// Per-edge attributes are stored densely by tree *slot* (see
+/// [`Tree::slot_of`]): every non-root node enters the overlay through
+/// exactly one edge, so `in_link`/`max_layer_in` are plain `Vec`s indexed
+/// by slot, with the root's entries unused.
 #[derive(Clone, Debug)]
 pub struct SessionTree {
     session: SessionId,
     tree: Tree,
-    /// Highest layer index crossing the edge *into* each non-root node.
-    max_layer_in: HashMap<NodeId, u8>,
-    /// The directed link carrying the session into each non-root node.
-    in_link: HashMap<NodeId, DirLinkId>,
+    /// Highest layer index crossing the edge *into* each slot's node
+    /// (root slot unused).
+    max_layer_in: Vec<u8>,
+    /// The directed link carrying the session into each slot's node (root
+    /// slot holds a dummy id and must not be read).
+    in_link: Vec<DirLinkId>,
 }
 
 impl SessionTree {
@@ -61,7 +68,16 @@ impl SessionTree {
             }
         }
         let tree = Tree::from_edges(root, &edges)?;
-        Ok(SessionTree { session, tree, max_layer_in, in_link })
+        // Re-key the per-edge attributes by dense slot. Every key has a
+        // matching edge, so every key is in the tree.
+        let mut max_layer_v = vec![0u8; tree.len()];
+        let mut in_link_v = vec![DirLinkId(u32::MAX); tree.len()];
+        for (&node, &layer) in &max_layer_in {
+            let s = tree.slot_of(node).expect("attributed node missing from tree");
+            max_layer_v[s] = layer;
+            in_link_v[s] = in_link[&node];
+        }
+        Ok(SessionTree { session, tree, max_layer_in: max_layer_v, in_link: in_link_v })
     }
 
     /// Which session this tree describes.
@@ -76,21 +92,35 @@ impl SessionTree {
 
     /// Highest layer crossing the edge into `node` (`None` for the root).
     pub fn max_layer_into(&self, node: NodeId) -> Option<u8> {
-        self.max_layer_in.get(&node).copied()
+        let s = self.tree.slot_of(node)?;
+        (s != 0).then(|| self.max_layer_in[s])
     }
 
     /// The directed link carrying the session into `node` (`None` for the
     /// root).
     pub fn in_link(&self, node: NodeId) -> Option<DirLinkId> {
-        self.in_link.get(&node).copied()
+        let s = self.tree.slot_of(node)?;
+        (s != 0).then(|| self.in_link[s])
     }
 
-    /// Iterate `(node, incoming link, max layer)` over all non-root nodes.
+    /// Highest layer crossing the edge into the node at `slot` (must be a
+    /// non-root slot).
+    pub fn max_layer_at(&self, slot: usize) -> u8 {
+        debug_assert_ne!(slot, 0, "the root has no incoming edge");
+        self.max_layer_in[slot]
+    }
+
+    /// The directed link into the node at `slot` (must be a non-root slot).
+    pub fn in_link_at(&self, slot: usize) -> DirLinkId {
+        debug_assert_ne!(slot, 0, "the root has no incoming edge");
+        self.in_link[slot]
+    }
+
+    /// Iterate `(node, incoming link, max layer)` over all non-root nodes,
+    /// top-down.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, DirLinkId, u8)> + '_ {
-        self.tree.top_down().filter_map(move |n| {
-            let l = self.in_link.get(&n)?;
-            Some((n, *l, self.max_layer_in[&n]))
-        })
+        (1..self.tree.len())
+            .map(move |s| (self.tree.node_at(s), self.in_link[s], self.max_layer_in[s]))
     }
 }
 
@@ -154,10 +184,7 @@ mod tests {
     fn higher_layer_only_link_still_enters_overlay() {
         // Transient state: layer 1 active on 1->2 while layer 0 already
         // pruned there.
-        let v = view(vec![
-            snap(0, vec![l(0)], vec![n(1)]),
-            snap(1, vec![l(0), l(2)], vec![n(1)]),
-        ]);
+        let v = view(vec![snap(0, vec![l(0)], vec![n(1)]), snap(1, vec![l(0), l(2)], vec![n(1)])]);
         let st = SessionTree::build(&v, SessionId(0), &[GroupId(0), GroupId(1)]).unwrap();
         assert_eq!(st.max_layer_into(n(2)), Some(1));
         assert_eq!(st.tree().len(), 3);

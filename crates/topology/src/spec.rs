@@ -122,11 +122,8 @@ impl TopoSpec {
         let mut b = NetworkBuilder::new(cfg);
         let node_ids: Vec<NodeId> =
             self.nodes.iter().map(|n| b.add_node(n.label.clone())).collect();
-        let link_ids: Vec<(DirLinkId, DirLinkId)> = self
-            .links
-            .iter()
-            .map(|l| b.add_link(node_ids[l.a], node_ids[l.b], l.config))
-            .collect();
+        let link_ids: Vec<(DirLinkId, DirLinkId)> =
+            self.links.iter().map(|l| b.add_link(node_ids[l.a], node_ids[l.b], l.config)).collect();
         Built { sim: b.build(), node_ids, link_ids }
     }
 

@@ -8,14 +8,32 @@
 use netsim::NodeId;
 use std::collections::HashMap;
 
+/// Sentinel slot meaning "no parent" (only the root carries it).
+const NO_SLOT: u32 = u32::MAX;
+
 /// A rooted tree over [`NodeId`]s.
+///
+/// Nodes are stored in BFS order and addressed two ways: by [`NodeId`]
+/// (the stable simulator identity) and by *slot* — the node's position in
+/// the BFS order, a dense `0..len` index. Slots let per-interval passes
+/// use plain `Vec`s instead of `HashMap`s: `slots()` is the top-down pass
+/// order, `slots_bottom_up()` the bottom-up one, and because BFS appends
+/// children contiguously, each node's children occupy the consecutive
+/// slot range `child_slots(s)` (a CSR layout needing only one prefix-sum
+/// array).
 #[derive(Clone, Debug)]
 pub struct Tree {
     root: NodeId,
-    /// Nodes in BFS order from the root (root first).
+    /// Nodes in BFS order from the root (root first); `order[slot]` is the
+    /// node occupying `slot`.
     order: Vec<NodeId>,
-    parent: HashMap<NodeId, NodeId>,
-    children: HashMap<NodeId, Vec<NodeId>>,
+    /// `NodeId -> slot`.
+    slot: HashMap<NodeId, u32>,
+    /// Parent slot per slot (`NO_SLOT` for the root).
+    parent_slot: Vec<u32>,
+    /// CSR child index: children of slot `s` are slots
+    /// `child_start[s]..child_start[s + 1]`.
+    child_start: Vec<u32>,
 }
 
 /// Error building a tree from an edge list.
@@ -67,7 +85,27 @@ impl Tree {
                 .expect("count mismatch implies an unreachable child");
             return Err(TreeError::Disconnected(unreachable));
         }
-        Ok(Tree { root, order, parent, children })
+        drop(parent);
+        // Dense indexes. BFS appends each node's children as one contiguous
+        // block, so the CSR child index is a prefix sum over child counts in
+        // slot order.
+        let mut slot = HashMap::with_capacity(order.len());
+        for (i, &node) in order.iter().enumerate() {
+            slot.insert(node, i as u32);
+        }
+        let mut child_start = Vec::with_capacity(order.len() + 1);
+        child_start.push(1u32);
+        for &node in &order {
+            let n = children.get(&node).map_or(0, |cs| cs.len());
+            child_start.push(child_start.last().unwrap() + n as u32);
+        }
+        let mut parent_slot = vec![NO_SLOT; order.len()];
+        for s in 0..order.len() {
+            for c in child_start[s]..child_start[s + 1] {
+                parent_slot[c as usize] = s as u32;
+            }
+        }
+        Ok(Tree { root, order, slot, parent_slot, child_start })
     }
 
     /// The root node.
@@ -87,22 +125,66 @@ impl Tree {
 
     /// Whether `node` is in the tree.
     pub fn contains(&self, node: NodeId) -> bool {
-        node == self.root || self.parent.contains_key(&node)
+        self.slot.contains_key(&node)
     }
 
     /// The parent of `node` (`None` for the root or unknown nodes).
     pub fn parent(&self, node: NodeId) -> Option<NodeId> {
-        self.parent.get(&node).copied()
+        let s = self.slot_of(node)?;
+        self.parent_slot_of(s).map(|p| self.order[p])
     }
 
     /// The children of `node`.
     pub fn children(&self, node: NodeId) -> &[NodeId] {
-        self.children.get(&node).map(|v| v.as_slice()).unwrap_or(&[])
+        match self.slot_of(node) {
+            Some(s) => &self.order[self.child_slots(s)],
+            None => &[],
+        }
     }
 
     /// True when `node` has no children.
     pub fn is_leaf(&self, node: NodeId) -> bool {
         self.children(node).is_empty()
+    }
+
+    /// The dense slot of `node` — its position in BFS order (`None` for
+    /// unknown nodes). Slots are stable for the lifetime of the tree.
+    pub fn slot_of(&self, node: NodeId) -> Option<usize> {
+        self.slot.get(&node).map(|&s| s as usize)
+    }
+
+    /// The node occupying `slot` (panics on out-of-range slots).
+    pub fn node_at(&self, slot: usize) -> NodeId {
+        self.order[slot]
+    }
+
+    /// The parent's slot (`None` for the root slot).
+    pub fn parent_slot_of(&self, slot: usize) -> Option<usize> {
+        match self.parent_slot[slot] {
+            NO_SLOT => None,
+            p => Some(p as usize),
+        }
+    }
+
+    /// The contiguous slot range holding the children of `slot`.
+    pub fn child_slots(&self, slot: usize) -> std::ops::Range<usize> {
+        self.child_start[slot] as usize..self.child_start[slot + 1] as usize
+    }
+
+    /// True when `slot` has no children.
+    pub fn is_leaf_slot(&self, slot: usize) -> bool {
+        self.child_start[slot] == self.child_start[slot + 1]
+    }
+
+    /// Slots in BFS order (the **top-down** pass order).
+    pub fn slots(&self) -> std::ops::Range<usize> {
+        0..self.order.len()
+    }
+
+    /// Slots in reverse BFS order (the **bottom-up** pass order: every
+    /// child slot is visited before its parent slot).
+    pub fn slots_bottom_up(&self) -> std::iter::Rev<std::ops::Range<usize>> {
+        (0..self.order.len()).rev()
     }
 
     /// Nodes in BFS order, root first (the **top-down** pass order).
@@ -331,6 +413,27 @@ mod tests {
         assert!(dot.contains("n2 -> n4;"));
         assert!(dot.contains("[label=\"node5\"]"));
         assert_eq!(dot.matches("->").count(), 5);
+    }
+
+    #[test]
+    fn dense_slots_mirror_node_api() {
+        let t = fig1();
+        // Slot 0 is the root; node_at/slot_of round-trip.
+        assert_eq!(t.node_at(0), t.root());
+        for (s, node) in t.top_down().enumerate() {
+            assert_eq!(t.slot_of(node), Some(s));
+            assert_eq!(t.node_at(s), node);
+            // Parent agreement.
+            assert_eq!(t.parent_slot_of(s).map(|p| t.node_at(p)), t.parent(node));
+            // CSR children are the same nodes in the same order.
+            let via_slots: Vec<NodeId> = t.child_slots(s).map(|c| t.node_at(c)).collect();
+            assert_eq!(via_slots.as_slice(), t.children(node));
+            assert_eq!(t.is_leaf_slot(s), t.is_leaf(node));
+        }
+        assert_eq!(t.slot_of(n(9)), None);
+        assert_eq!(t.slots().len(), t.len());
+        let up: Vec<NodeId> = t.slots_bottom_up().map(|s| t.node_at(s)).collect();
+        assert_eq!(up, t.bottom_up().collect::<Vec<_>>());
     }
 
     #[test]

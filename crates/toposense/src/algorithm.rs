@@ -8,12 +8,14 @@
 
 use crate::config::Config;
 use crate::history::BwEquality;
-use crate::stages::capacity::{CapacityEstimator, SessionLinkObs};
-use crate::stages::congestion::{self, LeafObs};
-use crate::stages::subscription::{self, BackoffTable, DemandContext, NodeInputs};
-use crate::stages::{bottleneck, sharing};
 use crate::history::CongestionHistory;
+use crate::stages::bottleneck;
+use crate::stages::capacity::{CapacityEstimator, SessionLinkObs};
+use crate::stages::congestion::{self, LeafObs, NodeState};
+use crate::stages::sharing::{self, SharingScratch};
+use crate::stages::subscription::{self, BackoffTable, NodeInputs};
 use netsim::{AppId, DirLinkId, NodeId, RngStream, SessionId, SimDuration, SimTime};
+use rayon::prelude::*;
 use std::collections::HashMap;
 use topology::SessionTree;
 use traffic::LayerSpec;
@@ -99,6 +101,29 @@ impl Default for NodeMemory {
     }
 }
 
+/// Per-session scratch buffers, slot-indexed against the session's tree.
+///
+/// One of these lives in [`AlgorithmState`] per concurrent session and is
+/// reused every interval: each vector is cleared and refilled (allocation
+/// kept), so the steady-state hot path allocates nothing.
+#[derive(Debug, Default)]
+struct SessionScratch {
+    /// Aggregated leaf observation per tree slot (stage 1 input).
+    obs: Vec<Option<LeafObs>>,
+    /// Congestion state per tree slot (stage 1 output).
+    states: Vec<NodeState>,
+    /// This interval's working copy of each node's persistent memory.
+    mem: Vec<NodeMemory>,
+    /// Stage-3 outputs per tree slot.
+    bottleneck: Vec<f64>,
+    max_handle: Vec<f64>,
+    /// Stage-5 inputs/outputs per tree slot.
+    inputs: Vec<NodeInputs>,
+    level_cap: Vec<u8>,
+    demand: Vec<u8>,
+    supply: Vec<u8>,
+}
+
 /// The controller's persistent algorithm state.
 pub struct AlgorithmState {
     cfg: Config,
@@ -107,6 +132,9 @@ pub struct AlgorithmState {
     memories: HashMap<(SessionId, NodeId), NodeMemory>,
     backoffs: HashMap<SessionId, BackoffTable>,
     runs: u64,
+    scratch: Vec<SessionScratch>,
+    sharing_scratch: SharingScratch,
+    usage_buf: Vec<(DirLinkId, SessionLinkObs)>,
 }
 
 impl AlgorithmState {
@@ -119,6 +147,9 @@ impl AlgorithmState {
             memories: HashMap::new(),
             backoffs: HashMap::new(),
             runs: 0,
+            scratch: Vec::new(),
+            sharing_scratch: SharingScratch::default(),
+            usage_buf: Vec::new(),
         }
     }
 
@@ -141,93 +172,147 @@ impl AlgorithmState {
     pub fn run(&mut self, inputs: &AlgorithmInputs<'_>) -> AlgorithmOutputs {
         assert_eq!(inputs.trees.len(), inputs.specs.len());
         let cfg = self.cfg;
+        let nsess = inputs.trees.len();
 
-        // Aggregate reports per (session, node): loss = min, bytes/level = max.
-        let mut obs: HashMap<(SessionId, NodeId), LeafObs> = HashMap::new();
-        for r in inputs.reports {
-            let e = obs.entry((r.session, r.node)).or_insert(LeafObs {
-                loss: f64::INFINITY,
-                bytes: 0,
-                level: 0,
-            });
-            e.loss = e.loss.min(r.loss_rate());
-            e.bytes = e.bytes.max(r.bytes);
-            e.level = e.level.max(r.level);
-        }
+        // Borrow the scratch pool for the interval; reinstalled at the end
+        // so every buffer's allocation survives into the next run.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.resize_with(nsess.max(scratch.len()), SessionScratch::default);
+        let spare = scratch.split_off(nsess);
 
-        // Stage 1 per session, then update histories and byte windows.
-        let mut congested_nodes = 0;
-        let mut session_states = Vec::with_capacity(inputs.trees.len());
-        for tree in inputs.trees {
+        // Stage 1 per session: aggregate this session's reports per tree
+        // slot (loss = min, bytes/level = max), compute congestion states,
+        // and fold the interval into a working copy of each node's
+        // persistent memory. Returns the session's congested-node count.
+        let memories = &self.memories;
+        let stage1 = |sc: &mut SessionScratch, tree: &SessionTree| -> usize {
             let sid = tree.session();
-            let session_obs: HashMap<NodeId, LeafObs> = obs
-                .iter()
-                .filter(|((s, _), _)| *s == sid)
-                .map(|(&(_, n), &o)| (n, o))
-                .collect();
-            let sc = congestion::compute(tree, &session_obs, &cfg);
-            for node in tree.tree().top_down() {
-                let st = sc.node(node);
-                congested_nodes += st.congested as usize;
-                let mem = self.memories.entry((sid, node)).or_default();
+            let t = tree.tree();
+            sc.obs.clear();
+            sc.obs.resize(t.len(), None);
+            for r in inputs.reports {
+                if r.session != sid {
+                    continue;
+                }
+                // Reports from nodes outside the (possibly stale) tree
+                // cannot be attributed to a subtree; skip them.
+                let Some(slot) = t.slot_of(r.node) else { continue };
+                let e =
+                    sc.obs[slot].get_or_insert(LeafObs { loss: f64::INFINITY, bytes: 0, level: 0 });
+                e.loss = e.loss.min(r.loss_rate());
+                e.bytes = e.bytes.max(r.bytes);
+                e.level = e.level.max(r.level);
+            }
+            congestion::compute_into(tree, &sc.obs, &cfg, &mut sc.states);
+            sc.mem.clear();
+            sc.mem.resize(t.len(), NodeMemory::default());
+            let mut congested = 0;
+            for s in t.slots() {
+                let st = sc.states[s];
+                congested += st.congested as usize;
+                let mut mem = memories.get(&(sid, t.node_at(s))).copied().unwrap_or_default();
                 mem.hist.push(st.congested);
                 mem.bytes_older = mem.bytes_recent;
                 mem.bytes_recent = st.max_bytes;
+                sc.mem[s] = mem;
             }
-            session_states.push((sc, session_obs));
-        }
+            congested
+        };
+        let congested_nodes: usize = if nsess >= 2 {
+            let work: Vec<(SessionScratch, &SessionTree)> =
+                scratch.drain(..).zip(inputs.trees).collect();
+            let done: Vec<(SessionScratch, usize)> = work
+                .into_par_iter()
+                .map(|(mut sc, tree)| {
+                    let c = stage1(&mut sc, tree);
+                    (sc, c)
+                })
+                .collect();
+            let mut total = 0;
+            for (sc, c) in done {
+                scratch.push(sc);
+                total += c;
+            }
+            total
+        } else {
+            scratch.iter_mut().zip(inputs.trees).map(|(sc, tree)| stage1(sc, tree)).sum()
+        };
 
         // Stage 2: capacity estimation over every link any session crosses.
-        let mut usage: HashMap<DirLinkId, Vec<SessionLinkObs>> = HashMap::new();
-        for (tree, (sc, _)) in inputs.trees.iter().zip(&session_states) {
-            for (node, link, _) in tree.edges() {
-                let st = sc.node(node);
-                usage.entry(link).or_default().push(SessionLinkObs {
-                    session: tree.session(),
-                    loss: st.loss,
-                    bytes: st.max_bytes,
-                });
+        // The flat usage buffer is stably sorted by link, so each link's
+        // observations are contiguous and keep tree order — the estimator
+        // sees exactly the per-link lists the map-based path would build.
+        let mut usage = std::mem::take(&mut self.usage_buf);
+        usage.clear();
+        for (tree, sc) in inputs.trees.iter().zip(&scratch) {
+            let sid = tree.session();
+            for s in 1..tree.tree().len() {
+                let st = sc.states[s];
+                usage.push((
+                    tree.in_link_at(s),
+                    SessionLinkObs { session: sid, loss: st.loss, bytes: st.max_bytes },
+                ));
             }
         }
-        self.estimator.update(inputs.now, inputs.interval, &usage, &cfg);
+        usage.sort_by_key(|&(l, _)| l);
+        self.estimator.update_sorted(inputs.now, inputs.interval, &usage, &cfg);
 
         // Stage 3 per session.
-        let bottlenecks: Vec<_> = inputs
-            .trees
-            .iter()
-            .map(|t| bottleneck::compute(t, |l| self.estimator.capacity(l)))
-            .collect();
+        let est = &self.estimator;
+        let stage3 = |sc: &mut SessionScratch, tree: &SessionTree| {
+            bottleneck::compute_into(
+                tree,
+                |l| est.capacity(l),
+                &mut sc.bottleneck,
+                &mut sc.max_handle,
+            );
+        };
+        if nsess >= 2 {
+            let work: Vec<(SessionScratch, &SessionTree)> =
+                scratch.drain(..).zip(inputs.trees).collect();
+            let done: Vec<SessionScratch> = work
+                .into_par_iter()
+                .map(|(mut sc, tree)| {
+                    stage3(&mut sc, tree);
+                    sc
+                })
+                .collect();
+            scratch.extend(done);
+        } else {
+            for (sc, tree) in scratch.iter_mut().zip(inputs.trees) {
+                stage3(sc, tree);
+            }
+        }
 
         // Stage 4 across sessions.
-        let shares = sharing::compute(inputs.trees, inputs.specs, |l| self.estimator.capacity(l));
+        sharing::compute_into(
+            inputs.trees,
+            inputs.specs,
+            |l| est.capacity(l),
+            &mut self.sharing_scratch,
+        );
 
-        // Stage 5 per session.
+        // Stage 5 per session (sequential: shares one RNG stream).
         let mut outputs = AlgorithmOutputs::default();
         for (i, tree) in inputs.trees.iter().enumerate() {
             let sid = tree.session();
             let spec = inputs.specs[i];
-            let (sc, session_obs) = &session_states[i];
+            let t = tree.tree();
+            let sc = &mut scratch[i];
 
-            let mut node_inputs: HashMap<NodeId, NodeInputs> = HashMap::new();
-            for node in tree.tree().top_down() {
-                let st = sc.node(node);
-                let sibling_congested = tree
-                    .tree()
-                    .parent(node)
-                    .map(|p| {
-                        tree.tree()
-                            .children(p)
-                            .iter()
-                            .any(|&c| c != node && sc.node(c).congested)
-                    })
-                    .unwrap_or(false);
-                let mem = self.memories.get(&(sid, node)).copied().unwrap_or_default();
+            sc.inputs.clear();
+            for s in t.slots() {
+                let st = sc.states[s];
+                let sibling_congested = match t.parent_slot_of(s) {
+                    None => false,
+                    Some(p) => t.child_slots(p).any(|c| c != s && sc.states[c].congested),
+                };
+                let mem = sc.mem[s];
                 // Receivers that did not report this interval fall back to
                 // the subscription implied by the tree itself.
-                let reported = session_obs
-                    .get(&node)
+                let reported = sc.obs[s]
                     .map(|o| o.level)
-                    .or_else(|| tree.max_layer_into(node).map(|l| l + 1));
+                    .or_else(|| (s != 0).then(|| tree.max_layer_at(s) + 1));
                 // Reports lag suggestions by up to an interval. While a node
                 // is clean, a reported level below our last supply is just
                 // that lag (the receiver is catching up to the suggestion),
@@ -245,49 +330,36 @@ impl AlgorithmState {
                         r.max(mem.supply_recent.min(r + 1))
                     }
                 });
-                node_inputs.insert(
-                    node,
-                    NodeInputs {
-                        hist: mem.hist,
-                        parent_congested: st.parent_congested,
-                        sibling_congested,
-                        bw: BwEquality::classify(
-                            mem.bytes_older,
-                            mem.bytes_recent,
-                            cfg.bw_equal_tolerance,
-                        ),
-                        loss: st.loss,
-                        supply_older: mem.supply_older,
-                        supply_recent: mem.supply_recent,
-                        demand_prev: mem.demand_prev,
-                        current_level,
-                        // Two-interval max: during a neighbour's transient
-                        // probe this interval's goodput dips, but the prior
-                        // interval still witnesses the sustainable level, so
-                        // innocent subtrees are not dragged down with the
-                        // prober (see reduce_target).
-                        goodput_bps: mem.bytes_recent.max(mem.bytes_older) as f64 * 8.0
-                            / inputs.interval.as_secs_f64().max(1e-9),
-                    },
-                );
+                sc.inputs.push(NodeInputs {
+                    hist: mem.hist,
+                    parent_congested: st.parent_congested,
+                    sibling_congested,
+                    bw: BwEquality::classify(
+                        mem.bytes_older,
+                        mem.bytes_recent,
+                        cfg.bw_equal_tolerance,
+                    ),
+                    loss: st.loss,
+                    supply_older: mem.supply_older,
+                    supply_recent: mem.supply_recent,
+                    demand_prev: mem.demand_prev,
+                    current_level,
+                    // Two-interval max: during a neighbour's transient
+                    // probe this interval's goodput dips, but the prior
+                    // interval still witnesses the sustainable level, so
+                    // innocent subtrees are not dragged down with the
+                    // prober (see reduce_target).
+                    goodput_bps: mem.bytes_recent.max(mem.bytes_older) as f64 * 8.0
+                        / inputs.interval.as_secs_f64().max(1e-9),
+                });
             }
 
-            let bneck = &bottlenecks[i];
-            let shares_ref = &shares;
-            let level_cap = |node: NodeId| {
-                let bw = shares_ref.allowed(i, node).min(bneck.max_handle(node));
-                spec.level_fitting(bw)
-            };
-            let level_cap: &dyn Fn(NodeId) -> u8 = &level_cap;
+            sc.level_cap.clear();
+            for s in t.slots() {
+                let bw = self.sharing_scratch.allowed_at(i, s).min(sc.max_handle[s]);
+                sc.level_cap.push(spec.level_fitting(bw));
+            }
 
-            let ctx = DemandContext {
-                tree,
-                spec,
-                cfg: &cfg,
-                now: inputs.now,
-                inputs: &node_inputs,
-                level_cap,
-            };
             let backoffs = self.backoffs.entry(sid).or_default();
             // A receiver sitting below the level we last supplied while its
             // loss is high just aborted a failed probe (possibly
@@ -295,43 +367,56 @@ impl AlgorithmState {
             // link). Arm the backoff for the abandoned level here, because
             // the decision table never will: by the time it runs, the
             // receiver's current level already equals the reduced target.
-            for node in tree.tree().top_down() {
-                let Some(o) = session_obs.get(&node) else { continue };
-                let st = sc.node(node);
-                let mem = self.memories.get(&(sid, node)).copied().unwrap_or_default();
+            for s in t.slots() {
+                let Some(o) = sc.obs[s] else { continue };
+                let st = sc.states[s];
+                let mem = sc.mem[s];
                 if st.loss > cfg.high_loss && o.level < mem.supply_recent {
-                    backoffs.arm(node, mem.supply_recent, inputs.now, &cfg, &mut self.rng);
+                    backoffs.arm(t.node_at(s), mem.supply_recent, inputs.now, &cfg, &mut self.rng);
                 }
             }
-            let result = subscription::compute(&ctx, backoffs, &mut self.rng);
+            subscription::compute_into(
+                tree,
+                spec,
+                &cfg,
+                inputs.now,
+                &sc.inputs,
+                &sc.level_cap,
+                backoffs,
+                &mut self.rng,
+                &mut sc.demand,
+                &mut sc.supply,
+            );
 
             if std::env::var_os("TOPOSENSE_TRACE").is_some() {
                 let mut line = format!("t={:.0}s s{}:", inputs.now.as_secs_f64(), sid.0);
-                for node in tree.tree().top_down() {
-                    let inp = &node_inputs[&node];
+                for s in t.slots() {
+                    let inp = &sc.inputs[s];
                     line.push_str(&format!(
                         " n{}[h{:03b} loss={:.2} gp={:.0}k cur={:?} cap={} d={} s={}]",
-                        node.0,
+                        t.node_at(s).0,
                         inp.hist.bits(),
                         inp.loss,
                         inp.goodput_bps / 1000.0,
                         inp.current_level,
-                        level_cap(node),
-                        result.demand[&node],
-                        result.supply[&node],
+                        sc.level_cap[s],
+                        sc.demand[s],
+                        sc.supply[s],
                     ));
                 }
                 eprintln!("{line}");
             }
 
-            // Persist supply/demand windows.
-            for node in tree.tree().top_down() {
-                let mem = self.memories.entry((sid, node)).or_default();
+            // Persist this interval's history/byte updates together with
+            // the new supply/demand windows.
+            for s in t.slots() {
+                let mut mem = sc.mem[s];
                 mem.supply_older = mem.supply_recent;
-                mem.supply_recent = result.supply[&node];
-                mem.demand_prev = Some(result.demand[&node]);
+                mem.supply_recent = sc.supply[s];
+                mem.demand_prev = Some(sc.demand[s]);
+                self.memories.insert((sid, t.node_at(s)), mem);
             }
-            outputs.root_supply.push(result.supply[&tree.tree().root()]);
+            outputs.root_supply.push(sc.supply[0]);
 
             // Suggestions for every registered receiver of this session
             // whose node is in the (possibly stale) tree.
@@ -339,22 +424,32 @@ impl AlgorithmState {
                 if rsid != sid {
                     continue;
                 }
-                if let Some(&level) = result.supply.get(&node) {
+                if let Some(slot) = t.slot_of(node) {
                     outputs.suggestions.push(SuggestionOut {
                         receiver: app,
                         session: sid,
-                        level: level.clamp(1, spec.max_level()),
+                        level: sc.supply[slot].clamp(1, spec.max_level()),
                     });
                 }
             }
         }
 
-        outputs.estimated_links = usage
-            .keys()
-            .filter_map(|&l| self.estimator.capacity(l).map(|c| (l, c)))
-            .collect();
-        outputs.estimated_links.sort_by_key(|&(l, _)| l);
+        // `usage` is link-sorted, so deduping adjacent links enumerates
+        // each crossed link once, already in output order.
+        let mut last = None;
+        for &(l, _) in &usage {
+            if last == Some(l) {
+                continue;
+            }
+            last = Some(l);
+            if let Some(c) = self.estimator.capacity(l) {
+                outputs.estimated_links.push((l, c));
+            }
+        }
         outputs.congested_nodes = congested_nodes;
+        scratch.extend(spare);
+        self.scratch = scratch;
+        self.usage_buf = usage;
         self.runs += 1;
         outputs
     }
@@ -392,7 +487,14 @@ mod tests {
         SessionTree::build(&view, SessionId(0), &[GroupId(0)]).unwrap()
     }
 
-    fn report(app: u32, node: u32, level: u8, received: u64, lost: u64, bytes: u64) -> ReceiverReport {
+    fn report(
+        app: u32,
+        node: u32,
+        level: u8,
+        received: u64,
+        lost: u64,
+        bytes: u64,
+    ) -> ReceiverReport {
         ReceiverReport {
             receiver: AppId(app),
             node: n(node),
@@ -411,10 +513,7 @@ mod tests {
         reports: &[ReceiverReport],
         now_secs: u64,
     ) -> AlgorithmOutputs {
-        let registry = vec![
-            (AppId(10), n(2), SessionId(0)),
-            (AppId(11), n(3), SessionId(0)),
-        ];
+        let registry = vec![(AppId(10), n(2), SessionId(0)), (AppId(11), n(3), SessionId(0))];
         let inputs = AlgorithmInputs {
             now: SimTime::from_secs(now_secs),
             interval: SimDuration::from_secs(2),
@@ -431,8 +530,7 @@ mod tests {
         let tree = one_session_tree();
         let spec = LayerSpec::paper_default();
         let mut state = AlgorithmState::new(Config::default(), 7);
-        let reports =
-            vec![report(10, 2, 2, 100, 0, 24_000), report(11, 3, 2, 100, 0, 24_000)];
+        let reports = vec![report(10, 2, 2, 100, 0, 24_000), report(11, 3, 2, 100, 0, 24_000)];
         // First runs settle the supply history at the current level; the
         // add-layer rule requires two stable runs before exploring.
         let _ = run_once(&mut state, &tree, &spec, &reports, 2);

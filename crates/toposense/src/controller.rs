@@ -303,8 +303,7 @@ mod tests {
         let catalog = catalog.share();
 
         let cfg = Config::default();
-        let (ctrl, ctrl_shared) =
-            Controller::new(Arc::clone(&catalog), cfg, SimDuration::ZERO, 1);
+        let (ctrl, ctrl_shared) = Controller::new(Arc::clone(&catalog), cfg, SimDuration::ZERO, 1);
         sim.add_app(src, Box::new(ctrl));
         sim.add_app(src, Box::new(LayeredSource::new(def.clone(), TrafficModel::Cbr, 2)));
         let (rx, rx_shared) = Receiver::new(def, src, cfg, 3, "r0");
@@ -344,8 +343,7 @@ mod tests {
         let catalog = catalog.share();
 
         let cfg = Config::default();
-        let (ctrl, _ctrl_shared) =
-            Controller::new(Arc::clone(&catalog), cfg, SimDuration::ZERO, 1);
+        let (ctrl, _ctrl_shared) = Controller::new(Arc::clone(&catalog), cfg, SimDuration::ZERO, 1);
         sim.add_app(src, Box::new(ctrl));
         sim.add_app(src, Box::new(LayeredSource::new(def.clone(), TrafficModel::Cbr, 2)));
         let (rx, rx_shared) = Receiver::new(def, src, cfg, 3, "r0");

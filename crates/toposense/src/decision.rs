@@ -219,10 +219,7 @@ mod tests {
         for bw in [Lesser, Equal, Greater] {
             let a = leaf(7, bw);
             assert!(
-                matches!(
-                    a,
-                    ReduceToHalfSupply { .. } | ReduceToHalfSupplyIfLossVeryHigh(_)
-                ),
+                matches!(a, ReduceToHalfSupply { .. } | ReduceToHalfSupplyIfLossVeryHigh(_)),
                 "history 7 bw {bw:?} unexpectedly {a:?}"
             );
         }

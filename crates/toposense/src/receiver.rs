@@ -320,12 +320,8 @@ mod tests {
         b.add_link(src, rcv, LinkConfig::kbps(10_000.0));
         let mut sim = b.build();
         let groups: Vec<GroupId> = (0..6).map(|_| sim.create_group(src)).collect();
-        let def = SessionDef {
-            id: SessionId(0),
-            source: src,
-            groups,
-            spec: LayerSpec::paper_default(),
-        };
+        let def =
+            SessionDef { id: SessionId(0), source: src, groups, spec: LayerSpec::paper_default() };
         (sim, def, src, rcv)
     }
 

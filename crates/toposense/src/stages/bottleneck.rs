@@ -18,8 +18,8 @@ use topology::SessionTree;
 /// Stage-3 output for one session.
 #[derive(Clone, Debug, Default)]
 pub struct BottleneckMap {
-    bottleneck: HashMap<NodeId, f64>,
-    max_handle: HashMap<NodeId, f64>,
+    pub(crate) bottleneck: HashMap<NodeId, f64>,
+    pub(crate) max_handle: HashMap<NodeId, f64>,
 }
 
 impl BottleneckMap {
@@ -35,41 +35,47 @@ impl BottleneckMap {
 }
 
 /// Compute both passes. `capacity(link)` returns the stage-2 estimate
-/// (`None` = infinite).
-pub fn compute(
+/// (`None` = infinite). Thin adapter over [`compute_into`] for callers
+/// that index by [`NodeId`]; the algorithm driver uses the dense entry
+/// point directly.
+pub fn compute(tree: &SessionTree, capacity: impl Fn(DirLinkId) -> Option<f64>) -> BottleneckMap {
+    let t = tree.tree();
+    let mut bottleneck_v = Vec::new();
+    let mut max_handle_v = Vec::new();
+    compute_into(tree, capacity, &mut bottleneck_v, &mut max_handle_v);
+    let bottleneck = t.slots().map(|s| (t.node_at(s), bottleneck_v[s])).collect();
+    let max_handle = t.slots().map(|s| (t.node_at(s), max_handle_v[s])).collect();
+    BottleneckMap { bottleneck, max_handle }
+}
+
+/// Dense stage-3 core: `bottleneck[slot]` / `max_handle[slot]` receive
+/// the two passes' results per tree slot. Both vectors are cleared and
+/// refilled, reusing their allocations.
+pub fn compute_into(
     tree: &SessionTree,
     capacity: impl Fn(DirLinkId) -> Option<f64>,
-) -> BottleneckMap {
+    bottleneck: &mut Vec<f64>,
+    max_handle: &mut Vec<f64>,
+) {
     let t = tree.tree();
-    let mut bottleneck: HashMap<NodeId, f64> = HashMap::with_capacity(t.len());
-    for node in t.top_down() {
-        let b = match t.parent(node) {
-            None => f64::INFINITY,
-            Some(p) => {
-                let up = bottleneck[&p];
-                let cap = tree
-                    .in_link(node)
-                    .and_then(&capacity)
-                    .unwrap_or(f64::INFINITY);
-                up.min(cap)
-            }
-        };
-        bottleneck.insert(node, b);
+    bottleneck.clear();
+    bottleneck.resize(t.len(), f64::INFINITY);
+    for s in t.slots() {
+        if let Some(p) = t.parent_slot_of(s) {
+            let cap = capacity(tree.in_link_at(s)).unwrap_or(f64::INFINITY);
+            bottleneck[s] = bottleneck[p].min(cap);
+        }
     }
-    let mut max_handle: HashMap<NodeId, f64> = HashMap::with_capacity(t.len());
-    for node in t.bottom_up() {
-        let children = t.children(node);
-        let m = if children.is_empty() {
-            bottleneck[&node]
+    max_handle.clear();
+    max_handle.resize(t.len(), f64::INFINITY);
+    for s in t.slots_bottom_up() {
+        let cs = t.child_slots(s);
+        max_handle[s] = if cs.is_empty() {
+            bottleneck[s]
         } else {
-            children
-                .iter()
-                .map(|c| max_handle[c])
-                .fold(f64::NEG_INFINITY, f64::max)
+            cs.map(|c| max_handle[c]).fold(f64::NEG_INFINITY, f64::max)
         };
-        max_handle.insert(node, m);
     }
-    BottleneckMap { bottleneck, max_handle }
 }
 
 #[cfg(test)]

@@ -40,6 +40,9 @@ struct Estimate {
 #[derive(Debug, Default)]
 pub struct CapacityEstimator {
     estimates: HashMap<DirLinkId, Estimate>,
+    /// Reusable buffer for one link's observation run in
+    /// [`Self::update_sorted`].
+    run_scratch: Vec<SessionLinkObs>,
 }
 
 impl CapacityEstimator {
@@ -68,80 +71,123 @@ impl CapacityEstimator {
         usage: &HashMap<DirLinkId, Vec<SessionLinkObs>>,
         cfg: &Config,
     ) {
-        // Periodic reset: stale estimates return to infinity and must be
-        // re-earned ("the capacity is reset to infinity at periodic
-        // intervals and recomputed").
-        self.estimates
-            .retain(|_, e| now.since(e.set_at) < cfg.capacity_reset);
-
+        self.begin_interval(now, cfg);
         let secs = interval.as_secs_f64();
         for (&link, sessions) in usage {
-            if sessions.is_empty() {
-                continue;
-            }
-            // Fig. 4: "Estimate link bandwidths for all *shared* links."
-            // An estimate exists to split capacity between sessions; a
-            // single-session link is governed by the congestion states and
-            // the decision table instead, and estimating it would mistake
-            // one session's transient goodput for the link's capacity.
-            if sessions.len() < 2 {
+            self.update_link(now, secs, link, sessions, cfg);
+        }
+    }
+
+    /// Like [`Self::update`], but over a link-sorted flat slice (the
+    /// algorithm driver's reusable scratch buffer): consecutive entries
+    /// with the same link form that link's observation list. The slice
+    /// must be sorted by link with a stable sort so per-link session order
+    /// is preserved.
+    pub fn update_sorted(
+        &mut self,
+        now: SimTime,
+        interval: SimDuration,
+        sorted: &[(DirLinkId, SessionLinkObs)],
+        cfg: &Config,
+    ) {
+        debug_assert!(sorted.windows(2).all(|w| w[0].0 <= w[1].0), "input must be link-sorted");
+        self.begin_interval(now, cfg);
+        let secs = interval.as_secs_f64();
+        let mut start = 0;
+        while start < sorted.len() {
+            let link = sorted[start].0;
+            let end = start + sorted[start..].iter().take_while(|&&(l, _)| l == link).count();
+            self.run_scratch.clear();
+            self.run_scratch.extend(sorted[start..end].iter().map(|&(_, o)| o));
+            let run = std::mem::take(&mut self.run_scratch);
+            self.update_link(now, secs, link, &run, cfg);
+            self.run_scratch = run;
+            start = end;
+        }
+    }
+
+    /// Periodic reset: stale estimates return to infinity and must be
+    /// re-earned ("the capacity is reset to infinity at periodic
+    /// intervals and recomputed").
+    fn begin_interval(&mut self, now: SimTime, cfg: &Config) {
+        self.estimates.retain(|_, e| now.since(e.set_at) < cfg.capacity_reset);
+    }
+
+    fn update_link(
+        &mut self,
+        now: SimTime,
+        secs: f64,
+        link: DirLinkId,
+        sessions: &[SessionLinkObs],
+        cfg: &Config,
+    ) {
+        if sessions.is_empty() {
+            return;
+        }
+        // Fig. 4: "Estimate link bandwidths for all *shared* links."
+        // An estimate exists to split capacity between sessions; a
+        // single-session link is governed by the congestion states and
+        // the decision table instead, and estimating it would mistake
+        // one session's transient goodput for the link's capacity.
+        if sessions.len() < 2 {
+            // A leftover estimate (the link was shared until recently)
+            // may only creep upward on a *clean* interval: creeping
+            // while the remaining session is losing packets inflates a
+            // stale estimate the loss itself says is already too high.
+            let clean = sessions.iter().all(|s| s.loss <= cfg.capacity_loss_threshold);
+            if clean {
                 if let Some(e) = self.estimates.get_mut(&link) {
                     e.capacity_bps *= 1.0 + cfg.capacity_creep;
                 }
-                continue;
             }
-            let total_bytes: u64 = sessions.iter().map(|s| s.bytes).sum();
-            let overall_loss = {
-                // Byte-weighted loss across sessions; falls back to the mean
-                // when no bytes were seen at all.
-                if total_bytes > 0 {
-                    sessions.iter().map(|s| s.loss * s.bytes as f64).sum::<f64>()
-                        / total_bytes as f64
-                } else {
-                    sessions.iter().map(|s| s.loss).sum::<f64>() / sessions.len() as f64
-                }
-            };
-            // The paper's condition 2 asks for *all* sessions to be lossy.
-            // With many sessions a single momentarily-clean low-rate session
-            // would forever block the estimate, so we use a quorum: most
-            // sessions (by count), carrying most of the bytes, must see loss
-            // above a (lower) per-session bar. Documented in DESIGN.md §5.
-            let per_session_bar = cfg.capacity_loss_threshold / 3.0;
-            let lossy: Vec<&SessionLinkObs> =
-                sessions.iter().filter(|s| s.loss > per_session_bar).collect();
-            let lossy_count_frac = lossy.len() as f64 / sessions.len() as f64;
-            let lossy_bytes: u64 = lossy.iter().map(|s| s.bytes).sum();
-            let lossy_bytes_frac = if total_bytes == 0 {
-                0.0
+            return;
+        }
+        let total_bytes: u64 = sessions.iter().map(|s| s.bytes).sum();
+        let overall_loss = {
+            // Byte-weighted loss across sessions; falls back to the mean
+            // when no bytes were seen at all.
+            if total_bytes > 0 {
+                sessions.iter().map(|s| s.loss * s.bytes as f64).sum::<f64>() / total_bytes as f64
             } else {
-                lossy_bytes as f64 / total_bytes as f64
-            };
-            let congested = overall_loss > cfg.capacity_loss_threshold
-                && lossy_count_frac >= 0.75
-                && lossy_bytes_frac >= 0.9;
-
-            let observed_bps = total_bytes as f64 * 8.0 / secs.max(1e-9);
-            match self.estimates.get_mut(&link) {
-                Some(e) if congested && total_bytes > 0 => {
-                    // Congested again: recompute from what actually got
-                    // through this interval. This lets a creep-inflated
-                    // estimate correct itself downward in one interval
-                    // instead of waiting for the periodic reset, and counts
-                    // as a fresh computation for the reset clock.
-                    e.capacity_bps = observed_bps;
-                    e.set_at = now;
-                }
-                Some(e) => {
-                    // Clean interval: creep upward ("the estimate is
-                    // increased every interval by a small amount").
-                    e.capacity_bps *= 1.0 + cfg.capacity_creep;
-                }
-                None if congested && total_bytes > 0 && secs > 0.0 => {
-                    self.estimates
-                        .insert(link, Estimate { capacity_bps: observed_bps, set_at: now });
-                }
-                None => {}
+                sessions.iter().map(|s| s.loss).sum::<f64>() / sessions.len() as f64
             }
+        };
+        // The paper's condition 2 asks for *all* sessions to be lossy.
+        // With many sessions a single momentarily-clean low-rate session
+        // would forever block the estimate, so we use a quorum: most
+        // sessions (by count), carrying most of the bytes, must see loss
+        // above a (lower) per-session bar. Documented in DESIGN.md §5.
+        let per_session_bar = cfg.capacity_loss_threshold / 3.0;
+        let lossy: Vec<&SessionLinkObs> =
+            sessions.iter().filter(|s| s.loss > per_session_bar).collect();
+        let lossy_count_frac = lossy.len() as f64 / sessions.len() as f64;
+        let lossy_bytes: u64 = lossy.iter().map(|s| s.bytes).sum();
+        let lossy_bytes_frac =
+            if total_bytes == 0 { 0.0 } else { lossy_bytes as f64 / total_bytes as f64 };
+        let congested = overall_loss > cfg.capacity_loss_threshold
+            && lossy_count_frac >= 0.75
+            && lossy_bytes_frac >= 0.9;
+
+        let observed_bps = total_bytes as f64 * 8.0 / secs.max(1e-9);
+        match self.estimates.get_mut(&link) {
+            Some(e) if congested && total_bytes > 0 => {
+                // Congested again: recompute from what actually got
+                // through this interval. This lets a creep-inflated
+                // estimate correct itself downward in one interval
+                // instead of waiting for the periodic reset, and counts
+                // as a fresh computation for the reset clock.
+                e.capacity_bps = observed_bps;
+                e.set_at = now;
+            }
+            Some(e) => {
+                // Clean interval: creep upward ("the estimate is
+                // increased every interval by a small amount").
+                e.capacity_bps *= 1.0 + cfg.capacity_creep;
+            }
+            None if congested && total_bytes > 0 && secs > 0.0 => {
+                self.estimates.insert(link, Estimate { capacity_bps: observed_bps, set_at: now });
+            }
+            None => {}
         }
     }
 }
@@ -235,6 +281,52 @@ mod tests {
         let usage = HashMap::from([(l(0), vec![obs(0, 0.5, 0), obs(1, 0.5, 0)])]);
         est.update(SimTime::from_secs(2), INTERVAL, &usage, &cfg());
         assert_eq!(est.capacity(l(0)), None);
+    }
+
+    #[test]
+    fn lossy_single_session_does_not_creep_stale_estimate() {
+        // Learn an estimate while the link is shared, then drop to a
+        // single session. While that session is lossy the leftover
+        // estimate must hold still — creeping it upward would inflate a
+        // number the loss already says is too high. A clean interval may
+        // creep as usual.
+        let mut est = CapacityEstimator::new();
+        let shared = HashMap::from([(l(0), vec![obs(0, 0.1, 100_000), obs(1, 0.1, 25_000)])]);
+        est.update(SimTime::from_secs(2), INTERVAL, &shared, &cfg());
+        let c0 = est.capacity(l(0)).unwrap();
+
+        let lossy_solo = HashMap::from([(l(0), vec![obs(0, 0.2, 100_000)])]);
+        est.update(SimTime::from_secs(4), INTERVAL, &lossy_solo, &cfg());
+        let c1 = est.capacity(l(0)).unwrap();
+        assert_eq!(c1, c0, "lossy single-session interval must not creep");
+
+        let clean_solo = HashMap::from([(l(0), vec![obs(0, 0.0, 100_000)])]);
+        est.update(SimTime::from_secs(6), INTERVAL, &clean_solo, &cfg());
+        let c2 = est.capacity(l(0)).unwrap();
+        assert!((c2 / c1 - 1.05).abs() < 1e-9, "clean single-session interval creeps");
+    }
+
+    #[test]
+    fn update_sorted_matches_update() {
+        let c = cfg();
+        let mut a = CapacityEstimator::new();
+        let mut b = CapacityEstimator::new();
+        let usage = HashMap::from([
+            (l(0), vec![obs(0, 0.1, 100_000), obs(1, 0.1, 25_000)]),
+            (l(1), vec![obs(0, 0.0, 100_000), obs(1, 0.0, 25_000)]),
+            (l(2), vec![obs(1, 0.3, 50_000)]),
+        ]);
+        a.update(SimTime::from_secs(2), INTERVAL, &usage, &c);
+
+        let mut flat: Vec<(DirLinkId, SessionLinkObs)> =
+            usage.iter().flat_map(|(&link, v)| v.iter().map(move |&o| (link, o))).collect();
+        flat.sort_by_key(|&(link, _)| link);
+        b.update_sorted(SimTime::from_secs(2), INTERVAL, &flat, &c);
+
+        for i in 0..3 {
+            assert_eq!(a.capacity(l(i)), b.capacity(l(i)), "link {i}");
+        }
+        assert_eq!(a.estimated_links(), b.estimated_links());
     }
 
     #[test]

@@ -64,64 +64,100 @@ impl SessionCongestion {
 /// Compute congestion states for one session tree.
 ///
 /// `obs` maps receiver-hosting nodes to their aggregated report data.
+/// Thin adapter over [`compute_into`] for callers that index by
+/// [`NodeId`]; the algorithm driver uses the dense entry point directly.
 pub fn compute(
     tree: &SessionTree,
     obs: &HashMap<NodeId, LeafObs>,
     cfg: &Config,
 ) -> SessionCongestion {
     let t = tree.tree();
-    let mut out: HashMap<NodeId, NodeState> = HashMap::with_capacity(t.len());
+    let mut slot_obs: Vec<Option<LeafObs>> = vec![None; t.len()];
+    for (&node, &o) in obs {
+        if let Some(s) = t.slot_of(node) {
+            slot_obs[s] = Some(o);
+        }
+    }
+    let mut states = Vec::new();
+    compute_into(tree, &slot_obs, cfg, &mut states);
+    let nodes = t.slots().map(|s| (t.node_at(s), states[s])).collect();
+    SessionCongestion { nodes }
+}
 
-    // Bottom-up: loss, self-congestion, subtree byte maxima.
-    for node in t.bottom_up() {
-        let children = t.children(node);
-        let own = obs.get(&node);
+/// Dense stage-1 core: `obs[slot]` holds the aggregated observation for
+/// the node at that tree slot; `states[slot]` receives its state. The
+/// output vector is cleared and refilled, reusing its allocation.
+pub fn compute_into(
+    tree: &SessionTree,
+    obs: &[Option<LeafObs>],
+    cfg: &Config,
+    states: &mut Vec<NodeState>,
+) {
+    let t = tree.tree();
+    debug_assert_eq!(obs.len(), t.len());
+    states.clear();
+    states.resize(t.len(), NodeState::default());
+
+    // Bottom-up: loss, self-congestion, subtree byte maxima. Children
+    // occupy higher slots than their parent, so reverse slot order visits
+    // every child first.
+    for s in t.slots_bottom_up() {
+        let own = obs[s];
         let mut state = NodeState::default();
-        if children.is_empty() {
-            let o = own.copied().unwrap_or_default();
+        if t.is_leaf_slot(s) {
+            let o = own.unwrap_or_default();
             state.loss = o.loss;
             state.max_bytes = o.bytes;
             state.self_congested = o.loss > cfg.p_threshold;
         } else {
             // Child losses, plus the node's own receivers as a pseudo-child
-            // when it hosts any (a member node can be internal).
-            let mut losses: Vec<f64> = children.iter().map(|c| out[c].loss).collect();
-            if let Some(o) = own {
-                losses.push(o.loss);
+            // when it hosts any (a member node can be internal). Two passes
+            // over the contiguous child range instead of a scratch vector:
+            // the first folds min/sum/max, the second (mean in hand) counts
+            // the similar ones.
+            let cs = t.child_slots(s);
+            let mut loss = f64::INFINITY;
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            let mut all_lossy = true;
+            let mut max_bytes = 0u64;
+            for c in cs.clone() {
+                let l = states[c].loss;
+                loss = loss.min(l);
+                sum += l;
+                count += 1;
+                all_lossy &= l > cfg.p_threshold;
+                max_bytes = max_bytes.max(states[c].max_bytes);
             }
-            state.loss = losses.iter().copied().fold(f64::INFINITY, f64::min);
-            state.max_bytes = children
-                .iter()
-                .map(|c| out[c].max_bytes)
-                .chain(own.map(|o| o.bytes))
-                .max()
-                .unwrap_or(0);
-            let all_lossy = losses.iter().all(|&l| l > cfg.p_threshold);
+            if let Some(o) = own {
+                loss = loss.min(o.loss);
+                sum += o.loss;
+                count += 1;
+                all_lossy &= o.loss > cfg.p_threshold;
+                max_bytes = max_bytes.max(o.bytes);
+            }
+            state.loss = loss;
+            state.max_bytes = max_bytes;
             if all_lossy {
-                let mean = losses.iter().sum::<f64>() / losses.len() as f64;
-                let close = losses
-                    .iter()
-                    .filter(|&&l| (l - mean).abs() <= cfg.similarity_tolerance)
+                let mean = sum / count as f64;
+                let close = cs
+                    .map(|c| states[c].loss)
+                    .chain(own.map(|o| o.loss))
+                    .filter(|l| (l - mean).abs() <= cfg.similarity_tolerance)
                     .count();
-                let frac = close as f64 / losses.len() as f64;
+                let frac = close as f64 / count as f64;
                 state.self_congested = frac >= cfg.eta_similar;
             }
         }
-        out.insert(node, state);
+        states[s] = state;
     }
 
     // Top-down: parental congestion propagates.
-    for node in t.top_down() {
-        let parent_congested = t
-            .parent(node)
-            .map(|p| out[&p].congested)
-            .unwrap_or(false);
-        let s = out.get_mut(&node).expect("visited in bottom-up pass");
-        s.parent_congested = parent_congested;
-        s.congested = s.self_congested || parent_congested;
+    for s in t.slots() {
+        let parent_congested = t.parent_slot_of(s).map(|p| states[p].congested).unwrap_or(false);
+        states[s].parent_congested = parent_congested;
+        states[s].congested = states[s].self_congested || parent_congested;
     }
-
-    SessionCongestion { nodes: out }
 }
 
 #[cfg(test)]
@@ -154,10 +190,7 @@ mod tests {
     }
 
     fn obs(pairs: &[(u32, f64, u64)]) -> HashMap<NodeId, LeafObs> {
-        pairs
-            .iter()
-            .map(|&(i, loss, bytes)| (n(i), LeafObs { loss, bytes, level: 1 }))
-            .collect()
+        pairs.iter().map(|&(i, loss, bytes)| (n(i), LeafObs { loss, bytes, level: 1 })).collect()
     }
 
     #[test]

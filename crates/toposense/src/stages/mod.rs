@@ -14,11 +14,13 @@
 pub mod bottleneck;
 pub mod capacity;
 pub mod congestion;
+#[doc(hidden)]
+pub mod reference;
 pub mod sharing;
 pub mod subscription;
 
 pub use bottleneck::BottleneckMap;
 pub use capacity::{CapacityEstimator, SessionLinkObs};
 pub use congestion::{LeafObs, NodeState, SessionCongestion};
-pub use sharing::ShareMap;
+pub use sharing::{ShareMap, SharingScratch};
 pub use subscription::{DemandContext, SubscriptionResult};

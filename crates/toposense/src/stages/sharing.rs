@@ -22,134 +22,176 @@ use traffic::LayerSpec;
 /// Stage-4 output: per-session allowed bandwidth at every tree node.
 #[derive(Clone, Debug, Default)]
 pub struct ShareMap {
-    allowed: Vec<HashMap<NodeId, f64>>,
+    pub(crate) allowed: Vec<HashMap<NodeId, f64>>,
 }
 
 impl ShareMap {
     /// The bandwidth session `idx` may use at `node` (∞ if unconstrained).
     pub fn allowed(&self, idx: usize, node: NodeId) -> f64 {
-        self.allowed
-            .get(idx)
-            .and_then(|m| m.get(&node))
-            .copied()
-            .unwrap_or(f64::INFINITY)
+        self.allowed.get(idx).and_then(|m| m.get(&node)).copied().unwrap_or(f64::INFINITY)
+    }
+}
+
+/// Reusable cross-session scratch for [`compute_into`], held by the
+/// algorithm driver so one allocation serves every interval.
+///
+/// `crossing`'s per-link vectors are cleared (not dropped) between
+/// intervals; entries left empty by a topology change are skipped, so the
+/// map only ever grows to the set of links seen so far.
+#[derive(Debug, Default)]
+pub struct SharingScratch {
+    /// Which sessions cross each link, and the slot where that link enters
+    /// each session's tree.
+    crossing: HashMap<DirLinkId, Vec<(u32, u32)>>,
+    /// Proportional share per `(link, session index)` on shared links.
+    share: HashMap<(DirLinkId, u32), f64>,
+    /// Pass A/B/final results per session, indexed by tree slot.
+    maxposs: Vec<Vec<f64>>,
+    aggdem: Vec<Vec<f64>>,
+    allowed: Vec<Vec<f64>>,
+}
+
+impl SharingScratch {
+    /// The bandwidth session `idx` may use at tree `slot` (∞ if
+    /// unconstrained). Valid until the next [`compute_into`] call.
+    pub fn allowed_at(&self, idx: usize, slot: usize) -> f64 {
+        self.allowed[idx][slot]
     }
 }
 
 /// Compute fair shares. `trees[i]` and `specs[i]` describe session `i`;
-/// `capacity` is the stage-2 estimate (`None` = infinite).
+/// `capacity` is the stage-2 estimate (`None` = infinite). Thin adapter
+/// over [`compute_into`] for callers that index by [`NodeId`]; the
+/// algorithm driver uses the dense entry point directly.
 pub fn compute(
     trees: &[SessionTree],
     specs: &[&LayerSpec],
     capacity: impl Fn(DirLinkId) -> Option<f64>,
 ) -> ShareMap {
+    let mut scratch = SharingScratch::default();
+    compute_into(trees, specs, capacity, &mut scratch);
+    let allowed = trees
+        .iter()
+        .enumerate()
+        .map(|(i, tree)| {
+            let t = tree.tree();
+            t.slots().map(|s| (t.node_at(s), scratch.allowed[i][s])).collect()
+        })
+        .collect();
+    ShareMap { allowed }
+}
+
+/// Dense stage-4 core: fills `scratch.allowed[i][slot]` with the bandwidth
+/// session `i` may use at tree slot `slot`.
+pub fn compute_into(
+    trees: &[SessionTree],
+    specs: &[&LayerSpec],
+    capacity: impl Fn(DirLinkId) -> Option<f64>,
+    scratch: &mut SharingScratch,
+) {
     assert_eq!(trees.len(), specs.len());
 
     // Which sessions cross each link, and where that link enters their tree.
-    let mut crossing: HashMap<DirLinkId, Vec<(usize, NodeId)>> = HashMap::new();
+    let crossing = &mut scratch.crossing;
+    for v in crossing.values_mut() {
+        v.clear();
+    }
     for (i, tree) in trees.iter().enumerate() {
-        for (node, link, _) in tree.edges() {
-            crossing.entry(link).or_default().push((i, node));
+        for s in 1..tree.tree().len() {
+            crossing.entry(tree.in_link_at(s)).or_default().push((i as u32, s as u32));
         }
     }
 
+    let resize_per_session = |bufs: &mut Vec<Vec<f64>>| {
+        bufs.resize_with(trees.len().max(bufs.len()), Vec::new);
+        for (tree, buf) in trees.iter().zip(bufs.iter_mut()) {
+            buf.clear();
+            buf.resize(tree.tree().len(), f64::INFINITY);
+        }
+    };
+
     // Pass A (top-down): max bandwidth possible per node if all *other*
     // sessions on each link took only their base layer.
-    let mut maxposs: Vec<HashMap<NodeId, f64>> = Vec::with_capacity(trees.len());
+    resize_per_session(&mut scratch.maxposs);
     for (i, tree) in trees.iter().enumerate() {
         let t = tree.tree();
-        let mut m: HashMap<NodeId, f64> = HashMap::with_capacity(t.len());
-        for node in t.top_down() {
-            let v = match t.parent(node) {
+        let m = &mut scratch.maxposs[i];
+        for s in t.slots() {
+            let Some(p) = t.parent_slot_of(s) else { continue };
+            let link = tree.in_link_at(s);
+            let avail = match capacity(link) {
                 None => f64::INFINITY,
-                Some(p) => {
-                    let up = m[&p];
-                    let link = tree.in_link(node).expect("non-root node has an in-link");
-                    let avail = match capacity(link) {
-                        None => f64::INFINITY,
-                        Some(b) => {
-                            let others_base: f64 = crossing[&link]
-                                .iter()
-                                .filter(|&&(j, _)| j != i)
-                                .map(|&(j, _)| specs[j].base_rate())
-                                .sum();
-                            // Every session is assumed to get at least its
-                            // own base layer's worth.
-                            (b - others_base).max(specs[i].base_rate())
-                        }
-                    };
-                    up.min(avail)
+                Some(b) => {
+                    let others_base: f64 = crossing[&link]
+                        .iter()
+                        .filter(|&&(j, _)| j as usize != i)
+                        .map(|&(j, _)| specs[j as usize].base_rate())
+                        .sum();
+                    // Every session is assumed to get at least its own
+                    // base layer's worth.
+                    (b - others_base).max(specs[i].base_rate())
                 }
             };
-            m.insert(node, v);
+            m[s] = m[p].min(avail);
         }
-        maxposs.push(m);
     }
 
     // Pass B (bottom-up): a node's max possible demand is the max over its
     // children; leaves keep their own.
-    let mut aggdem: Vec<HashMap<NodeId, f64>> = Vec::with_capacity(trees.len());
+    resize_per_session(&mut scratch.aggdem);
     for (i, tree) in trees.iter().enumerate() {
         let t = tree.tree();
-        let mut m: HashMap<NodeId, f64> = HashMap::with_capacity(t.len());
-        for node in t.bottom_up() {
-            let children = t.children(node);
-            let v = if children.is_empty() {
-                maxposs[i][&node]
+        let (maxposs, m) = (&scratch.maxposs[i], &mut scratch.aggdem[i]);
+        for s in t.slots_bottom_up() {
+            let cs = t.child_slots(s);
+            m[s] = if cs.is_empty() {
+                maxposs[s]
             } else {
-                children.iter().map(|c| m[c]).fold(f64::NEG_INFINITY, f64::max)
+                cs.map(|c| m[c]).fold(f64::NEG_INFINITY, f64::max)
             };
-            m.insert(node, v);
         }
-        aggdem.push(m);
     }
 
     // Per shared link: x_i in layers, then the proportional share.
-    let mut share: HashMap<(DirLinkId, usize), f64> = HashMap::new();
-    for (&link, sessions) in &crossing {
+    let share = &mut scratch.share;
+    share.clear();
+    for (&link, sessions) in crossing.iter() {
         if sessions.len() < 2 {
             continue;
         }
         let Some(b) = capacity(link) else { continue };
-        let xs: Vec<(usize, u32)> = sessions
+        let total: u32 = sessions
             .iter()
             .map(|&(i, head)| {
-                let level = specs[i].level_fitting(aggdem[i][&head]).max(1);
-                (i, level as u32)
+                specs[i as usize].level_fitting(scratch.aggdem[i as usize][head as usize]).max(1)
+                    as u32
             })
-            .collect();
-        let total: u32 = xs.iter().map(|&(_, x)| x).sum();
-        for (i, x) in xs {
+            .sum();
+        for &(i, head) in sessions {
+            let x = specs[i as usize]
+                .level_fitting(scratch.aggdem[i as usize][head as usize])
+                .max(1) as u32;
             share.insert((link, i), x as f64 * b / total as f64);
         }
     }
 
     // Final top-down pass: allowed bandwidth per node = min over the path of
     // (fair share on shared links, raw estimate on private links).
-    let mut allowed: Vec<HashMap<NodeId, f64>> = Vec::with_capacity(trees.len());
+    resize_per_session(&mut scratch.allowed);
     for (i, tree) in trees.iter().enumerate() {
         let t = tree.tree();
-        let mut m: HashMap<NodeId, f64> = HashMap::with_capacity(t.len());
-        for node in t.top_down() {
-            let v = match t.parent(node) {
-                None => f64::INFINITY,
-                Some(p) => {
-                    let up = m[&p];
-                    let link = tree.in_link(node).expect("non-root node has an in-link");
-                    let limit = share
-                        .get(&(link, i))
-                        .copied()
-                        .or_else(|| capacity(link))
-                        .unwrap_or(f64::INFINITY);
-                    up.min(limit)
-                }
-            };
-            m.insert(node, v);
+        let m = &mut scratch.allowed[i];
+        for s in t.slots() {
+            let Some(p) = t.parent_slot_of(s) else { continue };
+            let link = tree.in_link_at(s);
+            let limit = share
+                .get(&(link, i as u32))
+                .copied()
+                .or_else(|| capacity(link))
+                .unwrap_or(f64::INFINITY);
+            m[s] = m[p].min(limit);
         }
-        allowed.push(m);
     }
-
-    ShareMap { allowed }
 }
 
 #[cfg(test)]
@@ -254,11 +296,7 @@ mod tests {
     fn sixteen_equal_sessions_each_get_a_sixteenth() {
         // Mirror of the paper's Topology B at n=16.
         let links: Vec<LinkView> = std::iter::once(LinkView { id: l(0), from: n(0), to: n(1) })
-            .chain((0..16).map(|i| LinkView {
-                id: l(1 + i),
-                from: n(1),
-                to: n(2 + i),
-            }))
+            .chain((0..16).map(|i| LinkView { id: l(1 + i), from: n(1), to: n(2 + i) }))
             .collect();
         let spec = LayerSpec::paper_default();
         let trees: Vec<SessionTree> = (0..16u32)

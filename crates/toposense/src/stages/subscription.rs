@@ -170,31 +170,82 @@ pub struct DemandContext<'a> {
 }
 
 /// Run both passes. `backoffs` is the session's persistent backoff table;
-/// `rng` draws the random backoff durations.
+/// `rng` draws the random backoff durations. Thin adapter over
+/// [`compute_into`] for callers that index by [`NodeId`]; the algorithm
+/// driver uses the dense entry point directly.
 pub fn compute(
     ctx: &DemandContext<'_>,
     backoffs: &mut BackoffTable,
     rng: &mut RngStream,
 ) -> SubscriptionResult {
     let t = ctx.tree.tree();
-    let cfg = ctx.cfg;
-    let spec = ctx.spec;
-    let mut demand: HashMap<NodeId, u8> = HashMap::with_capacity(t.len());
+    let mut inputs = Vec::with_capacity(t.len());
+    let mut level_cap = Vec::with_capacity(t.len());
+    for s in t.slots() {
+        let node = t.node_at(s);
+        inputs.push(ctx.inputs.get(&node).copied().unwrap_or_default());
+        level_cap.push((ctx.level_cap)(node));
+    }
+    let mut demand_v = Vec::new();
+    let mut supply_v = Vec::new();
+    compute_into(
+        ctx.tree,
+        ctx.spec,
+        ctx.cfg,
+        ctx.now,
+        &inputs,
+        &level_cap,
+        backoffs,
+        rng,
+        &mut demand_v,
+        &mut supply_v,
+    );
+    let demand = t.slots().map(|s| (t.node_at(s), demand_v[s])).collect();
+    let supply = t.slots().map(|s| (t.node_at(s), supply_v[s])).collect();
+    SubscriptionResult { demand, supply }
+}
 
-    backoffs.expire(ctx.now);
+/// Dense stage-5 core: `inputs[slot]` / `level_cap[slot]` describe the
+/// node at each tree slot; `demand[slot]` / `supply[slot]` receive the
+/// two passes' results (cleared and refilled, reusing allocations).
+///
+/// Backoff timers stay keyed by [`NodeId`] because they outlive any one
+/// tree shape; the bottom-up slot order equals the reverse-BFS node order,
+/// so the RNG draw sequence matches the [`NodeId`]-indexed adapter.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_into(
+    tree: &SessionTree,
+    spec: &LayerSpec,
+    cfg: &Config,
+    now: SimTime,
+    inputs: &[NodeInputs],
+    level_cap: &[u8],
+    backoffs: &mut BackoffTable,
+    rng: &mut RngStream,
+    demand: &mut Vec<u8>,
+    supply: &mut Vec<u8>,
+) {
+    let t = tree.tree();
+    debug_assert_eq!(inputs.len(), t.len());
+    debug_assert_eq!(level_cap.len(), t.len());
+    demand.clear();
+    demand.resize(t.len(), 1);
+
+    backoffs.expire(now);
 
     // Demand, bottom-up.
-    for node in t.bottom_up() {
-        let inp = ctx.inputs.get(&node).copied().unwrap_or_default();
-        let children = t.children(node);
-        let d = if children.is_empty() {
+    for s in t.slots_bottom_up() {
+        let inp = inputs[s];
+        let cs = t.child_slots(s);
+        let d = if cs.is_empty() {
             let cur = inp.current_level.unwrap_or(1).max(1);
             if inp.parent_congested {
                 // Defer: the congested ancestor acts for the subtree.
                 cur
             } else {
+                let node = t.node_at(s);
                 let floor = spec.level_fitting(inp.goodput_bps);
-                let cap = (ctx.level_cap)(node);
+                let cap = level_cap[s];
                 match decide(NodeKind::Leaf, inp.hist, inp.bw) {
                     Action::AddLayer => {
                         // Explore only after the current level has been held
@@ -214,8 +265,7 @@ pub fn compute(
                         if target > cur
                             && !inp.sibling_congested
                             && (known_safe
-                                || (settled
-                                    && !backoffs.blocked(ctx.tree, node, target, ctx.now)))
+                                || (settled && !backoffs.blocked(tree, node, target, now)))
                         {
                             target
                         } else {
@@ -226,7 +276,7 @@ pub fn compute(
                         if inp.loss > cfg.high_loss && cur > 1 {
                             let d = reduce_target(cur - 1, floor, cap, cur);
                             if d < cur {
-                                backoffs.arm(node, cur, ctx.now, cfg, rng);
+                                backoffs.arm(node, cur, now, cfg, rng);
                             }
                             d
                         } else {
@@ -234,21 +284,19 @@ pub fn compute(
                         }
                     }
                     Action::Maintain => cur,
-                    Action::ReduceToSupply(w) => {
-                        reduce_target(supply_of(&inp, w), floor, cap, cur)
-                    }
+                    Action::ReduceToSupply(w) => reduce_target(supply_of(&inp, w), floor, cap, cur),
                     Action::ReduceToHalfSupply { window, backoff } => {
-                        let t = half_supply_level(spec, &inp, window);
-                        let d = reduce_target(t, floor, cap, cur);
+                        let tgt = half_supply_level(spec, &inp, window);
+                        let d = reduce_target(tgt, floor, cap, cur);
                         if backoff && cur > d {
-                            backoffs.arm(node, cur, ctx.now, cfg, rng);
+                            backoffs.arm(node, cur, now, cfg, rng);
                         }
                         d
                     }
                     Action::ReduceToHalfSupplyIfLossVeryHigh(w) => {
                         if inp.loss > cfg.very_high_loss {
-                            let t = half_supply_level(spec, &inp, w);
-                            reduce_target(t, floor, cap, cur)
+                            let tgt = half_supply_level(spec, &inp, w);
+                            reduce_target(tgt, floor, cap, cur)
                         } else {
                             cur
                         }
@@ -257,20 +305,20 @@ pub fn compute(
                 }
             }
         } else {
-            let childmax = children.iter().map(|c| demand[c]).max().unwrap_or(1);
+            let childmax = cs.map(|c| demand[c]).max().unwrap_or(1);
             if inp.parent_congested {
                 childmax
             } else {
                 let floor = spec.level_fitting(inp.goodput_bps);
-                let cap = (ctx.level_cap)(node);
+                let cap = level_cap[s];
                 match decide(NodeKind::Internal, inp.hist, inp.bw) {
                     Action::AcceptChildren => childmax,
                     Action::Maintain => childmax.min(inp.demand_prev.unwrap_or(childmax)),
                     Action::ReduceToHalfSupply { window, backoff } => {
-                        let t = half_supply_level(spec, &inp, window);
-                        let d = reduce_target(t, floor, cap, childmax);
+                        let tgt = half_supply_level(spec, &inp, window);
+                        let d = reduce_target(tgt, floor, cap, childmax);
                         if backoff && childmax > d {
-                            backoffs.arm(node, childmax, ctx.now, cfg, rng);
+                            backoffs.arm(t.node_at(s), childmax, now, cfg, rng);
                         }
                         d
                     }
@@ -278,22 +326,20 @@ pub fn compute(
                 }
             }
         };
-        demand.insert(node, d.max(1));
+        demand[s] = d.max(1);
     }
 
     // Supply, top-down.
-    let mut supply: HashMap<NodeId, u8> = HashMap::with_capacity(t.len());
-    for node in t.top_down() {
-        let cap = (ctx.level_cap)(node);
-        let s = match t.parent(node) {
-            None => demand[&node].min(cap),
-            Some(p) => demand[&node].min(supply[&p]).min(cap),
+    supply.clear();
+    supply.resize(t.len(), 1);
+    for s in t.slots() {
+        let v = match t.parent_slot_of(s) {
+            None => demand[s].min(level_cap[s]),
+            Some(p) => demand[s].min(supply[p]).min(level_cap[s]),
         };
         // The paper assumes every session keeps at least its base layer.
-        supply.insert(node, s.max(1));
+        supply[s] = v.max(1);
     }
-
-    SubscriptionResult { demand, supply }
 }
 
 /// Clamp a table-prescribed reduction `target` (from `basis`, the current
@@ -305,7 +351,7 @@ pub fn compute(
 ///   congestion (we are above it): reducing below the freshly estimated
 ///   fair share only under-subscribes and re-probes later;
 /// * never above `basis` (this is a reduction) and never below base.
-fn reduce_target(target: u8, floor: u8, cap: u8, basis: u8) -> u8 {
+pub(crate) fn reduce_target(target: u8, floor: u8, cap: u8, basis: u8) -> u8 {
     let mut t = target.max(floor);
     if cap < basis {
         t = t.max(cap);
@@ -313,7 +359,7 @@ fn reduce_target(target: u8, floor: u8, cap: u8, basis: u8) -> u8 {
     t.min(basis).max(1)
 }
 
-fn supply_of(inp: &NodeInputs, w: SupplyWindow) -> u8 {
+pub(crate) fn supply_of(inp: &NodeInputs, w: SupplyWindow) -> u8 {
     match w {
         SupplyWindow::Older => inp.supply_older,
         SupplyWindow::Recent => inp.supply_recent,
@@ -322,7 +368,7 @@ fn supply_of(inp: &NodeInputs, w: SupplyWindow) -> u8 {
 
 /// The level whose cumulative rate fits half the window's supplied
 /// bandwidth (never below the base layer).
-fn half_supply_level(spec: &LayerSpec, inp: &NodeInputs, w: SupplyWindow) -> u8 {
+pub(crate) fn half_supply_level(spec: &LayerSpec, inp: &NodeInputs, w: SupplyWindow) -> u8 {
     let bw = spec.cumulative_rate(supply_of(inp, w)) / 2.0;
     spec.level_fitting(bw).max(1)
 }
@@ -366,7 +412,14 @@ mod tests {
         let spec = LayerSpec::paper_default();
         let cfg = Config::default();
         let cap: Box<dyn Fn(NodeId) -> u8> = Box::new(cap);
-        let ctx = DemandContext { tree: &tree, spec: &spec, cfg: &cfg, now, inputs: &inputs, level_cap: &cap };
+        let ctx = DemandContext {
+            tree: &tree,
+            spec: &spec,
+            cfg: &cfg,
+            now,
+            inputs: &inputs,
+            level_cap: &cap,
+        };
         let mut rng = RngStream::derive(1, "stage5-test");
         compute(&ctx, backoffs, &mut rng)
     }
@@ -585,9 +638,8 @@ mod tests {
         }
         // A different level at the same node still gets a base-range draw.
         b.arm(n(3), 2, now, &cfg, &mut rng);
-        let past_base = now + netsim::SimDuration::from_secs(
-            cfg.backoff_max.as_secs_f64() as u64 + 1,
-        );
+        let past_base =
+            now + netsim::SimDuration::from_secs(cfg.backoff_max.as_secs_f64() as u64 + 1);
         assert!(!b.blocked(&tree(), n(3), 2, past_base), "level 2 not scaled");
     }
 

@@ -84,12 +84,7 @@ mod tests {
         let got = Arc::new(AtomicU64::new(0));
         sim.add_app(c, Box::new(CountSink(Arc::clone(&got))));
         // 80 kb/s = 10 packets/s, on for 10 s => ~100 packets.
-        let flood = OnOffFlood::new(
-            c,
-            80_000.0,
-            SimTime::from_secs(5),
-            SimTime::from_secs(15),
-        );
+        let flood = OnOffFlood::new(c, 80_000.0, SimTime::from_secs(5), SimTime::from_secs(15));
         sim.add_app(a, Box::new(flood));
         sim.run_until(SimTime::from_secs(4));
         assert_eq!(got.load(Ordering::Relaxed), 0, "silent before on_at");

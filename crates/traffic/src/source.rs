@@ -96,13 +96,7 @@ impl LayeredSource {
         self.seqs[layer as usize] += 1;
         self.sent_packets += 1;
         self.sent_bytes += self.packet_size as u64;
-        ctx.send_media(
-            self.def.group_of_layer(layer),
-            self.def.id,
-            layer,
-            seq,
-            self.packet_size,
-        );
+        ctx.send_media(self.def.group_of_layer(layer), self.def.id, layer, seq, self.packet_size);
     }
 }
 
@@ -131,9 +125,7 @@ mod tests {
     use super::*;
     use crate::layers::LayerSpec;
     use netsim::sim::{NetworkBuilder, SimConfig};
-    use netsim::{
-        GroupId, LinkConfig, Packet, SeqTracker, SessionId, SimTime,
-    };
+    use netsim::{GroupId, LinkConfig, Packet, SeqTracker, SessionId, SimTime};
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
@@ -162,14 +154,8 @@ mod tests {
         let mut sim = b.build();
         let spec = LayerSpec::doubling(32_000.0, 3);
         let groups: Vec<GroupId> = (0..3).map(|_| sim.create_group(s)).collect();
-        let def = SessionDef {
-            id: SessionId(0),
-            source: s,
-            groups: groups.clone(),
-            spec,
-        };
-        let counts: Arc<Vec<AtomicU64>> =
-            Arc::new((0..3).map(|_| AtomicU64::new(0)).collect());
+        let def = SessionDef { id: SessionId(0), source: s, groups: groups.clone(), spec };
+        let counts: Arc<Vec<AtomicU64>> = Arc::new((0..3).map(|_| AtomicU64::new(0)).collect());
         sim.add_app(r, Box::new(Sink { groups, counts: Arc::clone(&counts) }));
         let src = LayeredSource::new(def, model, 42);
         let src_id = sim.add_app(s, Box::new(src));
@@ -186,10 +172,7 @@ mod tests {
         // frame or two of slack for phase and the final partial frame.
         for (k, expect) in [(0usize, 4.0), (1, 8.0), (2, 16.0)] {
             let rate = counts[k] as f64 / secs as f64;
-            assert!(
-                (rate - expect).abs() < 0.5,
-                "layer {k}: rate {rate} != {expect}"
-            );
+            assert!((rate - expect).abs() < 0.5, "layer {k}: rate {rate} != {expect}");
         }
     }
 

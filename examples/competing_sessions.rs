@@ -16,12 +16,9 @@ use traffic::TrafficModel;
 
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
-    let scenario = Scenario::new(
-        generators::topology_b_default(n),
-        TrafficModel::Vbr { p: 3.0 },
-        7,
-    )
-    .with_duration(SimDuration::from_secs(600));
+    let scenario =
+        Scenario::new(generators::topology_b_default(n), TrafficModel::Vbr { p: 3.0 }, 7)
+            .with_duration(SimDuration::from_secs(600));
 
     println!("running Topology B ({n} sessions, VBR P=3, 600 s)...");
     let result = run(&scenario);
@@ -45,12 +42,11 @@ fn main() {
         );
     }
 
-    let bytes: Vec<f64> =
-        result.session_bytes().iter().map(|&(_, b)| b as f64).collect();
+    let bytes: Vec<f64> = result.session_bytes().iter().map(|&(_, b)| b as f64).collect();
     println!("\nJain fairness index over session bytes: {:.4}", metrics::jain_index(&bytes));
     println!(
         "mean relative deviation (2nd half):     {:.4}",
-        result.mean_relative_deviation(half, end)
+        result.mean_relative_deviation(half, end).expect("scenario has receivers")
     );
     println!(
         "\nEvery session should sit near 4 layers with near-equal byte totals —\n\

@@ -34,8 +34,8 @@ fn main() {
     // Ground truth before running anything: what should everyone get?
     let optima = oracle::optimal_levels(&spec, &LayerSpec::paper_default(), 1.0);
 
-    let scenario = Scenario::new(spec, TrafficModel::Cbr, seed)
-        .with_duration(SimDuration::from_secs(400));
+    let scenario =
+        Scenario::new(spec, TrafficModel::Cbr, seed).with_duration(SimDuration::from_secs(400));
     let result = run(&scenario);
 
     let start = SimTime::from_secs(200);

@@ -12,8 +12,8 @@ use netsim::sim::{NetworkBuilder, SimConfig};
 use netsim::{GroupId, LinkConfig, SessionId, SimDuration, SimTime};
 use std::sync::Arc;
 use toposense::{Config, Controller, Receiver};
-use traffic::{LayerSpec, LayeredSource, SessionCatalog, TrafficModel};
 use traffic::session::SessionDef;
+use traffic::{LayerSpec, LayeredSource, SessionCatalog, TrafficModel};
 
 fn main() {
     // 1. A three-node network: source -- router -- receiver, with the
@@ -29,8 +29,7 @@ fn main() {
     // 2. Advertise one session: 6 cumulative layers, base 32 kb/s,
     //    doubling — one multicast group per layer, rooted at the source.
     let spec = LayerSpec::paper_default();
-    let groups: Vec<GroupId> =
-        (0..spec.layer_count()).map(|_| sim.create_group(src)).collect();
+    let groups: Vec<GroupId> = (0..spec.layer_count()).map(|_| sim.create_group(src)).collect();
     let def = SessionDef { id: SessionId(0), source: src, groups, spec };
     let mut catalog = SessionCatalog::new();
     catalog.add(def.clone());
@@ -39,8 +38,7 @@ fn main() {
     // 3. Agents: controller (stationed at the source node, like the paper),
     //    the source, and the receiver.
     let cfg = Config::default();
-    let (controller, ctrl_stats) =
-        Controller::new(Arc::clone(&catalog), cfg, SimDuration::ZERO, 1);
+    let (controller, ctrl_stats) = Controller::new(Arc::clone(&catalog), cfg, SimDuration::ZERO, 1);
     sim.add_app(src, Box::new(controller));
     sim.add_app(src, Box::new(LayeredSource::new(def.clone(), TrafficModel::Cbr, 2)));
     let (receiver, rcv_stats) = Receiver::new(def, src, cfg, 3, "r0");
@@ -61,8 +59,5 @@ fn main() {
     println!("suggestions obeyed:     {}", r.suggestions_received);
     println!("controller intervals:   {}", c.intervals);
     println!("events processed:       {}", sim.events_processed());
-    assert!(
-        (2..=4).contains(&r.final_level()),
-        "expected convergence near 3 layers"
-    );
+    assert!((2..=4).contains(&r.final_level()), "expected convergence near 3 layers");
 }

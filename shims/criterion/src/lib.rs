@@ -1,0 +1,277 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro/API subset the workspace's `harness = false` benches
+//! use, backed by a simple warmup + median-of-samples timer. Statistical
+//! rigor is intentionally lighter than real criterion; results are meant
+//! for coarse regression tracking and the committed `BENCH_baseline.json`
+//! snapshot.
+//!
+//! Env knobs:
+//! * `CRITERION_JSON=<path>` — append one JSON object per benchmark to
+//!   `<path>` (JSON-lines), for building baseline snapshots.
+//! * `CRITERION_SAMPLES=<n>` — override the per-bench sample count.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Target wall time for one measured sample; iterations are batched to
+/// reach it so short benchmarks are not dominated by timer overhead.
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+const WARMUP_TARGET: Duration = Duration::from_millis(100);
+const DEFAULT_SAMPLES: usize = 15;
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by `iter`.
+    median_ns: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= WARMUP_TARGET || warm_iters >= 10_000 {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let batch = ((SAMPLE_TARGET.as_nanos() as f64 / est_ns).round() as u64).max(1);
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+struct Record {
+    group: Option<String>,
+    id: String,
+    median_ns: f64,
+    throughput: Option<Throughput>,
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn env_samples() -> usize {
+    std::env::var("CRITERION_SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SAMPLES)
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    records: Vec<Record>,
+}
+
+impl Criterion {
+    pub fn from_env() -> Self {
+        Criterion::default()
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: env_samples(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { median_ns: 0.0, samples: env_samples() };
+        f(&mut b);
+        self.report(Record { group: None, id: id.id, median_ns: b.median_ns, throughput: None });
+        self
+    }
+
+    fn report(&mut self, r: Record) {
+        let full = match &r.group {
+            Some(g) => format!("{g}/{}", r.id),
+            None => r.id.clone(),
+        };
+        let mut line = format!("{full:<48} time: [{}]", fmt_time(r.median_ns));
+        if let Some(Throughput::Elements(n)) = r.throughput {
+            let per_sec = n as f64 * 1e9 / r.median_ns;
+            line.push_str(&format!("  thrpt: [{per_sec:.0} elem/s]"));
+        }
+        println!("{line}");
+        self.records.push(r);
+    }
+
+    /// Print the run footer and, if `CRITERION_JSON` is set, append one
+    /// JSON object per benchmark to that file.
+    pub fn final_summary(&self) {
+        println!("\n{} benchmarks measured", self.records.len());
+        let Ok(path) = std::env::var("CRITERION_JSON") else { return };
+        if path.is_empty() {
+            return;
+        }
+        let mut out = String::new();
+        for r in &self.records {
+            let full = match &r.group {
+                Some(g) => format!("{g}/{}", r.id),
+                None => r.id.clone(),
+            };
+            out.push_str(&format!("{{\"bench\":\"{}\",\"median_ns\":{:.1}}}\n", full, r.median_ns));
+        }
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(&path);
+        match file {
+            Ok(mut f) => {
+                let _ = f.write_all(out.as_bytes());
+            }
+            Err(e) => eprintln!("CRITERION_JSON: cannot open {path}: {e}"),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // An explicit per-group sample size still yields to the env override.
+        if std::env::var("CRITERION_SAMPLES").is_err() {
+            self.sample_size = n.max(2);
+        }
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { median_ns: 0.0, samples: self.sample_size };
+        f(&mut b, input);
+        self.parent.report(Record {
+            group: Some(self.name.clone()),
+            id: id.id,
+            median_ns: b.median_ns,
+            throughput: self.throughput,
+        });
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { median_ns: 0.0, samples: self.sample_size };
+        f(&mut b);
+        self.parent.report(Record {
+            group: Some(self.name.clone()),
+            id: id.id,
+            median_ns: b.median_ns,
+            throughput: self.throughput,
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Re-export so `use criterion::black_box` keeps working alongside
+/// `std::hint::black_box`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_env();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { median_ns: 0.0, samples: 3 };
+        b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+        assert!(b.median_ns > 0.0);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("schedule_pop", 1000).id, "schedule_pop/1000");
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+    }
+}

@@ -1,0 +1,300 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! The workspace only *emits* JSON (the `fig*`/`ablations` binaries dump
+//! result tables for external plotting), so this shim provides exactly
+//! that: a [`Value`] tree, the [`json!`] object/array macro, and
+//! [`to_string_pretty`]. There is no parser and no `Serialize` derive;
+//! conversion into `Value` goes through the [`ToJson`] trait, which takes
+//! `&self` so the macro never moves fields out of borrowed structs
+//! (matching real `json!`, which serializes by reference).
+
+use std::fmt::Write as _;
+
+/// A JSON document. Object keys keep insertion order (like serde_json with
+/// `preserve_order`), which keeps the binaries' output stable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+/// Conversion into a [`Value`] by reference; the shim's substitute for
+/// `serde::Serialize`.
+pub trait ToJson {
+    fn to_json(&self) -> Value;
+}
+
+/// Shim substitute for `serde_json::to_value` (always succeeds).
+pub fn to_value<T: ToJson + ?Sized>(v: &T) -> Value {
+    v.to_json()
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+macro_rules! to_json_int {
+    ($($t:ty => $variant:ident as $as:ty),* $(,)?) => {
+        $(impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::$variant(*self as $as)
+            }
+        })*
+    };
+}
+
+to_json_int!(
+    i8 => Int as i64, i16 => Int as i64, i32 => Int as i64, i64 => Int as i64,
+    isize => Int as i64,
+    u8 => UInt as u64, u16 => UInt as u64, u32 => UInt as u64, u64 => UInt as u64,
+    usize => UInt as u64,
+);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+/// Build a [`Value`] from an object/array literal or any [`ToJson`]
+/// expression, e.g. `json!({"knob": r.knob, "rows": rows})`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::to_value(&$elem)),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $(($key.to_string(), $crate::to_value(&$val))),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Error type for the (infallible) serializers, so `.unwrap()` call sites
+/// keep compiling against the real serde_json signature.
+#[derive(Debug)]
+pub struct Error(());
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
+    let (nl, pad, pad_in) = if pretty {
+        ("\n", "  ".repeat(indent), "  ".repeat(indent + 1))
+    } else {
+        ("", String::new(), String::new())
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => {
+            // JSON has no NaN/Inf; serde_json emits null for them too.
+            if f.is_finite() {
+                let _ = write!(out, "{f}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_value(out, item, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                escape_into(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, val, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = value.to_json();
+    let mut out = String::new();
+    write_value(&mut out, &v, 0, true);
+    Ok(out)
+}
+
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = value.to_json();
+    let mut out = String::new();
+    write_value(&mut out, &v, 0, false);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_macro_keeps_order_and_borrows() {
+        struct Row {
+            knob: String,
+            dev: f64,
+        }
+        let r = Row { knob: "interval=2".into(), dev: 0.25 };
+        let rr = &r;
+        // Field access through a reference must not move.
+        let v = json!({"knob": rr.knob, "dev": rr.dev, "n": 3usize});
+        assert_eq!(to_string(&v).unwrap(), r#"{"knob":"interval=2","dev":0.25,"n":3}"#);
+        assert_eq!(r.knob, "interval=2");
+    }
+
+    #[test]
+    fn nested_values_and_tuples() {
+        let series: Vec<Vec<(u64, u8)>> = vec![vec![(0, 1), (2, 3)]];
+        let v = json!({"levels": series, "flag": true, "none": Option::<f64>::None});
+        assert_eq!(to_string(&v).unwrap(), r#"{"levels":[[[0,1],[2,3]]],"flag":true,"none":null}"#);
+    }
+
+    #[test]
+    fn pretty_output_shape() {
+        let v = json!({"a": 1u32, "b": [1u32, 2u32]});
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"a\": 1,\n  \"b\": [\n    1,\n    2\n  ]\n}");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let v = json!({"x": f64::NAN});
+        assert_eq!(to_string(&v).unwrap(), r#"{"x":null}"#);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = json!({"s": "a\"b\\c\nd"});
+        assert_eq!(to_string(&v).unwrap(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+    }
+}

@@ -82,10 +82,7 @@ fn main() {
         return;
     }
 
-    println!(
-        "Ablations over Topology A ({} s per point)\n",
-        duration.as_secs_f64()
-    );
+    println!("Ablations over Topology A ({} s per point)\n", duration.as_secs_f64());
     for (title, note, rows) in &sections {
         print_table(title, note, rows);
     }

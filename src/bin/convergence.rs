@@ -19,8 +19,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
     let duration = if quick { SimDuration::from_secs(240) } else { SimDuration::from_secs(1200) };
-    let models =
-        [TrafficModel::Cbr, TrafficModel::Vbr { p: 3.0 }, TrafficModel::Vbr { p: 6.0 }];
+    let models = [TrafficModel::Cbr, TrafficModel::Vbr { p: 3.0 }, TrafficModel::Vbr { p: 6.0 }];
 
     let mut all = Vec::new();
     for model in models {

@@ -39,10 +39,7 @@ fn main() {
 
     println!("Fig. 10 — Impact of stale topology information (Topology A, VBR P=3)");
     println!("rows: staleness (s); columns: receivers per set\n");
-    for (title, get) in [
-        ("mean relative deviation", 0usize),
-        ("mean loss rate", 1usize),
-    ] {
+    for (title, get) in [("mean relative deviation", 0usize), ("mean loss rate", 1usize)] {
         println!("[{title}]");
         print!("{:>12}", "staleness");
         for &n in receivers {

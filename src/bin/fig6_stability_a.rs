@@ -48,10 +48,7 @@ fn main() {
     );
     println!("{}", "-".repeat(64));
     for r in &rows {
-        println!(
-            "{:<10} {:>14} {:>14} {:>22.1}",
-            r.model, r.x, r.max_changes, r.mean_gap_secs
-        );
+        println!("{:<10} {:>14} {:>14} {:>22.1}", r.model, r.x, r.max_changes, r.mean_gap_secs);
     }
     println!(
         "\nShape check (paper): subscription shows long stable spells; changes are\n\

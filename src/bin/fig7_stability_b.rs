@@ -41,16 +41,10 @@ fn main() {
         "Fig. 7 — Stability in Topology B ({} s, shared link = 500 kb/s x sessions)",
         duration.as_secs_f64()
     );
-    println!(
-        "{:<10} {:>10} {:>14} {:>22}",
-        "traffic", "sessions", "max changes", "mean gap (s)"
-    );
+    println!("{:<10} {:>10} {:>14} {:>22}", "traffic", "sessions", "max changes", "mean gap (s)");
     println!("{}", "-".repeat(60));
     for r in &rows {
-        println!(
-            "{:<10} {:>10} {:>14} {:>22.1}",
-            r.model, r.x, r.max_changes, r.mean_gap_secs
-        );
+        println!("{:<10} {:>10} {:>14} {:>22.1}", r.model, r.x, r.max_changes, r.mean_gap_secs);
     }
     println!(
         "\nShape check (paper): high variability stems from the random backoff\n\

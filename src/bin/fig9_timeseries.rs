@@ -41,12 +41,8 @@ fn main() {
     while t < w1 {
         let mut line = format!("{t:<8.0}");
         for s in &out.levels {
-            let level = s
-                .iter()
-                .take_while(|&&(ts, _)| ts <= t)
-                .last()
-                .map(|&(_, l)| l)
-                .unwrap_or(0);
+            let level =
+                s.iter().take_while(|&&(ts, _)| ts <= t).last().map(|&(_, l)| l).unwrap_or(0);
             line.push_str(&format!(" {level:>4}"));
         }
         println!("{line}");
@@ -59,8 +55,7 @@ fn main() {
         let mean_level =
             levels.iter().map(|&(_, l)| l as f64).sum::<f64>() / levels.len().max(1) as f64;
         let max_level = levels.iter().map(|&(_, l)| l).max().unwrap_or(0);
-        let mean_loss =
-            losses.iter().map(|&(_, l)| l).sum::<f64>() / losses.len().max(1) as f64;
+        let mean_loss = losses.iter().map(|&(_, l)| l).sum::<f64>() / losses.len().max(1) as f64;
         println!("{i:<8} {mean_level:>12.2} {max_level:>12} {mean_loss:>14.4}");
     }
     println!(

@@ -31,9 +31,7 @@ fn main() {
     };
     let staleness: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0);
     let s = Scenario::new(topo, TrafficModel::Vbr { p: 3.0 }, 1)
-        .with_control(ControlMode::TopoSense {
-            staleness: SimDuration::from_secs(staleness),
-        })
+        .with_control(ControlMode::TopoSense { staleness: SimDuration::from_secs(staleness) })
         .with_duration(SimDuration::from_secs(secs));
     let r = run(&s);
     for rec in &r.receivers {

@@ -33,8 +33,7 @@ fn random_session_tree(parents: &[usize]) -> (SessionTree, Vec<NodeId>) {
         }],
     };
     let tree = SessionTree::build(&view, SessionId(0), &[GroupId(0)]).unwrap();
-    let leaves: Vec<NodeId> =
-        tree.tree().leaves().filter(|&n| n != tree.tree().root()).collect();
+    let leaves: Vec<NodeId> = tree.tree().leaves().filter(|&n| n != tree.tree().root()).collect();
     (tree, leaves)
 }
 

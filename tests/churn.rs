@@ -31,8 +31,7 @@ fn build(
         .collect();
     let mut sim = b.build();
     let spec = LayerSpec::paper_default();
-    let groups: Vec<GroupId> =
-        (0..spec.layer_count()).map(|_| sim.create_group(src)).collect();
+    let groups: Vec<GroupId> = (0..spec.layer_count()).map(|_| sim.create_group(src)).collect();
     let def = SessionDef { id: SessionId(0), source: src, groups, spec };
     let mut catalog = SessionCatalog::new();
     catalog.add(def.clone());
@@ -44,10 +43,7 @@ fn build(
     let mut handles = Vec::new();
     for (i, (&leaf, &(start, stop))) in leaves.iter().zip(lifetimes).enumerate() {
         let (rx, h) = Receiver::new(def.clone(), src, cfg, 100 + i as u64, &format!("r{i}"));
-        let rx = rx.with_lifetime(
-            SimTime::from_secs(start),
-            stop.map(SimTime::from_secs),
-        );
+        let rx = rx.with_lifetime(SimTime::from_secs(start), stop.map(SimTime::from_secs));
         sim.add_app(leaf, Box::new(rx));
         handles.push(h);
     }
@@ -93,13 +89,8 @@ fn departure_releases_the_tree() {
 #[test]
 fn rolling_churn_does_not_wedge_the_controller() {
     // Five receivers with staggered, overlapping lifetimes.
-    let lifetimes = [
-        (0u64, Some(200u64)),
-        (50, Some(250)),
-        (100, Some(300)),
-        (150, None),
-        (200, None),
-    ];
+    let lifetimes =
+        [(0u64, Some(200u64)), (50, Some(250)), (100, Some(300)), (150, None), (200, None)];
     let (mut sim, handles) = build(600.0, 5, &lifetimes, 11);
     sim.run_until(SimTime::from_secs(420));
     // The survivors converge.

@@ -115,8 +115,8 @@ fn no_controller_fixed_mode_suffers_where_toposense_does_not() {
     let fixed = run(&Scenario::new(topo.clone(), TrafficModel::Cbr, 3)
         .with_control(ControlMode::Fixed(4))
         .with_duration(SimDuration::from_secs(200)));
-    let topo_sense = run(&Scenario::new(topo, TrafficModel::Cbr, 3)
-        .with_duration(SimDuration::from_secs(200)));
+    let topo_sense =
+        run(&Scenario::new(topo, TrafficModel::Cbr, 3).with_duration(SimDuration::from_secs(200)));
     let window = (SimTime::from_secs(100), SimTime::from_secs(200));
     let fixed_loss = fixed.receivers[0].mean_loss(window.0, window.1);
     let ts_loss = topo_sense.receivers[0].mean_loss(window.0, window.1);

@@ -1,0 +1,359 @@
+//! Differential tests: the dense slot-indexed stage cores must reproduce
+//! the pre-refactor `HashMap`-indexed implementations bit for bit.
+//!
+//! The originals are preserved verbatim in `toposense::stages::reference`
+//! and act as the oracle; every comparison below is exact (`==` on floats
+//! included), because the refactor promises identical iteration and
+//! float-summation order, not merely "close" results.
+
+use netsim::{
+    AppId, DirLinkId, GroupId, GroupSnapshot, NodeId, RngStream, SessionId, SimDuration, SimTime,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use topology::discovery::{LinkView, TopologyView};
+use topology::SessionTree;
+use toposense::history::{BwEquality, CongestionHistory};
+use toposense::stages::congestion::LeafObs;
+use toposense::stages::subscription::{BackoffTable, DemandContext, NodeInputs};
+use toposense::stages::{bottleneck, congestion, reference, sharing, subscription};
+use toposense::Config;
+use traffic::LayerSpec;
+
+/// Build a session tree from a parent vector: node `i + 1` attaches under
+/// node `parents[i] % (i + 1)`, link ids offset so several sessions can
+/// either share or disjointly own their links.
+fn session_tree(parents: &[usize], session: u32, link_offset: u32) -> SessionTree {
+    let mut links = Vec::new();
+    let mut active = Vec::new();
+    for (i, &p) in parents.iter().enumerate() {
+        let child = NodeId(i as u32 + 1);
+        let parent = NodeId((p % (i + 1)) as u32);
+        let id = DirLinkId(link_offset + i as u32);
+        links.push(LinkView { id, from: parent, to: child });
+        active.push(id);
+    }
+    let all: Vec<NodeId> = (0..=parents.len() as u32).map(NodeId).collect();
+    let view = TopologyView {
+        time: SimTime::ZERO,
+        links,
+        groups: vec![GroupSnapshot {
+            group: GroupId(0),
+            root: NodeId(0),
+            active_links: active,
+            member_nodes: all,
+        }],
+    };
+    SessionTree::build(&view, SessionId(session), &[GroupId(0)]).unwrap()
+}
+
+/// Deterministic pseudo-random observations over a subset of nodes.
+fn random_obs(tree: &SessionTree, seed: u64) -> HashMap<NodeId, LeafObs> {
+    let mut rng = RngStream::derive(seed, "differential/obs");
+    let mut obs = HashMap::new();
+    for node in tree.tree().top_down() {
+        if rng.f64() < 0.7 {
+            obs.insert(
+                node,
+                LeafObs {
+                    loss: rng.f64() * 0.4,
+                    bytes: (rng.f64() * 200_000.0) as u64,
+                    level: 1 + (rng.f64() * 5.0) as u8,
+                },
+            );
+        }
+    }
+    obs
+}
+
+/// Deterministic pseudo-random capacity table over a subset of links.
+fn random_capacities(trees: &[SessionTree], seed: u64) -> HashMap<DirLinkId, f64> {
+    let mut rng = RngStream::derive(seed, "differential/caps");
+    let mut caps = HashMap::new();
+    for tree in trees {
+        for (_, link, _) in tree.edges() {
+            if rng.f64() < 0.5 {
+                caps.entry(link).or_insert(50_000.0 + rng.f64() * 2_000_000.0);
+            }
+        }
+    }
+    caps
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Stage 1: identical `NodeState` for every node, including exact
+    /// float equality on the loss field (same summation order).
+    #[test]
+    fn congestion_matches_reference(
+        parents in prop::collection::vec(0usize..16, 1..16),
+        seed in 0u64..1000,
+    ) {
+        let tree = session_tree(&parents, 0, 0);
+        let obs = random_obs(&tree, seed);
+        let cfg = Config::default();
+        let dense = congestion::compute(&tree, &obs, &cfg);
+        let oracle = reference::congestion_compute(&tree, &obs, &cfg);
+        for node in tree.tree().top_down() {
+            let a = dense.node(node);
+            let b = oracle.node(node);
+            prop_assert_eq!(a.loss, b.loss);
+            prop_assert_eq!(a.self_congested, b.self_congested);
+            prop_assert_eq!(a.congested, b.congested);
+            prop_assert_eq!(a.parent_congested, b.parent_congested);
+            prop_assert_eq!(a.max_bytes, b.max_bytes);
+        }
+    }
+
+    /// Stage 3: identical bottleneck and max-handle values per node.
+    #[test]
+    fn bottleneck_matches_reference(
+        parents in prop::collection::vec(0usize..16, 1..16),
+        seed in 0u64..1000,
+    ) {
+        let tree = session_tree(&parents, 0, 0);
+        let trees = [tree];
+        let caps = random_capacities(&trees, seed);
+        let cap = |l: DirLinkId| caps.get(&l).copied();
+        let dense = bottleneck::compute(&trees[0], cap);
+        let oracle = reference::bottleneck_compute(&trees[0], cap);
+        for node in trees[0].tree().top_down() {
+            prop_assert_eq!(dense.bottleneck(node), oracle.bottleneck(node));
+            prop_assert_eq!(dense.max_handle(node), oracle.max_handle(node));
+        }
+    }
+
+    /// Stage 4 with several sessions sharing every link: identical allowed
+    /// bandwidth per (session, node) — the proportional-share arithmetic
+    /// must sum the crossing sessions in the same order.
+    #[test]
+    fn sharing_matches_reference(
+        parents in prop::collection::vec(0usize..12, 1..12),
+        nsess in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        // Same parent vector and link ids: all sessions share all links.
+        let trees: Vec<SessionTree> =
+            (0..nsess).map(|s| session_tree(&parents, s as u32, 0)).collect();
+        let spec = LayerSpec::paper_default();
+        let specs: Vec<&LayerSpec> = trees.iter().map(|_| &spec).collect();
+        let caps = random_capacities(&trees, seed);
+        let cap = |l: DirLinkId| caps.get(&l).copied();
+        let dense = sharing::compute(&trees, &specs, cap);
+        let oracle = reference::sharing_compute(&trees, &specs, cap);
+        for (i, tree) in trees.iter().enumerate() {
+            for node in tree.tree().top_down() {
+                prop_assert_eq!(dense.allowed(i, node), oracle.allowed(i, node));
+            }
+        }
+    }
+
+    /// Stage 4 with disjoint links (nothing shared): the fallback
+    /// "allowed = capacity" path must also match.
+    #[test]
+    fn sharing_matches_reference_disjoint_links(
+        parents in prop::collection::vec(0usize..10, 1..10),
+        seed in 0u64..1000,
+    ) {
+        let trees =
+            vec![session_tree(&parents, 0, 0), session_tree(&parents, 1, 100)];
+        let spec = LayerSpec::paper_default();
+        let specs: Vec<&LayerSpec> = trees.iter().map(|_| &spec).collect();
+        let caps = random_capacities(&trees, seed);
+        let cap = |l: DirLinkId| caps.get(&l).copied();
+        let dense = sharing::compute(&trees, &specs, cap);
+        let oracle = reference::sharing_compute(&trees, &specs, cap);
+        for (i, tree) in trees.iter().enumerate() {
+            for node in tree.tree().top_down() {
+                prop_assert_eq!(dense.allowed(i, node), oracle.allowed(i, node));
+            }
+        }
+    }
+
+    /// Stage 5 over several rounds with persistent backoff tables and RNG
+    /// streams on both sides: demand and supply must stay identical, which
+    /// also proves the RNG draw order (backoff arming) is unchanged.
+    #[test]
+    fn subscription_matches_reference(
+        parents in prop::collection::vec(0usize..12, 1..12),
+        seed in 0u64..1000,
+    ) {
+        let tree = session_tree(&parents, 0, 0);
+        let t = tree.tree();
+        let spec = LayerSpec::paper_default();
+        let cfg = Config::default();
+        let mut dense_backoffs = BackoffTable::new();
+        let mut oracle_backoffs = BackoffTable::new();
+        let mut dense_rng = RngStream::derive(seed, "differential/sub");
+        let mut oracle_rng = RngStream::derive(seed, "differential/sub");
+        let mut gen = RngStream::derive(seed, "differential/sub-inputs");
+
+        for round in 0..3u64 {
+            let mut inputs: HashMap<NodeId, NodeInputs> = HashMap::new();
+            let mut caps: HashMap<NodeId, u8> = HashMap::new();
+            for node in t.top_down() {
+                let mut hist = CongestionHistory::new();
+                for _ in 0..3 {
+                    hist.push(gen.f64() < 0.4);
+                }
+                let bytes_older = (gen.f64() * 120_000.0) as u64;
+                let bytes_recent = (gen.f64() * 120_000.0) as u64;
+                inputs.insert(
+                    node,
+                    NodeInputs {
+                        hist,
+                        parent_congested: gen.f64() < 0.2,
+                        sibling_congested: gen.f64() < 0.2,
+                        bw: BwEquality::classify(
+                            bytes_older,
+                            bytes_recent,
+                            cfg.bw_equal_tolerance,
+                        ),
+                        loss: gen.f64() * 0.4,
+                        supply_older: 1 + (gen.f64() * 5.0) as u8,
+                        supply_recent: 1 + (gen.f64() * 5.0) as u8,
+                        demand_prev: (gen.f64() < 0.8)
+                            .then(|| 1 + (gen.f64() * 5.0) as u8),
+                        current_level: (gen.f64() < 0.8)
+                            .then(|| 1 + (gen.f64() * 5.0) as u8),
+                        goodput_bps: gen.f64() * 1_500_000.0,
+                    },
+                );
+                caps.insert(node, 1 + (gen.f64() * 6.0) as u8);
+            }
+            let level_cap = |n: NodeId| caps[&n];
+            let level_cap: &dyn Fn(NodeId) -> u8 = &level_cap;
+            let ctx = DemandContext {
+                tree: &tree,
+                spec: &spec,
+                cfg: &cfg,
+                now: SimTime::from_secs(2 * (round + 1)),
+                inputs: &inputs,
+                level_cap,
+            };
+            let dense = subscription::compute(&ctx, &mut dense_backoffs, &mut dense_rng);
+            let oracle =
+                reference::subscription_compute(&ctx, &mut oracle_backoffs, &mut oracle_rng);
+            for node in t.top_down() {
+                prop_assert_eq!(dense.demand[&node], oracle.demand[&node]);
+                prop_assert_eq!(dense.supply[&node], oracle.supply[&node]);
+            }
+            prop_assert_eq!(dense_backoffs.len(), oracle_backoffs.len());
+        }
+    }
+}
+
+/// End-to-end determinism: two identical `scenarios::run` invocations with
+/// the same seed must produce byte-identical results (the dense scratch
+/// reuse and rayon fan-out must not introduce any ordering dependence).
+#[test]
+fn scenario_results_are_byte_identical_for_fixed_seeds() {
+    use scenarios::{run, Scenario};
+    use topology::generators;
+    use traffic::TrafficModel;
+
+    for seed in [1u64, 7, 42] {
+        let go = || {
+            let s = Scenario::new(
+                generators::topology_b_default(4),
+                TrafficModel::Vbr { p: 3.0 },
+                seed,
+            )
+            .with_duration(SimDuration::from_secs(60));
+            let r = run(&s);
+            format!(
+                "{:?}|{:?}|{:?}|{:?}|{:?}",
+                r.receivers, r.duration, r.total_drops, r.control_bytes, r.events
+            )
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a, b, "seed {seed} produced diverging bytes");
+    }
+}
+
+/// The algorithm driver must not care whether sessions are processed in
+/// parallel (≥ 2 sessions) or serially (1 session): a two-session run where
+/// the sessions do not interact must give each session the same suggestions
+/// it gets when run alone.
+#[test]
+fn parallel_fanout_matches_serial_per_session() {
+    use toposense::{AlgorithmInputs, AlgorithmState, ReceiverReport};
+
+    let parents = [0usize, 0, 1, 1, 2];
+    // Disjoint link id spaces: the sessions never interact through stage 2/4.
+    let t0 = session_tree(&parents, 0, 0);
+    let t1 = session_tree(&parents, 1, 100);
+    let spec = LayerSpec::paper_default();
+
+    let leaves: Vec<NodeId> = t0.tree().leaves().filter(|&n| n != t0.tree().root()).collect();
+    let mk_reports = |sid: u32| -> Vec<ReceiverReport> {
+        leaves
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| ReceiverReport {
+                receiver: AppId(sid * 100 + i as u32),
+                node: n,
+                session: SessionId(sid),
+                level: 2,
+                received: 90,
+                // Clean reports: stage 5 then consumes no RNG (no backoff
+                // arming), so the solo and paired controllers stay in
+                // lockstep across rounds and the comparison is exact.
+                lost: 0,
+                bytes: 25_000,
+            })
+            .collect()
+    };
+    let registry_for = |sid: u32| -> Vec<(AppId, NodeId, SessionId)> {
+        leaves
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (AppId(sid * 100 + i as u32), n, SessionId(sid)))
+            .collect()
+    };
+
+    // Paired run: both sessions in one controller (parallel stage 1/3).
+    let mut paired = AlgorithmState::new(Config::default(), 5);
+    // Solo run: session 0 alone (serial path).
+    let mut solo = AlgorithmState::new(Config::default(), 5);
+
+    for round in 1..=4u64 {
+        let now = SimTime::from_secs(2 * round);
+        let interval = SimDuration::from_secs(2);
+
+        let trees = vec![t0.clone(), t1.clone()];
+        let mut registry = registry_for(0);
+        registry.extend(registry_for(1));
+        let mut reports = mk_reports(0);
+        reports.extend(mk_reports(1));
+        let out_paired = paired.run(&AlgorithmInputs {
+            now,
+            interval,
+            trees: &trees,
+            specs: &[&spec, &spec],
+            registry: &registry,
+            reports: &reports,
+        });
+
+        let trees_solo = vec![t0.clone()];
+        let out_solo = solo.run(&AlgorithmInputs {
+            now,
+            interval,
+            trees: &trees_solo,
+            specs: &[&spec],
+            registry: &registry_for(0),
+            reports: &mk_reports(0),
+        });
+
+        let paired_s0: Vec<_> =
+            out_paired.suggestions.iter().filter(|s| s.session == SessionId(0)).collect();
+        let solo_s0: Vec<_> = out_solo.suggestions.iter().collect();
+        assert_eq!(paired_s0.len(), solo_s0.len(), "round {round}");
+        for (a, b) in paired_s0.iter().zip(&solo_s0) {
+            assert_eq!(a.receiver, b.receiver, "round {round}");
+            assert_eq!(a.level, b.level, "round {round}");
+        }
+    }
+}

@@ -17,8 +17,9 @@ fn four_cbr_sessions_share_equitably() {
     let jain = metrics::jain_index(&bytes);
     assert!(jain > 0.9, "jain {jain}: {bytes:?}");
     // Everyone near the 4-layer optimum in the second half.
-    let dev =
-        result.mean_relative_deviation(SimTime::from_secs(300), SimTime::from_secs(600));
+    let dev = result
+        .mean_relative_deviation(SimTime::from_secs(300), SimTime::from_secs(600))
+        .expect("scenario has receivers");
     assert!(dev < 0.35, "second-half deviation {dev}");
 }
 
@@ -30,8 +31,9 @@ fn fairness_holds_at_sixteen_sessions() {
     let bytes: Vec<f64> = result.session_bytes().iter().map(|&(_, b)| b as f64).collect();
     let jain = metrics::jain_index(&bytes);
     assert!(jain > 0.85, "jain {jain} at 16 sessions");
-    let dev =
-        result.mean_relative_deviation(SimTime::from_secs(300), SimTime::from_secs(600));
+    let dev = result
+        .mean_relative_deviation(SimTime::from_secs(300), SimTime::from_secs(600))
+        .expect("scenario has receivers");
     assert!(dev < 0.45, "deviation {dev} at 16 sessions");
 }
 
@@ -39,12 +41,8 @@ fn fairness_holds_at_sixteen_sessions() {
 fn deviation_does_not_grow_in_the_second_half() {
     // The paper's point: small deviation in BOTH halves — fairness is not a
     // transient.
-    let rows = experiments::fig8_fairness(
-        &[2, 4],
-        &[TrafficModel::Cbr],
-        SimDuration::from_secs(600),
-        1,
-    );
+    let rows =
+        experiments::fig8_fairness(&[2, 4], &[TrafficModel::Cbr], SimDuration::from_secs(600), 1);
     for row in &rows {
         assert!(
             row.dev_second_half < row.dev_first_half + 0.15,
@@ -78,15 +76,11 @@ fn mixed_bottleneck_sessions_get_proportional_shares() {
     spec.link(dist, r0, LinkConfig::kbps(100_000.0));
     spec.link(dist, r1, LinkConfig::kbps(100.0));
 
-    let scenario = Scenario::new(spec, TrafficModel::Cbr, 9)
-        .with_duration(SimDuration::from_secs(600));
+    let scenario =
+        Scenario::new(spec, TrafficModel::Cbr, 9).with_duration(SimDuration::from_secs(600));
     let result = run(&scenario);
     let by_session = |sess: u32| {
-        result
-            .receivers
-            .iter()
-            .find(|r| r.session == sess)
-            .expect("both sessions present")
+        result.receivers.iter().find(|r| r.session == sess).expect("both sessions present")
     };
     // Oracle: r1 capped at 2 layers by its tail; r0 free to take 4
     // (992k + 96k > 1M rules out 5).

@@ -52,8 +52,7 @@ fn two_domain_controllers_each_converge_their_subtree() {
     let mut sim = b.build();
 
     let spec = LayerSpec::paper_default();
-    let groups: Vec<GroupId> =
-        (0..spec.layer_count()).map(|_| sim.create_group(src)).collect();
+    let groups: Vec<GroupId> = (0..spec.layer_count()).map(|_| sim.create_group(src)).collect();
     let def = SessionDef { id: SessionId(0), source: src, groups, spec };
     let mut catalog = SessionCatalog::new();
     catalog.add(def.clone());
@@ -61,12 +60,10 @@ fn two_domain_controllers_each_converge_their_subtree() {
     let cfg = Config::default();
 
     // Two controllers, each clipped to its domain, sitting on the gateway.
-    let (ctrl_a, shared_a) =
-        Controller::new(Arc::clone(&catalog), cfg, SimDuration::ZERO, 1);
+    let (ctrl_a, shared_a) = Controller::new(Arc::clone(&catalog), cfg, SimDuration::ZERO, 1);
     let ctrl_a = ctrl_a.with_domain([gw_a, ra[0], ra[1]]);
     sim.add_app(gw_a, Box::new(ctrl_a));
-    let (ctrl_b, shared_b) =
-        Controller::new(Arc::clone(&catalog), cfg, SimDuration::ZERO, 2);
+    let (ctrl_b, shared_b) = Controller::new(Arc::clone(&catalog), cfg, SimDuration::ZERO, 2);
     let ctrl_b = ctrl_b.with_domain([gw_b, rb[0], rb[1]]);
     sim.add_app(gw_b, Box::new(ctrl_b));
 
@@ -122,8 +119,7 @@ fn domain_controller_ignores_outside_receivers() {
     b.add_link(src, outside, LinkConfig::kbps(500.0));
     let mut sim = b.build();
     let spec = LayerSpec::paper_default();
-    let groups: Vec<GroupId> =
-        (0..spec.layer_count()).map(|_| sim.create_group(src)).collect();
+    let groups: Vec<GroupId> = (0..spec.layer_count()).map(|_| sim.create_group(src)).collect();
     let def = SessionDef { id: SessionId(0), source: src, groups, spec };
     let mut catalog = SessionCatalog::new();
     catalog.add(def.clone());

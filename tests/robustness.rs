@@ -39,8 +39,8 @@ fn survives_a_transient_background_flood() {
     // A non-conforming unicast flood crosses the bottleneck mid-run; the
     // receiver must shed layers during the flood and recover afterwards.
     // Built via the low-level API so the flood app can be attached.
-    use netsim::LinkConfig;
     use netsim::sim::{NetworkBuilder, SimConfig};
+    use netsim::LinkConfig;
     use std::sync::Arc;
     use traffic::session::SessionDef;
     let mut b = NetworkBuilder::new(SimConfig { seed: 3, ..SimConfig::default() });
@@ -83,10 +83,7 @@ fn survives_a_transient_background_flood() {
     let during = series.mean(SimTime::from_secs(220), SimTime::from_secs(280));
     let after = series.mean(SimTime::from_secs(400), SimTime::from_secs(500));
     assert!(before > 3.0, "pre-flood level {before:.2} (optimum 4)");
-    assert!(
-        during < before - 0.2,
-        "must shed during the flood: {during:.2} vs {before:.2}"
-    );
+    assert!(during < before - 0.2, "must shed during the flood: {during:.2} vs {before:.2}");
     assert!(after > 2.8, "must recover after the flood: {after:.2}");
 }
 
@@ -107,12 +104,9 @@ fn receivers_keep_functioning_when_registration_is_flaky() {
 #[test]
 fn whole_scenario_is_deterministic() {
     let go = || {
-        let s = Scenario::new(
-            generators::topology_b_default(4),
-            TrafficModel::Vbr { p: 6.0 },
-            1234,
-        )
-        .with_duration(SimDuration::from_secs(300));
+        let s =
+            Scenario::new(generators::topology_b_default(4), TrafficModel::Vbr { p: 6.0 }, 1234)
+                .with_duration(SimDuration::from_secs(300));
         let r = run(&s);
         (
             r.events,

@@ -51,10 +51,7 @@ fn burstier_traffic_changes_more() {
     };
     let cbr = total("CBR");
     let vbr = total("VBR(P=6)");
-    assert!(
-        vbr > cbr,
-        "expected VBR(P=6) ({vbr}) to change more than CBR ({cbr})"
-    );
+    assert!(vbr > cbr, "expected VBR(P=6) ({vbr}) to change more than CBR ({cbr})");
 }
 
 #[test]
@@ -67,13 +64,9 @@ fn subscription_has_long_stable_spells() {
     let result = run(&s);
     for r in &result.receivers {
         let series = StepSeries::from_changes(&r.stats.changes);
-        let mut change_times: Vec<f64> =
-            series.points().map(|(t, _)| t.as_secs_f64()).collect();
+        let mut change_times: Vec<f64> = series.points().map(|(t, _)| t.as_secs_f64()).collect();
         change_times.push(600.0);
-        let longest = change_times
-            .windows(2)
-            .map(|w| w[1] - w[0])
-            .fold(0.0f64, f64::max);
+        let longest = change_times.windows(2).map(|w| w[1] - w[0]).fold(0.0f64, f64::max);
         assert!(
             longest > 100.0,
             "node {:?}: longest stable spell only {longest:.0}s; changes {:?}",
@@ -124,8 +117,7 @@ fn stability_improves_with_longer_backoff() {
             .with_config(cfg)
             .with_duration(SimDuration::from_secs(600));
         let result = run(&s);
-        let (changes, _) =
-            result.stability(SimTime::from_secs(5), SimTime::from_secs(600));
+        let (changes, _) = result.stability(SimTime::from_secs(5), SimTime::from_secs(600));
         changes
     };
     let short_changes = count(short);

@@ -6,15 +6,9 @@ use topology::generators;
 use traffic::TrafficModel;
 
 fn run_with_staleness(staleness_secs: u64, seed: u64) -> scenarios::ScenarioResult {
-    let s = Scenario::new(
-        generators::topology_a_default(2),
-        TrafficModel::Vbr { p: 3.0 },
-        seed,
-    )
-    .with_control(ControlMode::TopoSense {
-        staleness: SimDuration::from_secs(staleness_secs),
-    })
-    .with_duration(SimDuration::from_secs(600));
+    let s = Scenario::new(generators::topology_a_default(2), TrafficModel::Vbr { p: 3.0 }, seed)
+        .with_control(ControlMode::TopoSense { staleness: SimDuration::from_secs(staleness_secs) })
+        .with_duration(SimDuration::from_secs(600));
     run(&s)
 }
 
@@ -32,14 +26,10 @@ fn stale_information_costs_loss() {
     // Average over seeds: the staleness signal is smaller than single-run
     // noise. Fresh info must beat very stale info on mean loss.
     let seeds = [1u64, 42, 99];
-    let fresh: f64 =
-        seeds.iter().map(|&s| mean_loss(&run_with_staleness(0, s))).sum::<f64>() / 3.0;
+    let fresh: f64 = seeds.iter().map(|&s| mean_loss(&run_with_staleness(0, s))).sum::<f64>() / 3.0;
     let stale: f64 =
         seeds.iter().map(|&s| mean_loss(&run_with_staleness(16, s))).sum::<f64>() / 3.0;
-    assert!(
-        stale > fresh,
-        "16 s staleness should cost loss: fresh {fresh:.4}, stale {stale:.4}"
-    );
+    assert!(stale > fresh, "16 s staleness should cost loss: fresh {fresh:.4}, stale {stale:.4}");
 }
 
 #[test]
@@ -48,9 +38,7 @@ fn system_still_converges_under_heavy_staleness() {
     // as 8 seconds": receivers still end up near their optima.
     let result = run_with_staleness(8, 1);
     for r in &result.receivers {
-        let mean = r
-            .level_series()
-            .mean(SimTime::from_secs(300), SimTime::from_secs(600));
+        let mean = r.level_series().mean(SimTime::from_secs(300), SimTime::from_secs(600));
         assert!(
             (mean - r.optimal as f64).abs() < 1.2,
             "set {}: mean level {mean:.2} vs optimal {} at 8 s staleness",
@@ -64,11 +52,10 @@ fn system_still_converges_under_heavy_staleness() {
 fn deviation_stays_bounded_across_the_staleness_sweep() {
     for st in [0u64, 6, 12, 18] {
         let result = run_with_staleness(st, 7);
-        let dev = result.mean_relative_deviation(SimTime::ZERO, SimTime::from_secs(600));
-        assert!(
-            dev < 0.5,
-            "staleness {st}: deviation {dev:.3} out of control"
-        );
+        let dev = result
+            .mean_relative_deviation(SimTime::ZERO, SimTime::from_secs(600))
+            .expect("scenario has receivers");
+        assert!(dev < 0.5, "staleness {st}: deviation {dev:.3} out of control");
     }
 }
 
@@ -86,9 +73,7 @@ fn fewest_receivers_least_affected() {
                     TrafficModel::Vbr { p: 3.0 },
                     sd,
                 )
-                .with_control(ControlMode::TopoSense {
-                    staleness: SimDuration::from_secs(12),
-                })
+                .with_control(ControlMode::TopoSense { staleness: SimDuration::from_secs(12) })
                 .with_duration(SimDuration::from_secs(600));
                 mean_loss(&run(&s))
             })
