@@ -10,9 +10,12 @@
 //! * [`summary`] — small descriptive-statistics helpers.
 //! * [`timeseries`] — windowed stats, EWMA, and convergence-time
 //!   extraction for the ablation studies.
+//! * [`recovery`] — post-fault recovery time (wall clock and controller
+//!   intervals) for the chaos scenarios.
 
 pub mod deviation;
 pub mod fairness;
+pub mod recovery;
 pub mod stability;
 pub mod step;
 pub mod summary;
@@ -20,6 +23,7 @@ pub mod timeseries;
 
 pub use deviation::relative_deviation;
 pub use fairness::jain_index;
+pub use recovery::{intervals_to_recover, recovery_time};
 pub use stability::{change_count, mean_time_between_changes};
 pub use step::StepSeries;
 pub use summary::Summary;

@@ -1,0 +1,100 @@
+//! Fault-recovery metrics for the chaos scenarios (DESIGN.md §9).
+//!
+//! After the last fault heals, a surviving receiver should climb back to
+//! its oracle level. These helpers measure how long that takes, in wall
+//! time and in controller intervals.
+
+use crate::step::StepSeries;
+use netsim::{SimDuration, SimTime};
+
+/// How long after `heal_at` the level series takes to first return to
+/// within `tolerance` of `target` (before `horizon`).
+///
+/// This is deliberately a *first-return* measure, not a settling measure:
+/// the controller's steady state legitimately oscillates around the
+/// optimum (probe a layer up, back off on loss), so demanding the series
+/// hold the target forever would never be satisfied. Returns `None` when
+/// the series never touches the band, and `Some(ZERO)` when it was already
+/// inside it at `heal_at`.
+pub fn recovery_time(
+    series: &StepSeries,
+    heal_at: SimTime,
+    target: f64,
+    tolerance: f64,
+    horizon: SimTime,
+) -> Option<SimDuration> {
+    let ok_at = |t: SimTime| (series.value_at(t) as f64 - target).abs() <= tolerance;
+    if ok_at(heal_at) {
+        return Some(SimDuration::ZERO);
+    }
+    series
+        .points()
+        .map(|(t, _)| t)
+        .filter(|&t| t > heal_at && t < horizon)
+        .find(|&t| ok_at(t))
+        .map(|t| t.since(heal_at))
+}
+
+/// The recovery time expressed in (rounded-up) controller intervals — the
+/// unit the acceptance bound "within N control intervals of healing" uses.
+pub fn intervals_to_recover(recovery: SimDuration, interval: SimDuration) -> u64 {
+    assert!(interval > SimDuration::ZERO);
+    recovery.0.div_ceil(interval.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn already_recovered_at_heal_is_zero() {
+        let mut s = StepSeries::new();
+        s.push(t(1), 4);
+        let rt = recovery_time(&s, t(10), 4.0, 0.5, t(60)).unwrap();
+        assert_eq!(rt, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn recovery_waits_for_the_climb_back() {
+        // Dropped to 1 during the fault, climbs 2 -> 3 -> 4 after healing.
+        let mut s = StepSeries::new();
+        s.push(t(0), 4);
+        s.push(t(10), 1);
+        s.push(t(22), 2);
+        s.push(t(24), 3);
+        s.push(t(26), 4);
+        let rt = recovery_time(&s, t(20), 4.0, 0.5, t(60)).unwrap();
+        assert_eq!(rt, SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn first_return_counts_even_with_a_later_relapse() {
+        // Touches the target at 22; the later dip at 30 is steady-state
+        // probing, not a recovery failure.
+        let mut s = StepSeries::new();
+        s.push(t(22), 4);
+        s.push(t(30), 2);
+        s.push(t(35), 4);
+        let rt = recovery_time(&s, t(20), 4.0, 0.5, t(60)).unwrap();
+        assert_eq!(rt, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn never_recovering_is_none() {
+        let mut s = StepSeries::new();
+        s.push(t(5), 1);
+        assert_eq!(recovery_time(&s, t(20), 4.0, 0.5, t(60)), None);
+    }
+
+    #[test]
+    fn interval_rounding_is_ceiling() {
+        let iv = SimDuration::from_secs(2);
+        assert_eq!(intervals_to_recover(SimDuration::ZERO, iv), 0);
+        assert_eq!(intervals_to_recover(SimDuration::from_secs(6), iv), 3);
+        assert_eq!(intervals_to_recover(SimDuration::from_millis(6_100), iv), 4);
+    }
+}

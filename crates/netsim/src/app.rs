@@ -45,6 +45,14 @@ pub trait App {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         let _ = (ctx, token);
     }
+
+    /// The node hosting this app restarted after a crash. Timers set before
+    /// the crash were swallowed while the node was down, and the router's
+    /// multicast state (including this app's subscriptions) was lost — apps
+    /// that want to keep running must re-arm timers and re-join groups here.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
 }
 
 /// The world as visible to one app during one event.

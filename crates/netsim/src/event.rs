@@ -6,6 +6,7 @@
 //! which is what makes whole runs reproducible bit-for-bit.
 
 use crate::app::AppId;
+use crate::faults::FaultKind;
 use crate::link::DirLinkId;
 use crate::multicast::GroupId;
 use crate::node::NodeId;
@@ -28,6 +29,8 @@ pub enum Event {
     /// A multicast prune completes: `link` stops carrying `group`
     /// (unless membership re-appeared in the meantime).
     PruneDone { group: GroupId, link: DirLinkId },
+    /// A scheduled fault fires (see [`crate::faults::FaultPlan`]).
+    Fault(FaultKind),
 }
 
 struct Entry {

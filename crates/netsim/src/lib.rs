@@ -25,6 +25,7 @@
 
 pub mod app;
 pub mod event;
+pub mod faults;
 pub mod link;
 pub mod multicast;
 pub mod node;
@@ -37,6 +38,7 @@ pub mod trace;
 
 pub use app::{App, AppId, Ctx};
 pub use event::{Event, EventQueue};
+pub use faults::{FaultKind, FaultPlan};
 pub use link::{DirLinkId, Link, LinkConfig, LinkStats, QueueDiscipline};
 pub use multicast::{GroupId, GroupSnapshot, MulticastConfig, TreeOp};
 pub use node::{Node, NodeId, Routing};

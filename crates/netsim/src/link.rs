@@ -139,6 +139,9 @@ pub struct Link {
     queue_limit: usize,
     queue: VecDeque<Packet>,
     in_flight: Option<Packet>,
+    /// False while the link is failed: it accepts nothing and carries
+    /// nothing (fault injection).
+    up: bool,
     /// Cumulative statistics.
     pub stats: LinkStats,
 }
@@ -177,6 +180,7 @@ impl Link {
             queue_limit: cfg.queue_packets,
             queue: VecDeque::with_capacity(cfg.queue_packets.min(64)),
             in_flight: None,
+            up: true,
             stats: LinkStats::default(),
         }
     }
@@ -184,6 +188,10 @@ impl Link {
     /// Offer a packet to this link.
     pub fn enqueue(&mut self, packet: Packet) -> Enqueue {
         self.stats.offered_packets += 1;
+        if !self.up {
+            self.drop_counted(&packet);
+            return Enqueue::Dropped;
+        }
         if self.in_flight.is_none() {
             let ser = SimDuration::serialization(packet.size as u64, self.bandwidth_bps);
             self.in_flight = Some(packet);
@@ -243,6 +251,47 @@ impl Link {
             ser
         });
         (sent, next)
+    }
+
+    /// Fail the link: flush the queue (every flushed packet counts as a
+    /// drop) and stop accepting traffic. The packet being serialized, if
+    /// any, stays on the transmitter — the simulator judges it against the
+    /// link state when its `LinkTxDone` fires. Returns the number of
+    /// packets flushed.
+    pub fn set_down(&mut self) -> usize {
+        self.up = false;
+        self.flush_queue()
+    }
+
+    /// Drop every queued packet (counted), e.g. when the transmitting
+    /// router crashes and its buffers vanish. The transmitter keeps its
+    /// current packet; the simulator judges it at `LinkTxDone` time.
+    pub fn flush_queue(&mut self) -> usize {
+        let flushed = self.queue.len();
+        while let Some(p) = self.queue.pop_front() {
+            self.drop_counted(&p);
+        }
+        flushed
+    }
+
+    /// Repair the link: it accepts traffic again (with an empty queue).
+    pub fn set_up(&mut self) {
+        self.up = true;
+    }
+
+    /// Whether the link is currently carrying traffic.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Abort the in-flight transmission (link or transmitting router went
+    /// down before serialization finished): the packet counts as dropped
+    /// and nothing arrives. No-op when the transmitter is idle.
+    pub fn abort_tx(&mut self) {
+        if let Some(p) = self.in_flight.take() {
+            self.stats.dropped_packets += 1;
+            self.stats.dropped_bytes += p.size as u64;
+        }
     }
 
     /// Packets currently waiting (excluding the one in transmission).

@@ -210,6 +210,29 @@ impl MulticastState {
         }
     }
 
+    /// A graft could not take effect (an endpoint was down when it fired).
+    /// The pending marker is cleared so a later join can retry the graft.
+    pub fn graft_failed(&mut self, group: GroupId, link: DirLinkId) {
+        self.groups[group.0 as usize].pending_graft.remove(&link);
+    }
+
+    /// A router crashed: it loses all multicast forwarding state. Every
+    /// group's active links *out of* the node are deactivated (it forwards
+    /// nothing any more) and local membership is wiped (its apps are dead).
+    /// Links *into* the node stay active — upstream routers have no way to
+    /// know and keep forwarding into the blackhole until the protocol
+    /// repairs the tree (receivers re-join, which re-grafts).
+    pub fn node_crashed(&mut self, node: NodeId) {
+        for g in &mut self.groups {
+            if let Some(out) = g.active_out.remove(&node) {
+                for l in out {
+                    g.active.remove(&l);
+                }
+            }
+            g.members.remove(&node);
+        }
+    }
+
     /// A prune completed. Deactivates the link iff it is still undesired.
     pub fn prune_done(
         &mut self,
@@ -396,6 +419,47 @@ mod tests {
         assert!(m.is_subscribed(g, NodeId(0), AppId(9)));
         let subs: Vec<AppId> = m.subscribers_at(g, NodeId(0)).collect();
         assert_eq!(subs, vec![AppId(9)]);
+    }
+
+    #[test]
+    fn node_crash_deactivates_outgoing_links_and_membership() {
+        let (mut m, r, to) = setup();
+        let g = m.create_group(NodeId(0));
+        for op in m.join(g, NodeId(2), AppId(2), &r, to) {
+            if let TreeOp::Graft { link, .. } = op {
+                let from = if link == DirLinkId(0) { NodeId(0) } else { NodeId(1) };
+                m.graft_done(g, link, from, &r, to);
+            }
+        }
+        // Node 1 (mid-router) crashes: its out-link 1->2 deactivates, but
+        // the upstream 0->1 link keeps blindly carrying the group.
+        m.node_crashed(NodeId(1));
+        assert!(m.is_active(g, DirLinkId(0)));
+        assert!(!m.is_active(g, DirLinkId(2)));
+        assert!(m.active_out(g, NodeId(1)).is_empty());
+        // The downstream member survives in the member list (its node did
+        // not crash) so a re-join can re-graft the lost link.
+        let ops = m.join(g, NodeId(2), AppId(2), &r, to);
+        assert_eq!(ops.len(), 1);
+        match &ops[0] {
+            TreeOp::Graft { link, .. } => assert_eq!(*link, DirLinkId(2)),
+            other => panic!("expected graft, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_graft_can_be_retried() {
+        let (mut m, r, to) = setup();
+        let g = m.create_group(NodeId(0));
+        let ops = m.join(g, NodeId(2), AppId(2), &r, to);
+        assert_eq!(ops.len(), 2);
+        // Both grafts fail (say, the mid-router was down when they fired).
+        m.graft_failed(g, DirLinkId(0));
+        m.graft_failed(g, DirLinkId(2));
+        assert!(!m.is_active(g, DirLinkId(0)));
+        // A later join retries both grafts.
+        let retry = m.join(g, NodeId(2), AppId(2), &r, to);
+        assert_eq!(retry.len(), 2);
     }
 
     #[test]

@@ -22,7 +22,7 @@ impl NodeId {
 }
 
 /// One router/host.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Node {
     /// Outgoing directed links.
     pub out_links: Vec<DirLinkId>,
@@ -30,6 +30,15 @@ pub struct Node {
     pub apps: Vec<AppId>,
     /// Human-readable label for traces and error messages.
     pub label: String,
+    /// False while crashed: the node forwards nothing, delivers nothing,
+    /// and its apps' timers are swallowed (fault injection).
+    pub up: bool,
+}
+
+impl Default for Node {
+    fn default() -> Self {
+        Node { out_links: Vec::new(), apps: Vec::new(), label: String::new(), up: true }
+    }
 }
 
 /// Precomputed next-hop table: `next[from][to]` is the directed link to take

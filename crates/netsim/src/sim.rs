@@ -2,6 +2,7 @@
 
 use crate::app::{App, AppId, Ctx};
 use crate::event::{Event, EventQueue};
+use crate::faults::{FaultKind, FaultPlan};
 use crate::link::{DirLinkId, Enqueue, Link, LinkConfig};
 use crate::multicast::{GroupId, GroupSnapshot, MulticastConfig, MulticastState, TreeOp};
 use crate::node::{Node, NodeId, Routing};
@@ -62,6 +63,16 @@ impl Network {
     /// A node's label (for diagnostics).
     pub fn node_label(&self, id: NodeId) -> &str {
         &self.nodes[id.index()].label
+    }
+
+    /// Whether a node is currently up (not crashed).
+    pub fn node_is_up(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].up
+    }
+
+    /// Whether a directed link is currently up.
+    pub fn link_is_up(&self, id: DirLinkId) -> bool {
+        self.links[id.0 as usize].is_up()
     }
 
     /// Unicast next hop.
@@ -221,6 +232,17 @@ impl Simulator {
         self.events_done
     }
 
+    /// Schedule every fault of `plan` onto the event queue. An empty plan
+    /// schedules nothing, so installing it leaves the run bit-identical.
+    /// May be called before or during a run; faults in the past of the
+    /// clock would violate event-time monotonicity and are rejected.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        for &(t, kind) in plan.events() {
+            assert!(t >= self.clock, "fault at {t:?} is in the past");
+            self.queue.schedule(t, Event::Fault(kind));
+        }
+    }
+
     fn start(&mut self) {
         self.started = true;
         for i in 0..self.apps.len() {
@@ -266,10 +288,27 @@ impl Simulator {
             Event::LinkTxDone(l) => self.link_tx_done(l),
             Event::Arrive { node, from_link, packet } => self.arrive(node, from_link, packet),
             Event::Timer { app, token } => {
-                self.dispatch_app(app, |a, ctx| a.on_timer(ctx, token));
+                // Timers of apps on a crashed node are swallowed; the apps
+                // re-arm what they need in `on_restart`.
+                if self.net.nodes[self.app_node[app.index()].index()].up {
+                    self.dispatch_app(app, |a, ctx| a.on_timer(ctx, token));
+                }
             }
             Event::GraftDone { group, link } => {
-                let from = self.net.links[link.0 as usize].from;
+                let (from, to) = {
+                    let l = &self.net.links[link.0 as usize];
+                    (l.from, l.to)
+                };
+                // A graft cannot take effect across a failed link or a dead
+                // endpoint; clearing the pending marker lets a later join
+                // retry it once the fault heals.
+                let viable = self.net.links[link.0 as usize].is_up()
+                    && self.net.nodes[from.index()].up
+                    && self.net.nodes[to.index()].up;
+                if !viable {
+                    self.net.mcast.graft_failed(group, link);
+                    return;
+                }
                 let links = &self.net.links;
                 self.net
                     .mcast
@@ -282,11 +321,69 @@ impl Simulator {
                     .mcast
                     .prune_done(group, link, from, &self.net.routing, |l| links[l.0 as usize].to);
             }
+            Event::Fault(kind) => self.apply_fault(kind),
+        }
+    }
+
+    fn apply_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::LinkDown(l) => {
+                let link = &mut self.net.links[l.0 as usize];
+                if link.is_up() {
+                    link.set_down();
+                    self.trace.link_state(self.clock, l, false);
+                }
+            }
+            FaultKind::LinkUp(l) => {
+                let link = &mut self.net.links[l.0 as usize];
+                if !link.is_up() {
+                    link.set_up();
+                    self.trace.link_state(self.clock, l, true);
+                }
+            }
+            FaultKind::NodeCrash(n) => {
+                if !self.net.nodes[n.index()].up {
+                    return;
+                }
+                self.net.nodes[n.index()].up = false;
+                // The router's buffers vanish with it.
+                let outs = self.net.nodes[n.index()].out_links.clone();
+                for l in outs {
+                    self.net.links[l.0 as usize].flush_queue();
+                }
+                // ... as does its multicast forwarding state.
+                self.net.mcast.node_crashed(n);
+                self.trace.node_state(self.clock, n, false);
+            }
+            FaultKind::NodeRestart(n) => {
+                if self.net.nodes[n.index()].up {
+                    return;
+                }
+                self.net.nodes[n.index()].up = true;
+                self.trace.node_state(self.clock, n, true);
+                let apps = self.net.nodes[n.index()].apps.clone();
+                for app in apps {
+                    self.dispatch_app(app, |a, ctx| a.on_restart(ctx));
+                }
+            }
         }
     }
 
     fn link_tx_done(&mut self, l: DirLinkId) {
+        let tail_up = {
+            let from = self.net.links[l.0 as usize].from;
+            self.net.nodes[from.index()].up
+        };
         let link = &mut self.net.links[l.0 as usize];
+        // The link failed — or its transmitting router died — while the
+        // packet was being serialized: it dies on the wire. (If the fault
+        // healed faster than the serialization time, the packet survives:
+        // a store-and-forward hop never noticed the micro-flap.)
+        if !link.is_up() || !tail_up {
+            link.abort_tx();
+            link.flush_queue();
+            return;
+        }
         let (packet, next) = link.tx_done();
         let arrive_at = self.clock + link.delay;
         let head = link.to;
@@ -317,6 +414,11 @@ impl Simulator {
     }
 
     fn arrive(&mut self, node: NodeId, from_link: Option<DirLinkId>, packet: Packet) {
+        // A crashed router forwards nothing and delivers nothing; packets
+        // already in flight toward it are lost on arrival.
+        if !self.net.nodes[node.index()].up {
+            return;
+        }
         match packet.dest {
             Dest::Node(d) if d == node => {
                 // Deliver to every app on the node; apps ignore messages that
@@ -557,6 +659,221 @@ mod tests {
         sim.run_until(SimTime::from_secs(10));
         assert_eq!(*rec.0.lock().unwrap(), vec![1, 2, 3]);
         assert_eq!(sim.now(), SimTime::from_secs(10));
+    }
+
+    /// Source that sends `n` media packets back-to-back at a fixed time.
+    struct TimedBurst {
+        group: GroupId,
+        at: SimDuration,
+        n: u64,
+    }
+    impl App for TimedBurst {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(self.at, 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            for seq in 0..self.n {
+                ctx.send_media(self.group, SessionId(0), 0, seq, 1000);
+            }
+        }
+    }
+
+    #[test]
+    fn link_down_aborts_in_flight_and_flushes_queue() {
+        let mut b = NetworkBuilder::new(SimConfig::default());
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        let (ab, _) = b.add_link(a, c, LinkConfig::kbps(32.0));
+        let mut sim = b.build();
+        let g = sim.create_group(a);
+        let got = Arc::new(AtomicU64::new(0));
+        sim.add_app(c, Box::new(Counter { group: g, got: Arc::clone(&got) }));
+        sim.add_app(a, Box::new(TimedBurst { group: g, at: SimDuration::from_secs(1), n: 3 }));
+        // 1000 B at 32 kb/s = 250 ms serialization: tx-dones at 1.25/1.50/1.75.
+        let plan = FaultPlan::new()
+            .at(SimTime::from_millis(1300), FaultKind::LinkDown(ab))
+            .at(SimTime::from_secs(3), FaultKind::LinkUp(ab));
+        sim.install_faults(&plan);
+        sim.run_until(SimTime::from_secs(5));
+        // #1 completed before the fault; #3 was flushed from the queue when
+        // the link went down; #2 was on the wire and died at its tx-done.
+        assert_eq!(got.load(Ordering::Relaxed), 1);
+        assert_eq!(sim.network().link(ab).stats.dropped_packets, 2);
+        assert!(sim.network().link_is_up(ab));
+    }
+
+    #[test]
+    fn micro_flap_shorter_than_serialization_is_survived() {
+        let mut b = NetworkBuilder::new(SimConfig::default());
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        let (ab, _) = b.add_link(a, c, LinkConfig::kbps(32.0));
+        let mut sim = b.build();
+        let g = sim.create_group(a);
+        let got = Arc::new(AtomicU64::new(0));
+        sim.add_app(c, Box::new(Counter { group: g, got: Arc::clone(&got) }));
+        sim.add_app(a, Box::new(TimedBurst { group: g, at: SimDuration::from_secs(1), n: 1 }));
+        // Down at 1.05 s, healed at 1.20 s — before the 1.25 s tx-done, so
+        // the store-and-forward hop never notices.
+        let plan = FaultPlan::new()
+            .at(SimTime::from_millis(1050), FaultKind::LinkDown(ab))
+            .at(SimTime::from_millis(1200), FaultKind::LinkUp(ab));
+        sim.install_faults(&plan);
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(got.load(Ordering::Relaxed), 1);
+        assert_eq!(sim.network().link(ab).stats.dropped_packets, 0);
+    }
+
+    #[test]
+    fn node_crash_blackholes_until_restart_and_rejoin() {
+        let mut b = NetworkBuilder::new(SimConfig::default());
+        let a = b.add_node("src");
+        let m = b.add_node("mid");
+        let c = b.add_node("rcv");
+        b.add_link(a, m, LinkConfig::kbps(1000.0));
+        b.add_link(m, c, LinkConfig::kbps(1000.0));
+        let mut sim = b.build();
+        let g = sim.create_group(a);
+
+        /// Sends one packet every 200 ms, forever.
+        struct Metronome {
+            group: GroupId,
+            seq: u64,
+        }
+        impl App for Metronome {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(200), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+                ctx.send_media(self.group, SessionId(0), 0, self.seq, 500);
+                self.seq += 1;
+                ctx.set_timer(SimDuration::from_millis(200), 0);
+            }
+        }
+        /// Joins at start and re-joins every second (idempotent repair).
+        struct Rejoiner {
+            group: GroupId,
+            got: Arc<AtomicU64>,
+        }
+        impl App for Rejoiner {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.join(self.group);
+                ctx.set_timer(SimDuration::from_secs(1), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+                ctx.join(self.group);
+                ctx.set_timer(SimDuration::from_secs(1), 0);
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, p: &Packet) {
+                if p.media_fields().is_some() {
+                    self.got.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let got = Arc::new(AtomicU64::new(0));
+        sim.add_app(c, Box::new(Rejoiner { group: g, got: Arc::clone(&got) }));
+        sim.add_app(a, Box::new(Metronome { group: g, seq: 0 }));
+        let plan =
+            FaultPlan::new().node_outage(m, SimTime::from_millis(2500), SimTime::from_millis(4500));
+        sim.install_faults(&plan);
+
+        sim.run_until(SimTime::from_secs(3));
+        let before = got.load(Ordering::Relaxed);
+        assert!(before > 0, "traffic must flow before the crash");
+        // Everything sent after the crash dies at the dead router — and even
+        // after the 4.5 s restart the regrown router has no forwarding
+        // state, so traffic keeps blackholing...
+        sim.run_until(SimTime::from_millis(5000));
+        assert_eq!(got.load(Ordering::Relaxed), before);
+        // ...until the receiver's periodic re-join regrafts the tree.
+        sim.run_until(SimTime::from_secs(10));
+        assert!(got.load(Ordering::Relaxed) > before, "traffic must resume after repair");
+    }
+
+    #[test]
+    fn crash_swallows_timers_and_restart_notifies_apps() {
+        struct Ticker {
+            ticks: Arc<AtomicU64>,
+            restarts: Arc<AtomicU64>,
+        }
+        impl App for Ticker {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_secs(1), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+                self.ticks.fetch_add(1, Ordering::Relaxed);
+                ctx.set_timer(SimDuration::from_secs(1), 0);
+            }
+            fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+                self.restarts.fetch_add(1, Ordering::Relaxed);
+                ctx.set_timer(SimDuration::from_secs(1), 0);
+            }
+        }
+        let (mut sim, a, _c) = two_node_sim();
+        let ticks = Arc::new(AtomicU64::new(0));
+        let restarts = Arc::new(AtomicU64::new(0));
+        sim.add_app(
+            a,
+            Box::new(Ticker { ticks: Arc::clone(&ticks), restarts: Arc::clone(&restarts) }),
+        );
+        let plan =
+            FaultPlan::new().node_outage(a, SimTime::from_millis(2500), SimTime::from_millis(4500));
+        sim.install_faults(&plan);
+        sim.run_until(SimTime::from_secs(8));
+        // Ticks at 1 s and 2 s; the 3 s timer is swallowed by the crash and
+        // the chain breaks, then on_restart re-arms: ticks at 5.5/6.5/7.5 s.
+        assert_eq!(ticks.load(Ordering::Relaxed), 5);
+        assert_eq!(restarts.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn inert_fault_plans_leave_the_run_identical() {
+        let run = |plan: Option<FaultPlan>| {
+            let (mut sim, a, c) = two_node_sim();
+            let g = sim.create_group(a);
+            let got = Arc::new(AtomicU64::new(0));
+            sim.add_app(c, Box::new(Counter { group: g, got }));
+            sim.add_app(a, Box::new(Burst { group: g, n: 20 }));
+            if let Some(p) = &plan {
+                sim.install_faults(p);
+            }
+            sim.run_until(SimTime::from_secs(30));
+            sim.events_processed()
+        };
+        let baseline = run(None);
+        assert_eq!(run(Some(FaultPlan::new())), baseline);
+        // Faults scheduled beyond the horizon never fire.
+        let late = FaultPlan::new().at(SimTime::from_secs(100), FaultKind::NodeCrash(NodeId(0)));
+        assert_eq!(run(Some(late)), baseline);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let run = || {
+            let mut b = NetworkBuilder::new(SimConfig::default());
+            let a = b.add_node("a");
+            let m = b.add_node("m");
+            let c = b.add_node("c");
+            let am = b.add_link(a, m, LinkConfig::kbps(64.0));
+            let mc = b.add_link(m, c, LinkConfig::kbps(64.0));
+            let mut sim = b.build();
+            let g = sim.create_group(a);
+            let got = Arc::new(AtomicU64::new(0));
+            sim.add_app(c, Box::new(Counter { group: g, got: Arc::clone(&got) }));
+            sim.add_app(a, Box::new(TimedBurst { group: g, at: SimDuration::from_secs(1), n: 40 }));
+            let plan = FaultPlan::new().chaos(
+                11,
+                &[am, mc],
+                &[m],
+                SimTime::from_secs(2),
+                SimTime::from_secs(20),
+                6,
+            );
+            sim.install_faults(&plan);
+            sim.run_until(SimTime::from_secs(40));
+            (sim.events_processed(), got.load(Ordering::Relaxed))
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

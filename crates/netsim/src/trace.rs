@@ -4,6 +4,7 @@
 //! Fig. 9-style event history enable it and drain the records afterwards.
 
 use crate::link::DirLinkId;
+use crate::node::NodeId;
 use crate::time::SimTime;
 
 /// One traced occurrence.
@@ -11,6 +12,10 @@ use crate::time::SimTime;
 pub enum TraceEvent {
     /// A packet was dropped at a full queue.
     Drop { time: SimTime, link: DirLinkId, bytes: u32 },
+    /// A directed link changed state (fault injection).
+    LinkState { time: SimTime, link: DirLinkId, up: bool },
+    /// A node crashed or restarted (fault injection).
+    NodeState { time: SimTime, node: NodeId, up: bool },
 }
 
 /// A bounded in-memory trace.
@@ -41,6 +46,14 @@ impl TraceLog {
 
     pub(crate) fn drop(&mut self, time: SimTime, link: DirLinkId, bytes: u32) {
         self.record(TraceEvent::Drop { time, link, bytes });
+    }
+
+    pub(crate) fn link_state(&mut self, time: SimTime, link: DirLinkId, up: bool) {
+        self.record(TraceEvent::LinkState { time, link, up });
+    }
+
+    pub(crate) fn node_state(&mut self, time: SimTime, node: NodeId, up: bool) {
+        self.record(TraceEvent::NodeState { time, node, up });
     }
 
     fn record(&mut self, ev: TraceEvent) {
@@ -104,6 +117,7 @@ mod tests {
                 assert_eq!(link, DirLinkId(1));
                 assert_eq!(bytes, 50);
             }
+            other => panic!("expected a drop, got {other:?}"),
         }
     }
 }

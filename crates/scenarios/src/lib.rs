@@ -11,9 +11,13 @@
 //! * [`ablations`] — sweeps for the open questions of the paper's §V
 //!   (interval size, leave latency, layer granularity, queue discipline,
 //!   control-traffic scaling).
+//! * [`chaos`] — canned fault plans (link flap, router crash, discovery
+//!   outage, controller failover, seeded chaos) and the recovery-bound
+//!   checker behind `tests/chaos.rs`.
 
 pub mod ablations;
+pub mod chaos;
 pub mod experiments;
 pub mod runner;
 
-pub use runner::{run, ControlMode, ReceiverOutcome, Scenario, ScenarioResult};
+pub use runner::{run, ControlMode, ReceiverOutcome, Scenario, ScenarioResult, SpecFault};

@@ -13,7 +13,7 @@ use baselines::tfrc::{TfrcParams, TfrcReceiver};
 use baselines::FixedReceiver;
 use metrics::StepSeries;
 use netsim::sim::SimConfig;
-use netsim::{GroupId, NodeId, SessionId, SimDuration, SimTime};
+use netsim::{FaultPlan, GroupId, NodeId, SessionId, SimDuration, SimTime};
 use topology::spec::TopoSpec;
 use toposense::controller::{Controller, ControllerShared};
 use toposense::receiver::{Receiver, ReceiverHandle, ReceiverShared};
@@ -34,6 +34,28 @@ pub enum ControlMode {
     Fixed(u8),
 }
 
+/// A fault expressed against **spec** indices (the runner resolves them to
+/// simulator link/node ids at instantiation time).
+#[derive(Clone, Debug)]
+pub enum SpecFault {
+    /// Both directed halves of spec link `link` go down over `[from, until)`.
+    LinkOutage { link: usize, from: SimTime, until: SimTime },
+    /// Periodic flap of spec link `link`.
+    LinkFlap {
+        link: usize,
+        first_down: SimTime,
+        down_for: SimDuration,
+        period: SimDuration,
+        repeats: u32,
+    },
+    /// Spec node `node` crashes at `from` and restarts at `until`.
+    NodeOutage { node: usize, from: SimTime, until: SimTime },
+    /// Spec node `node` crashes at `from` and never comes back.
+    NodeCrash { node: usize, from: SimTime },
+    /// Seeded-random chaos across every link and node of the topology.
+    Chaos { seed: u64, from: SimTime, until: SimTime, events: u32 },
+}
+
 /// A complete experiment description.
 #[derive(Clone, Debug)]
 pub struct Scenario {
@@ -46,6 +68,14 @@ pub struct Scenario {
     pub duration: SimDuration,
     /// IGMP group-leave latency applied network-wide (§V ablation knob).
     pub leave_latency: SimDuration,
+    /// Faults injected into the run (empty = today's fault-free behavior).
+    pub faults: Vec<SpecFault>,
+    /// Windows where the controller's discovery tool is down entirely.
+    pub discovery_outages: Vec<(SimTime, SimTime)>,
+    /// Windows where discovery answers with these spec nodes missing.
+    pub discovery_partial_outages: Vec<(SimTime, SimTime, Vec<usize>)>,
+    /// Spec node hosting a warm-standby controller (TopoSense only).
+    pub standby: Option<usize>,
 }
 
 impl Scenario {
@@ -61,11 +91,44 @@ impl Scenario {
             seed,
             duration: SimDuration::from_secs(1200),
             leave_latency: netsim::MulticastConfig::default().leave_latency,
+            faults: Vec::new(),
+            discovery_outages: Vec::new(),
+            discovery_partial_outages: Vec::new(),
+            standby: None,
         }
     }
 
     pub fn with_control(mut self, control: ControlMode) -> Self {
         self.control = control;
+        self
+    }
+
+    /// Inject a fault into the run (may be called repeatedly).
+    pub fn with_fault(mut self, fault: SpecFault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The controller's discovery tool is unavailable over `[from, until)`.
+    pub fn with_discovery_outage(mut self, from: SimTime, until: SimTime) -> Self {
+        self.discovery_outages.push((from, until));
+        self
+    }
+
+    /// Discovery answers with the given spec nodes hidden over `[from, until)`.
+    pub fn with_discovery_partial_outage(
+        mut self,
+        from: SimTime,
+        until: SimTime,
+        hidden_spec_nodes: Vec<usize>,
+    ) -> Self {
+        self.discovery_partial_outages.push((from, until, hidden_spec_nodes));
+        self
+    }
+
+    /// Host a warm-standby controller on spec node `node` (TopoSense only).
+    pub fn with_standby(mut self, node: usize) -> Self {
+        self.standby = Some(node);
         self
     }
 
@@ -139,6 +202,8 @@ pub struct ScenarioResult {
     pub receivers: Vec<ReceiverOutcome>,
     /// Controller stats when running TopoSense.
     pub controller: Option<ControllerShared>,
+    /// Warm-standby controller stats, when one was hosted.
+    pub standby: Option<ControllerShared>,
     pub duration: SimDuration,
     /// Total packets dropped at queues across all links.
     pub total_drops: u64,
@@ -221,14 +286,39 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
     let catalog = catalog.share();
 
     // Controller (TopoSense only) — add first so suggestions start early.
+    let mut standby_handle = None;
     let controller_handle = if let ControlMode::TopoSense { staleness } = scenario.control {
         let ctrl_node = built.node_ids[topo.controller()];
+        let apply_outages = |mut c: Controller| {
+            for &(from, until) in &scenario.discovery_outages {
+                c = c.with_discovery_outage(from, until);
+            }
+            for (from, until, hidden) in &scenario.discovery_partial_outages {
+                let hidden: Vec<NodeId> = hidden.iter().map(|&i| built.node_ids[i]).collect();
+                c = c.with_discovery_partial_outage(*from, *until, hidden);
+            }
+            c
+        };
         let (ctrl, handle) = Controller::new(
             std::sync::Arc::clone(&catalog),
             scenario.cfg,
             staleness,
             scenario.seed ^ 0xc0f1,
         );
+        let mut ctrl = apply_outages(ctrl);
+        if let Some(standby_idx) = scenario.standby {
+            let standby_node = built.node_ids[standby_idx];
+            ctrl = ctrl.with_peer(standby_node);
+            let (standby, handle) = Controller::new(
+                std::sync::Arc::clone(&catalog),
+                scenario.cfg,
+                staleness,
+                scenario.seed ^ 0xc0f2,
+            );
+            let standby = apply_outages(standby).with_peer(ctrl_node).as_standby();
+            sim.add_app(standby_node, Box::new(standby));
+            standby_handle = Some(handle);
+        }
         sim.add_app(ctrl_node, Box::new(ctrl));
         Some((ctrl_node, handle))
     } else {
@@ -279,6 +369,31 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
         handles.push((node_idx, node, session, set, handle));
     }
 
+    // Faults: resolve spec indices to simulator ids and install the plan.
+    // An empty plan is not installed at all, keeping fault-free runs on
+    // exactly today's event sequence.
+    let mut plan = FaultPlan::new();
+    for fault in &scenario.faults {
+        plan = match *fault {
+            SpecFault::LinkOutage { link, from, until } => {
+                plan.link_outage(built.link_ids[link], from, until)
+            }
+            SpecFault::LinkFlap { link, first_down, down_for, period, repeats } => {
+                plan.link_flap(built.link_ids[link], first_down, down_for, period, repeats)
+            }
+            SpecFault::NodeOutage { node, from, until } => {
+                plan.node_outage(built.node_ids[node], from, until)
+            }
+            SpecFault::NodeCrash { node, from } => plan.node_crash(built.node_ids[node], from),
+            SpecFault::Chaos { seed, from, until, events } => {
+                plan.chaos(seed, &built.link_ids, &built.node_ids, from, until, events)
+            }
+        };
+    }
+    if !plan.is_empty() {
+        sim.install_faults(&plan);
+    }
+
     // Run.
     sim.run_until(SimTime::ZERO + scenario.duration);
 
@@ -296,6 +411,7 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
         .map(|i| net.link(netsim::DirLinkId(i)).stats.dropped_packets)
         .sum();
     let controller = controller_handle.map(|(_, h)| h.lock().unwrap().clone());
+    let standby = standby_handle.map(|h| h.lock().unwrap().clone());
     let control_bytes = receivers
         .iter()
         .map(|r| r.stats.reports_sent * scenario.cfg.report_size as u64)
@@ -308,6 +424,7 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
     ScenarioResult {
         receivers,
         controller,
+        standby,
         duration: scenario.duration,
         total_drops,
         control_bytes,
@@ -346,6 +463,7 @@ mod tests {
         let r = ScenarioResult {
             receivers: Vec::new(),
             controller: None,
+            standby: None,
             duration: SimDuration::from_secs(10),
             total_drops: 0,
             control_bytes: 0,

@@ -37,14 +37,37 @@ pub struct TopologyView {
 
 impl TopologyView {
     /// Capture the ground truth right now.
+    ///
+    /// A partially-failed network yields a view with the failed pieces
+    /// missing rather than a panic: down links, links touching a crashed
+    /// node, and crashed members simply do not appear — exactly what a real
+    /// discovery tool would (fail to) see. On a fault-free network every
+    /// filter keeps everything, so the capture is identical to the naive
+    /// one.
     pub fn capture(net: &Network, now: SimTime) -> Self {
-        let links = (0..net.link_count() as u32)
-            .map(|i| {
+        let links: Vec<LinkView> = (0..net.link_count() as u32)
+            .filter_map(|i| {
                 let id = DirLinkId(i);
-                LinkView { id, from: net.link_tail(id), to: net.link_head(id) }
+                let (from, to) = (net.link_tail(id), net.link_head(id));
+                let alive = net.link_is_up(id) && net.node_is_up(from) && net.node_is_up(to);
+                alive.then_some(LinkView { id, from, to })
             })
             .collect();
-        TopologyView { time: now, links, groups: net.multicast_snapshot() }
+        let kept: std::collections::HashSet<DirLinkId> = links.iter().map(|l| l.id).collect();
+        let groups = net
+            .multicast_snapshot()
+            .into_iter()
+            .map(|g| {
+                let netsim::GroupSnapshot { group, root, active_links, member_nodes } = g;
+                netsim::GroupSnapshot {
+                    group,
+                    root,
+                    active_links: active_links.into_iter().filter(|l| kept.contains(l)).collect(),
+                    member_nodes: member_nodes.into_iter().filter(|&n| net.node_is_up(n)).collect(),
+                }
+            })
+            .collect();
+        TopologyView { time: now, links, groups }
     }
 
     /// The snapshot of one group, if it exists.
@@ -132,6 +155,94 @@ impl TopologyView {
         // ingress.
         members.first().copied()
     }
+
+    /// Every node mentioned anywhere in the view.
+    fn known_nodes(&self) -> std::collections::HashSet<NodeId> {
+        let mut nodes: std::collections::HashSet<NodeId> =
+            self.links.iter().flat_map(|l| [l.from, l.to]).collect();
+        for g in &self.groups {
+            nodes.insert(g.root);
+            nodes.extend(g.member_nodes.iter().copied());
+        }
+        nodes
+    }
+
+    /// The view with `hidden` nodes — and everything hanging off them —
+    /// removed, modelling a discovery pass that could not reach part of the
+    /// domain. Implemented as a restriction to the reachable remainder, so
+    /// roots inside a hidden subtree are re-based exactly as for domains.
+    pub fn without_nodes(&self, hidden: &[NodeId]) -> TopologyView {
+        let mut domain = self.known_nodes();
+        for n in hidden {
+            domain.remove(n);
+        }
+        let mut v = self.restrict(&domain);
+        // Hiding an interior node can disconnect a root from the surviving
+        // members even though the root itself is still visible; re-base such
+        // groups onto the ingress of the member-bearing remainder, as
+        // `restrict` does for roots outside the domain.
+        let rebased: Vec<Option<NodeId>> = v
+            .groups
+            .iter()
+            .map(|g| {
+                if g.member_nodes.is_empty()
+                    || Self::root_reaches_member(&v.links, &g.active_links, g.root, &g.member_nodes)
+                {
+                    None
+                } else {
+                    v.domain_ingress(&v.links, &g.active_links, &g.member_nodes)
+                }
+            })
+            .collect();
+        for (g, r) in v.groups.iter_mut().zip(rebased) {
+            if let Some(r) = r {
+                g.root = r;
+            }
+        }
+        v
+    }
+
+    /// Whether `root` reaches any of `members` along `active` links.
+    fn root_reaches_member(
+        links: &[LinkView],
+        active: &[DirLinkId],
+        root: NodeId,
+        members: &[NodeId],
+    ) -> bool {
+        let view_of = |id: &DirLinkId| links.iter().find(|l| l.id == *id).copied();
+        let mut seen = std::collections::HashSet::from([root]);
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(n) = queue.pop_front() {
+            if members.contains(&n) {
+                return true;
+            }
+            for l in active.iter().filter_map(view_of) {
+                if l.from == n && seen.insert(l.to) {
+                    queue.push_back(l.to);
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Why a discovery query produced no (full) answer.
+#[derive(Clone, Debug)]
+pub enum SnapshotError {
+    /// The tool is down: no information at all this interval.
+    Unavailable,
+    /// The tool reached only part of the domain; the carried view omits the
+    /// unreachable subtree.
+    Partial(TopologyView),
+}
+
+/// One scheduled failure window of the discovery tool.
+#[derive(Clone, Debug)]
+enum Outage {
+    /// Queries in `[from, until)` fail outright.
+    Total { from: SimTime, until: SimTime },
+    /// Queries in `[from, until)` see a view missing `hidden` subtrees.
+    Partial { from: SimTime, until: SimTime, hidden: Vec<NodeId> },
 }
 
 /// Archives snapshots and serves them with a staleness delay.
@@ -139,6 +250,7 @@ pub struct DiscoveryTool {
     staleness: SimDuration,
     history: VecDeque<TopologyView>,
     max_history: usize,
+    outages: Vec<Outage>,
 }
 
 impl DiscoveryTool {
@@ -146,7 +258,21 @@ impl DiscoveryTool {
     /// instantaneous oracle (the paper's baseline premise, which it calls
     /// "clearly unrealistic").
     pub fn new(staleness: SimDuration) -> Self {
-        DiscoveryTool { staleness, history: VecDeque::new(), max_history: 64 }
+        DiscoveryTool { staleness, history: VecDeque::new(), max_history: 64, outages: Vec::new() }
+    }
+
+    /// Schedule a total outage: queries in `[from, until)` return
+    /// [`SnapshotError::Unavailable`].
+    pub fn add_outage(&mut self, from: SimTime, until: SimTime) {
+        assert!(until > from, "outage must end after it starts");
+        self.outages.push(Outage::Total { from, until });
+    }
+
+    /// Schedule a partial outage: queries in `[from, until)` return a view
+    /// with the `hidden` subtrees missing.
+    pub fn add_partial_outage(&mut self, from: SimTime, until: SimTime, hidden: Vec<NodeId>) {
+        assert!(until > from, "outage must end after it starts");
+        self.outages.push(Outage::Partial { from, until, hidden });
     }
 
     /// The configured staleness.
@@ -175,6 +301,31 @@ impl DiscoveryTool {
     pub fn query(&self, now: SimTime) -> Option<&TopologyView> {
         let cutoff = now.saturating_sub(self.staleness);
         self.history.iter().rev().find(|v| v.time <= cutoff)
+    }
+
+    /// Like [`DiscoveryTool::query`], but honouring the scheduled failure
+    /// windows.
+    ///
+    /// `Ok(None)` still means a cold start (nothing captured yet);
+    /// `Err(Unavailable)` means the tool itself is down right now; and
+    /// `Err(Partial(view))` carries what the degraded tool could still see.
+    /// With no outages scheduled this is exactly `Ok(self.query(now))`.
+    pub fn query_checked(&self, now: SimTime) -> Result<Option<&TopologyView>, SnapshotError> {
+        for o in &self.outages {
+            match o {
+                Outage::Total { from, until } if now >= *from && now < *until => {
+                    return Err(SnapshotError::Unavailable);
+                }
+                Outage::Partial { from, until, hidden } if now >= *from && now < *until => {
+                    return match self.query(now) {
+                        Some(v) => Err(SnapshotError::Partial(v.without_nodes(hidden))),
+                        None => Ok(None),
+                    };
+                }
+                _ => {}
+            }
+        }
+        Ok(self.query(now))
     }
 
     /// Number of archived snapshots.
@@ -280,6 +431,91 @@ mod tests {
         let r = view.restrict(&domain);
         assert_eq!(r.groups[0].root, NodeId(0));
         assert_eq!(r.links.len(), 3);
+    }
+
+    #[test]
+    fn capture_reflects_link_and_node_faults() {
+        use netsim::{App, Ctx, FaultKind, FaultPlan, LinkConfig, NetworkBuilder, SimConfig};
+        struct Joiner {
+            group: GroupId,
+        }
+        impl App for Joiner {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.join(self.group);
+            }
+        }
+        let mut b = NetworkBuilder::new(SimConfig::default());
+        let s = b.add_node("src");
+        let m = b.add_node("mid");
+        let r = b.add_node("rcv");
+        let (sm, _) = b.add_link(s, m, LinkConfig::kbps(100.0));
+        b.add_link(m, r, LinkConfig::kbps(100.0));
+        let mut sim = b.build();
+        let g = sim.create_group(s);
+        sim.add_app(r, Box::new(Joiner { group: g }));
+        sim.run_until(SimTime::from_secs(1));
+        let clean = TopologyView::capture(sim.network(), sim.now());
+        assert_eq!(clean.links.len(), 4);
+        assert_eq!(clean.group(g).unwrap().member_nodes, vec![r]);
+        assert_eq!(clean.group(g).unwrap().active_links.len(), 2);
+
+        // Take the src->mid half down: it vanishes from the capture, and so
+        // does its entry in the active tree.
+        sim.install_faults(&FaultPlan::new().at(SimTime::from_secs(2), FaultKind::LinkDown(sm)));
+        sim.run_until(SimTime::from_secs(3));
+        let faulted = TopologyView::capture(sim.network(), sim.now());
+        assert_eq!(faulted.links.len(), 3);
+        assert!(faulted.link(sm).is_none());
+        assert_eq!(faulted.group(g).unwrap().active_links.len(), 1);
+
+        // Crash the receiver's node: its links and membership vanish too.
+        sim.install_faults(&FaultPlan::new().at(SimTime::from_secs(4), FaultKind::NodeCrash(r)));
+        sim.run_until(SimTime::from_secs(5));
+        let crashed = TopologyView::capture(sim.network(), sim.now());
+        assert_eq!(crashed.links.len(), 1);
+        assert!(crashed.group(g).unwrap().member_nodes.is_empty());
+    }
+
+    #[test]
+    fn without_nodes_drops_the_subtree_and_rebases() {
+        let view = spanning_view();
+        let partial = view.without_nodes(&[NodeId(1)]);
+        // Links touching node 1 vanish; 2 -> 3 survives.
+        assert_eq!(partial.links.len(), 1);
+        assert_eq!(partial.links[0].id, DirLinkId(2));
+        let g = &partial.groups[0];
+        assert_eq!(g.member_nodes, vec![NodeId(2), NodeId(3)]);
+        // The surviving subtree's ingress becomes the root.
+        assert_eq!(g.root, NodeId(2));
+    }
+
+    #[test]
+    fn query_checked_honours_outage_windows() {
+        let mut d = DiscoveryTool::new(SimDuration::ZERO);
+        d.record(view_at(1));
+        d.add_outage(SimTime::from_secs(5), SimTime::from_secs(8));
+        assert!(matches!(d.query_checked(SimTime::from_secs(4)), Ok(Some(_))));
+        assert!(matches!(d.query_checked(SimTime::from_secs(5)), Err(SnapshotError::Unavailable)));
+        assert!(matches!(d.query_checked(SimTime::from_secs(7)), Err(SnapshotError::Unavailable)));
+        assert!(matches!(d.query_checked(SimTime::from_secs(8)), Ok(Some(_))));
+    }
+
+    #[test]
+    fn query_checked_partial_hides_the_subtree() {
+        let mut d = DiscoveryTool::new(SimDuration::ZERO);
+        d.record(spanning_view());
+        d.add_partial_outage(SimTime::ZERO, SimTime::from_secs(10), vec![NodeId(3)]);
+        match d.query_checked(SimTime::from_secs(2)) {
+            Err(SnapshotError::Partial(v)) => {
+                assert!(v.links.iter().all(|l| l.from != NodeId(3) && l.to != NodeId(3)));
+                assert_eq!(v.groups[0].member_nodes, vec![NodeId(2)]);
+            }
+            other => panic!("expected a partial view, got {other:?}"),
+        }
+        // A cold start during a partial outage still reads as a cold start.
+        let mut cold = DiscoveryTool::new(SimDuration::from_secs(30));
+        cold.add_partial_outage(SimTime::ZERO, SimTime::from_secs(10), vec![NodeId(3)]);
+        assert!(matches!(cold.query_checked(SimTime::from_secs(2)), Ok(None)));
     }
 
     #[test]

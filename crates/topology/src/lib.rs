@@ -20,7 +20,7 @@ pub mod session_tree;
 pub mod spec;
 pub mod tree;
 
-pub use discovery::{DiscoveryTool, LinkView, TopologyView};
+pub use discovery::{DiscoveryTool, LinkView, SnapshotError, TopologyView};
 pub use session_tree::SessionTree;
 pub use spec::{LinkSpec, NodeRole, TopoSpec};
 pub use tree::Tree;

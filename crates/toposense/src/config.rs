@@ -47,6 +47,29 @@ pub struct Config {
     pub report_size: u32,
     pub suggestion_size: u32,
     pub register_size: u32,
+    /// Receiver silence after which the controller stops trusting its data
+    /// (the receiver is excluded from reports and suggestion targets until
+    /// it is heard from again). See DESIGN.md §9.
+    pub quarantine_after: SimDuration,
+    /// Receiver silence after which the controller forgets it entirely.
+    pub evict_after: SimDuration,
+    /// How old last-known-good topology may grow while the discovery tool
+    /// is unavailable before the controller suspends suggestions outright.
+    pub max_degradation_age: SimDuration,
+    /// First re-registration delay; doubles each unacknowledged attempt.
+    pub register_backoff_base: SimDuration,
+    /// Ceiling of the re-registration backoff.
+    pub register_backoff_max: SimDuration,
+    /// Heartbeat silence after which a warm standby takes over.
+    pub failover_after: SimDuration,
+    /// Consecutive empty report windows (no packets, no gaps, on a level
+    /// that used to carry traffic) before a receiver re-joins its groups to
+    /// repair a possibly-severed tree.
+    pub dead_air_windows: u32,
+    /// Wire sizes of the hardening messages (bytes).
+    pub heartbeat_size: u32,
+    pub ack_size: u32,
+    pub deregister_size: u32,
 }
 
 impl Default for Config {
@@ -70,6 +93,16 @@ impl Default for Config {
             report_size: 96,
             suggestion_size: 64,
             register_size: 48,
+            quarantine_after: SimDuration::from_secs(6),
+            evict_after: SimDuration::from_secs(24),
+            max_degradation_age: SimDuration::from_secs(10),
+            register_backoff_base: SimDuration::from_secs(4),
+            register_backoff_max: SimDuration::from_secs(32),
+            failover_after: SimDuration::from_secs(6),
+            dead_air_windows: 2,
+            heartbeat_size: 32,
+            ack_size: 32,
+            deregister_size: 32,
         }
     }
 }
@@ -85,6 +118,13 @@ impl Config {
         assert!(self.capacity_creep >= 0.0);
         assert!(self.backoff_max >= self.backoff_min);
         assert!(self.report_interval <= self.interval);
+        assert!(self.quarantine_after >= self.interval, "quarantine faster than one interval");
+        assert!(self.evict_after >= self.quarantine_after, "evict before quarantine");
+        assert!(self.max_degradation_age >= self.interval);
+        assert!(self.register_backoff_base > SimDuration::ZERO);
+        assert!(self.register_backoff_max >= self.register_backoff_base);
+        assert!(self.failover_after >= self.interval, "failover faster than one heartbeat");
+        assert!(self.dead_air_windows >= 1);
     }
 }
 
@@ -101,6 +141,17 @@ mod tests {
     #[should_panic]
     fn inverted_thresholds_fail_validation() {
         let cfg = Config { high_loss: 0.01, ..Config::default() };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn evict_before_quarantine_fails_validation() {
+        let cfg = Config {
+            quarantine_after: SimDuration::from_secs(10),
+            evict_after: SimDuration::from_secs(5),
+            ..Config::default()
+        };
         cfg.validate();
     }
 

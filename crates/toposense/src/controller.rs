@@ -11,14 +11,34 @@
 //! 3. runs the five-stage algorithm over the trees and the receivers'
 //!    accumulated loss reports;
 //! 4. unicasts a [`Suggestion`] to every registered receiver.
+//!
+//! # Failure hardening (DESIGN.md §9)
+//!
+//! The controller survives the fault model of `netsim::faults`:
+//!
+//! * **Silent receivers** are quarantined after `quarantine_after` (their
+//!   stale data and suggestion slots are withheld) and evicted after
+//!   `evict_after`; a single report re-admits them.
+//! * **Discovery outages** degrade to the last-known-good topology for up
+//!   to `max_degradation_age`, after which suggestions are suspended until
+//!   the tool answers again. Partial answers are used as-is: receivers the
+//!   tool cannot see are simply not steered this interval.
+//! * **Controller crashes** are covered by an optional warm standby: the
+//!   active controller heartbeats its peer every interval and mirrors
+//!   registry changes to it; the standby takes over after `failover_after`
+//!   of beacon silence and re-ACKs every receiver so reports follow it. A
+//!   restarted ex-primary comes back as the standby (roles swap, they never
+//!   fight), and a transient dual-active resolves toward the smaller node
+//!   id.
 
 use crate::algorithm::{AlgorithmInputs, AlgorithmOutputs, AlgorithmState, ReceiverReport};
 use crate::config::Config;
-use crate::messages::{Register, Report, Suggestion};
+use crate::messages::{Deregister, Heartbeat, Register, RegisterAck, Report, Suggestion};
+use crate::sync::lock_or_recover;
 use netsim::{App, AppId, ControlBody, Ctx, NodeId, SessionId, SimDuration, SimTime};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
-use topology::discovery::{DiscoveryTool, TopologyView};
+use topology::discovery::{DiscoveryTool, SnapshotError, TopologyView};
 use topology::SessionTree;
 use traffic::{LayerSpec, SessionCatalog};
 
@@ -47,6 +67,20 @@ pub struct ControllerShared {
     pub estimate_series: Vec<(SimTime, netsim::DirLinkId, f64)>,
     /// Last run's diagnostics.
     pub last_outputs: Option<AlgorithmOutputs>,
+    /// Intervals run on last-known-good topology (discovery unavailable).
+    pub degraded_intervals: u64,
+    /// Intervals skipped because even last-known-good was too old.
+    pub suspended_intervals: u64,
+    /// Intervals run on a partial discovery answer.
+    pub partial_intervals: u64,
+    /// Receivers currently quarantined for silence.
+    pub quarantined: usize,
+    /// Receivers evicted for prolonged silence (cumulative).
+    pub evicted: u64,
+    /// Registration acknowledgements sent.
+    pub acks_sent: u64,
+    /// When this controller took over from a failed peer, if it did.
+    pub failover_at: Option<SimTime>,
 }
 
 /// Handle for reading controller stats after a run.
@@ -84,6 +118,22 @@ pub struct Controller {
     outbox: Vec<(NodeId, Suggestion)>,
     rng: netsim::RngStream,
     shared: ControllerHandle,
+    /// The node this controller runs on (known from `on_start`).
+    my_node: Option<NodeId>,
+    /// Warm-standby peer: the standby's node when active, the active
+    /// controller's node when standing by.
+    peer: Option<NodeId>,
+    /// False while standing by: tick only keeps the archive warm and
+    /// watches the peer's heartbeats.
+    active: bool,
+    /// When each registered receiver was last heard from (register, report
+    /// or deregister all count).
+    last_heard: HashMap<AppId, SimTime>,
+    /// Last successfully queried topology, kept for degraded operation
+    /// while the discovery tool is unavailable.
+    last_good: Option<TopologyView>,
+    /// Last heartbeat from the peer (standing by only).
+    last_heartbeat_at: Option<SimTime>,
 }
 
 impl Controller {
@@ -109,8 +159,47 @@ impl Controller {
             outbox: Vec::new(),
             rng: netsim::RngStream::derive(seed, "toposense/controller"),
             shared: Arc::clone(&shared),
+            my_node: None,
+            peer: None,
+            active: true,
+            last_heard: HashMap::new(),
+            last_good: None,
+            last_heartbeat_at: None,
         };
         (c, shared)
+    }
+
+    /// Pair this controller with a warm standby (or, combined with
+    /// [`Controller::as_standby`], with the active controller) at `node`.
+    pub fn with_peer(mut self, node: NodeId) -> Self {
+        self.peer = Some(node);
+        self
+    }
+
+    /// Start passive: keep the discovery archive warm, mirror the registry,
+    /// and take over when the peer's heartbeats stop for `failover_after`.
+    pub fn as_standby(mut self) -> Self {
+        self.active = false;
+        self
+    }
+
+    /// Schedule a total discovery outage: queries in `[from, until)` find
+    /// the tool unavailable (DESIGN.md §9 degradation path).
+    pub fn with_discovery_outage(mut self, from: SimTime, until: SimTime) -> Self {
+        self.discovery.add_outage(from, until);
+        self
+    }
+
+    /// Schedule a partial discovery outage: queries in `[from, until)` see
+    /// a view with the `hidden` subtrees missing.
+    pub fn with_discovery_partial_outage(
+        mut self,
+        from: SimTime,
+        until: SimTime,
+        hidden: Vec<NodeId>,
+    ) -> Self {
+        self.discovery.add_partial_outage(from, until, hidden);
+        self
     }
 
     /// Restrict this controller to one administrative domain (Fig. 3's
@@ -129,6 +218,8 @@ impl Controller {
 
     fn tick(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
+        // Hard deadlines first: forget receivers silent past evict_after.
+        let evicted = self.sweep_silent(now);
         // 0. Age the loss reports: only reports older than the staleness
         // window become visible this interval (Fig. 10 ages "topology and
         // loss information" together).
@@ -147,22 +238,52 @@ impl Controller {
         }
 
         // 1. Record ground truth (clipped to this controller's domain),
-        // query through the staleness filter.
+        // query through the staleness filter and the tool's fault schedule.
         let view = TopologyView::capture(ctx.network(), now);
         let view = match &self.domain {
             Some(domain) => view.restrict(domain),
             None => view,
         };
         self.discovery.record(view);
-        let Some(view) = self.discovery.query(now) else {
-            return;
+        let mut degraded = false;
+        let mut partial = false;
+        let view: TopologyView = match self.discovery.query_checked(now) {
+            // Cold start: nothing captured yet — no tree, no suggestions.
+            Ok(None) => return,
+            Ok(Some(v)) => {
+                let v = v.clone();
+                self.last_good = Some(v.clone());
+                v
+            }
+            Err(SnapshotError::Partial(v)) => {
+                // Steer whoever the tool can still see. The partial view is
+                // NOT promoted to last-known-good: that would read as the
+                // hidden subtree having departed.
+                partial = true;
+                v
+            }
+            Err(SnapshotError::Unavailable) => match &self.last_good {
+                // Degrade to last-known-good while it is fresh enough.
+                Some(v) if now.since(v.time) <= self.cfg.max_degradation_age => {
+                    degraded = true;
+                    v.clone()
+                }
+                // Too old (or never had one): suspend suggestions outright
+                // rather than steer on fiction.
+                _ => {
+                    let mut sh = lock_or_recover(&self.shared);
+                    sh.suspended_intervals += 1;
+                    sh.evicted += evicted;
+                    return;
+                }
+            },
         };
 
         // 2. Per-session overlay trees. Transiently inconsistent snapshots
         // (a node with two parents mid-regraft) skip the session this round.
         let mut trees: Vec<SessionTree> = Vec::with_capacity(self.catalog.len());
         for def in self.catalog.iter() {
-            if let Ok(t) = SessionTree::build(view, def.id, &def.groups) {
+            if let Ok(t) = SessionTree::build(&view, def.id, &def.groups) {
                 trees.push(t);
             }
         }
@@ -171,11 +292,19 @@ impl Controller {
 
         // 3. Assemble the interval's reports: fresh data, else the most
         // recent report if it is not too old (reports can be lost).
+        // Receivers silent past quarantine_after are withheld entirely —
+        // their data is stale and a suggestion to them is likely wasted.
         // Sorted by receiver id so nothing downstream depends on hash-map
         // iteration order (determinism).
-        let mut registry: Vec<(AppId, NodeId, SessionId)> =
-            self.registry.iter().map(|(&a, &(n, s))| (a, n, s)).collect();
+        let quarantine_cutoff = now.saturating_sub(self.cfg.quarantine_after);
+        let mut registry: Vec<(AppId, NodeId, SessionId)> = self
+            .registry
+            .iter()
+            .filter(|(a, _)| self.last_heard.get(a).is_some_and(|&t| t >= quarantine_cutoff))
+            .map(|(&a, &(n, s))| (a, n, s))
+            .collect();
         registry.sort_unstable_by_key(|&(a, _, _)| a);
+        let quarantined = self.registry.len() - registry.len();
         let mut reports: Vec<ReceiverReport> = Vec::with_capacity(self.registry.len());
         for &(app, node, session) in &registry {
             if let Some(p) = self.pending.remove(&app) {
@@ -211,18 +340,29 @@ impl Controller {
         // a fixed back-to-back burst would tail-drop the same receivers'
         // suggestions at a congested link every single interval.
         self.outbox.clear();
+        let my_node = ctx.node_id();
         for s in &outputs.suggestions {
             let Some(&(node, _)) = self.registry.get(&s.receiver) else { continue };
-            let sug =
-                Suggestion { receiver: s.receiver, session: s.session, level: s.level, time: now };
+            let sug = Suggestion {
+                receiver: s.receiver,
+                session: s.session,
+                level: s.level,
+                time: now,
+                from: my_node,
+            };
             let at = self.rng.range_u64(0, self.outbox.len() as u64 + 1) as usize;
             self.outbox.insert(at, (node, sug));
         }
         if !self.outbox.is_empty() {
             ctx.set_timer(SimDuration::ZERO, TOKEN_SEND);
         }
+        // Beacon the warm standby.
+        if let Some(peer) = self.peer {
+            let hb: ControlBody = Arc::new(Heartbeat { from: my_node, time: now });
+            ctx.send_control(peer, self.cfg.heartbeat_size, hb);
+        }
 
-        let mut sh = self.shared.lock().unwrap();
+        let mut sh = lock_or_recover(&self.shared);
         sh.intervals += 1;
         sh.suggestions_sent += outputs.suggestions.len() as u64;
         sh.registered = self.registry.len();
@@ -231,22 +371,129 @@ impl Controller {
             sh.estimate_series.push((now, l, c));
         }
         sh.last_outputs = Some(outputs);
+        sh.degraded_intervals += degraded as u64;
+        sh.partial_intervals += partial as u64;
+        sh.quarantined = quarantined;
+        sh.evicted += evicted;
+    }
+
+    /// Evict receivers silent past `evict_after`; returns how many fell.
+    fn sweep_silent(&mut self, now: SimTime) -> u64 {
+        let cutoff = now.saturating_sub(self.cfg.evict_after);
+        let stale: Vec<AppId> = self
+            .registry
+            .keys()
+            .copied()
+            .filter(|a| self.last_heard.get(a).is_none_or(|&t| t < cutoff))
+            .collect();
+        for a in &stale {
+            self.registry.remove(a);
+            self.last_heard.remove(a);
+            self.pending.remove(a);
+            self.last_known.remove(a);
+        }
+        stale.len() as u64
+    }
+
+    /// Passive interval: keep the snapshot archive warm (a takeover must
+    /// not cold-start discovery) and watch the peer's heartbeats.
+    fn tick_standby(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let view = TopologyView::capture(ctx.network(), now);
+        let view = match &self.domain {
+            Some(domain) => view.restrict(domain),
+            None => view,
+        };
+        self.discovery.record(view);
+        // Startup counts as a beacon: a standby that has heard nothing yet
+        // only moves after a full failover window.
+        let heard = self.last_heartbeat_at.unwrap_or(SimTime::ZERO);
+        if now.since(heard) > self.cfg.failover_after {
+            self.take_over(ctx, now);
+        }
+    }
+
+    /// Assume the active role after the peer went silent.
+    fn take_over(&mut self, ctx: &mut Ctx<'_>, now: SimTime) {
+        self.active = true;
+        // Re-ACK every mirrored registration so the receivers redirect
+        // their reports, and restart their silence clocks — nobody gets
+        // evicted for quiet accrued while we were passive.
+        let mut members: Vec<(AppId, NodeId)> =
+            self.registry.iter().map(|(&a, &(n, _))| (a, n)).collect();
+        members.sort_unstable_by_key(|&(a, _)| a);
+        let acks = members.len() as u64;
+        for (app, node) in members {
+            self.last_heard.insert(app, now);
+            let ack: ControlBody =
+                Arc::new(RegisterAck { receiver: app, controller: ctx.node_id(), time: now });
+            ctx.send_control(node, self.cfg.ack_size, ack);
+        }
+        let mut sh = lock_or_recover(&self.shared);
+        sh.failover_at.get_or_insert(now);
+        sh.acks_sent += acks;
     }
 }
 
 impl App for Controller {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.my_node = Some(ctx.node_id());
+        if !self.active {
+            // Treat startup as a beacon: don't take over before the peer
+            // even had a chance to speak.
+            self.last_heartbeat_at = Some(ctx.now());
+        }
         ctx.set_timer(self.cfg.interval, TOKEN_TICK);
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: &netsim::Packet) {
+        if let Some(h) = packet.control_as::<Heartbeat>() {
+            if Some(h.from) == self.peer {
+                // Transient dual-active (beacons lost both ways): the
+                // smaller node id keeps the role, deterministically.
+                if self.active && self.my_node.is_some_and(|me| h.from < me) {
+                    self.active = false;
+                }
+                self.last_heartbeat_at = Some(ctx.now());
+            }
+            return;
+        }
         if let Some(r) = packet.control_as::<Register>() {
             self.registry.insert(r.receiver, (r.node, r.session));
+            self.last_heard.insert(r.receiver, ctx.now());
+            if self.active {
+                lock_or_recover(&self.shared).acks_sent += 1;
+                let ack: ControlBody = Arc::new(RegisterAck {
+                    receiver: r.receiver,
+                    controller: ctx.node_id(),
+                    time: ctx.now(),
+                });
+                ctx.send_control(r.node, self.cfg.ack_size, ack);
+                // Mirror to the standby so a takeover starts with a
+                // registry instead of waiting for re-announcements.
+                if let Some(peer) = self.peer {
+                    ctx.send_control(peer, self.cfg.register_size, Arc::new(r.clone()));
+                }
+            }
+            return;
+        }
+        if let Some(d) = packet.control_as::<Deregister>() {
+            self.registry.remove(&d.receiver);
+            self.last_heard.remove(&d.receiver);
+            self.pending.remove(&d.receiver);
+            self.last_known.remove(&d.receiver);
+            if self.active {
+                if let Some(peer) = self.peer {
+                    ctx.send_control(peer, self.cfg.deregister_size, Arc::new(d.clone()));
+                }
+            }
             return;
         }
         if let Some(r) = packet.control_as::<Report>() {
-            // Registration can be lost; a report is as good an announcement.
+            // Registration can be lost; a report is as good an announcement
+            // (and also lifts an eviction or quarantine).
             self.registry.entry(r.receiver).or_insert((r.node, r.session));
+            self.last_heard.insert(r.receiver, ctx.now());
             self.inbox.push_back((ctx.now(), r.clone()));
         }
     }
@@ -254,7 +501,11 @@ impl App for Controller {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         match token {
             TOKEN_TICK => {
-                self.tick(ctx);
+                if self.active {
+                    self.tick(ctx);
+                } else {
+                    self.tick_standby(ctx);
+                }
                 ctx.set_timer(self.cfg.interval, TOKEN_TICK);
             }
             TOKEN_SEND => {
@@ -268,6 +519,23 @@ impl App for Controller {
             }
             other => unreachable!("unknown controller timer {other}"),
         }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        // The crash swallowed our timers and wiped nothing of ours (the app
+        // object survives), but the interval in flight is gone: drop work
+        // queued for it rather than send stale suggestions.
+        self.outbox.clear();
+        self.inbox.clear();
+        self.pending.clear();
+        if self.peer.is_some() && self.active {
+            // The standby has taken over (or is about to): come back as the
+            // new standby. Roles swap; the pair never fights over the
+            // receivers after a crash.
+            self.active = false;
+            self.last_heartbeat_at = Some(ctx.now());
+        }
+        ctx.set_timer(self.cfg.interval, TOKEN_TICK);
     }
 }
 
@@ -373,5 +641,173 @@ mod tests {
             "average level {avg} out of range; changes: {:?}",
             r.changes
         );
+    }
+
+    /// Shared scaffolding for the hardening tests: a one-session chain
+    /// `src -> mid -> rcv` with generous links and a session catalog.
+    fn chain() -> (netsim::Simulator, Arc<SessionCatalog>, SessionDef, NodeId, NodeId, NodeId) {
+        let mut b = NetworkBuilder::new(SimConfig::default());
+        let src = b.add_node("src");
+        let mid = b.add_node("mid");
+        let rcv = b.add_node("rcv");
+        b.add_link(src, mid, LinkConfig::kbps(100_000.0));
+        b.add_link(mid, rcv, LinkConfig::kbps(100_000.0));
+        let mut sim = b.build();
+        let groups: Vec<GroupId> = (0..6).map(|_| sim.create_group(src)).collect();
+        let def = SessionDef {
+            id: netsim::SessionId(0),
+            source: src,
+            groups,
+            spec: LayerSpec::paper_default(),
+        };
+        let mut catalog = SessionCatalog::new();
+        catalog.add(def.clone());
+        (sim, catalog.share(), def, src, mid, rcv)
+    }
+
+    /// Satellite: with a discovery tool too stale to have answered yet, the
+    /// controller must do nothing — no intervals, no suggestions from a
+    /// nonexistent tree.
+    #[test]
+    fn cold_start_with_unanswered_discovery_sends_nothing() {
+        let (mut sim, catalog, def, src, _mid, rcv) = chain();
+        let cfg = Config::default();
+        let (ctrl, shared) = Controller::new(catalog, cfg, SimDuration::from_secs(30), 1);
+        sim.add_app(src, Box::new(ctrl));
+        sim.add_app(src, Box::new(LayeredSource::new(def.clone(), TrafficModel::Cbr, 2)));
+        let (rx, _) = Receiver::new(def, src, cfg, 3, "r0");
+        sim.add_app(rcv, Box::new(rx));
+        sim.run_until(SimTime::from_secs(10));
+        let c = shared.lock().unwrap();
+        assert_eq!(c.intervals, 0, "no interval may complete before discovery answers");
+        assert_eq!(c.suggestions_sent, 0);
+    }
+
+    /// Discovery outage: run on last-known-good while fresh, then suspend,
+    /// then resume when the tool answers again.
+    #[test]
+    fn discovery_outage_degrades_then_suspends_then_recovers() {
+        let (mut sim, catalog, def, src, _mid, rcv) = chain();
+        let cfg = Config::default();
+        let (ctrl, shared) = Controller::new(catalog, cfg, SimDuration::ZERO, 1);
+        let ctrl = ctrl.with_discovery_outage(SimTime::from_secs(5), SimTime::from_secs(25));
+        sim.add_app(src, Box::new(ctrl));
+        sim.add_app(src, Box::new(LayeredSource::new(def.clone(), TrafficModel::Cbr, 2)));
+        let (rx, _) = Receiver::new(def, src, cfg, 3, "r0");
+        sim.add_app(rcv, Box::new(rx));
+        sim.run_until(SimTime::from_secs(41));
+        let c = shared.lock().unwrap();
+        // Ticks at 6..=14 ride last-known-good (captured at 4, max age 10);
+        // ticks at 16..=24 are suspended; 26 onward is normal again.
+        assert_eq!(c.degraded_intervals, 5, "degraded window");
+        assert_eq!(c.suspended_intervals, 5, "suspended window");
+        assert!(c.intervals >= 14, "resumed after the outage: {}", c.intervals);
+        assert!(c.suggestions_sent > 0);
+    }
+
+    /// Satellite: an orderly departure must clear the registry entry
+    /// immediately, not wait for the silence deadline.
+    #[test]
+    fn departure_deregisters_immediately() {
+        let (mut sim, catalog, def, src, _mid, rcv) = chain();
+        let cfg = Config::default();
+        let (ctrl, shared) = Controller::new(catalog, cfg, SimDuration::ZERO, 1);
+        sim.add_app(src, Box::new(ctrl));
+        sim.add_app(src, Box::new(LayeredSource::new(def.clone(), TrafficModel::Cbr, 2)));
+        let (rx, _) = Receiver::new(def, src, cfg, 3, "r0");
+        let rx = rx.with_lifetime(SimTime::ZERO, Some(SimTime::from_secs(10)));
+        sim.add_app(rcv, Box::new(rx));
+        // 20 s is well inside the eviction horizon (10 s departure + 24 s
+        // evict_after): an empty registry here proves Deregister worked.
+        sim.run_until(SimTime::from_secs(20));
+        let c = shared.lock().unwrap();
+        assert_eq!(c.registered, 0, "departed receiver still in the registry");
+        assert!(c.evicted == 0, "departure must not count as an eviction");
+    }
+
+    /// A receiver that registers and then falls silent is eventually
+    /// evicted (and the registry gauge drops back to zero).
+    #[test]
+    fn silent_receiver_is_evicted() {
+        struct MuteReceiver {
+            controller: NodeId,
+        }
+        impl App for MuteReceiver {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let body: ControlBody = Arc::new(Register {
+                    receiver: ctx.app_id(),
+                    node: ctx.node_id(),
+                    session: netsim::SessionId(0),
+                    level: 1,
+                });
+                ctx.send_control(self.controller, 48, body);
+            }
+        }
+        let (mut sim, catalog, _def, src, _mid, rcv) = chain();
+        let cfg = Config::default();
+        let (ctrl, shared) = Controller::new(catalog, cfg, SimDuration::ZERO, 1);
+        sim.add_app(src, Box::new(ctrl));
+        sim.add_app(rcv, Box::new(MuteReceiver { controller: src }));
+        sim.run_until(SimTime::from_secs(30));
+        let c = shared.lock().unwrap();
+        assert_eq!(c.evicted, 1, "silent receiver must be evicted");
+        assert_eq!(c.registered, 0);
+        assert!(c.acks_sent >= 1, "registration was acknowledged");
+    }
+
+    /// Warm standby: when the primary's node crashes, the standby notices
+    /// the heartbeat silence, takes over, re-ACKs the receivers, and keeps
+    /// steering them.
+    #[test]
+    fn standby_takes_over_after_primary_crash() {
+        let mut b = NetworkBuilder::new(SimConfig::default());
+        let src = b.add_node("src");
+        let ctl = b.add_node("ctl");
+        let ctl2 = b.add_node("ctl2");
+        let mid = b.add_node("mid");
+        let rcv = b.add_node("rcv");
+        b.add_link(src, mid, LinkConfig::kbps(100_000.0));
+        b.add_link(ctl, mid, LinkConfig::kbps(100_000.0));
+        b.add_link(ctl2, mid, LinkConfig::kbps(100_000.0));
+        b.add_link(mid, rcv, LinkConfig::kbps(100_000.0));
+        let mut sim = b.build();
+        let groups: Vec<GroupId> = (0..6).map(|_| sim.create_group(src)).collect();
+        let def = SessionDef {
+            id: netsim::SessionId(0),
+            source: src,
+            groups,
+            spec: LayerSpec::paper_default(),
+        };
+        let mut catalog = SessionCatalog::new();
+        catalog.add(def.clone());
+        let catalog = catalog.share();
+
+        let cfg = Config::default();
+        let (primary, p_shared) = Controller::new(Arc::clone(&catalog), cfg, SimDuration::ZERO, 1);
+        let primary = primary.with_peer(ctl2);
+        let (standby, s_shared) = Controller::new(Arc::clone(&catalog), cfg, SimDuration::ZERO, 2);
+        let standby = standby.with_peer(ctl).as_standby();
+        sim.add_app(ctl, Box::new(primary));
+        sim.add_app(ctl2, Box::new(standby));
+        sim.add_app(src, Box::new(LayeredSource::new(def.clone(), TrafficModel::Cbr, 2)));
+        let (rx, rx_shared) = Receiver::new(def, ctl, cfg, 3, "r0");
+        sim.add_app(rcv, Box::new(rx));
+
+        sim.install_faults(&netsim::FaultPlan::new().node_crash(ctl, SimTime::from_secs(7)));
+        sim.run_until(SimTime::from_secs(40));
+
+        let p = p_shared.lock().unwrap();
+        assert!(p.suggestions_sent > 0, "primary steered before the crash");
+        assert!(p.failover_at.is_none());
+        let s = s_shared.lock().unwrap();
+        let at = s.failover_at.expect("standby must take over");
+        assert!(at > SimTime::from_secs(7) && at <= SimTime::from_secs(16), "takeover at {at:?}");
+        assert!(s.intervals > 0, "standby runs the algorithm after takeover");
+        assert!(s.suggestions_sent > 0);
+        assert!(s.acks_sent >= 1, "receivers re-ACKed on takeover");
+        let r = rx_shared.lock().unwrap();
+        // The unconstrained path must still end at the top level — steering
+        // continued across the failover.
+        assert_eq!(r.final_level(), 6, "changes: {:?}", r.changes);
     }
 }

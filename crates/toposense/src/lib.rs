@@ -37,6 +37,7 @@ pub mod history;
 pub mod messages;
 pub mod receiver;
 pub mod stages;
+pub mod sync;
 
 pub use algorithm::{AlgorithmInputs, AlgorithmOutputs, AlgorithmState, ReceiverReport};
 pub use config::Config;
@@ -44,3 +45,4 @@ pub use controller::{Controller, ControllerShared};
 pub use decision::{Action, NodeKind, SupplyWindow};
 pub use history::{BwEquality, CongestionHistory};
 pub use receiver::{Receiver, ReceiverShared};
+pub use sync::lock_or_recover;

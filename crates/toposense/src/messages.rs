@@ -57,6 +57,39 @@ pub struct Suggestion {
     pub level: u8,
     /// When the controller computed it.
     pub time: SimTime,
+    /// Node the suggesting controller runs on. Receivers report to whoever
+    /// last spoke to them, so suggestions from a failed-over standby
+    /// redirect the control plane without extra round trips.
+    pub from: NodeId,
+}
+
+/// Controller -> receiver: registration confirmed. Lets the receiver stop
+/// re-announcing itself, and — after a failover — redirects it to the
+/// newly-active controller.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegisterAck {
+    pub receiver: AppId,
+    /// Node the active controller answers from.
+    pub controller: NodeId,
+    pub time: SimTime,
+}
+
+/// Receiver -> controller: an orderly departure. Without it a receiver that
+/// leaves mid-session lingers in the controller's registry until the
+/// silence deadline evicts it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Deregister {
+    pub receiver: AppId,
+    pub session: SessionId,
+    pub time: SimTime,
+}
+
+/// Active controller -> warm standby: liveness beacon, sent once per
+/// interval. The standby takes over when beacons stop.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Heartbeat {
+    pub from: NodeId,
+    pub time: SimTime,
 }
 
 #[cfg(test)]

@@ -6,10 +6,27 @@
 //! subscription suggestions. Because suggestion packets can be lost, a
 //! receiver that has heard nothing for a while "can make unilateral
 //! decisions": it sheds a layer on sustained high loss.
+//!
+//! # Failure hardening (DESIGN.md §9)
+//!
+//! * Registration is retried with exponential backoff until the controller
+//!   answers (ACK or suggestion) — a lost `Register` no longer orphans the
+//!   receiver forever.
+//! * [`RegisterAck`] and [`Suggestion::from`] both carry the active
+//!   controller's node, so receivers follow a warm-standby takeover without
+//!   any extra protocol.
+//! * Consecutive all-empty report windows on a level that used to carry
+//!   traffic ("dead air" — the upstream router crashed and lost our graft)
+//!   trigger an idempotent re-join of every subscribed group.
+//! * An orderly departure sends [`Deregister`] so the controller's registry
+//!   does not leak until the silence deadline.
+//! * `on_restart` re-joins, re-registers, and re-arms every timer after the
+//!   hosting node crashes and comes back.
 
 use crate::config::Config;
-use crate::messages::{Register, Report, Suggestion};
-use netsim::{App, ControlBody, Ctx, NodeId, RngStream, SeqTracker, SimTime};
+use crate::messages::{Deregister, Register, RegisterAck, Report, Suggestion};
+use crate::sync::lock_or_recover;
+use netsim::{App, ControlBody, Ctx, NodeId, RngStream, SeqTracker, SimDuration, SimTime};
 use std::sync::{Arc, Mutex};
 use traffic::session::SessionDef;
 
@@ -33,6 +50,11 @@ pub struct ReceiverShared {
     pub unilateral_actions: u64,
     /// Reports sent.
     pub reports_sent: u64,
+    /// Registration attempts sent (first try and backoff retries).
+    pub registers_sent: u64,
+    /// Dead-air repairs: re-joins of all subscribed groups after consecutive
+    /// empty report windows.
+    pub rejoins: u64,
 }
 
 impl ReceiverShared {
@@ -68,6 +90,17 @@ pub struct Receiver {
     start_at: SimTime,
     stop_at: Option<SimTime>,
     active: bool,
+    /// The controller confirmed our registration (or sent a suggestion,
+    /// which proves the same thing). Stops the re-register retries.
+    acked: bool,
+    /// Current re-registration retry delay (doubles per attempt).
+    reregister_backoff: SimDuration,
+    /// Consecutive report windows with neither packets nor gaps while
+    /// subscribed — dead air, the signature of a lost upstream graft.
+    empty_windows: u32,
+    /// We have seen media at least once, so an empty window is anomalous
+    /// rather than a session that has not started.
+    had_traffic: bool,
     rng: RngStream,
     shared: ReceiverHandle,
 }
@@ -97,6 +130,10 @@ impl Receiver {
             start_at: SimTime::ZERO,
             stop_at: None,
             active: false,
+            acked: false,
+            reregister_backoff: cfg.register_backoff_base,
+            empty_windows: 0,
+            had_traffic: false,
             rng: RngStream::derive(seed, &format!("receiver/{label}")),
             shared: Arc::clone(&shared),
         };
@@ -123,14 +160,16 @@ impl Receiver {
 
     fn activate(&mut self, ctx: &mut Ctx<'_>) {
         self.active = true;
+        self.acked = false;
+        self.reregister_backoff = self.cfg.register_backoff_base;
         // Subscribe the base layer and announce ourselves.
         self.set_level(ctx, 1);
         self.register(ctx);
         // Jitter the report phase so co-located receivers do not report in
         // lockstep.
         let jitter = self.rng.range_f64(0.0, self.cfg.report_interval.as_secs_f64());
-        ctx.set_timer(netsim::SimDuration::from_secs_f64(jitter), TOKEN_REPORT);
-        ctx.set_timer(self.cfg.interval * 2, TOKEN_REREGISTER);
+        ctx.set_timer(SimDuration::from_secs_f64(jitter), TOKEN_REPORT);
+        ctx.set_timer(self.reregister_backoff, TOKEN_REREGISTER);
     }
 
     fn set_level(&mut self, ctx: &mut Ctx<'_>, new: u8) {
@@ -156,7 +195,7 @@ impl Receiver {
             }
         }
         self.level = new;
-        self.shared.lock().unwrap().changes.push((ctx.now(), old, new));
+        lock_or_recover(&self.shared).changes.push((ctx.now(), old, new));
     }
 
     fn send_report(&mut self, ctx: &mut Ctx<'_>) {
@@ -182,7 +221,7 @@ impl Receiver {
         };
         let loss = report.loss_rate();
         {
-            let mut s = self.shared.lock().unwrap();
+            let mut s = lock_or_recover(&self.shared);
             s.loss_series.push((ctx.now(), loss));
             s.level_series.push((ctx.now(), self.level));
             s.bytes_total += bytes;
@@ -190,6 +229,29 @@ impl Receiver {
         }
         let body: ControlBody = Arc::new(report);
         ctx.send_control(self.controller, self.cfg.report_size, body);
+
+        // Dead-air repair: windows with neither packets nor gaps on a level
+        // that used to carry traffic mean the upstream graft is gone (a
+        // router crash wipes group state). Re-joining is idempotent — on a
+        // healthy tree it grafts nothing and costs no wire traffic.
+        if received > 0 {
+            self.had_traffic = true;
+            self.empty_windows = 0;
+        } else if lost == 0 && self.had_traffic && self.level >= 1 {
+            self.empty_windows += 1;
+            if self.empty_windows >= self.cfg.dead_air_windows {
+                for layer in 0..self.level {
+                    ctx.join(self.def.group_of_layer(layer));
+                    // The gap we slept through was already reported as dead
+                    // air; re-baseline instead of booking it as loss.
+                    self.trackers[layer as usize].resync();
+                }
+                self.empty_windows = 0;
+                lock_or_recover(&self.shared).rejoins += 1;
+            }
+        } else {
+            self.empty_windows = 0;
+        }
 
         // Unilateral fallback: sustained high loss with a silent controller.
         let silent = match self.last_suggestion_at {
@@ -212,7 +274,7 @@ impl Receiver {
             self.set_level(ctx, new);
             self.high_loss_windows = 0;
             self.raise_guard_until = ctx.now() + self.cfg.interval * 2;
-            self.shared.lock().unwrap().unilateral_actions += 1;
+            lock_or_recover(&self.shared).unilateral_actions += 1;
         }
     }
 
@@ -224,6 +286,13 @@ impl Receiver {
             level: self.level,
         });
         ctx.send_control(self.controller, self.cfg.register_size, body);
+        lock_or_recover(&self.shared).registers_sent += 1;
+    }
+
+    fn deregister(&mut self, ctx: &mut Ctx<'_>) {
+        let body: ControlBody =
+            Arc::new(Deregister { receiver: ctx.app_id(), session: self.def.id, time: ctx.now() });
+        ctx.send_control(self.controller, self.cfg.deregister_size, body);
     }
 }
 
@@ -249,10 +318,23 @@ impl App for Receiver {
             }
             return;
         }
+        if let Some(a) = packet.control_as::<RegisterAck>() {
+            if a.receiver == ctx.app_id() {
+                // Confirmed — stop the retries, and follow whichever
+                // controller answered (a standby re-ACKs after takeover).
+                self.acked = true;
+                self.controller = a.controller;
+            }
+            return;
+        }
         if let Some(s) = packet.control_as::<Suggestion>() {
             if s.receiver == ctx.app_id() && s.session == self.def.id {
                 self.last_suggestion_at = Some(ctx.now());
-                self.shared.lock().unwrap().suggestions_received += 1;
+                // A suggestion proves the controller knows us, even if the
+                // explicit ACK was lost; report to whoever steered us last.
+                self.acked = true;
+                self.controller = s.from;
+                lock_or_recover(&self.shared).suggestions_received += 1;
                 let level = s.level;
                 if level > self.level && ctx.now() < self.raise_guard_until {
                     // A raise computed before our unilateral drop: skip it,
@@ -271,16 +353,22 @@ impl App for Receiver {
                 ctx.set_timer(self.cfg.report_interval, TOKEN_REPORT);
             }
             TOKEN_REREGISTER if self.active => {
-                // Keep announcing until the controller talks back.
-                if self.last_suggestion_at.is_none() {
+                // Keep announcing, with exponential backoff, until the
+                // controller talks back (ACK or suggestion).
+                if !self.acked && self.last_suggestion_at.is_none() {
                     self.register(ctx);
-                    ctx.set_timer(self.cfg.interval * 2, TOKEN_REREGISTER);
+                    self.reregister_backoff =
+                        (self.reregister_backoff * 2).min(self.cfg.register_backoff_max);
+                    ctx.set_timer(self.reregister_backoff, TOKEN_REREGISTER);
                 }
             }
             TOKEN_ACTIVATE => self.activate(ctx),
             TOKEN_STOP => {
-                // Depart: leave every group; stop reporting (the controller
-                // forgets us when the tree no longer contains our node).
+                // Depart: tell the controller (so its registry entry dies
+                // now, not at the eviction deadline) and leave every group.
+                if self.active {
+                    self.deregister(ctx);
+                }
                 self.set_level(ctx, 0);
                 self.active = false;
             }
@@ -288,6 +376,49 @@ impl App for Receiver {
             TOKEN_REPORT | TOKEN_REREGISTER => {}
             other => unreachable!("unknown receiver timer {other}"),
         }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        if self.stop_at.is_some_and(|stop| now >= stop) {
+            // The crash outlived our lifetime. The swallowed STOP timer
+            // never ran: depart now (leave() is a no-op for the wiped
+            // membership, but the level history should read 0).
+            if self.active {
+                self.deregister(ctx);
+            }
+            self.set_level(ctx, 0);
+            self.active = false;
+            return;
+        }
+        if let Some(stop) = self.stop_at {
+            ctx.set_timer(stop.since(now), TOKEN_STOP);
+        }
+        if !self.active {
+            if self.start_at > now {
+                ctx.set_timer(self.start_at.since(now), TOKEN_ACTIVATE);
+            } else {
+                // The crash swallowed the ACTIVATE timer: join late.
+                self.activate(ctx);
+            }
+            return;
+        }
+        // Active through the crash: the router lost our subscriptions, so
+        // re-join every layer with clean loss windows, and re-announce —
+        // the controller may have evicted us during the outage.
+        for layer in 0..self.level {
+            ctx.join(self.def.group_of_layer(layer));
+            let _ = self.trackers[layer as usize].take_window();
+            self.trackers[layer as usize].resync();
+        }
+        self.empty_windows = 0;
+        self.had_traffic = false;
+        self.acked = false;
+        self.reregister_backoff = self.cfg.register_backoff_base;
+        self.register(ctx);
+        let jitter = self.rng.range_f64(0.0, self.cfg.report_interval.as_secs_f64());
+        ctx.set_timer(SimDuration::from_secs_f64(jitter), TOKEN_REPORT);
+        ctx.set_timer(self.reregister_backoff, TOKEN_REREGISTER);
     }
 }
 
@@ -370,6 +501,7 @@ mod tests {
                     session: self.session,
                     level,
                     time: ctx.now(),
+                    from: ctx.node_id(),
                 });
                 ctx.send_control(self.dest_node, 64, body);
             }
@@ -434,6 +566,7 @@ mod tests {
                     session: self.session,
                     level: 5,
                     time: ctx.now(),
+                    from: ctx.node_id(),
                 });
                 ctx.send_control(self.dest_node, 64, body);
             }
@@ -445,5 +578,79 @@ mod tests {
         let s = shared.lock().unwrap();
         assert_eq!(s.suggestions_received, 0);
         assert_eq!(s.final_level(), 1);
+    }
+
+    /// With nobody answering, registration retries back off exponentially:
+    /// attempts at 0, 4, 12 and 28 s land inside a 30 s run.
+    #[test]
+    fn reregisters_with_exponential_backoff_while_unacked() {
+        let (mut sim, def, src, rcv) = setup();
+        // No app at src: every registration vanishes unanswered.
+        let (r, shared) = Receiver::new(def, src, Config::default(), 5, "r0");
+        sim.add_app(rcv, Box::new(r));
+        sim.run_until(SimTime::from_secs(30));
+        let s = shared.lock().unwrap();
+        assert_eq!(s.registers_sent, 4, "0 s, 4 s, 12 s, 28 s");
+    }
+
+    /// An acknowledged registration stops the retries after one attempt.
+    #[test]
+    fn ack_stops_the_register_retries() {
+        struct Acker;
+        impl App for Acker {
+            fn on_packet(&mut self, ctx: &mut Ctx<'_>, p: &Packet) {
+                if let Some(r) = p.control_as::<Register>() {
+                    let body: ControlBody = Arc::new(RegisterAck {
+                        receiver: r.receiver,
+                        controller: ctx.node_id(),
+                        time: ctx.now(),
+                    });
+                    ctx.send_control(r.node, 32, body);
+                }
+            }
+        }
+        let (mut sim, def, src, rcv) = setup();
+        sim.add_app(src, Box::new(Acker));
+        let (r, shared) = Receiver::new(def, src, Config::default(), 5, "r0");
+        sim.add_app(rcv, Box::new(r));
+        sim.run_until(SimTime::from_secs(30));
+        let s = shared.lock().unwrap();
+        assert_eq!(s.registers_sent, 1, "the ACK must stop the retries");
+    }
+
+    /// A router crash between source and receiver wipes the graft; the
+    /// receiver must notice the dead air and repair it by re-joining.
+    #[test]
+    fn dead_air_after_router_crash_triggers_rejoin() {
+        let mut b = NetworkBuilder::new(SimConfig::default());
+        let src = b.add_node("src");
+        let mid = b.add_node("mid");
+        let rcv = b.add_node("rcv");
+        b.add_link(src, mid, LinkConfig::kbps(10_000.0));
+        b.add_link(mid, rcv, LinkConfig::kbps(10_000.0));
+        let mut sim = b.build();
+        let groups: Vec<GroupId> = (0..6).map(|_| sim.create_group(src)).collect();
+        let def =
+            SessionDef { id: SessionId(0), source: src, groups, spec: LayerSpec::paper_default() };
+        sim.add_app(
+            src,
+            Box::new(traffic::LayeredSource::new(def.clone(), traffic::TrafficModel::Cbr, 2)),
+        );
+        let (r, shared) = Receiver::new(def, src, Config::default(), 5, "r0");
+        sim.add_app(rcv, Box::new(r));
+        // Crash the middle router briefly: it comes back up with empty
+        // multicast state, so the media goes dark at the receiver.
+        sim.install_faults(&netsim::FaultPlan::new().node_outage(
+            mid,
+            SimTime::from_secs(5),
+            SimTime::from_millis(5200),
+        ));
+        sim.run_until(SimTime::from_secs(15));
+        let s = shared.lock().unwrap();
+        assert!(s.rejoins >= 1, "dead air must trigger a re-join");
+        let &(t, loss) = s.loss_series.last().unwrap();
+        assert!(t > SimTime::from_secs(14));
+        assert_eq!(loss, 0.0, "clean windows after the repair (no phantom gap)");
+        assert_eq!(s.final_level(), 1, "repair must not change the level");
     }
 }

@@ -1,0 +1,44 @@
+//! Poison-tolerant locking for the shared stats handles.
+//!
+//! Controllers and receivers publish observability counters through
+//! `Arc<Mutex<_>>` handles the harness reads after the run. A panic while a
+//! guard is held (in a test helper, or in harness code on another thread)
+//! poisons the mutex, and a bare `lock().unwrap()` then turns every later
+//! stats update into a second panic that masks the original failure.
+//! Since the protected values are plain counters — always in a consistent
+//! state after any single update — recovering the guard is strictly better.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Lock `m`, recovering the guard if a previous holder panicked.
+pub fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn recovers_a_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(7u64));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex must be poisoned");
+        assert_eq!(*lock_or_recover(&m), 7);
+        *lock_or_recover(&m) = 8;
+        assert_eq!(*lock_or_recover(&m), 8);
+    }
+
+    #[test]
+    fn plain_lock_still_works() {
+        let m = Mutex::new(1u32);
+        *lock_or_recover(&m) += 1;
+        assert_eq!(*lock_or_recover(&m), 2);
+    }
+}

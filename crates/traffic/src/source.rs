@@ -118,6 +118,17 @@ impl App for LayeredSource {
             other => unreachable!("unknown source timer kind {other}"),
         }
     }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        // The crash swallowed every frame and emit timer: restart the layer
+        // clocks with a fresh phase. Sequence numbers continue from where
+        // they stopped, so receivers see the outage as dead air rather than
+        // as a sequence gap (nothing was actually sent to lose).
+        for layer in 0..self.def.spec.max_level() {
+            let phase = self.rngs[layer as usize].range_f64(0.0, 1.0);
+            ctx.set_timer(SimDuration::from_secs_f64(phase), token(KIND_FRAME, layer));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +235,53 @@ mod tests {
         let w = tracker.lock().unwrap().take_window();
         assert!(w.received > 100);
         assert_eq!(w.lost, 0, "uncongested fat link must not lose packets");
+    }
+
+    #[test]
+    fn source_resumes_after_node_restart() {
+        let mut b = NetworkBuilder::new(SimConfig::default());
+        let s = b.add_node("src");
+        let r = b.add_node("rcv");
+        b.add_link(s, r, LinkConfig::kbps(100_000.0));
+        let mut sim = b.build();
+        let spec = LayerSpec::doubling(32_000.0, 1);
+        let g = sim.create_group(s);
+        let def = SessionDef { id: SessionId(0), source: s, groups: vec![g], spec };
+        let counts: Arc<Vec<AtomicU64>> = Arc::new((0..1).map(|_| AtomicU64::new(0)).collect());
+        // A sink that re-joins every second: the crash wipes the root's
+        // multicast state, so someone must re-graft (in the real system the
+        // receiver's dead-air repair does this).
+        struct RejoiningSink {
+            group: GroupId,
+            counts: Arc<Vec<AtomicU64>>,
+        }
+        impl App for RejoiningSink {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.join(self.group);
+                ctx.set_timer(SimDuration::from_secs(1), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tok: u64) {
+                ctx.join(self.group);
+                ctx.set_timer(SimDuration::from_secs(1), 0);
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, p: &Packet) {
+                if let Some((_, layer, _)) = p.media_fields() {
+                    self.counts[layer as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        sim.add_app(r, Box::new(RejoiningSink { group: g, counts: Arc::clone(&counts) }));
+        sim.add_app(s, Box::new(LayeredSource::new(def, TrafficModel::Cbr, 42)));
+        sim.install_faults(&netsim::FaultPlan::new().node_outage(
+            s,
+            SimTime::from_secs(5),
+            SimTime::from_secs(6),
+        ));
+        sim.run_until(SimTime::from_secs(12));
+        // 4 packets/s for ~11 live seconds; without the restart hook the
+        // stream would stop at 5 s (~20 packets).
+        let got = counts[0].load(Ordering::Relaxed);
+        assert!(got > 35, "source must resume after restart, got {got} packets");
     }
 
     #[test]

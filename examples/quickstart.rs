@@ -7,6 +7,10 @@
 //! One layered source, one receiver behind a 250 kb/s bottleneck, one
 //! controller. The oracle says 3 layers (224 kb/s) fit; we watch the
 //! controller steer the receiver there.
+//!
+//! Set `QUICKSTART_CHAOS=1` to instead run the canned bottleneck
+//! link-flap fault plan (DESIGN.md §9) and print its deterministic
+//! fingerprint — CI runs this twice and diffs the outputs.
 
 use netsim::sim::{NetworkBuilder, SimConfig};
 use netsim::{GroupId, LinkConfig, SessionId, SimDuration, SimTime};
@@ -16,6 +20,10 @@ use traffic::session::SessionDef;
 use traffic::{LayerSpec, LayeredSource, SessionCatalog, TrafficModel};
 
 fn main() {
+    if std::env::var_os("QUICKSTART_CHAOS").is_some() {
+        chaos_mode();
+        return;
+    }
     // 1. A three-node network: source -- router -- receiver, with the
     //    paper's 200 ms links; the last hop is the 250 kb/s bottleneck.
     let mut b = NetworkBuilder::new(SimConfig { seed: 42, ..SimConfig::default() });
@@ -60,4 +68,16 @@ fn main() {
     println!("controller intervals:   {}", c.intervals);
     println!("events processed:       {}", sim.events_processed());
     assert!((2..=4).contains(&r.final_level()), "expected convergence near 3 layers");
+}
+
+/// `QUICKSTART_CHAOS=1`: run the canned bottleneck link-flap plan on
+/// Topology A and print its fingerprint. Every line is a pure function of
+/// the seed, so two invocations must produce byte-identical output.
+fn chaos_mode() {
+    let (scenario, heal_at) = scenarios::chaos::link_flap(42);
+    let result = scenarios::run(&scenario);
+    print!("{}", scenarios::chaos::fingerprint(&result));
+    scenarios::chaos::verify_recovery(&result, &scenario.cfg, heal_at, 10)
+        .expect("recovery bound violated under the link-flap plan");
+    println!("recovery bound held: all receivers within 1 layer of oracle after heal");
 }
