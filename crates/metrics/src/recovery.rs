@@ -97,4 +97,58 @@ mod tests {
         assert_eq!(intervals_to_recover(SimDuration::from_secs(6), iv), 3);
         assert_eq!(intervals_to_recover(SimDuration::from_millis(6_100), iv), 4);
     }
+
+    #[test]
+    fn empty_series_recovers_only_if_zero_is_the_target() {
+        // A run with no fault events produces an empty change series; the
+        // metric must answer, not panic.
+        let s = StepSeries::new();
+        assert_eq!(recovery_time(&s, t(20), 4.0, 0.5, t(60)), None);
+        // An empty series reads as level 0, which *is* a zero target.
+        assert_eq!(recovery_time(&s, t(20), 0.0, 0.5, t(60)), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn change_exactly_at_heal_does_not_count_as_post_heal() {
+        // The climb lands at the very instant of healing: ok_at(heal_at)
+        // already sees it, so this is an immediate (zero) recovery, not a
+        // 0-second-later first return.
+        let mut s = StepSeries::new();
+        s.push(t(5), 1);
+        s.push(t(20), 4);
+        assert_eq!(recovery_time(&s, t(20), 4.0, 0.5, t(60)), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn recovery_exactly_at_the_horizon_is_too_late() {
+        // The window is half-open [heal, horizon): touching the band at
+        // the horizon itself does not count...
+        let mut s = StepSeries::new();
+        s.push(t(5), 1);
+        s.push(t(60), 4);
+        assert_eq!(recovery_time(&s, t(20), 4.0, 0.5, t(60)), None);
+        // ...but one step earlier does — no off-by-one at the bound.
+        let mut s = StepSeries::new();
+        s.push(t(5), 1);
+        s.push(t(59), 4);
+        assert_eq!(recovery_time(&s, t(20), 4.0, 0.5, t(60)), Some(SimDuration::from_secs(39)));
+    }
+
+    #[test]
+    fn never_healing_within_a_tight_tolerance_is_none() {
+        // The series hovers one level below target with a tolerance too
+        // tight to bridge: never recovered, even though it moved.
+        let mut s = StepSeries::new();
+        s.push(t(5), 1);
+        s.push(t(25), 3);
+        s.push(t(40), 3);
+        assert_eq!(recovery_time(&s, t(20), 4.0, 0.5, t(60)), None);
+    }
+
+    #[test]
+    fn exact_interval_multiples_do_not_round_up() {
+        let iv = SimDuration::from_secs(2);
+        assert_eq!(intervals_to_recover(SimDuration::from_secs(4), iv), 2);
+        assert_eq!(intervals_to_recover(SimDuration(1), iv), 1);
+    }
 }

@@ -106,6 +106,11 @@ pub struct LinkStats {
     pub dropped_packets: u64,
     /// Packets corrupted on the wire (random-loss model).
     pub corrupted_packets: u64,
+    /// Packets lost to the link being down: arrivals refused while failed
+    /// plus the queue flushed at the moment of failure. A subset of
+    /// `dropped_packets`, kept separately so fault post-mortems can tell
+    /// congestion loss from outage loss per link.
+    pub down_dropped_packets: u64,
     /// Bytes dropped at the queue tail.
     pub dropped_bytes: u64,
     /// Packets offered to the link (tx + queued + dropped).
@@ -190,6 +195,7 @@ impl Link {
         self.stats.offered_packets += 1;
         if !self.up {
             self.drop_counted(&packet);
+            self.stats.down_dropped_packets += 1;
             return Enqueue::Dropped;
         }
         if self.in_flight.is_none() {
@@ -260,7 +266,9 @@ impl Link {
     /// packets flushed.
     pub fn set_down(&mut self) -> usize {
         self.up = false;
-        self.flush_queue()
+        let flushed = self.flush_queue();
+        self.stats.down_dropped_packets += flushed as u64;
+        flushed
     }
 
     /// Drop every queued packet (counted), e.g. when the transmitting
@@ -430,6 +438,28 @@ mod tests {
         // Control packet (layer 0) evicts the queued layer-4 media packet.
         assert_eq!(l.enqueue(ctrl), Enqueue::Queued);
         assert_eq!(l.stats.dropped_packets, 1);
+    }
+
+    #[test]
+    fn downed_link_counts_outage_drops_separately() {
+        let mut l = link(32.0, 4);
+        assert!(matches!(l.enqueue(pkt(1000)), Enqueue::StartTx(_)));
+        assert_eq!(l.enqueue(pkt(1000)), Enqueue::Queued);
+        // Failure flushes the one queued packet...
+        assert_eq!(l.set_down(), 1);
+        assert_eq!(l.stats.down_dropped_packets, 1);
+        // ...and refusals while down also count as outage loss.
+        assert_eq!(l.enqueue(pkt(1000)), Enqueue::Dropped);
+        assert_eq!(l.stats.down_dropped_packets, 2);
+        assert_eq!(l.stats.dropped_packets, 2, "outage drops are a subset of all drops");
+        // A plain congestion drop after repair moves only the total.
+        l.set_up();
+        assert_eq!(l.enqueue(pkt(1000)), Enqueue::Queued); // transmitter still busy
+        let mut l2 = link(32.0, 0);
+        assert!(matches!(l2.enqueue(pkt(1000)), Enqueue::StartTx(_)));
+        assert_eq!(l2.enqueue(pkt(1000)), Enqueue::Dropped);
+        assert_eq!(l2.stats.down_dropped_packets, 0);
+        assert_eq!(l2.stats.dropped_packets, 1);
     }
 
     #[test]

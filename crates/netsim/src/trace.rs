@@ -24,18 +24,19 @@ pub struct TraceLog {
     cap: usize,
     events: Vec<TraceEvent>,
     overflowed: bool,
+    dropped: u64,
 }
 
 impl TraceLog {
     /// A trace that records nothing.
     pub fn disabled() -> Self {
-        TraceLog { enabled: false, cap: 0, events: Vec::new(), overflowed: false }
+        TraceLog { enabled: false, cap: 0, events: Vec::new(), overflowed: false, dropped: 0 }
     }
 
     /// A trace that keeps up to `cap` events, then stops recording (and
-    /// remembers that it overflowed).
+    /// remembers that it overflowed, and how many events it lost).
     pub fn bounded(cap: usize) -> Self {
-        TraceLog { enabled: true, cap, events: Vec::new(), overflowed: false }
+        TraceLog { enabled: true, cap, events: Vec::new(), overflowed: false, dropped: 0 }
     }
 
     /// Enable recording on an existing log.
@@ -64,6 +65,7 @@ impl TraceLog {
             self.events.push(ev);
         } else {
             self.overflowed = true;
+            self.dropped += 1;
         }
     }
 
@@ -75,6 +77,12 @@ impl TraceLog {
     /// True if events were discarded because the bound was hit.
     pub fn overflowed(&self) -> bool {
         self.overflowed
+    }
+
+    /// How many events were discarded past the bound. An overflowed trace
+    /// is still useful, but only if the reader knows how much is missing.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Drain all recorded events.
@@ -93,16 +101,29 @@ mod tests {
         t.drop(SimTime::ZERO, DirLinkId(0), 100);
         assert!(t.events().is_empty());
         assert!(!t.overflowed());
+        assert_eq!(t.dropped(), 0);
     }
 
     #[test]
     fn bounded_log_caps_and_flags_overflow() {
         let mut t = TraceLog::bounded(2);
-        for i in 0..3 {
+        for i in 0..5 {
             t.drop(SimTime::from_secs(i), DirLinkId(0), 100);
         }
         assert_eq!(t.events().len(), 2);
         assert!(t.overflowed());
+        assert_eq!(t.dropped(), 3, "every event past the cap is counted");
+    }
+
+    #[test]
+    fn log_at_exact_capacity_reports_no_loss() {
+        let mut t = TraceLog::bounded(2);
+        for i in 0..2 {
+            t.drop(SimTime::from_secs(i), DirLinkId(0), 100);
+        }
+        assert_eq!(t.events().len(), 2);
+        assert!(!t.overflowed());
+        assert_eq!(t.dropped(), 0);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use baselines::FixedReceiver;
 use metrics::StepSeries;
 use netsim::sim::SimConfig;
 use netsim::{FaultPlan, GroupId, NodeId, SessionId, SimDuration, SimTime};
+use telemetry::{Record, Span, Telemetry};
 use topology::spec::TopoSpec;
 use toposense::controller::{Controller, ControllerShared};
 use toposense::receiver::{Receiver, ReceiverHandle, ReceiverShared};
@@ -76,6 +77,12 @@ pub struct Scenario {
     pub discovery_partial_outages: Vec<(SimTime, SimTime, Vec<usize>)>,
     /// Spec node hosting a warm-standby controller (TopoSense only).
     pub standby: Option<usize>,
+    /// Telemetry handle threaded through the controller and the harvest
+    /// pass. Disabled by default; attaching a sink must not change the
+    /// simulation (the telemetry determinism test pins this).
+    pub telemetry: Telemetry,
+    /// Structured-trace bound (events); 0 leaves tracing off.
+    pub trace_cap: usize,
 }
 
 impl Scenario {
@@ -95,7 +102,21 @@ impl Scenario {
             discovery_outages: Vec::new(),
             discovery_partial_outages: Vec::new(),
             standby: None,
+            telemetry: Telemetry::disabled(),
+            trace_cap: 0,
         }
+    }
+
+    /// Attach a telemetry handle (audit records, timers, counters).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Enable the bounded structured trace (drops, link/node state).
+    pub fn with_trace(mut self, cap: usize) -> Self {
+        self.trace_cap = cap;
+        self
     }
 
     pub fn with_control(mut self, control: ControlMode) -> Self {
@@ -215,6 +236,18 @@ pub struct ScenarioResult {
     pub events: u64,
     /// The oracle allocation (aligned with nothing; lookup by node).
     pub optima: Vec<OptimalEntry>,
+    /// Wall-clock spent assembling the simulation (nanoseconds). The
+    /// pipeline has no separate warmup phase, so the issue's
+    /// setup/warmup/run split collapses to setup/run/harvest here.
+    pub setup_wall_ns: u64,
+    /// Wall-clock spent inside the event loop (nanoseconds).
+    pub run_wall_ns: u64,
+    /// Wall-clock spent harvesting stats afterwards (nanoseconds).
+    pub harvest_wall_ns: u64,
+    /// True if the structured trace hit its bound and discarded events.
+    pub trace_overflowed: bool,
+    /// How many trace events were discarded past the bound.
+    pub trace_dropped: u64,
 }
 
 impl ScenarioResult {
@@ -251,6 +284,13 @@ impl ScenarioResult {
 
 /// Run one scenario to completion.
 pub fn run(scenario: &Scenario) -> ScenarioResult {
+    let tel = &scenario.telemetry;
+    tel.emit(&Record::Run {
+        label: "scenario".to_string(),
+        seed: scenario.seed,
+        duration_ns: scenario.duration.nanos(),
+    });
+    let setup_span = Span::new();
     let topo = &scenario.topo;
     let sim_cfg = SimConfig {
         seed: scenario.seed,
@@ -305,7 +345,7 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
             staleness,
             scenario.seed ^ 0xc0f1,
         );
-        let mut ctrl = apply_outages(ctrl);
+        let mut ctrl = apply_outages(ctrl).with_telemetry(scenario.telemetry.clone());
         if let Some(standby_idx) = scenario.standby {
             let standby_node = built.node_ids[standby_idx];
             ctrl = ctrl.with_peer(standby_node);
@@ -315,7 +355,12 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
                 staleness,
                 scenario.seed ^ 0xc0f2,
             );
-            let standby = apply_outages(standby).with_peer(ctrl_node).as_standby();
+            // The standby shares the handle: it only emits once active, so
+            // the audit stream follows whichever controller is steering.
+            let standby = apply_outages(standby)
+                .with_telemetry(scenario.telemetry.clone())
+                .with_peer(ctrl_node)
+                .as_standby();
             sim.add_app(standby_node, Box::new(standby));
             standby_handle = Some(handle);
         }
@@ -393,11 +438,20 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
     if !plan.is_empty() {
         sim.install_faults(&plan);
     }
+    if scenario.trace_cap > 0 {
+        sim.trace.enable(scenario.trace_cap);
+    }
+    let setup_wall_ns = setup_span.elapsed_ns();
+    tel.record_span_ns("scenario_setup", setup_wall_ns);
 
     // Run.
+    let run_span = Span::new();
     sim.run_until(SimTime::ZERO + scenario.duration);
+    let run_wall_ns = run_span.elapsed_ns();
+    tel.record_span_ns("scenario_run", run_wall_ns);
 
     // Harvest.
+    let harvest_span = Span::new();
     let receivers: Vec<ReceiverOutcome> = handles
         .into_iter()
         .map(|(spec_node, node, session, set, handle)| {
@@ -410,6 +464,9 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
     let total_drops: u64 = (0..net.link_count() as u32)
         .map(|i| net.link(netsim::DirLinkId(i)).stats.dropped_packets)
         .sum();
+    let down_drops: u64 = (0..net.link_count() as u32)
+        .map(|i| net.link(netsim::DirLinkId(i)).stats.down_dropped_packets)
+        .sum();
     let controller = controller_handle.map(|(_, h)| h.lock().unwrap().clone());
     let standby = standby_handle.map(|h| h.lock().unwrap().clone());
     let control_bytes = receivers
@@ -421,6 +478,26 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
             .map(|c| c.suggestions_sent * scenario.cfg.suggestion_size as u64)
             .unwrap_or(0);
 
+    // Fold the silent operational events into the counter registry, then
+    // close the stream: one counters snapshot, one timers record.
+    if tel.is_enabled() {
+        tel.set("netsim.queue_drops", total_drops);
+        tel.set("netsim.down_link_drops", down_drops);
+        tel.set("netsim.trace_dropped", sim.trace.dropped());
+        tel.set("netsim.events", sim.events_processed());
+        let sum = |f: fn(&ReceiverShared) -> u64| receivers.iter().map(|r| f(&r.stats)).sum();
+        tel.set("receivers.reports_sent", sum(|s| s.reports_sent));
+        tel.set("receivers.register_retries", sum(|s| s.registers_sent.saturating_sub(1)));
+        tel.set("receivers.unilateral_actions", sum(|s| s.unilateral_actions));
+        tel.set("receivers.dead_air_rejoins", sum(|s| s.rejoins));
+        tel.set("receivers.suggestions_received", sum(|s| s.suggestions_received));
+    }
+    let harvest_wall_ns = harvest_span.elapsed_ns();
+    tel.record_span_ns("scenario_harvest", harvest_wall_ns);
+    tel.emit_counters(sim.now().nanos());
+    tel.emit_timers();
+    tel.flush();
+
     ScenarioResult {
         receivers,
         controller,
@@ -430,6 +507,11 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
         control_bytes,
         events: sim.events_processed(),
         optima,
+        setup_wall_ns,
+        run_wall_ns,
+        harvest_wall_ns,
+        trace_overflowed: sim.trace.overflowed(),
+        trace_dropped: sim.trace.dropped(),
     }
 }
 
@@ -469,6 +551,11 @@ mod tests {
             control_bytes: 0,
             events: 0,
             optima: Vec::new(),
+            setup_wall_ns: 0,
+            run_wall_ns: 0,
+            harvest_wall_ns: 0,
+            trace_overflowed: false,
+            trace_dropped: 0,
         };
         assert_eq!(r.mean_relative_deviation(SimTime::ZERO, SimTime::from_secs(10)), None);
     }

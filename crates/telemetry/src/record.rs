@@ -1,0 +1,650 @@
+//! Schema-versioned audit records.
+//!
+//! Every record serializes to one JSON object (one JSONL line) carrying
+//! `"schema": 1` and a `"kind"` discriminator:
+//!
+//! * `"run"` — one header per recording with the scenario label/seed;
+//! * `"stage"` — one record per pipeline stage per control interval
+//!   (`"stage"` ∈ `congestion | capacity | bottleneck | sharing |
+//!   subscription`), stamped with the interval sequence number and the
+//!   simulated time in nanoseconds;
+//! * `"counters"` — a sorted dump of the counter registry;
+//! * `"timers"` — per-stage wall-clock histograms (non-deterministic;
+//!   determinism checks filter this kind out).
+//!
+//! Encoding and decoding are exact inverses over the shim's compact
+//! serializer: `decode(parse(line))` re-encodes to the original line
+//! byte-for-byte (Rust's shortest-representation float formatting is
+//! round-trip stable; infinite bandwidths encode as `null`). The
+//! `validate` entry point in `src/bin/inspect.rs` and the CI quickstart
+//! job both lean on that property.
+
+use serde_json::{json, to_value, ToJson, Value};
+
+/// Bump when the JSONL shape changes incompatibly.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Stage 1 output for one node: loss input plus the three congestion
+/// flags the later stages consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CongestionNode {
+    pub node: u64,
+    pub loss: f64,
+    pub self_congested: bool,
+    pub congested: bool,
+    pub parent_congested: bool,
+}
+
+/// Stage 2 output for one directed link (identified by its raw link id):
+/// the current estimate and how this interval arrived at it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityLink {
+    pub link: u64,
+    pub bps: f64,
+    /// `"learned" | "recomputed" | "crept" | "reset" | "held"`.
+    pub event: String,
+}
+
+/// Stage 3 output for one node. `f64::INFINITY` means unconstrained and
+/// encodes as JSON `null`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BottleneckNode {
+    pub node: u64,
+    pub bottleneck_bps: f64,
+    pub max_handle_bps: f64,
+}
+
+/// Stage 4 output: one session's allowed share at one shared link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharingEntry {
+    pub link: u64,
+    pub session: u64,
+    pub allowed_bps: f64,
+}
+
+/// Stage 5 output for one node: the Table I branch taken plus the
+/// demand/supply levels it produced. `suggested` is the level actually
+/// sent to a registered receiver at this node (`None` for internal nodes
+/// and unregistered leaves).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubscriptionNode {
+    pub node: u64,
+    pub branch: String,
+    pub demand: u8,
+    pub supply: u8,
+    pub suggested: Option<u8>,
+}
+
+/// Per-session grouping for node-indexed stage payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionNodes<T> {
+    pub session: u64,
+    pub nodes: Vec<T>,
+}
+
+/// Aggregated statistics for one named timer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimerStat {
+    pub name: String,
+    pub count: u64,
+    pub sum_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+    /// Sorted `(pow, count)` pairs: `count` spans fell in
+    /// `[2^pow, 2^(pow+1))` nanoseconds.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+/// Stage-specific payload of a `"stage"` record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StageBody {
+    Congestion(Vec<SessionNodes<CongestionNode>>),
+    Capacity(Vec<CapacityLink>),
+    Bottleneck(Vec<SessionNodes<BottleneckNode>>),
+    Sharing(Vec<SharingEntry>),
+    Subscription(Vec<SessionNodes<SubscriptionNode>>),
+}
+
+impl StageBody {
+    pub fn stage_name(&self) -> &'static str {
+        match self {
+            StageBody::Congestion(_) => "congestion",
+            StageBody::Capacity(_) => "capacity",
+            StageBody::Bottleneck(_) => "bottleneck",
+            StageBody::Sharing(_) => "sharing",
+            StageBody::Subscription(_) => "subscription",
+        }
+    }
+}
+
+/// One JSONL line of the audit trail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    Run { label: String, seed: u64, duration_ns: u64 },
+    Stage { seq: u64, t_ns: u64, body: StageBody },
+    Counters { t_ns: u64, entries: Vec<(String, u64)> },
+    Timers { entries: Vec<TimerStat> },
+}
+
+/// All five stage outputs of one control interval, filled by the
+/// algorithm while it runs and fanned out into [`Record::Stage`]s after.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalAudit {
+    pub seq: u64,
+    pub t_ns: u64,
+    pub congestion: Vec<SessionNodes<CongestionNode>>,
+    pub capacity: Vec<CapacityLink>,
+    pub bottleneck: Vec<SessionNodes<BottleneckNode>>,
+    pub sharing: Vec<SharingEntry>,
+    pub subscription: Vec<SessionNodes<SubscriptionNode>>,
+    /// Wall-clock spans measured around each kernel (`(stage, ns)`);
+    /// routed to the timer registry, never into deterministic records.
+    pub stage_ns: Vec<(&'static str, u64)>,
+}
+
+impl IntervalAudit {
+    pub fn new(seq: u64, t_ns: u64) -> Self {
+        IntervalAudit { seq, t_ns, ..Default::default() }
+    }
+
+    /// The five per-stage records for this interval, in pipeline order.
+    pub fn records(&self) -> Vec<Record> {
+        let bodies = [
+            StageBody::Congestion(self.congestion.clone()),
+            StageBody::Capacity(self.capacity.clone()),
+            StageBody::Bottleneck(self.bottleneck.clone()),
+            StageBody::Sharing(self.sharing.clone()),
+            StageBody::Subscription(self.subscription.clone()),
+        ];
+        bodies
+            .into_iter()
+            .map(|body| Record::Stage { seq: self.seq, t_ns: self.t_ns, body })
+            .collect()
+    }
+}
+
+// --- encoding ---------------------------------------------------------
+
+/// Finite floats encode as numbers; infinities as `null` (JSON has no
+/// Inf, and `null` decodes back to `f64::INFINITY` for bandwidth
+/// fields).
+fn bw(v: f64) -> Value {
+    if v.is_finite() {
+        Value::Float(v)
+    } else {
+        Value::Null
+    }
+}
+
+impl ToJson for CongestionNode {
+    fn to_json(&self) -> Value {
+        json!({
+            "node": self.node,
+            "loss": self.loss,
+            "self_congested": self.self_congested,
+            "congested": self.congested,
+            "parent_congested": self.parent_congested,
+        })
+    }
+}
+
+impl ToJson for CapacityLink {
+    fn to_json(&self) -> Value {
+        json!({"link": self.link, "bps": self.bps, "event": self.event})
+    }
+}
+
+impl ToJson for BottleneckNode {
+    fn to_json(&self) -> Value {
+        json!({
+            "node": self.node,
+            "bottleneck_bps": bw(self.bottleneck_bps),
+            "max_handle_bps": bw(self.max_handle_bps),
+        })
+    }
+}
+
+impl ToJson for SharingEntry {
+    fn to_json(&self) -> Value {
+        json!({"link": self.link, "session": self.session, "allowed_bps": bw(self.allowed_bps)})
+    }
+}
+
+impl ToJson for SubscriptionNode {
+    fn to_json(&self) -> Value {
+        json!({
+            "node": self.node,
+            "branch": self.branch,
+            "demand": self.demand,
+            "supply": self.supply,
+            "suggested": self.suggested,
+        })
+    }
+}
+
+impl<T: ToJson> ToJson for SessionNodes<T> {
+    fn to_json(&self) -> Value {
+        json!({"session": self.session, "nodes": self.nodes})
+    }
+}
+
+impl ToJson for TimerStat {
+    fn to_json(&self) -> Value {
+        json!({
+            "name": self.name,
+            "count": self.count,
+            "sum_ns": self.sum_ns,
+            "min_ns": self.min_ns,
+            "max_ns": self.max_ns,
+            "buckets": self.buckets,
+        })
+    }
+}
+
+impl ToJson for Record {
+    fn to_json(&self) -> Value {
+        match self {
+            Record::Run { label, seed, duration_ns } => json!({
+                "schema": SCHEMA_VERSION,
+                "kind": "run",
+                "label": label,
+                "seed": seed,
+                "duration_ns": duration_ns,
+            }),
+            Record::Stage { seq, t_ns, body } => {
+                let payload = match body {
+                    StageBody::Congestion(s) => ("sessions", to_value(s)),
+                    StageBody::Capacity(l) => ("links", to_value(l)),
+                    StageBody::Bottleneck(s) => ("sessions", to_value(s)),
+                    StageBody::Sharing(l) => ("links", to_value(l)),
+                    StageBody::Subscription(s) => ("sessions", to_value(s)),
+                };
+                Value::Object(vec![
+                    ("schema".into(), Value::UInt(SCHEMA_VERSION)),
+                    ("kind".into(), Value::String("stage".into())),
+                    ("stage".into(), Value::String(body.stage_name().into())),
+                    ("seq".into(), Value::UInt(*seq)),
+                    ("t_ns".into(), Value::UInt(*t_ns)),
+                    (payload.0.into(), payload.1),
+                ])
+            }
+            Record::Counters { t_ns, entries } => {
+                let counters =
+                    Value::Object(entries.iter().map(|(k, v)| (k.clone(), to_value(v))).collect());
+                json!({
+                    "schema": SCHEMA_VERSION,
+                    "kind": "counters",
+                    "t_ns": t_ns,
+                    "counters": counters,
+                })
+            }
+            Record::Timers { entries } => json!({
+                "schema": SCHEMA_VERSION,
+                "kind": "timers",
+                "timers": entries,
+            }),
+        }
+    }
+}
+
+impl Record {
+    /// Compact JSON, i.e. exactly one JSONL line (without the newline).
+    pub fn to_jsonl(&self) -> String {
+        serde_json::to_string(self).expect("record serialization is infallible")
+    }
+}
+
+// --- decoding ---------------------------------------------------------
+
+fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn get_u64(v: &Value, key: &str) -> Result<u64, String> {
+    field(v, key)?.as_u64().ok_or_else(|| format!("field '{key}' is not a u64"))
+}
+
+fn get_f64(v: &Value, key: &str) -> Result<f64, String> {
+    field(v, key)?.as_f64().ok_or_else(|| format!("field '{key}' is not a number"))
+}
+
+/// Bandwidth field: `null` decodes to infinity.
+fn get_bw(v: &Value, key: &str) -> Result<f64, String> {
+    let f = field(v, key)?;
+    if f.is_null() {
+        Ok(f64::INFINITY)
+    } else {
+        f.as_f64().ok_or_else(|| format!("field '{key}' is not a number or null"))
+    }
+}
+
+fn get_bool(v: &Value, key: &str) -> Result<bool, String> {
+    field(v, key)?.as_bool().ok_or_else(|| format!("field '{key}' is not a bool"))
+}
+
+fn get_str(v: &Value, key: &str) -> Result<String, String> {
+    Ok(field(v, key)?.as_str().ok_or_else(|| format!("field '{key}' is not a string"))?.to_string())
+}
+
+fn get_array<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], String> {
+    field(v, key)?.as_array().ok_or_else(|| format!("field '{key}' is not an array"))
+}
+
+fn sessions_of<T>(
+    v: &Value,
+    parse_node: impl Fn(&Value) -> Result<T, String>,
+) -> Result<Vec<SessionNodes<T>>, String> {
+    get_array(v, "sessions")?
+        .iter()
+        .map(|s| {
+            Ok(SessionNodes {
+                session: get_u64(s, "session")?,
+                nodes: get_array(s, "nodes")?.iter().map(&parse_node).collect::<Result<_, _>>()?,
+            })
+        })
+        .collect()
+}
+
+impl Record {
+    /// Decode one parsed JSONL line; errors describe the first mismatch
+    /// with the schema.
+    pub fn from_value(v: &Value) -> Result<Record, String> {
+        let schema = get_u64(v, "schema")?;
+        if schema != SCHEMA_VERSION {
+            return Err(format!("unsupported schema version {schema} (expected {SCHEMA_VERSION})"));
+        }
+        let kind = get_str(v, "kind")?;
+        match kind.as_str() {
+            "run" => Ok(Record::Run {
+                label: get_str(v, "label")?,
+                seed: get_u64(v, "seed")?,
+                duration_ns: get_u64(v, "duration_ns")?,
+            }),
+            "stage" => {
+                let stage = get_str(v, "stage")?;
+                let body = match stage.as_str() {
+                    "congestion" => StageBody::Congestion(sessions_of(v, |n| {
+                        Ok(CongestionNode {
+                            node: get_u64(n, "node")?,
+                            loss: get_f64(n, "loss")?,
+                            self_congested: get_bool(n, "self_congested")?,
+                            congested: get_bool(n, "congested")?,
+                            parent_congested: get_bool(n, "parent_congested")?,
+                        })
+                    })?),
+                    "capacity" => StageBody::Capacity(
+                        get_array(v, "links")?
+                            .iter()
+                            .map(|l| {
+                                Ok(CapacityLink {
+                                    link: get_u64(l, "link")?,
+                                    bps: get_f64(l, "bps")?,
+                                    event: get_str(l, "event")?,
+                                })
+                            })
+                            .collect::<Result<_, String>>()?,
+                    ),
+                    "bottleneck" => StageBody::Bottleneck(sessions_of(v, |n| {
+                        Ok(BottleneckNode {
+                            node: get_u64(n, "node")?,
+                            bottleneck_bps: get_bw(n, "bottleneck_bps")?,
+                            max_handle_bps: get_bw(n, "max_handle_bps")?,
+                        })
+                    })?),
+                    "sharing" => StageBody::Sharing(
+                        get_array(v, "links")?
+                            .iter()
+                            .map(|l| {
+                                Ok(SharingEntry {
+                                    link: get_u64(l, "link")?,
+                                    session: get_u64(l, "session")?,
+                                    allowed_bps: get_bw(l, "allowed_bps")?,
+                                })
+                            })
+                            .collect::<Result<_, String>>()?,
+                    ),
+                    "subscription" => StageBody::Subscription(sessions_of(v, |n| {
+                        let suggested = match field(n, "suggested")? {
+                            Value::Null => None,
+                            s => Some(
+                                s.as_u64()
+                                    .and_then(|x| u8::try_from(x).ok())
+                                    .ok_or("field 'suggested' is not a u8")?,
+                            ),
+                        };
+                        Ok(SubscriptionNode {
+                            node: get_u64(n, "node")?,
+                            branch: get_str(n, "branch")?,
+                            demand: u8::try_from(get_u64(n, "demand")?)
+                                .map_err(|_| "field 'demand' is not a u8")?,
+                            supply: u8::try_from(get_u64(n, "supply")?)
+                                .map_err(|_| "field 'supply' is not a u8")?,
+                            suggested,
+                        })
+                    })?),
+                    other => return Err(format!("unknown stage '{other}'")),
+                };
+                Ok(Record::Stage { seq: get_u64(v, "seq")?, t_ns: get_u64(v, "t_ns")?, body })
+            }
+            "counters" => {
+                let obj =
+                    field(v, "counters")?.as_object().ok_or("field 'counters' is not an object")?;
+                let entries = obj
+                    .iter()
+                    .map(|(k, val)| {
+                        Ok((
+                            k.clone(),
+                            val.as_u64().ok_or_else(|| format!("counter '{k}' is not a u64"))?,
+                        ))
+                    })
+                    .collect::<Result<_, String>>()?;
+                Ok(Record::Counters { t_ns: get_u64(v, "t_ns")?, entries })
+            }
+            "timers" => {
+                let entries = get_array(v, "timers")?
+                    .iter()
+                    .map(|t| {
+                        let buckets = get_array(t, "buckets")?
+                            .iter()
+                            .map(|b| {
+                                let pair = b.as_array().ok_or("timer bucket is not an array")?;
+                                match pair {
+                                    [p, c] => Ok((
+                                        p.as_u64()
+                                            .and_then(|x| u32::try_from(x).ok())
+                                            .ok_or("bucket pow is not a u32")?,
+                                        c.as_u64().ok_or("bucket count is not a u64")?,
+                                    )),
+                                    _ => Err("timer bucket is not a 2-element array".to_string()),
+                                }
+                            })
+                            .collect::<Result<_, String>>()?;
+                        Ok(TimerStat {
+                            name: get_str(t, "name")?,
+                            count: get_u64(t, "count")?,
+                            sum_ns: get_u64(t, "sum_ns")?,
+                            min_ns: get_u64(t, "min_ns")?,
+                            max_ns: get_u64(t, "max_ns")?,
+                            buckets,
+                        })
+                    })
+                    .collect::<Result<_, String>>()?;
+                Ok(Record::Timers { entries })
+            }
+            other => Err(format!("unknown record kind '{other}'")),
+        }
+    }
+
+    /// Parse and decode one JSONL line.
+    pub fn from_jsonl(line: &str) -> Result<Record, String> {
+        let v = serde_json::from_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        Record::from_value(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Run { label: "quickstart".into(), seed: 7, duration_ns: 30_000_000_000 },
+            Record::Stage {
+                seq: 3,
+                t_ns: 8_000_000_000,
+                body: StageBody::Congestion(vec![SessionNodes {
+                    session: 1,
+                    nodes: vec![CongestionNode {
+                        node: 2,
+                        loss: 0.0625,
+                        self_congested: true,
+                        congested: true,
+                        parent_congested: false,
+                    }],
+                }]),
+            },
+            Record::Stage {
+                seq: 3,
+                t_ns: 8_000_000_000,
+                body: StageBody::Capacity(vec![CapacityLink {
+                    link: 1,
+                    bps: 250_000.5,
+                    event: "learned".into(),
+                }]),
+            },
+            Record::Stage {
+                seq: 3,
+                t_ns: 8_000_000_000,
+                body: StageBody::Bottleneck(vec![SessionNodes {
+                    session: 1,
+                    nodes: vec![
+                        BottleneckNode {
+                            node: 0,
+                            bottleneck_bps: f64::INFINITY,
+                            max_handle_bps: 1_000_000.0,
+                        },
+                        BottleneckNode { node: 2, bottleneck_bps: 250_000.5, max_handle_bps: 0.0 },
+                    ],
+                }]),
+            },
+            Record::Stage {
+                seq: 3,
+                t_ns: 8_000_000_000,
+                body: StageBody::Sharing(vec![SharingEntry {
+                    link: 1,
+                    session: 1,
+                    allowed_bps: 125_000.25,
+                }]),
+            },
+            Record::Stage {
+                seq: 3,
+                t_ns: 8_000_000_000,
+                body: StageBody::Subscription(vec![SessionNodes {
+                    session: 1,
+                    nodes: vec![
+                        SubscriptionNode {
+                            node: 2,
+                            branch: "leaf.add".into(),
+                            demand: 3,
+                            supply: 3,
+                            suggested: Some(3),
+                        },
+                        SubscriptionNode {
+                            node: 1,
+                            branch: "internal.accept".into(),
+                            demand: 3,
+                            supply: 3,
+                            suggested: None,
+                        },
+                    ],
+                }]),
+            },
+            Record::Counters {
+                t_ns: 30_000_000_000,
+                entries: vec![("ctrl.intervals".into(), 14), ("sim.drops".into(), 3)],
+            },
+            Record::Timers {
+                entries: vec![TimerStat {
+                    name: "stage1_congestion".into(),
+                    count: 14,
+                    sum_ns: 70_000,
+                    min_ns: 3_000,
+                    max_ns: 9_000,
+                    buckets: vec![(11, 10), (13, 4)],
+                }],
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_exact() {
+        for r in sample_records() {
+            let line = r.to_jsonl();
+            assert!(!line.contains('\n'), "record must be one line: {line}");
+            let back = Record::from_jsonl(&line).unwrap();
+            assert_eq!(back, r);
+            assert_eq!(back.to_jsonl(), line, "re-encode must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn infinity_encodes_as_null() {
+        let r = Record::Stage {
+            seq: 0,
+            t_ns: 0,
+            body: StageBody::Bottleneck(vec![SessionNodes {
+                session: 1,
+                nodes: vec![BottleneckNode {
+                    node: 0,
+                    bottleneck_bps: f64::INFINITY,
+                    max_handle_bps: f64::INFINITY,
+                }],
+            }]),
+        };
+        let line = r.to_jsonl();
+        assert!(line.contains("\"bottleneck_bps\":null"));
+        match Record::from_jsonl(&line).unwrap() {
+            Record::Stage { body: StageBody::Bottleneck(s), .. } => {
+                assert!(s[0].nodes[0].bottleneck_bps.is_infinite());
+            }
+            other => panic!("unexpected record {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_schema_drift() {
+        assert!(Record::from_jsonl(r#"{"schema":2,"kind":"run"}"#)
+            .unwrap_err()
+            .contains("unsupported schema"));
+        assert!(Record::from_jsonl(r#"{"kind":"run"}"#).unwrap_err().contains("schema"));
+        assert!(Record::from_jsonl(r#"{"schema":1,"kind":"mystery"}"#)
+            .unwrap_err()
+            .contains("unknown record kind"));
+        assert!(Record::from_jsonl(
+            r#"{"schema":1,"kind":"stage","stage":"nope","seq":0,"t_ns":0}"#
+        )
+        .unwrap_err()
+        .contains("unknown stage"));
+        assert!(Record::from_jsonl("not json").unwrap_err().contains("invalid JSON"));
+    }
+
+    #[test]
+    fn interval_audit_fans_out_five_stage_records() {
+        let mut audit = IntervalAudit::new(4, 12_000_000_000);
+        audit.capacity.push(CapacityLink { link: 0, bps: 1.0, event: "held".into() });
+        let records = audit.records();
+        assert_eq!(records.len(), 5);
+        let stages: Vec<&str> = records
+            .iter()
+            .map(|r| match r {
+                Record::Stage { body, .. } => body.stage_name(),
+                other => panic!("unexpected record {other:?}"),
+            })
+            .collect();
+        assert_eq!(stages, ["congestion", "capacity", "bottleneck", "sharing", "subscription"]);
+        for r in &records {
+            let Record::Stage { seq, t_ns, .. } = r else { unreachable!() };
+            assert_eq!((*seq, *t_ns), (4, 12_000_000_000));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Pluggable destinations for audit records.
+
+use crate::record::Record;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// Where audit records go. Implementations must not feed anything back
+/// into the simulation — a sink only ever observes.
+pub trait Sink: Send {
+    fn emit(&mut self, record: &Record);
+    fn flush(&mut self) {}
+}
+
+/// Captures records in memory; clones share the same buffer, so keep one
+/// clone to read back what a [`crate::Telemetry`] handle wrote.
+#[derive(Clone, Default)]
+pub struct MemorySink {
+    records: Arc<Mutex<Vec<Record>>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Snapshot of everything captured so far.
+    pub fn records(&self) -> Vec<Record> {
+        self.records.lock().unwrap().clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&mut self, record: &Record) {
+        self.records.lock().unwrap().push(record.clone());
+    }
+}
+
+/// Writes one compact JSON object per line to a buffered file.
+pub struct JsonlFileSink {
+    writer: std::io::BufWriter<std::fs::File>,
+}
+
+impl JsonlFileSink {
+    /// Create (truncate) `path` and write records to it.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlFileSink { writer: std::io::BufWriter::new(file) })
+    }
+}
+
+impl Sink for JsonlFileSink {
+    fn emit(&mut self, record: &Record) {
+        // Telemetry must never abort the run: IO errors are swallowed
+        // (the file simply ends early) rather than panicking mid-sim.
+        let _ = writeln!(self.writer, "{}", record.to_jsonl());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+impl Drop for JsonlFileSink {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_shares_buffer_across_clones() {
+        let sink = MemorySink::new();
+        let mut writer = sink.clone();
+        assert!(sink.is_empty());
+        writer.emit(&Record::Run { label: "a".into(), seed: 1, duration_ns: 2 });
+        assert_eq!(sink.len(), 1);
+        assert_eq!(
+            sink.records(),
+            vec![Record::Run { label: "a".into(), seed: 1, duration_ns: 2 }]
+        );
+    }
+
+    #[test]
+    fn jsonl_file_sink_writes_one_line_per_record() {
+        let path = std::env::temp_dir().join("telemetry_sink_test.jsonl");
+        {
+            let mut sink = JsonlFileSink::create(&path).unwrap();
+            sink.emit(&Record::Run { label: "x".into(), seed: 3, duration_ns: 4 });
+            sink.emit(&Record::Counters { t_ns: 9, entries: vec![("c".into(), 1)] });
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            Record::from_jsonl(line).unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -10,13 +10,17 @@ use crate::config::Config;
 use crate::history::BwEquality;
 use crate::history::CongestionHistory;
 use crate::stages::bottleneck;
-use crate::stages::capacity::{CapacityEstimator, SessionLinkObs};
+use crate::stages::capacity::{CapacityEstimator, CapacityEvent, SessionLinkObs};
 use crate::stages::congestion::{self, LeafObs, NodeState};
 use crate::stages::sharing::{self, SharingScratch};
 use crate::stages::subscription::{self, BackoffTable, NodeInputs};
 use netsim::{AppId, DirLinkId, NodeId, RngStream, SessionId, SimDuration, SimTime};
 use rayon::prelude::*;
 use std::collections::HashMap;
+use telemetry::{
+    BottleneckNode, CapacityLink, CongestionNode, IntervalAudit, SessionNodes, SharingEntry, Span,
+    SubscriptionNode,
+};
 use topology::SessionTree;
 use traffic::LayerSpec;
 
@@ -122,6 +126,8 @@ struct SessionScratch {
     level_cap: Vec<u8>,
     demand: Vec<u8>,
     supply: Vec<u8>,
+    /// Table I branch labels per tree slot (filled only when auditing).
+    branches: Vec<&'static str>,
 }
 
 /// The controller's persistent algorithm state.
@@ -170,9 +176,25 @@ impl AlgorithmState {
 
     /// Run one interval of the five-stage algorithm.
     pub fn run(&mut self, inputs: &AlgorithmInputs<'_>) -> AlgorithmOutputs {
+        self.run_audited(inputs, None)
+    }
+
+    /// [`Self::run`] plus an optional decision audit: when `audit` is
+    /// `Some`, every stage's intermediate output is copied into it after
+    /// the stage runs, along with wall-clock spans per kernel. The audit
+    /// is strictly write-only — auditing cannot alter any decision or the
+    /// RNG draw sequence, so outputs are identical either way (the
+    /// telemetry determinism test pins this down).
+    pub fn run_audited(
+        &mut self,
+        inputs: &AlgorithmInputs<'_>,
+        mut audit: Option<&mut IntervalAudit>,
+    ) -> AlgorithmOutputs {
         assert_eq!(inputs.trees.len(), inputs.specs.len());
         let cfg = self.cfg;
         let nsess = inputs.trees.len();
+        let timing = audit.is_some();
+        let whole_span = timing.then(Span::new);
 
         // Borrow the scratch pool for the interval; reinstalled at the end
         // so every buffer's allocation survives into the next run.
@@ -218,6 +240,7 @@ impl AlgorithmState {
             }
             congested
         };
+        let stage_span = timing.then(Span::new);
         let congested_nodes: usize = if nsess >= 2 {
             let work: Vec<(SessionScratch, &SessionTree)> =
                 scratch.drain(..).zip(inputs.trees).collect();
@@ -237,6 +260,35 @@ impl AlgorithmState {
         } else {
             scratch.iter_mut().zip(inputs.trees).map(|(sc, tree)| stage1(sc, tree)).sum()
         };
+        if let Some(a) = audit.as_deref_mut() {
+            if let Some(span) = stage_span {
+                a.stage_ns.push(("stage1_congestion", span.elapsed_ns()));
+            }
+            a.congestion = inputs
+                .trees
+                .iter()
+                .zip(&scratch)
+                .map(|(tree, sc)| {
+                    let t = tree.tree();
+                    SessionNodes {
+                        session: tree.session().0 as u64,
+                        nodes: t
+                            .slots()
+                            .map(|s| {
+                                let st = sc.states[s];
+                                CongestionNode {
+                                    node: t.node_at(s).0 as u64,
+                                    loss: st.loss,
+                                    self_congested: st.self_congested,
+                                    congested: st.congested,
+                                    parent_congested: st.parent_congested,
+                                }
+                            })
+                            .collect(),
+                    }
+                })
+                .collect();
+        }
 
         // Stage 2: capacity estimation over every link any session crosses.
         // The flat usage buffer is stably sorted by link, so each link's
@@ -255,7 +307,28 @@ impl AlgorithmState {
             }
         }
         usage.sort_by_key(|&(l, _)| l);
-        self.estimator.update_sorted(inputs.now, inputs.interval, &usage, &cfg);
+        let stage_span = timing.then(Span::new);
+        let mut cap_events: Vec<CapacityEvent> = Vec::new();
+        self.estimator.update_sorted_traced(
+            inputs.now,
+            inputs.interval,
+            &usage,
+            &cfg,
+            audit.is_some().then_some(&mut cap_events),
+        );
+        if let Some(a) = audit.as_deref_mut() {
+            if let Some(span) = stage_span {
+                a.stage_ns.push(("stage2_capacity", span.elapsed_ns()));
+            }
+            // Reset events surface in HashMap iteration order; a stable
+            // sort by link makes the record deterministic while keeping
+            // a link's reset ahead of its re-learn.
+            cap_events.sort_by_key(|&(l, _, _)| l);
+            a.capacity = cap_events
+                .iter()
+                .map(|&(l, bps, event)| CapacityLink { link: l.0 as u64, bps, event: event.into() })
+                .collect();
+        }
 
         // Stage 3 per session.
         let est = &self.estimator;
@@ -267,6 +340,7 @@ impl AlgorithmState {
                 &mut sc.max_handle,
             );
         };
+        let stage_span = timing.then(Span::new);
         if nsess >= 2 {
             let work: Vec<(SessionScratch, &SessionTree)> =
                 scratch.drain(..).zip(inputs.trees).collect();
@@ -283,16 +357,57 @@ impl AlgorithmState {
                 stage3(sc, tree);
             }
         }
+        if let Some(a) = audit.as_deref_mut() {
+            if let Some(span) = stage_span {
+                a.stage_ns.push(("stage3_bottleneck", span.elapsed_ns()));
+            }
+            a.bottleneck = inputs
+                .trees
+                .iter()
+                .zip(&scratch)
+                .map(|(tree, sc)| {
+                    let t = tree.tree();
+                    SessionNodes {
+                        session: tree.session().0 as u64,
+                        nodes: t
+                            .slots()
+                            .map(|s| BottleneckNode {
+                                node: t.node_at(s).0 as u64,
+                                bottleneck_bps: sc.bottleneck[s],
+                                max_handle_bps: sc.max_handle[s],
+                            })
+                            .collect(),
+                    }
+                })
+                .collect();
+        }
 
         // Stage 4 across sessions.
+        let stage_span = timing.then(Span::new);
         sharing::compute_into(
             inputs.trees,
             inputs.specs,
             |l| est.capacity(l),
             &mut self.sharing_scratch,
         );
+        if let Some(a) = audit.as_deref_mut() {
+            if let Some(span) = stage_span {
+                a.stage_ns.push(("stage4_sharing", span.elapsed_ns()));
+            }
+            a.sharing = self
+                .sharing_scratch
+                .shares_sorted()
+                .into_iter()
+                .map(|(l, i, bps)| SharingEntry {
+                    link: l.0 as u64,
+                    session: inputs.trees[i as usize].session().0 as u64,
+                    allowed_bps: bps,
+                })
+                .collect();
+        }
 
         // Stage 5 per session (sequential: shares one RNG stream).
+        let stage_span = timing.then(Span::new);
         let mut outputs = AlgorithmOutputs::default();
         for (i, tree) in inputs.trees.iter().enumerate() {
             let sid = tree.session();
@@ -375,7 +490,7 @@ impl AlgorithmState {
                     backoffs.arm(t.node_at(s), mem.supply_recent, inputs.now, &cfg, &mut self.rng);
                 }
             }
-            subscription::compute_into(
+            subscription::compute_into_traced(
                 tree,
                 spec,
                 &cfg,
@@ -386,6 +501,7 @@ impl AlgorithmState {
                 &mut self.rng,
                 &mut sc.demand,
                 &mut sc.supply,
+                timing.then_some(&mut sc.branches),
             );
 
             if std::env::var_os("TOPOSENSE_TRACE").is_some() {
@@ -431,6 +547,42 @@ impl AlgorithmState {
                         level: sc.supply[slot].clamp(1, spec.max_level()),
                     });
                 }
+            }
+
+            if let Some(a) = audit.as_deref_mut() {
+                // `suggested` mirrors the clamp applied to outgoing
+                // suggestions, so the audit can be cross-checked against
+                // the levels the controller actually sends.
+                let mut suggested: Vec<Option<u8>> = vec![None; t.len()];
+                for &(_, node, rsid) in inputs.registry {
+                    if rsid != sid {
+                        continue;
+                    }
+                    if let Some(slot) = t.slot_of(node) {
+                        suggested[slot] = Some(sc.supply[slot].clamp(1, spec.max_level()));
+                    }
+                }
+                a.subscription.push(SessionNodes {
+                    session: sid.0 as u64,
+                    nodes: t
+                        .slots()
+                        .map(|s| SubscriptionNode {
+                            node: t.node_at(s).0 as u64,
+                            branch: sc.branches[s].into(),
+                            demand: sc.demand[s],
+                            supply: sc.supply[s],
+                            suggested: suggested[s],
+                        })
+                        .collect(),
+                });
+            }
+        }
+        if let Some(a) = audit {
+            if let Some(span) = stage_span {
+                a.stage_ns.push(("stage5_subscription", span.elapsed_ns()));
+            }
+            if let Some(span) = whole_span {
+                a.stage_ns.push(("interval", span.elapsed_ns()));
             }
         }
 

@@ -31,13 +31,16 @@
 //!   fight), and a transient dual-active resolves toward the smaller node
 //!   id.
 
-use crate::algorithm::{AlgorithmInputs, AlgorithmOutputs, AlgorithmState, ReceiverReport};
+use crate::algorithm::{
+    AlgorithmInputs, AlgorithmOutputs, AlgorithmState, ReceiverReport, SuggestionOut,
+};
 use crate::config::Config;
 use crate::messages::{Deregister, Heartbeat, Register, RegisterAck, Report, Suggestion};
 use crate::sync::lock_or_recover;
 use netsim::{App, AppId, ControlBody, Ctx, NodeId, SessionId, SimDuration, SimTime};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+use telemetry::{IntervalAudit, Telemetry};
 use topology::discovery::{DiscoveryTool, SnapshotError, TopologyView};
 use topology::SessionTree;
 use traffic::{LayerSpec, SessionCatalog};
@@ -67,6 +70,9 @@ pub struct ControllerShared {
     pub estimate_series: Vec<(SimTime, netsim::DirLinkId, f64)>,
     /// Last run's diagnostics.
     pub last_outputs: Option<AlgorithmOutputs>,
+    /// Every interval's applied suggestions `(time, suggestions)` — the
+    /// ground truth the telemetry audit trail is cross-checked against.
+    pub suggestion_series: Vec<(SimTime, Vec<SuggestionOut>)>,
     /// Intervals run on last-known-good topology (discovery unavailable).
     pub degraded_intervals: u64,
     /// Intervals skipped because even last-known-good was too old.
@@ -134,6 +140,10 @@ pub struct Controller {
     last_good: Option<TopologyView>,
     /// Last heartbeat from the peer (standing by only).
     last_heartbeat_at: Option<SimTime>,
+    /// Telemetry handle: decision audit records, stage timers and counters
+    /// flow through here. Disabled by default — a disabled handle is inert
+    /// and the control decisions are byte-identical either way.
+    telemetry: Telemetry,
 }
 
 impl Controller {
@@ -165,8 +175,18 @@ impl Controller {
             last_heard: HashMap::new(),
             last_good: None,
             last_heartbeat_at: None,
+            telemetry: Telemetry::disabled(),
         };
         (c, shared)
+    }
+
+    /// Attach a telemetry handle: every interval then emits one audit
+    /// record per pipeline stage, feeds the stage-timer histograms, and
+    /// maintains operational counters. Telemetry is a pure observer — the
+    /// controller's decisions are identical with or without it.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Pair this controller with a warm standby (or, combined with
@@ -271,6 +291,8 @@ impl Controller {
                 // Too old (or never had one): suspend suggestions outright
                 // rather than steer on fiction.
                 _ => {
+                    self.telemetry.incr("controller.suspended_intervals", 1);
+                    self.telemetry.incr("controller.evictions", evicted);
                     let mut sh = lock_or_recover(&self.shared);
                     sh.suspended_intervals += 1;
                     sh.evicted += evicted;
@@ -335,7 +357,22 @@ impl Controller {
             registry: &registry,
             reports: &reports,
         };
-        let outputs = self.state.run(&inputs);
+        // With telemetry attached, the same run also fills a decision
+        // audit: one record per stage, stamped with this interval's
+        // sequence number and (simulated) time.
+        let mut audit =
+            self.telemetry.is_enabled().then(|| IntervalAudit::new(self.state.runs(), now.nanos()));
+        let outputs = self.state.run_audited(&inputs, audit.as_mut());
+        if let Some(a) = &audit {
+            for record in a.records() {
+                self.telemetry.emit(&record);
+            }
+            // Wall-clock kernel spans live only in the timer registry —
+            // never in the deterministic audit records.
+            for &(stage, ns) in &a.stage_ns {
+                self.telemetry.record_span_ns(stage, ns);
+            }
+        }
         // Queue suggestions in a random order and send them spaced out:
         // a fixed back-to-back burst would tail-drop the same receivers'
         // suggestions at a congested link every single interval.
@@ -362,6 +399,14 @@ impl Controller {
             ctx.send_control(peer, self.cfg.heartbeat_size, hb);
         }
 
+        self.telemetry.incr("controller.intervals", 1);
+        self.telemetry.incr("controller.suggestions_sent", outputs.suggestions.len() as u64);
+        self.telemetry.incr("controller.degraded_intervals", degraded as u64);
+        self.telemetry.incr("controller.partial_intervals", partial as u64);
+        self.telemetry.incr("controller.evictions", evicted);
+        self.telemetry.set("controller.quarantined", quarantined as u64);
+        self.telemetry.set("controller.registered", self.registry.len() as u64);
+
         let mut sh = lock_or_recover(&self.shared);
         sh.intervals += 1;
         sh.suggestions_sent += outputs.suggestions.len() as u64;
@@ -370,6 +415,7 @@ impl Controller {
         for &(l, c) in &outputs.estimated_links {
             sh.estimate_series.push((now, l, c));
         }
+        sh.suggestion_series.push((now, outputs.suggestions.clone()));
         sh.last_outputs = Some(outputs);
         sh.degraded_intervals += degraded as u64;
         sh.partial_intervals += partial as u64;
@@ -429,6 +475,8 @@ impl Controller {
                 Arc::new(RegisterAck { receiver: app, controller: ctx.node_id(), time: now });
             ctx.send_control(node, self.cfg.ack_size, ack);
         }
+        self.telemetry.incr("controller.failovers", 1);
+        self.telemetry.incr("controller.acks_sent", acks);
         let mut sh = lock_or_recover(&self.shared);
         sh.failover_at.get_or_insert(now);
         sh.acks_sent += acks;
@@ -462,6 +510,7 @@ impl App for Controller {
             self.registry.insert(r.receiver, (r.node, r.session));
             self.last_heard.insert(r.receiver, ctx.now());
             if self.active {
+                self.telemetry.incr("controller.acks_sent", 1);
                 lock_or_recover(&self.shared).acks_sent += 1;
                 let ack: ControlBody = Arc::new(RegisterAck {
                     receiver: r.receiver,

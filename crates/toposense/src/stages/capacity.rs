@@ -19,6 +19,12 @@ use crate::config::Config;
 use netsim::{DirLinkId, SessionId, SimDuration, SimTime};
 use std::collections::HashMap;
 
+/// One audit event from the estimator: what happened to `link`'s
+/// estimate this interval. The `f64` is the estimate after the event
+/// (for `"reset"`, the value that was discarded); the label is one of
+/// `"learned"`, `"recomputed"`, `"crept"`, `"held"`, `"reset"`.
+pub type CapacityEvent = (DirLinkId, f64, &'static str);
+
 /// One session's view of one shared link for the current interval.
 #[derive(Clone, Copy, Debug)]
 pub struct SessionLinkObs {
@@ -71,10 +77,10 @@ impl CapacityEstimator {
         usage: &HashMap<DirLinkId, Vec<SessionLinkObs>>,
         cfg: &Config,
     ) {
-        self.begin_interval(now, cfg);
+        self.begin_interval(now, cfg, None);
         let secs = interval.as_secs_f64();
         for (&link, sessions) in usage {
-            self.update_link(now, secs, link, sessions, cfg);
+            self.update_link(now, secs, link, sessions, cfg, None);
         }
     }
 
@@ -90,8 +96,24 @@ impl CapacityEstimator {
         sorted: &[(DirLinkId, SessionLinkObs)],
         cfg: &Config,
     ) {
+        self.update_sorted_traced(now, interval, sorted, cfg, None);
+    }
+
+    /// [`Self::update_sorted`] plus an optional audit of what happened to
+    /// each estimate (see [`CapacityEvent`]). The event log is write-only:
+    /// passing `Some` vs `None` cannot change any estimate. Events from
+    /// the periodic reset pass come from `HashMap` iteration, so callers
+    /// that need determinism must sort the collected events by link.
+    pub fn update_sorted_traced(
+        &mut self,
+        now: SimTime,
+        interval: SimDuration,
+        sorted: &[(DirLinkId, SessionLinkObs)],
+        cfg: &Config,
+        mut events: Option<&mut Vec<CapacityEvent>>,
+    ) {
         debug_assert!(sorted.windows(2).all(|w| w[0].0 <= w[1].0), "input must be link-sorted");
-        self.begin_interval(now, cfg);
+        self.begin_interval(now, cfg, events.as_deref_mut());
         let secs = interval.as_secs_f64();
         let mut start = 0;
         while start < sorted.len() {
@@ -100,7 +122,7 @@ impl CapacityEstimator {
             self.run_scratch.clear();
             self.run_scratch.extend(sorted[start..end].iter().map(|&(_, o)| o));
             let run = std::mem::take(&mut self.run_scratch);
-            self.update_link(now, secs, link, &run, cfg);
+            self.update_link(now, secs, link, &run, cfg, events.as_deref_mut());
             self.run_scratch = run;
             start = end;
         }
@@ -109,8 +131,21 @@ impl CapacityEstimator {
     /// Periodic reset: stale estimates return to infinity and must be
     /// re-earned ("the capacity is reset to infinity at periodic
     /// intervals and recomputed").
-    fn begin_interval(&mut self, now: SimTime, cfg: &Config) {
-        self.estimates.retain(|_, e| now.since(e.set_at) < cfg.capacity_reset);
+    fn begin_interval(
+        &mut self,
+        now: SimTime,
+        cfg: &Config,
+        mut events: Option<&mut Vec<CapacityEvent>>,
+    ) {
+        self.estimates.retain(|&link, e| {
+            let keep = now.since(e.set_at) < cfg.capacity_reset;
+            if !keep {
+                if let Some(ev) = events.as_deref_mut() {
+                    ev.push((link, e.capacity_bps, "reset"));
+                }
+            }
+            keep
+        });
     }
 
     fn update_link(
@@ -120,7 +155,13 @@ impl CapacityEstimator {
         link: DirLinkId,
         sessions: &[SessionLinkObs],
         cfg: &Config,
+        mut events: Option<&mut Vec<CapacityEvent>>,
     ) {
+        let mut audit = move |bps: f64, what: &'static str| {
+            if let Some(ev) = events.as_deref_mut() {
+                ev.push((link, bps, what));
+            }
+        };
         if sessions.is_empty() {
             return;
         }
@@ -135,9 +176,12 @@ impl CapacityEstimator {
             // while the remaining session is losing packets inflates a
             // stale estimate the loss itself says is already too high.
             let clean = sessions.iter().all(|s| s.loss <= cfg.capacity_loss_threshold);
-            if clean {
-                if let Some(e) = self.estimates.get_mut(&link) {
+            if let Some(e) = self.estimates.get_mut(&link) {
+                if clean {
                     e.capacity_bps *= 1.0 + cfg.capacity_creep;
+                    audit(e.capacity_bps, "crept");
+                } else {
+                    audit(e.capacity_bps, "held");
                 }
             }
             return;
@@ -178,14 +222,17 @@ impl CapacityEstimator {
                 // as a fresh computation for the reset clock.
                 e.capacity_bps = observed_bps;
                 e.set_at = now;
+                audit(observed_bps, "recomputed");
             }
             Some(e) => {
                 // Clean interval: creep upward ("the estimate is
                 // increased every interval by a small amount").
                 e.capacity_bps *= 1.0 + cfg.capacity_creep;
+                audit(e.capacity_bps, "crept");
             }
             None if congested && total_bytes > 0 && secs > 0.0 => {
                 self.estimates.insert(link, Estimate { capacity_bps: observed_bps, set_at: now });
+                audit(observed_bps, "learned");
             }
             None => {}
         }
@@ -327,6 +374,48 @@ mod tests {
             assert_eq!(a.capacity(l(i)), b.capacity(l(i)), "link {i}");
         }
         assert_eq!(a.estimated_links(), b.estimated_links());
+    }
+
+    #[test]
+    fn traced_update_reports_learn_creep_and_reset() {
+        let c = cfg();
+        let mut est = CapacityEstimator::new();
+        let lossy = vec![(l(0), obs(0, 0.1, 100_000)), (l(0), obs(1, 0.1, 25_000))];
+        let quiet = vec![(l(0), obs(0, 0.0, 100_000)), (l(0), obs(1, 0.0, 25_000))];
+
+        let mut ev = Vec::new();
+        est.update_sorted_traced(SimTime::from_secs(2), INTERVAL, &lossy, &c, Some(&mut ev));
+        assert_eq!(ev.len(), 1);
+        assert_eq!((ev[0].0, ev[0].2), (l(0), "learned"));
+        let learned_bps = ev[0].1;
+
+        ev.clear();
+        est.update_sorted_traced(SimTime::from_secs(4), INTERVAL, &quiet, &c, Some(&mut ev));
+        assert_eq!((ev[0].0, ev[0].2), (l(0), "crept"));
+        assert!(ev[0].1 > learned_bps);
+
+        // Lossy single-session interval: the estimate is held, and the
+        // audit says so.
+        ev.clear();
+        let solo = vec![(l(0), obs(0, 0.3, 100_000))];
+        est.update_sorted_traced(SimTime::from_secs(6), INTERVAL, &solo, &c, Some(&mut ev));
+        assert_eq!((ev[0].0, ev[0].2), (l(0), "held"));
+
+        // Past the reset horizon with clean traffic: reset is reported
+        // with the discarded value.
+        ev.clear();
+        est.update_sorted_traced(SimTime::from_secs(60), INTERVAL, &quiet, &c, Some(&mut ev));
+        assert_eq!((ev[0].0, ev[0].2), (l(0), "reset"));
+        assert!(est.capacity(l(0)).is_none());
+
+        // Tracing must not perturb the estimates: an untraced twin ends
+        // in the same state.
+        let mut twin = CapacityEstimator::new();
+        for (t, usage) in [(2u64, &lossy), (4, &quiet), (6, &solo), (60, &quiet)] {
+            twin.update_sorted(SimTime::from_secs(t), INTERVAL, usage, &c);
+        }
+        assert_eq!(twin.capacity(l(0)), est.capacity(l(0)));
+        assert_eq!(twin.estimated_links(), est.estimated_links());
     }
 
     #[test]

@@ -57,6 +57,17 @@ impl SharingScratch {
     pub fn allowed_at(&self, idx: usize, slot: usize) -> f64 {
         self.allowed[idx][slot]
     }
+
+    /// The proportional shares computed at shared links, as
+    /// `(link, session index, share_bps)` rows sorted by link then
+    /// session — a deterministic audit view of the `share` map. Valid
+    /// until the next [`compute_into`] call.
+    pub fn shares_sorted(&self) -> Vec<(DirLinkId, u32, f64)> {
+        let mut rows: Vec<(DirLinkId, u32, f64)> =
+            self.share.iter().map(|(&(link, i), &bps)| (link, i, bps)).collect();
+        rows.sort_by_key(|&(link, i, _)| (link, i));
+        rows
+    }
 }
 
 /// Compute fair shares. `trees[i]` and `specs[i]` describe session `i`;

@@ -225,11 +225,39 @@ pub fn compute_into(
     demand: &mut Vec<u8>,
     supply: &mut Vec<u8>,
 ) {
+    compute_into_traced(
+        tree, spec, cfg, now, inputs, level_cap, backoffs, rng, demand, supply, None,
+    );
+}
+
+/// [`compute_into`] plus an optional per-slot audit of which Table I
+/// branch each decision took (`branches[slot]` receives a label like
+/// `"leaf.add"` or `"internal.reduce_half"`). The trace is write-only —
+/// passing `Some` vs `None` cannot change demand/supply or the RNG draw
+/// sequence, which is what keeps telemetry a pure observer.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_into_traced(
+    tree: &SessionTree,
+    spec: &LayerSpec,
+    cfg: &Config,
+    now: SimTime,
+    inputs: &[NodeInputs],
+    level_cap: &[u8],
+    backoffs: &mut BackoffTable,
+    rng: &mut RngStream,
+    demand: &mut Vec<u8>,
+    supply: &mut Vec<u8>,
+    mut branches: Option<&mut Vec<&'static str>>,
+) {
     let t = tree.tree();
     debug_assert_eq!(inputs.len(), t.len());
     debug_assert_eq!(level_cap.len(), t.len());
     demand.clear();
     demand.resize(t.len(), 1);
+    if let Some(b) = branches.as_deref_mut() {
+        b.clear();
+        b.resize(t.len(), "");
+    }
 
     backoffs.expire(now);
 
@@ -237,10 +265,12 @@ pub fn compute_into(
     for s in t.slots_bottom_up() {
         let inp = inputs[s];
         let cs = t.child_slots(s);
+        let branch;
         let d = if cs.is_empty() {
             let cur = inp.current_level.unwrap_or(1).max(1);
             if inp.parent_congested {
                 // Defer: the congested ancestor acts for the subtree.
+                branch = "leaf.defer";
                 cur
             } else {
                 let node = t.node_at(s);
@@ -267,8 +297,10 @@ pub fn compute_into(
                             && (known_safe
                                 || (settled && !backoffs.blocked(tree, node, target, now)))
                         {
+                            branch = "leaf.add";
                             target
                         } else {
+                            branch = "leaf.add.hold";
                             cur
                         }
                     }
@@ -278,26 +310,37 @@ pub fn compute_into(
                             if d < cur {
                                 backoffs.arm(node, cur, now, cfg, rng);
                             }
+                            branch = "leaf.drop_loss";
                             d
                         } else {
+                            branch = "leaf.drop_loss.hold";
                             cur
                         }
                     }
-                    Action::Maintain => cur,
-                    Action::ReduceToSupply(w) => reduce_target(supply_of(&inp, w), floor, cap, cur),
+                    Action::Maintain => {
+                        branch = "leaf.maintain";
+                        cur
+                    }
+                    Action::ReduceToSupply(w) => {
+                        branch = "leaf.reduce_supply";
+                        reduce_target(supply_of(&inp, w), floor, cap, cur)
+                    }
                     Action::ReduceToHalfSupply { window, backoff } => {
                         let tgt = half_supply_level(spec, &inp, window);
                         let d = reduce_target(tgt, floor, cap, cur);
                         if backoff && cur > d {
                             backoffs.arm(node, cur, now, cfg, rng);
                         }
+                        branch = "leaf.reduce_half";
                         d
                     }
                     Action::ReduceToHalfSupplyIfLossVeryHigh(w) => {
                         if inp.loss > cfg.very_high_loss {
                             let tgt = half_supply_level(spec, &inp, w);
+                            branch = "leaf.reduce_half_vhl";
                             reduce_target(tgt, floor, cap, cur)
                         } else {
+                            branch = "leaf.reduce_half_vhl.hold";
                             cur
                         }
                     }
@@ -307,25 +350,36 @@ pub fn compute_into(
         } else {
             let childmax = cs.map(|c| demand[c]).max().unwrap_or(1);
             if inp.parent_congested {
+                branch = "internal.defer";
                 childmax
             } else {
                 let floor = spec.level_fitting(inp.goodput_bps);
                 let cap = level_cap[s];
                 match decide(NodeKind::Internal, inp.hist, inp.bw) {
-                    Action::AcceptChildren => childmax,
-                    Action::Maintain => childmax.min(inp.demand_prev.unwrap_or(childmax)),
+                    Action::AcceptChildren => {
+                        branch = "internal.accept";
+                        childmax
+                    }
+                    Action::Maintain => {
+                        branch = "internal.maintain";
+                        childmax.min(inp.demand_prev.unwrap_or(childmax))
+                    }
                     Action::ReduceToHalfSupply { window, backoff } => {
                         let tgt = half_supply_level(spec, &inp, window);
                         let d = reduce_target(tgt, floor, cap, childmax);
                         if backoff && childmax > d {
                             backoffs.arm(t.node_at(s), childmax, now, cfg, rng);
                         }
+                        branch = "internal.reduce_half";
                         d
                     }
                     other => unreachable!("internal rows never yield {other:?}"),
                 }
             }
         };
+        if let Some(b) = branches.as_deref_mut() {
+            b[s] = branch;
+        }
         demand[s] = d.max(1);
     }
 
@@ -649,5 +703,64 @@ mod tests {
         b.set(n(1), 2, SimTime::from_secs(50));
         b.set(n(1), 2, SimTime::from_secs(5));
         assert!(b.blocked(&tree(), n(1), 2, SimTime::from_secs(30)));
+    }
+
+    /// The branch trace is a pure observer: traced and untraced runs make
+    /// identical decisions and draw the same randomness, and the trace
+    /// labels every slot with the Table I branch that fired.
+    #[test]
+    fn traced_run_labels_branches_without_changing_decisions() {
+        let tree = tree();
+        let t = tree.tree();
+        let spec = LayerSpec::paper_default();
+        let cfg = Config::default();
+        let now = SimTime::from_secs(10);
+        let by_node = HashMap::from([
+            // Congested leaf with a loss spike: must halve (Table I row 4).
+            (n(2), leaf_inp(4, 0b111, BwEquality::Equal, 0.3)),
+            // Clean leaf: must explore one layer up.
+            (n(3), leaf_inp(3, 0, BwEquality::Equal, 0.0)),
+        ]);
+        let inputs: Vec<NodeInputs> =
+            t.slots().map(|s| by_node.get(&t.node_at(s)).copied().unwrap_or_default()).collect();
+        let level_cap = vec![6u8; t.len()];
+
+        let go = |branches: Option<&mut Vec<&'static str>>| {
+            let mut backoffs = BackoffTable::new();
+            let mut rng = RngStream::derive(7, "stage5-trace-test");
+            let (mut demand, mut supply) = (Vec::new(), Vec::new());
+            compute_into_traced(
+                &tree,
+                &spec,
+                &cfg,
+                now,
+                &inputs,
+                &level_cap,
+                &mut backoffs,
+                &mut rng,
+                &mut demand,
+                &mut supply,
+                branches,
+            );
+            // Drain the RNG once more: any extra draw in the traced run
+            // would desynchronize this value.
+            (demand, supply, rng.range_u64(0, u64::MAX))
+        };
+        let untraced = go(None);
+        let mut branches = Vec::new();
+        let traced = go(Some(&mut branches));
+        assert_eq!(untraced, traced, "tracing must not alter decisions or RNG draws");
+
+        assert_eq!(branches.len(), t.len());
+        assert!(branches.iter().all(|b| !b.is_empty()), "every slot labelled: {branches:?}");
+        let label_of =
+            |node: NodeId| t.slots().find(|&s| t.node_at(s) == node).map(|s| branches[s]).unwrap();
+        assert_eq!(label_of(n(3)), "leaf.add");
+        assert!(
+            label_of(n(2)).starts_with("leaf.reduce_half"),
+            "lossy congested leaf halves, got {}",
+            label_of(n(2))
+        );
+        assert!(label_of(n(1)).starts_with("internal."));
     }
 }

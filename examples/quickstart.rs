@@ -11,10 +11,16 @@
 //! Set `QUICKSTART_CHAOS=1` to instead run the canned bottleneck
 //! link-flap fault plan (DESIGN.md §9) and print its deterministic
 //! fingerprint — CI runs this twice and diffs the outputs.
+//!
+//! Set `QUICKSTART_TELEMETRY=<path>` to record the controller's decision
+//! audit trail (one JSONL record per pipeline stage per interval, plus
+//! counters and stage timers) to `<path>`. Telemetry is a pure observer:
+//! stdout stays byte-identical to a run without it — CI diffs the two.
 
 use netsim::sim::{NetworkBuilder, SimConfig};
 use netsim::{GroupId, LinkConfig, SessionId, SimDuration, SimTime};
 use std::sync::Arc;
+use telemetry::{Record, Telemetry};
 use toposense::{Config, Controller, Receiver};
 use traffic::session::SessionDef;
 use traffic::{LayerSpec, LayeredSource, SessionCatalog, TrafficModel};
@@ -24,6 +30,15 @@ fn main() {
         chaos_mode();
         return;
     }
+    let telemetry = match std::env::var_os("QUICKSTART_TELEMETRY") {
+        Some(path) => Telemetry::jsonl_file(path).expect("open telemetry sink"),
+        None => Telemetry::disabled(),
+    };
+    telemetry.emit(&Record::Run {
+        label: "quickstart".to_string(),
+        seed: 42,
+        duration_ns: SimDuration::from_secs(300).nanos(),
+    });
     // 1. A three-node network: source -- router -- receiver, with the
     //    paper's 200 ms links; the last hop is the 250 kb/s bottleneck.
     let mut b = NetworkBuilder::new(SimConfig { seed: 42, ..SimConfig::default() });
@@ -47,6 +62,7 @@ fn main() {
     //    the source, and the receiver.
     let cfg = Config::default();
     let (controller, ctrl_stats) = Controller::new(Arc::clone(&catalog), cfg, SimDuration::ZERO, 1);
+    let controller = controller.with_telemetry(telemetry.clone());
     sim.add_app(src, Box::new(controller));
     sim.add_app(src, Box::new(LayeredSource::new(def.clone(), TrafficModel::Cbr, 2)));
     let (receiver, rcv_stats) = Receiver::new(def, src, cfg, 3, "r0");
@@ -54,6 +70,9 @@ fn main() {
 
     // 4. Run five simulated minutes.
     sim.run_until(SimTime::from_secs(300));
+    telemetry.emit_counters(sim.now().nanos());
+    telemetry.emit_timers();
+    telemetry.flush();
 
     // 5. Inspect.
     let r = rcv_stats.lock().unwrap();

@@ -1,9 +1,16 @@
-//! Diagnostics: per-receiver change logs and controller state for the
-//! three canonical topologies.
+//! Diagnostics: scenario change logs, plus a query CLI over recorded
+//! telemetry (the JSONL decision audit trail).
 //!
 //! ```text
 //! cargo run --release --bin inspect -- <a2|b4|fig1> [secs] [staleness_secs]
+//! cargo run --release --bin inspect -- validate <trail.jsonl>
+//! cargo run --release --bin inspect -- summary  <trail.jsonl>
+//! cargo run --release --bin inspect -- timeline <trail.jsonl> <session> <node>
+//! cargo run --release --bin inspect -- diff     <trail.jsonl> <seqA> <seqB>
+//! cargo run --release --bin inspect -- counters <trail.jsonl> [top_n]
 //! ```
+//!
+//! Scenario mode (the original tool):
 //!
 //! * `a2`   — Topology A with 2 receivers per set (optima 2 and 4 layers)
 //! * `b4`   — Topology B with 4 competing sessions (optimum 4 each)
@@ -13,21 +20,322 @@
 //! per-interval view of every session-tree node (history bits, loss,
 //! goodput, cap, demand, supply) — the raw material behind every debugging
 //! session of this reproduction.
+//!
+//! Telemetry mode reads a trail recorded with e.g.
+//! `QUICKSTART_TELEMETRY=trail.jsonl cargo run --release --example quickstart`.
 
 use netsim::{SimDuration, SimTime};
 use scenarios::{run, ControlMode, Scenario};
+use telemetry::{Record, StageBody};
 use topology::generators;
 use traffic::TrafficModel;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(|s| s.as_str()) {
+        Some("validate") => validate(&args[2..]),
+        Some("summary") => summary(&args[2..]),
+        Some("timeline") => timeline(&args[2..]),
+        Some("diff") => diff(&args[2..]),
+        Some("counters") => counters(&args[2..]),
+        _ => scenario_mode(&args),
+    }
+}
+
+// --- telemetry queries -------------------------------------------------
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: inspect <a2|b4|fig1> [secs] [staleness]");
+    eprintln!("       inspect validate|summary <trail.jsonl>");
+    eprintln!("       inspect timeline <trail.jsonl> <session> <node>");
+    eprintln!("       inspect diff <trail.jsonl> <seqA> <seqB>");
+    eprintln!("       inspect counters <trail.jsonl> [top_n]");
+    std::process::exit(2);
+}
+
+/// Read and decode every line of a trail; exits on unreadable files.
+fn load(path: &str) -> Vec<(usize, String, Record)> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => usage(&format!("cannot read {path}: {e}")),
+    };
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| match Record::from_jsonl(l) {
+            Ok(r) => (i + 1, l.to_string(), r),
+            Err(e) => {
+                eprintln!("{path}:{}: {e}", i + 1);
+                std::process::exit(1);
+            }
+        })
+        .collect()
+}
+
+/// `validate <file>`: every line must decode against the current schema
+/// AND re-encode byte-identically (the round-trip CI gate).
+fn validate(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| usage("validate needs a file"));
+    let records = load(path);
+    let mut kinds = std::collections::BTreeMap::new();
+    for (line_no, line, record) in &records {
+        let reencoded = record.to_jsonl();
+        if &reencoded != line {
+            eprintln!("{path}:{line_no}: decode/re-encode mismatch");
+            eprintln!("  file:      {line}");
+            eprintln!("  re-encode: {reencoded}");
+            std::process::exit(1);
+        }
+        let kind = match record {
+            Record::Run { .. } => "run".to_string(),
+            Record::Stage { body, .. } => format!("stage.{}", body.stage_name()),
+            Record::Counters { .. } => "counters".to_string(),
+            Record::Timers { .. } => "timers".to_string(),
+        };
+        *kinds.entry(kind).or_insert(0u64) += 1;
+    }
+    println!("{path}: {} records valid (schema v{})", records.len(), telemetry::SCHEMA_VERSION);
+    for (kind, count) in kinds {
+        println!("  {kind:<20} {count}");
+    }
+}
+
+/// `summary <file>`: the run header, interval span, and closing stats.
+fn summary(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| usage("summary needs a file"));
+    let records = load(path);
+    let mut intervals: Vec<u64> = Vec::new();
+    for (_, _, record) in &records {
+        match record {
+            Record::Run { label, seed, duration_ns } => {
+                println!("run '{label}' seed={seed} duration={:.0}s", *duration_ns as f64 / 1e9);
+            }
+            Record::Stage { seq, body, .. } => {
+                if matches!(body, StageBody::Congestion(_)) {
+                    intervals.push(*seq);
+                }
+            }
+            Record::Counters { t_ns, entries } => {
+                println!("counters at {:.0}s:", *t_ns as f64 / 1e9);
+                for (name, value) in entries {
+                    println!("  {name:<34} {value}");
+                }
+            }
+            Record::Timers { entries } => {
+                println!("stage timers:");
+                for t in entries {
+                    let mean = t.sum_ns.checked_div(t.count).unwrap_or(0);
+                    println!(
+                        "  {:<22} n={:<6} mean={:>9}ns min={:>9}ns max={:>9}ns",
+                        t.name, t.count, mean, t.min_ns, t.max_ns
+                    );
+                }
+            }
+        }
+    }
+    match (intervals.first(), intervals.last()) {
+        (Some(first), Some(last)) => {
+            println!("audited intervals: {} (seq {first}..={last})", intervals.len());
+        }
+        _ => println!("audited intervals: 0"),
+    }
+}
+
+/// The five stage records of interval `seq`, in pipeline order.
+fn interval_stages(records: &[(usize, String, Record)], seq: u64) -> Vec<&StageBody> {
+    records
+        .iter()
+        .filter_map(|(_, _, r)| match r {
+            Record::Stage { seq: s, body, .. } if *s == seq => Some(body),
+            _ => None,
+        })
+        .collect()
+}
+
+/// `timeline <file> <session> <node>`: one row per interval with the full
+/// decision context of one tree node.
+fn timeline(args: &[String]) {
+    let [path, session, node] = args else { usage("timeline needs <file> <session> <node>") };
+    let session: u64 = session.parse().unwrap_or_else(|_| usage("session must be a number"));
+    let node: u64 = node.parse().unwrap_or_else(|_| usage("node must be a number"));
+    let records = load(path);
+    println!(
+        "{:>6} {:>8} {:>7} {:>5} {:>11} {:>6} {:>6} {:>5}  branch",
+        "seq", "t", "loss", "cong", "cap_bps", "dem", "sup", "sugg"
+    );
+    let mut shown = 0usize;
+    for (_, _, record) in &records {
+        let Record::Stage { seq, t_ns, body: StageBody::Congestion(sessions) } = record else {
+            continue;
+        };
+        let Some(cn) = sessions
+            .iter()
+            .filter(|s| s.session == session)
+            .flat_map(|s| &s.nodes)
+            .find(|n| n.node == node)
+        else {
+            continue;
+        };
+        // Pull the matching bottleneck + subscription entries of the same
+        // interval for the rest of the row.
+        let stages = interval_stages(&records, *seq);
+        let cap = stages.iter().find_map(|b| match b {
+            StageBody::Bottleneck(ss) => ss
+                .iter()
+                .filter(|s| s.session == session)
+                .flat_map(|s| &s.nodes)
+                .find(|n| n.node == node)
+                .map(|n| n.bottleneck_bps),
+            _ => None,
+        });
+        let sub = stages.iter().find_map(|b| match b {
+            StageBody::Subscription(ss) => ss
+                .iter()
+                .filter(|s| s.session == session)
+                .flat_map(|s| &s.nodes)
+                .find(|n| n.node == node),
+            _ => None,
+        });
+        let cap = match cap {
+            Some(c) if c.is_finite() => format!("{c:.0}"),
+            Some(_) => "inf".to_string(),
+            None => "-".to_string(),
+        };
+        let (branch, dem, sup, sugg) = match sub {
+            Some(s) => (
+                s.branch.as_str(),
+                s.demand.to_string(),
+                s.supply.to_string(),
+                s.suggested.map(|l| l.to_string()).unwrap_or_else(|| "-".to_string()),
+            ),
+            None => ("-", "-".to_string(), "-".to_string(), "-".to_string()),
+        };
+        println!(
+            "{:>6} {:>7.1}s {:>7.3} {:>5} {:>11} {:>6} {:>6} {:>5}  {}",
+            seq,
+            *t_ns as f64 / 1e9,
+            cn.loss,
+            if cn.congested { "C" } else { "." },
+            cap,
+            dem,
+            sup,
+            sugg,
+            branch,
+        );
+        shown += 1;
+    }
+    if shown == 0 {
+        eprintln!("no audit rows for session {session} node {node} in {path}");
+        std::process::exit(1);
+    }
+}
+
+/// `diff <file> <seqA> <seqB>`: what changed between two intervals.
+fn diff(args: &[String]) {
+    let [path, a, b] = args else { usage("diff needs <file> <seqA> <seqB>") };
+    let a: u64 = a.parse().unwrap_or_else(|_| usage("seqA must be a number"));
+    let b: u64 = b.parse().unwrap_or_else(|_| usage("seqB must be a number"));
+    let records = load(path);
+    let (sa, sb) = (interval_stages(&records, a), interval_stages(&records, b));
+    if sa.is_empty() || sb.is_empty() {
+        eprintln!("interval {a} or {b} not present in {path}");
+        std::process::exit(1);
+    }
+    let mut changes = 0usize;
+    for (xa, xb) in sa.iter().zip(&sb) {
+        match (xa, xb) {
+            (StageBody::Congestion(va), StageBody::Congestion(vb)) => {
+                for (na, nb) in nodes_of(va).zip(nodes_of(vb)) {
+                    if na.1.congested != nb.1.congested {
+                        println!(
+                            "congestion   s{} n{}: {} -> {}",
+                            na.0,
+                            na.1.node,
+                            flag(na.1.congested),
+                            flag(nb.1.congested)
+                        );
+                        changes += 1;
+                    }
+                }
+            }
+            (StageBody::Capacity(va), StageBody::Capacity(vb)) => {
+                for ea in va {
+                    let eb = vb.iter().find(|e| e.link == ea.link);
+                    match eb {
+                        Some(eb) if (eb.bps - ea.bps).abs() > 1e-9 || eb.event != ea.event => {
+                            println!(
+                                "capacity     link {}: {:.0} bps ({}) -> {:.0} bps ({})",
+                                ea.link, ea.bps, ea.event, eb.bps, eb.event
+                            );
+                            changes += 1;
+                        }
+                        None => {
+                            println!("capacity     link {}: gone in seq {b}", ea.link);
+                            changes += 1;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            (StageBody::Subscription(va), StageBody::Subscription(vb)) => {
+                for (na, nb) in nodes_of(va).zip(nodes_of(vb)) {
+                    if na.1.supply != nb.1.supply || na.1.branch != nb.1.branch {
+                        println!(
+                            "subscription s{} n{}: supply {} ({}) -> {} ({})",
+                            na.0, na.1.node, na.1.supply, na.1.branch, nb.1.supply, nb.1.branch
+                        );
+                        changes += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    println!("{changes} differences between interval {a} and {b}");
+}
+
+fn flag(b: bool) -> &'static str {
+    if b {
+        "congested"
+    } else {
+        "clear"
+    }
+}
+
+fn nodes_of<T>(sessions: &[telemetry::SessionNodes<T>]) -> impl Iterator<Item = (u64, &T)> + '_ {
+    sessions.iter().flat_map(|s| s.nodes.iter().map(move |n| (s.session, n)))
+}
+
+/// `counters <file> [top_n]`: the last counters snapshot, largest first.
+fn counters(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| usage("counters needs a file"));
+    let top: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let records = load(path);
+    let last = records.iter().rev().find_map(|(_, _, r)| match r {
+        Record::Counters { entries, .. } => Some(entries.clone()),
+        _ => None,
+    });
+    let Some(mut entries) = last else {
+        eprintln!("no counters record in {path}");
+        std::process::exit(1);
+    };
+    entries.sort_by(|x, y| y.1.cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
+    for (name, value) in entries.into_iter().take(top) {
+        println!("{value:>12}  {name}");
+    }
+}
+
+// --- scenario mode (the original tool) ---------------------------------
+
+fn scenario_mode(args: &[String]) {
     let which = args.get(1).map(|s| s.as_str()).unwrap_or("b4");
     let secs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(240);
     let topo = match which {
         "b4" => generators::topology_b_default(4),
         "a2" => generators::topology_a_default(2),
         "fig1" => generators::figure1(),
-        _ => panic!("unknown"),
+        other => usage(&format!("unknown subcommand or topology '{other}'")),
     };
     let staleness: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0);
     let s = Scenario::new(topo, TrafficModel::Vbr { p: 3.0 }, 1)
