@@ -1,0 +1,115 @@
+//! Full vs change-driven pipeline on a large session tree.
+//!
+//! An 11,111-node balanced domain (fanout 10, depth 4 — 10,000 receivers)
+//! is driven with deterministic report churn at 1 %, 10 %, and 100 % dirty
+//! fractions; each fraction is run through both `AlgorithmState::run`
+//! (every slot, every interval) and `AlgorithmState::run_incremental`
+//! (dirty subtrees only). Both paths see byte-identical report streams, so
+//! the ratio is pure recomputation cost. `BENCH_incremental.json` records
+//! the medians; regenerate it with
+//! `CRITERION_JSON=/tmp/inc.json cargo bench -p toposense-bench --bench incremental`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use toposense::algorithm::{AlgorithmInputs, AlgorithmState};
+use toposense::Config;
+use toposense_bench::{
+    balanced_session_tree, churn_fraction, registry_for_leaves, reports_for_leaves,
+};
+use traffic::LayerSpec;
+
+/// Fanout 10, depth 4: 10,000 leaves, 11,111 slots.
+const FANOUT: usize = 10;
+const DEPTH: usize = 4;
+const DIRTY_PERCENTS: [u32; 3] = [1, 10, 100];
+
+fn bench_incremental_vs_full(c: &mut Criterion) {
+    let spec = LayerSpec::paper_default();
+    let specs: Vec<&LayerSpec> = vec![&spec];
+    let (tree, leaves) = balanced_session_tree(0, FANOUT, DEPTH);
+    let registry = registry_for_leaves(0, &leaves);
+    let trees = vec![tree];
+
+    let mut g = c.benchmark_group("incremental_pipeline");
+    g.sample_size(10);
+    for pct in DIRTY_PERCENTS {
+        let frac = pct as f64 / 100.0;
+        for (mode, incremental) in [("full", false), ("incremental", true)] {
+            g.bench_with_input(
+                BenchmarkId::new(mode, format!("{pct}pct_dirty")),
+                &frac,
+                |b, &frac| {
+                    let mut state = AlgorithmState::new(Config::default(), 7);
+                    let mut reports = reports_for_leaves(0, &leaves, 3, 0);
+                    let mut t = 0u64;
+                    // Warm both paths into steady state: the incremental
+                    // path's first run is a full fallback that builds the
+                    // cache, and the first few intervals walk the domain
+                    // up to its converged subscription levels. Receivers
+                    // follow the controller's suggestions (as real ones
+                    // do), so convergence actually lands.
+                    for _ in 0..8 {
+                        t += 2;
+                        churn_fraction(&mut reports, frac, t);
+                        let inputs = inputs_at(t, &trees, &specs, &registry, &reports);
+                        let out = if incremental {
+                            state.run_incremental(&inputs)
+                        } else {
+                            state.run(&inputs)
+                        };
+                        follow_suggestions(&out, &mut reports);
+                    }
+                    b.iter(|| {
+                        t += 2;
+                        churn_fraction(&mut reports, frac, t);
+                        let inputs = inputs_at(t, &trees, &specs, &registry, &reports);
+                        let out = if incremental {
+                            state.run_incremental(&inputs)
+                        } else {
+                            state.run(&inputs)
+                        };
+                        follow_suggestions(&out, &mut reports);
+                        black_box(out.root_supply[0])
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Receivers obey the controller: next interval's reports carry the level
+/// the controller just suggested. Without this the synthetic domain never
+/// converges (the controller probes up, nobody follows, supply oscillates
+/// everywhere) and every fraction degenerates to a full recompute.
+/// Suggestions come out in registry order — the same order as the reports
+/// — so the hand-off is a straight zip.
+fn follow_suggestions(
+    out: &toposense::algorithm::AlgorithmOutputs,
+    reports: &mut [toposense::algorithm::ReceiverReport],
+) {
+    for (r, s) in reports.iter_mut().zip(&out.suggestions) {
+        debug_assert_eq!(r.receiver, s.receiver);
+        r.level = s.level;
+    }
+}
+
+fn inputs_at<'a>(
+    t: u64,
+    trees: &'a [topology::SessionTree],
+    specs: &'a [&'a LayerSpec],
+    registry: &'a [(netsim::AppId, netsim::NodeId, netsim::SessionId)],
+    reports: &'a [toposense::algorithm::ReceiverReport],
+) -> AlgorithmInputs<'a> {
+    AlgorithmInputs {
+        now: netsim::SimTime::from_secs(t),
+        interval: netsim::SimDuration::from_secs(2),
+        trees,
+        specs,
+        registry,
+        reports,
+    }
+}
+
+criterion_group!(benches, bench_incremental_vs_full);
+criterion_main!(benches);

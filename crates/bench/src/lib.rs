@@ -1,110 +1,18 @@
 //! Shared helpers for the criterion benchmarks: synthetic session trees and
 //! report sets of controllable size, so algorithm stages can be benched in
 //! isolation from the simulator.
+//!
+//! The generators themselves live in [`scenarios::largetree`] (they also
+//! feed the large-tree smoke tests); this crate re-exports them so every
+//! bench keeps a single import path.
 
-use netsim::{AppId, DirLinkId, GroupId, GroupSnapshot, NodeId, SessionId, SimTime};
-use topology::discovery::{LinkView, TopologyView};
-use topology::SessionTree;
-use toposense::algorithm::ReceiverReport;
-
-/// Build a balanced session tree with `fanout^depth` leaves.
-///
-/// Node 0 is the root/source; nodes are numbered breadth-first. Returns the
-/// tree plus the list of leaf nodes.
-pub fn balanced_session_tree(
-    session: u32,
-    fanout: usize,
-    depth: usize,
-) -> (SessionTree, Vec<NodeId>) {
-    assert!(fanout >= 1 && depth >= 1);
-    let mut links = Vec::new();
-    let mut active = Vec::new();
-    let mut members = Vec::new();
-    let mut next_id = 1u32;
-    let mut frontier = vec![0u32];
-    let mut link_id = 0u32;
-    for level in 0..depth {
-        let mut next_frontier = Vec::new();
-        for &parent in &frontier {
-            for _ in 0..fanout {
-                let child = next_id;
-                next_id += 1;
-                links.push(LinkView {
-                    id: DirLinkId(link_id),
-                    from: NodeId(parent),
-                    to: NodeId(child),
-                });
-                active.push(DirLinkId(link_id));
-                link_id += 1;
-                if level + 1 == depth {
-                    members.push(NodeId(child));
-                }
-                next_frontier.push(child);
-            }
-        }
-        frontier = next_frontier;
-    }
-    let view = TopologyView {
-        time: SimTime::ZERO,
-        links,
-        groups: vec![GroupSnapshot {
-            group: GroupId(session),
-            root: NodeId(0),
-            active_links: active,
-            member_nodes: members.clone(),
-        }],
-    };
-    let tree = SessionTree::build(&view, SessionId(session), &[GroupId(session)])
-        .expect("balanced tree is valid");
-    (tree, members)
-}
-
-/// One report per leaf with a deterministic loss pattern (every
-/// `lossy_mod`-th receiver sees 10 % loss; `0` disables loss entirely).
-pub fn reports_for_leaves(
-    session: u32,
-    leaves: &[NodeId],
-    level: u8,
-    lossy_mod: usize,
-) -> Vec<ReceiverReport> {
-    leaves
-        .iter()
-        .enumerate()
-        .map(|(i, &node)| {
-            let lossy = lossy_mod != 0 && i % lossy_mod == 0;
-            ReceiverReport {
-                receiver: AppId(1000 + i as u32),
-                node,
-                session: SessionId(session),
-                level,
-                received: if lossy { 90 } else { 100 },
-                lost: if lossy { 10 } else { 0 },
-                bytes: 25_000,
-            }
-        })
-        .collect()
-}
-
-/// The registry matching [`reports_for_leaves`].
-pub fn registry_for_leaves(session: u32, leaves: &[NodeId]) -> Vec<(AppId, NodeId, SessionId)> {
-    leaves
-        .iter()
-        .enumerate()
-        .map(|(i, &node)| (AppId(1000 + i as u32), node, SessionId(session)))
-        .collect()
-}
+pub use scenarios::largetree::{
+    balanced_session_tree, churn_fraction, registry_for_leaves, reports_for_leaves,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn balanced_tree_shape() {
-        let (tree, leaves) = balanced_session_tree(0, 3, 3);
-        assert_eq!(leaves.len(), 27);
-        assert_eq!(tree.tree().len(), 1 + 3 + 9 + 27);
-        assert!(leaves.iter().all(|&l| tree.tree().is_leaf(l)));
-    }
 
     #[test]
     fn reports_match_registry() {

@@ -1,0 +1,190 @@
+//! Large-domain workload generator for the incremental-pipeline benchmarks.
+//!
+//! The paper's topologies top out at tens of receivers; the change-driven
+//! pipeline (DESIGN.md §11) is aimed at session trees orders of magnitude
+//! larger, where recomputing every slot each interval is the bottleneck.
+//! This module builds balanced multicast domains of configurable size
+//! (`fanout^depth` leaves — fanout 10, depth 4 gives an 11,111-node domain)
+//! and drives them with deterministic report churn at a configurable dirty
+//! fraction, so full and incremental runs can be compared on identical
+//! inputs. `crates/bench`'s `incremental` bench and the large-tree smoke
+//! test in `tests/incremental.rs` both draw their workloads from here.
+
+use netsim::{AppId, DirLinkId, GroupId, GroupSnapshot, NodeId, SessionId, SimTime};
+use topology::discovery::{LinkView, TopologyView};
+use topology::SessionTree;
+use toposense::algorithm::ReceiverReport;
+
+/// Build a balanced session tree with `fanout^depth` leaves.
+///
+/// Node 0 is the root/source; nodes are numbered breadth-first. Returns the
+/// tree plus the list of leaf nodes (the receivers).
+pub fn balanced_session_tree(
+    session: u32,
+    fanout: usize,
+    depth: usize,
+) -> (SessionTree, Vec<NodeId>) {
+    assert!(fanout >= 1 && depth >= 1);
+    let mut links = Vec::new();
+    let mut active = Vec::new();
+    let mut members = Vec::new();
+    let mut next_id = 1u32;
+    let mut frontier = vec![0u32];
+    let mut link_id = 0u32;
+    for level in 0..depth {
+        let mut next_frontier = Vec::new();
+        for &parent in &frontier {
+            for _ in 0..fanout {
+                let child = next_id;
+                next_id += 1;
+                links.push(LinkView {
+                    id: DirLinkId(link_id),
+                    from: NodeId(parent),
+                    to: NodeId(child),
+                });
+                active.push(DirLinkId(link_id));
+                link_id += 1;
+                if level + 1 == depth {
+                    members.push(NodeId(child));
+                }
+                next_frontier.push(child);
+            }
+        }
+        frontier = next_frontier;
+    }
+    let view = TopologyView {
+        time: SimTime::ZERO,
+        links,
+        groups: vec![GroupSnapshot {
+            group: GroupId(session),
+            root: NodeId(0),
+            active_links: active,
+            member_nodes: members.clone(),
+        }],
+    };
+    let tree = SessionTree::build(&view, SessionId(session), &[GroupId(session)])
+        .expect("balanced tree is valid");
+    (tree, members)
+}
+
+/// One report per leaf with a deterministic loss pattern (every
+/// `lossy_mod`-th receiver sees 10 % loss; `0` disables loss entirely).
+pub fn reports_for_leaves(
+    session: u32,
+    leaves: &[NodeId],
+    level: u8,
+    lossy_mod: usize,
+) -> Vec<ReceiverReport> {
+    leaves
+        .iter()
+        .enumerate()
+        .map(|(i, &node)| {
+            let lossy = lossy_mod != 0 && i % lossy_mod == 0;
+            ReceiverReport {
+                receiver: AppId(1000 + i as u32),
+                node,
+                session: SessionId(session),
+                level,
+                received: if lossy { 90 } else { 100 },
+                lost: if lossy { 10 } else { 0 },
+                bytes: 25_000,
+            }
+        })
+        .collect()
+}
+
+/// The registry matching [`reports_for_leaves`].
+pub fn registry_for_leaves(session: u32, leaves: &[NodeId]) -> Vec<(AppId, NodeId, SessionId)> {
+    leaves
+        .iter()
+        .enumerate()
+        .map(|(i, &node)| (AppId(1000 + i as u32), node, SessionId(session)))
+        .collect()
+}
+
+/// Mutate a `dirty_fraction` of the reports in place, deterministically.
+///
+/// The touched receivers are stride-spread across the report list and the
+/// stride offset rotates with `round`, so successive intervals dirty
+/// different (but same-sized) receiver sets — the access pattern an
+/// incremental pipeline sees in steady state, not a fixed hot set it could
+/// get lucky on. Every touched report genuinely changes (its byte counter
+/// toggles), so the diff pass cannot skip it; the perturbation stays in
+/// the bytes field so the congestion regime is steady and the measured
+/// dirty fraction is exactly the requested one — toggling loss instead
+/// would accumulate congested receivers across rounds and swing global
+/// supply, turning a nominal 1 % churn into a near-full recompute. Returns
+/// how many reports were touched.
+pub fn churn_fraction(reports: &mut [ReceiverReport], dirty_fraction: f64, round: u64) -> usize {
+    assert!((0.0..=1.0).contains(&dirty_fraction));
+    let n = reports.len();
+    let k = ((n as f64 * dirty_fraction).round() as usize).min(n);
+    if k == 0 {
+        return 0;
+    }
+    let stride = (n / k).max(1);
+    let offset = (round as usize) % stride;
+    let mut touched = 0usize;
+    let mut i = offset;
+    while i < n && touched < k {
+        let r = &mut reports[i];
+        r.bytes = if r.bytes == 25_000 { 24_000 } else { 25_000 };
+        i += stride;
+        touched += 1;
+    }
+    touched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_tree_shape() {
+        let (tree, leaves) = balanced_session_tree(0, 3, 3);
+        assert_eq!(leaves.len(), 27);
+        assert_eq!(tree.tree().len(), 1 + 3 + 9 + 27);
+        assert!(leaves.iter().all(|&l| tree.tree().is_leaf(l)));
+    }
+
+    #[test]
+    fn ten_k_domain_is_reachable() {
+        let (tree, leaves) = balanced_session_tree(0, 10, 4);
+        assert_eq!(leaves.len(), 10_000);
+        assert!(tree.tree().len() >= 10_000, "domain must span ≥10k nodes");
+    }
+
+    #[test]
+    fn churn_touches_requested_fraction() {
+        let (_, leaves) = balanced_session_tree(0, 10, 3);
+        let mut reports = reports_for_leaves(0, &leaves, 3, 0);
+        let before = reports.clone();
+        let touched = churn_fraction(&mut reports, 0.01, 1);
+        assert_eq!(touched, 10);
+        let changed = reports.iter().zip(&before).filter(|(a, b)| a != b).count();
+        assert_eq!(changed, touched, "every touched report must differ");
+        // A later round with the same fraction rotates to a different set.
+        let mid = reports.clone();
+        churn_fraction(&mut reports, 0.01, 2);
+        assert_ne!(reports, mid);
+    }
+
+    #[test]
+    fn churn_full_fraction_touches_everything() {
+        let (_, leaves) = balanced_session_tree(0, 4, 2);
+        let mut reports = reports_for_leaves(0, &leaves, 3, 0);
+        let before = reports.clone();
+        let touched = churn_fraction(&mut reports, 1.0, 0);
+        assert_eq!(touched, before.len());
+        assert!(reports.iter().zip(&before).all(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn churn_zero_fraction_is_a_noop() {
+        let (_, leaves) = balanced_session_tree(0, 2, 2);
+        let mut reports = reports_for_leaves(0, &leaves, 3, 2);
+        let before = reports.clone();
+        assert_eq!(churn_fraction(&mut reports, 0.0, 5), 0);
+        assert_eq!(reports, before);
+    }
+}

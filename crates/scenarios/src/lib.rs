@@ -14,10 +14,14 @@
 //! * [`chaos`] — canned fault plans (link flap, router crash, discovery
 //!   outage, controller failover, seeded chaos) and the recovery-bound
 //!   checker behind `tests/chaos.rs`.
+//! * [`largetree`] — balanced ≥10k-node domains with deterministic report
+//!   churn at a configurable dirty fraction, the workload behind the
+//!   incremental-pipeline bench and smoke tests.
 
 pub mod ablations;
 pub mod chaos;
 pub mod experiments;
+pub mod largetree;
 pub mod runner;
 
 pub use runner::{run, ControlMode, ReceiverOutcome, Scenario, ScenarioResult, SpecFault};

@@ -7,7 +7,7 @@
 //! source — the structure every TopoSense stage operates on.
 
 use crate::discovery::TopologyView;
-use crate::tree::{Tree, TreeError};
+use crate::tree::{DirtySet, Tree, TreeError};
 use netsim::{DirLinkId, GroupId, NodeId, SessionId};
 use std::collections::HashMap;
 
@@ -121,6 +121,34 @@ impl SessionTree {
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, DirLinkId, u8)> + '_ {
         (1..self.tree.len())
             .map(move |s| (self.tree.node_at(s), self.in_link[s], self.max_layer_in[s]))
+    }
+
+    /// Structural equality of the whole overlay: the underlying tree (see
+    /// [`Tree::structure_eq`]) plus the per-edge link and layer attributes.
+    /// Two session trees that compare equal here produce identical results
+    /// from every slot-indexed stage given identical per-slot inputs — the
+    /// fingerprint the incremental recomputation path checks each interval
+    /// before trusting its caches.
+    pub fn structure_eq(&self, other: &SessionTree) -> bool {
+        self.session == other.session
+            && self.tree.structure_eq(&other.tree)
+            && self.in_link == other.in_link
+            && self.max_layer_in == other.max_layer_in
+    }
+
+    /// Mark `slot` and its ancestors in `dirty` (see
+    /// [`Tree::mark_ancestors`]): the propagation pattern of the bottom-up
+    /// stages, where a changed observation at a slot can only affect the
+    /// states on its root path.
+    pub fn mark_ancestors(&self, slot: usize, dirty: &mut DirtySet) {
+        self.tree.mark_ancestors(slot, dirty);
+    }
+
+    /// Mark `slot` and its whole subtree in `dirty` (see
+    /// [`Tree::mark_subtree`]): the propagation pattern of top-down
+    /// effects such as backoff timers, which block every descendant.
+    pub fn mark_subtree(&self, slot: usize, dirty: &mut DirtySet) {
+        self.tree.mark_subtree(slot, dirty);
     }
 }
 

@@ -279,6 +279,47 @@ impl Tree {
         last
     }
 
+    /// Structural equality over the dense layout: same root, same BFS
+    /// order, same CSR child index. Two trees that compare equal here have
+    /// identical slot assignments, so per-slot caches built against one
+    /// remain valid against the other. Deliberately skips the
+    /// `NodeId -> slot` map (fully determined by `order`) so the check is
+    /// three contiguous memcmp-style comparisons, cheap enough to run
+    /// every interval.
+    pub fn structure_eq(&self, other: &Tree) -> bool {
+        self.root == other.root
+            && self.order == other.order
+            && self.child_start == other.child_start
+    }
+
+    /// Mark `slot` and every ancestor up to the root in `dirty`. Walks the
+    /// parent chain and stops at the first slot already marked — repeated
+    /// calls over a batch of dirty slots therefore cost O(total newly
+    /// marked), not O(depth) each.
+    pub fn mark_ancestors(&self, slot: usize, dirty: &mut DirtySet) {
+        let mut s = slot;
+        loop {
+            if !dirty.mark(s) {
+                return;
+            }
+            match self.parent_slot_of(s) {
+                Some(p) => s = p,
+                None => return,
+            }
+        }
+    }
+
+    /// Mark `slot` and every slot of its subtree in `dirty`. No pruning at
+    /// already-marked slots: a slot marked by an earlier, unrelated pass
+    /// (e.g. an ancestor walk) says nothing about its descendants.
+    pub fn mark_subtree(&self, slot: usize, dirty: &mut DirtySet) {
+        let mut stack = vec![slot];
+        while let Some(s) = stack.pop() {
+            dirty.mark(s);
+            stack.extend(self.child_slots(s));
+        }
+    }
+
     /// Graphviz DOT rendering (debugging aid); `label` decorates each node.
     pub fn to_dot(&self, mut label: impl FnMut(NodeId) -> String) -> String {
         let mut out = String::from("digraph tree {\n  rankdir=TB;\n");
@@ -292,6 +333,79 @@ impl Tree {
         }
         out.push_str("}\n");
         out
+    }
+}
+
+/// A reusable set of dirty tree slots.
+///
+/// Built for the incremental recomputation path: membership is an
+/// epoch-stamped array (no per-interval clearing), and the marked slots are
+/// also kept as a list so callers can iterate exactly the dirty slots
+/// without scanning the whole tree. [`DirtySet::begin`] starts a fresh
+/// interval in O(1) amortized; the stamp array is only rewritten when the
+/// tree grows or the epoch counter wraps.
+#[derive(Clone, Debug, Default)]
+pub struct DirtySet {
+    /// `stamp[slot] == epoch` means the slot is marked this interval.
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// The marked slots, in marking order (deduplicated by `mark`).
+    slots: Vec<u32>,
+}
+
+impl DirtySet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a fresh marking round over a tree of `len` slots. Previous
+    /// marks are forgotten without touching the stamp array (epoch bump);
+    /// the array is re-zeroed only on growth or epoch wrap-around.
+    pub fn begin(&mut self, len: usize) {
+        self.slots.clear();
+        if self.stamp.len() < len || self.epoch == u32::MAX {
+            self.stamp.clear();
+            self.stamp.resize(len, 0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Mark `slot`; returns `true` when it was not already marked.
+    pub fn mark(&mut self, slot: usize) -> bool {
+        if self.stamp[slot] == self.epoch {
+            return false;
+        }
+        self.stamp[slot] = self.epoch;
+        self.slots.push(slot as u32);
+        true
+    }
+
+    /// Whether `slot` is marked this round.
+    pub fn contains(&self, slot: usize) -> bool {
+        self.stamp.get(slot).is_some_and(|&e| e == self.epoch)
+    }
+
+    /// The marked slots (in marking order unless sorted).
+    pub fn slots(&self) -> &[u32] {
+        &self.slots
+    }
+
+    /// Sort the marked slots descending — the bottom-up processing order
+    /// (children occupy higher slots than their parents).
+    pub fn sort_descending(&mut self) {
+        self.slots.sort_unstable_by(|a, b| b.cmp(a));
+    }
+
+    /// Number of marked slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing is marked.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
     }
 }
 
@@ -440,5 +554,95 @@ mod tests {
     fn error_cycle_detected_as_disconnected() {
         let e = Tree::from_edges(n(0), &[(n(1), n(2)), (n(2), n(1))]);
         assert!(matches!(e.unwrap_err(), TreeError::TwoParents(_) | TreeError::Disconnected(_)));
+    }
+
+    #[test]
+    fn structure_eq_detects_any_shape_change() {
+        let t = fig1();
+        assert!(t.structure_eq(&fig1()));
+        assert!(t.structure_eq(&t.clone()));
+        // Extra leaf under node 5.
+        let grown = Tree::from_edges(
+            n(0),
+            &[(n(0), n(1)), (n(1), n(2)), (n(1), n(5)), (n(2), n(3)), (n(2), n(4)), (n(5), n(6))],
+        )
+        .unwrap();
+        assert!(!t.structure_eq(&grown));
+        // Same node set, node 4 re-parented under node 5: BFS order equal
+        // but the CSR child index differs.
+        let moved = Tree::from_edges(
+            n(0),
+            &[(n(0), n(1)), (n(1), n(2)), (n(1), n(5)), (n(2), n(3)), (n(5), n(4))],
+        )
+        .unwrap();
+        assert!(!t.structure_eq(&moved));
+        // Different root.
+        let reroot = Tree::from_edges(n(1), &[(n(1), n(2))]).unwrap();
+        assert!(!t.structure_eq(&reroot));
+    }
+
+    #[test]
+    fn dirty_set_marks_and_resets_by_epoch() {
+        let mut d = DirtySet::new();
+        d.begin(6);
+        assert!(d.is_empty());
+        assert!(d.mark(3));
+        assert!(!d.mark(3), "double mark is deduplicated");
+        assert!(d.mark(5));
+        assert!(d.contains(3) && d.contains(5) && !d.contains(0));
+        assert_eq!(d.len(), 2);
+        d.sort_descending();
+        assert_eq!(d.slots(), &[5, 3]);
+        // New round: previous marks are gone without clearing storage.
+        d.begin(6);
+        assert!(d.is_empty());
+        assert!(!d.contains(3));
+        assert!(d.mark(3));
+        // Growing the tree re-zeroes the stamp array.
+        d.begin(10);
+        assert!(!d.contains(3));
+        assert!(d.mark(9));
+        assert!(!d.contains(6));
+    }
+
+    #[test]
+    fn mark_ancestors_walks_to_root_and_stops_at_marked() {
+        let t = fig1();
+        // fig1 BFS order: 0,1,2,5,3,4 -> slot of node 4 is 5, node 3 is 4.
+        let s4 = t.slot_of(n(4)).unwrap();
+        let s3 = t.slot_of(n(3)).unwrap();
+        let mut d = DirtySet::new();
+        d.begin(t.len());
+        t.mark_ancestors(s4, &mut d);
+        // Path 4 -> 2 -> 1 -> 0.
+        let mut got: Vec<u32> = d.slots().to_vec();
+        got.sort_unstable();
+        let mut want: Vec<u32> =
+            [n(4), n(2), n(1), n(0)].iter().map(|&x| t.slot_of(x).unwrap() as u32).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        // Second walk from the sibling stops at the shared parent: only the
+        // sibling itself is newly marked.
+        let before = d.len();
+        t.mark_ancestors(s3, &mut d);
+        assert_eq!(d.len(), before + 1);
+        assert!(d.contains(s3));
+    }
+
+    #[test]
+    fn mark_subtree_covers_descendants_even_through_marked_slots() {
+        let t = fig1();
+        let s1 = t.slot_of(n(1)).unwrap();
+        let s2 = t.slot_of(n(2)).unwrap();
+        let mut d = DirtySet::new();
+        d.begin(t.len());
+        // Pre-mark an interior slot of the subtree (as an ancestor walk
+        // would); the subtree DFS must still reach its children.
+        assert!(d.mark(s2));
+        t.mark_subtree(s1, &mut d);
+        for node in [n(1), n(2), n(5), n(3), n(4)] {
+            assert!(d.contains(t.slot_of(node).unwrap()), "node {} missing", node.0);
+        }
+        assert!(!d.contains(t.slot_of(n(0)).unwrap()));
     }
 }

@@ -25,7 +25,7 @@ use topology::SessionTree;
 use traffic::LayerSpec;
 
 /// One receiver's aggregated report for the interval.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ReceiverReport {
     pub receiver: AppId,
     pub node: NodeId,
@@ -80,9 +80,15 @@ pub struct AlgorithmOutputs {
     pub congested_nodes: usize,
     /// Per-session supply at the root (levels) — the session-wide ceiling.
     pub root_supply: Vec<u8>,
+    /// Whether this interval took the incremental (dirty-subtree) path.
+    pub incremental: bool,
+    /// Tree slots the stage kernels actually recomputed this interval
+    /// (stage-1 congestion states + stage-5 decisions). A full run counts
+    /// every slot twice; an incremental run only the dirty ones.
+    pub slots_recomputed: u64,
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 struct NodeMemory {
     hist: CongestionHistory,
     bytes_older: u64,
@@ -128,6 +134,80 @@ struct SessionScratch {
     supply: Vec<u8>,
     /// Table I branch labels per tree slot (filled only when auditing).
     branches: Vec<&'static str>,
+    /// Double buffers for the incremental path: the fresh stage-5 inputs
+    /// are built here, diffed against `inputs`/`level_cap` to find dirty
+    /// slots, then swapped in. Used only when the whole session must be
+    /// rebuilt (its sharing allowances were refreshed).
+    inputs_new: Vec<NodeInputs>,
+    level_cap_new: Vec<u8>,
+    /// Snapshot of `states` as of the previous interval, taken before the
+    /// incremental stage-1 recompute; diffed afterwards to find slots whose
+    /// stage-5 inputs may have moved.
+    states_prev: Vec<NodeState>,
+    /// Slots whose observation was re-folded this interval (report diff).
+    obs_dirty: Vec<u32>,
+    /// Slots whose memory the stage-1 fold changed this interval.
+    mem_dirty: Vec<u32>,
+    /// Slots whose propagated congestion state (congested / parent flag /
+    /// loss) moved this interval relative to `states_prev`.
+    state_dirty: Vec<u32>,
+}
+
+/// Per-session inputs frozen by [`IncCache`] at the last full run. As long
+/// as the live inputs still match (`Tree::structure_eq`, same spec, same
+/// report keys), the previous interval's scratch buffers are a valid
+/// starting point for change-driven recomputation.
+#[derive(Debug)]
+struct SessionCache {
+    session: SessionId,
+    tree: SessionTree,
+    spec: LayerSpec,
+    /// CSR attribution: `rep_idx[rep_start[slot]..rep_start[slot + 1]]`
+    /// are the global report indices folding into `slot`, in report order
+    /// (so an incremental re-fold replays the full path's fold exactly).
+    rep_start: Vec<u32>,
+    rep_idx: Vec<u32>,
+    /// Suggestion routing resolved once per topology: `(receiver, slot)`
+    /// per registered receiver of this session present in the tree, in
+    /// registry order.
+    sugg_route: Vec<(AppId, u32)>,
+    /// Slots holding at least one backoff timer after the previous run.
+    /// Their subtrees must be re-decided next interval even if the timer
+    /// has expired since — expiry itself changes `blocked`.
+    backoff_slots: Vec<u32>,
+    /// Slots whose memory the previous run's stage-5 persistence changed
+    /// (supply/demand writes land after that interval's inputs were built,
+    /// so they surface as input changes one interval later).
+    mem5_dirty: Vec<u32>,
+}
+
+/// Everything the incremental path needs to prove, cheaply, that only the
+/// changed inputs can have changed the outputs. Built after every full
+/// run; consulted and refreshed by every incremental run; dropped on any
+/// mismatch (the next run falls back to the full path and rebuilds it).
+#[derive(Debug, Default)]
+struct IncCache {
+    valid: bool,
+    /// Whether `SessionScratch::branches` is current for every slot — an
+    /// audited incremental run reuses clean slots' cached labels, which is
+    /// only sound if the previous run filled them.
+    branches_valid: bool,
+    interval: SimDuration,
+    registry: Vec<(AppId, NodeId, SessionId)>,
+    /// The previous interval's reports, diffed element-wise against the
+    /// current ones to find changed slots.
+    reports: Vec<ReceiverReport>,
+    /// Per cached report: `(session index, slot)` it folds into, or
+    /// `(u32::MAX, u32::MAX)` when unattributable (node outside the tree).
+    report_target: Vec<(u32, u32)>,
+    /// Per row of the link-sorted usage buffer: the `(session index,
+    /// slot)` the observation came from, so stage 2 can rebuild any
+    /// link's observation run from current states without re-sorting.
+    usage_meta: Vec<(u32, u32)>,
+    /// Every link any session crosses, sorted (dedup of `usage_meta`'s
+    /// link column).
+    crossed_links: Vec<DirLinkId>,
+    sessions: Vec<SessionCache>,
 }
 
 /// The controller's persistent algorithm state.
@@ -141,6 +221,11 @@ pub struct AlgorithmState {
     scratch: Vec<SessionScratch>,
     sharing_scratch: SharingScratch,
     usage_buf: Vec<(DirLinkId, SessionLinkObs)>,
+    cache: IncCache,
+    dirty: topology::DirtySet,
+    /// Second marking set for stage 5: candidate slots whose inputs may
+    /// have moved (`dirty` holds the slots whose decisions must re-run).
+    dirty_aux: topology::DirtySet,
 }
 
 impl AlgorithmState {
@@ -156,6 +241,9 @@ impl AlgorithmState {
             scratch: Vec::new(),
             sharing_scratch: SharingScratch::default(),
             usage_buf: Vec::new(),
+            cache: IncCache::default(),
+            dirty: topology::DirtySet::new(),
+            dirty_aux: topology::DirtySet::new(),
         }
     }
 
@@ -191,6 +279,9 @@ impl AlgorithmState {
         mut audit: Option<&mut IntervalAudit>,
     ) -> AlgorithmOutputs {
         assert_eq!(inputs.trees.len(), inputs.specs.len());
+        // The incremental path maintains node memories only in the dense
+        // per-slot copies; flush them back before reading the map.
+        self.sync_memories();
         let cfg = self.cfg;
         let nsess = inputs.trees.len();
         let timing = audit.is_some();
@@ -233,9 +324,20 @@ impl AlgorithmState {
                 let st = sc.states[s];
                 congested += st.congested as usize;
                 let mut mem = memories.get(&(sid, t.node_at(s))).copied().unwrap_or_default();
-                mem.hist.push(st.congested);
-                mem.bytes_older = mem.bytes_recent;
-                mem.bytes_recent = st.max_bytes;
+                if st.has_data || st.parent_congested {
+                    mem.hist.push(st.congested);
+                    mem.bytes_older = mem.bytes_recent;
+                    mem.bytes_recent = st.max_bytes;
+                } else {
+                    // No-data subtree (every receiver below quarantined,
+                    // evicted, or silenced by an outage): the interval is
+                    // not evidence of anything, so the node inherits its
+                    // prior state instead of recording a fabricated
+                    // all-clear. The byte windows hold too — rotating a 0
+                    // in would crater the goodput floor the reduce rules
+                    // use once reports resume.
+                    mem.hist.push(mem.hist.now());
+                }
                 sc.mem[s] = mem;
             }
             congested
@@ -264,30 +366,7 @@ impl AlgorithmState {
             if let Some(span) = stage_span {
                 a.stage_ns.push(("stage1_congestion", span.elapsed_ns()));
             }
-            a.congestion = inputs
-                .trees
-                .iter()
-                .zip(&scratch)
-                .map(|(tree, sc)| {
-                    let t = tree.tree();
-                    SessionNodes {
-                        session: tree.session().0 as u64,
-                        nodes: t
-                            .slots()
-                            .map(|s| {
-                                let st = sc.states[s];
-                                CongestionNode {
-                                    node: t.node_at(s).0 as u64,
-                                    loss: st.loss,
-                                    self_congested: st.self_congested,
-                                    congested: st.congested,
-                                    parent_congested: st.parent_congested,
-                                }
-                            })
-                            .collect(),
-                    }
-                })
-                .collect();
+            a.congestion = congestion_audit(inputs.trees, &scratch);
         }
 
         // Stage 2: capacity estimation over every link any session crosses.
@@ -324,10 +403,7 @@ impl AlgorithmState {
             // sort by link makes the record deterministic while keeping
             // a link's reset ahead of its re-learn.
             cap_events.sort_by_key(|&(l, _, _)| l);
-            a.capacity = cap_events
-                .iter()
-                .map(|&(l, bps, event)| CapacityLink { link: l.0 as u64, bps, event: event.into() })
-                .collect();
+            a.capacity = capacity_audit(&cap_events);
         }
 
         // Stage 3 per session.
@@ -361,25 +437,7 @@ impl AlgorithmState {
             if let Some(span) = stage_span {
                 a.stage_ns.push(("stage3_bottleneck", span.elapsed_ns()));
             }
-            a.bottleneck = inputs
-                .trees
-                .iter()
-                .zip(&scratch)
-                .map(|(tree, sc)| {
-                    let t = tree.tree();
-                    SessionNodes {
-                        session: tree.session().0 as u64,
-                        nodes: t
-                            .slots()
-                            .map(|s| BottleneckNode {
-                                node: t.node_at(s).0 as u64,
-                                bottleneck_bps: sc.bottleneck[s],
-                                max_handle_bps: sc.max_handle[s],
-                            })
-                            .collect(),
-                    }
-                })
-                .collect();
+            a.bottleneck = bottleneck_audit(inputs.trees, &scratch);
         }
 
         // Stage 4 across sessions.
@@ -394,16 +452,7 @@ impl AlgorithmState {
             if let Some(span) = stage_span {
                 a.stage_ns.push(("stage4_sharing", span.elapsed_ns()));
             }
-            a.sharing = self
-                .sharing_scratch
-                .shares_sorted()
-                .into_iter()
-                .map(|(l, i, bps)| SharingEntry {
-                    link: l.0 as u64,
-                    session: inputs.trees[i as usize].session().0 as u64,
-                    allowed_bps: bps,
-                })
-                .collect();
+            a.sharing = sharing_audit(&self.sharing_scratch, inputs.trees);
         }
 
         // Stage 5 per session (sequential: shares one RNG stream).
@@ -415,65 +464,20 @@ impl AlgorithmState {
             let t = tree.tree();
             let sc = &mut scratch[i];
 
-            sc.inputs.clear();
-            for s in t.slots() {
-                let st = sc.states[s];
-                let sibling_congested = match t.parent_slot_of(s) {
-                    None => false,
-                    Some(p) => t.child_slots(p).any(|c| c != s && sc.states[c].congested),
-                };
-                let mem = sc.mem[s];
-                // Receivers that did not report this interval fall back to
-                // the subscription implied by the tree itself.
-                let reported = sc.obs[s]
-                    .map(|o| o.level)
-                    .or_else(|| (s != 0).then(|| tree.max_layer_at(s) + 1));
-                // Reports lag suggestions by up to an interval. While a node
-                // is clean, a reported level below our last supply is just
-                // that lag (the receiver is catching up to the suggestion),
-                // not a deliberate drop — trusting the stale value makes the
-                // controller re-suggest it and flap. Under congestion the
-                // report is authoritative (unilateral drops are real).
-                // The trust is bounded to one unreported step (`r + 1`):
-                // with a stale discovery tool the reports lag by much more
-                // than an interval, and trusting the full supply would let
-                // the controller climb on the echo of its own suggestions.
-                let current_level = reported.map(|r| {
-                    if st.congested || st.loss > cfg.p_threshold {
-                        r
-                    } else {
-                        r.max(mem.supply_recent.min(r + 1))
-                    }
-                });
-                sc.inputs.push(NodeInputs {
-                    hist: mem.hist,
-                    parent_congested: st.parent_congested,
-                    sibling_congested,
-                    bw: BwEquality::classify(
-                        mem.bytes_older,
-                        mem.bytes_recent,
-                        cfg.bw_equal_tolerance,
-                    ),
-                    loss: st.loss,
-                    supply_older: mem.supply_older,
-                    supply_recent: mem.supply_recent,
-                    demand_prev: mem.demand_prev,
-                    current_level,
-                    // Two-interval max: during a neighbour's transient
-                    // probe this interval's goodput dips, but the prior
-                    // interval still witnesses the sustainable level, so
-                    // innocent subtrees are not dragged down with the
-                    // prober (see reduce_target).
-                    goodput_bps: mem.bytes_recent.max(mem.bytes_older) as f64 * 8.0
-                        / inputs.interval.as_secs_f64().max(1e-9),
-                });
-            }
-
-            sc.level_cap.clear();
-            for s in t.slots() {
-                let bw = self.sharing_scratch.allowed_at(i, s).min(sc.max_handle[s]);
-                sc.level_cap.push(spec.level_fitting(bw));
-            }
+            build_stage5_inputs(
+                tree,
+                i,
+                spec,
+                &cfg,
+                inputs.interval,
+                &self.sharing_scratch,
+                &sc.obs,
+                &sc.states,
+                &sc.mem,
+                &sc.max_handle,
+                &mut sc.inputs,
+                &mut sc.level_cap,
+            );
 
             let backoffs = self.backoffs.entry(sid).or_default();
             // A receiver sitting below the level we last supplied while its
@@ -524,12 +528,15 @@ impl AlgorithmState {
             }
 
             // Persist this interval's history/byte updates together with
-            // the new supply/demand windows.
+            // the new supply/demand windows. The dense copy is written
+            // back too: the incremental path reads next interval's prior
+            // memory from `sc.mem`, never from the map.
             for s in t.slots() {
                 let mut mem = sc.mem[s];
                 mem.supply_older = mem.supply_recent;
                 mem.supply_recent = sc.supply[s];
                 mem.demand_prev = Some(sc.demand[s]);
+                sc.mem[s] = mem;
                 self.memories.insert((sid, t.node_at(s)), mem);
             }
             outputs.root_supply.push(sc.supply[0]);
@@ -562,19 +569,7 @@ impl AlgorithmState {
                         suggested[slot] = Some(sc.supply[slot].clamp(1, spec.max_level()));
                     }
                 }
-                a.subscription.push(SessionNodes {
-                    session: sid.0 as u64,
-                    nodes: t
-                        .slots()
-                        .map(|s| SubscriptionNode {
-                            node: t.node_at(s).0 as u64,
-                            branch: sc.branches[s].into(),
-                            demand: sc.demand[s],
-                            supply: sc.supply[s],
-                            suggested: suggested[s],
-                        })
-                        .collect(),
-                });
+                a.subscription.push(subscription_session_audit(tree, sc, &suggested));
             }
         }
         if let Some(a) = audit {
@@ -599,11 +594,877 @@ impl AlgorithmState {
             }
         }
         outputs.congested_nodes = congested_nodes;
+        outputs.slots_recomputed = inputs.trees.iter().map(|t| 2 * t.tree().len() as u64).sum();
         scratch.extend(spare);
         self.scratch = scratch;
         self.usage_buf = usage;
         self.runs += 1;
         outputs
+    }
+
+    /// Change-driven variant of [`Self::run`]: recompute only the tree
+    /// slots whose inputs changed since the previous interval, with
+    /// byte-identical outputs. Falls back to the full [`Self::run`] (and
+    /// reprimes the change cache) whenever the incremental invariants
+    /// cannot be proven — first run, topology or membership change,
+    /// interval change, pending capacity reset, failover.
+    pub fn run_incremental(&mut self, inputs: &AlgorithmInputs<'_>) -> AlgorithmOutputs {
+        self.run_incremental_audited(inputs, None)
+    }
+
+    /// [`Self::run_incremental`] with the same optional decision audit as
+    /// [`Self::run_audited`]. An audited incremental run requires the
+    /// previous run to have been audited too (clean slots reuse their
+    /// cached branch labels); otherwise it falls back to a full run.
+    pub fn run_incremental_audited(
+        &mut self,
+        inputs: &AlgorithmInputs<'_>,
+        mut audit: Option<&mut IntervalAudit>,
+    ) -> AlgorithmOutputs {
+        let want_audit = audit.is_some();
+        if !self.can_run_incremental(inputs, want_audit) {
+            let out = self.run_audited(inputs, audit.as_deref_mut());
+            self.rebuild_cache(inputs, want_audit);
+            return out;
+        }
+        self.run_incremental_inner(inputs, audit)
+    }
+
+    /// Drop the incremental cache (flushing the dense node memories back
+    /// into the persistent map first). Call on any external state
+    /// transition — controller failover, restart — after which last
+    /// interval's cached invariants no longer hold; the next run then
+    /// takes the full path and reprimes the cache.
+    pub fn invalidate(&mut self) {
+        self.sync_memories();
+    }
+
+    /// Flush the dense per-slot node memories back into the `memories`
+    /// map and invalidate the cache. The incremental path updates only
+    /// the dense copies, so this must run before anything reads the map.
+    fn sync_memories(&mut self) {
+        if !self.cache.valid {
+            return;
+        }
+        self.cache.valid = false;
+        for (k, cs) in self.cache.sessions.iter().enumerate() {
+            let t = cs.tree.tree();
+            let sc = &self.scratch[k];
+            for s in t.slots() {
+                self.memories.insert((cs.session, t.node_at(s)), sc.mem[s]);
+            }
+        }
+    }
+
+    /// Can this interval be served from the change cache? Every check
+    /// guards a specific invariant the incremental kernels assume.
+    fn can_run_incremental(&self, inputs: &AlgorithmInputs<'_>, want_audit: bool) -> bool {
+        let c = &self.cache;
+        if !c.valid || (want_audit && !c.branches_valid) || inputs.interval != c.interval {
+            return false;
+        }
+        if inputs.trees.len() != c.sessions.len()
+            || inputs.registry != c.registry.as_slice()
+            || inputs.reports.len() != c.reports.len()
+        {
+            return false;
+        }
+        for ((tree, spec), cs) in inputs.trees.iter().zip(inputs.specs).zip(&c.sessions) {
+            if tree.session() != cs.session || **spec != cs.spec || !tree.structure_eq(&cs.tree) {
+                return false;
+            }
+        }
+        // Report *keys* must match index-for-index so the cached
+        // slot attribution still applies; values are what gets diffed.
+        for (new, old) in inputs.reports.iter().zip(&c.reports) {
+            if (new.receiver, new.node, new.session) != (old.receiver, old.node, old.session) {
+                return false;
+            }
+        }
+        // A due capacity reset rewrites estimator state outside the
+        // change-tracking model; let the full path run it.
+        !self.estimator.has_pending_reset(inputs.now, &self.cfg)
+    }
+
+    /// Prime the change cache from `inputs` right after a full run, so the
+    /// next interval can be served incrementally.
+    fn rebuild_cache(&mut self, inputs: &AlgorithmInputs<'_>, audited: bool) {
+        let c = &mut self.cache;
+        c.interval = inputs.interval;
+        c.registry.clear();
+        c.registry.extend_from_slice(inputs.registry);
+        c.reports.clear();
+        c.reports.extend_from_slice(inputs.reports);
+
+        c.report_target.clear();
+        for r in inputs.reports {
+            let target =
+                inputs.trees.iter().position(|t| t.session() == r.session).and_then(|k| {
+                    inputs.trees[k].tree().slot_of(r.node).map(|s| (k as u32, s as u32))
+                });
+            c.report_target.push(target.unwrap_or((u32::MAX, u32::MAX)));
+        }
+
+        c.sessions.clear();
+        for (k, tree) in inputs.trees.iter().enumerate() {
+            let t = tree.tree();
+            let sid = tree.session();
+            // Counting sort into a CSR keeps each slot's report indices in
+            // global report order — the order the full path folds in.
+            let mut rep_start = vec![0u32; t.len() + 1];
+            for &(sess, slot) in &c.report_target {
+                if sess as usize == k {
+                    rep_start[slot as usize + 1] += 1;
+                }
+            }
+            for i in 1..rep_start.len() {
+                rep_start[i] += rep_start[i - 1];
+            }
+            let mut cursor = rep_start.clone();
+            let mut rep_idx = vec![0u32; *rep_start.last().unwrap() as usize];
+            for (i, &(sess, slot)) in c.report_target.iter().enumerate() {
+                if sess as usize == k {
+                    rep_idx[cursor[slot as usize] as usize] = i as u32;
+                    cursor[slot as usize] += 1;
+                }
+            }
+            let sugg_route = inputs
+                .registry
+                .iter()
+                .filter(|&&(_, _, rsid)| rsid == sid)
+                .filter_map(|&(app, node, _)| t.slot_of(node).map(|s| (app, s as u32)))
+                .collect();
+            let mut backoff_slots: Vec<u32> = self
+                .backoffs
+                .get(&sid)
+                .map(|b| b.armed_nodes().filter_map(|n| t.slot_of(n)).map(|s| s as u32).collect())
+                .unwrap_or_default();
+            backoff_slots.sort_unstable();
+            backoff_slots.dedup();
+            c.sessions.push(SessionCache {
+                session: sid,
+                tree: tree.clone(),
+                spec: inputs.specs[k].clone(),
+                rep_start,
+                rep_idx,
+                sugg_route,
+                backoff_slots,
+                // The full run's persistence wrote every slot; the first
+                // incremental interval must treat them all as moved.
+                mem5_dirty: (0..t.len() as u32).collect(),
+            });
+        }
+
+        // `usage_meta` parallels the link-sorted usage buffer the full run
+        // left in `self.usage_buf`: regenerate the rows in the same order
+        // and stable-sort by the same key, so row `i` annotates
+        // `usage_buf[i]`.
+        let mut rows: Vec<(DirLinkId, u32, u32)> = Vec::new();
+        for (k, tree) in inputs.trees.iter().enumerate() {
+            for s in 1..tree.tree().len() {
+                rows.push((tree.in_link_at(s), k as u32, s as u32));
+            }
+        }
+        rows.sort_by_key(|&(l, _, _)| l);
+        debug_assert_eq!(rows.len(), self.usage_buf.len());
+        c.usage_meta.clear();
+        c.usage_meta.extend(rows.iter().map(|&(_, k, s)| (k, s)));
+        c.crossed_links.clear();
+        c.crossed_links.extend(rows.iter().map(|&(l, _, _)| l));
+        c.crossed_links.dedup();
+
+        c.branches_valid = audited;
+        c.valid = true;
+    }
+
+    /// The incremental interval body. Preconditions established by
+    /// [`Self::can_run_incremental`]: same sessions/trees/specs/registry
+    /// and report keys as the cached interval, no pending capacity reset,
+    /// and (when auditing) branch labels current for every slot.
+    fn run_incremental_inner(
+        &mut self,
+        inputs: &AlgorithmInputs<'_>,
+        mut audit: Option<&mut IntervalAudit>,
+    ) -> AlgorithmOutputs {
+        let cfg = self.cfg;
+        let nsess = inputs.trees.len();
+        let timing = audit.is_some();
+        let whole_span = timing.then(Span::new);
+
+        let mut cache = std::mem::take(&mut self.cache);
+        let mut dirty = std::mem::take(&mut self.dirty);
+        let mut dirty_aux = std::mem::take(&mut self.dirty_aux);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let spare = scratch.split_off(nsess);
+        let mut outputs = AlgorithmOutputs { incremental: true, ..AlgorithmOutputs::default() };
+        let mut slots_recomputed: u64 = 0;
+
+        // Stage 1 (incremental): diff the reports against the previous
+        // interval's copy; each changed row dirties the slot it folds
+        // into, and every ancestor of a dirty slot re-runs the bottom-up
+        // kernel (its child fold reads the recomputed state).
+        let stage_span = timing.then(Span::new);
+        let mut report_dirty: Vec<(u32, u32)> = Vec::new();
+        for ((new, old), &target) in
+            inputs.reports.iter().zip(&cache.reports).zip(&cache.report_target)
+        {
+            if new != old && target.0 != u32::MAX {
+                report_dirty.push(target);
+            }
+        }
+        let mut state_changed: Vec<(u32, u32)> = Vec::new();
+        let mut congested_nodes = 0usize;
+        for (k, tree) in inputs.trees.iter().enumerate() {
+            let t = tree.tree();
+            let sc = &mut scratch[k];
+            let cs = &cache.sessions[k];
+            // Snapshot last interval's states: stage 5 diffs against this
+            // to find slots whose inputs (own/parent/sibling congestion,
+            // loss) moved.
+            sc.states_prev.clone_from(&sc.states);
+            dirty.begin(t.len());
+            for &(sess, slot) in &report_dirty {
+                if sess as usize != k || !dirty.mark(slot as usize) {
+                    continue;
+                }
+                // Re-aggregate this slot's observation from its reports,
+                // in global report order — the same fold as the full path.
+                let slot = slot as usize;
+                sc.obs[slot] = None;
+                let (lo, hi) = (cs.rep_start[slot] as usize, cs.rep_start[slot + 1] as usize);
+                for &ri in &cs.rep_idx[lo..hi] {
+                    let r = &inputs.reports[ri as usize];
+                    let e = sc.obs[slot].get_or_insert(LeafObs {
+                        loss: f64::INFINITY,
+                        bytes: 0,
+                        level: 0,
+                    });
+                    e.loss = e.loss.min(r.loss_rate());
+                    e.bytes = e.bytes.max(r.bytes);
+                    e.level = e.level.max(r.level);
+                }
+            }
+            sc.obs_dirty.clear();
+            sc.obs_dirty.extend_from_slice(dirty.slots());
+            for i in 0..sc.obs_dirty.len() {
+                // Start the walk at the parent: the changed slot is already
+                // marked, and `mark_ancestors` stops at the first marked slot.
+                if let Some(p) = t.parent_slot_of(sc.obs_dirty[i] as usize) {
+                    tree.mark_ancestors(p, &mut dirty);
+                }
+            }
+            dirty.sort_descending();
+            slots_recomputed += dirty.len() as u64;
+            for &s in dirty.slots() {
+                let s = s as usize;
+                let old = sc.states[s];
+                let new = congestion::slot_state(tree, s, &sc.obs, &sc.states, &cfg);
+                sc.states[s] = new;
+                // Bit-compare: what stage 2 reads from a state is its
+                // (loss, bytes) pair; NaN-safe and exact.
+                if old.loss.to_bits() != new.loss.to_bits() || old.max_bytes != new.max_bytes {
+                    state_changed.push((k as u32, s as u32));
+                }
+            }
+            // One fused top-down pass over the session: congestion
+            // propagation (inlined from `congestion::propagate_down`,
+            // semantics identical), the congested-node count, the memory
+            // fold, and the stage-5 feed diffs. Slots whose memory or
+            // propagated state actually moved are recorded for the stage-5
+            // input diff — in steady state (stable history, stable byte
+            // counts) the fold is a fixed point and both lists stay short.
+            sc.mem_dirty.clear();
+            sc.state_dirty.clear();
+            for s in t.slots() {
+                let parent_congested =
+                    t.parent_slot_of(s).map(|p| sc.states[p].congested).unwrap_or(false);
+                sc.states[s].parent_congested = parent_congested;
+                sc.states[s].congested = sc.states[s].self_congested || parent_congested;
+                let st = sc.states[s];
+                congested_nodes += st.congested as usize;
+                let old = sc.states_prev[s];
+                if old.congested != st.congested
+                    || old.parent_congested != st.parent_congested
+                    || old.loss.to_bits() != st.loss.to_bits()
+                {
+                    sc.state_dirty.push(s as u32);
+                }
+                let mut mem = sc.mem[s];
+                if st.has_data || st.parent_congested {
+                    mem.hist.push(st.congested);
+                    mem.bytes_older = mem.bytes_recent;
+                    mem.bytes_recent = st.max_bytes;
+                } else {
+                    mem.hist.push(mem.hist.now());
+                }
+                if mem != sc.mem[s] {
+                    sc.mem_dirty.push(s as u32);
+                    sc.mem[s] = mem;
+                }
+            }
+        }
+        if let Some(a) = audit.as_deref_mut() {
+            if let Some(span) = stage_span {
+                a.stage_ns.push(("stage1_congestion", span.elapsed_ns()));
+            }
+            a.congestion = congestion_audit(inputs.trees, &scratch);
+        }
+
+        // Stage 2 (incremental): links holding an estimate always re-run —
+        // creep/hold/recompute fire even on clean intervals — and links
+        // under a changed observation re-run to learn. Skipping the rest
+        // is provably a no-op: learning is a pure function of the link's
+        // unchanged observations (it declined identically last time), and
+        // the reset pass was proven empty before entry.
+        let stage_span = timing.then(Span::new);
+        let mut cap_events: Vec<CapacityEvent> = Vec::new();
+        let mut candidates: Vec<DirLinkId> = self
+            .estimator
+            .iter()
+            .map(|(l, _)| l)
+            .filter(|l| cache.crossed_links.binary_search(l).is_ok())
+            .collect();
+        for &(sess, slot) in &state_changed {
+            if slot != 0 {
+                candidates.push(inputs.trees[sess as usize].in_link_at(slot as usize));
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut cap_changed: Vec<DirLinkId> = Vec::new();
+        let mut run_buf: Vec<SessionLinkObs> = Vec::new();
+        for &link in &candidates {
+            let lo = self.usage_buf.partition_point(|&(l, _)| l < link);
+            let hi = self.usage_buf.partition_point(|&(l, _)| l <= link);
+            run_buf.clear();
+            for &(sess, slot) in &cache.usage_meta[lo..hi] {
+                let st = scratch[sess as usize].states[slot as usize];
+                run_buf.push(SessionLinkObs {
+                    session: inputs.trees[sess as usize].session(),
+                    loss: st.loss,
+                    bytes: st.max_bytes,
+                });
+            }
+            let before = self.estimator.capacity(link).map(f64::to_bits);
+            self.estimator.update_link_traced(
+                inputs.now,
+                inputs.interval,
+                link,
+                &run_buf,
+                &cfg,
+                timing.then_some(&mut cap_events),
+            );
+            if self.estimator.capacity(link).map(f64::to_bits) != before {
+                cap_changed.push(link);
+            }
+        }
+        if let Some(a) = audit.as_deref_mut() {
+            if let Some(span) = stage_span {
+                a.stage_ns.push(("stage2_capacity", span.elapsed_ns()));
+            }
+            cap_events.sort_by_key(|&(l, _, _)| l);
+            a.capacity = capacity_audit(&cap_events);
+        }
+
+        // Stage 3 (incremental): the bottleneck curves are a pure function
+        // of tree + estimates, so only sessions crossing a changed link
+        // need a recompute.
+        let est = &self.estimator;
+        let stage_span = timing.then(Span::new);
+        if !cap_changed.is_empty() {
+            for (tree, sc) in inputs.trees.iter().zip(scratch.iter_mut()) {
+                let crosses = (1..tree.tree().len())
+                    .any(|s| cap_changed.binary_search(&tree.in_link_at(s)).is_ok());
+                if crosses {
+                    bottleneck::compute_into(
+                        tree,
+                        |l| est.capacity(l),
+                        &mut sc.bottleneck,
+                        &mut sc.max_handle,
+                    );
+                }
+            }
+        }
+        if let Some(a) = audit.as_deref_mut() {
+            if let Some(span) = stage_span {
+                a.stage_ns.push(("stage3_bottleneck", span.elapsed_ns()));
+            }
+            a.bottleneck = bottleneck_audit(inputs.trees, &scratch);
+        }
+
+        // Stage 4 (incremental): session-granular refresh around the
+        // changed capacities; a no-op when none changed.
+        let stage_span = timing.then(Span::new);
+        let refreshed_sessions = sharing::compute_incremental_into(
+            inputs.trees,
+            inputs.specs,
+            |l| est.capacity(l),
+            &mut self.sharing_scratch,
+            &cap_changed,
+        );
+        if let Some(a) = audit.as_deref_mut() {
+            if let Some(span) = stage_span {
+                a.stage_ns.push(("stage4_sharing", span.elapsed_ns()));
+            }
+            a.sharing = sharing_audit(&self.sharing_scratch, inputs.trees);
+        }
+
+        // Stage 5 (incremental, sequential: shares one RNG stream).
+        let stage_span = timing.then(Span::new);
+        for (k, tree) in inputs.trees.iter().enumerate() {
+            let sid = tree.session();
+            let spec = inputs.specs[k];
+            let t = tree.tree();
+            let sc = &mut scratch[k];
+            let cs = &mut cache.sessions[k];
+
+            dirty.begin(t.len());
+            if refreshed_sessions.binary_search(&(k as u32)).is_ok() {
+                // Sharing refreshed this session's allowances: any slot's
+                // level cap may have moved, so rebuild inputs for every
+                // slot and diff to find the dirty decisions.
+                build_stage5_inputs(
+                    tree,
+                    k,
+                    spec,
+                    &cfg,
+                    inputs.interval,
+                    &self.sharing_scratch,
+                    &sc.obs,
+                    &sc.states,
+                    &sc.mem,
+                    &sc.max_handle,
+                    &mut sc.inputs_new,
+                    &mut sc.level_cap_new,
+                );
+                for s in t.slots() {
+                    if sc.inputs_new[s] != sc.inputs[s] || sc.level_cap_new[s] != sc.level_cap[s] {
+                        dirty.mark(s);
+                    }
+                }
+                std::mem::swap(&mut sc.inputs, &mut sc.inputs_new);
+                std::mem::swap(&mut sc.level_cap, &mut sc.level_cap_new);
+            } else {
+                // Allowances untouched: a slot's inputs can only have moved
+                // through one of its trackable feeds — a re-folded
+                // observation, a memory write (stage-1 fold this interval
+                // or stage-5 persistence last interval), or a congestion
+                // state change at the slot, its parent, or a sibling.
+                // Rebuild inputs for exactly those candidates.
+                dirty_aux.begin(t.len());
+                for &s in &sc.obs_dirty {
+                    dirty_aux.mark(s as usize);
+                }
+                for &s in &sc.mem_dirty {
+                    dirty_aux.mark(s as usize);
+                }
+                for &s in &cs.mem5_dirty {
+                    dirty_aux.mark(s as usize);
+                }
+                for i in 0..sc.state_dirty.len() {
+                    let s = sc.state_dirty[i] as usize;
+                    dirty_aux.mark(s);
+                    // Siblings read this slot's `congested` in their
+                    // sibling scan.
+                    if sc.states_prev[s].congested != sc.states[s].congested {
+                        if let Some(p) = t.parent_slot_of(s) {
+                            for sib in t.child_slots(p) {
+                                dirty_aux.mark(sib);
+                            }
+                        }
+                    }
+                }
+                for &s in dirty_aux.slots() {
+                    let s = s as usize;
+                    let (inp, lc) = stage5_input_at(
+                        tree,
+                        k,
+                        spec,
+                        &cfg,
+                        inputs.interval,
+                        &self.sharing_scratch,
+                        &sc.obs,
+                        &sc.states,
+                        &sc.mem,
+                        &sc.max_handle,
+                        s,
+                    );
+                    if inp != sc.inputs[s] || lc != sc.level_cap[s] {
+                        sc.inputs[s] = inp;
+                        sc.level_cap[s] = lc;
+                        dirty.mark(s);
+                    }
+                }
+            }
+
+            let backoffs = self.backoffs.entry(sid).or_default();
+            // Pre-loop arming: identical scan, conditions, and order as
+            // the full path, so the RNG draw sequence stays aligned.
+            for s in t.slots() {
+                let Some(o) = sc.obs[s] else { continue };
+                let st = sc.states[s];
+                let mem = sc.mem[s];
+                if st.loss > cfg.high_loss && o.level < mem.supply_recent {
+                    backoffs.arm(t.node_at(s), mem.supply_recent, inputs.now, &cfg, &mut self.rng);
+                }
+            }
+            // The full kernel expires timers before its demand pass.
+            backoffs.expire(inputs.now);
+            // A timer influences `blocked` for its whole subtree: dirty
+            // the subtrees of every live timer, and of every slot that
+            // held one after the previous run — expiry itself changes
+            // `blocked`, so those subtrees must re-decide once.
+            for &s in &cs.backoff_slots {
+                tree.mark_subtree(s as usize, &mut dirty);
+            }
+            for node in backoffs.armed_nodes() {
+                if let Some(s) = t.slot_of(node) {
+                    tree.mark_subtree(s, &mut dirty);
+                }
+            }
+
+            // Demand over dirty slots, in the full kernel's bottom-up
+            // order. A clean slot repeats last interval's decision by
+            // construction (same inputs, same children demands, same
+            // backoff view — and no RNG draw: had its branch armed a
+            // timer, the slot would be backoff-dirty). A changed demand
+            // dirties the parent, which sits at a lower slot and is
+            // therefore still ahead of the scan.
+            for s in (0..t.len()).rev() {
+                if !dirty.contains(s) {
+                    continue;
+                }
+                let (d, br) = subscription::decide_slot(
+                    tree,
+                    spec,
+                    &cfg,
+                    inputs.now,
+                    s,
+                    &sc.inputs[s],
+                    sc.level_cap[s],
+                    &sc.demand,
+                    backoffs,
+                    &mut self.rng,
+                );
+                slots_recomputed += 1;
+                if timing {
+                    sc.branches[s] = br;
+                }
+                if sc.demand[s] != d {
+                    sc.demand[s] = d;
+                    if let Some(p) = t.parent_slot_of(s) {
+                        dirty.mark(p);
+                    }
+                }
+            }
+            // Supply, top-down — full width, exactly the kernel's pass.
+            for s in t.slots() {
+                let v = match t.parent_slot_of(s) {
+                    None => sc.demand[s].min(sc.level_cap[s]),
+                    Some(p) => sc.demand[s].min(sc.supply[p]).min(sc.level_cap[s]),
+                };
+                sc.supply[s] = v.max(1);
+            }
+
+            if std::env::var_os("TOPOSENSE_TRACE").is_some() {
+                let mut line = format!("t={:.0}s s{}:", inputs.now.as_secs_f64(), sid.0);
+                for s in t.slots() {
+                    let inp = &sc.inputs[s];
+                    line.push_str(&format!(
+                        " n{}[h{:03b} loss={:.2} gp={:.0}k cur={:?} cap={} d={} s={}]",
+                        t.node_at(s).0,
+                        inp.hist.bits(),
+                        inp.loss,
+                        inp.goodput_bps / 1000.0,
+                        inp.current_level,
+                        sc.level_cap[s],
+                        sc.demand[s],
+                        sc.supply[s],
+                    ));
+                }
+                eprintln!("{line}");
+            }
+
+            // Persist into the dense copies only; the `memories` map is
+            // synced lazily on the next full run or invalidation. Slots
+            // whose memory moved feed the next interval's input diff.
+            cs.mem5_dirty.clear();
+            for s in t.slots() {
+                let mut mem = sc.mem[s];
+                mem.supply_older = mem.supply_recent;
+                mem.supply_recent = sc.supply[s];
+                mem.demand_prev = Some(sc.demand[s]);
+                if mem != sc.mem[s] {
+                    cs.mem5_dirty.push(s as u32);
+                    sc.mem[s] = mem;
+                }
+            }
+            outputs.root_supply.push(sc.supply[0]);
+
+            // Suggestions via the cached route — registry order, exactly
+            // the receivers the full path would address.
+            for &(app, slot) in &cs.sugg_route {
+                outputs.suggestions.push(SuggestionOut {
+                    receiver: app,
+                    session: sid,
+                    level: sc.supply[slot as usize].clamp(1, spec.max_level()),
+                });
+            }
+
+            if let Some(a) = audit.as_deref_mut() {
+                let mut suggested: Vec<Option<u8>> = vec![None; t.len()];
+                for &(_, slot) in &cs.sugg_route {
+                    suggested[slot as usize] =
+                        Some(sc.supply[slot as usize].clamp(1, spec.max_level()));
+                }
+                a.subscription.push(subscription_session_audit(tree, sc, &suggested));
+            }
+        }
+        if let Some(a) = audit {
+            if let Some(span) = stage_span {
+                a.stage_ns.push(("stage5_subscription", span.elapsed_ns()));
+            }
+            if let Some(span) = whole_span {
+                a.stage_ns.push(("interval", span.elapsed_ns()));
+            }
+        }
+
+        // Estimated links: the cached crossed-link list is the sorted
+        // dedup of the usage buffer — the same enumeration the full path
+        // derives by scanning it.
+        for &l in &cache.crossed_links {
+            if let Some(c) = self.estimator.capacity(l) {
+                outputs.estimated_links.push((l, c));
+            }
+        }
+        outputs.congested_nodes = congested_nodes;
+        outputs.slots_recomputed = slots_recomputed;
+
+        // Refresh the cache for the next interval: new report values
+        // (keys unchanged), fresh backoff snapshots, and — without an
+        // audit — stale branch labels at the slots just re-decided.
+        cache.reports.clear();
+        cache.reports.extend_from_slice(inputs.reports);
+        for (k, tree) in inputs.trees.iter().enumerate() {
+            let t = tree.tree();
+            let cs = &mut cache.sessions[k];
+            cs.backoff_slots.clear();
+            if let Some(b) = self.backoffs.get(&tree.session()) {
+                cs.backoff_slots
+                    .extend(b.armed_nodes().filter_map(|n| t.slot_of(n)).map(|s| s as u32));
+            }
+            cs.backoff_slots.sort_unstable();
+            cs.backoff_slots.dedup();
+        }
+        if !timing {
+            cache.branches_valid = false;
+        }
+
+        scratch.extend(spare);
+        self.scratch = scratch;
+        self.cache = cache;
+        self.dirty = dirty;
+        self.dirty_aux = dirty_aux;
+        self.runs += 1;
+        outputs
+    }
+}
+
+/// Assemble one session's stage-5 per-slot inputs and level caps from the
+/// stage-1..4 results. Shared verbatim by the full and incremental paths:
+/// the incremental path builds into double buffers and diffs, so any
+/// drift between two copies of this logic would silently break the
+/// byte-identity invariant.
+#[allow(clippy::too_many_arguments)]
+fn build_stage5_inputs(
+    tree: &SessionTree,
+    sess_idx: usize,
+    spec: &LayerSpec,
+    cfg: &Config,
+    interval: SimDuration,
+    sharing: &SharingScratch,
+    obs: &[Option<LeafObs>],
+    states: &[NodeState],
+    mem: &[NodeMemory],
+    max_handle: &[f64],
+    inputs: &mut Vec<NodeInputs>,
+    level_cap: &mut Vec<u8>,
+) {
+    let t = tree.tree();
+    inputs.clear();
+    level_cap.clear();
+    for s in t.slots() {
+        let (inp, lc) = stage5_input_at(
+            tree, sess_idx, spec, cfg, interval, sharing, obs, states, mem, max_handle, s,
+        );
+        inputs.push(inp);
+        level_cap.push(lc);
+    }
+}
+
+/// The stage-5 decision inputs and level cap of a single slot — the unit
+/// both the full path (every slot) and the incremental path (candidate
+/// slots only) build from, so the two can never drift.
+#[allow(clippy::too_many_arguments)]
+fn stage5_input_at(
+    tree: &SessionTree,
+    sess_idx: usize,
+    spec: &LayerSpec,
+    cfg: &Config,
+    interval: SimDuration,
+    sharing: &SharingScratch,
+    obs: &[Option<LeafObs>],
+    states: &[NodeState],
+    mem: &[NodeMemory],
+    max_handle: &[f64],
+    s: usize,
+) -> (NodeInputs, u8) {
+    let t = tree.tree();
+    let st = states[s];
+    let sibling_congested = match t.parent_slot_of(s) {
+        None => false,
+        Some(p) => t.child_slots(p).any(|c| c != s && states[c].congested),
+    };
+    let m = mem[s];
+    // Receivers that did not report this interval fall back to
+    // the subscription implied by the tree itself.
+    let reported = obs[s].map(|o| o.level).or_else(|| (s != 0).then(|| tree.max_layer_at(s) + 1));
+    // Reports lag suggestions by up to an interval. While a node
+    // is clean, a reported level below our last supply is just
+    // that lag (the receiver is catching up to the suggestion),
+    // not a deliberate drop — trusting the stale value makes the
+    // controller re-suggest it and flap. Under congestion the
+    // report is authoritative (unilateral drops are real).
+    // The trust is bounded to one unreported step (`r + 1`):
+    // with a stale discovery tool the reports lag by much more
+    // than an interval, and trusting the full supply would let
+    // the controller climb on the echo of its own suggestions.
+    let current_level = reported.map(|r| {
+        if st.congested || st.loss > cfg.p_threshold {
+            r
+        } else {
+            r.max(m.supply_recent.min(r + 1))
+        }
+    });
+    let inp = NodeInputs {
+        hist: m.hist,
+        parent_congested: st.parent_congested,
+        sibling_congested,
+        bw: BwEquality::classify(m.bytes_older, m.bytes_recent, cfg.bw_equal_tolerance),
+        loss: st.loss,
+        supply_older: m.supply_older,
+        supply_recent: m.supply_recent,
+        demand_prev: m.demand_prev,
+        current_level,
+        // Two-interval max: during a neighbour's transient
+        // probe this interval's goodput dips, but the prior
+        // interval still witnesses the sustainable level, so
+        // innocent subtrees are not dragged down with the
+        // prober (see reduce_target).
+        goodput_bps: m.bytes_recent.max(m.bytes_older) as f64 * 8.0
+            / interval.as_secs_f64().max(1e-9),
+    };
+    let bw = sharing.allowed_at(sess_idx, s).min(max_handle[s]);
+    (inp, spec.level_fitting(bw))
+}
+
+/// Stage-1 audit record, shared by the full and incremental paths.
+fn congestion_audit(
+    trees: &[SessionTree],
+    scratch: &[SessionScratch],
+) -> Vec<SessionNodes<CongestionNode>> {
+    trees
+        .iter()
+        .zip(scratch)
+        .map(|(tree, sc)| {
+            let t = tree.tree();
+            SessionNodes {
+                session: tree.session().0 as u64,
+                nodes: t
+                    .slots()
+                    .map(|s| {
+                        let st = sc.states[s];
+                        CongestionNode {
+                            node: t.node_at(s).0 as u64,
+                            loss: st.loss,
+                            self_congested: st.self_congested,
+                            congested: st.congested,
+                            parent_congested: st.parent_congested,
+                        }
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Stage-2 audit record from link-sorted capacity events.
+fn capacity_audit(events: &[CapacityEvent]) -> Vec<CapacityLink> {
+    events
+        .iter()
+        .map(|&(l, bps, event)| CapacityLink { link: l.0 as u64, bps, event: event.into() })
+        .collect()
+}
+
+/// Stage-3 audit record, shared by the full and incremental paths.
+fn bottleneck_audit(
+    trees: &[SessionTree],
+    scratch: &[SessionScratch],
+) -> Vec<SessionNodes<BottleneckNode>> {
+    trees
+        .iter()
+        .zip(scratch)
+        .map(|(tree, sc)| {
+            let t = tree.tree();
+            SessionNodes {
+                session: tree.session().0 as u64,
+                nodes: t
+                    .slots()
+                    .map(|s| BottleneckNode {
+                        node: t.node_at(s).0 as u64,
+                        bottleneck_bps: sc.bottleneck[s],
+                        max_handle_bps: sc.max_handle[s],
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Stage-4 audit record, shared by the full and incremental paths.
+fn sharing_audit(sharing: &SharingScratch, trees: &[SessionTree]) -> Vec<SharingEntry> {
+    sharing
+        .shares_sorted()
+        .into_iter()
+        .map(|(l, i, bps)| SharingEntry {
+            link: l.0 as u64,
+            session: trees[i as usize].session().0 as u64,
+            allowed_bps: bps,
+        })
+        .collect()
+}
+
+/// One session's stage-5 audit record; `suggested` mirrors the clamp
+/// applied to outgoing suggestions, so the audit can be cross-checked
+/// against the levels the controller actually sends.
+fn subscription_session_audit(
+    tree: &SessionTree,
+    sc: &SessionScratch,
+    suggested: &[Option<u8>],
+) -> SessionNodes<SubscriptionNode> {
+    let t = tree.tree();
+    SessionNodes {
+        session: tree.session().0 as u64,
+        nodes: t
+            .slots()
+            .map(|s| SubscriptionNode {
+                node: t.node_at(s).0 as u64,
+                branch: sc.branches[s].into(),
+                demand: sc.demand[s],
+                supply: sc.supply[s],
+                suggested: suggested[s],
+            })
+            .collect(),
     }
 }
 
@@ -753,6 +1614,37 @@ mod tests {
     }
 
     #[test]
+    fn silence_inherits_prior_state_and_never_climbs() {
+        // Drive the tree congested, then cut every report (all receivers
+        // quarantined/evicted upstream). The silent intervals are no-data:
+        // nothing may stay labelled congested (the infinite child-min seed
+        // hazard), but the congestion history must not be walked back to
+        // "never congested" either — the old fabricated all-clear let the
+        // controller climb the subscription on pure silence.
+        let tree = one_session_tree();
+        let spec = LayerSpec::paper_default();
+        let mut state = AlgorithmState::new(Config::default(), 7);
+        let lossy = vec![report(10, 2, 2, 70, 30, 20_000), report(11, 3, 2, 72, 28, 20_000)];
+        let mut pre = 0u8;
+        for t in 1..=3u64 {
+            let out = run_once(&mut state, &tree, &spec, &lossy, 2 * t);
+            assert!(out.congested_nodes > 0, "similar sibling loss must congest");
+            pre = out.suggestions.iter().map(|s| s.level).max().unwrap();
+        }
+        for t in 4..=8u64 {
+            let out = run_once(&mut state, &tree, &spec, &[], 2 * t);
+            assert_eq!(out.congested_nodes, 0, "silence alone is not congestion");
+            for s in &out.suggestions {
+                assert!(
+                    s.level <= pre,
+                    "climbed to {} on silence (pre-silence max {pre})",
+                    s.level
+                );
+            }
+        }
+    }
+
+    #[test]
     fn run_counter_increments() {
         let tree = one_session_tree();
         let spec = LayerSpec::paper_default();
@@ -793,5 +1685,150 @@ mod tests {
         // A subscriber-less session still reports a root supply (its value
         // is inconsequential — there is nobody to suggest anything to).
         assert_eq!(out.root_supply.len(), 1);
+    }
+
+    /// Report churn for interval `t` in the differential tests below:
+    /// loss, bytes, and levels all move so every stage sees changes.
+    fn churn_reports(t: u64) -> Vec<ReceiverReport> {
+        let lost = match t % 5 {
+            0 => 30,
+            1 => 0,
+            _ => 5,
+        };
+        vec![
+            report(10, 2, 2, 100 - lost, lost, 20_000 + (t % 3) * 4_000),
+            report(11, 3, (2 + (t % 2)) as u8, 95, 5, 24_000),
+        ]
+    }
+
+    #[test]
+    fn incremental_matches_full_run_byte_for_byte() {
+        let tree = one_session_tree();
+        let spec = LayerSpec::paper_default();
+        let registry = vec![(AppId(10), n(2), SessionId(0)), (AppId(11), n(3), SessionId(0))];
+        let mut full = AlgorithmState::new(Config::default(), 42);
+        let mut inc = AlgorithmState::new(Config::default(), 42);
+        for t in 1..40u64 {
+            let reports = churn_reports(t);
+            let inputs = AlgorithmInputs {
+                now: SimTime::from_secs(2 * t),
+                interval: SimDuration::from_secs(2),
+                trees: std::slice::from_ref(&tree),
+                specs: &[&spec],
+                registry: &registry,
+                reports: &reports,
+            };
+            let a = full.run(&inputs);
+            let b = inc.run_incremental(&inputs);
+            assert!(!a.incremental);
+            if t > 1 {
+                assert!(b.incremental, "interval {t} unexpectedly fell back");
+            }
+            assert_eq!(a.suggestions, b.suggestions, "interval {t}");
+            assert_eq!(a.root_supply, b.root_supply, "interval {t}");
+            assert_eq!(a.congested_nodes, b.congested_nodes, "interval {t}");
+            assert_eq!(a.estimated_links, b.estimated_links, "interval {t}");
+        }
+    }
+
+    #[test]
+    fn audited_incremental_matches_audited_full_including_records() {
+        let tree = one_session_tree();
+        let spec = LayerSpec::paper_default();
+        let registry = vec![(AppId(10), n(2), SessionId(0)), (AppId(11), n(3), SessionId(0))];
+        let mut full = AlgorithmState::new(Config::default(), 5);
+        let mut inc = AlgorithmState::new(Config::default(), 5);
+        for t in 1..25u64 {
+            let reports = churn_reports(t);
+            let inputs = AlgorithmInputs {
+                now: SimTime::from_secs(2 * t),
+                interval: SimDuration::from_secs(2),
+                trees: std::slice::from_ref(&tree),
+                specs: &[&spec],
+                registry: &registry,
+                reports: &reports,
+            };
+            let mut aa = telemetry::IntervalAudit::new(full.runs(), 0);
+            let mut ab = telemetry::IntervalAudit::new(inc.runs(), 0);
+            let a = full.run_audited(&inputs, Some(&mut aa));
+            let b = inc.run_incremental_audited(&inputs, Some(&mut ab));
+            assert_eq!(a.suggestions, b.suggestions, "interval {t}");
+            // Every deterministic audit record must be identical too —
+            // incremental recomputation may not even change the *story*
+            // the telemetry tells.
+            assert_eq!(aa.congestion, ab.congestion, "interval {t}");
+            assert_eq!(aa.capacity, ab.capacity, "interval {t}");
+            assert_eq!(aa.bottleneck, ab.bottleneck, "interval {t}");
+            assert_eq!(aa.sharing, ab.sharing, "interval {t}");
+            assert_eq!(aa.subscription, ab.subscription, "interval {t}");
+        }
+    }
+
+    #[test]
+    fn incremental_falls_back_on_change_and_stays_correct() {
+        let tree = one_session_tree();
+        let spec = LayerSpec::paper_default();
+        let registry_a = vec![(AppId(10), n(2), SessionId(0)), (AppId(11), n(3), SessionId(0))];
+        let registry_b = vec![(AppId(10), n(2), SessionId(0))];
+        let mut full = AlgorithmState::new(Config::default(), 9);
+        let mut inc = AlgorithmState::new(Config::default(), 9);
+        for t in 1..30u64 {
+            // Membership changes at t=10 and t=20 must force the full
+            // path; in between the incremental path serves, and outputs
+            // stay identical to the full-only twin throughout.
+            let registry: &[(AppId, NodeId, SessionId)] =
+                if (10..20).contains(&t) { &registry_b } else { &registry_a };
+            let reports = churn_reports(t);
+            let reports: &[ReceiverReport] =
+                if (10..20).contains(&t) { &reports[..1] } else { &reports };
+            let inputs = AlgorithmInputs {
+                now: SimTime::from_secs(2 * t),
+                interval: SimDuration::from_secs(2),
+                trees: std::slice::from_ref(&tree),
+                specs: &[&spec],
+                registry,
+                reports,
+            };
+            let a = full.run(&inputs);
+            let b = inc.run_incremental(&inputs);
+            if t == 10 || t == 20 {
+                assert!(!b.incremental, "interval {t} must fall back");
+            }
+            assert_eq!(a.suggestions, b.suggestions, "interval {t}");
+            assert_eq!(a.root_supply, b.root_supply, "interval {t}");
+            assert_eq!(a.congested_nodes, b.congested_nodes, "interval {t}");
+        }
+    }
+
+    #[test]
+    fn direct_full_run_after_incremental_sees_synced_memories() {
+        let tree = one_session_tree();
+        let spec = LayerSpec::paper_default();
+        let registry = vec![(AppId(10), n(2), SessionId(0)), (AppId(11), n(3), SessionId(0))];
+        let mut full = AlgorithmState::new(Config::default(), 3);
+        let mut inc = AlgorithmState::new(Config::default(), 3);
+        for t in 1..30u64 {
+            let reports = churn_reports(t);
+            let inputs = AlgorithmInputs {
+                now: SimTime::from_secs(2 * t),
+                interval: SimDuration::from_secs(2),
+                trees: std::slice::from_ref(&tree),
+                specs: &[&spec],
+                registry: &registry,
+                reports: &reports,
+            };
+            let a = full.run(&inputs);
+            // Interleave: incremental mostly, but a direct full run every
+            // few intervals (as a failover would) — the lazily synced
+            // memories must make both entry points interchangeable.
+            let b = if t % 7 == 0 {
+                inc.invalidate();
+                inc.run(&inputs)
+            } else {
+                inc.run_incremental(&inputs)
+            };
+            assert_eq!(a.suggestions, b.suggestions, "interval {t}");
+            assert_eq!(a.root_supply, b.root_supply, "interval {t}");
+        }
     }
 }

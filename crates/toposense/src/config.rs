@@ -70,6 +70,11 @@ pub struct Config {
     pub heartbeat_size: u32,
     pub ack_size: u32,
     pub deregister_size: u32,
+    /// Run the change-driven (dirty-subtree) pipeline when the interval's
+    /// inputs allow it; the controller falls back to the full pipeline on
+    /// topology change, membership churn, capacity reset, or failover.
+    /// Both paths produce byte-identical outputs (DESIGN.md §11).
+    pub incremental: bool,
 }
 
 impl Default for Config {
@@ -103,6 +108,7 @@ impl Default for Config {
             heartbeat_size: 32,
             ack_size: 32,
             deregister_size: 32,
+            incremental: true,
         }
     }
 }

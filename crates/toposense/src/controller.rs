@@ -362,7 +362,11 @@ impl Controller {
         // sequence number and (simulated) time.
         let mut audit =
             self.telemetry.is_enabled().then(|| IntervalAudit::new(self.state.runs(), now.nanos()));
-        let outputs = self.state.run_audited(&inputs, audit.as_mut());
+        let outputs = if self.cfg.incremental {
+            self.state.run_incremental_audited(&inputs, audit.as_mut())
+        } else {
+            self.state.run_audited(&inputs, audit.as_mut())
+        };
         if let Some(a) = &audit {
             for record in a.records() {
                 self.telemetry.emit(&record);
@@ -400,6 +404,11 @@ impl Controller {
         }
 
         self.telemetry.incr("controller.intervals", 1);
+        self.telemetry.incr("controller.intervals_incremental", outputs.incremental as u64);
+        if self.cfg.incremental && !outputs.incremental {
+            self.telemetry.incr("controller.full_fallbacks", 1);
+        }
+        self.telemetry.incr("controller.slots_recomputed", outputs.slots_recomputed);
         self.telemetry.incr("controller.suggestions_sent", outputs.suggestions.len() as u64);
         self.telemetry.incr("controller.degraded_intervals", degraded as u64);
         self.telemetry.incr("controller.partial_intervals", partial as u64);
@@ -462,6 +471,9 @@ impl Controller {
     /// Assume the active role after the peer went silent.
     fn take_over(&mut self, ctx: &mut Ctx<'_>, now: SimTime) {
         self.active = true;
+        // A standby promoted mid-run has never observed an interval through
+        // its own pipeline: force the first one through the full path.
+        self.state.invalidate();
         // Re-ACK every mirrored registration so the receivers redirect
         // their reports, and restart their silence clocks — nobody gets
         // evicted for quiet accrued while we were passive.
@@ -577,6 +589,9 @@ impl App for Controller {
         self.outbox.clear();
         self.inbox.clear();
         self.pending.clear();
+        // The interval in flight died with the crash; its cached inputs are
+        // unreliable, so the next run goes through the full pipeline.
+        self.state.invalidate();
         if self.peer.is_some() && self.active {
             // The standby has taken over (or is about to): come back as the
             // new standby. Roles swap; the pair never fights over the
@@ -802,6 +817,110 @@ mod tests {
         assert_eq!(c.evicted, 1, "silent receiver must be evicted");
         assert_eq!(c.registered, 0);
         assert!(c.acks_sent >= 1, "registration was acknowledged");
+    }
+
+    /// Regression (stage-1 no-data rule): a receiver that reports loss and
+    /// then falls silent until quarantined and evicted must neither freeze
+    /// its subtree in a congested state forever (the old `f64::INFINITY`
+    /// child-min seed hazard) nor mask its still-reporting sibling's loss
+    /// with a fabricated all-clear.
+    #[test]
+    fn evicted_subtree_is_no_data_and_does_not_mask_sibling_loss() {
+        struct LossyReporter {
+            controller: NodeId,
+            group: GroupId,
+            mute_after: Option<SimTime>,
+        }
+        impl App for LossyReporter {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.join(self.group);
+                let body: ControlBody = Arc::new(Register {
+                    receiver: ctx.app_id(),
+                    node: ctx.node_id(),
+                    session: netsim::SessionId(0),
+                    level: 2,
+                });
+                ctx.send_control(self.controller, 48, body);
+                ctx.set_timer(SimDuration::from_secs(2), 7);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+                let now = ctx.now();
+                if self.mute_after.is_none_or(|m| now < m) {
+                    let body: ControlBody = Arc::new(Report {
+                        receiver: ctx.app_id(),
+                        node: ctx.node_id(),
+                        session: netsim::SessionId(0),
+                        level: 2,
+                        received: 70,
+                        lost: 30, // 30% loss, well above p_threshold
+                        bytes: 20_000,
+                        time: now,
+                    });
+                    ctx.send_control(self.controller, 64, body);
+                }
+                ctx.set_timer(SimDuration::from_secs(2), 7);
+            }
+        }
+
+        let mut b = NetworkBuilder::new(SimConfig::default());
+        let src = b.add_node("src");
+        let mid = b.add_node("mid");
+        let r1 = b.add_node("r1");
+        let r2 = b.add_node("r2");
+        b.add_link(src, mid, LinkConfig::kbps(100_000.0));
+        b.add_link(mid, r1, LinkConfig::kbps(100_000.0));
+        b.add_link(mid, r2, LinkConfig::kbps(100_000.0));
+        let mut sim = b.build();
+        let groups: Vec<GroupId> = (0..6).map(|_| sim.create_group(src)).collect();
+        let def = SessionDef {
+            id: netsim::SessionId(0),
+            source: src,
+            groups: groups.clone(),
+            spec: LayerSpec::paper_default(),
+        };
+        let mut catalog = SessionCatalog::new();
+        catalog.add(def);
+        let cfg = Config::default();
+        let (ctrl, shared) = Controller::new(catalog.share(), cfg, SimDuration::ZERO, 1);
+        sim.add_app(src, Box::new(ctrl));
+        // r1 reports ~30% loss every interval for the whole run; r2 reports
+        // the same loss once, then goes mute and rides the quarantine
+        // (6 s) -> eviction (24 s) path.
+        sim.add_app(
+            r1,
+            Box::new(LossyReporter { controller: src, group: groups[0], mute_after: None }),
+        );
+        sim.add_app(
+            r2,
+            Box::new(LossyReporter {
+                controller: src,
+                group: groups[0],
+                mute_after: Some(SimTime::from_secs(4)),
+            }),
+        );
+        sim.run_until(SimTime::from_secs(40));
+
+        let c = shared.lock().unwrap();
+        assert_eq!(c.evicted, 1, "mute receiver must be evicted");
+        assert_eq!(c.registered, 1, "the reporting receiver stays registered");
+        assert!(c.suggestions_sent > 0);
+        // Long after the eviction, the shared parent must still be labelled
+        // congested from r1's reports alone: r2's silent subtree is no-data,
+        // not a 0.0-loss child dragging the parent's min to all-clear — and
+        // not an infinitely-lossy child freezing it CONGESTED either. With
+        // r1, mid and src self-congested and r2 inheriting mid's parental
+        // congestion, the count sits at 4 nodes.
+        let late: Vec<usize> = c
+            .congestion_series
+            .iter()
+            .filter(|&&(t, _)| t >= SimTime::from_secs(32))
+            .map(|&(_, n)| n)
+            .collect();
+        assert!(!late.is_empty());
+        assert!(
+            late.iter().all(|&n| n >= 3),
+            "silent subtree masked the lossy sibling: late congested counts {late:?}"
+        );
     }
 
     /// Warm standby: when the primary's node crashes, the standby notices

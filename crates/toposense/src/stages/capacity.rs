@@ -66,6 +66,39 @@ impl CapacityEstimator {
         self.estimates.len()
     }
 
+    /// Iterate `(link, capacity_bps)` over every finite estimate, in
+    /// `HashMap` order (callers needing determinism must sort). The set of
+    /// estimated links is typically tiny next to the tree, which is what
+    /// makes this the cheap way to enumerate them on the incremental path.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (DirLinkId, f64)> + '_ {
+        self.estimates.iter().map(|(&l, e)| (l, e.capacity_bps))
+    }
+
+    /// Whether any estimate has aged past the periodic reset horizon, i.e.
+    /// the next [`Self::begin_interval`] would discard something. The
+    /// incremental path checks this up front and falls back to the full
+    /// run when a reset is due — resets rewrite capacity state that
+    /// incremental change tracking deliberately does not model.
+    pub(crate) fn has_pending_reset(&self, now: SimTime, cfg: &Config) -> bool {
+        self.estimates.values().any(|e| now.since(e.set_at) >= cfg.capacity_reset)
+    }
+
+    /// Update a single link from this interval's observations, exactly as
+    /// [`Self::update_sorted_traced`] would when reaching `link`'s run —
+    /// minus the reset pass, which the incremental caller has already
+    /// proven to be a no-op via [`Self::has_pending_reset`].
+    pub(crate) fn update_link_traced(
+        &mut self,
+        now: SimTime,
+        interval: SimDuration,
+        link: DirLinkId,
+        sessions: &[SessionLinkObs],
+        cfg: &Config,
+        events: Option<&mut Vec<CapacityEvent>>,
+    ) {
+        self.update_link(now, interval.as_secs_f64(), link, sessions, cfg, events);
+    }
+
     /// Run one interval's update over every link seen in the session trees.
     ///
     /// `usage` maps each directed link to the per-session observations of
@@ -165,6 +198,20 @@ impl CapacityEstimator {
         if sessions.is_empty() {
             return;
         }
+        // Dead air: an interval in which nothing crossed the link (an
+        // outage, or every receiver below it quarantined) says nothing
+        // about its capacity. It must not divide the byte-weighted loss
+        // by zero, and it must not count as a "clean interval" for the
+        // upward creep — creeping on silence would inflate the estimate
+        // without a single packet to justify it. Hold any estimate as-is
+        // (the reset clock still runs in `begin_interval`).
+        let total_bytes: u64 = sessions.iter().map(|s| s.bytes).sum();
+        if total_bytes == 0 {
+            if let Some(e) = self.estimates.get(&link) {
+                audit(e.capacity_bps, "held");
+            }
+            return;
+        }
         // Fig. 4: "Estimate link bandwidths for all *shared* links."
         // An estimate exists to split capacity between sessions; a
         // single-session link is governed by the congestion states and
@@ -186,16 +233,10 @@ impl CapacityEstimator {
             }
             return;
         }
-        let total_bytes: u64 = sessions.iter().map(|s| s.bytes).sum();
-        let overall_loss = {
-            // Byte-weighted loss across sessions; falls back to the mean
-            // when no bytes were seen at all.
-            if total_bytes > 0 {
-                sessions.iter().map(|s| s.loss * s.bytes as f64).sum::<f64>() / total_bytes as f64
-            } else {
-                sessions.iter().map(|s| s.loss).sum::<f64>() / sessions.len() as f64
-            }
-        };
+        // Byte-weighted loss across sessions (dead air returned above,
+        // so `total_bytes > 0` here).
+        let overall_loss =
+            sessions.iter().map(|s| s.loss * s.bytes as f64).sum::<f64>() / total_bytes as f64;
         // The paper's condition 2 asks for *all* sessions to be lossy.
         // With many sessions a single momentarily-clean low-rate session
         // would forever block the estimate, so we use a quorum: most
@@ -206,15 +247,14 @@ impl CapacityEstimator {
             sessions.iter().filter(|s| s.loss > per_session_bar).collect();
         let lossy_count_frac = lossy.len() as f64 / sessions.len() as f64;
         let lossy_bytes: u64 = lossy.iter().map(|s| s.bytes).sum();
-        let lossy_bytes_frac =
-            if total_bytes == 0 { 0.0 } else { lossy_bytes as f64 / total_bytes as f64 };
+        let lossy_bytes_frac = lossy_bytes as f64 / total_bytes as f64;
         let congested = overall_loss > cfg.capacity_loss_threshold
             && lossy_count_frac >= 0.75
             && lossy_bytes_frac >= 0.9;
 
         let observed_bps = total_bytes as f64 * 8.0 / secs.max(1e-9);
         match self.estimates.get_mut(&link) {
-            Some(e) if congested && total_bytes > 0 => {
+            Some(e) if congested => {
                 // Congested again: recompute from what actually got
                 // through this interval. This lets a creep-inflated
                 // estimate correct itself downward in one interval
@@ -230,7 +270,7 @@ impl CapacityEstimator {
                 e.capacity_bps *= 1.0 + cfg.capacity_creep;
                 audit(e.capacity_bps, "crept");
             }
-            None if congested && total_bytes > 0 && secs > 0.0 => {
+            None if congested && secs > 0.0 => {
                 self.estimates.insert(link, Estimate { capacity_bps: observed_bps, set_at: now });
                 audit(observed_bps, "learned");
             }
@@ -351,6 +391,38 @@ mod tests {
         est.update(SimTime::from_secs(6), INTERVAL, &clean_solo, &cfg());
         let c2 = est.capacity(l(0)).unwrap();
         assert!((c2 / c1 - 1.05).abs() < 1e-9, "clean single-session interval creeps");
+    }
+
+    #[test]
+    fn dead_air_interval_neither_divides_by_zero_nor_creeps() {
+        // Learn an estimate, then run an interval in which no bytes
+        // crossed the link at all (dead air / outage). The estimate must
+        // hold exactly — a silent interval is not evidence the link has
+        // more headroom — and nothing may go NaN. The same goes for a
+        // dead-air interval on a link down to a single session.
+        let mut est = CapacityEstimator::new();
+        let shared = HashMap::from([(l(0), vec![obs(0, 0.1, 100_000), obs(1, 0.1, 25_000)])]);
+        est.update(SimTime::from_secs(2), INTERVAL, &shared, &cfg());
+        let c0 = est.capacity(l(0)).unwrap();
+
+        let mut ev = Vec::new();
+        let dead = vec![(l(0), obs(0, 0.0, 0)), (l(0), obs(1, 0.0, 0))];
+        est.update_sorted_traced(SimTime::from_secs(4), INTERVAL, &dead, &cfg(), Some(&mut ev));
+        let c1 = est.capacity(l(0)).unwrap();
+        assert!(c1.is_finite());
+        assert_eq!(c1, c0, "dead-air shared interval must hold, not creep");
+        assert_eq!((ev[0].0, ev[0].2), (l(0), "held"));
+
+        let dead_solo = HashMap::from([(l(0), vec![obs(0, 0.0, 0)])]);
+        est.update(SimTime::from_secs(6), INTERVAL, &dead_solo, &cfg());
+        let c2 = est.capacity(l(0)).unwrap();
+        assert_eq!(c2, c0, "dead-air single-session interval must hold, not creep");
+
+        // Traffic resumes clean: the creep picks back up as usual.
+        let quiet = HashMap::from([(l(0), vec![obs(0, 0.0, 100_000), obs(1, 0.0, 25_000)])]);
+        est.update(SimTime::from_secs(8), INTERVAL, &quiet, &cfg());
+        let c3 = est.capacity(l(0)).unwrap();
+        assert!((c3 / c0 - 1.05).abs() < 1e-9);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use std::collections::HashMap;
 use topology::SessionTree;
 
 /// Aggregated observation at a node that hosts receivers.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct LeafObs {
     /// Loss rate over the last interval (min across co-located receivers).
     pub loss: f64,
@@ -34,7 +34,7 @@ pub struct LeafObs {
 }
 
 /// Stage-1 output for one node.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct NodeState {
     /// Effective loss rate at the node (min over children / own report).
     pub loss: f64,
@@ -46,6 +46,13 @@ pub struct NodeState {
     pub parent_congested: bool,
     /// Max bytes received by any receiver in the subtree.
     pub max_bytes: u64,
+    /// Whether any receiver in the subtree reported this interval. A
+    /// report-less subtree (all receivers quarantined/evicted, or an
+    /// outage) carries **no evidence** either way: its loss is a
+    /// placeholder, it is excluded from its parent's child-min fold, and
+    /// callers should inherit the node's prior state rather than treat
+    /// the silence as all-clear.
+    pub has_data: bool,
 }
 
 /// Stage-1 output for one session.
@@ -102,45 +109,85 @@ pub fn compute_into(
     // occupy higher slots than their parent, so reverse slot order visits
     // every child first.
     for s in t.slots_bottom_up() {
-        let own = obs[s];
-        let mut state = NodeState::default();
-        if t.is_leaf_slot(s) {
-            let o = own.unwrap_or_default();
-            state.loss = o.loss;
-            state.max_bytes = o.bytes;
-            state.self_congested = o.loss > cfg.p_threshold;
+        let st = slot_state(tree, s, obs, states, cfg);
+        states[s] = st;
+    }
+
+    propagate_down(tree, states);
+}
+
+/// The per-slot bottom-up kernel of [`compute_into`]: the state of one
+/// slot given its children's (already computed) states. Exposed to the
+/// crate so the incremental path reuses the exact same code and cannot
+/// drift from the full pass. Only the bottom-up fields are set here;
+/// `congested` / `parent_congested` come from [`propagate_down`].
+pub(crate) fn slot_state(
+    tree: &SessionTree,
+    s: usize,
+    obs: &[Option<LeafObs>],
+    states: &[NodeState],
+    cfg: &Config,
+) -> NodeState {
+    let t = tree.tree();
+    let own = obs[s];
+    let mut state = NodeState::default();
+    if t.is_leaf_slot(s) {
+        // A silent leaf (quarantined, evicted, or outside the report
+        // horizon) is no-data, not all-clear: its placeholder state
+        // must not feed the parent's child-min fold, or an interval
+        // of silence would mask real sibling loss (and the seed
+        // `f64::INFINITY` below could survive the fold when *every*
+        // child is silent, freezing the node as CONGESTED).
+        let o = own.unwrap_or_default();
+        state.loss = o.loss;
+        state.max_bytes = o.bytes;
+        state.self_congested = own.is_some() && o.loss > cfg.p_threshold;
+        state.has_data = own.is_some();
+    } else {
+        // Child losses, plus the node's own receivers as a pseudo-child
+        // when it hosts any (a member node can be internal). Two passes
+        // over the contiguous child range instead of a scratch vector:
+        // the first folds min/sum/max, the second (mean in hand) counts
+        // the similar ones. Report-less children are skipped: they are
+        // no-data, and folding their placeholder 0.0 loss (or keeping
+        // the infinite seed when all of them are silent) would be
+        // evidence invented from silence.
+        let cs = t.child_slots(s);
+        let mut loss = f64::INFINITY;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        let mut all_lossy = true;
+        let mut max_bytes = 0u64;
+        for c in cs.clone() {
+            if !states[c].has_data {
+                continue;
+            }
+            let l = states[c].loss;
+            loss = loss.min(l);
+            sum += l;
+            count += 1;
+            all_lossy &= l > cfg.p_threshold;
+            max_bytes = max_bytes.max(states[c].max_bytes);
+        }
+        if let Some(o) = own {
+            loss = loss.min(o.loss);
+            sum += o.loss;
+            count += 1;
+            all_lossy &= o.loss > cfg.p_threshold;
+            max_bytes = max_bytes.max(o.bytes);
+        }
+        if count == 0 {
+            // Whole subtree silent this interval: no-data, with a
+            // finite placeholder loss instead of the infinite seed.
+            state.has_data = false;
         } else {
-            // Child losses, plus the node's own receivers as a pseudo-child
-            // when it hosts any (a member node can be internal). Two passes
-            // over the contiguous child range instead of a scratch vector:
-            // the first folds min/sum/max, the second (mean in hand) counts
-            // the similar ones.
-            let cs = t.child_slots(s);
-            let mut loss = f64::INFINITY;
-            let mut sum = 0.0;
-            let mut count = 0usize;
-            let mut all_lossy = true;
-            let mut max_bytes = 0u64;
-            for c in cs.clone() {
-                let l = states[c].loss;
-                loss = loss.min(l);
-                sum += l;
-                count += 1;
-                all_lossy &= l > cfg.p_threshold;
-                max_bytes = max_bytes.max(states[c].max_bytes);
-            }
-            if let Some(o) = own {
-                loss = loss.min(o.loss);
-                sum += o.loss;
-                count += 1;
-                all_lossy &= o.loss > cfg.p_threshold;
-                max_bytes = max_bytes.max(o.bytes);
-            }
             state.loss = loss;
             state.max_bytes = max_bytes;
+            state.has_data = true;
             if all_lossy {
                 let mean = sum / count as f64;
                 let close = cs
+                    .filter(|&c| states[c].has_data)
                     .map(|c| states[c].loss)
                     .chain(own.map(|o| o.loss))
                     .filter(|l| (l - mean).abs() <= cfg.similarity_tolerance)
@@ -149,10 +196,16 @@ pub fn compute_into(
                 state.self_congested = frac >= cfg.eta_similar;
             }
         }
-        states[s] = state;
     }
+    state
+}
 
-    // Top-down: parental congestion propagates.
+/// The top-down half of stage 1: parental congestion propagates. Shared by
+/// the full pass and the incremental path (which re-runs it over the whole
+/// tree — it is a cheap linear scan, and localizing it would have to track
+/// congestion flips across arbitrary subtrees for no measurable win).
+pub(crate) fn propagate_down(tree: &SessionTree, states: &mut [NodeState]) {
+    let t = tree.tree();
     for s in t.slots() {
         let parent_congested = t.parent_slot_of(s).map(|p| states[p].congested).unwrap_or(false);
         states[s].parent_congested = parent_congested;
@@ -247,11 +300,30 @@ mod tests {
     }
 
     #[test]
-    fn missing_observation_is_all_clear() {
+    fn missing_observation_is_no_data_not_all_clear() {
         let sc = compute(&tree(), &obs(&[(2, 0.5, 10)]), &Config::default());
-        // Node 3 never reported: loss 0, so the parent sees min = 0.
-        assert_eq!(sc.node(n(3)).loss, 0.0);
-        assert!(!sc.node(n(1)).self_congested);
+        // Node 3 never reported: it carries no evidence, so it does not
+        // pull the parent's child-min down to 0. The parent's state comes
+        // from the one reporting child alone.
+        assert!(!sc.node(n(3)).has_data);
+        assert!(!sc.node(n(3)).self_congested);
+        assert!(sc.node(n(1)).has_data);
+        assert!((sc.node(n(1)).loss - 0.5).abs() < 1e-12);
+        assert!(sc.node(n(1)).self_congested, "silence must not mask the lossy sibling");
+    }
+
+    #[test]
+    fn fully_silent_subtree_is_no_data_with_finite_loss() {
+        // Nobody reports at all (e.g. every receiver quarantined or
+        // evicted this interval): every node is no-data, nothing is
+        // congested, and no infinite loss survives the child-min fold.
+        let sc = compute(&tree(), &obs(&[]), &Config::default());
+        for i in [0u32, 1, 2, 3] {
+            let s = sc.node(n(i));
+            assert!(!s.has_data, "node {i}");
+            assert!(!s.congested, "node {i} must not be congested on silence");
+            assert!(s.loss.is_finite(), "node {i} loss must stay finite, got {}", s.loss);
+        }
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub fn congestion_compute(
     let t = tree.tree();
     let mut out: HashMap<NodeId, NodeState> = HashMap::with_capacity(t.len());
 
-    // Bottom-up: loss, self-congestion, subtree byte maxima.
+    // Bottom-up: loss, self-congestion, subtree byte maxima. Mirrors the
+    // dense kernel's no-data rule: report-less children carry no evidence
+    // and are skipped; a node whose whole subtree is silent is no-data
+    // itself (finite placeholder loss, never self-congested).
     for node in t.bottom_up() {
         let children = t.children(node);
         let own = obs.get(&node);
@@ -35,28 +38,36 @@ pub fn congestion_compute(
             let o = own.copied().unwrap_or_default();
             state.loss = o.loss;
             state.max_bytes = o.bytes;
-            state.self_congested = o.loss > cfg.p_threshold;
+            state.self_congested = own.is_some() && o.loss > cfg.p_threshold;
+            state.has_data = own.is_some();
         } else {
-            let mut losses: Vec<f64> = children.iter().map(|c| out[c].loss).collect();
+            let mut losses: Vec<f64> =
+                children.iter().filter(|c| out[c].has_data).map(|c| out[c].loss).collect();
             if let Some(o) = own {
                 losses.push(o.loss);
             }
-            state.loss = losses.iter().copied().fold(f64::INFINITY, f64::min);
-            state.max_bytes = children
-                .iter()
-                .map(|c| out[c].max_bytes)
-                .chain(own.map(|o| o.bytes))
-                .max()
-                .unwrap_or(0);
-            let all_lossy = losses.iter().all(|&l| l > cfg.p_threshold);
-            if all_lossy {
-                let mean = losses.iter().sum::<f64>() / losses.len() as f64;
-                let close = losses
+            if losses.is_empty() {
+                state.has_data = false;
+            } else {
+                state.loss = losses.iter().copied().fold(f64::INFINITY, f64::min);
+                state.max_bytes = children
                     .iter()
-                    .filter(|&&l| (l - mean).abs() <= cfg.similarity_tolerance)
-                    .count();
-                let frac = close as f64 / losses.len() as f64;
-                state.self_congested = frac >= cfg.eta_similar;
+                    .filter(|c| out[c].has_data)
+                    .map(|c| out[c].max_bytes)
+                    .chain(own.map(|o| o.bytes))
+                    .max()
+                    .unwrap_or(0);
+                state.has_data = true;
+                let all_lossy = losses.iter().all(|&l| l > cfg.p_threshold);
+                if all_lossy {
+                    let mean = losses.iter().sum::<f64>() / losses.len() as f64;
+                    let close = losses
+                        .iter()
+                        .filter(|&&l| (l - mean).abs() <= cfg.similarity_tolerance)
+                        .count();
+                    let frac = close as f64 / losses.len() as f64;
+                    state.self_congested = frac >= cfg.eta_similar;
+                }
             }
         }
         out.insert(node, state);
@@ -178,8 +189,13 @@ pub fn sharing_compute(
             })
             .collect();
         let total: u32 = xs.iter().map(|&(_, x)| x).sum();
+        let n = xs.len();
         for (i, x) in xs {
-            share.insert((link, i), x as f64 * b / total as f64);
+            // Same guard as the dense kernel (`sharing::proportional_share`):
+            // a zero Σx would make the division NaN/∞ and poison the final
+            // top-down mins, so it degrades to an equal split of `b`.
+            let bps = if total == 0 { b / n as f64 } else { x as f64 * b / total as f64 };
+            share.insert((link, i), bps);
         }
     }
 

@@ -70,6 +70,21 @@ impl SharingScratch {
     }
 }
 
+/// Proportional share of capacity `b` for a session demanding `x` of
+/// `total` layers across `n` sessions crossing the link.
+///
+/// Guards the paper's `x_i · B / Σ_j x_j`: if every crossing session's
+/// demand rounded to zero layers the division would be `0/0 = NaN` (or
+/// `x/0 = ∞`) and poison every downstream min it feeds, so a zero total
+/// degrades to the equal split `B / n` instead.
+pub(crate) fn proportional_share(x: u32, total: u32, b: f64, n: usize) -> f64 {
+    if total == 0 {
+        b / n as f64
+    } else {
+        x as f64 * b / total as f64
+    }
+}
+
 /// Compute fair shares. `trees[i]` and `specs[i]` describe session `i`;
 /// `capacity` is the stage-2 estimate (`None` = infinite). Thin adapter
 /// over [`compute_into`] for callers that index by [`NodeId`]; the
@@ -182,7 +197,7 @@ pub fn compute_into(
             let x = specs[i as usize]
                 .level_fitting(scratch.aggdem[i as usize][head as usize])
                 .max(1) as u32;
-            share.insert((link, i), x as f64 * b / total as f64);
+            share.insert((link, i), proportional_share(x, total, b, sessions.len()));
         }
     }
 
@@ -203,6 +218,154 @@ pub fn compute_into(
             m[s] = m[p].min(limit);
         }
     }
+}
+
+/// Incremental stage-4 update: refresh `scratch` after a capacity change
+/// on exactly the links in `cap_changed` (sorted, deduplicated), assuming
+/// the topology (`trees`/`specs`) is unchanged since the last
+/// [`compute_into`] over the same `scratch`.
+///
+/// Effect propagation, session-granular:
+///
+/// * sessions crossing a changed link get fresh `maxposs`/`aggdem`
+///   (a changed capacity alters their pass-A path mins);
+/// * every link those sessions cross — plus the changed links themselves —
+///   may see its proportional share move (shares read the crossing
+///   sessions' `aggdem` heads), so those links' shares are recomputed;
+/// * sessions crossing any such link get a fresh final `allowed` pass.
+///
+/// Links and sessions outside that closure provably keep their previous
+/// values: an untouched link has unchanged capacity and (by construction)
+/// no crossing session with changed `aggdem`, so its share — and every
+/// `allowed` path through it — is byte-identical to a full recompute. The
+/// caller guarantees estimates never *disappear* between incremental runs
+/// (a periodic reset forces the full path), which is what keeps stale
+/// `share` entries for untouched links valid.
+///
+/// With an empty `cap_changed` this is a no-op — the steady-state hot path.
+pub(crate) fn compute_incremental_into(
+    trees: &[SessionTree],
+    specs: &[&LayerSpec],
+    capacity: impl Fn(DirLinkId) -> Option<f64>,
+    scratch: &mut SharingScratch,
+    cap_changed: &[DirLinkId],
+) -> Vec<u32> {
+    if cap_changed.is_empty() {
+        return Vec::new();
+    }
+    debug_assert_eq!(trees.len(), specs.len());
+    debug_assert!(scratch.allowed.len() >= trees.len(), "scratch not primed by a full pass");
+    let SharingScratch { crossing, share, maxposs, aggdem, allowed } = scratch;
+
+    // Sessions whose pass-A/B results the changed capacities can reach.
+    let mut in_a = vec![false; trees.len()];
+    for &link in cap_changed {
+        if let Some(sessions) = crossing.get(&link) {
+            for &(i, _) in sessions {
+                in_a[i as usize] = true;
+            }
+        }
+    }
+
+    // Fresh maxposs/aggdem for those sessions (same code as the full pass).
+    for (i, tree) in trees.iter().enumerate() {
+        if !in_a[i] {
+            continue;
+        }
+        let t = tree.tree();
+        let m = &mut maxposs[i];
+        m.clear();
+        m.resize(t.len(), f64::INFINITY);
+        for s in t.slots() {
+            let Some(p) = t.parent_slot_of(s) else { continue };
+            let link = tree.in_link_at(s);
+            let avail = match capacity(link) {
+                None => f64::INFINITY,
+                Some(b) => {
+                    let others_base: f64 = crossing[&link]
+                        .iter()
+                        .filter(|&&(j, _)| j as usize != i)
+                        .map(|&(j, _)| specs[j as usize].base_rate())
+                        .sum();
+                    (b - others_base).max(specs[i].base_rate())
+                }
+            };
+            m[s] = m[p].min(avail);
+        }
+        let (maxposs_i, m) = (&maxposs[i], &mut aggdem[i]);
+        m.clear();
+        m.resize(t.len(), f64::INFINITY);
+        for s in t.slots_bottom_up() {
+            let cs = t.child_slots(s);
+            m[s] = if cs.is_empty() {
+                maxposs_i[s]
+            } else {
+                cs.map(|c| m[c]).fold(f64::NEG_INFINITY, f64::max)
+            };
+        }
+    }
+
+    // Links whose share inputs may have moved: the changed links, plus
+    // everything a refreshed session crosses.
+    let mut affected: Vec<DirLinkId> = cap_changed.to_vec();
+    for (i, tree) in trees.iter().enumerate() {
+        if !in_a[i] {
+            continue;
+        }
+        for s in 1..tree.tree().len() {
+            affected.push(tree.in_link_at(s));
+        }
+    }
+    affected.sort_unstable();
+    affected.dedup();
+
+    // Recompute those links' shares; sessions crossing them need a fresh
+    // final pass (their path mins read the recomputed entries).
+    let mut in_b = in_a;
+    for &link in &affected {
+        let Some(sessions) = crossing.get(&link) else { continue };
+        for &(i, _) in sessions {
+            in_b[i as usize] = true;
+        }
+        if sessions.len() < 2 {
+            continue;
+        }
+        let Some(b) = capacity(link) else { continue };
+        let total: u32 = sessions
+            .iter()
+            .map(|&(i, head)| {
+                specs[i as usize].level_fitting(aggdem[i as usize][head as usize]).max(1) as u32
+            })
+            .sum();
+        for &(i, head) in sessions {
+            let x =
+                specs[i as usize].level_fitting(aggdem[i as usize][head as usize]).max(1) as u32;
+            share.insert((link, i), proportional_share(x, total, b, sessions.len()));
+        }
+    }
+
+    for (i, tree) in trees.iter().enumerate() {
+        if !in_b[i] {
+            continue;
+        }
+        let t = tree.tree();
+        let m = &mut allowed[i];
+        m.clear();
+        m.resize(t.len(), f64::INFINITY);
+        for s in t.slots() {
+            let Some(p) = t.parent_slot_of(s) else { continue };
+            let link = tree.in_link_at(s);
+            let limit = share
+                .get(&(link, i as u32))
+                .copied()
+                .or_else(|| capacity(link))
+                .unwrap_or(f64::INFINITY);
+            m[s] = m[p].min(limit);
+        }
+    }
+    // The refreshed sessions, so downstream stages know whose per-slot
+    // allowances (and hence level caps) may have moved.
+    in_b.iter().enumerate().filter_map(|(i, &b)| b.then_some(i as u32)).collect()
 }
 
 #[cfg(test)]
@@ -301,6 +464,22 @@ mod tests {
         assert!(m.allowed(1, n(3)) > 0.0);
         let sum = m.allowed(0, n(2)) + m.allowed(1, n(3));
         assert!((sum - 40_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_total_demand_falls_back_to_equal_split() {
+        // If every crossing session's demand rounds to zero layers,
+        // `x·B/Σx` is 0/0 = NaN and would poison every downstream min.
+        // The guard returns the equal split instead.
+        let s = proportional_share(0, 0, 1_000_000.0, 4);
+        assert!(s.is_finite(), "got {s}");
+        assert_eq!(s, 250_000.0);
+        // Non-zero x with a zero total (inconsistent inputs) must not
+        // produce infinity either.
+        assert!(proportional_share(3, 0, 1_000_000.0, 2).is_finite());
+        // The normal path is untouched.
+        assert_eq!(proportional_share(1, 5, 1_000_000.0, 2), 200_000.0);
+        assert_eq!(proportional_share(4, 5, 1_000_000.0, 2), 800_000.0);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use topology::SessionTree;
 use traffic::LayerSpec;
 
 /// Per-node inputs assembled by the algorithm driver.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NodeInputs {
     /// 3-bit congestion history with the current interval at bit 0.
     pub hist: CongestionHistory,
@@ -136,6 +136,14 @@ impl BackoffTable {
     /// Drop expired timers.
     pub fn expire(&mut self, now: SimTime) {
         self.until.retain(|_, &mut u| u > now);
+    }
+
+    /// The nodes holding at least one live timer, in `HashMap` iteration
+    /// order (callers needing determinism must sort). The incremental path
+    /// uses this to dirty the subtrees a timer can influence — `blocked`
+    /// consults ancestors, so an entry at a node affects every descendant.
+    pub fn armed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.until.keys().map(|&(node, _)| node)
     }
 
     /// Number of live timers (diagnostics).
@@ -263,124 +271,12 @@ pub fn compute_into_traced(
 
     // Demand, bottom-up.
     for s in t.slots_bottom_up() {
-        let inp = inputs[s];
-        let cs = t.child_slots(s);
-        let branch;
-        let d = if cs.is_empty() {
-            let cur = inp.current_level.unwrap_or(1).max(1);
-            if inp.parent_congested {
-                // Defer: the congested ancestor acts for the subtree.
-                branch = "leaf.defer";
-                cur
-            } else {
-                let node = t.node_at(s);
-                let floor = spec.level_fitting(inp.goodput_bps);
-                let cap = level_cap[s];
-                match decide(NodeKind::Leaf, inp.hist, inp.bw) {
-                    Action::AddLayer => {
-                        // Explore only after the current level has been held
-                        // for two runs: loss feedback lags a join by about
-                        // one interval, and climbing every interval would
-                        // overshoot bottlenecks by several layers before the
-                        // first loss report lands.
-                        let settled = inp.supply_recent == cur && inp.supply_older == cur;
-                        let target = (cur + 1).min(spec.max_level());
-                        // Climbing toward a *freshly estimated fair share*
-                        // is not an experiment — the bandwidth is known to
-                        // exist — so neither the settling gate nor a backoff
-                        // from an earlier over-subscription applies. This is
-                        // what makes freed capacity get "fairly and fully
-                        // utilized" quickly after a crash.
-                        let known_safe = cap < spec.max_level() && target <= cap;
-                        if target > cur
-                            && !inp.sibling_congested
-                            && (known_safe
-                                || (settled && !backoffs.blocked(tree, node, target, now)))
-                        {
-                            branch = "leaf.add";
-                            target
-                        } else {
-                            branch = "leaf.add.hold";
-                            cur
-                        }
-                    }
-                    Action::DropIfLossHigh => {
-                        if inp.loss > cfg.high_loss && cur > 1 {
-                            let d = reduce_target(cur - 1, floor, cap, cur);
-                            if d < cur {
-                                backoffs.arm(node, cur, now, cfg, rng);
-                            }
-                            branch = "leaf.drop_loss";
-                            d
-                        } else {
-                            branch = "leaf.drop_loss.hold";
-                            cur
-                        }
-                    }
-                    Action::Maintain => {
-                        branch = "leaf.maintain";
-                        cur
-                    }
-                    Action::ReduceToSupply(w) => {
-                        branch = "leaf.reduce_supply";
-                        reduce_target(supply_of(&inp, w), floor, cap, cur)
-                    }
-                    Action::ReduceToHalfSupply { window, backoff } => {
-                        let tgt = half_supply_level(spec, &inp, window);
-                        let d = reduce_target(tgt, floor, cap, cur);
-                        if backoff && cur > d {
-                            backoffs.arm(node, cur, now, cfg, rng);
-                        }
-                        branch = "leaf.reduce_half";
-                        d
-                    }
-                    Action::ReduceToHalfSupplyIfLossVeryHigh(w) => {
-                        if inp.loss > cfg.very_high_loss {
-                            let tgt = half_supply_level(spec, &inp, w);
-                            branch = "leaf.reduce_half_vhl";
-                            reduce_target(tgt, floor, cap, cur)
-                        } else {
-                            branch = "leaf.reduce_half_vhl.hold";
-                            cur
-                        }
-                    }
-                    Action::AcceptChildren => unreachable!("leaf cannot accept children"),
-                }
-            }
-        } else {
-            let childmax = cs.map(|c| demand[c]).max().unwrap_or(1);
-            if inp.parent_congested {
-                branch = "internal.defer";
-                childmax
-            } else {
-                let floor = spec.level_fitting(inp.goodput_bps);
-                let cap = level_cap[s];
-                match decide(NodeKind::Internal, inp.hist, inp.bw) {
-                    Action::AcceptChildren => {
-                        branch = "internal.accept";
-                        childmax
-                    }
-                    Action::Maintain => {
-                        branch = "internal.maintain";
-                        childmax.min(inp.demand_prev.unwrap_or(childmax))
-                    }
-                    Action::ReduceToHalfSupply { window, backoff } => {
-                        let tgt = half_supply_level(spec, &inp, window);
-                        let d = reduce_target(tgt, floor, cap, childmax);
-                        if backoff && childmax > d {
-                            backoffs.arm(t.node_at(s), childmax, now, cfg, rng);
-                        }
-                        branch = "internal.reduce_half";
-                        d
-                    }
-                    other => unreachable!("internal rows never yield {other:?}"),
-                }
-            }
-        };
+        let (d, branch) =
+            decide_slot(tree, spec, cfg, now, s, &inputs[s], level_cap[s], demand, backoffs, rng);
         if let Some(b) = branches.as_deref_mut() {
             b[s] = branch;
         }
-        demand[s] = d.max(1);
+        demand[s] = d;
     }
 
     // Supply, top-down.
@@ -394,6 +290,139 @@ pub fn compute_into_traced(
         // The paper assumes every session keeps at least its base layer.
         supply[s] = v.max(1);
     }
+}
+
+/// The per-slot Table I decision kernel of [`compute_into_traced`]: one
+/// slot's demand (already clamped to the base layer) and branch label,
+/// given its children's (already computed) entries in `demand`. Exposed to
+/// the crate so the incremental path runs the exact same decision code —
+/// including the same backoff arming and RNG draws — as the full pass.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn decide_slot(
+    tree: &SessionTree,
+    spec: &LayerSpec,
+    cfg: &Config,
+    now: SimTime,
+    s: usize,
+    inp: &NodeInputs,
+    cap: u8,
+    demand: &[u8],
+    backoffs: &mut BackoffTable,
+    rng: &mut RngStream,
+) -> (u8, &'static str) {
+    let t = tree.tree();
+    let inp = *inp;
+    let cs = t.child_slots(s);
+    let branch;
+    let d = if cs.is_empty() {
+        let cur = inp.current_level.unwrap_or(1).max(1);
+        if inp.parent_congested {
+            // Defer: the congested ancestor acts for the subtree.
+            branch = "leaf.defer";
+            cur
+        } else {
+            let node = t.node_at(s);
+            let floor = spec.level_fitting(inp.goodput_bps);
+            match decide(NodeKind::Leaf, inp.hist, inp.bw) {
+                Action::AddLayer => {
+                    // Explore only after the current level has been held
+                    // for two runs: loss feedback lags a join by about
+                    // one interval, and climbing every interval would
+                    // overshoot bottlenecks by several layers before the
+                    // first loss report lands.
+                    let settled = inp.supply_recent == cur && inp.supply_older == cur;
+                    let target = (cur + 1).min(spec.max_level());
+                    // Climbing toward a *freshly estimated fair share*
+                    // is not an experiment — the bandwidth is known to
+                    // exist — so neither the settling gate nor a backoff
+                    // from an earlier over-subscription applies. This is
+                    // what makes freed capacity get "fairly and fully
+                    // utilized" quickly after a crash.
+                    let known_safe = cap < spec.max_level() && target <= cap;
+                    if target > cur
+                        && !inp.sibling_congested
+                        && (known_safe || (settled && !backoffs.blocked(tree, node, target, now)))
+                    {
+                        branch = "leaf.add";
+                        target
+                    } else {
+                        branch = "leaf.add.hold";
+                        cur
+                    }
+                }
+                Action::DropIfLossHigh => {
+                    if inp.loss > cfg.high_loss && cur > 1 {
+                        let d = reduce_target(cur - 1, floor, cap, cur);
+                        if d < cur {
+                            backoffs.arm(node, cur, now, cfg, rng);
+                        }
+                        branch = "leaf.drop_loss";
+                        d
+                    } else {
+                        branch = "leaf.drop_loss.hold";
+                        cur
+                    }
+                }
+                Action::Maintain => {
+                    branch = "leaf.maintain";
+                    cur
+                }
+                Action::ReduceToSupply(w) => {
+                    branch = "leaf.reduce_supply";
+                    reduce_target(supply_of(&inp, w), floor, cap, cur)
+                }
+                Action::ReduceToHalfSupply { window, backoff } => {
+                    let tgt = half_supply_level(spec, &inp, window);
+                    let d = reduce_target(tgt, floor, cap, cur);
+                    if backoff && cur > d {
+                        backoffs.arm(node, cur, now, cfg, rng);
+                    }
+                    branch = "leaf.reduce_half";
+                    d
+                }
+                Action::ReduceToHalfSupplyIfLossVeryHigh(w) => {
+                    if inp.loss > cfg.very_high_loss {
+                        let tgt = half_supply_level(spec, &inp, w);
+                        branch = "leaf.reduce_half_vhl";
+                        reduce_target(tgt, floor, cap, cur)
+                    } else {
+                        branch = "leaf.reduce_half_vhl.hold";
+                        cur
+                    }
+                }
+                Action::AcceptChildren => unreachable!("leaf cannot accept children"),
+            }
+        }
+    } else {
+        let childmax = cs.map(|c| demand[c]).max().unwrap_or(1);
+        if inp.parent_congested {
+            branch = "internal.defer";
+            childmax
+        } else {
+            let floor = spec.level_fitting(inp.goodput_bps);
+            match decide(NodeKind::Internal, inp.hist, inp.bw) {
+                Action::AcceptChildren => {
+                    branch = "internal.accept";
+                    childmax
+                }
+                Action::Maintain => {
+                    branch = "internal.maintain";
+                    childmax.min(inp.demand_prev.unwrap_or(childmax))
+                }
+                Action::ReduceToHalfSupply { window, backoff } => {
+                    let tgt = half_supply_level(spec, &inp, window);
+                    let d = reduce_target(tgt, floor, cap, childmax);
+                    if backoff && childmax > d {
+                        backoffs.arm(t.node_at(s), childmax, now, cfg, rng);
+                    }
+                    branch = "internal.reduce_half";
+                    d
+                }
+                other => unreachable!("internal rows never yield {other:?}"),
+            }
+        }
+    };
+    (d.max(1), branch)
 }
 
 /// Clamp a table-prescribed reduction `target` (from `basis`, the current

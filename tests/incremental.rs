@@ -1,0 +1,320 @@
+//! Differential coverage for the change-driven (incremental) pipeline of
+//! DESIGN.md §11: `AlgorithmState::run_incremental` must reproduce
+//! `AlgorithmState::run` byte for byte — suggestions, capacity estimates,
+//! congestion counts and root supply — across randomized report churn,
+//! membership churn (the fallback path), every canned chaos plan through
+//! the full simulator, and a large balanced domain.
+//!
+//! Comparisons are exact (`==` on floats included): the incremental path
+//! promises identical arithmetic on the slots it recomputes and untouched
+//! cached values everywhere else, not merely "close" results.
+
+use netsim::{
+    AppId, DirLinkId, GroupId, GroupSnapshot, NodeId, RngStream, SessionId, SimDuration, SimTime,
+};
+use proptest::prelude::*;
+use topology::discovery::{LinkView, TopologyView};
+use topology::SessionTree;
+use toposense::algorithm::{AlgorithmInputs, AlgorithmOutputs, AlgorithmState, ReceiverReport};
+use toposense::Config;
+use traffic::LayerSpec;
+
+/// Build a session tree from a parent vector: node `i + 1` attaches under
+/// node `parents[i] % (i + 1)` (same generator as `tests/differential.rs`).
+fn session_tree(parents: &[usize], session: u32, link_offset: u32) -> SessionTree {
+    let mut links = Vec::new();
+    let mut active = Vec::new();
+    for (i, &p) in parents.iter().enumerate() {
+        let child = NodeId(i as u32 + 1);
+        let parent = NodeId((p % (i + 1)) as u32);
+        let id = DirLinkId(link_offset + i as u32);
+        links.push(LinkView { id, from: parent, to: child });
+        active.push(id);
+    }
+    let all: Vec<NodeId> = (0..=parents.len() as u32).map(NodeId).collect();
+    let view = TopologyView {
+        time: SimTime::ZERO,
+        links,
+        groups: vec![GroupSnapshot {
+            group: GroupId(0),
+            root: NodeId(0),
+            active_links: active,
+            member_nodes: all,
+        }],
+    };
+    SessionTree::build(&view, SessionId(session), &[GroupId(0)]).unwrap()
+}
+
+fn leaf_receivers(tree: &SessionTree) -> Vec<NodeId> {
+    tree.tree().leaves().filter(|&n| n != tree.tree().root()).collect()
+}
+
+fn reports_for(leaves: &[NodeId], session: u32) -> Vec<ReceiverReport> {
+    leaves
+        .iter()
+        .enumerate()
+        .map(|(i, &node)| ReceiverReport {
+            receiver: AppId(500 + i as u32),
+            node,
+            session: SessionId(session),
+            level: 3,
+            received: 100,
+            lost: 0,
+            bytes: 25_000,
+        })
+        .collect()
+}
+
+fn registry_for(leaves: &[NodeId], session: u32) -> Vec<(AppId, NodeId, SessionId)> {
+    leaves
+        .iter()
+        .enumerate()
+        .map(|(i, &node)| (AppId(500 + i as u32), node, SessionId(session)))
+        .collect()
+}
+
+/// Randomly perturb the report values in place: byte-counter drift, loss
+/// toggles (which flip congestion labels and arm/expire backoffs) and
+/// level changes. Keys are left alone so the incremental path stays on.
+fn churn(reports: &mut [ReceiverReport], rng: &mut RngStream) {
+    for r in reports.iter_mut() {
+        let x = rng.f64();
+        if x < 0.30 {
+            r.bytes = 10_000 + (rng.f64() * 40_000.0) as u64;
+        } else if x < 0.45 {
+            let lossy = rng.f64() < 0.5;
+            r.received = if lossy { 90 } else { 100 };
+            r.lost = if lossy { 10 } else { 0 };
+        } else if x < 0.55 {
+            r.level = 1 + (rng.f64() * 5.0) as u8;
+        }
+    }
+}
+
+/// Next interval's reports carry the level the controller just suggested
+/// (suggestions come out in registry order, so this is a straight zip).
+fn follow_suggestions(out: &AlgorithmOutputs, reports: &mut [ReceiverReport]) {
+    for (r, s) in reports.iter_mut().zip(&out.suggestions) {
+        assert_eq!(r.receiver, s.receiver);
+        r.level = s.level;
+    }
+}
+
+fn inputs_at<'a>(
+    now_secs: u64,
+    trees: &'a [SessionTree],
+    specs: &'a [&'a LayerSpec],
+    registry: &'a [(AppId, NodeId, SessionId)],
+    reports: &'a [ReceiverReport],
+) -> AlgorithmInputs<'a> {
+    AlgorithmInputs {
+        now: SimTime::from_secs(now_secs),
+        interval: SimDuration::from_secs(2),
+        trees,
+        specs,
+        registry,
+        reports,
+    }
+}
+
+/// Field-wise byte-identity on everything except the diagnostics that are
+/// *supposed* to differ (`incremental`, `slots_recomputed`).
+macro_rules! assert_outputs_eq {
+    ($assert:ident, $full:expr, $inc:expr, $ctx:expr) => {{
+        let (a, b) = (&$full, &$inc);
+        $assert!(a.suggestions == b.suggestions, "suggestions diverged at {}", $ctx);
+        $assert!(a.estimated_links == b.estimated_links, "estimates diverged at {}", $ctx);
+        $assert!(a.congested_nodes == b.congested_nodes, "congested count diverged at {}", $ctx);
+        $assert!(a.root_supply == b.root_supply, "root supply diverged at {}", $ctx);
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Report churn only (stable keys, stable topology): after the first
+    /// cache-priming interval every run must take the incremental path and
+    /// still match a twin that recomputes everything.
+    #[test]
+    fn incremental_matches_full_across_report_churn(
+        parents in prop::collection::vec(0usize..12, 2..14),
+        seed in 0u64..1000,
+    ) {
+        let trees = vec![session_tree(&parents, 0, 0)];
+        let leaves = leaf_receivers(&trees[0]);
+        let spec = LayerSpec::paper_default();
+        let specs: Vec<&LayerSpec> = vec![&spec];
+        let registry = registry_for(&leaves, 0);
+        let mut reports = reports_for(&leaves, 0);
+        let mut rng = RngStream::derive(seed, "incremental/churn");
+
+        let mut full = AlgorithmState::new(Config::default(), seed);
+        let mut inc = AlgorithmState::new(Config::default(), seed);
+
+        for round in 1..=8u64 {
+            churn(&mut reports, &mut rng);
+            let inputs = inputs_at(2 * round, &trees, &specs, &registry, &reports);
+            let a = full.run(&inputs);
+            let b = inc.run_incremental(&inputs);
+            assert_outputs_eq!(prop_assert, a, b, format_args!("round {round}"));
+            if round >= 2 {
+                prop_assert!(b.incremental, "round {} should be incremental", round);
+            }
+            // Some intervals the receivers obey the controller, so the
+            // domain converges and clean (skippable) slots actually appear.
+            if rng.f64() < 0.5 {
+                follow_suggestions(&b, &mut reports);
+            }
+        }
+    }
+
+    /// Join/leave churn: receivers leave mid-run and later rejoin. The
+    /// registry change must force a full-run fallback (the cached report
+    /// → slot attribution no longer applies) and the outputs must stay
+    /// identical through the transition — including the report-less
+    /// subtrees the departures leave behind.
+    #[test]
+    fn incremental_matches_full_across_membership_churn(
+        parents in prop::collection::vec(0usize..10, 4..12),
+        seed in 0u64..500,
+    ) {
+        let trees = vec![session_tree(&parents, 0, 0)];
+        let leaves = leaf_receivers(&trees[0]);
+        let spec = LayerSpec::paper_default();
+        let specs: Vec<&LayerSpec> = vec![&spec];
+        let all_registry = registry_for(&leaves, 0);
+        let all_reports = reports_for(&leaves, 0);
+        // After the leave, only every other receiver remains: the pruned
+        // half's subtrees go report-less.
+        let half_registry: Vec<_> =
+            all_registry.iter().step_by(2).copied().collect();
+        let half_reports: Vec<_> =
+            all_reports.iter().step_by(2).cloned().collect();
+        let mut rng = RngStream::derive(seed, "incremental/membership");
+
+        let mut full = AlgorithmState::new(Config::default(), seed);
+        let mut inc = AlgorithmState::new(Config::default(), seed);
+
+        for round in 1..=9u64 {
+            let (registry, mut reports) = match round {
+                1..=3 => (&all_registry, all_reports.clone()),
+                4..=6 => (&half_registry, half_reports.clone()),
+                _ => (&all_registry, all_reports.clone()),
+            };
+            churn(&mut reports, &mut rng);
+            let inputs = inputs_at(2 * round, &trees, &specs, registry, &reports);
+            let a = full.run(&inputs);
+            let b = inc.run_incremental(&inputs);
+            assert_outputs_eq!(prop_assert, a, b, format_args!("round {round}"));
+            match round {
+                // Cache priming (1) and each membership flip (4, 7) must
+                // fall back to the full path...
+                1 | 4 | 7 => prop_assert!(
+                    !b.incremental,
+                    "round {} must fall back on membership change", round
+                ),
+                // ...and every steady round must be served incrementally.
+                _ => prop_assert!(
+                    b.incremental,
+                    "round {} should be incremental", round
+                ),
+            }
+        }
+    }
+}
+
+/// Every canned chaos plan, simulated end to end twice — once with the
+/// change-driven pipeline, once with it disabled — must produce identical
+/// controller decisions and receiver behaviour. This exercises the
+/// fallback triggers the unit tests cannot reach: topology changes from
+/// link flaps and router crashes, degraded-discovery intervals, capacity
+/// resets, and the failover-promoted standby's `invalidate()`.
+#[test]
+fn chaos_plans_match_with_and_without_incremental() {
+    use scenarios::chaos;
+
+    let plans = [
+        ("link_flap", chaos::link_flap(1).0),
+        ("router_crash", chaos::router_crash(1).0),
+        ("discovery_outage", chaos::discovery_outage(2).0),
+        ("partial_discovery_outage", chaos::partial_discovery_outage(3).0),
+        ("controller_failover", chaos::controller_failover(4).0),
+    ];
+    for (name, scenario) in plans {
+        let mut with_inc = scenario.clone();
+        with_inc.cfg.incremental = true;
+        let mut without = scenario;
+        without.cfg.incremental = false;
+
+        let a = scenarios::run(&with_inc);
+        let b = scenarios::run(&without);
+
+        for (ca, cb) in [(&a.controller, &b.controller), (&a.standby, &b.standby)] {
+            assert_eq!(ca.is_some(), cb.is_some(), "{name}: controller presence diverged");
+            if let (Some(ca), Some(cb)) = (ca, cb) {
+                assert_eq!(
+                    ca.suggestion_series, cb.suggestion_series,
+                    "{name}: suggestion series diverged"
+                );
+                assert_eq!(
+                    ca.congestion_series, cb.congestion_series,
+                    "{name}: congestion series diverged"
+                );
+            }
+        }
+        assert_eq!(a.receivers.len(), b.receivers.len(), "{name}");
+        for (ra, rb) in a.receivers.iter().zip(&b.receivers) {
+            assert_eq!(
+                ra.stats.changes, rb.stats.changes,
+                "{name}: receiver {:?} level changes diverged",
+                ra.node
+            );
+        }
+    }
+}
+
+/// Large-tree smoke test: an 11,111-slot balanced domain (fanout 10,
+/// depth 4 — 10,000 receivers) under 1 % report churn. Incremental and
+/// full twins must agree byte for byte every interval, and once the
+/// domain converges the incremental path must recompute far fewer slots
+/// than the full path touches.
+#[test]
+fn large_tree_smoke_incremental_matches_full() {
+    use scenarios::largetree::{
+        balanced_session_tree, churn_fraction, registry_for_leaves, reports_for_leaves,
+    };
+
+    let (tree, leaves) = balanced_session_tree(0, 10, 4);
+    let trees = vec![tree];
+    let spec = LayerSpec::paper_default();
+    let specs: Vec<&LayerSpec> = vec![&spec];
+    let registry = registry_for_leaves(0, &leaves);
+    let mut reports = reports_for_leaves(0, &leaves, 3, 0);
+
+    let mut full = AlgorithmState::new(Config::default(), 7);
+    let mut inc = AlgorithmState::new(Config::default(), 7);
+
+    let mut t = 0u64;
+    for round in 1..=24u64 {
+        t += 2;
+        churn_fraction(&mut reports, 0.01, t);
+        let inputs = inputs_at(t, &trees, &specs, &registry, &reports);
+        let a = full.run(&inputs);
+        let b = inc.run_incremental(&inputs);
+        assert_outputs_eq!(assert, a, b, format_args!("round {round}"));
+        if round >= 2 {
+            assert!(b.incremental, "round {round} should be incremental");
+        }
+        // Past warm-up the domain has converged and only the churned 1 %
+        // (plus their ancestor paths) should be recomputed.
+        if round >= 14 {
+            assert!(
+                b.slots_recomputed * 4 < a.slots_recomputed,
+                "round {round}: incremental recomputed {} slots vs {} on the full path",
+                b.slots_recomputed,
+                a.slots_recomputed
+            );
+        }
+        follow_suggestions(&b, &mut reports);
+    }
+}
