@@ -1,0 +1,70 @@
+//! Raw event throughput of the packet-level simulator fast path.
+//!
+//! Two groups:
+//!
+//! * `netsim_event_throughput` — steady-state event processing on the
+//!   largetree media workload (balanced fanout-10 depth-3 domain, CBR
+//!   media to every other leaf), under both event-queue backends. The
+//!   domain is built and warmed once; each iteration advances the
+//!   simulation by a fixed 100 ms sim-time slice, so the measurement is
+//!   pure event-loop cost with no topology-construction overhead. The
+//!   throughput line (`elem/s`) is events per wall second.
+//! * `netsim_seed_sweep` — a full scenario run swept over 1 and 4 seeds
+//!   via `run_seeds`; near-linear growth in wall time per added seed
+//!   (perfectly linear on one core, sublinear once rayon has real
+//!   threads) is the scaling check recorded in `BENCH_netsim.json`.
+//!
+//! Regenerate the JSON with
+//! `CRITERION_JSON=/tmp/netsim.json cargo bench -p toposense-bench --bench netsim_fastpath`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netsim::{QueueBackend, SimDuration, SimTime};
+use scenarios::runner::{run_seeds, Scenario};
+use topology::generators::topology_a_default;
+use toposense_bench::media_sim;
+use traffic::TrafficModel;
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim_event_throughput");
+    g.sample_size(10);
+    let slice = SimDuration::from_millis(100);
+    for (name, backend) in
+        [("wheel", QueueBackend::CalendarWheel), ("heap", QueueBackend::BinaryHeap)]
+    {
+        // Fanout 10, depth 3: 1,111 nodes, 500 sinks, 200 pps of media.
+        let mut m = media_sim(10, 3, 2, 200, backend);
+        // Warm past tree setup (grafts complete within the first second)
+        // so every measured slice is steady-state media forwarding.
+        m.sim.run_until(SimTime::from_secs(1));
+        let warm_events = m.sim.events_processed();
+        let mut deadline = m.sim.now() + slice;
+        m.sim.run_until(deadline);
+        let events_per_slice = m.sim.events_processed() - warm_events;
+        g.throughput(Throughput::Elements(events_per_slice));
+        g.bench_with_input(BenchmarkId::new(name, "largetree_100ms"), &(), |b, _| {
+            b.iter(|| {
+                deadline = deadline + slice;
+                m.sim.run_until(deadline);
+                m.sim.events_processed()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_seed_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim_seed_sweep");
+    g.sample_size(10);
+    let base = Scenario::new(topology_a_default(2), TrafficModel::Cbr, 1)
+        .with_duration(SimDuration::from_secs(10));
+    for n in [1u64, 4] {
+        let seeds: Vec<u64> = (1..=n).collect();
+        g.bench_with_input(BenchmarkId::new("sweep", format!("{n}seeds")), &seeds, |b, seeds| {
+            b.iter(|| run_seeds(&base, seeds).len());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_throughput, bench_seed_sweep);
+criterion_main!(benches);

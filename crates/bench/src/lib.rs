@@ -7,7 +7,8 @@
 //! bench keeps a single import path.
 
 pub use scenarios::largetree::{
-    balanced_session_tree, churn_fraction, registry_for_leaves, reports_for_leaves,
+    balanced_session_tree, churn_fraction, media_sim, registry_for_leaves, reports_for_leaves,
+    MediaSim,
 };
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 use crate::event::{Event, EventQueue};
 use crate::multicast::{GroupId, TreeOp};
 use crate::node::NodeId;
-use crate::packet::{ControlBody, Packet, SessionId};
+use crate::packet::{ControlBody, Packet, PacketSlab, SessionId};
 use crate::sim::Network;
 use crate::time::{SimDuration, SimTime};
 
@@ -62,6 +62,7 @@ pub struct Ctx<'a> {
     pub(crate) node: NodeId,
     pub(crate) queue: &'a mut EventQueue,
     pub(crate) net: &'a mut Network,
+    pub(crate) slab: &'a mut PacketSlab,
 }
 
 impl Ctx<'_> {
@@ -107,7 +108,9 @@ impl Ctx<'_> {
     fn originate(&mut self, packet: Packet) {
         // Injection is modelled as an arrival at the originating node with no
         // incoming link; the ordinary forwarding path takes it from there.
-        self.queue.schedule(self.now, Event::Arrive { node: self.node, from_link: None, packet });
+        // The packet moves into the slab here — events only carry its id.
+        let id = self.slab.insert(packet);
+        self.queue.schedule(self.now, Event::Inject { node: self.node, packet: id });
     }
 
     /// Subscribe this app to `group` (grafting the distribution tree).

@@ -1,27 +1,55 @@
 //! The event queue at the heart of the simulator.
 //!
-//! A binary min-heap keyed on `(time, sequence)`. The monotonically
-//! increasing sequence number breaks ties deterministically: two events
-//! scheduled for the same instant fire in the order they were scheduled,
-//! which is what makes whole runs reproducible bit-for-bit.
+//! Events are keyed on `(time, sequence)`. The monotonically increasing
+//! sequence number breaks ties deterministically: two events scheduled for
+//! the same instant fire in the order they were scheduled, which is what
+//! makes whole runs reproducible bit-for-bit.
+//!
+//! Two interchangeable backends implement that contract:
+//!
+//! * [`QueueBackend::CalendarWheel`] (default) — a hierarchical calendar
+//!   queue in the ns-2 tradition: 6 levels × 64 slots with per-level
+//!   occupancy bitmaps. Level 0 buckets 2^16 ns (≈65 µs) of simulated time
+//!   per slot; each level above widens slots 64×, so the wheel spans ~52
+//!   simulated days before spilling into an unordered overflow bucket.
+//!   Schedule and pop are O(1) amortized: an event is filed at the lowest
+//!   level whose current rotation can hold it, cascades toward level 0 as
+//!   the cursor approaches, and is popped by a bitmap scan instead of a
+//!   heap sift. A level-0 slot is sorted by `(time, seq)` the first time
+//!   the cursor reaches it and drains from the back, so even the hundreds
+//!   of same-instant events a symmetric multicast fan-out produces cost
+//!   O(1) per pop.
+//! * [`QueueBackend::BinaryHeap`] — the original binary-heap future-event
+//!   list, kept as the **differential oracle**: `tests/netsim_differential.rs`
+//!   proves runs are byte-identical under either backend.
 
 use crate::app::AppId;
 use crate::faults::FaultKind;
 use crate::link::DirLinkId;
 use crate::multicast::GroupId;
 use crate::node::NodeId;
-use crate::packet::Packet;
+use crate::packet::PacketId;
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Everything that can happen in the simulated world.
-#[derive(Debug)]
+///
+/// Variants carry ids only — a full `Event` is 24 bytes, so queue reshuffles
+/// move machine words, not packet structs (payloads live in the
+/// [`crate::packet::PacketSlab`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Event {
     /// A link finished serializing the packet at the head of its queue.
     LinkTxDone(DirLinkId),
-    /// A packet arrives at a node after crossing a link.
-    Arrive { node: NodeId, from_link: Option<DirLinkId>, packet: Packet },
+    /// The self-rescheduling link-drain event: the packet at the head of a
+    /// link's wire FIFO reaches the far node. One of these is pending per
+    /// link iff the link's wire is non-empty, so back-to-back packets on a
+    /// busy link cost one queue operation each, not two.
+    LinkDeliver(DirLinkId),
+    /// An application injected a packet at its own node (no incoming link);
+    /// the ordinary forwarding path takes it from there.
+    Inject { node: NodeId, packet: PacketId },
     /// An application timer fires with an app-chosen token.
     Timer { app: AppId, token: u64 },
     /// A multicast graft completes: `link` starts carrying `group`.
@@ -33,6 +61,17 @@ pub enum Event {
     Fault(FaultKind),
 }
 
+/// Which future-event-list implementation a simulation uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueBackend {
+    /// Hierarchical calendar/timer-wheel queue (fast path).
+    #[default]
+    CalendarWheel,
+    /// The original binary min-heap, retained as the differential oracle.
+    BinaryHeap,
+}
+
+#[derive(Clone, Copy, Debug)]
 struct Entry {
     time: SimTime,
     seq: u64,
@@ -59,9 +98,256 @@ impl Ord for Entry {
     }
 }
 
+/// Log2 of the level-0 slot width: 2^16 ns ≈ 65.5 µs per tick.
+const GRAN_BITS: u32 = 16;
+/// Log2 of the slots per level.
+const LEVEL_BITS: u32 = 6;
+const SLOTS: usize = 1 << LEVEL_BITS;
+const LEVELS: usize = 6;
+
+/// Hierarchical timer wheel. All arithmetic is on raw nanosecond counts.
+///
+/// Invariants:
+/// * `cursor` never exceeds the time of any pending entry, and never moves
+///   backwards, so every entry filed at level `L` stays within the 64-slot
+///   window `[cursor_slot_L, cursor_slot_L + 63]` for its whole residence —
+///   slot indices (`abs_slot & 63`) are unambiguous.
+/// * An entry is filed at the lowest level whose window can hold it;
+///   entries beyond the top level's window live in `overflow` (unordered)
+///   until the wheel drains and the cursor jumps forward.
+struct CalendarWheel {
+    /// `LEVELS * SLOTS` buckets; unordered within a slot.
+    slots: Vec<Vec<Entry>>,
+    /// Per-level occupancy bitmaps: bit `i` set iff slot `i` is non-empty.
+    occupied: [u64; LEVELS],
+    /// Level-0 slots currently held in descending `(time, seq)` order, so
+    /// the earliest entry is at the back and a burst of same-tick events
+    /// (multicast fan-out on a symmetric tree produces hundreds) drains in
+    /// O(1) pops instead of a rescan per pop. An unsorted slot is sorted
+    /// lazily the first time the cursor reaches it; once sorted, inserts
+    /// keep the order by binary search.
+    sorted: u64,
+    /// Level-0 slot currently draining, if any. While it is non-empty it
+    /// provably holds the global minimum (every other slot is a later tick,
+    /// and same-tick inserts merge into it in order), so pops skip the
+    /// per-level candidate scan entirely.
+    active: Option<u8>,
+    /// Current position in nanoseconds (lower bound on all pending times).
+    cursor: u64,
+    /// Entries beyond the top level's horizon (~52 simulated days out).
+    overflow: Vec<Entry>,
+    /// Reused buffer for cascading a slot without reallocating.
+    cascade_buf: Vec<Entry>,
+    len: usize,
+}
+
+#[inline]
+fn shift(level: usize) -> u32 {
+    GRAN_BITS + LEVEL_BITS * level as u32
+}
+
+impl CalendarWheel {
+    fn new() -> Self {
+        CalendarWheel {
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            sorted: 0,
+            active: None,
+            cursor: 0,
+            overflow: Vec::new(),
+            cascade_buf: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// File an entry at the lowest level whose current window holds it.
+    fn file(&mut self, e: Entry) {
+        let t = e.time.nanos();
+        debug_assert!(t >= self.cursor, "entry files behind the cursor");
+        for level in 0..LEVELS {
+            let s = shift(level);
+            if (t >> s).saturating_sub(self.cursor >> s) < SLOTS as u64 {
+                let idx = ((t >> s) & (SLOTS as u64 - 1)) as usize;
+                if level == 0 {
+                    let bit = 1u64 << idx;
+                    let slot = &mut self.slots[idx];
+                    if slot.is_empty() {
+                        // Defer sorting to the first pop: a cascading burst
+                        // appends O(1) per entry and gets one sort, instead
+                        // of paying a binary-insert memmove per entry.
+                        slot.push(e);
+                        self.sorted &= !bit;
+                    } else if self.sorted & bit != 0 {
+                        let key = (e.time, e.seq);
+                        let pos = slot.partition_point(|x| (x.time, x.seq) > key);
+                        slot.insert(pos, e);
+                    } else {
+                        slot.push(e);
+                    }
+                } else {
+                    self.slots[level * SLOTS + idx].push(e);
+                }
+                self.occupied[level] |= 1 << idx;
+                return;
+            }
+        }
+        self.overflow.push(e);
+    }
+
+    fn insert(&mut self, e: Entry) {
+        self.file(e);
+        self.len += 1;
+    }
+
+    /// For each level, the start time of the nearest occupied slot (in
+    /// circular order from the cursor), or `None` if the level is empty.
+    #[inline]
+    fn candidate(&self, level: usize) -> Option<u64> {
+        let bits = self.occupied[level];
+        if bits == 0 {
+            return None;
+        }
+        let s = shift(level);
+        let cur = self.cursor >> s;
+        let off = (cur & (SLOTS as u64 - 1)) as u32;
+        // Rotate so the cursor's slot is bit 0; trailing_zeros is then the
+        // circular distance to the nearest occupied slot in the window.
+        let dist = bits.rotate_right(off).trailing_zeros() as u64;
+        Some((cur + dist) << s)
+    }
+
+    fn pop(&mut self) -> Option<Entry> {
+        if self.len == 0 {
+            return None;
+        }
+        // Fast path: keep draining the already-selected (and sorted) slot.
+        if let Some(idx) = self.active {
+            let slot = &mut self.slots[idx as usize];
+            let entry = slot.pop().expect("active slot is non-empty");
+            if slot.is_empty() {
+                self.occupied[0] &= !(1u64 << idx);
+                self.active = None;
+            }
+            self.len -= 1;
+            return Some(entry);
+        }
+        loop {
+            // Best = earliest slot start over all levels; ties go to the
+            // higher level so wide slots cascade before narrow ones pop
+            // (a level-1 slot starting at the same instant as a level-0
+            // slot may hold an even earlier entry).
+            let mut best: Option<(u64, usize)> = None;
+            for level in 0..LEVELS {
+                if let Some(start) = self.candidate(level) {
+                    if best.is_none_or(|(bs, _)| start <= bs) {
+                        best = Some((start, level));
+                    }
+                }
+            }
+            let Some((start, level)) = best else {
+                // Wheel empty but len > 0: everything lives in overflow.
+                // Jump the cursor to the earliest overflow entry and refile;
+                // at least that entry now fits the top level's window.
+                debug_assert!(!self.overflow.is_empty());
+                let min_t =
+                    self.overflow.iter().map(|e| e.time.nanos()).min().expect("overflow entry");
+                self.cursor = self.cursor.max(min_t);
+                let mut spill = std::mem::take(&mut self.overflow);
+                for e in spill.drain(..) {
+                    // May push entries still beyond the horizon back into
+                    // (the now-fresh) self.overflow — at least the minimum
+                    // entry is guaranteed to land in the wheel.
+                    self.file(e);
+                }
+                if self.overflow.is_empty() {
+                    self.overflow = spill; // keep the allocated buffer
+                }
+                continue;
+            };
+            self.cursor = self.cursor.max(start);
+            let s = shift(level);
+            let idx = ((start >> s) & (SLOTS as u64 - 1)) as usize;
+            if level == 0 {
+                let bit = 1u64 << idx;
+                let slot = &mut self.slots[idx];
+                if self.sorted & bit == 0 {
+                    // First pop from this slot since an unsorted insert:
+                    // order it descending once, then drain from the back.
+                    slot.sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.seq)));
+                    self.sorted |= bit;
+                }
+                let entry = slot.pop().expect("candidate slot is non-empty");
+                if slot.is_empty() {
+                    self.occupied[0] &= !bit;
+                } else {
+                    self.active = Some(idx as u8);
+                }
+                self.len -= 1;
+                return Some(entry);
+            }
+            // Cascade the whole slot down now that the cursor reached it.
+            let mut buf = std::mem::take(&mut self.cascade_buf);
+            std::mem::swap(&mut buf, &mut self.slots[level * SLOTS + idx]);
+            self.occupied[level] &= !(1 << idx);
+            for e in buf.drain(..) {
+                self.file(e);
+            }
+            self.cascade_buf = buf;
+        }
+    }
+
+    /// Validate occupancy bitmaps, len accounting, and window bounds
+    /// (test-only: O(slots + pending) per call).
+    #[cfg(test)]
+    fn audit(&self) {
+        let mut count = self.overflow.len();
+        for level in 0..LEVELS {
+            let s = shift(level);
+            for idx in 0..SLOTS {
+                let slot = &self.slots[level * SLOTS + idx];
+                count += slot.len();
+                let bit = self.occupied[level] & (1 << idx) != 0;
+                assert_eq!(bit, !slot.is_empty(), "bitmap desync level={level} idx={idx}");
+                for e in slot {
+                    let t = e.time.nanos();
+                    assert!(t >= self.cursor, "entry behind cursor level={level} idx={idx}");
+                    let delta = (t >> s) - (self.cursor >> s);
+                    assert!(
+                        delta < SLOTS as u64,
+                        "entry out of window level={level} idx={idx} delta={delta}"
+                    );
+                    assert_eq!((t >> s) & (SLOTS as u64 - 1), idx as u64, "entry in wrong slot");
+                }
+                if level == 0 && self.sorted & (1 << idx) != 0 {
+                    assert!(
+                        slot.windows(2).all(|w| (w[0].time, w[0].seq) > (w[1].time, w[1].seq)),
+                        "sorted slot out of order idx={idx}"
+                    );
+                }
+            }
+        }
+        if let Some(idx) = self.active {
+            assert!(!self.slots[idx as usize].is_empty(), "active slot is empty");
+            assert!(self.sorted & (1 << idx) != 0, "active slot not sorted");
+            assert_eq!((self.cursor >> GRAN_BITS) & (SLOTS as u64 - 1), idx as u64);
+        }
+        assert_eq!(count, self.len, "len desync");
+    }
+
+    /// O(pending) scan for the earliest time; diagnostics only.
+    fn peek_time(&self) -> Option<SimTime> {
+        self.slots.iter().flatten().chain(self.overflow.iter()).map(|e| e.time).min()
+    }
+}
+
+enum Backing {
+    Wheel(CalendarWheel),
+    Heap(BinaryHeap<Entry>),
+}
+
 /// Deterministic future-event list.
 pub struct EventQueue {
-    heap: BinaryHeap<Entry>,
+    backing: Backing,
     next_seq: u64,
     scheduled: u64,
 }
@@ -74,7 +360,33 @@ impl Default for EventQueue {
 
 impl EventQueue {
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::with_capacity(1024), next_seq: 0, scheduled: 0 }
+        Self::with_backend(QueueBackend::default())
+    }
+
+    /// Construct with an explicit backend (see [`QueueBackend`]).
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        let backing = match backend {
+            QueueBackend::CalendarWheel => Backing::Wheel(CalendarWheel::new()),
+            QueueBackend::BinaryHeap => Backing::Heap(BinaryHeap::new()),
+        };
+        EventQueue { backing, next_seq: 0, scheduled: 0 }
+    }
+
+    /// Which backend this queue runs on.
+    pub fn backend(&self) -> QueueBackend {
+        match self.backing {
+            Backing::Wheel(_) => QueueBackend::CalendarWheel,
+            Backing::Heap(_) => QueueBackend::BinaryHeap,
+        }
+    }
+
+    /// Pre-size for about `n` concurrently pending events (the simulator
+    /// calls this with links + apps once the topology is frozen).
+    pub fn reserve(&mut self, n: usize) {
+        match &mut self.backing {
+            Backing::Wheel(w) => w.overflow.reserve(n.min(1024)),
+            Backing::Heap(h) => h.reserve(n),
+        }
     }
 
     /// Schedule `event` to fire at `time`.
@@ -82,94 +394,259 @@ impl EventQueue {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled += 1;
-        self.heap.push(Entry { time, seq, event });
+        let entry = Entry { time, seq, event };
+        match &mut self.backing {
+            Backing::Wheel(w) => w.insert(entry),
+            Backing::Heap(h) => h.push(entry),
+        }
     }
 
     /// Pop the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        match &mut self.backing {
+            Backing::Wheel(w) => w.pop(),
+            Backing::Heap(h) => h.pop(),
+        }
+        .map(|e| (e.time, e.event))
     }
 
-    /// The time of the earliest pending event.
+    /// Pop the earliest event iff it fires at or before `deadline` — a
+    /// single queue access on the run loop's hot path instead of
+    /// peek-then-pop. Events past the deadline stay pending.
+    pub fn pop_due(&mut self, deadline: SimTime) -> Option<(SimTime, Event)> {
+        match &mut self.backing {
+            Backing::Wheel(w) => {
+                let entry = w.pop()?;
+                if entry.time > deadline {
+                    // Re-file with its original seq: total order is intact.
+                    w.insert(entry);
+                    None
+                } else {
+                    Some((entry.time, entry.event))
+                }
+            }
+            Backing::Heap(h) => {
+                if h.peek().is_some_and(|e| e.time <= deadline) {
+                    h.pop().map(|e| (e.time, e.event))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The time of the earliest pending event. O(1) on the heap backend,
+    /// O(pending) on the wheel — diagnostics, not the run loop.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        match &self.backing {
+            Backing::Wheel(w) => w.peek_time(),
+            Backing::Heap(h) => h.peek().map(|e| e.time),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backing {
+            Backing::Wheel(w) => w.len,
+            Backing::Heap(h) => h.len(),
+        }
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever scheduled (diagnostics).
     pub fn total_scheduled(&self) -> u64 {
         self.scheduled
     }
+
+    /// Wheel invariant audit (no-op on the heap backend).
+    #[cfg(test)]
+    fn audit(&self) {
+        if let Backing::Wheel(w) = &self.backing {
+            w.audit();
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::RngStream;
     use crate::time::SimDuration;
+
+    const BACKENDS: [QueueBackend; 2] = [QueueBackend::CalendarWheel, QueueBackend::BinaryHeap];
 
     fn timer(token: u64) -> Event {
         Event::Timer { app: AppId(0), token }
     }
 
-    #[test]
-    fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_secs(3), timer(3));
-        q.schedule(SimTime::from_secs(1), timer(1));
-        q.schedule(SimTime::from_secs(2), timer(2));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+    fn tokens(q: &mut EventQueue) -> Vec<u64> {
+        std::iter::from_fn(|| q.pop())
             .map(|(_, e)| match e {
                 Event::Timer { token, .. } => token,
                 _ => unreachable!(),
             })
-            .collect();
-        assert_eq!(order, vec![1, 2, 3]);
+            .collect()
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            q.schedule(SimTime::from_secs(3), timer(3));
+            q.schedule(SimTime::from_secs(1), timer(1));
+            q.schedule(SimTime::from_secs(2), timer(2));
+            assert_eq!(tokens(&mut q), vec![1, 2, 3], "{backend:?}");
+        }
     }
 
     #[test]
     fn ties_break_by_schedule_order() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_secs(5);
-        for token in 0..100 {
-            q.schedule(t, timer(token));
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            let t = SimTime::from_secs(5);
+            for token in 0..100 {
+                q.schedule(t, timer(token));
+            }
+            assert_eq!(tokens(&mut q), (0..100).collect::<Vec<_>>(), "{backend:?}");
         }
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|(_, e)| match e {
-                Event::Timer { token, .. } => token,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn interleaved_schedule_and_pop() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_secs(10), timer(10));
-        q.schedule(SimTime::from_secs(1), timer(1));
-        let (t, _) = q.pop().unwrap();
-        assert_eq!(t, SimTime::from_secs(1));
-        q.schedule(t + SimDuration::from_secs(2), timer(3));
-        let (t2, _) = q.pop().unwrap();
-        assert_eq!(t2, SimTime::from_secs(3));
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.total_scheduled(), 3);
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            q.schedule(SimTime::from_secs(10), timer(10));
+            q.schedule(SimTime::from_secs(1), timer(1));
+            let (t, _) = q.pop().unwrap();
+            assert_eq!(t, SimTime::from_secs(1));
+            q.schedule(t + SimDuration::from_secs(2), timer(3));
+            let (t2, _) = q.pop().unwrap();
+            assert_eq!(t2, SimTime::from_secs(3));
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.total_scheduled(), 3);
+        }
     }
 
     #[test]
     fn empty_queue() {
-        let mut q = EventQueue::new();
-        assert!(q.is_empty());
-        assert!(q.pop().is_none());
-        assert!(q.peek_time().is_none());
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            assert!(q.is_empty());
+            assert!(q.pop().is_none());
+            assert!(q.peek_time().is_none());
+            assert!(q.pop_due(SimTime::MAX).is_none());
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_deadline_without_losing_events() {
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            q.schedule(SimTime::from_secs(2), timer(2));
+            q.schedule(SimTime::from_secs(1), timer(1));
+            let (t, _) = q.pop_due(SimTime::from_secs(1)).unwrap();
+            assert_eq!(t, SimTime::from_secs(1));
+            // The 2 s event is past the deadline: stays pending, order kept.
+            assert!(q.pop_due(SimTime::from_secs(1)).is_none());
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+            let (t2, _) = q.pop_due(SimTime::from_secs(2)).unwrap();
+            assert_eq!(t2, SimTime::from_secs(2));
+        }
+    }
+
+    /// Satellite: seq tie-break must survive bucket boundaries. Same-instant
+    /// events are scheduled at times chosen to straddle level-0 slot edges,
+    /// level boundaries, and cascade points of the wheel.
+    #[test]
+    fn same_instant_ordering_across_bucket_boundaries() {
+        // One tick = 2^16 ns; one level-0 rotation = 2^22 ns.
+        let tick = 1u64 << 16;
+        let rotation = 1u64 << 22;
+        let interesting = [
+            0,
+            tick - 1,
+            tick,
+            tick + 1,
+            rotation - 1,
+            rotation,
+            rotation + 1,
+            3 * rotation + 17,
+            (1 << 28) - 1, // level-1 rotation edge
+            1 << 28,
+            (1 << 34) + 5, // level-2 territory
+            (1 << 52) + 9, // beyond the wheel horizon: overflow bucket
+        ];
+        let mut q = EventQueue::with_backend(QueueBackend::CalendarWheel);
+        let mut expect: Vec<(u64, u64)> = Vec::new();
+        let mut token = 0;
+        // Schedule three same-instant events per time, interleaved across
+        // times so the tie-break cannot lean on insertion locality.
+        for round in 0..3 {
+            for &t in &interesting {
+                q.schedule(SimTime(t), timer(token));
+                expect.push((t, token));
+                token += 1;
+            }
+            let _ = round;
+        }
+        expect.sort_by_key(|&(t, tok)| (t, tok));
+        let got: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|(t, e)| match e {
+                Event::Timer { token, .. } => (t.nanos(), token),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    /// Randomized differential: the wheel must agree with the heap oracle
+    /// pop-for-pop under interleaved schedule/pop traffic.
+    #[test]
+    fn wheel_matches_heap_under_random_interleaving() {
+        let mut rng = RngStream::derive(0xC0FFEE, "event/differential");
+        let mut wheel = EventQueue::with_backend(QueueBackend::CalendarWheel);
+        let mut heap = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        let mut now = 0u64;
+        let mut token = 0u64;
+        for _ in 0..20_000 {
+            if rng.chance(0.6) || wheel.is_empty() {
+                // Mix of near, same-instant, far, and overflow-range times.
+                let dt = match rng.range_u64(0, 100) {
+                    0..=39 => rng.range_u64(0, 1 << 18),
+                    40..=69 => 0,
+                    70..=94 => rng.range_u64(0, 1 << 31),
+                    _ => rng.range_u64(1 << 50, 1 << 54),
+                };
+                let t = SimTime(now + dt);
+                wheel.schedule(t, timer(token));
+                heap.schedule(t, timer(token));
+                token += 1;
+            } else {
+                let a = wheel.pop();
+                let b = heap.pop();
+                assert_eq!(a, b);
+                if let Some((t, _)) = a {
+                    now = t.nanos();
+                }
+            }
+        }
+        // Drain both queues; audit the wheel's internal invariants as the
+        // cursor sweeps the full range (this is what caught the overflow
+        // re-spill bug: refiling far-future entries used to clobber the
+        // overflow bucket).
+        loop {
+            wheel.audit();
+            let a = wheel.pop();
+            let b = heap.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

@@ -37,12 +37,12 @@ pub mod time;
 pub mod trace;
 
 pub use app::{App, AppId, Ctx};
-pub use event::{Event, EventQueue};
+pub use event::{Event, EventQueue, QueueBackend};
 pub use faults::{FaultKind, FaultPlan};
-pub use link::{DirLinkId, Link, LinkConfig, LinkStats, QueueDiscipline};
+pub use link::{DirLinkId, Link, LinkConfig, LinkStats, QueueDiscipline, QueuedPacket};
 pub use multicast::{GroupId, GroupSnapshot, MulticastConfig, TreeOp};
 pub use node::{Node, NodeId, Routing};
-pub use packet::{ControlBody, Dest, Packet, Payload, SessionId};
+pub use packet::{ControlBody, Dest, Packet, PacketId, PacketSlab, Payload, SessionId};
 pub use rng::RngStream;
 pub use sim::{NetworkBuilder, SimConfig, Simulator};
 pub use stats::{LossWindow, SeqTracker};

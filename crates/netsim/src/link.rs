@@ -8,9 +8,16 @@
 //! its serialization time, then crosses the wire in the propagation delay,
 //! and arrives at the far node. Packets that find the transmitter busy wait
 //! in the queue; packets that find the queue full are dropped.
+//!
+//! Links never touch packet payloads: queues, the transmitter, and the wire
+//! hold [`QueuedPacket`] records (slab id + the size and layer the queueing
+//! disciplines need). The wire is a FIFO of `(arrival time, id)` pairs
+//! drained by a single self-rescheduling `LinkDeliver` event per link, so a
+//! busy link keeps one delivery entry in the event queue no matter how many
+//! packets are mid-flight.
 
 use crate::node::NodeId;
-use crate::packet::{Packet, Payload};
+use crate::packet::PacketId;
 use crate::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
@@ -96,7 +103,7 @@ impl LinkConfig {
 }
 
 /// Cumulative counters for one directed link.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LinkStats {
     /// Packets fully transmitted.
     pub tx_packets: u64,
@@ -106,8 +113,9 @@ pub struct LinkStats {
     pub dropped_packets: u64,
     /// Packets corrupted on the wire (random-loss model).
     pub corrupted_packets: u64,
-    /// Packets lost to the link being down: arrivals refused while failed
-    /// plus the queue flushed at the moment of failure. A subset of
+    /// Packets lost to a fault: arrivals refused while the link is failed
+    /// plus queues flushed by an outage (link failure or transmitting-router
+    /// crash — both fault kinds account flushes identically). A subset of
     /// `dropped_packets`, kept separately so fault post-mortems can tell
     /// congestion loss from outage loss per link.
     pub down_dropped_packets: u64,
@@ -128,36 +136,16 @@ impl LinkStats {
     }
 }
 
-/// One directed link.
-pub struct Link {
-    /// Transmitting node.
-    pub from: NodeId,
-    /// Receiving node.
-    pub to: NodeId,
-    /// Capacity in bits per second.
-    pub bandwidth_bps: f64,
-    /// One-way propagation delay.
-    pub delay: SimDuration,
-    /// Per-packet corruption probability.
-    pub random_loss: f64,
-    discipline: QueueDiscipline,
-    queue_limit: usize,
-    queue: VecDeque<Packet>,
-    in_flight: Option<Packet>,
-    /// False while the link is failed: it accepts nothing and carries
-    /// nothing (fault injection).
-    up: bool,
-    /// Cumulative statistics.
-    pub stats: LinkStats,
-}
-
-/// The media layer a packet carries (control packets rank as layer 0, i.e.
-/// most protected under priority dropping).
-fn layer_of(p: &Packet) -> u8 {
-    match p.payload {
-        Payload::Media { layer, .. } => layer,
-        Payload::Control(_) => 0,
-    }
+/// What a link knows about a packet: its slab id plus the two fields the
+/// queueing disciplines read. 16 bytes, `Copy`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueuedPacket {
+    /// Slab handle; the simulator resolves it on delivery.
+    pub id: PacketId,
+    /// Wire size in bytes (drives serialization time and drop accounting).
+    pub size: u32,
+    /// Media layer (control packets rank as layer 0).
+    pub layer: u8,
 }
 
 /// Result of offering a packet to a link.
@@ -166,10 +154,51 @@ pub enum Enqueue {
     /// Transmission started immediately; `LinkTxDone` fires after the
     /// returned serialization time.
     StartTx(SimDuration),
-    /// Packet queued behind the current transmission.
-    Queued,
-    /// Queue full; packet dropped.
+    /// Packet queued behind the current transmission. Under
+    /// [`QueueDiscipline::PriorityDrop`] this may have evicted a queued
+    /// packet — the caller must release (and may trace) the victim.
+    Queued { evicted: Option<QueuedPacket> },
+    /// Queue full; the offered packet was dropped (already counted).
     Dropped,
+}
+
+/// One directed link.
+///
+/// `repr(C)` with the fields every event touches (endpoints, liveness, the
+/// transmitter, timing parameters, the serialization memo) packed at the
+/// front: a steady-state simulation walks `Link` structs in effectively
+/// random order, so the per-event working set is cache lines, and the
+/// layout keeps the `tx_done`/`enqueue` path inside the first lines.
+#[repr(C)]
+pub struct Link {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// False while the link is failed: it accepts nothing and carries
+    /// nothing (fault injection).
+    up: bool,
+    discipline: QueueDiscipline,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Capacity in bits per second.
+    pub bandwidth_bps: f64,
+    /// Last `(size, serialization time)` computed — steady traffic repeats
+    /// one packet size per link, so this turns the per-hop f64 division
+    /// into a compare. Memoization is exact: on a hit the cached result is
+    /// bit-identical to recomputing it.
+    ser_memo: (u32, SimDuration),
+    in_flight: Option<QueuedPacket>,
+    /// Cumulative statistics.
+    pub stats: LinkStats,
+    /// Per-packet corruption probability.
+    pub random_loss: f64,
+    queue_limit: usize,
+    queue: VecDeque<QueuedPacket>,
+    /// Packets crossing the wire: `(arrival time, id)`, FIFO (the constant
+    /// propagation delay keeps arrival times monotone). Exactly one
+    /// `LinkDeliver` event is pending iff this is non-empty.
+    wire: VecDeque<(SimTime, PacketId)>,
 }
 
 impl Link {
@@ -178,37 +207,49 @@ impl Link {
         Link {
             from,
             to,
-            bandwidth_bps: cfg.bandwidth_bps,
-            delay: cfg.delay,
-            random_loss: cfg.random_loss,
+            up: true,
             discipline: cfg.discipline,
+            delay: cfg.delay,
+            bandwidth_bps: cfg.bandwidth_bps,
+            ser_memo: (0, SimDuration::ZERO),
+            in_flight: None,
+            stats: LinkStats::default(),
+            random_loss: cfg.random_loss,
             queue_limit: cfg.queue_packets,
             queue: VecDeque::with_capacity(cfg.queue_packets.min(64)),
-            in_flight: None,
-            up: true,
-            stats: LinkStats::default(),
+            wire: VecDeque::new(),
         }
     }
 
+    /// Serialization time of a `size`-byte packet, memoized on the last
+    /// distinct size seen (exact — a hit returns the identical value).
+    #[inline]
+    fn ser_time(&mut self, size: u32) -> SimDuration {
+        if self.ser_memo.0 != size {
+            self.ser_memo = (size, SimDuration::serialization(size as u64, self.bandwidth_bps));
+        }
+        self.ser_memo.1
+    }
+
     /// Offer a packet to this link.
-    pub fn enqueue(&mut self, packet: Packet) -> Enqueue {
+    pub fn enqueue(&mut self, packet: QueuedPacket) -> Enqueue {
         self.stats.offered_packets += 1;
         if !self.up {
-            self.drop_counted(&packet);
+            self.drop_counted(packet);
             self.stats.down_dropped_packets += 1;
             return Enqueue::Dropped;
         }
         if self.in_flight.is_none() {
-            let ser = SimDuration::serialization(packet.size as u64, self.bandwidth_bps);
+            let ser = self.ser_time(packet.size);
             self.in_flight = Some(packet);
             Enqueue::StartTx(ser)
         } else if self.queue.len() < self.queue_limit {
             self.queue.push_back(packet);
-            Enqueue::Queued
+            Enqueue::Queued { evicted: None }
         } else {
             match self.discipline {
                 QueueDiscipline::DropTail => {
-                    self.drop_counted(&packet);
+                    self.drop_counted(packet);
                     Enqueue::Dropped
                 }
                 QueueDiscipline::PriorityDrop => {
@@ -220,17 +261,17 @@ impl Link {
                         .iter()
                         .enumerate()
                         .rev() // latest arrival loses ties
-                        .max_by_key(|(_, p)| layer_of(p))
-                        .map(|(i, p)| (i, layer_of(p)));
+                        .max_by_key(|(_, p)| p.layer)
+                        .map(|(i, p)| (i, p.layer));
                     match victim {
-                        Some((i, vl)) if vl > layer_of(&packet) => {
+                        Some((i, vl)) if vl > packet.layer => {
                             let evicted = self.queue.remove(i).expect("victim index valid");
-                            self.drop_counted(&evicted);
+                            self.drop_counted(evicted);
                             self.queue.push_back(packet);
-                            Enqueue::Queued
+                            Enqueue::Queued { evicted: Some(evicted) }
                         }
                         _ => {
-                            self.drop_counted(&packet);
+                            self.drop_counted(packet);
                             Enqueue::Dropped
                         }
                     }
@@ -239,7 +280,7 @@ impl Link {
         }
     }
 
-    fn drop_counted(&mut self, packet: &Packet) {
+    fn drop_counted(&mut self, packet: QueuedPacket) {
         self.stats.dropped_packets += 1;
         self.stats.dropped_bytes += packet.size as u64;
     }
@@ -247,39 +288,45 @@ impl Link {
     /// The current transmission finished. Returns the packet that now
     /// crosses the wire (arriving after [`Link::delay`]) and, if another
     /// packet was waiting, the serialization time of the next transmission.
-    pub fn tx_done(&mut self) -> (Packet, Option<SimDuration>) {
+    pub fn tx_done(&mut self) -> (QueuedPacket, Option<SimDuration>) {
         let sent = self.in_flight.take().expect("tx_done with idle transmitter");
         self.stats.tx_packets += 1;
         self.stats.tx_bytes += sent.size as u64;
         let next = self.queue.pop_front().map(|p| {
-            let ser = SimDuration::serialization(p.size as u64, self.bandwidth_bps);
+            let ser = self.ser_time(p.size);
             self.in_flight = Some(p);
             ser
         });
         (sent, next)
     }
 
-    /// Fail the link: flush the queue (every flushed packet counts as a
-    /// drop) and stop accepting traffic. The packet being serialized, if
-    /// any, stays on the transmitter — the simulator judges it against the
-    /// link state when its `LinkTxDone` fires. Returns the number of
-    /// packets flushed.
-    pub fn set_down(&mut self) -> usize {
+    /// Fail the link: flush the queue and stop accepting traffic. The packet
+    /// being serialized, if any, stays on the transmitter — the simulator
+    /// judges it against the link state when its `LinkTxDone` fires — and
+    /// packets already past the transmitter survive on the wire (micro-flaps
+    /// shorter than the remaining flight are never noticed). Flushed packets
+    /// are appended to `flushed` so the caller can release their slab
+    /// references and trace the drops; returns how many were flushed.
+    pub fn set_down(&mut self, flushed: &mut Vec<QueuedPacket>) -> usize {
         self.up = false;
-        let flushed = self.flush_queue();
-        self.stats.down_dropped_packets += flushed as u64;
-        flushed
+        self.flush_outage(flushed)
     }
 
-    /// Drop every queued packet (counted), e.g. when the transmitting
-    /// router crashes and its buffers vanish. The transmitter keeps its
-    /// current packet; the simulator judges it at `LinkTxDone` time.
-    pub fn flush_queue(&mut self) -> usize {
-        let flushed = self.queue.len();
+    /// Drop every queued packet with **outage accounting** — the shared
+    /// flush path for both fault kinds (`LinkDown` here via
+    /// [`Link::set_down`], `NodeCrash` when the transmitting router's
+    /// buffers vanish), so `LinkStats` drop totals agree between them:
+    /// every flushed packet counts in both `dropped_packets` and
+    /// `down_dropped_packets`. The transmitter keeps its current packet;
+    /// the simulator judges it at `LinkTxDone` time.
+    pub fn flush_outage(&mut self, flushed: &mut Vec<QueuedPacket>) -> usize {
+        let n = self.queue.len();
         while let Some(p) = self.queue.pop_front() {
-            self.drop_counted(&p);
+            self.drop_counted(p);
+            self.stats.down_dropped_packets += 1;
+            flushed.push(p);
         }
-        flushed
+        n
     }
 
     /// Repair the link: it accepts traffic again (with an empty queue).
@@ -294,12 +341,43 @@ impl Link {
 
     /// Abort the in-flight transmission (link or transmitting router went
     /// down before serialization finished): the packet counts as dropped
-    /// and nothing arrives. No-op when the transmitter is idle.
-    pub fn abort_tx(&mut self) {
-        if let Some(p) = self.in_flight.take() {
-            self.stats.dropped_packets += 1;
-            self.stats.dropped_bytes += p.size as u64;
+    /// and nothing arrives. Returns it so the caller can release its slab
+    /// reference; `None` when the transmitter is idle.
+    pub fn abort_tx(&mut self) -> Option<QueuedPacket> {
+        let aborted = self.in_flight.take();
+        if let Some(p) = aborted {
+            self.drop_counted(p);
         }
+        aborted
+    }
+
+    /// Put a transmitted packet on the wire, arriving at `at`. Returns true
+    /// when the wire was empty — the caller must then schedule the link's
+    /// `LinkDeliver` event (otherwise one is already pending).
+    pub fn wire_push(&mut self, at: SimTime, id: PacketId) -> bool {
+        debug_assert!(self.wire.back().is_none_or(|&(t, _)| t <= at), "wire must stay FIFO");
+        let was_empty = self.wire.is_empty();
+        self.wire.push_back((at, id));
+        was_empty
+    }
+
+    /// Pop the head-of-wire packet if it has arrived by `now`.
+    pub fn wire_pop_due(&mut self, now: SimTime) -> Option<PacketId> {
+        if self.wire.front().is_some_and(|&(t, _)| t <= now) {
+            self.wire.pop_front().map(|(_, id)| id)
+        } else {
+            None
+        }
+    }
+
+    /// Arrival time of the next wire packet, if any.
+    pub fn wire_next(&self) -> Option<SimTime> {
+        self.wire.front().map(|&(t, _)| t)
+    }
+
+    /// Packets currently crossing the wire.
+    pub fn wire_len(&self) -> usize {
+        self.wire.len()
     }
 
     /// Packets currently waiting (excluding the one in transmission).
@@ -330,16 +408,24 @@ impl Link {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::multicast::GroupId;
-    use crate::packet::SessionId;
+    use crate::packet::PacketId;
 
-    fn pkt(size: u32) -> Packet {
-        Packet::media(NodeId(0), GroupId(0), SessionId(0), 0, 0, size)
+    /// Links never dereference ids, so tests can mint synthetic ones.
+    fn qp(n: u32, size: u32, layer: u8) -> QueuedPacket {
+        QueuedPacket { id: PacketId::new(n, 0), size, layer }
+    }
+
+    fn pkt(size: u32) -> QueuedPacket {
+        qp(0, size, 0)
     }
 
     fn link(kbps: f64, queue: usize) -> Link {
         let cfg = LinkConfig::kbps(kbps).with_queue(queue);
         Link::new(NodeId(0), NodeId(1), &cfg)
+    }
+
+    fn queued(e: Enqueue) -> bool {
+        matches!(e, Enqueue::Queued { .. })
     }
 
     #[test]
@@ -357,8 +443,8 @@ mod tests {
     fn busy_link_queues_then_drops() {
         let mut l = link(32.0, 2);
         assert!(matches!(l.enqueue(pkt(1000)), Enqueue::StartTx(_)));
-        assert_eq!(l.enqueue(pkt(1000)), Enqueue::Queued);
-        assert_eq!(l.enqueue(pkt(1000)), Enqueue::Queued);
+        assert!(queued(l.enqueue(pkt(1000))));
+        assert!(queued(l.enqueue(pkt(1000))));
         assert_eq!(l.enqueue(pkt(1000)), Enqueue::Dropped);
         assert_eq!(l.stats.dropped_packets, 1);
         assert_eq!(l.stats.offered_packets, 4);
@@ -368,9 +454,7 @@ mod tests {
     #[test]
     fn tx_done_advances_queue_fifo() {
         let mut l = link(32.0, 4);
-        let mut first = pkt(1000);
-        first.size = 500; // distinguishable
-        assert!(matches!(l.enqueue(first), Enqueue::StartTx(_)));
+        assert!(matches!(l.enqueue(pkt(500)), Enqueue::StartTx(_)));
         l.enqueue(pkt(1000));
         let (sent, next) = l.tx_done();
         assert_eq!(sent.size, 500);
@@ -404,23 +488,27 @@ mod tests {
         let cfg =
             LinkConfig::kbps(32.0).with_queue(2).with_discipline(QueueDiscipline::PriorityDrop);
         let mut l = Link::new(NodeId(0), NodeId(1), &cfg);
-        let mk = |layer: u8| Packet::media(NodeId(0), GroupId(0), SessionId(0), layer, 0, 1000);
-        assert!(matches!(l.enqueue(mk(0)), Enqueue::StartTx(_)));
-        assert_eq!(l.enqueue(mk(3)), Enqueue::Queued);
-        assert_eq!(l.enqueue(mk(5)), Enqueue::Queued);
-        // Queue full; a base-layer packet evicts the layer-5 one.
-        assert_eq!(l.enqueue(mk(0)), Enqueue::Queued);
+        let mk = |n: u32, layer: u8| qp(n, 1000, layer);
+        assert!(matches!(l.enqueue(mk(0, 0)), Enqueue::StartTx(_)));
+        assert!(queued(l.enqueue(mk(1, 3))));
+        assert!(queued(l.enqueue(mk(2, 5))));
+        // Queue full; a base-layer packet evicts the layer-5 one — and the
+        // victim surfaces so the simulator can release its slab reference.
+        match l.enqueue(mk(3, 0)) {
+            Enqueue::Queued { evicted: Some(v) } => assert_eq!(v.layer, 5),
+            other => panic!("expected eviction, got {other:?}"),
+        }
         assert_eq!(l.stats.dropped_packets, 1);
         // A layer-6 arrival is itself the least valuable: dropped.
-        assert_eq!(l.enqueue(mk(6)), Enqueue::Dropped);
+        assert_eq!(l.enqueue(mk(4, 6)), Enqueue::Dropped);
         assert_eq!(l.stats.dropped_packets, 2);
         // Drain and verify the surviving layers.
         let mut layers = Vec::new();
         let (first, mut more) = l.tx_done();
-        layers.push(super::layer_of(&first));
+        layers.push(first.layer);
         while more.is_some() {
             let (p, next) = l.tx_done();
-            layers.push(super::layer_of(&p));
+            layers.push(p.layer);
             more = next;
         }
         assert_eq!(layers, vec![0, 3, 0]);
@@ -431,12 +519,15 @@ mod tests {
         let cfg =
             LinkConfig::kbps(32.0).with_queue(1).with_discipline(QueueDiscipline::PriorityDrop);
         let mut l = Link::new(NodeId(0), NodeId(1), &cfg);
-        let media = Packet::media(NodeId(0), GroupId(0), SessionId(0), 4, 0, 1000);
-        let ctrl = Packet::control(NodeId(0), NodeId(1), 64, std::sync::Arc::new(1u8));
-        assert!(matches!(l.enqueue(media.clone()), Enqueue::StartTx(_)));
-        assert_eq!(l.enqueue(media), Enqueue::Queued);
+        let media = |n| qp(n, 1000, 4);
+        let ctrl = qp(9, 64, 0); // control packets rank as layer 0
+        assert!(matches!(l.enqueue(media(0)), Enqueue::StartTx(_)));
+        assert!(queued(l.enqueue(media(1))));
         // Control packet (layer 0) evicts the queued layer-4 media packet.
-        assert_eq!(l.enqueue(ctrl), Enqueue::Queued);
+        match l.enqueue(ctrl) {
+            Enqueue::Queued { evicted: Some(v) } => assert_eq!(v.layer, 4),
+            other => panic!("expected eviction, got {other:?}"),
+        }
         assert_eq!(l.stats.dropped_packets, 1);
     }
 
@@ -444,9 +535,11 @@ mod tests {
     fn downed_link_counts_outage_drops_separately() {
         let mut l = link(32.0, 4);
         assert!(matches!(l.enqueue(pkt(1000)), Enqueue::StartTx(_)));
-        assert_eq!(l.enqueue(pkt(1000)), Enqueue::Queued);
+        assert!(queued(l.enqueue(pkt(1000))));
         // Failure flushes the one queued packet...
-        assert_eq!(l.set_down(), 1);
+        let mut flushed = Vec::new();
+        assert_eq!(l.set_down(&mut flushed), 1);
+        assert_eq!(flushed.len(), 1);
         assert_eq!(l.stats.down_dropped_packets, 1);
         // ...and refusals while down also count as outage loss.
         assert_eq!(l.enqueue(pkt(1000)), Enqueue::Dropped);
@@ -454,12 +547,70 @@ mod tests {
         assert_eq!(l.stats.dropped_packets, 2, "outage drops are a subset of all drops");
         // A plain congestion drop after repair moves only the total.
         l.set_up();
-        assert_eq!(l.enqueue(pkt(1000)), Enqueue::Queued); // transmitter still busy
+        assert!(queued(l.enqueue(pkt(1000)))); // transmitter still busy
         let mut l2 = link(32.0, 0);
         assert!(matches!(l2.enqueue(pkt(1000)), Enqueue::StartTx(_)));
         assert_eq!(l2.enqueue(pkt(1000)), Enqueue::Dropped);
         assert_eq!(l2.stats.down_dropped_packets, 0);
         assert_eq!(l2.stats.dropped_packets, 1);
+    }
+
+    /// Satellite regression: a link-down flush and a router-crash flush of
+    /// identical queue states must leave identical `LinkStats` — both fault
+    /// kinds go through the unified outage-flush path.
+    #[test]
+    fn outage_flush_accounting_identical_for_both_fault_kinds() {
+        let fill = |l: &mut Link| {
+            assert!(matches!(l.enqueue(qp(0, 1000, 0)), Enqueue::StartTx(_)));
+            assert!(queued(l.enqueue(qp(1, 700, 1))));
+            assert!(queued(l.enqueue(qp(2, 300, 2))));
+        };
+        // Fault kind 1: the link itself fails.
+        let mut by_link_down = link(32.0, 4);
+        fill(&mut by_link_down);
+        let mut flushed_a = Vec::new();
+        by_link_down.set_down(&mut flushed_a);
+        // Fault kind 2: the transmitting router crashes (link stays up).
+        let mut by_node_crash = link(32.0, 4);
+        fill(&mut by_node_crash);
+        let mut flushed_b = Vec::new();
+        by_node_crash.flush_outage(&mut flushed_b);
+        assert_eq!(flushed_a, flushed_b);
+        assert_eq!(by_link_down.stats, by_node_crash.stats);
+        assert_eq!(by_link_down.stats.dropped_packets, 2);
+        assert_eq!(by_link_down.stats.down_dropped_packets, 2);
+        assert_eq!(by_link_down.stats.dropped_bytes, 1000);
+    }
+
+    #[test]
+    fn abort_tx_returns_the_victim() {
+        let mut l = link(32.0, 4);
+        assert!(l.abort_tx().is_none());
+        assert!(matches!(l.enqueue(qp(7, 1000, 2)), Enqueue::StartTx(_)));
+        let aborted = l.abort_tx().expect("in-flight packet");
+        assert_eq!(aborted, qp(7, 1000, 2));
+        assert_eq!(l.stats.dropped_packets, 1);
+        assert!(!l.is_busy());
+    }
+
+    #[test]
+    fn wire_fifo_and_deliver_scheduling_contract() {
+        let mut l = link(32.0, 4);
+        let t1 = SimTime::from_millis(100);
+        let t2 = SimTime::from_millis(150);
+        // First push: wire was empty, caller must schedule LinkDeliver.
+        assert!(l.wire_push(t1, PacketId::new(1, 0)));
+        // Second push: a deliver event is already pending.
+        assert!(!l.wire_push(t2, PacketId::new(2, 0)));
+        assert_eq!(l.wire_len(), 2);
+        assert_eq!(l.wire_next(), Some(t1));
+        // Nothing is due before its arrival time.
+        assert!(l.wire_pop_due(SimTime::from_millis(99)).is_none());
+        assert_eq!(l.wire_pop_due(t1), Some(PacketId::new(1, 0)));
+        assert!(l.wire_pop_due(t1).is_none(), "head not yet due");
+        assert_eq!(l.wire_next(), Some(t2));
+        assert_eq!(l.wire_pop_due(SimTime::from_secs(1)), Some(PacketId::new(2, 0)));
+        assert_eq!(l.wire_len(), 0);
     }
 
     #[test]

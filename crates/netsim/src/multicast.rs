@@ -17,7 +17,7 @@ use crate::app::AppId;
 use crate::link::DirLinkId;
 use crate::node::{NodeId, Routing};
 use crate::time::SimDuration;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// Index of a multicast group. Layered sessions use one group per layer.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -49,37 +49,89 @@ pub enum TreeOp {
     Prune { group: GroupId, link: DirLinkId, after: SimDuration },
 }
 
-#[derive(Default)]
 struct GroupState {
     root: NodeId,
-    /// Subscribed apps per node (node-level membership is the count > 0).
-    members: HashMap<NodeId, HashSet<AppId>>,
+    /// Subscribed apps per node, indexed densely by node id and kept
+    /// **sorted** (node-level membership is the count > 0). Sorted storage
+    /// makes the per-arrival delivery path a plain slice borrow — no
+    /// per-packet collect-and-sort, and no hashing on the hot path.
+    members: Vec<Vec<AppId>>,
+    /// One bit per node, set iff `members[node]` is non-empty. The bitmap is
+    /// L1-resident even on 100k-node domains, so the per-arrival membership
+    /// probe at the (common) non-member router never touches the dense
+    /// members table.
+    member_bits: Vec<u64>,
+    /// Nodes with at least one subscriber, sorted — the tree-maintenance
+    /// walks (desired-link recomputation, snapshots) iterate this instead of
+    /// scanning every node.
+    member_nodes: Vec<NodeId>,
     /// Links currently carrying the group.
     active: HashSet<DirLinkId>,
-    /// Outgoing active links per node (forwarding fast path).
-    active_out: HashMap<NodeId, Vec<DirLinkId>>,
+    /// Refcounted desired-link set, dense by directed-link id: how many
+    /// current members' root-paths traverse each link. Maintained
+    /// incrementally on join/leave/crash (routing is static, so a member's
+    /// path never changes while it is subscribed), which makes the
+    /// desire check at graft/prune completion O(1) instead of a re-walk of
+    /// every member's path — the walk made large-domain tree setup
+    /// O(links × members × depth).
+    desired_refs: Vec<u32>,
+    /// Outgoing active links per node, indexed densely by node id — the
+    /// forwarding fast path reads this on every multicast hop.
+    active_out: Vec<Vec<DirLinkId>>,
+    /// One bit per node, set iff `active_out[node]` is non-empty; lets the
+    /// fan-out probe at leaf routers skip the table load entirely.
+    active_out_bits: Vec<u64>,
     /// Grafts in flight.
     pending_graft: HashSet<DirLinkId>,
     /// Prunes in flight.
     pending_prune: HashSet<DirLinkId>,
 }
 
+#[inline]
+fn bit_get(bits: &[u64], i: usize) -> bool {
+    bits[i >> 6] & (1 << (i & 63)) != 0
+}
+
+#[inline]
+fn bit_set(bits: &mut [u64], i: usize) {
+    bits[i >> 6] |= 1 << (i & 63);
+}
+
+#[inline]
+fn bit_clear(bits: &mut [u64], i: usize) {
+    bits[i >> 6] &= !(1 << (i & 63));
+}
+
 /// All multicast state of the network.
 pub struct MulticastState {
     cfg: MulticastConfig,
     groups: Vec<GroupState>,
+    num_nodes: usize,
+    num_links: usize,
 }
 
 impl MulticastState {
-    pub fn new(cfg: MulticastConfig) -> Self {
-        MulticastState { cfg, groups: Vec::new() }
+    pub fn new(cfg: MulticastConfig, num_nodes: usize, num_links: usize) -> Self {
+        MulticastState { cfg, groups: Vec::new(), num_nodes, num_links }
     }
 
     /// Register a new group rooted at `root`. Layered sources create one
     /// group per layer, all rooted at the source's node.
     pub fn create_group(&mut self, root: NodeId) -> GroupId {
         let id = GroupId(self.groups.len() as u32);
-        self.groups.push(GroupState { root, ..GroupState::default() });
+        let words = self.num_nodes.div_ceil(64).max(1);
+        self.groups.push(GroupState {
+            root,
+            members: vec![Vec::new(); self.num_nodes],
+            member_bits: vec![0; words],
+            member_nodes: Vec::new(),
+            active: HashSet::new(),
+            desired_refs: vec![0; self.num_links],
+            active_out: vec![Vec::new(); self.num_nodes],
+            active_out_bits: vec![0; words],
+            pending_graft: HashSet::new(),
+            pending_prune: HashSet::new(),
+        });
         id
     }
 
@@ -93,19 +145,28 @@ impl MulticastState {
         self.groups[group.0 as usize].root
     }
 
-    /// Iterate over apps subscribed to `group` at `node`.
-    pub fn subscribers_at(&self, group: GroupId, node: NodeId) -> impl Iterator<Item = AppId> + '_ {
-        self.groups[group.0 as usize].members.get(&node).into_iter().flat_map(|s| s.iter().copied())
+    /// Apps subscribed to `group` at `node`, in ascending id order.
+    pub fn subscribers_at(&self, group: GroupId, node: NodeId) -> &[AppId] {
+        let g = &self.groups[group.0 as usize];
+        if !bit_get(&g.member_bits, node.index()) {
+            return &[];
+        }
+        &g.members[node.index()]
     }
 
     /// Whether `app` at `node` is subscribed to `group`.
     pub fn is_subscribed(&self, group: GroupId, node: NodeId, app: AppId) -> bool {
-        self.groups[group.0 as usize].members.get(&node).is_some_and(|s| s.contains(&app))
+        let g = &self.groups[group.0 as usize];
+        bit_get(&g.member_bits, node.index()) && g.members[node.index()].binary_search(&app).is_ok()
     }
 
     /// Active outgoing links for `group` at `node`.
     pub fn active_out(&self, group: GroupId, node: NodeId) -> &[DirLinkId] {
-        self.groups[group.0 as usize].active_out.get(&node).map(|v| v.as_slice()).unwrap_or(&[])
+        let g = &self.groups[group.0 as usize];
+        if !bit_get(&g.active_out_bits, node.index()) {
+            return &[];
+        }
+        &g.active_out[node.index()]
     }
 
     /// Whether a directed link currently carries `group`.
@@ -113,23 +174,38 @@ impl MulticastState {
         self.groups[group.0 as usize].active.contains(&link)
     }
 
-    /// The set of links that *should* carry the group given current
-    /// membership: the union of routed paths root -> member-node.
-    fn desired_links(
-        g: &GroupState,
+    /// A node became a member: count its root-path links into the desired
+    /// set. No-op for the root itself (it needs no links to reach itself).
+    fn desired_add(
+        g: &mut GroupState,
+        node: NodeId,
         routing: &Routing,
         link_to: &impl Fn(DirLinkId) -> NodeId,
-    ) -> HashSet<DirLinkId> {
-        let mut desired = HashSet::new();
-        for (&node, apps) in &g.members {
-            if apps.is_empty() || node == g.root {
-                continue;
-            }
-            for l in routing.path(g.root, node, link_to) {
-                desired.insert(l);
-            }
+    ) {
+        if node == g.root {
+            return;
         }
-        desired
+        for l in routing.path(g.root, node, link_to) {
+            g.desired_refs[l.0 as usize] += 1;
+        }
+    }
+
+    /// A node stopped being a member: uncount its root-path links. Routing
+    /// is static, so this walks exactly the links `desired_add` counted.
+    fn desired_remove(
+        g: &mut GroupState,
+        node: NodeId,
+        routing: &Routing,
+        link_to: &impl Fn(DirLinkId) -> NodeId,
+    ) {
+        if node == g.root {
+            return;
+        }
+        for l in routing.path(g.root, node, link_to) {
+            let refs = &mut g.desired_refs[l.0 as usize];
+            debug_assert!(*refs > 0, "desired refcount underflow on {l:?}");
+            *refs -= 1;
+        }
     }
 
     /// Subscribe `app` at `node` to `group`. Returns the tree operations the
@@ -144,14 +220,29 @@ impl MulticastState {
     ) -> Vec<TreeOp> {
         let graft_latency = self.cfg.graft_latency;
         let g = &mut self.groups[group.0 as usize];
-        g.members.entry(node).or_default().insert(app);
-        let mut desired: Vec<DirLinkId> =
-            Self::desired_links(g, routing, &link_to).into_iter().collect();
-        // Sorted so the scheduled event order is independent of hash-map
-        // iteration order (determinism).
-        desired.sort_unstable();
+        let apps = &mut g.members[node.index()];
+        let was_member = !apps.is_empty();
+        if !was_member {
+            bit_set(&mut g.member_bits, node.index());
+            if let Err(pos) = g.member_nodes.binary_search(&node) {
+                g.member_nodes.insert(pos, node);
+            }
+        }
+        if let Err(pos) = apps.binary_search(&app) {
+            apps.insert(pos, app);
+        }
+        if !was_member {
+            Self::desired_add(g, node, routing, &link_to);
+        }
+        // Scan in link-id order so the scheduled event order is
+        // deterministic (and identical to the sorted order the recomputing
+        // implementation produced).
         let mut ops = Vec::new();
-        for l in desired {
+        for (i, &refs) in g.desired_refs.iter().enumerate() {
+            if refs == 0 {
+                continue;
+            }
+            let l = DirLinkId(i as u32);
             // A link desired again cancels its pending prune logically: the
             // prune re-checks desire when it fires. Only schedule a graft for
             // links that are neither active nor already being grafted.
@@ -174,18 +265,23 @@ impl MulticastState {
     ) -> Vec<TreeOp> {
         let leave_latency = self.cfg.leave_latency;
         let g = &mut self.groups[group.0 as usize];
-        if let Some(apps) = g.members.get_mut(&node) {
-            apps.remove(&app);
-            if apps.is_empty() {
-                g.members.remove(&node);
-            }
+        let apps = &mut g.members[node.index()];
+        let was_member = !apps.is_empty();
+        if let Ok(pos) = apps.binary_search(&app) {
+            apps.remove(pos);
         }
-        let desired = Self::desired_links(g, routing, &link_to);
+        if was_member && apps.is_empty() {
+            bit_clear(&mut g.member_bits, node.index());
+            if let Ok(pos) = g.member_nodes.binary_search(&node) {
+                g.member_nodes.remove(pos);
+            }
+            Self::desired_remove(g, node, routing, &link_to);
+        }
         let mut active: Vec<DirLinkId> = g.active.iter().copied().collect();
         active.sort_unstable();
         let mut ops = Vec::new();
         for l in active {
-            if !desired.contains(&l) && !g.pending_prune.contains(&l) {
+            if g.desired_refs[l.0 as usize] == 0 && !g.pending_prune.contains(&l) {
                 g.pending_prune.insert(l);
                 ops.push(TreeOp::Prune { group, link: l, after: leave_latency });
             }
@@ -194,19 +290,12 @@ impl MulticastState {
     }
 
     /// A graft completed. Activates the link iff it is still desired.
-    pub fn graft_done(
-        &mut self,
-        group: GroupId,
-        link: DirLinkId,
-        link_from: NodeId,
-        routing: &Routing,
-        link_to: impl Fn(DirLinkId) -> NodeId,
-    ) {
+    pub fn graft_done(&mut self, group: GroupId, link: DirLinkId, link_from: NodeId) {
         let g = &mut self.groups[group.0 as usize];
         g.pending_graft.remove(&link);
-        let desired = Self::desired_links(g, routing, &link_to);
-        if desired.contains(&link) && g.active.insert(link) {
-            g.active_out.entry(link_from).or_default().push(link);
+        if g.desired_refs[link.0 as usize] > 0 && g.active.insert(link) {
+            g.active_out[link_from.index()].push(link);
+            bit_set(&mut g.active_out_bits, link_from.index());
         }
     }
 
@@ -222,32 +311,37 @@ impl MulticastState {
     /// Links *into* the node stay active — upstream routers have no way to
     /// know and keep forwarding into the blackhole until the protocol
     /// repairs the tree (receivers re-join, which re-grafts).
-    pub fn node_crashed(&mut self, node: NodeId) {
+    pub fn node_crashed(
+        &mut self,
+        node: NodeId,
+        routing: &Routing,
+        link_to: impl Fn(DirLinkId) -> NodeId,
+    ) {
         for g in &mut self.groups {
-            if let Some(out) = g.active_out.remove(&node) {
-                for l in out {
-                    g.active.remove(&l);
-                }
+            for l in std::mem::take(&mut g.active_out[node.index()]) {
+                g.active.remove(&l);
             }
-            g.members.remove(&node);
+            bit_clear(&mut g.active_out_bits, node.index());
+            if !g.members[node.index()].is_empty() {
+                g.members[node.index()].clear();
+                if let Ok(pos) = g.member_nodes.binary_search(&node) {
+                    g.member_nodes.remove(pos);
+                }
+                Self::desired_remove(g, node, routing, &link_to);
+            }
+            bit_clear(&mut g.member_bits, node.index());
         }
     }
 
     /// A prune completed. Deactivates the link iff it is still undesired.
-    pub fn prune_done(
-        &mut self,
-        group: GroupId,
-        link: DirLinkId,
-        link_from: NodeId,
-        routing: &Routing,
-        link_to: impl Fn(DirLinkId) -> NodeId,
-    ) {
+    pub fn prune_done(&mut self, group: GroupId, link: DirLinkId, link_from: NodeId) {
         let g = &mut self.groups[group.0 as usize];
         g.pending_prune.remove(&link);
-        let desired = Self::desired_links(g, routing, &link_to);
-        if !desired.contains(&link) && g.active.remove(&link) {
-            if let Some(v) = g.active_out.get_mut(&link_from) {
-                v.retain(|&x| x != link);
+        if g.desired_refs[link.0 as usize] == 0 && g.active.remove(&link) {
+            let outs = &mut g.active_out[link_from.index()];
+            outs.retain(|&x| x != link);
+            if outs.is_empty() {
+                bit_clear(&mut g.active_out_bits, link_from.index());
             }
         }
     }
@@ -267,11 +361,7 @@ impl MulticastState {
                     v.sort_unstable();
                     v
                 },
-                member_nodes: {
-                    let mut v: Vec<NodeId> = g.members.keys().copied().collect();
-                    v.sort_unstable();
-                    v
-                },
+                member_nodes: g.member_nodes.clone(),
             })
             .collect()
     }
@@ -307,7 +397,7 @@ mod tests {
             3 => NodeId(1),
             _ => unreachable!(),
         };
-        (MulticastState::new(MulticastConfig::default()), routing, link_to)
+        (MulticastState::new(MulticastConfig::default(), 3, 4), routing, link_to)
     }
 
     #[test]
@@ -320,8 +410,8 @@ mod tests {
         assert!(ops.iter().all(|op| matches!(op, TreeOp::Graft { .. })));
         // Not active until grafts complete.
         assert!(!m.is_active(g, DirLinkId(0)));
-        m.graft_done(g, DirLinkId(0), NodeId(0), &r, to);
-        m.graft_done(g, DirLinkId(2), NodeId(1), &r, to);
+        m.graft_done(g, DirLinkId(0), NodeId(0));
+        m.graft_done(g, DirLinkId(2), NodeId(1));
         assert!(m.is_active(g, DirLinkId(0)));
         assert!(m.is_active(g, DirLinkId(2)));
         assert_eq!(m.active_out(g, NodeId(0)), &[DirLinkId(0)]);
@@ -335,12 +425,12 @@ mod tests {
         // Members at both node 1 and node 2.
         for op in m.join(g, NodeId(1), AppId(1), &r, to) {
             if let TreeOp::Graft { link, .. } = op {
-                m.graft_done(g, link, NodeId(0), &r, to);
+                m.graft_done(g, link, NodeId(0));
             }
         }
         for op in m.join(g, NodeId(2), AppId(2), &r, to) {
             if let TreeOp::Graft { link, .. } = op {
-                m.graft_done(g, link, NodeId(1), &r, to);
+                m.graft_done(g, link, NodeId(1));
             }
         }
         // Node 2 leaves: only link 1->2 should be pruned.
@@ -350,7 +440,7 @@ mod tests {
             TreeOp::Prune { link, .. } => assert_eq!(*link, DirLinkId(2)),
             other => panic!("expected prune, got {other:?}"),
         }
-        m.prune_done(g, DirLinkId(2), NodeId(1), &r, to);
+        m.prune_done(g, DirLinkId(2), NodeId(1));
         assert!(!m.is_active(g, DirLinkId(2)));
         assert!(m.is_active(g, DirLinkId(0)));
     }
@@ -362,7 +452,7 @@ mod tests {
         for op in m.join(g, NodeId(2), AppId(2), &r, to) {
             if let TreeOp::Graft { link, .. } = op {
                 let from = if link == DirLinkId(0) { NodeId(0) } else { NodeId(1) };
-                m.graft_done(g, link, from, &r, to);
+                m.graft_done(g, link, from);
             }
         }
         let ops = m.leave(g, NodeId(2), AppId(2), &r, to);
@@ -372,8 +462,8 @@ mod tests {
         // Links are still active, so no new grafts needed.
         assert!(grafts.is_empty());
         // The stale prunes fire and must be ignored.
-        m.prune_done(g, DirLinkId(0), NodeId(0), &r, to);
-        m.prune_done(g, DirLinkId(2), NodeId(1), &r, to);
+        m.prune_done(g, DirLinkId(0), NodeId(0));
+        m.prune_done(g, DirLinkId(2), NodeId(1));
         assert!(m.is_active(g, DirLinkId(0)));
         assert!(m.is_active(g, DirLinkId(2)));
     }
@@ -385,8 +475,8 @@ mod tests {
         let _ = m.join(g, NodeId(2), AppId(2), &r, to);
         let _ = m.leave(g, NodeId(2), AppId(2), &r, to);
         // Graft fires after the member already left: must not activate.
-        m.graft_done(g, DirLinkId(0), NodeId(0), &r, to);
-        m.graft_done(g, DirLinkId(2), NodeId(1), &r, to);
+        m.graft_done(g, DirLinkId(0), NodeId(0));
+        m.graft_done(g, DirLinkId(2), NodeId(1));
         assert!(!m.is_active(g, DirLinkId(0)));
         assert!(!m.is_active(g, DirLinkId(2)));
     }
@@ -400,7 +490,7 @@ mod tests {
         for op in ops1 {
             if let TreeOp::Graft { link, .. } = op {
                 let from = if link == DirLinkId(0) { NodeId(0) } else { NodeId(1) };
-                m.graft_done(g, link, from, &r, to);
+                m.graft_done(g, link, from);
             }
         }
         // Second app at the same node: no new grafts.
@@ -417,8 +507,7 @@ mod tests {
         let g = m.create_group(NodeId(0));
         assert!(m.join(g, NodeId(0), AppId(9), &r, to).is_empty());
         assert!(m.is_subscribed(g, NodeId(0), AppId(9)));
-        let subs: Vec<AppId> = m.subscribers_at(g, NodeId(0)).collect();
-        assert_eq!(subs, vec![AppId(9)]);
+        assert_eq!(m.subscribers_at(g, NodeId(0)), &[AppId(9)]);
     }
 
     #[test]
@@ -428,12 +517,12 @@ mod tests {
         for op in m.join(g, NodeId(2), AppId(2), &r, to) {
             if let TreeOp::Graft { link, .. } = op {
                 let from = if link == DirLinkId(0) { NodeId(0) } else { NodeId(1) };
-                m.graft_done(g, link, from, &r, to);
+                m.graft_done(g, link, from);
             }
         }
         // Node 1 (mid-router) crashes: its out-link 1->2 deactivates, but
         // the upstream 0->1 link keeps blindly carrying the group.
-        m.node_crashed(NodeId(1));
+        m.node_crashed(NodeId(1), &r, to);
         assert!(m.is_active(g, DirLinkId(0)));
         assert!(!m.is_active(g, DirLinkId(2)));
         assert!(m.active_out(g, NodeId(1)).is_empty());
@@ -469,7 +558,7 @@ mod tests {
         for op in m.join(g, NodeId(2), AppId(2), &r, to) {
             if let TreeOp::Graft { link, .. } = op {
                 let from = if link == DirLinkId(0) { NodeId(0) } else { NodeId(1) };
-                m.graft_done(g, link, from, &r, to);
+                m.graft_done(g, link, from);
             }
         }
         let snap = m.snapshot();

@@ -22,7 +22,13 @@ impl NodeId {
 }
 
 /// One router/host.
-#[derive(Debug)]
+///
+/// Liveness (crashed or not) is *not* stored here: the simulator keeps it in
+/// a dense per-network bitmap (`Network::node_up`) because the up-check runs
+/// on every packet arrival and every timer, and a bitmap stays cache-resident
+/// where an array of `Node` structs (label string, link and app lists) does
+/// not.
+#[derive(Debug, Default)]
 pub struct Node {
     /// Outgoing directed links.
     pub out_links: Vec<DirLinkId>,
@@ -30,15 +36,6 @@ pub struct Node {
     pub apps: Vec<AppId>,
     /// Human-readable label for traces and error messages.
     pub label: String,
-    /// False while crashed: the node forwards nothing, delivers nothing,
-    /// and its apps' timers are swallowed (fault injection).
-    pub up: bool,
-}
-
-impl Default for Node {
-    fn default() -> Self {
-        Node { out_links: Vec::new(), apps: Vec::new(), label: String::new(), up: true }
-    }
 }
 
 /// Precomputed next-hop table: `next[from][to]` is the directed link to take

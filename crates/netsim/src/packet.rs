@@ -10,6 +10,10 @@
 //!   message types belong to the protocol crates above; the simulator treats
 //!   them as opaque shared payloads with an explicitly declared wire size so
 //!   control traffic competes for bandwidth and can be lost, as in the paper.
+//!
+//! Packets in flight live in a [`PacketSlab`]: events and link queues carry
+//! a copyable [`PacketId`] instead of the struct itself, and multicast
+//! fan-out replicates ids (bumping a refcount) instead of cloning payloads.
 
 use crate::multicast::GroupId;
 use crate::node::NodeId;
@@ -109,6 +113,159 @@ impl Packet {
             Payload::Media { .. } => None,
         }
     }
+
+    /// The media layer this packet carries; control packets rank as layer 0
+    /// (most protected under priority dropping).
+    pub fn layer(&self) -> u8 {
+        match self.payload {
+            Payload::Media { layer, .. } => layer,
+            Payload::Control(_) => 0,
+        }
+    }
+}
+
+/// Handle to a packet stored in a [`PacketSlab`].
+///
+/// Two machine words of event payload instead of a full [`Packet`]: the
+/// index addresses a slab slot, the generation catches stale handles (a slot
+/// reused after its packet was released rejects old ids).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PacketId {
+    idx: u32,
+    gen: u32,
+}
+
+impl PacketId {
+    pub(crate) fn new(idx: u32, gen: u32) -> Self {
+        PacketId { idx, gen }
+    }
+
+    /// Slot index (diagnostics).
+    pub fn index(self) -> usize {
+        self.idx as usize
+    }
+}
+
+struct Slot {
+    packet: Option<Packet>,
+    gen: u32,
+    refs: u32,
+}
+
+/// Generational, refcounted arena for packets in flight.
+///
+/// The simulator owns one slab per run. Originating a packet inserts it with
+/// one reference; multicast fan-out calls [`PacketSlab::dup`] once per
+/// replica instead of cloning the struct; every drop / delivery / corruption
+/// releases one reference, and the slot is recycled when the count reaches
+/// zero. Slot reuse is LIFO, so steady-state traffic touches a small, hot
+/// set of slots regardless of how many packets the run moves in total.
+pub struct PacketSlab {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl Default for PacketSlab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PacketSlab {
+    pub fn new() -> Self {
+        PacketSlab { slots: Vec::new(), free: Vec::new(), live: 0 }
+    }
+
+    /// Pre-allocate room for `n` additional live packets.
+    pub fn reserve(&mut self, n: usize) {
+        self.slots.reserve(n);
+        self.free.reserve(n);
+    }
+
+    /// Store a packet; the returned id holds one reference.
+    pub fn insert(&mut self, packet: Packet) -> PacketId {
+        self.live += 1;
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            debug_assert!(slot.packet.is_none() && slot.refs == 0);
+            slot.packet = Some(packet);
+            slot.refs = 1;
+            PacketId::new(idx, slot.gen)
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(Slot { packet: Some(packet), gen: 0, refs: 1 });
+            PacketId::new(idx, 0)
+        }
+    }
+
+    fn slot(&self, id: PacketId) -> &Slot {
+        let slot = &self.slots[id.idx as usize];
+        assert_eq!(slot.gen, id.gen, "stale PacketId {id:?}");
+        slot
+    }
+
+    fn slot_mut(&mut self, id: PacketId) -> &mut Slot {
+        let slot = &mut self.slots[id.idx as usize];
+        assert_eq!(slot.gen, id.gen, "stale PacketId {id:?}");
+        slot
+    }
+
+    /// Read a stored packet.
+    pub fn get(&self, id: PacketId) -> &Packet {
+        self.slot(id).packet.as_ref().expect("packet is being delivered")
+    }
+
+    /// Add one reference (multicast fan-out: one per replica forwarded).
+    pub fn dup(&mut self, id: PacketId) {
+        self.slot_mut(id).refs += 1;
+    }
+
+    /// Drop one reference; the slot is recycled when none remain.
+    pub fn release(&mut self, id: PacketId) {
+        let slot = self.slot_mut(id);
+        debug_assert!(slot.refs > 0, "release of dead PacketId {id:?}");
+        slot.refs -= 1;
+        if slot.refs == 0 {
+            slot.packet = None;
+            slot.gen = slot.gen.wrapping_add(1);
+            self.free.push(id.idx);
+            self.live -= 1;
+        }
+    }
+
+    /// Move the packet out for local delivery so `&Packet` can be handed to
+    /// apps while the simulator stays mutably borrowable. The slot stays
+    /// allocated (its reference is still held); pair with
+    /// [`PacketSlab::finish_delivery`].
+    pub(crate) fn take_for_delivery(&mut self, id: PacketId) -> Packet {
+        self.slot_mut(id).packet.take().expect("packet already being delivered")
+    }
+
+    /// Return a delivered packet and release the delivering reference.
+    pub(crate) fn finish_delivery(&mut self, id: PacketId, packet: Packet) {
+        let slot = self.slot_mut(id);
+        debug_assert!(slot.refs > 0 && slot.packet.is_none());
+        if slot.refs == 1 {
+            slot.refs = 0;
+            slot.gen = slot.gen.wrapping_add(1);
+            self.free.push(id.idx);
+            self.live -= 1;
+        } else {
+            slot.refs -= 1;
+            slot.packet = Some(packet);
+        }
+    }
+
+    /// Packets currently alive (events in flight + queued on links).
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total slots ever allocated (high-water mark of concurrent packets).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +289,62 @@ mod tests {
         assert_eq!(p.control_as::<Msg>(), Some(&Msg(5)));
         assert!(p.control_as::<u64>().is_none());
         assert!(p.media_fields().is_none());
+    }
+
+    #[test]
+    fn slab_insert_get_release_recycles_slots() {
+        let mut slab = PacketSlab::new();
+        let a = slab.insert(Packet::media(NodeId(1), GroupId(0), SessionId(0), 0, 1, 100));
+        let b = slab.insert(Packet::media(NodeId(2), GroupId(0), SessionId(0), 0, 2, 200));
+        assert_eq!(slab.live(), 2);
+        assert_eq!(slab.get(a).size, 100);
+        assert_eq!(slab.get(b).size, 200);
+        slab.release(a);
+        assert_eq!(slab.live(), 1);
+        // The freed slot is reused with a bumped generation.
+        let c = slab.insert(Packet::media(NodeId(3), GroupId(0), SessionId(0), 0, 3, 300));
+        assert_eq!(c.index(), a.index());
+        assert_ne!(c, a);
+        assert_eq!(slab.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale PacketId")]
+    fn slab_rejects_stale_ids() {
+        let mut slab = PacketSlab::new();
+        let a = slab.insert(Packet::media(NodeId(1), GroupId(0), SessionId(0), 0, 1, 100));
+        slab.release(a);
+        let _ = slab.insert(Packet::media(NodeId(2), GroupId(0), SessionId(0), 0, 2, 200));
+        let _ = slab.get(a);
+    }
+
+    #[test]
+    fn slab_dup_keeps_packet_until_last_release() {
+        let mut slab = PacketSlab::new();
+        let a = slab.insert(Packet::media(NodeId(1), GroupId(0), SessionId(0), 0, 1, 100));
+        slab.dup(a);
+        slab.dup(a);
+        slab.release(a);
+        slab.release(a);
+        assert_eq!(slab.live(), 1);
+        assert_eq!(slab.get(a).size, 100);
+        slab.release(a);
+        assert_eq!(slab.live(), 0);
+    }
+
+    #[test]
+    fn slab_delivery_takes_and_restores() {
+        let mut slab = PacketSlab::new();
+        let a = slab.insert(Packet::media(NodeId(1), GroupId(0), SessionId(0), 0, 1, 100));
+        slab.dup(a); // one queued replica elsewhere
+        let pkt = slab.take_for_delivery(a);
+        assert_eq!(pkt.size, 100);
+        slab.finish_delivery(a, pkt);
+        // The queued replica still resolves.
+        assert_eq!(slab.get(a).size, 100);
+        let pkt = slab.take_for_delivery(a);
+        slab.finish_delivery(a, pkt);
+        assert_eq!(slab.live(), 0);
     }
 
     #[test]

@@ -1,12 +1,19 @@
 //! The simulator: network construction, the event loop, and dispatch.
+//!
+//! The hot path is allocation-free: packets live in a generational
+//! [`PacketSlab`] and events carry `Copy` ids, multicast fan-out duplicates
+//! slab references instead of cloning payloads, per-link arrivals are
+//! coalesced into one self-rescheduling `LinkDeliver` event per link, and
+//! the per-event dispatch state (fan-out link lists, app lists, fault
+//! flushes) lives in reusable scratch buffers on the [`Simulator`].
 
 use crate::app::{App, AppId, Ctx};
-use crate::event::{Event, EventQueue};
+use crate::event::{Event, EventQueue, QueueBackend};
 use crate::faults::{FaultKind, FaultPlan};
-use crate::link::{DirLinkId, Enqueue, Link, LinkConfig};
+use crate::link::{DirLinkId, Enqueue, Link, LinkConfig, QueuedPacket};
 use crate::multicast::{GroupId, GroupSnapshot, MulticastConfig, MulticastState, TreeOp};
 use crate::node::{Node, NodeId, Routing};
-use crate::packet::{Dest, Packet};
+use crate::packet::{Dest, PacketId, PacketSlab};
 use crate::rng::RngStream;
 use crate::time::SimTime;
 use crate::trace::TraceLog;
@@ -18,11 +25,15 @@ pub struct SimConfig {
     pub seed: u64,
     /// Multicast graft/prune latencies.
     pub multicast: MulticastConfig,
+    /// Event-queue implementation. The calendar wheel is the fast default;
+    /// the binary heap is kept as a differential oracle — both produce
+    /// bit-identical runs.
+    pub queue: QueueBackend,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { seed: 1, multicast: MulticastConfig::default() }
+        SimConfig { seed: 1, multicast: MulticastConfig::default(), queue: QueueBackend::default() }
     }
 }
 
@@ -32,6 +43,10 @@ pub struct Network {
     pub(crate) links: Vec<Link>,
     pub(crate) routing: Routing,
     pub(crate) mcast: MulticastState,
+    /// Per-node liveness, dense. Checked on every arrival and timer, so it
+    /// lives outside the `Node` structs: the whole vector stays cache-hot
+    /// where indexing into 100-byte `Node`s would miss per event.
+    pub(crate) node_up: Vec<bool>,
 }
 
 impl Network {
@@ -67,7 +82,7 @@ impl Network {
 
     /// Whether a node is currently up (not crashed).
     pub fn node_is_up(&self, id: NodeId) -> bool {
-        self.nodes[id.index()].up
+        self.node_up[id.index()]
     }
 
     /// Whether a directed link is currently up.
@@ -147,16 +162,20 @@ impl NetworkBuilder {
             .map(|(i, l)| (DirLinkId(i as u32), l.from, l.to))
             .collect();
         let routing = Routing::build(self.nodes.len(), &triples);
+        let num_nodes = self.nodes.len();
+        let num_links = self.links.len();
         let net = Network {
             nodes: self.nodes,
             links: self.links,
             routing,
-            mcast: MulticastState::new(self.cfg.multicast),
+            mcast: MulticastState::new(self.cfg.multicast, num_nodes, num_links),
+            node_up: vec![true; num_nodes],
         };
         Simulator {
             clock: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_backend(self.cfg.queue),
             net,
+            slab: PacketSlab::new(),
             apps: Vec::new(),
             app_node: Vec::new(),
             started: false,
@@ -164,6 +183,9 @@ impl NetworkBuilder {
             events_done: 0,
             corruption_rng: RngStream::derive(self.cfg.seed, "netsim/corruption"),
             trace: TraceLog::disabled(),
+            scratch_links: Vec::new(),
+            scratch_apps: Vec::new(),
+            scratch_flush: Vec::new(),
         }
     }
 }
@@ -173,6 +195,9 @@ pub struct Simulator {
     clock: SimTime,
     queue: EventQueue,
     net: Network,
+    /// Storage for every packet currently alive in the network; events and
+    /// link queues refer to it by [`PacketId`].
+    slab: PacketSlab,
     apps: Vec<Option<Box<dyn App>>>,
     app_node: Vec<NodeId>,
     started: bool,
@@ -182,6 +207,12 @@ pub struct Simulator {
     corruption_rng: RngStream,
     /// Optional structured trace (drops, subscription changes, …).
     pub trace: TraceLog,
+    /// Reusable fan-out buffer (active out-links of the current hop).
+    scratch_links: Vec<DirLinkId>,
+    /// Reusable delivery buffer (apps receiving the current packet).
+    scratch_apps: Vec<AppId>,
+    /// Reusable outage-flush buffer (packets flushed by a fault).
+    scratch_flush: Vec<QueuedPacket>,
 }
 
 impl Simulator {
@@ -232,6 +263,13 @@ impl Simulator {
         self.events_done
     }
 
+    /// Packets currently alive in the network (queued, in flight, or being
+    /// delivered). A fully drained simulation holds zero — a nonzero value
+    /// after the event queue empties indicates a reference leak.
+    pub fn packets_live(&self) -> usize {
+        self.slab.live()
+    }
+
     /// Schedule every fault of `plan` onto the event queue. An empty plan
     /// schedules nothing, so installing it leaves the run bit-identical.
     /// May be called before or during a run; faults in the past of the
@@ -245,6 +283,13 @@ impl Simulator {
 
     fn start(&mut self) {
         self.started = true;
+        // Pre-size the hot-path stores from the topology: at steady state
+        // the queue holds at most one LinkTxDone + one LinkDeliver per link
+        // plus one timer per app, and the slab grows with in-network
+        // packets, which the same bound caps.
+        let cap = self.net.links.len() + self.apps.len();
+        self.queue.reserve(cap);
+        self.slab.reserve(cap);
         for i in 0..self.apps.len() {
             self.dispatch_app(AppId(i as u32), |app, ctx| app.on_start(ctx));
         }
@@ -256,11 +301,7 @@ impl Simulator {
         if !self.started {
             self.start();
         }
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
-                break;
-            }
-            let (time, event) = self.queue.pop().expect("peeked event vanished");
+        while let Some((time, event)) = self.queue.pop_due(deadline) {
             debug_assert!(time >= self.clock, "time moved backwards");
             self.clock = time;
             self.handle(event);
@@ -286,11 +327,12 @@ impl Simulator {
     fn handle(&mut self, event: Event) {
         match event {
             Event::LinkTxDone(l) => self.link_tx_done(l),
-            Event::Arrive { node, from_link, packet } => self.arrive(node, from_link, packet),
+            Event::LinkDeliver(l) => self.link_deliver(l),
+            Event::Inject { node, packet } => self.arrive(node, None, packet),
             Event::Timer { app, token } => {
                 // Timers of apps on a crashed node are swallowed; the apps
                 // re-arm what they need in `on_restart`.
-                if self.net.nodes[self.app_node[app.index()].index()].up {
+                if self.net.node_up[self.app_node[app.index()].index()] {
                     self.dispatch_app(app, |a, ctx| a.on_timer(ctx, token));
                 }
             }
@@ -303,34 +345,42 @@ impl Simulator {
                 // endpoint; clearing the pending marker lets a later join
                 // retry it once the fault heals.
                 let viable = self.net.links[link.0 as usize].is_up()
-                    && self.net.nodes[from.index()].up
-                    && self.net.nodes[to.index()].up;
+                    && self.net.node_up[from.index()]
+                    && self.net.node_up[to.index()];
                 if !viable {
                     self.net.mcast.graft_failed(group, link);
                     return;
                 }
-                let links = &self.net.links;
-                self.net
-                    .mcast
-                    .graft_done(group, link, from, &self.net.routing, |l| links[l.0 as usize].to);
+                self.net.mcast.graft_done(group, link, from);
             }
             Event::PruneDone { group, link } => {
                 let from = self.net.links[link.0 as usize].from;
-                let links = &self.net.links;
-                self.net
-                    .mcast
-                    .prune_done(group, link, from, &self.net.routing, |l| links[l.0 as usize].to);
+                self.net.mcast.prune_done(group, link, from);
             }
             Event::Fault(kind) => self.apply_fault(kind),
         }
     }
 
+    /// Drop every packet flushed into `scratch_flush` by an outage: trace
+    /// the loss and release the slab references. Restores the scratch
+    /// buffer afterwards.
+    fn account_outage_flush(&mut self, l: DirLinkId, mut flushed: Vec<QueuedPacket>) {
+        for qp in &flushed {
+            self.trace.drop(self.clock, l, qp.size);
+            self.slab.release(qp.id);
+        }
+        flushed.clear();
+        self.scratch_flush = flushed;
+    }
+
     fn apply_fault(&mut self, kind: FaultKind) {
         match kind {
             FaultKind::LinkDown(l) => {
-                let link = &mut self.net.links[l.0 as usize];
-                if link.is_up() {
-                    link.set_down();
+                if self.net.links[l.0 as usize].is_up() {
+                    let mut flushed = std::mem::take(&mut self.scratch_flush);
+                    flushed.clear();
+                    self.net.links[l.0 as usize].set_down(&mut flushed);
+                    self.account_outage_flush(l, flushed);
                     self.trace.link_state(self.clock, l, false);
                 }
             }
@@ -342,29 +392,43 @@ impl Simulator {
                 }
             }
             FaultKind::NodeCrash(n) => {
-                if !self.net.nodes[n.index()].up {
+                if !self.net.node_up[n.index()] {
                     return;
                 }
-                self.net.nodes[n.index()].up = false;
-                // The router's buffers vanish with it.
-                let outs = self.net.nodes[n.index()].out_links.clone();
-                for l in outs {
-                    self.net.links[l.0 as usize].flush_queue();
+                self.net.node_up[n.index()] = false;
+                // The router's buffers vanish with it — same outage
+                // accounting as a link failure (`Link::flush_outage`).
+                let mut outs = std::mem::take(&mut self.scratch_links);
+                outs.clear();
+                outs.extend_from_slice(&self.net.nodes[n.index()].out_links);
+                for &l in &outs {
+                    let mut flushed = std::mem::take(&mut self.scratch_flush);
+                    flushed.clear();
+                    self.net.links[l.0 as usize].flush_outage(&mut flushed);
+                    self.account_outage_flush(l, flushed);
                 }
-                // ... as does its multicast forwarding state.
-                self.net.mcast.node_crashed(n);
+                outs.clear();
+                self.scratch_links = outs;
+                // ... as does its multicast forwarding state (including its
+                // contribution to every group's desired-link refcounts).
+                let links = &self.net.links;
+                self.net.mcast.node_crashed(n, &self.net.routing, |l| links[l.0 as usize].to);
                 self.trace.node_state(self.clock, n, false);
             }
             FaultKind::NodeRestart(n) => {
-                if self.net.nodes[n.index()].up {
+                if self.net.node_up[n.index()] {
                     return;
                 }
-                self.net.nodes[n.index()].up = true;
+                self.net.node_up[n.index()] = true;
                 self.trace.node_state(self.clock, n, true);
-                let apps = self.net.nodes[n.index()].apps.clone();
-                for app in apps {
+                let mut apps = std::mem::take(&mut self.scratch_apps);
+                apps.clear();
+                apps.extend_from_slice(&self.net.nodes[n.index()].apps);
+                for &app in &apps {
                     self.dispatch_app(app, |a, ctx| a.on_restart(ctx));
                 }
+                apps.clear();
+                self.scratch_apps = apps;
             }
         }
     }
@@ -372,98 +436,164 @@ impl Simulator {
     fn link_tx_done(&mut self, l: DirLinkId) {
         let tail_up = {
             let from = self.net.links[l.0 as usize].from;
-            self.net.nodes[from.index()].up
+            self.net.node_up[from.index()]
         };
-        let link = &mut self.net.links[l.0 as usize];
         // The link failed — or its transmitting router died — while the
         // packet was being serialized: it dies on the wire. (If the fault
         // healed faster than the serialization time, the packet survives:
         // a store-and-forward hop never noticed the micro-flap.)
-        if !link.is_up() || !tail_up {
-            link.abort_tx();
-            link.flush_queue();
+        if !self.net.links[l.0 as usize].is_up() || !tail_up {
+            let mut flushed = std::mem::take(&mut self.scratch_flush);
+            flushed.clear();
+            {
+                let link = &mut self.net.links[l.0 as usize];
+                if let Some(aborted) = link.abort_tx() {
+                    self.slab.release(aborted.id);
+                }
+                link.flush_outage(&mut flushed);
+            }
+            self.account_outage_flush(l, flushed);
             return;
         }
-        let (packet, next) = link.tx_done();
-        let arrive_at = self.clock + link.delay;
-        let head = link.to;
-        let corrupted = link.random_loss > 0.0 && self.corruption_rng.chance(link.random_loss);
-        if corrupted {
-            link.stats.corrupted_packets += 1;
-        }
+        let (sent, next, arrive_at, corrupted) = {
+            let link = &mut self.net.links[l.0 as usize];
+            let (sent, next) = link.tx_done();
+            let arrive_at = self.clock + link.delay;
+            let corrupted = link.random_loss > 0.0 && self.corruption_rng.chance(link.random_loss);
+            if corrupted {
+                link.stats.corrupted_packets += 1;
+            }
+            (sent, next, arrive_at, corrupted)
+        };
         if let Some(ser) = next {
             self.queue.schedule(self.clock + ser, Event::LinkTxDone(l));
         }
-        if !corrupted {
-            self.queue
-                .schedule(arrive_at, Event::Arrive { node: head, from_link: Some(l), packet });
+        if corrupted {
+            self.slab.release(sent.id);
+        } else if self.net.links[l.0 as usize].wire_push(arrive_at, sent.id) {
+            // The wire was idle: this packet needs a delivery event. (A
+            // non-empty wire already has one pending, which re-arms itself
+            // until the wire drains — one event queue entry per busy link.)
+            self.queue.schedule(arrive_at, Event::LinkDeliver(l));
         }
     }
 
-    fn forward(&mut self, l: DirLinkId, packet: Packet) {
-        let size = packet.size;
-        match self.net.links[l.0 as usize].enqueue(packet) {
+    fn link_deliver(&mut self, l: DirLinkId) {
+        while let Some(pid) = self.net.links[l.0 as usize].wire_pop_due(self.clock) {
+            let head = self.net.links[l.0 as usize].to;
+            self.arrive(head, Some(l), pid);
+        }
+        if let Some(t) = self.net.links[l.0 as usize].wire_next() {
+            self.queue.schedule(t, Event::LinkDeliver(l));
+        }
+    }
+
+    /// Offer `pid` to link `l`. The caller passes the packet's `size` and
+    /// `layer` so a multicast fan-out resolves the slab entry once per
+    /// arrival, not once per replica.
+    fn forward(&mut self, l: DirLinkId, pid: PacketId, size: u32, layer: u8) {
+        match self.net.links[l.0 as usize].enqueue(QueuedPacket { id: pid, size, layer }) {
             Enqueue::StartTx(ser) => {
                 self.queue.schedule(self.clock + ser, Event::LinkTxDone(l));
             }
-            Enqueue::Queued => {}
+            Enqueue::Queued { evicted: None } => {}
+            Enqueue::Queued { evicted: Some(victim) } => {
+                // Priority-drop eviction: counted in link stats, untraced.
+                self.slab.release(victim.id);
+            }
             Enqueue::Dropped => {
                 self.trace.drop(self.clock, l, size);
+                self.slab.release(pid);
             }
         }
     }
 
-    fn arrive(&mut self, node: NodeId, from_link: Option<DirLinkId>, packet: Packet) {
+    fn arrive(&mut self, node: NodeId, from_link: Option<DirLinkId>, pid: PacketId) {
         // A crashed router forwards nothing and delivers nothing; packets
         // already in flight toward it are lost on arrival.
-        if !self.net.nodes[node.index()].up {
+        if !self.net.node_up[node.index()] {
+            self.slab.release(pid);
             return;
         }
-        match packet.dest {
+        // One slab resolution per arrival; `forward` reuses size/layer.
+        let (dest, size, layer) = {
+            let p = self.slab.get(pid);
+            (p.dest, p.size, p.layer())
+        };
+        match dest {
             Dest::Node(d) if d == node => {
                 // Deliver to every app on the node; apps ignore messages that
                 // are not for them.
-                let apps = self.net.nodes[node.index()].apps.clone();
-                for app in apps {
-                    self.dispatch_app(app, |a, ctx| a.on_packet(ctx, &packet));
-                }
+                let mut apps = std::mem::take(&mut self.scratch_apps);
+                apps.clear();
+                apps.extend_from_slice(&self.net.nodes[node.index()].apps);
+                self.deliver(pid, &apps);
+                apps.clear();
+                self.scratch_apps = apps;
             }
             Dest::Node(d) => {
                 if let Some(l) = self.net.routing.next_hop(node, d) {
-                    self.forward(l, packet);
+                    self.forward(l, pid, size, layer);
+                } else {
+                    // Unroutable unicast is silently discarded, as a real
+                    // network would.
+                    self.slab.release(pid);
                 }
-                // Unroutable unicast is silently discarded, as a real
-                // network would.
             }
             Dest::Group(g) => {
                 // Forward along the active distribution tree, never back the
-                // way the packet came.
+                // way the packet came. Fan-out duplicates the slab reference,
+                // not the packet.
                 let came_from = from_link.map(|l| self.net.links[l.0 as usize].from);
-                let out: Vec<DirLinkId> = self
-                    .net
-                    .mcast
-                    .active_out(g, node)
-                    .iter()
-                    .copied()
-                    .filter(|&l| Some(self.net.links[l.0 as usize].to) != came_from)
-                    .collect();
-                for l in out {
-                    self.forward(l, packet.clone());
+                let mut outs = std::mem::take(&mut self.scratch_links);
+                outs.clear();
+                {
+                    let links = &self.net.links;
+                    outs.extend(
+                        self.net
+                            .mcast
+                            .active_out(g, node)
+                            .iter()
+                            .copied()
+                            .filter(|&l| Some(links[l.0 as usize].to) != came_from),
+                    );
                 }
+                for &l in &outs {
+                    self.slab.dup(pid);
+                    self.forward(l, pid, size, layer);
+                }
+                outs.clear();
+                self.scratch_links = outs;
                 // Local delivery to subscribed apps (but not to the app that
                 // injected it, which cannot happen: sources do not subscribe
                 // to their own groups in any scenario; receivers never send
-                // media).
-                let subs: Vec<AppId> = {
-                    let mut v: Vec<AppId> = self.net.mcast.subscribers_at(g, node).collect();
-                    v.sort_unstable();
-                    v
-                };
-                for app in subs {
-                    self.dispatch_app(app, |a, ctx| a.on_packet(ctx, &packet));
+                // media). The subscriber list is kept sorted by the
+                // multicast state; the common non-member router exits on a
+                // bitmap probe without loading the list.
+                if self.net.mcast.subscribers_at(g, node).is_empty() {
+                    self.slab.release(pid);
+                } else {
+                    let mut apps = std::mem::take(&mut self.scratch_apps);
+                    apps.clear();
+                    apps.extend_from_slice(self.net.mcast.subscribers_at(g, node));
+                    self.deliver(pid, &apps);
+                    apps.clear();
+                    self.scratch_apps = apps;
                 }
             }
         }
+    }
+
+    /// Hand the packet to each app in `apps`, consuming the caller's slab
+    /// reference. The packet is moved out of the slab for the duration of
+    /// the dispatch (apps may originate new packets, which allocate fresh
+    /// slots) and returned afterwards unless this was the last reference.
+    fn deliver(&mut self, pid: PacketId, apps: &[AppId]) {
+        let pkt = self.slab.take_for_delivery(pid);
+        for &app in apps {
+            self.dispatch_app(app, |a, ctx| a.on_packet(ctx, &pkt));
+        }
+        self.slab.finish_delivery(pid, pkt);
     }
 
     fn dispatch_app(&mut self, id: AppId, f: impl FnOnce(&mut dyn App, &mut Ctx<'_>)) {
@@ -474,6 +604,7 @@ impl Simulator {
             node: self.app_node[id.index()],
             queue: &mut self.queue,
             net: &mut self.net,
+            slab: &mut self.slab,
         };
         f(app.as_mut(), &mut ctx);
         self.apps[id.index()] = Some(app);
@@ -483,7 +614,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{ControlBody, SessionId};
+    use crate::packet::{ControlBody, Packet, SessionId};
     use crate::time::SimDuration;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
@@ -533,6 +664,7 @@ mod tests {
         assert_eq!(got.load(Ordering::Relaxed), 1);
         // 1000 B at 32 kb/s = 250 ms serialization + 200 ms propagation.
         assert_eq!(t.load(Ordering::Relaxed), SimTime::from_millis(450).nanos());
+        assert_eq!(sim.packets_live(), 0, "drained run must not leak packets");
     }
 
     /// Source that sends `n` media packets back-to-back at start.
@@ -598,6 +730,7 @@ mod tests {
         sim.add_app(a, Box::new(LateBurst { group: g }));
         sim.run_until(SimTime::from_secs(5));
         assert_eq!(got.load(Ordering::Relaxed), 3);
+        assert_eq!(sim.packets_live(), 0);
     }
 
     #[test]
@@ -630,6 +763,7 @@ mod tests {
         // 1 in flight + 2 queued survive; 7 dropped.
         assert_eq!(got.load(Ordering::Relaxed), 3);
         assert_eq!(sim.network().link(ab).stats.dropped_packets, 7);
+        assert_eq!(sim.packets_live(), 0, "dropped packets must be released");
     }
 
     #[test]
@@ -700,6 +834,7 @@ mod tests {
         assert_eq!(got.load(Ordering::Relaxed), 1);
         assert_eq!(sim.network().link(ab).stats.dropped_packets, 2);
         assert!(sim.network().link_is_up(ab));
+        assert_eq!(sim.packets_live(), 0, "aborted and flushed packets must be released");
     }
 
     #[test]
@@ -849,8 +984,8 @@ mod tests {
 
     #[test]
     fn faulted_runs_are_deterministic() {
-        let run = || {
-            let mut b = NetworkBuilder::new(SimConfig::default());
+        let run = |backend: QueueBackend| {
+            let mut b = NetworkBuilder::new(SimConfig { queue: backend, ..SimConfig::default() });
             let a = b.add_node("a");
             let m = b.add_node("m");
             let c = b.add_node("c");
@@ -871,9 +1006,13 @@ mod tests {
             );
             sim.install_faults(&plan);
             sim.run_until(SimTime::from_secs(40));
-            (sim.events_processed(), got.load(Ordering::Relaxed))
+            (sim.events_processed(), got.load(Ordering::Relaxed), sim.packets_live())
         };
-        assert_eq!(run(), run());
+        let wheel = run(QueueBackend::CalendarWheel);
+        assert_eq!(wheel, run(QueueBackend::CalendarWheel));
+        // The heap oracle produces the identical run.
+        assert_eq!(wheel, run(QueueBackend::BinaryHeap));
+        assert_eq!(wheel.2, 0, "faulted run must not leak packets");
     }
 
     #[test]

@@ -10,7 +10,14 @@
 //! inputs. `crates/bench`'s `incremental` bench and the large-tree smoke
 //! test in `tests/incremental.rs` both draw their workloads from here.
 
-use netsim::{AppId, DirLinkId, GroupId, GroupSnapshot, NodeId, SessionId, SimTime};
+use std::cell::Cell;
+use std::rc::Rc;
+
+use netsim::sim::{NetworkBuilder, SimConfig};
+use netsim::{
+    App, AppId, Ctx, DirLinkId, GroupId, GroupSnapshot, LinkConfig, NodeId, Packet, QueueBackend,
+    SessionId, SimDuration, SimTime, Simulator,
+};
 use topology::discovery::{LinkView, TopologyView};
 use topology::SessionTree;
 use toposense::algorithm::ReceiverReport;
@@ -135,6 +142,108 @@ pub fn churn_fraction(reports: &mut [ReceiverReport], dirty_fraction: f64, round
     touched
 }
 
+// ---------------------------------------------------------------------------
+// Packet-level media workload (the netsim fast-path benchmark, DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+/// A timer-driven CBR media source multicasting fixed-size packets.
+struct MediaSource {
+    group: GroupId,
+    rate_pps: u64,
+    seq: u64,
+}
+
+impl App for MediaSource {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(SimDuration::from_millis(1), 0);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        ctx.send_media(self.group, SessionId(0), 0, self.seq, 1000);
+        self.seq += 1;
+        ctx.set_timer(SimDuration(1_000_000_000 / self.rate_pps), 0);
+    }
+}
+
+/// A counting receiver that joins the group on start.
+struct MediaSink {
+    group: GroupId,
+    delivered: Rc<Cell<u64>>,
+}
+
+impl App for MediaSink {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.join(self.group);
+    }
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _packet: &Packet) {
+        self.delivered.set(self.delivered.get() + 1);
+    }
+}
+
+/// A ready-to-run packet-level simulation of a balanced multicast domain.
+pub struct MediaSim {
+    pub sim: Simulator,
+    pub group: GroupId,
+    pub root: NodeId,
+    pub leaves: Vec<NodeId>,
+    pub sinks: usize,
+    delivered: Rc<Cell<u64>>,
+}
+
+impl MediaSim {
+    /// Packets delivered to sinks so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.get()
+    }
+}
+
+/// Build a balanced `fanout^depth` packet-level domain carrying CBR media.
+///
+/// Node 0 is the root and hosts the source (`rate_pps` packets/s of 1000 B);
+/// every `sink_stride`-th leaf hosts a counting receiver that joins the
+/// group. All links are 100 Mbit/s. The same workload runs under either
+/// [`QueueBackend`], which is how the differential tests and
+/// `BENCH_netsim.json` compare the calendar wheel against the binary heap
+/// on identical input.
+pub fn media_sim(
+    fanout: usize,
+    depth: usize,
+    sink_stride: usize,
+    rate_pps: u64,
+    backend: QueueBackend,
+) -> MediaSim {
+    assert!(fanout >= 1 && depth >= 1 && sink_stride >= 1 && rate_pps >= 1);
+    let mut nb = NetworkBuilder::new(SimConfig { queue: backend, ..SimConfig::default() });
+    let root = nb.add_node("root");
+    let mut frontier = vec![root];
+    let mut leaves: Vec<NodeId> = Vec::new();
+    for level in 0..depth {
+        let mut next = Vec::with_capacity(frontier.len() * fanout);
+        for &parent in &frontier {
+            for _ in 0..fanout {
+                let n = nb.add_node("n");
+                nb.add_link(parent, n, LinkConfig::kbps(100_000.0));
+                if level + 1 == depth {
+                    leaves.push(n);
+                }
+                next.push(n);
+            }
+        }
+        frontier = next;
+    }
+    let mut sim = nb.build();
+    let group = sim.create_group(root);
+    let delivered = Rc::new(Cell::new(0u64));
+    let mut sinks = 0usize;
+    for (i, &leaf) in leaves.iter().enumerate() {
+        if i % sink_stride == 0 {
+            sim.add_app(leaf, Box::new(MediaSink { group, delivered: Rc::clone(&delivered) }));
+            sinks += 1;
+        }
+    }
+    sim.add_app(root, Box::new(MediaSource { group, rate_pps, seq: 0 }));
+    MediaSim { sim, group, root, leaves, sinks, delivered }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +286,20 @@ mod tests {
         let touched = churn_fraction(&mut reports, 1.0, 0);
         assert_eq!(touched, before.len());
         assert!(reports.iter().zip(&before).all(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn media_sim_delivers_and_backends_agree() {
+        let mut results = Vec::new();
+        for backend in [QueueBackend::CalendarWheel, QueueBackend::BinaryHeap] {
+            let mut m = media_sim(3, 3, 2, 50, backend);
+            assert_eq!(m.leaves.len(), 27);
+            assert_eq!(m.sinks, 14);
+            m.sim.run_until(SimTime::from_secs(2));
+            assert!(m.delivered() > 0, "sinks must receive media");
+            results.push((m.sim.events_processed(), m.delivered()));
+        }
+        assert_eq!(results[0], results[1], "wheel and heap must agree exactly");
     }
 
     #[test]

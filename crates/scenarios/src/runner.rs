@@ -13,7 +13,8 @@ use baselines::tfrc::{TfrcParams, TfrcReceiver};
 use baselines::FixedReceiver;
 use metrics::StepSeries;
 use netsim::sim::SimConfig;
-use netsim::{FaultPlan, GroupId, NodeId, SessionId, SimDuration, SimTime};
+use netsim::{FaultPlan, GroupId, NodeId, QueueBackend, SessionId, SimDuration, SimTime};
+use rayon::prelude::*;
 use telemetry::{Record, Span, Telemetry};
 use topology::spec::TopoSpec;
 use toposense::controller::{Controller, ControllerShared};
@@ -83,6 +84,10 @@ pub struct Scenario {
     pub telemetry: Telemetry,
     /// Structured-trace bound (events); 0 leaves tracing off.
     pub trace_cap: usize,
+    /// Event-queue backend for the underlying simulator. The calendar
+    /// wheel is the fast default; the binary heap is the differential
+    /// oracle (both produce bit-identical runs).
+    pub queue_backend: QueueBackend,
 }
 
 impl Scenario {
@@ -104,7 +109,20 @@ impl Scenario {
             standby: None,
             telemetry: Telemetry::disabled(),
             trace_cap: 0,
+            queue_backend: QueueBackend::default(),
         }
+    }
+
+    /// Select the simulator's event-queue backend (differential testing).
+    pub fn with_queue_backend(mut self, backend: QueueBackend) -> Self {
+        self.queue_backend = backend;
+        self
+    }
+
+    /// The same scenario with a different seed (for multi-seed sweeps).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 
     /// Attach a telemetry handle (audit records, timers, counters).
@@ -280,6 +298,16 @@ impl ScenarioResult {
         }
         map.into_iter().collect()
     }
+
+    /// Event-loop throughput: simulator events per wall-clock second of the
+    /// run phase (setup and harvest excluded). Zero for a zero-length run.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.run_wall_ns == 0 {
+            0.0
+        } else {
+            self.events as f64 / (self.run_wall_ns as f64 / 1e9)
+        }
+    }
 }
 
 /// Run one scenario to completion.
@@ -298,6 +326,7 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
             leave_latency: scenario.leave_latency,
             ..netsim::MulticastConfig::default()
         },
+        queue: scenario.queue_backend,
     };
     let built = topo.instantiate(sim_cfg);
     let mut sim = built.sim;
@@ -485,6 +514,14 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
         tel.set("netsim.down_link_drops", down_drops);
         tel.set("netsim.trace_dropped", sim.trace.dropped());
         tel.set("netsim.events", sim.events_processed());
+        tel.set(
+            "netsim.events_per_sec",
+            if run_wall_ns == 0 {
+                0
+            } else {
+                (sim.events_processed() as f64 / (run_wall_ns as f64 / 1e9)) as u64
+            },
+        );
         let sum = |f: fn(&ReceiverShared) -> u64| receivers.iter().map(|r| f(&r.stats)).sum();
         tel.set("receivers.reports_sent", sum(|s| s.reports_sent));
         tel.set("receivers.register_retries", sum(|s| s.registers_sent.saturating_sub(1)));
@@ -513,6 +550,21 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
         trace_overflowed: sim.trace.overflowed(),
         trace_dropped: sim.trace.dropped(),
     }
+}
+
+/// Run many scenarios concurrently (rayon), preserving input order in the
+/// results. Each simulation is single-threaded and fully deterministic, so
+/// the parallel sweep returns exactly what a sequential loop would — only
+/// faster on multi-core hosts.
+pub fn run_many(scenarios: &[Scenario]) -> Vec<ScenarioResult> {
+    scenarios.par_iter().map(run).collect()
+}
+
+/// Run the same scenario under each seed in `seeds`, concurrently. Results
+/// are ordered like `seeds`.
+pub fn run_seeds(base: &Scenario, seeds: &[u64]) -> Vec<ScenarioResult> {
+    let scenarios: Vec<Scenario> = seeds.iter().map(|&s| base.clone().with_seed(s)).collect();
+    run_many(&scenarios)
 }
 
 #[cfg(test)]
