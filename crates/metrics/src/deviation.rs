@@ -12,28 +12,52 @@
 //! Smaller is better; zero means the receiver sat at its optimum for the
 //! whole window. Because a subscription series is piecewise constant, the
 //! sums are exact integrals over the [`StepSeries`].
+//!
+//! Degenerate inputs — a zero optimum (the metric's denominator vanishes)
+//! or an empty window — make the metric undefined; both functions return
+//! `None` rather than panicking, so machine-generated campaign scenarios
+//! can treat "undefined" as an explicit skipped gate instead of a crash.
 
 use crate::step::StepSeries;
 use netsim::SimTime;
 
 /// Relative deviation of one receiver over `[start, end]`.
 ///
-/// Panics if `optimal` is zero (the metric is undefined) or the window is
-/// empty.
-pub fn relative_deviation(series: &StepSeries, optimal: u8, start: SimTime, end: SimTime) -> f64 {
-    assert!(optimal >= 1, "relative deviation needs a positive optimum");
-    assert!(end > start, "empty window");
+/// Returns `None` when the metric is undefined: `optimal` is zero or the
+/// window is empty (`end <= start`).
+pub fn relative_deviation(
+    series: &StepSeries,
+    optimal: u8,
+    start: SimTime,
+    end: SimTime,
+) -> Option<f64> {
+    if optimal == 0 || end <= start {
+        return None;
+    }
     let num = series.integrate(start, end, |v| (v as f64 - optimal as f64).abs());
     let den = optimal as f64 * end.since(start).as_secs_f64();
-    num / den
+    Some(num / den)
 }
 
 /// Mean relative deviation over several receivers (the quantity Fig. 8 and
 /// Fig. 10 plot). `pairs` holds `(series, optimal)` per receiver.
-pub fn mean_relative_deviation(pairs: &[(&StepSeries, u8)], start: SimTime, end: SimTime) -> f64 {
-    assert!(!pairs.is_empty());
-    pairs.iter().map(|(s, y)| relative_deviation(s, *y, start, end)).sum::<f64>()
-        / pairs.len() as f64
+///
+/// Receivers whose individual deviation is undefined (zero optimum) are
+/// excluded from the mean; returns `None` when no receiver has a defined
+/// deviation — either `pairs` is empty, the window is empty, or every
+/// optimum is zero.
+pub fn mean_relative_deviation(
+    pairs: &[(&StepSeries, u8)],
+    start: SimTime,
+    end: SimTime,
+) -> Option<f64> {
+    let vals: Vec<f64> =
+        pairs.iter().filter_map(|(s, y)| relative_deviation(s, *y, start, end)).collect();
+    if vals.is_empty() {
+        None
+    } else {
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
 }
 
 #[cfg(test)]
@@ -48,7 +72,7 @@ mod tests {
     fn perfect_subscription_deviates_zero() {
         let mut s = StepSeries::new();
         s.push(t(0), 4);
-        assert_eq!(relative_deviation(&s, 4, t(0), t(100)), 0.0);
+        assert_eq!(relative_deviation(&s, 4, t(0), t(100)), Some(0.0));
     }
 
     #[test]
@@ -56,7 +80,7 @@ mod tests {
         // Held at 2 while the optimum is 4: |2-4| * T / (4 * T) = 0.5.
         let mut s = StepSeries::new();
         s.push(t(0), 2);
-        assert!((relative_deviation(&s, 4, t(0), t(60)) - 0.5).abs() < 1e-12);
+        assert!((relative_deviation(&s, 4, t(0), t(60)).unwrap() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -67,7 +91,7 @@ mod tests {
         s.push(t(0), 2);
         s.push(t(50), 4);
         s.push(t(60), 2);
-        let d = relative_deviation(&s, 2, t(0), t(100));
+        let d = relative_deviation(&s, 2, t(0), t(100)).unwrap();
         assert!((d - 0.1).abs() < 1e-12, "got {d}");
     }
 
@@ -78,9 +102,9 @@ mod tests {
         s.push(t(50), 4);
         s.push(t(60), 2);
         // The second half [60, 100] is clean.
-        assert_eq!(relative_deviation(&s, 2, t(60), t(100)), 0.0);
+        assert_eq!(relative_deviation(&s, 2, t(60), t(100)), Some(0.0));
         // The window [50, 60] is entirely off by 2: 2*10/(2*10) = 1.
-        assert!((relative_deviation(&s, 2, t(50), t(60)) - 1.0).abs() < 1e-12);
+        assert!((relative_deviation(&s, 2, t(50), t(60)).unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -90,7 +114,7 @@ mod tests {
         s.push(t(0), 1);
         s.push(t(10), 5);
         s.push(t(20), 3);
-        let d = relative_deviation(&s, 3, t(0), t(20));
+        let d = relative_deviation(&s, 3, t(0), t(20)).unwrap();
         assert!((d - 2.0 / 3.0).abs() < 1e-12, "got {d}");
     }
 
@@ -100,22 +124,41 @@ mod tests {
         a.push(t(0), 4); // perfect, dev 0
         let mut b = StepSeries::new();
         b.push(t(0), 2); // optimal 4 -> dev 0.5
-        let m = mean_relative_deviation(&[(&a, 4), (&b, 4)], t(0), t(10));
+        let m = mean_relative_deviation(&[(&a, 4), (&b, 4)], t(0), t(10)).unwrap();
         assert!((m - 0.25).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic]
-    fn zero_optimum_panics() {
+    fn zero_optimum_is_undefined() {
+        // Regression: this used to panic; campaign scenarios now rely on
+        // the undefined case being reported, not crashed on.
         let s = StepSeries::new();
-        let _ = relative_deviation(&s, 0, t(0), t(1));
+        assert_eq!(relative_deviation(&s, 0, t(0), t(1)), None);
     }
 
     #[test]
-    #[should_panic]
-    fn empty_window_panics() {
+    fn empty_window_is_undefined() {
+        // Regression: this used to panic (same fix as above).
         let mut s = StepSeries::new();
         s.push(t(0), 1);
-        let _ = relative_deviation(&s, 1, t(5), t(5));
+        assert_eq!(relative_deviation(&s, 1, t(5), t(5)), None);
+        assert_eq!(relative_deviation(&s, 1, t(7), t(5)), None);
+    }
+
+    #[test]
+    fn mean_skips_undefined_receivers() {
+        let mut a = StepSeries::new();
+        a.push(t(0), 2); // optimal 4 -> dev 0.5
+        let b = StepSeries::new(); // optimal 0 -> undefined, excluded
+        let m = mean_relative_deviation(&[(&a, 4), (&b, 0)], t(0), t(10)).unwrap();
+        assert!((m - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_nothing_is_none() {
+        assert_eq!(mean_relative_deviation(&[], t(0), t(10)), None);
+        let s = StepSeries::new();
+        assert_eq!(mean_relative_deviation(&[(&s, 0)], t(0), t(10)), None);
+        assert_eq!(mean_relative_deviation(&[(&s, 3)], t(5), t(5)), None);
     }
 }

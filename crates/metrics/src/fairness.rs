@@ -22,10 +22,23 @@ pub fn normalized_shares(values: &[f64]) -> Vec<f64> {
     values.iter().map(|&v| v / total).collect()
 }
 
-/// Max/min ratio of the shares (∞ when someone is starved).
+/// Max/min ratio of the shares (∞ when someone is starved while another
+/// party gets traffic).
+///
+/// Total on every input: an empty or all-zero vector means nobody is
+/// being favored over anybody, so the ratio is 1.0 (perfectly even), and
+/// a single-element vector is likewise trivially even. The previous
+/// version divided straight through and reported ∞ for `[0.0, 0.0]` and
+/// `[0.0]` — an all-idle session set is not a starvation event, and the
+/// campaign fairness gates depend on the distinction. NaN shares are
+/// rejected (they would poison the fold silently).
 pub fn max_min_ratio(shares: &[f64]) -> f64 {
-    assert!(!shares.is_empty());
-    let max = shares.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    assert!(shares.iter().all(|x| !x.is_nan()), "NaN share");
+    assert!(shares.iter().all(|&x| x >= 0.0), "shares must be non-negative");
+    let max = shares.iter().copied().fold(0.0f64, f64::max);
+    if shares.len() <= 1 || max == 0.0 {
+        return 1.0;
+    }
     let min = shares.iter().copied().fold(f64::INFINITY, f64::min);
     if min == 0.0 {
         f64::INFINITY
@@ -72,6 +85,32 @@ mod tests {
     fn ratio() {
         assert!((max_min_ratio(&[4.0, 2.0]) - 2.0).abs() < 1e-12);
         assert_eq!(max_min_ratio(&[1.0, 0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn ratio_all_zero_is_even() {
+        // Regression: an all-idle share vector used to read as starvation
+        // (∞); nobody is favored, so the ratio is 1.
+        assert_eq!(max_min_ratio(&[0.0, 0.0, 0.0]), 1.0);
+        assert_eq!(max_min_ratio(&[0.0]), 1.0);
+    }
+
+    #[test]
+    fn ratio_single_and_empty_are_even() {
+        assert_eq!(max_min_ratio(&[7.5]), 1.0);
+        assert_eq!(max_min_ratio(&[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN share")]
+    fn ratio_rejects_nan() {
+        let _ = max_min_ratio(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ratio_rejects_negative() {
+        let _ = max_min_ratio(&[1.0, -2.0]);
     }
 
     #[test]

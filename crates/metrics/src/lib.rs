@@ -21,8 +21,8 @@ pub mod step;
 pub mod summary;
 pub mod timeseries;
 
-pub use deviation::relative_deviation;
-pub use fairness::jain_index;
+pub use deviation::{mean_relative_deviation, relative_deviation};
+pub use fairness::{jain_index, max_min_ratio};
 pub use recovery::{intervals_to_recover, recovery_time};
 pub use stability::{change_count, mean_time_between_changes};
 pub use step::StepSeries;

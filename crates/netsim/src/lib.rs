@@ -43,7 +43,7 @@ pub use link::{DirLinkId, Link, LinkConfig, LinkStats, QueueDiscipline, QueuedPa
 pub use multicast::{GroupId, GroupSnapshot, MulticastConfig, TreeOp};
 pub use node::{Node, NodeId, Routing};
 pub use packet::{ControlBody, Dest, Packet, PacketId, PacketSlab, Payload, SessionId};
-pub use rng::RngStream;
+pub use rng::{derive_stream_seed, RngStream};
 pub use sim::{NetworkBuilder, SimConfig, Simulator};
 pub use stats::{LossWindow, SeqTracker};
 pub use time::{SimDuration, SimTime};

@@ -25,6 +25,32 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// The splitmix64 finalizer: a full-avalanche 64-bit mix (every input bit
+/// flips each output bit with probability ~1/2).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Derive an independent seed for the stream named `(stream, index)` from a
+/// master `seed`.
+///
+/// Each of the three inputs passes through a [`splitmix64`] round before the
+/// next is folded in, so related inputs land on unrelated outputs. This is
+/// the supported way to hand sub-seeds to scenario components (the
+/// controller, each source, each receiver); the ad-hoc XOR folds it replaced
+/// (`seed ^ 0xc0f1`, `seed ^ (0x9e37 + i * 0x61c8)`) kept streams a constant
+/// XOR apart, so an adversarial pair of base seeds — exactly the kind a
+/// campaign's seed-index sweep enumerates — could make, say, run A's
+/// receiver stream coincide bit-for-bit with run B's controller stream.
+pub fn derive_stream_seed(seed: u64, stream: &str, index: u64) -> u64 {
+    let mut z = splitmix64(seed);
+    z = splitmix64(z ^ fnv1a(stream.as_bytes()));
+    splitmix64(z ^ index)
+}
+
 impl RngStream {
     /// Derive a stream from `master_seed` and a stable `label`.
     pub fn derive(master_seed: u64, label: &str) -> Self {
@@ -120,6 +146,49 @@ mod tests {
             assert!((2.0..3.0).contains(&v));
             let u = r.range_u64(5, 10);
             assert!((5..10).contains(&u));
+        }
+    }
+
+    #[test]
+    fn stream_seeds_are_deterministic_and_distinct() {
+        let a = derive_stream_seed(42, "receiver", 0);
+        assert_eq!(a, derive_stream_seed(42, "receiver", 0));
+        assert_ne!(a, derive_stream_seed(42, "receiver", 1));
+        assert_ne!(a, derive_stream_seed(42, "controller", 0));
+        assert_ne!(a, derive_stream_seed(43, "receiver", 0));
+    }
+
+    /// Regression for the XOR-fold collisions: under the old scheme
+    /// (`seed ^ const`, `seed ^ (0x9e37 + i * 0x61c8)`), base seeds a
+    /// constant XOR apart made streams of *different roles in different
+    /// runs* coincide exactly — e.g. seed `s` receiver 0 vs seed
+    /// `s ^ 0x9e37 ^ 0xc0f1` controller. A campaign sweeping a dense
+    /// seed-index hits such pairs routinely. The derived seeds must be
+    /// pairwise distinct across a dense grid of adversarial base seeds,
+    /// roles, and indices.
+    #[test]
+    fn no_collisions_across_adversarial_seed_grid() {
+        let old_receiver = |seed: u64, i: u64| seed ^ (0x9e37 + i * 0x61c8);
+        let old_controller = |seed: u64| seed ^ 0xc0f1;
+        // Demonstrate the old scheme's cross-run collision.
+        let s = 7u64;
+        let s2 = s ^ 0x9e37 ^ 0xc0f1;
+        assert_eq!(old_receiver(s, 0), old_controller(s2), "old XOR fold collided");
+
+        // Adversarial bases: dense, plus each base XORed with the old
+        // scheme's constants (deduplicated — the grid overlaps itself).
+        let mut seeds = std::collections::HashSet::new();
+        for base in 0..64u64 {
+            seeds.extend([base, base ^ 0xc0f1, base ^ 0xc0f2, base ^ 0x9e37, base ^ 0x61c8]);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &seed in &seeds {
+            for stream in ["controller", "source", "receiver", "chaos-plan"] {
+                for index in 0..8u64 {
+                    let d = derive_stream_seed(seed, stream, index);
+                    assert!(seen.insert(d), "collision at (seed {seed}, {stream}, {index})");
+                }
+            }
         }
     }
 

@@ -136,13 +136,76 @@ pub fn random_chaos(seed: u64) -> (Scenario, SimTime) {
         .with_config(chaos_config())
         .with_duration(SimDuration::from_secs(180))
         .with_fault(SpecFault::Chaos {
-            seed: seed ^ 0xfa17,
+            seed: netsim::derive_stream_seed(seed, "chaos-plan", 0),
             from: SimTime::from_secs(40),
             until: SimTime::from_secs(100),
             events: 6,
         });
     // Chaos outages last at most 10 s past the window's edge.
     (s, SimTime::from_secs(110))
+}
+
+/// One cell of the campaign matrix's fault axis (DESIGN.md §13): a fault
+/// shape that can be stamped onto *any* scenario, with the fault window
+/// scaled to the scenario's duration (middle third) so every workload sees
+/// comparable injury and a known heal instant for the recovery gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAxis {
+    /// Fault-free control cell.
+    None,
+    /// Spec link `link` flaps three times, 3 s down per flap.
+    LinkFlap { link: usize },
+    /// Spec node `node` crashes and restarts 4 s later.
+    RouterCrash { node: usize },
+    /// Seeded random chaos, `events` outages across the whole topology.
+    Chaos { events: u32 },
+}
+
+impl FaultAxis {
+    /// A short stable label for artifacts and run ids.
+    pub fn label(&self) -> String {
+        match *self {
+            FaultAxis::None => "none".into(),
+            FaultAxis::LinkFlap { link } => format!("flap-l{link}"),
+            FaultAxis::RouterCrash { node } => format!("crash-n{node}"),
+            FaultAxis::Chaos { events } => format!("chaos-{events}"),
+        }
+    }
+
+    /// Stamp the fault onto `s`. Returns the scenario plus the instant the
+    /// last fault heals (`None` for the control cell and for chaos, whose
+    /// recovery is unbounded by design — a chaos plan may crash the source
+    /// or the controller for good).
+    pub fn apply(&self, s: Scenario) -> (Scenario, Option<SimTime>) {
+        let dur = s.duration.as_secs_f64();
+        let third = SimTime::ZERO + SimDuration::from_secs_f64(dur / 3.0);
+        match *self {
+            FaultAxis::None => (s, None),
+            FaultAxis::LinkFlap { link } => {
+                let period = SimDuration::from_secs(15);
+                let down = SimDuration::from_secs(3);
+                let s = s.with_fault(SpecFault::LinkFlap {
+                    link,
+                    first_down: third,
+                    down_for: down,
+                    period,
+                    repeats: 3,
+                });
+                (s, Some(third + period * 2 + down))
+            }
+            FaultAxis::RouterCrash { node } => {
+                let heal = third + SimDuration::from_secs(4);
+                let s = s.with_fault(SpecFault::NodeOutage { node, from: third, until: heal });
+                (s, Some(heal))
+            }
+            FaultAxis::Chaos { events } => {
+                let seed = netsim::derive_stream_seed(s.seed, "chaos-plan", 1);
+                let until = SimTime::ZERO + SimDuration::from_secs_f64(dur * 2.0 / 3.0);
+                let s = s.with_fault(SpecFault::Chaos { seed, from: third, until, events });
+                (s, None)
+            }
+        }
+    }
 }
 
 /// Check the §9 recovery bound: every surviving receiver must return to

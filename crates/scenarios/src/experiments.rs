@@ -311,9 +311,11 @@ pub fn convergence_topology_a(
             let mean_level_late = means.iter().sum::<f64>() / means.len() as f64;
             let spread = means.iter().copied().fold(f64::NEG_INFINITY, f64::max)
                 - means.iter().copied().fold(f64::INFINITY, f64::min);
-            let deviation_late =
-                members.iter().map(|m| m.relative_deviation(half, end)).sum::<f64>()
-                    / members.len() as f64;
+            let deviation_late = members
+                .iter()
+                .map(|m| m.relative_deviation(half, end).unwrap_or(f64::NAN))
+                .sum::<f64>()
+                / members.len() as f64;
             ConvergenceRow {
                 set,
                 optimal: members[0].optimal,

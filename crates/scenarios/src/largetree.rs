@@ -143,6 +143,94 @@ pub fn churn_fraction(reports: &mut [ReceiverReport], dirty_fraction: f64, round
 }
 
 // ---------------------------------------------------------------------------
+// Campaign zoo: flash crowds, diurnal churn, heterogeneous last miles
+// (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+/// Deterministic diurnal churn profile: a triangle wave over `period`
+/// rounds between `low` (night) and `high` (midday peak), peaking at
+/// `period / 2`. A triangle instead of a sinusoid keeps the profile exactly
+/// reproducible across platforms (no libm calls) while still sweeping the
+/// dirty fraction smoothly through the day.
+pub fn diurnal_fraction(round: u64, period: u64, low: f64, high: f64) -> f64 {
+    assert!(period >= 2, "a day needs at least two rounds");
+    assert!((0.0..=1.0).contains(&low) && (0.0..=1.0).contains(&high) && low <= high);
+    let phase = round % period;
+    let half = period as f64 / 2.0;
+    // 0 at dawn, 1 at midday, back to 0 at dusk.
+    let up = 1.0 - ((phase as f64 - half).abs() / half);
+    low + (high - low) * up
+}
+
+/// A balanced multicast domain whose *last-mile* links are heterogeneous:
+/// the backbone (every tier but the last) is fat, and each leaf's access
+/// link cycles through `lastmile_kbps` — the paper's "last mile problem"
+/// pushed to its extreme, where every bottleneck sits on a leaf edge and
+/// the controller must steer each receiver to its own fitting level.
+///
+/// Receivers are grouped into sets by their capacity class (index into
+/// `lastmile_kbps`), so oracle checks and campaign gates can reason per
+/// class. One session, source and controller at the root.
+pub fn heterogeneous_lastmile(
+    fanout: usize,
+    depth: usize,
+    lastmile_kbps: &[f64],
+) -> topology::spec::TopoSpec {
+    use topology::spec::{NodeRole, TopoSpec};
+    assert!(fanout >= 1 && depth >= 2, "need at least one backbone tier plus the last mile");
+    assert!(!lastmile_kbps.is_empty());
+    let latency = netsim::SimDuration(200 * 1_000_000);
+    let fat = netsim::LinkConfig::kbps(100_000.0).with_delay(latency);
+    let mut s = TopoSpec::new(format!("het-lastmile/{fanout}x{depth}"));
+    let root = s.node("src", vec![NodeRole::Source { session: 0 }, NodeRole::Controller]);
+    let mut frontier = vec![root];
+    let mut leaf_idx = 0usize;
+    for level in 0..depth {
+        let last = level + 1 == depth;
+        let mut next = Vec::with_capacity(frontier.len() * fanout);
+        for &parent in &frontier {
+            for c in 0..fanout {
+                let (label, roles, cfg) = if last {
+                    let class = leaf_idx % lastmile_kbps.len();
+                    leaf_idx += 1;
+                    (
+                        format!("rcv{}.{c}", leaf_idx - 1),
+                        vec![NodeRole::Receiver { session: 0, set: class as u32 }],
+                        netsim::LinkConfig::kbps(lastmile_kbps[class]).with_delay(latency),
+                    )
+                } else {
+                    (format!("t{level}.{c}"), vec![NodeRole::Router], fat)
+                };
+                let node = s.node(label, roles);
+                s.link(parent, node, cfg);
+                next.push(node);
+            }
+        }
+        frontier = next;
+    }
+    s
+}
+
+/// One step of a flash-crowd drive: the registry/report pair visible to the
+/// controller at `round`. Before `join_round` only the first `core` leaves
+/// are registered (the steady overnight audience); from `join_round` on,
+/// every leaf is — the paper-scale "100k joins inside one control interval"
+/// event, compressed into a single registry snapshot change.
+pub fn flash_crowd_membership(
+    session: u32,
+    leaves: &[NodeId],
+    core: usize,
+    round: u64,
+    join_round: u64,
+    level: u8,
+    lossy_mod: usize,
+) -> (Vec<(AppId, NodeId, SessionId)>, Vec<ReceiverReport>) {
+    assert!(core >= 1 && core <= leaves.len());
+    let active = if round < join_round { &leaves[..core] } else { leaves };
+    (registry_for_leaves(session, active), reports_for_leaves(session, active, level, lossy_mod))
+}
+
+// ---------------------------------------------------------------------------
 // Packet-level media workload (the netsim fast-path benchmark, DESIGN.md §12)
 // ---------------------------------------------------------------------------
 
@@ -300,6 +388,51 @@ mod tests {
             results.push((m.sim.events_processed(), m.delivered()));
         }
         assert_eq!(results[0], results[1], "wheel and heap must agree exactly");
+    }
+
+    #[test]
+    fn diurnal_profile_peaks_at_midday_and_repeats() {
+        let p = 24u64;
+        assert_eq!(diurnal_fraction(0, p, 0.01, 0.5), 0.01);
+        assert_eq!(diurnal_fraction(12, p, 0.01, 0.5), 0.5);
+        assert_eq!(diurnal_fraction(0, p, 0.01, 0.5), diurnal_fraction(24, p, 0.01, 0.5));
+        // Monotone up the morning, down the evening.
+        for r in 0..12 {
+            assert!(diurnal_fraction(r, p, 0.0, 1.0) < diurnal_fraction(r + 1, p, 0.0, 1.0));
+        }
+        for r in 12..23 {
+            assert!(diurnal_fraction(r, p, 0.0, 1.0) > diurnal_fraction(r + 1, p, 0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn heterogeneous_lastmile_cycles_capacity_classes() {
+        let caps = [150.0, 600.0, 2500.0];
+        let s = heterogeneous_lastmile(3, 2, &caps);
+        let receivers = s.receivers();
+        assert_eq!(receivers.len(), 9);
+        // Every class is represented and matches its leaf link capacity.
+        for (node, (_, set)) in receivers {
+            let parent = s.links.iter().find(|l| l.b == node).map(|l| l.a).unwrap();
+            let cap = s.capacity_between(parent, node).unwrap();
+            assert_eq!(cap, caps[set as usize] * 1000.0);
+        }
+        // Buildable into a simulator.
+        let built = s.instantiate(Default::default());
+        assert_eq!(built.sim.network().node_count(), s.nodes.len());
+    }
+
+    #[test]
+    fn flash_crowd_membership_jumps_at_join_round() {
+        let (_, leaves) = balanced_session_tree(0, 4, 2);
+        let (reg_before, rep_before) = flash_crowd_membership(0, &leaves, 3, 4, 5, 1, 0);
+        assert_eq!(reg_before.len(), 3);
+        assert_eq!(rep_before.len(), 3);
+        let (reg_after, rep_after) = flash_crowd_membership(0, &leaves, 3, 5, 5, 1, 0);
+        assert_eq!(reg_after.len(), leaves.len());
+        assert_eq!(rep_after.len(), leaves.len());
+        // The core keeps its identities across the join (no re-keying).
+        assert_eq!(&reg_after[..3], &reg_before[..]);
     }
 
     #[test]

@@ -17,11 +17,16 @@
 //! * [`largetree`] — balanced ≥10k-node domains with deterministic report
 //!   churn at a configurable dirty fraction, the workload behind the
 //!   incremental-pipeline bench and smoke tests.
+//! * [`campaign`] — the deterministic evaluation-campaign harness
+//!   (DESIGN.md §13): a scenario-matrix builder over the zoo workloads
+//!   with pass/fail gates and byte-identical JSON/markdown artifacts.
 
 pub mod ablations;
+pub mod campaign;
 pub mod chaos;
 pub mod experiments;
 pub mod largetree;
 pub mod runner;
 
+pub use campaign::{CampaignReport, CampaignSpec, Gate, GateStatus, Profile, RunRecord};
 pub use runner::{run, ControlMode, ReceiverOutcome, Scenario, ScenarioResult, SpecFault};

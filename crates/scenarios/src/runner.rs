@@ -13,7 +13,9 @@ use baselines::tfrc::{TfrcParams, TfrcReceiver};
 use baselines::FixedReceiver;
 use metrics::StepSeries;
 use netsim::sim::SimConfig;
-use netsim::{FaultPlan, GroupId, NodeId, QueueBackend, SessionId, SimDuration, SimTime};
+use netsim::{
+    derive_stream_seed, FaultPlan, GroupId, NodeId, QueueBackend, SessionId, SimDuration, SimTime,
+};
 use rayon::prelude::*;
 use telemetry::{Record, Span, Telemetry};
 use topology::spec::TopoSpec;
@@ -88,6 +90,15 @@ pub struct Scenario {
     /// wheel is the fast default; the binary heap is the differential
     /// oracle (both produce bit-identical runs).
     pub queue_backend: QueueBackend,
+    /// Per-session control-mode overrides: receivers of a listed session
+    /// run under that mode instead of `control`. This is how a TopoSense
+    /// foreground session competes against RLM (or fixed-rate) background
+    /// sessions on the same bottlenecks — the campaign zoo's mixed
+    /// workload. Overriding to TopoSense is only valid when the base mode
+    /// is TopoSense too (there is at most one controller).
+    pub session_control: Vec<(u32, ControlMode)>,
+    /// Per-session traffic-model overrides (mixed CBR/VBR worlds).
+    pub session_traffic: Vec<(u32, TrafficModel)>,
 }
 
 impl Scenario {
@@ -110,7 +121,23 @@ impl Scenario {
             telemetry: Telemetry::disabled(),
             trace_cap: 0,
             queue_backend: QueueBackend::default(),
+            session_control: Vec::new(),
+            session_traffic: Vec::new(),
         }
+    }
+
+    /// Receivers of `session` run under `control` instead of the scenario's
+    /// base mode (background-session competition).
+    pub fn with_session_control(mut self, session: u32, control: ControlMode) -> Self {
+        self.session_control.push((session, control));
+        self
+    }
+
+    /// The source of `session` emits `traffic` instead of the scenario's
+    /// base model (mixed CBR/VBR worlds).
+    pub fn with_session_traffic(mut self, session: u32, traffic: TrafficModel) -> Self {
+        self.session_traffic.push((session, traffic));
+        self
     }
 
     /// Select the simulator's event-queue backend (differential testing).
@@ -213,8 +240,9 @@ impl ReceiverOutcome {
         StepSeries::from_changes(&self.stats.changes)
     }
 
-    /// Relative deviation from the optimum over `[start, end]`.
-    pub fn relative_deviation(&self, start: SimTime, end: SimTime) -> f64 {
+    /// Relative deviation from the optimum over `[start, end]`. `None`
+    /// when the metric is undefined (zero optimum or empty window).
+    pub fn relative_deviation(&self, start: SimTime, end: SimTime) -> Option<f64> {
         metrics::relative_deviation(&self.level_series(), self.optimal, start, end)
     }
 
@@ -270,16 +298,18 @@ pub struct ScenarioResult {
 
 impl ScenarioResult {
     /// Mean relative deviation across receivers over `[start, end]`
-    /// (the quantity Figs. 8 and 10 plot). `None` when the scenario had
-    /// no receivers — there is nothing to average.
+    /// (the quantity Figs. 8 and 10 plot). `None` when nothing is there
+    /// to average: the scenario had no receivers, the window is empty, or
+    /// every receiver's optimum is zero (undefined receivers are skipped,
+    /// mirroring [`metrics::mean_relative_deviation`]).
     pub fn mean_relative_deviation(&self, start: SimTime, end: SimTime) -> Option<f64> {
-        if self.receivers.is_empty() {
-            return None;
+        let vals: Vec<f64> =
+            self.receivers.iter().filter_map(|r| r.relative_deviation(start, end)).collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
         }
-        Some(
-            self.receivers.iter().map(|r| r.relative_deviation(start, end)).sum::<f64>()
-                / self.receivers.len() as f64,
-        )
     }
 
     /// `(max change count, mean gap)` over receivers in `[start, end)` —
@@ -372,7 +402,7 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
             std::sync::Arc::clone(&catalog),
             scenario.cfg,
             staleness,
-            scenario.seed ^ 0xc0f1,
+            derive_stream_seed(scenario.seed, "controller", 0),
         );
         let mut ctrl = apply_outages(ctrl).with_telemetry(scenario.telemetry.clone());
         if let Some(standby_idx) = scenario.standby {
@@ -382,7 +412,7 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
                 std::sync::Arc::clone(&catalog),
                 scenario.cfg,
                 staleness,
-                scenario.seed ^ 0xc0f2,
+                derive_stream_seed(scenario.seed, "controller", 1),
             );
             // The standby shares the handle: it only emits once active, so
             // the audit stream follows whichever controller is steering.
@@ -399,10 +429,21 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
         None
     };
 
-    // Sources.
+    // Sources (per-session traffic overrides apply here).
     for &(node_idx, session) in &sources {
         let def = catalog.get(SessionId(session)).clone();
-        let src = LayeredSource::new(def, scenario.traffic, scenario.seed ^ session as u64);
+        let traffic = scenario
+            .session_traffic
+            .iter()
+            .rev()
+            .find(|&&(s, _)| s == session)
+            .map(|&(_, t)| t)
+            .unwrap_or(scenario.traffic);
+        let src = LayeredSource::new(
+            def,
+            traffic,
+            derive_stream_seed(scenario.seed, "source", session as u64),
+        );
         sim.add_app(built.node_ids[node_idx], Box::new(src));
     }
 
@@ -413,8 +454,15 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
         let node = built.node_ids[node_idx];
         let def = catalog.get(SessionId(session)).clone();
         let label = format!("s{session}.r{i}");
-        let seed = scenario.seed ^ (0x9e37 + i as u64 * 0x61c8);
-        let handle = match scenario.control {
+        let seed = derive_stream_seed(scenario.seed, "receiver", i as u64);
+        let control = scenario
+            .session_control
+            .iter()
+            .rev()
+            .find(|&&(s, _)| s == session)
+            .map(|&(_, c)| c)
+            .unwrap_or(scenario.control);
+        let handle = match control {
             ControlMode::TopoSense { .. } => {
                 let ctrl_node = controller_handle
                     .as_ref()

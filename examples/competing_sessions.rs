@@ -37,7 +37,7 @@ fn main() {
             r.optimal,
             r.stats.final_level(),
             r.stats.bytes_total as f64 / 1e6,
-            r.relative_deviation(half, end),
+            r.relative_deviation(half, end).unwrap_or(f64::NAN),
             r.mean_loss(half, end),
         );
     }

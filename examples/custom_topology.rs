@@ -47,7 +47,7 @@ fn main() {
     println!("{}", "-".repeat(58));
     let mut total_dev = 0.0;
     for r in &result.receivers {
-        let dev = r.relative_deviation(start, end);
+        let dev = r.relative_deviation(start, end).unwrap_or(f64::NAN);
         total_dev += dev;
         println!(
             "{:<10} {:>8} {:>12.2} {:>12.4} {:>12.4}",

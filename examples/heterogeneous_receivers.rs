@@ -41,7 +41,10 @@ fn main() {
             .map(|m| StepSeries::from_changes(&m.stats.changes).mean(half, end))
             .sum::<f64>()
             / members.len() as f64;
-        let dev: f64 = members.iter().map(|m| m.relative_deviation(half, end)).sum::<f64>()
+        let dev: f64 = members
+            .iter()
+            .map(|m| m.relative_deviation(half, end).unwrap_or(f64::NAN))
+            .sum::<f64>()
             / members.len() as f64;
         let loss: f64 =
             members.iter().map(|m| m.mean_loss(half, end)).sum::<f64>() / members.len() as f64;

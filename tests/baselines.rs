@@ -1,0 +1,115 @@
+//! Pinned behavior baselines — THE one place to re-baseline.
+//!
+//! Every entry is an FNV-1a digest of a canned run's deterministic
+//! fingerprint. The digests change whenever simulation behavior changes —
+//! including *intentional* changes like a new seed-derivation scheme (the
+//! splitmix64 stream deriver replaced the old XOR folds here) or a
+//! controller-stage fix. That is the point: a PR that shifts behavior must
+//! update `BASELINES` below, in this file and nowhere else, and the diff
+//! makes the behavioral change explicit in review.
+//!
+//! To re-baseline after an intentional change, run:
+//!
+//! ```text
+//! cargo test --test baselines -- --nocapture
+//! ```
+//!
+//! and copy the `("name", 0x...)` lines the failing test prints into the
+//! `BASELINES` table.
+
+use netsim::SimDuration;
+use netsim::SimTime;
+use scenarios::largetree::{
+    balanced_session_tree, churn_fraction, registry_for_leaves, reports_for_leaves,
+};
+use scenarios::{chaos, runner};
+use toposense::algorithm::{AlgorithmInputs, AlgorithmState};
+use traffic::LayerSpec;
+
+/// (name, FNV-1a 64 digest of the canned fingerprint).
+const BASELINES: &[(&str, u64)] = &[
+    ("chaos/link_flap/s1", 0x8819a079017efec8),
+    ("chaos/router_crash/s1", 0x5f523b02065858cc),
+    ("chaos/discovery_outage/s1", 0x38d46b75d5c0440d),
+    ("chaos/controller_failover/s1", 0x3cbcec32b018566c),
+    ("chaos/random_chaos/s7", 0x4c5b961c48066e5e),
+    ("incremental/diurnal_1k/s1", 0x9a6a1869cc0331fe),
+];
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Digest of a canned incremental drive: 1k-leaf tree, 12 rounds of
+/// deterministic churn, rendering every round's suggestion set and
+/// recompute stats.
+fn incremental_fingerprint(seed: u64) -> String {
+    use std::fmt::Write;
+    let (tree, leaves) = balanced_session_tree(0, 10, 3);
+    let layer_spec = LayerSpec::paper_default();
+    let trees = [tree];
+    let specs = [&layer_spec];
+    let cfg = toposense::Config { incremental: true, ..chaos::chaos_config() };
+    let mut state = AlgorithmState::new(cfg, netsim::derive_stream_seed(seed, "baseline-inc", 0));
+    let registry = registry_for_leaves(0, &leaves);
+    let mut reports = reports_for_leaves(0, &leaves, 2, 9);
+    let mut out_text = String::new();
+    for round in 0..12u64 {
+        churn_fraction(&mut reports, 0.1, round);
+        let inputs = AlgorithmInputs {
+            now: SimTime::from_secs(2 * (round + 1)),
+            interval: SimDuration::from_secs(2),
+            trees: &trees,
+            specs: &specs,
+            registry: &registry,
+            reports: &reports,
+        };
+        let out = state.run_incremental(&inputs);
+        write!(out_text, "r{round} inc={} slots={} sugg=[", out.incremental, out.slots_recomputed)
+            .unwrap();
+        for s in &out.suggestions {
+            write!(out_text, "{}:{},", s.receiver.0, s.level).unwrap();
+        }
+        out_text.push_str("]\n");
+    }
+    out_text
+}
+
+fn compute(name: &str) -> u64 {
+    let text = match name {
+        "chaos/link_flap/s1" => chaos::fingerprint(&runner::run(&chaos::link_flap(1).0)),
+        "chaos/router_crash/s1" => chaos::fingerprint(&runner::run(&chaos::router_crash(1).0)),
+        "chaos/discovery_outage/s1" => {
+            chaos::fingerprint(&runner::run(&chaos::discovery_outage(1).0))
+        }
+        "chaos/controller_failover/s1" => {
+            chaos::fingerprint(&runner::run(&chaos::controller_failover(1).0))
+        }
+        "chaos/random_chaos/s7" => chaos::fingerprint(&runner::run(&chaos::random_chaos(7).0)),
+        "incremental/diurnal_1k/s1" => incremental_fingerprint(1),
+        other => panic!("unknown baseline {other}"),
+    };
+    fnv1a(text.as_bytes())
+}
+
+#[test]
+fn canned_fingerprints_match_pinned_baselines() {
+    let mut mismatches = Vec::new();
+    for &(name, pinned) in BASELINES {
+        let got = compute(name);
+        if got != pinned {
+            println!("    (\"{name}\", {got:#018x}),");
+            mismatches.push(name);
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "baseline drift in {mismatches:?} — if the behavior change is intentional, copy the \
+         `(\"...\", 0x...)` lines printed above into BASELINES in tests/baselines.rs"
+    );
+}

@@ -1,0 +1,133 @@
+//! Campaign harness regression tests (DESIGN.md §13).
+//!
+//! The smoke campaign must (a) finish fast, (b) produce byte-identical
+//! artifacts across two runs with the same seed-index, (c) cover all four
+//! zoo workloads with at least one gate each, and (d) actually *fail*
+//! gates when handed a deliberately broken configuration — a gate that
+//! cannot fail is not a gate.
+
+use scenarios::campaign::{run_campaign, CampaignSpec, GateStatus, Profile};
+use scenarios::chaos;
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("toposense-campaign-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+/// Read every artifact under `dir` into (relative path, bytes), sorted.
+fn artifact_bytes(dir: &PathBuf) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.clone()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d).expect("readable artifact dir") {
+            let p = entry.expect("dir entry").path();
+            if p.is_dir() {
+                stack.push(p);
+            } else {
+                let rel = p.strip_prefix(dir).expect("under root").display().to_string();
+                out.push((rel, fs::read(&p).expect("readable artifact")));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn smoke_campaign_is_deterministic_and_covers_the_zoo() {
+    let spec = CampaignSpec::new("zoo", 1, Profile::Smoke);
+    let report_a = run_campaign(&spec);
+    let report_b = run_campaign(&spec);
+
+    // Every zoo workload is represented and every run carries gates.
+    let workloads: BTreeSet<&str> = report_a.runs.iter().map(|r| r.workload.as_str()).collect();
+    for w in ["flash-crowd", "diurnal-churn", "het-lastmile", "mixed-sessions"] {
+        assert!(workloads.contains(w), "workload {w} missing from campaign");
+    }
+    for r in &report_a.runs {
+        assert!(!r.gates.is_empty(), "run {} has no gates", r.id);
+    }
+
+    // The healthy smoke campaign passes; skips are allowed but must carry
+    // a reason.
+    assert!(report_a.passed(), "healthy smoke campaign failed gates");
+    for r in &report_a.runs {
+        for g in &r.gates {
+            if g.status == GateStatus::Skipped {
+                assert!(
+                    g.reason.contains("skipped"),
+                    "skipped gate {} on {} has no reason",
+                    g.name,
+                    r.id
+                );
+            }
+        }
+    }
+
+    // Smoke truncates the matrix, and every truncation is on the record.
+    assert!(!report_a.coverage_caps.is_empty(), "smoke profile must record its coverage caps");
+
+    // Byte-identical artifacts across two same-seed-index runs.
+    let dir_a = scratch_dir("a");
+    let dir_b = scratch_dir("b");
+    report_a.write_artifacts(&dir_a).expect("write artifacts A");
+    report_b.write_artifacts(&dir_b).expect("write artifacts B");
+    let bytes_a = artifact_bytes(&dir_a);
+    let bytes_b = artifact_bytes(&dir_b);
+    assert!(!bytes_a.is_empty());
+    assert_eq!(bytes_a.len(), bytes_b.len(), "artifact sets differ");
+    for ((name_a, a), (name_b, b)) in bytes_a.iter().zip(&bytes_b) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(a, b, "artifact {name_a} differs between same-seed runs");
+    }
+    let _ = fs::remove_dir_all(&dir_a);
+    let _ = fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn different_seed_index_changes_the_matrix_seeds() {
+    let r1 = run_campaign(&CampaignSpec::new("zoo", 1, Profile::Smoke));
+    let r2 = run_campaign(&CampaignSpec::new("zoo", 2, Profile::Smoke));
+    let seeds1: Vec<u64> = r1.runs.iter().map(|r| r.seed).collect();
+    let seeds2: Vec<u64> = r2.runs.iter().map(|r| r.seed).collect();
+    assert_eq!(seeds1.len(), seeds2.len());
+    assert_ne!(seeds1, seeds2, "seed-index must re-derive every cell seed");
+}
+
+#[test]
+fn broken_config_fails_gates() {
+    // Blind the controller to loss and re-enable aggressive capacity
+    // creep: lossy intervals count as clean, estimates inflate 200 % per
+    // interval, and congestion is never classified — receivers get pushed
+    // to the top layer and stay there, so the deviation gates must catch
+    // it. Turning `incremental` off breaks the diurnal workload's
+    // incremental-fraction gate as well.
+    let broken = toposense::Config {
+        capacity_creep: 2.0,
+        capacity_loss_threshold: 1.0,
+        p_threshold: 0.98,
+        high_loss: 0.98,
+        very_high_loss: 0.99,
+        unilateral_drop_loss: 10.0,
+        incremental: false,
+        ..chaos::chaos_config()
+    };
+    let spec = CampaignSpec::new("zoo-broken", 1, Profile::Smoke).with_config_override(broken);
+    let report = run_campaign(&spec);
+    assert!(!report.passed(), "campaign with capacity_creep = 2.0 must fail at least one gate");
+    assert!(report.gates_failed() >= 1);
+    // The failure is reported with a concrete reason, not silently.
+    let failed: Vec<_> = report
+        .runs
+        .iter()
+        .flat_map(|r| r.gates.iter().map(move |g| (r, g)))
+        .filter(|(_, g)| g.status == GateStatus::Fail)
+        .collect();
+    for (r, g) in &failed {
+        assert!(!g.reason.is_empty(), "failed gate {} on {} lacks a reason", g.name, r.id);
+    }
+}

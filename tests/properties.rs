@@ -96,7 +96,7 @@ proptest! {
         s.push(SimTime::ZERO, held);
         let dev = metrics::relative_deviation(
             &s, opt, SimTime::ZERO, SimTime::from_secs(100),
-        );
+        ).expect("positive optimum and non-empty window");
         let expect = (held as f64 - opt as f64).abs() / opt as f64;
         prop_assert!((dev - expect).abs() < 1e-9);
     }
