@@ -43,7 +43,7 @@ fn bench_event_throughput(c: &mut Criterion) {
         g.throughput(Throughput::Elements(events_per_slice));
         g.bench_with_input(BenchmarkId::new(name, "largetree_100ms"), &(), |b, _| {
             b.iter(|| {
-                deadline = deadline + slice;
+                deadline += slice;
                 m.sim.run_until(deadline);
                 m.sim.events_processed()
             });

@@ -102,6 +102,24 @@ impl FaultPlan {
         self
     }
 
+    /// Partition a node over `[from, until)`: every one of its duplex
+    /// links goes down together and heals together. Unlike a crash the
+    /// node keeps running — apps hold their state and timers — it just
+    /// cannot reach anyone, which is the fault a replicated controller's
+    /// resync path must survive.
+    pub fn node_partition(
+        mut self,
+        links: &[(DirLinkId, DirLinkId)],
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        assert!(!links.is_empty(), "a partition needs at least one link");
+        for &halves in links {
+            self = self.link_outage(halves, from, until);
+        }
+        self
+    }
+
     /// Periodically flap a duplex link: down at `first_down`, up after
     /// `down_for`, repeating every `period` for `repeats` cycles.
     pub fn link_flap(
@@ -214,6 +232,20 @@ mod tests {
             SimDuration::from_secs(20),
             2,
         );
+    }
+
+    #[test]
+    fn node_partition_downs_every_link_together() {
+        let links = [(DirLinkId(0), DirLinkId(1)), (DirLinkId(4), DirLinkId(5))];
+        let plan =
+            FaultPlan::new().node_partition(&links, SimTime::from_secs(40), SimTime::from_secs(50));
+        assert_eq!(plan.events().len(), 8);
+        for (a, b) in links {
+            for l in [a, b] {
+                assert!(plan.events().contains(&(SimTime::from_secs(40), FaultKind::LinkDown(l))));
+                assert!(plan.events().contains(&(SimTime::from_secs(50), FaultKind::LinkUp(l))));
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! this), so a campaign run is a regression fingerprint for the whole
 //! system, not a one-off measurement.
 //!
-//! The **zoo** contributes four workload families beyond the per-figure
+//! The **zoo** contributes five workload families beyond the per-figure
 //! scenarios the repo already had:
 //!
 //! * `flash-crowd` — the whole audience joins inside one control
@@ -25,7 +25,11 @@
 //!   must converge near its own fitting level, also under fault cells;
 //! * `mixed-sessions` — a TopoSense CBR foreground shares a bottleneck
 //!   with RLM-controlled VBR background sessions and must keep the
-//!   session byte shares fair.
+//!   session byte shares fair;
+//! * `primary-crash-mid-interval` — the primary controller dies between
+//!   ticks and the replicated standby must take over within
+//!   `failover_after + interval` and steer within one interval of the
+//!   takeover (the zero-re-learning bound, DESIGN.md §14).
 //!
 //! Every run yields a [`RunRecord`] (its own JSON artifact) and the
 //! campaign aggregates them into one JSON + one markdown report in the
@@ -729,6 +733,45 @@ fn mixed_cells(spec: &CampaignSpec, caps: &mut Vec<String>) -> Vec<ScenarioCell>
     cells
 }
 
+/// Replicated-controller failover cells: the primary dies mid-interval and
+/// the input-synced standby must take over inside the heartbeat bound and
+/// resume steering with zero re-learning (ISSUE 7 / DESIGN.md §14).
+fn failover_cells(spec: &CampaignSpec) -> Vec<ScenarioCell> {
+    let cfg = spec.base_config();
+    let mut cells = Vec::new();
+    for s_ord in 0..spec.seeds_per_cell {
+        let seed = spec.cell_seed("primary-crash-mid-interval", s_ord as u64);
+        let (base, crash_at) = chaos::primary_crash_mid_interval(seed);
+        // Re-stamp the campaign config so the broken-config regression
+        // hook reaches this workload too (a config with replication off
+        // is *meant* to fail the replicated-batches gate).
+        let scenario = base.with_config(cfg);
+        cells.push(ScenarioCell {
+            id: format!("primary-crash-mid-interval/crash-41s/s{s_ord}"),
+            workload: "primary-crash-mid-interval",
+            axes: vec![
+                ("topology".into(), "failover-a".into()),
+                ("traffic".into(), "CBR".into()),
+                ("fault".into(), "primary-crash@41s".into()),
+                (
+                    "config".into(),
+                    if spec.config_override.is_some() {
+                        "override".into()
+                    } else {
+                        "default".into()
+                    },
+                ),
+                ("control".into(), "toposense + replicated standby".into()),
+            ],
+            seed,
+            scenario,
+            heal_at: Some(crash_at),
+            cfg,
+        });
+    }
+    cells
+}
+
 /// Evaluate the gates for one completed scenario cell.
 fn judge_scenario(cell: &ScenarioCell, r: &ScenarioResult) -> RunRecord {
     let end = SimTime::ZERO + r.duration;
@@ -801,6 +844,54 @@ fn judge_scenario(cell: &ScenarioCell, r: &ScenarioResult) -> RunRecord {
             }
             metrics.push(("max_min_ratio".into(), format!("{ratio:.6}")));
         }
+        "primary-crash-mid-interval" => {
+            let crash_at = cell.heal_at.expect("failover cell always records the crash instant");
+            let interval = cell.cfg.interval.as_secs_f64();
+            let standby = r.standby.as_ref();
+            // One-interval takeover bound: the standby must declare
+            // failover within failover_after + one interval of the crash
+            // (heartbeat silence is only observable at the next check).
+            let takeover =
+                standby.and_then(|s| s.failover_at).map(|t| t.since(crash_at).as_secs_f64());
+            gates.push(Gate::at_most(
+                "takeover_seconds",
+                takeover,
+                cell.cfg.failover_after.as_secs_f64() + interval,
+                "standby never took over",
+            ));
+            // Zero re-learning: the promoted standby's own first steering
+            // interval lands within one control interval of the takeover —
+            // it resumes from its replicated AlgorithmState instead of
+            // re-observing the domain from scratch.
+            let first_steer = standby.and_then(|s| {
+                let at = s.failover_at?;
+                s.suggestion_series
+                    .iter()
+                    .find(|(t, sugg)| *t >= at && !sugg.is_empty())
+                    .map(|(t, _)| t.since(at).as_secs_f64() / interval)
+            });
+            gates.push(Gate::at_most(
+                "first_steer_intervals",
+                first_steer,
+                1.0,
+                "promoted standby never steered",
+            ));
+            // The precondition for both bounds: the standby was an
+            // input-synced twin before the crash (it applied replicated
+            // batches, so takeover needs no warm-up).
+            let applied = standby.map(|s| s.replica_applied as f64);
+            gates.push(Gate::at_least("replicated_batches", applied, 1.0, "no standby hosted"));
+            if let Some(s) = standby {
+                metrics.push(("replica_applied".into(), s.replica_applied.to_string()));
+                metrics.push((
+                    "failover_at".into(),
+                    s.failover_at
+                        .map(|t| format!("{:.3}", t.as_secs_f64()))
+                        .unwrap_or_else(|| "never".into()),
+                ));
+                metrics.push(("standby_suggestions".into(), s.suggestions_sent.to_string()));
+            }
+        }
         other => unreachable!("unknown scenario workload {other}"),
     }
     RunRecord {
@@ -862,6 +953,7 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
     // Scenario-level matrix, swept in parallel.
     let mut cells = lastmile_cells(spec, &mut caps);
     cells.extend(mixed_cells(spec, &mut caps));
+    cells.extend(failover_cells(spec));
     let scenarios: Vec<Scenario> = cells.iter().map(|c| c.scenario.clone()).collect();
     let results = runner::run_many(&scenarios);
     for (cell, result) in cells.iter().zip(&results) {

@@ -127,6 +127,38 @@ pub fn controller_failover(seed: u64) -> (Scenario, SimTime) {
     (s, SimTime::from_secs(40))
 }
 
+/// Primary crash *mid-interval*: the primary's node (spec node 1) dies for
+/// good at 41 s — between its 40 s and 42 s ticks, so the interval in
+/// flight is lost along with it. The input-synced standby on spec node 2
+/// (replication on by default) must take over within
+/// `failover_after + interval` and resume the suggestion stream from its
+/// own replicated `AlgorithmState` with zero re-learning.
+pub fn primary_crash_mid_interval(seed: u64) -> (Scenario, SimTime) {
+    let s = Scenario::new(failover_topo(), TrafficModel::Cbr, seed)
+        .with_config(chaos_config())
+        .with_duration(SimDuration::from_secs(150))
+        .with_standby(2)
+        .with_fault(SpecFault::NodeCrash { node: 1, from: SimTime::from_millis(41_000) });
+    (s, SimTime::from_millis(41_000))
+}
+
+/// Replica partition: the standby's uplink (spec link 2, `ctl2 -> core`)
+/// goes down over `[40 s, 50 s)`. The replica misses input batches, falls
+/// behind, and on heal must catch back up through a checkpoint resync —
+/// exercising the `CheckpointTransfer` path end to end over the wire.
+pub fn replica_partition(seed: u64) -> (Scenario, SimTime) {
+    let s = Scenario::new(failover_topo(), TrafficModel::Cbr, seed)
+        .with_config(chaos_config())
+        .with_duration(SimDuration::from_secs(150))
+        .with_standby(2)
+        .with_fault(SpecFault::LinkOutage {
+            link: 2,
+            from: SimTime::from_secs(40),
+            until: SimTime::from_secs(50),
+        });
+    (s, SimTime::from_secs(50))
+}
+
 /// Seeded-random chaos across every link and node of Topology A: 6 outages
 /// of 0.5–10 s inside `[40 s, 100 s)`. Used for the no-panic/determinism
 /// invariants, not the recovery bound (the plan may crash the source or
@@ -264,6 +296,16 @@ pub fn fingerprint(r: &ScenarioResult) -> String {
                 c.failover_at,
             )
             .unwrap();
+            writeln!(
+                out,
+                "{tag}.repl applied={} acks={} divergences={} quarantined={} resyncs={}",
+                c.replica_applied,
+                c.replica_acks,
+                c.replica_divergences,
+                c.replica_quarantined,
+                c.replica_resyncs,
+            )
+            .unwrap();
         }
     }
     for rec in &r.receivers {
@@ -310,6 +352,8 @@ mod tests {
             discovery_outage(1),
             partial_discovery_outage(1),
             controller_failover(1),
+            primary_crash_mid_interval(1),
+            replica_partition(1),
             random_chaos(1),
         ] {
             assert!(SimTime::ZERO + s.duration > heal, "must run past the heal point");

@@ -123,17 +123,28 @@ impl SessionTree {
             .map(move |s| (self.tree.node_at(s), self.in_link[s], self.max_layer_in[s]))
     }
 
-    /// Structural equality of the whole overlay: the underlying tree (see
-    /// [`Tree::structure_eq`]) plus the per-edge link and layer attributes.
-    /// Two session trees that compare equal here produce identical results
-    /// from every slot-indexed stage given identical per-slot inputs — the
-    /// fingerprint the incremental recomputation path checks each interval
-    /// before trusting its caches.
-    pub fn structure_eq(&self, other: &SessionTree) -> bool {
+    /// Routing equality: the underlying tree (see [`Tree::structure_eq`])
+    /// plus the per-edge links — everything slot-indexed caches depend on
+    /// *except* the per-edge layer attributes. Two trees that compare
+    /// equal here have identical slot assignments and link attribution;
+    /// only the no-report fallback level (`max_layer_in`) may differ.
+    /// This is the check the incremental recomputation path runs each
+    /// interval: subscription-level churn alone (receivers moving a layer
+    /// up or down under steering — the steady-state common case) keeps
+    /// the caches valid, with the changed slots re-decided from the new
+    /// layers.
+    pub fn routing_eq(&self, other: &SessionTree) -> bool {
         self.session == other.session
             && self.tree.structure_eq(&other.tree)
             && self.in_link == other.in_link
-            && self.max_layer_in == other.max_layer_in
+    }
+
+    /// Structural equality of the whole overlay: [`Self::routing_eq`] plus
+    /// the per-edge layer attributes. Two session trees that compare equal
+    /// here produce identical results from every slot-indexed stage given
+    /// identical per-slot inputs.
+    pub fn structure_eq(&self, other: &SessionTree) -> bool {
+        self.routing_eq(other) && self.max_layer_in == other.max_layer_in
     }
 
     /// Mark `slot` and its ancestors in `dirty` (see
@@ -224,6 +235,27 @@ mod tests {
         // Group 9 not in the view at all (e.g. never announced).
         let st = SessionTree::build(&v, SessionId(0), &[GroupId(0), GroupId(9)]).unwrap();
         assert_eq!(st.max_layer_into(n(1)), Some(0));
+    }
+
+    #[test]
+    fn routing_eq_ignores_layer_changes_structure_eq_does_not() {
+        // Same shape and links; node 1's max layer differs (a receiver
+        // there dropped from layer 1 to layer 0 between snapshots).
+        let a = SessionTree::build(
+            &view(vec![snap(0, vec![l(0), l(2)], vec![n(2)]), snap(1, vec![l(0)], vec![n(1)])]),
+            SessionId(0),
+            &[GroupId(0), GroupId(1)],
+        )
+        .unwrap();
+        let b = SessionTree::build(
+            &view(vec![snap(0, vec![l(0), l(2)], vec![n(2)])]),
+            SessionId(0),
+            &[GroupId(0), GroupId(1)],
+        )
+        .unwrap();
+        assert!(a.routing_eq(&b), "layer-only change must keep routing equality");
+        assert!(!a.structure_eq(&b), "layer change must break full structural equality");
+        assert!(a.structure_eq(&a.clone()));
     }
 
     #[test]

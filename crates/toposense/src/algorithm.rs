@@ -639,6 +639,128 @@ impl AlgorithmState {
         self.sync_memories();
     }
 
+    /// Capture a [`Snapshot`](crate::checkpoint::Snapshot) of the
+    /// persistent state *without perturbing it*: the incremental change
+    /// cache (if live) stays valid, so a primary can serve resync
+    /// checkpoints mid-stream without forcing its own next interval onto
+    /// the full path. Dense per-slot memories are merged over the
+    /// persistent map read-only — the same flush [`Self::invalidate`]
+    /// performs, minus the invalidation.
+    pub fn checkpoint(&self) -> crate::checkpoint::Snapshot {
+        use crate::checkpoint::{BackoffEntry, EstimateEntry, MemoryEntry, Snapshot};
+        let mut mem = self.memories.clone();
+        if self.cache.valid {
+            for (k, cs) in self.cache.sessions.iter().enumerate() {
+                let t = cs.tree.tree();
+                let sc = &self.scratch[k];
+                for s in t.slots() {
+                    mem.insert((cs.session, t.node_at(s)), sc.mem[s]);
+                }
+            }
+        }
+        let mut memories: Vec<MemoryEntry> = mem
+            .iter()
+            .map(|(&(sid, node), m)| MemoryEntry {
+                session: sid.0,
+                node: node.0,
+                hist: m.hist.bits(),
+                bytes_older: m.bytes_older,
+                bytes_recent: m.bytes_recent,
+                supply_older: m.supply_older,
+                supply_recent: m.supply_recent,
+                demand_prev: m.demand_prev,
+            })
+            .collect();
+        memories.sort_by_key(|e| (e.session, e.node));
+        let estimates = self
+            .estimator
+            .snapshot()
+            .into_iter()
+            .map(|(link, bits, set_at)| EstimateEntry {
+                link: link.0,
+                capacity_bits: bits,
+                set_at_ns: set_at.0,
+            })
+            .collect();
+        let mut backoffs: Vec<BackoffEntry> = Vec::new();
+        for (&sid, table) in &self.backoffs {
+            for (node, level, until, fails) in table.snapshot() {
+                backoffs.push(BackoffEntry {
+                    session: sid.0,
+                    node: node.0,
+                    level,
+                    until_ns: until.map(|t| t.0),
+                    failures: fails,
+                });
+            }
+        }
+        backoffs.sort_by_key(|b| (b.session, b.node, b.level));
+        Snapshot {
+            config_fingerprint: self.cfg.fingerprint(),
+            runs: self.runs,
+            rng: self.rng.state(),
+            estimates,
+            memories,
+            backoffs,
+        }
+    }
+
+    /// Rebuild a state from a [`Snapshot`](crate::checkpoint::Snapshot).
+    /// `cfg` must be the parameter set the snapshot was taken under
+    /// (checked via [`Config::fingerprint`] — the pipeline is only
+    /// byte-deterministic for a fixed config). The restored state's first
+    /// run takes the full pipeline path once (the change cache is cold),
+    /// which is byte-identical — RNG draw sequence included — to what the
+    /// uninterrupted original would have produced (DESIGN.md §11).
+    pub fn restore(cfg: Config, snap: &crate::checkpoint::Snapshot) -> Result<Self, String> {
+        if cfg.fingerprint() != snap.config_fingerprint {
+            return Err(format!(
+                "checkpoint was taken under a different Config (fingerprint {:#018x}, ours {:#018x})",
+                snap.config_fingerprint,
+                cfg.fingerprint()
+            ));
+        }
+        let mut st = Self::new(cfg, 0);
+        st.rng = RngStream::from_state(snap.rng);
+        st.runs = snap.runs;
+        let est: Vec<(DirLinkId, u64, SimTime)> = snap
+            .estimates
+            .iter()
+            .map(|e| (DirLinkId(e.link), e.capacity_bits, SimTime(e.set_at_ns)))
+            .collect();
+        st.estimator = CapacityEstimator::restore(&est);
+        st.memories = snap
+            .memories
+            .iter()
+            .map(|m| {
+                (
+                    (SessionId(m.session), NodeId(m.node)),
+                    NodeMemory {
+                        hist: CongestionHistory::from_bits(m.hist),
+                        bytes_older: m.bytes_older,
+                        bytes_recent: m.bytes_recent,
+                        supply_older: m.supply_older,
+                        supply_recent: m.supply_recent,
+                        demand_prev: m.demand_prev,
+                    },
+                )
+            })
+            .collect();
+        type BackoffRows = Vec<(NodeId, u8, Option<SimTime>, u32)>;
+        let mut per: HashMap<SessionId, BackoffRows> = HashMap::new();
+        for b in &snap.backoffs {
+            per.entry(SessionId(b.session)).or_default().push((
+                NodeId(b.node),
+                b.level,
+                b.until_ns.map(SimTime),
+                b.failures,
+            ));
+        }
+        st.backoffs =
+            per.into_iter().map(|(sid, rows)| (sid, BackoffTable::restore(&rows))).collect();
+        Ok(st)
+    }
+
     /// Flush the dense per-slot node memories back into the `memories`
     /// map and invalidate the cache. The incremental path updates only
     /// the dense copies, so this must run before anything reads the map.
@@ -669,8 +791,13 @@ impl AlgorithmState {
         {
             return false;
         }
+        // Routing equality only: per-edge layer attributes may differ
+        // (receivers moving a subscription level under steering is the
+        // steady-state common case). A layer feeds exactly one input —
+        // the no-report fallback level of its own slot — so stage 5
+        // re-decides the changed slots instead of the cache dying.
         for ((tree, spec), cs) in inputs.trees.iter().zip(inputs.specs).zip(&c.sessions) {
-            if tree.session() != cs.session || **spec != cs.spec || !tree.structure_eq(&cs.tree) {
+            if tree.session() != cs.session || **spec != cs.spec || !tree.routing_eq(&cs.tree) {
                 return false;
             }
         }
@@ -1061,6 +1188,14 @@ impl AlgorithmState {
                 for &s in &cs.mem5_dirty {
                     dirty_aux.mark(s as usize);
                 }
+                // Per-edge layer moves (routing unchanged — the entry
+                // precondition) alter the no-report fallback level of
+                // exactly their own slot.
+                for s in 1..t.len() {
+                    if tree.max_layer_at(s) != cs.tree.max_layer_at(s) {
+                        dirty_aux.mark(s);
+                    }
+                }
                 for i in 0..sc.state_dirty.len() {
                     let s = sc.state_dirty[i] as usize;
                     dirty_aux.mark(s);
@@ -1248,6 +1383,12 @@ impl AlgorithmState {
         for (k, tree) in inputs.trees.iter().enumerate() {
             let t = tree.tree();
             let cs = &mut cache.sessions[k];
+            // Adopt this interval's per-edge layers (routing is unchanged
+            // by the entry precondition): the next interval's layer diff
+            // must run against what stage 5 just decided from.
+            if !tree.structure_eq(&cs.tree) {
+                cs.tree = tree.clone();
+            }
             cs.backoff_slots.clear();
             if let Some(b) = self.backoffs.get(&tree.session()) {
                 cs.backoff_slots

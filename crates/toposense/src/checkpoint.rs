@@ -1,0 +1,454 @@
+//! Checkpoint/restore of [`AlgorithmState`](crate::algorithm::AlgorithmState).
+//!
+//! A [`Snapshot`] captures everything the five-stage pipeline carries
+//! between intervals — RNG stream position, capacity estimates, per-node
+//! memories, backoff timers, and the run counter — in a canonical sorted
+//! order, so two snapshots of byte-identical states are byte-identical
+//! JSON. Scratch buffers and the incremental change cache are *not*
+//! captured: both are rebuilt by the first post-restore run (which takes
+//! the full path once, exactly like a run after
+//! [`invalidate`](crate::algorithm::AlgorithmState::invalidate), and is
+//! byte-identical to the incremental path per DESIGN.md §11).
+//!
+//! The JSON rendering is schema-versioned (`toposense.checkpoint.v1`,
+//! mirroring telemetry's `toposense.telemetry.v1`) and embeds a
+//! [`Config::fingerprint`](crate::Config::fingerprint) so a snapshot can
+//! only be restored under the parameter set it was taken with. Floats
+//! travel as raw bit patterns (`u64`), never as decimal text — restore is
+//! exact by construction, not by printf round-tripping.
+
+use serde_json::{json, Value};
+use std::path::Path;
+
+/// Schema identifier written into every checkpoint file.
+pub const SCHEMA: &str = "toposense.checkpoint.v1";
+
+/// One finite link-capacity estimate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EstimateEntry {
+    pub link: u32,
+    /// `f64::to_bits` of the capacity in bits/s.
+    pub capacity_bits: u64,
+    /// When the estimate was (re)learned, in sim nanoseconds.
+    pub set_at_ns: u64,
+}
+
+/// One `(session, node)` memory cell of the congestion/subscription stages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryEntry {
+    pub session: u32,
+    pub node: u32,
+    /// 3-bit congestion history (`CongestionHistory::bits`).
+    pub hist: u8,
+    pub bytes_older: u64,
+    pub bytes_recent: u64,
+    pub supply_older: u8,
+    pub supply_recent: u8,
+    pub demand_prev: Option<u8>,
+}
+
+/// One `(session, node, level)` backoff record: live timer and/or failure
+/// count (failures persist past expiry — they scale future draws).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackoffEntry {
+    pub session: u32,
+    pub node: u32,
+    pub level: u8,
+    /// Expiry in sim nanoseconds; `None` when only the failure count lives.
+    pub until_ns: Option<u64>,
+    pub failures: u32,
+}
+
+/// A complete, canonical capture of one `AlgorithmState`.
+///
+/// All vectors are sorted by their id columns; equality on `Snapshot` is
+/// therefore state equality, and the JSON rendering is byte-stable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// [`Config::fingerprint`](crate::Config::fingerprint) of the
+    /// parameter set the state ran under.
+    pub config_fingerprint: u64,
+    /// Completed pipeline runs.
+    pub runs: u64,
+    /// Raw xoshiro256** state of the algorithm's RNG stream.
+    pub rng: [u64; 4],
+    pub estimates: Vec<EstimateEntry>,
+    pub memories: Vec<MemoryEntry>,
+    pub backoffs: Vec<BackoffEntry>,
+}
+
+impl Snapshot {
+    /// Render as canonical (compact, sorted) JSON.
+    pub fn to_json(&self) -> Value {
+        let estimates: Vec<Value> = self
+            .estimates
+            .iter()
+            .map(|e| json!({"link": e.link, "cap_bits": e.capacity_bits, "set_at_ns": e.set_at_ns}))
+            .collect();
+        let memories: Vec<Value> = self
+            .memories
+            .iter()
+            .map(|m| {
+                json!({
+                    "session": m.session,
+                    "node": m.node,
+                    "hist": m.hist,
+                    "bytes_older": m.bytes_older,
+                    "bytes_recent": m.bytes_recent,
+                    "supply_older": m.supply_older,
+                    "supply_recent": m.supply_recent,
+                    "demand_prev": m.demand_prev,
+                })
+            })
+            .collect();
+        let backoffs: Vec<Value> = self
+            .backoffs
+            .iter()
+            .map(|b| {
+                json!({
+                    "session": b.session,
+                    "node": b.node,
+                    "level": b.level,
+                    "until_ns": b.until_ns,
+                    "failures": b.failures,
+                })
+            })
+            .collect();
+        json!({
+            "schema": SCHEMA,
+            "config_fingerprint": self.config_fingerprint,
+            "runs": self.runs,
+            "rng": self.rng.to_vec(),
+            "estimates": estimates,
+            "memories": memories,
+            "backoffs": backoffs,
+        })
+    }
+
+    /// Canonical single-line JSON text (what [`Self::save`] writes and the
+    /// replication layer's `CheckpointTransfer` carries).
+    pub fn encode(&self) -> String {
+        serde_json::to_string(&self.to_json()).expect("checkpoint serialization is infallible")
+    }
+
+    /// Parse and validate a checkpoint document.
+    pub fn decode(text: &str) -> Result<Snapshot, String> {
+        let v = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        Self::from_json(&v)
+    }
+
+    /// Build a snapshot from a parsed [`Value`], checking the schema tag,
+    /// every field's presence and type, and the sort invariants.
+    pub fn from_json(v: &Value) -> Result<Snapshot, String> {
+        let schema = v.get("schema").and_then(Value::as_str).ok_or("missing schema tag")?;
+        if schema != SCHEMA {
+            return Err(format!("schema mismatch: expected {SCHEMA}, found {schema}"));
+        }
+        let u = |key: &str| -> Result<u64, String> {
+            v.get(key).and_then(Value::as_u64).ok_or(format!("missing or non-integer '{key}'"))
+        };
+        let config_fingerprint = u("config_fingerprint")?;
+        let runs = u("runs")?;
+        let rng_arr = v.get("rng").and_then(Value::as_array).ok_or("missing 'rng' array")?;
+        if rng_arr.len() != 4 {
+            return Err(format!("'rng' must hold 4 words, found {}", rng_arr.len()));
+        }
+        let mut rng = [0u64; 4];
+        for (i, w) in rng_arr.iter().enumerate() {
+            rng[i] = w.as_u64().ok_or("non-integer 'rng' word")?;
+        }
+
+        let field = |row: &Value, key: &str| -> Result<u64, String> {
+            row.get(key).and_then(Value::as_u64).ok_or(format!("missing or non-integer '{key}'"))
+        };
+        let rows = |key: &str| -> Result<Vec<Value>, String> {
+            Ok(v.get(key)
+                .and_then(Value::as_array)
+                .ok_or(format!("missing '{key}' array"))?
+                .to_vec())
+        };
+
+        let mut estimates = Vec::new();
+        for row in rows("estimates")? {
+            estimates.push(EstimateEntry {
+                link: field(&row, "link")? as u32,
+                capacity_bits: field(&row, "cap_bits")?,
+                set_at_ns: field(&row, "set_at_ns")?,
+            });
+        }
+        if !estimates.windows(2).all(|w| w[0].link < w[1].link) {
+            return Err("'estimates' not strictly sorted by link".into());
+        }
+
+        let mut memories = Vec::new();
+        for row in rows("memories")? {
+            let demand_prev = match row.get("demand_prev") {
+                Some(Value::Null) | None => None,
+                Some(d) => Some(d.as_u64().ok_or("non-integer 'demand_prev'")? as u8),
+            };
+            memories.push(MemoryEntry {
+                session: field(&row, "session")? as u32,
+                node: field(&row, "node")? as u32,
+                hist: field(&row, "hist")? as u8,
+                bytes_older: field(&row, "bytes_older")?,
+                bytes_recent: field(&row, "bytes_recent")?,
+                supply_older: field(&row, "supply_older")? as u8,
+                supply_recent: field(&row, "supply_recent")? as u8,
+                demand_prev,
+            });
+        }
+        if !memories.windows(2).all(|w| (w[0].session, w[0].node) < (w[1].session, w[1].node)) {
+            return Err("'memories' not strictly sorted by (session, node)".into());
+        }
+        if let Some(m) = memories.iter().find(|m| m.hist >= 8) {
+            return Err(format!("memory ({}, {}) has a >3-bit history", m.session, m.node));
+        }
+
+        let mut backoffs = Vec::new();
+        for row in rows("backoffs")? {
+            let until_ns = match row.get("until_ns") {
+                Some(Value::Null) | None => None,
+                Some(d) => Some(d.as_u64().ok_or("non-integer 'until_ns'")?),
+            };
+            backoffs.push(BackoffEntry {
+                session: field(&row, "session")? as u32,
+                node: field(&row, "node")? as u32,
+                level: field(&row, "level")? as u8,
+                until_ns,
+                failures: field(&row, "failures")? as u32,
+            });
+        }
+        let bkey = |b: &BackoffEntry| (b.session, b.node, b.level);
+        if !backoffs.windows(2).all(|w| bkey(&w[0]) < bkey(&w[1])) {
+            return Err("'backoffs' not strictly sorted by (session, node, level)".into());
+        }
+
+        Ok(Snapshot { config_fingerprint, runs, rng, estimates, memories, backoffs })
+    }
+
+    /// Write the canonical rendering to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.encode() + "\n")
+    }
+
+    /// Read and validate a checkpoint file.
+    pub fn load(path: &Path) -> Result<Snapshot, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+        Self::decode(text.trim_end())
+    }
+
+    /// Human-readable one-screen summary (the `inspect snapshot summary`
+    /// rendering).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "schema              {SCHEMA}");
+        let _ = writeln!(out, "config fingerprint  {:#018x}", self.config_fingerprint);
+        let _ = writeln!(out, "completed runs      {}", self.runs);
+        let _ = writeln!(
+            out,
+            "rng state           [{:#018x}, {:#018x}, {:#018x}, {:#018x}]",
+            self.rng[0], self.rng[1], self.rng[2], self.rng[3]
+        );
+        let _ = writeln!(out, "capacity estimates  {}", self.estimates.len());
+        for e in &self.estimates {
+            let _ = writeln!(
+                out,
+                "  link {:<5} {:>14.1} bps  set at {:.3}s",
+                e.link,
+                f64::from_bits(e.capacity_bits),
+                e.set_at_ns as f64 / 1e9
+            );
+        }
+        let sessions: std::collections::BTreeSet<u32> =
+            self.memories.iter().map(|m| m.session).collect();
+        let _ = writeln!(
+            out,
+            "node memories       {} across {} session(s)",
+            self.memories.len(),
+            sessions.len()
+        );
+        let live = self.backoffs.iter().filter(|b| b.until_ns.is_some()).count();
+        let _ =
+            writeln!(out, "backoff records     {} ({} live timer(s))", self.backoffs.len(), live);
+        out
+    }
+
+    /// Field-level diff of two snapshots, one line per difference; empty
+    /// when the snapshots are identical.
+    pub fn diff(&self, other: &Snapshot) -> Vec<String> {
+        use std::collections::BTreeMap;
+        let mut out = Vec::new();
+        if self.config_fingerprint != other.config_fingerprint {
+            out.push(format!(
+                "config fingerprint: {:#018x} vs {:#018x}",
+                self.config_fingerprint, other.config_fingerprint
+            ));
+        }
+        if self.runs != other.runs {
+            out.push(format!("runs: {} vs {}", self.runs, other.runs));
+        }
+        if self.rng != other.rng {
+            out.push(format!("rng state: {:x?} vs {:x?}", self.rng, other.rng));
+        }
+
+        let a_est: BTreeMap<u32, &EstimateEntry> =
+            self.estimates.iter().map(|e| (e.link, e)).collect();
+        let b_est: BTreeMap<u32, &EstimateEntry> =
+            other.estimates.iter().map(|e| (e.link, e)).collect();
+        for link in a_est.keys().chain(b_est.keys()).collect::<std::collections::BTreeSet<_>>() {
+            match (a_est.get(link), b_est.get(link)) {
+                (Some(a), Some(b)) if a != b => out.push(format!(
+                    "estimate link {link}: {:.1} bps @{} vs {:.1} bps @{}",
+                    f64::from_bits(a.capacity_bits),
+                    a.set_at_ns,
+                    f64::from_bits(b.capacity_bits),
+                    b.set_at_ns
+                )),
+                (Some(_), None) => out.push(format!("estimate link {link}: only in first")),
+                (None, Some(_)) => out.push(format!("estimate link {link}: only in second")),
+                _ => {}
+            }
+        }
+
+        let a_mem: BTreeMap<(u32, u32), &MemoryEntry> =
+            self.memories.iter().map(|m| ((m.session, m.node), m)).collect();
+        let b_mem: BTreeMap<(u32, u32), &MemoryEntry> =
+            other.memories.iter().map(|m| ((m.session, m.node), m)).collect();
+        for key in a_mem.keys().chain(b_mem.keys()).collect::<std::collections::BTreeSet<_>>() {
+            match (a_mem.get(key), b_mem.get(key)) {
+                (Some(a), Some(b)) if a != b => out.push(format!(
+                    "memory (s{}, n{}): hist {:#05b}/{:#05b} bytes {}:{} vs {}:{} supply {}:{} \
+                     vs {}:{} demand {:?} vs {:?}",
+                    key.0,
+                    key.1,
+                    a.hist,
+                    b.hist,
+                    a.bytes_older,
+                    a.bytes_recent,
+                    b.bytes_older,
+                    b.bytes_recent,
+                    a.supply_older,
+                    a.supply_recent,
+                    b.supply_older,
+                    b.supply_recent,
+                    a.demand_prev,
+                    b.demand_prev
+                )),
+                (Some(_), None) => {
+                    out.push(format!("memory (s{}, n{}): only in first", key.0, key.1))
+                }
+                (None, Some(_)) => {
+                    out.push(format!("memory (s{}, n{}): only in second", key.0, key.1))
+                }
+                _ => {}
+            }
+        }
+
+        let a_bo: BTreeMap<(u32, u32, u8), &BackoffEntry> =
+            self.backoffs.iter().map(|b| ((b.session, b.node, b.level), b)).collect();
+        let b_bo: BTreeMap<(u32, u32, u8), &BackoffEntry> =
+            other.backoffs.iter().map(|b| ((b.session, b.node, b.level), b)).collect();
+        for key in a_bo.keys().chain(b_bo.keys()).collect::<std::collections::BTreeSet<_>>() {
+            match (a_bo.get(key), b_bo.get(key)) {
+                (Some(a), Some(b)) if a != b => out.push(format!(
+                    "backoff (s{}, n{}, l{}): until {:?} fails {} vs until {:?} fails {}",
+                    key.0, key.1, key.2, a.until_ns, a.failures, b.until_ns, b.failures
+                )),
+                (Some(_), None) => {
+                    out.push(format!("backoff (s{}, n{}, l{}): only in first", key.0, key.1, key.2))
+                }
+                (None, Some(_)) => out
+                    .push(format!("backoff (s{}, n{}, l{}): only in second", key.0, key.1, key.2)),
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            config_fingerprint: 0xdead_beef_cafe_f00d,
+            runs: 17,
+            rng: [1, 2, 3, u64::MAX],
+            estimates: vec![EstimateEntry {
+                link: 4,
+                capacity_bits: 150_000.0f64.to_bits(),
+                set_at_ns: 42_000_000_000,
+            }],
+            memories: vec![
+                MemoryEntry {
+                    session: 0,
+                    node: 3,
+                    hist: 0b101,
+                    bytes_older: 10,
+                    bytes_recent: 20,
+                    supply_older: 2,
+                    supply_recent: 3,
+                    demand_prev: Some(4),
+                },
+                MemoryEntry {
+                    session: 0,
+                    node: 5,
+                    hist: 0,
+                    bytes_older: 0,
+                    bytes_recent: 0,
+                    supply_older: 1,
+                    supply_recent: 1,
+                    demand_prev: None,
+                },
+            ],
+            backoffs: vec![BackoffEntry {
+                session: 0,
+                node: 3,
+                level: 2,
+                until_ns: Some(60_000_000_000),
+                failures: 1,
+            }],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip_is_identity() {
+        let s = sample();
+        let text = s.encode();
+        let back = Snapshot::decode(&text).expect("decodes");
+        assert_eq!(back, s);
+        assert_eq!(back.encode(), text, "canonical rendering is stable");
+    }
+
+    #[test]
+    fn schema_and_sort_violations_are_rejected() {
+        let s = sample();
+        let bad_schema = s.encode().replace(SCHEMA, "toposense.checkpoint.v0");
+        assert!(Snapshot::decode(&bad_schema).unwrap_err().contains("schema mismatch"));
+
+        let mut unsorted = sample();
+        unsorted.memories.swap(0, 1);
+        let err = Snapshot::decode(&unsorted.encode()).unwrap_err();
+        assert!(err.contains("not strictly sorted"), "{err}");
+
+        assert!(Snapshot::decode("not json").is_err());
+        assert!(Snapshot::decode("{}").is_err());
+    }
+
+    #[test]
+    fn diff_is_empty_iff_equal_and_names_every_divergence() {
+        let a = sample();
+        assert!(a.diff(&a).is_empty());
+        let mut b = sample();
+        b.runs += 1;
+        b.memories[0].hist = 0b010;
+        b.estimates.clear();
+        let d = a.diff(&b);
+        assert_eq!(d.len(), 3, "{d:?}");
+        assert!(d.iter().any(|l| l.starts_with("runs:")));
+        assert!(d.iter().any(|l| l.starts_with("memory (s0, n3)")));
+        assert!(d.iter().any(|l| l.contains("only in first")));
+    }
+}

@@ -75,6 +75,14 @@ pub struct Config {
     /// topology change, membership churn, capacity reset, or failover.
     /// Both paths produce byte-identical outputs (DESIGN.md §11).
     pub incremental: bool,
+    /// Replicate each interval's pipeline inputs to the peer standby so it
+    /// maintains a live copy of the algorithm state (DESIGN.md §14).
+    /// Requires a configured peer; a no-op on standalone controllers.
+    pub replicate_inputs: bool,
+    /// Wire sizes of the replication messages (bytes). The input batch is
+    /// `replicate_size` plus one `report_size` per forwarded report.
+    pub replicate_size: u32,
+    pub replica_ack_size: u32,
 }
 
 impl Default for Config {
@@ -109,6 +117,9 @@ impl Default for Config {
             ack_size: 32,
             deregister_size: 32,
             incremental: true,
+            replicate_inputs: true,
+            replicate_size: 64,
+            replica_ack_size: 32,
         }
     }
 }
@@ -131,6 +142,53 @@ impl Config {
         assert!(self.register_backoff_max >= self.register_backoff_base);
         assert!(self.failover_after >= self.interval, "failover faster than one heartbeat");
         assert!(self.dead_air_windows >= 1);
+    }
+
+    /// Stable 64-bit digest over every tunable. Checkpoints embed it so a
+    /// snapshot taken under one parameter set cannot silently be restored
+    /// under another — the pipeline is only byte-deterministic for a fixed
+    /// `Config`.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut fold = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        fold(self.interval.0);
+        fold(self.p_threshold.to_bits());
+        fold(self.high_loss.to_bits());
+        fold(self.very_high_loss.to_bits());
+        fold(self.eta_similar.to_bits());
+        fold(self.similarity_tolerance.to_bits());
+        fold(self.capacity_loss_threshold.to_bits());
+        fold(self.capacity_creep.to_bits());
+        fold(self.capacity_reset.0);
+        fold(self.backoff_min.0);
+        fold(self.backoff_max.0);
+        fold(self.bw_equal_tolerance.to_bits());
+        fold(self.report_interval.0);
+        fold(self.unilateral_timeout.0);
+        fold(self.unilateral_drop_loss.to_bits());
+        fold(self.report_size as u64);
+        fold(self.suggestion_size as u64);
+        fold(self.register_size as u64);
+        fold(self.quarantine_after.0);
+        fold(self.evict_after.0);
+        fold(self.max_degradation_age.0);
+        fold(self.register_backoff_base.0);
+        fold(self.register_backoff_max.0);
+        fold(self.failover_after.0);
+        fold(self.dead_air_windows as u64);
+        fold(self.heartbeat_size as u64);
+        fold(self.ack_size as u64);
+        fold(self.deregister_size as u64);
+        fold(self.incremental as u64);
+        fold(self.replicate_inputs as u64);
+        fold(self.replicate_size as u64);
+        fold(self.replica_ack_size as u64);
+        h
     }
 }
 

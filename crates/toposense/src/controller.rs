@@ -34,8 +34,13 @@
 use crate::algorithm::{
     AlgorithmInputs, AlgorithmOutputs, AlgorithmState, ReceiverReport, SuggestionOut,
 };
+use crate::checkpoint::Snapshot;
 use crate::config::Config;
-use crate::messages::{Deregister, Heartbeat, Register, RegisterAck, Report, Suggestion};
+use crate::messages::{
+    CheckpointTransfer, Deregister, Heartbeat, Register, RegisterAck, ReplicaAck, ReplicateInputs,
+    Report, Suggestion,
+};
+use crate::replication::{fingerprint_outputs, AckVerdict, ReplicaTracker};
 use crate::sync::lock_or_recover;
 use netsim::{App, AppId, ControlBody, Ctx, NodeId, SessionId, SimDuration, SimTime};
 use std::collections::HashMap;
@@ -87,6 +92,16 @@ pub struct ControllerShared {
     pub acks_sent: u64,
     /// When this controller took over from a failed peer, if it did.
     pub failover_at: Option<SimTime>,
+    /// Replicated input batches this controller applied while standing by.
+    pub replica_applied: u64,
+    /// Matching fingerprint acks this controller received while active.
+    pub replica_acks: u64,
+    /// Fingerprint mismatches caught by the cross-check while active.
+    pub replica_divergences: u64,
+    /// Whether the peer replica is quarantined (divergence detected).
+    pub replica_quarantined: bool,
+    /// Checkpoint resyncs served (active) or applied (standing by).
+    pub replica_resyncs: u64,
 }
 
 /// Handle for reading controller stats after a run.
@@ -140,6 +155,19 @@ pub struct Controller {
     last_good: Option<TopologyView>,
     /// Last heartbeat from the peer (standing by only).
     last_heartbeat_at: Option<SimTime>,
+    /// The algorithm seed this controller was created with; replicated to
+    /// the peer in each input batch so a replica joining at seq 0 can
+    /// re-seed its pipeline into a byte-exact twin.
+    algo_seed: u64,
+    /// Outstanding `(seq, fingerprint)` window for the ack cross-check
+    /// (active role only).
+    repl_tracker: ReplicaTracker,
+    /// Next input-batch seq this replica expects (standing-by role only);
+    /// `None` until the first batch or checkpoint lands.
+    repl_next_seq: Option<u64>,
+    /// Set when the peer's ack fingerprint diverged: the primary stops
+    /// replicating to it (its state can no longer be trusted).
+    repl_peer_quarantined: bool,
     /// Telemetry handle: decision audit records, stage timers and counters
     /// flow through here. Disabled by default — a disabled handle is inert
     /// and the control decisions are byte-identical either way.
@@ -175,6 +203,10 @@ impl Controller {
             last_heard: HashMap::new(),
             last_good: None,
             last_heartbeat_at: None,
+            algo_seed: seed,
+            repl_tracker: ReplicaTracker::default(),
+            repl_next_seq: None,
+            repl_peer_quarantined: false,
             telemetry: Telemetry::disabled(),
         };
         (c, shared)
@@ -362,6 +394,9 @@ impl Controller {
         // sequence number and (simulated) time.
         let mut audit =
             self.telemetry.is_enabled().then(|| IntervalAudit::new(self.state.runs(), now.nanos()));
+        // The interval's replication seq is the completed-run count before
+        // the run: a replica applying seq `n` goes from `n` to `n + 1`.
+        let seq = self.state.runs();
         let outputs = if self.cfg.incremental {
             self.state.run_incremental_audited(&inputs, audit.as_mut())
         } else {
@@ -401,6 +436,29 @@ impl Controller {
         if let Some(peer) = self.peer {
             let hb: ControlBody = Arc::new(Heartbeat { from: my_node, time: now });
             ctx.send_control(peer, self.cfg.heartbeat_size, hb);
+            // Replicate this interval's pipeline inputs (DESIGN.md §14):
+            // the replica runs the same byte-deterministic pipeline over
+            // them, so its AlgorithmState stays a live twin and a takeover
+            // needs zero re-learning. A quarantined peer gets nothing —
+            // its state already diverged.
+            if self.cfg.replicate_inputs && !self.repl_peer_quarantined {
+                let fingerprint = fingerprint_outputs(&outputs);
+                self.repl_tracker.record(seq, fingerprint);
+                let size = self.cfg.replicate_size + self.cfg.report_size * reports.len() as u32;
+                let body: ControlBody = Arc::new(ReplicateInputs {
+                    seq,
+                    algo_seed: self.algo_seed,
+                    now,
+                    interval: self.cfg.interval,
+                    view: view.clone(),
+                    registry: registry.clone(),
+                    reports: reports.clone(),
+                    fingerprint,
+                    from: my_node,
+                });
+                ctx.send_control(peer, size, body);
+                self.telemetry.incr("controller.replicate_sent", 1);
+            }
         }
 
         self.telemetry.incr("controller.intervals", 1);
@@ -471,9 +529,20 @@ impl Controller {
     /// Assume the active role after the peer went silent.
     fn take_over(&mut self, ctx: &mut Ctx<'_>, now: SimTime) {
         self.active = true;
-        // A standby promoted mid-run has never observed an interval through
-        // its own pipeline: force the first one through the full path.
-        self.state.invalidate();
+        if self.repl_next_seq.is_none() {
+            // Cold standby (registry mirror only, no replicated inputs):
+            // it has never observed an interval through its own pipeline,
+            // so force the first one through the full path.
+            self.state.invalidate();
+        }
+        // An input-synced replica keeps its state untouched: the
+        // AlgorithmState — change cache included — is a byte-exact twin of
+        // the primary's as of the last applied batch, so the next interval
+        // re-arms the incremental engine with at most one natural
+        // `full_fallback` (when the first self-observed inputs differ from
+        // the cached ones), not an invalidation storm. Either way the
+        // input stream is ours to produce now.
+        self.repl_next_seq = None;
         // Re-ACK every mirrored registration so the receivers redirect
         // their reports, and restart their silence clocks — nobody gets
         // evicted for quiet accrued while we were passive.
@@ -492,6 +561,130 @@ impl Controller {
         let mut sh = lock_or_recover(&self.shared);
         sh.failover_at.get_or_insert(now);
         sh.acks_sent += acks;
+    }
+
+    /// Standing-by only: apply one replicated input batch through our own
+    /// pipeline and ack with our output fingerprint.
+    fn apply_replicated(&mut self, ctx: &mut Ctx<'_>, m: &ReplicateInputs) {
+        let my_node = ctx.node_id();
+        let peer = match self.peer {
+            Some(p) if p == m.from => p,
+            _ => return,
+        };
+        // A fresh replica can only join the stream at its very beginning:
+        // seq 0 carries the primary's algorithm seed, and re-seeding turns
+        // this state into a byte-exact twin. Anywhere else it must resync
+        // from a checkpoint.
+        if self.repl_next_seq.is_none() && m.seq == 0 {
+            self.state = AlgorithmState::new(self.cfg, m.algo_seed);
+            self.repl_next_seq = Some(0);
+        }
+        match self.repl_next_seq {
+            Some(next) if m.seq == next => {}
+            Some(next) if m.seq < next => return, // stale duplicate
+            _ => {
+                // Gap (a batch was lost to congestion) or mid-stream join:
+                // ask for a checkpoint resync.
+                self.repl_next_seq = None;
+                let ack: ControlBody =
+                    Arc::new(ReplicaAck { seq: m.seq, fingerprint: None, from: my_node });
+                ctx.send_control(peer, self.cfg.replica_ack_size, ack);
+                return;
+            }
+        }
+        // Overlay the session trees exactly as the primary did, from the
+        // replicated view and this replica's identical catalog.
+        let mut trees: Vec<SessionTree> = Vec::with_capacity(self.catalog.len());
+        for def in self.catalog.iter() {
+            if let Ok(t) = SessionTree::build(&m.view, def.id, &def.groups) {
+                trees.push(t);
+            }
+        }
+        let specs: Vec<&LayerSpec> =
+            trees.iter().map(|t| &self.catalog.get(t.session()).spec).collect();
+        let inputs = AlgorithmInputs {
+            now: m.now,
+            interval: m.interval,
+            trees: &trees,
+            specs: &specs,
+            registry: &m.registry,
+            reports: &m.reports,
+        };
+        let out = if self.cfg.incremental {
+            self.state.run_incremental(&inputs)
+        } else {
+            self.state.run(&inputs)
+        };
+        self.repl_next_seq = Some(m.seq + 1);
+        let fp = fingerprint_outputs(&out);
+        let ack: ControlBody =
+            Arc::new(ReplicaAck { seq: m.seq, fingerprint: Some(fp), from: my_node });
+        ctx.send_control(peer, self.cfg.replica_ack_size, ack);
+        self.telemetry.incr("controller.replica_applied", 1);
+        lock_or_recover(&self.shared).replica_applied += 1;
+    }
+
+    /// Active only: cross-check a replica's ack against our recorded
+    /// fingerprint window.
+    fn on_replica_ack(&mut self, ctx: &mut Ctx<'_>, a: &ReplicaAck) {
+        if self.repl_peer_quarantined {
+            return;
+        }
+        match self.repl_tracker.verdict(a.seq, a.fingerprint) {
+            Some(AckVerdict::Match) => {
+                self.telemetry.incr("controller.replica_acks", 1);
+                self.telemetry.set("controller.replication_lag", self.repl_tracker.lag_of(a.seq));
+                lock_or_recover(&self.shared).replica_acks += 1;
+            }
+            Some(AckVerdict::Divergent) => {
+                // Silent divergence caught: the replica ran the same inputs
+                // and produced different outputs. Its state can no longer
+                // be trusted for takeover — quarantine it (stop
+                // replicating; the heartbeat keeps flowing so it does not
+                // false-failover).
+                self.repl_peer_quarantined = true;
+                self.telemetry.incr("controller.replica_divergences", 1);
+                self.telemetry.set("controller.replica_quarantined", 1);
+                let mut sh = lock_or_recover(&self.shared);
+                sh.replica_divergences += 1;
+                sh.replica_quarantined = true;
+            }
+            Some(AckVerdict::Behind) => {
+                // Bring the replica to our current state; it resumes the
+                // input stream at our completed-run count. The checkpoint
+                // capture is non-invalidating: serving a resync must not
+                // push our own next interval onto the full path.
+                let snap = self.state.checkpoint();
+                let next_seq = snap.runs;
+                let blob = snap.encode();
+                let size = blob.len() as u32;
+                let body: ControlBody =
+                    Arc::new(CheckpointTransfer { next_seq, blob, from: ctx.node_id() });
+                ctx.send_control(a.from, size, body);
+                self.telemetry.incr("controller.replica_resyncs", 1);
+                lock_or_recover(&self.shared).replica_resyncs += 1;
+            }
+            None => {} // stale ack outside the window
+        }
+    }
+
+    /// Standing-by only: restore a checkpoint transfer and rejoin the
+    /// input stream at the primary's run count.
+    fn apply_checkpoint(&mut self, t: &CheckpointTransfer) {
+        match Snapshot::decode(&t.blob).and_then(|s| AlgorithmState::restore(self.cfg, &s)) {
+            Ok(state) => {
+                debug_assert_eq!(state.runs(), t.next_seq);
+                self.state = state;
+                self.repl_next_seq = Some(t.next_seq);
+                self.telemetry.incr("controller.replica_resyncs", 1);
+                lock_or_recover(&self.shared).replica_resyncs += 1;
+            }
+            Err(_) => {
+                // A corrupt transfer is dropped; the next batch's gap ack
+                // requests another.
+                self.telemetry.incr("controller.replica_resync_failures", 1);
+            }
+        }
     }
 }
 
@@ -513,6 +706,10 @@ impl App for Controller {
                 // smaller node id keeps the role, deterministically.
                 if self.active && self.my_node.is_some_and(|me| h.from < me) {
                     self.active = false;
+                    // We ran intervals on our own while dual-active, so our
+                    // state drifted off the peer's input stream; rejoin it
+                    // via a checkpoint resync.
+                    self.repl_next_seq = None;
                 }
                 self.last_heartbeat_at = Some(ctx.now());
             }
@@ -556,6 +753,24 @@ impl App for Controller {
             self.registry.entry(r.receiver).or_insert((r.node, r.session));
             self.last_heard.insert(r.receiver, ctx.now());
             self.inbox.push_back((ctx.now(), r.clone()));
+            return;
+        }
+        if let Some(m) = packet.control_as::<ReplicateInputs>() {
+            if !self.active {
+                self.apply_replicated(ctx, m);
+            }
+            return;
+        }
+        if let Some(a) = packet.control_as::<ReplicaAck>() {
+            if self.active && Some(a.from) == self.peer {
+                self.on_replica_ack(ctx, a);
+            }
+            return;
+        }
+        if let Some(t) = packet.control_as::<CheckpointTransfer>() {
+            if !self.active && Some(t.from) == self.peer {
+                self.apply_checkpoint(t);
+            }
         }
     }
 
@@ -592,6 +807,12 @@ impl App for Controller {
         // The interval in flight died with the crash; its cached inputs are
         // unreliable, so the next run goes through the full pipeline.
         self.state.invalidate();
+        // Whatever replication position we held is gone with the crash:
+        // as a new standby we rejoin via checkpoint resync, and a fresh
+        // fingerprint window starts if we ever become primary again.
+        self.repl_next_seq = None;
+        self.repl_tracker = ReplicaTracker::default();
+        self.repl_peer_quarantined = false;
         if self.peer.is_some() && self.active {
             // The standby has taken over (or is about to): come back as the
             // new standby. Roles swap; the pair never fights over the

@@ -30,19 +30,23 @@
 //! arriving (lossy control channel).
 
 pub mod algorithm;
+pub mod checkpoint;
 pub mod config;
 pub mod controller;
 pub mod decision;
 pub mod history;
 pub mod messages;
 pub mod receiver;
+pub mod replication;
 pub mod stages;
 pub mod sync;
 
 pub use algorithm::{AlgorithmInputs, AlgorithmOutputs, AlgorithmState, ReceiverReport};
+pub use checkpoint::Snapshot;
 pub use config::Config;
 pub use controller::{Controller, ControllerShared};
 pub use decision::{Action, NodeKind, SupplyWindow};
 pub use history::{BwEquality, CongestionHistory};
 pub use receiver::{Receiver, ReceiverShared};
+pub use replication::{fingerprint_outputs, AckVerdict, Cluster, ReplicaTracker};
 pub use sync::lock_or_recover;

@@ -5,7 +5,9 @@
 //! the paper made this deliberate by stationing the controller at a source
 //! node "so control messages could be lost due to congestion".
 
-use netsim::{AppId, NodeId, SessionId, SimTime};
+use crate::algorithm::ReceiverReport;
+use netsim::{AppId, NodeId, SessionId, SimDuration, SimTime};
+use topology::discovery::TopologyView;
 
 /// Receiver -> controller: announce existence (sent once at startup and
 /// re-sent until the first suggestion arrives).
@@ -90,6 +92,62 @@ pub struct Deregister {
 pub struct Heartbeat {
     pub from: NodeId,
     pub time: SimTime,
+}
+
+/// Active controller -> replica: one interval's complete pipeline inputs
+/// (DESIGN.md §14). The replica feeds them through its own copy of the
+/// byte-deterministic five-stage pipeline; because the inputs — not the
+/// outputs — are replicated, the replica's `AlgorithmState` stays a live
+/// twin of the primary's and a takeover needs zero re-learning.
+#[derive(Clone, Debug)]
+pub struct ReplicateInputs {
+    /// Interval sequence number: the primary's completed-run count *before*
+    /// this interval ran. A replica applying seq `n` goes from `n` to
+    /// `n + 1` completed runs.
+    pub seq: u64,
+    /// The primary's algorithm-RNG seed. A replica joining at seq 0
+    /// re-seeds its pipeline with this so the twin tracks the primary's
+    /// draw sequence bit-for-bit.
+    pub algo_seed: u64,
+    pub now: SimTime,
+    pub interval: SimDuration,
+    /// The (staleness-filtered, domain-clipped) topology the primary built
+    /// its session trees from.
+    pub view: TopologyView,
+    /// The primary's quarantine-filtered registry, sorted by receiver.
+    pub registry: Vec<(AppId, NodeId, SessionId)>,
+    /// The interval's report batch, exactly as the pipeline consumed it.
+    pub reports: Vec<ReceiverReport>,
+    /// The primary's own output fingerprint for this interval
+    /// ([`crate::replication::fingerprint_outputs`]) — what the replica's
+    /// ack is cross-checked against.
+    pub fingerprint: u64,
+    pub from: NodeId,
+}
+
+/// Replica -> active controller: receipt + cross-check of one replicated
+/// interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplicaAck {
+    pub seq: u64,
+    /// The replica's own output fingerprint; `None` means the replica
+    /// cannot apply this seq (it joined late or lost a batch) and needs a
+    /// checkpoint resync.
+    pub fingerprint: Option<u64>,
+    pub from: NodeId,
+}
+
+/// Active controller -> replica: a full `AlgorithmState` checkpoint
+/// (`toposense.checkpoint.v1` JSON) bringing a behind replica back in
+/// sync. After restoring, the replica expects seq `next_seq`.
+#[derive(Clone, Debug)]
+pub struct CheckpointTransfer {
+    /// The primary's completed-run count at capture time — the next seq
+    /// the restored replica can apply.
+    pub next_seq: u64,
+    /// Canonical checkpoint JSON ([`crate::checkpoint::Snapshot::encode`]).
+    pub blob: String,
+    pub from: NodeId,
 }
 
 #[cfg(test)]

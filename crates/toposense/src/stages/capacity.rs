@@ -83,6 +83,25 @@ impl CapacityEstimator {
         self.estimates.values().any(|e| now.since(e.set_at) >= cfg.capacity_reset)
     }
 
+    /// Flatten every finite estimate to `(link, capacity bits, set_at)`
+    /// sorted by link — the checkpoint-stable rendering of the estimator.
+    /// Capacities travel as raw `f64` bits so restore is exact.
+    pub(crate) fn snapshot(&self) -> Vec<(DirLinkId, u64, SimTime)> {
+        let mut out: Vec<_> =
+            self.estimates.iter().map(|(&l, e)| (l, e.capacity_bps.to_bits(), e.set_at)).collect();
+        out.sort_by_key(|&(l, ..)| l);
+        out
+    }
+
+    /// Rebuild the estimator from a [`Self::snapshot`] rendering.
+    pub(crate) fn restore(entries: &[(DirLinkId, u64, SimTime)]) -> Self {
+        let mut est = Self::new();
+        for &(link, bits, set_at) in entries {
+            est.estimates.insert(link, Estimate { capacity_bps: f64::from_bits(bits), set_at });
+        }
+        est
+    }
+
     /// Update a single link from this interval's observations, exactly as
     /// [`Self::update_sorted_traced`] would when reaching `link`'s run —
     /// minus the reset pass, which the incremental caller has already

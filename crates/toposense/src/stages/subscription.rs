@@ -146,6 +146,35 @@ impl BackoffTable {
         self.until.keys().map(|&(node, _)| node)
     }
 
+    /// Flatten the table to `(node, level, expiry, failures)` sorted by
+    /// `(node, level)` — the checkpoint-stable rendering. Failure counts
+    /// without a live timer are kept: they scale future backoff draws.
+    pub(crate) fn snapshot(&self) -> Vec<(NodeId, u8, Option<SimTime>, u32)> {
+        let mut keys: Vec<(NodeId, u8)> =
+            self.until.keys().chain(self.failures.keys()).copied().collect();
+        keys.sort();
+        keys.dedup();
+        keys.into_iter()
+            .map(|k| {
+                (k.0, k.1, self.until.get(&k).copied(), self.failures.get(&k).copied().unwrap_or(0))
+            })
+            .collect()
+    }
+
+    /// Rebuild a table from a [`Self::snapshot`] rendering.
+    pub(crate) fn restore(entries: &[(NodeId, u8, Option<SimTime>, u32)]) -> Self {
+        let mut t = Self::new();
+        for &(node, level, until, fails) in entries {
+            if let Some(u) = until {
+                t.until.insert((node, level), u);
+            }
+            if fails > 0 {
+                t.failures.insert((node, level), fails);
+            }
+        }
+        t
+    }
+
     /// Number of live timers (diagnostics).
     pub fn len(&self) -> usize {
         self.until.len()

@@ -144,6 +144,18 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Expose the raw xoshiro256** state for checkpointing.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a previously captured [`Self::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl Rng for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;

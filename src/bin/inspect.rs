@@ -8,6 +8,9 @@
 //! cargo run --release --bin inspect -- timeline <trail.jsonl> <session> <node>
 //! cargo run --release --bin inspect -- diff     <trail.jsonl> <seqA> <seqB>
 //! cargo run --release --bin inspect -- counters <trail.jsonl> [top_n]
+//! cargo run --release --bin inspect -- snapshot validate <ckpt.json>
+//! cargo run --release --bin inspect -- snapshot summary  <ckpt.json>
+//! cargo run --release --bin inspect -- snapshot diff     <a.json> <b.json>
 //! ```
 //!
 //! Scenario mode (the original tool):
@@ -38,6 +41,7 @@ fn main() {
         Some("timeline") => timeline(&args[2..]),
         Some("diff") => diff(&args[2..]),
         Some("counters") => counters(&args[2..]),
+        Some("snapshot") => snapshot(&args[2..]),
         _ => scenario_mode(&args),
     }
 }
@@ -51,7 +55,63 @@ fn usage(msg: &str) -> ! {
     eprintln!("       inspect timeline <trail.jsonl> <session> <node>");
     eprintln!("       inspect diff <trail.jsonl> <seqA> <seqB>");
     eprintln!("       inspect counters <trail.jsonl> [top_n]");
+    eprintln!("       inspect snapshot validate|summary <ckpt.json>");
+    eprintln!("       inspect snapshot diff <a.json> <b.json>");
     std::process::exit(2);
+}
+
+// --- checkpoint files ---------------------------------------------------
+
+/// `snapshot <validate|summary|diff> ...`: query `toposense.checkpoint.v1`
+/// files (written by [`toposense::checkpoint::Snapshot::save`] and carried
+/// by the replication layer's `CheckpointTransfer`).
+fn snapshot(args: &[String]) {
+    use toposense::checkpoint::Snapshot;
+    let load = |path: &String| -> Snapshot {
+        match Snapshot::load(std::path::Path::new(path)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    match args.first().map(|s| s.as_str()) {
+        Some("validate") => {
+            let [_, path] = args else { usage("snapshot validate needs a file") };
+            let snap = load(path);
+            // The canonical rendering must round-trip byte-identically —
+            // the same gate `validate` applies to telemetry trails.
+            let reencoded = snap.encode();
+            let on_disk = std::fs::read_to_string(path).expect("already read once");
+            if on_disk.trim_end() != reencoded {
+                eprintln!("{path}: decode/re-encode mismatch (non-canonical rendering)");
+                std::process::exit(1);
+            }
+            println!(
+                "{path}: valid {} checkpoint ({} estimates, {} memories, {} backoffs, {} runs)",
+                toposense::checkpoint::SCHEMA,
+                snap.estimates.len(),
+                snap.memories.len(),
+                snap.backoffs.len(),
+                snap.runs
+            );
+        }
+        Some("summary") => {
+            let [_, path] = args else { usage("snapshot summary needs a file") };
+            print!("{}", load(path).summary());
+        }
+        Some("diff") => {
+            let [_, a, b] = args else { usage("snapshot diff needs two files") };
+            let (sa, sb) = (load(a), load(b));
+            let lines = sa.diff(&sb);
+            for line in &lines {
+                println!("{line}");
+            }
+            println!("{} differences between {a} and {b}", lines.len());
+        }
+        _ => usage("snapshot needs validate, summary, or diff"),
+    }
 }
 
 /// Read and decode every line of a trail; exits on unreadable files.

@@ -28,11 +28,11 @@ use traffic::LayerSpec;
 
 /// (name, FNV-1a 64 digest of the canned fingerprint).
 const BASELINES: &[(&str, u64)] = &[
-    ("chaos/link_flap/s1", 0x8819a079017efec8),
-    ("chaos/router_crash/s1", 0x5f523b02065858cc),
-    ("chaos/discovery_outage/s1", 0x38d46b75d5c0440d),
-    ("chaos/controller_failover/s1", 0x3cbcec32b018566c),
-    ("chaos/random_chaos/s7", 0x4c5b961c48066e5e),
+    ("chaos/link_flap/s1", 0x945c6a287dd5f7a7),
+    ("chaos/router_crash/s1", 0x15f81ab93a5abbe3),
+    ("chaos/discovery_outage/s1", 0xd0db415f3085ed08),
+    ("chaos/controller_failover/s1", 0x86017b30b21c9ab4),
+    ("chaos/random_chaos/s7", 0x44fe62775b1cb2cb),
     ("incremental/diurnal_1k/s1", 0x9a6a1869cc0331fe),
 ];
 

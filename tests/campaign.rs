@@ -45,7 +45,13 @@ fn smoke_campaign_is_deterministic_and_covers_the_zoo() {
 
     // Every zoo workload is represented and every run carries gates.
     let workloads: BTreeSet<&str> = report_a.runs.iter().map(|r| r.workload.as_str()).collect();
-    for w in ["flash-crowd", "diurnal-churn", "het-lastmile", "mixed-sessions"] {
+    for w in [
+        "flash-crowd",
+        "diurnal-churn",
+        "het-lastmile",
+        "mixed-sessions",
+        "primary-crash-mid-interval",
+    ] {
         assert!(workloads.contains(w), "workload {w} missing from campaign");
     }
     for r in &report_a.runs {
@@ -55,6 +61,20 @@ fn smoke_campaign_is_deterministic_and_covers_the_zoo() {
     // The healthy smoke campaign passes; skips are allowed but must carry
     // a reason.
     assert!(report_a.passed(), "healthy smoke campaign failed gates");
+    // The failover workload's gates are hard measurements — a skip there
+    // would mean the standby never replicated or never took over.
+    for r in report_a.runs.iter().filter(|r| r.workload == "primary-crash-mid-interval") {
+        for g in &r.gates {
+            assert_eq!(
+                g.status,
+                GateStatus::Pass,
+                "failover gate {} on {} did not pass: {}",
+                g.name,
+                r.id,
+                g.reason
+            );
+        }
+    }
     for r in &report_a.runs {
         for g in &r.gates {
             if g.status == GateStatus::Skipped {

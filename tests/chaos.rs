@@ -84,6 +84,76 @@ fn controller_failover_keeps_steering_receivers() {
     }
 }
 
+/// The ISSUE 7 takeover bound, pinned next to the §9 first-return bound:
+/// with input replication on (the default), a mid-interval primary crash
+/// hands over to a state-synced twin. The promoted standby takes over
+/// within `failover_after` + one interval of the crash and re-arms the
+/// change-driven engine with **at most one** full-fallback interval —
+/// zero re-learning, not an invalidate-driven fallback storm.
+#[test]
+fn mid_interval_crash_takeover_is_zero_relearning() {
+    let tel = telemetry::Telemetry::collecting();
+    let (s, crash_at) = chaos::primary_crash_mid_interval(6);
+    let cfg = s.cfg;
+    let r = run(&s.with_telemetry(tel.clone()));
+
+    let primary = r.controller.as_ref().unwrap();
+    let standby = r.standby.as_ref().unwrap();
+    // The standby was an input-synced twin before the crash, and the
+    // cross-check saw it matching.
+    assert!(standby.replica_applied > 0, "standby never applied a replicated batch");
+    assert!(primary.replica_acks > 0, "primary never saw a matching fingerprint ack");
+    assert_eq!(primary.replica_divergences, 0);
+
+    let at = standby.failover_at.expect("standby must take over");
+    assert!(
+        at.since(crash_at) <= cfg.failover_after + cfg.interval,
+        "takeover at {at:?} missed the one-interval bound after the {crash_at:?} crash"
+    );
+    // Receivers are back at their oracle levels within the §9 bound of
+    // the takeover instant.
+    verify_recovery(&r, &cfg, at, RECOVERY_INTERVALS).unwrap();
+
+    // Zero re-learning, by the counters (shared by both controllers): the
+    // only full-pipeline intervals in the whole run are the primary's
+    // cold-start interval and at most one on the standby's first
+    // self-observed tick. Everything else stays on the incremental path.
+    let counters = tel.counters_snapshot();
+    let get = |name: &str| counters.iter().find(|(k, _)| k == name).map(|&(_, v)| v).unwrap_or(0);
+    let intervals = get("controller.intervals");
+    let incremental = get("controller.intervals_incremental");
+    let fallbacks = get("controller.full_fallbacks");
+    assert!(intervals > 0);
+    assert!(
+        fallbacks <= 2,
+        "fallback storm: {fallbacks} full fallbacks (cold start + one takeover allowed)"
+    );
+    assert_eq!(
+        intervals - incremental,
+        fallbacks,
+        "every non-incremental interval must be an accounted fallback"
+    );
+    assert!(get("controller.replicate_sent") > 0);
+    assert!(get("controller.replica_applied") > 0);
+}
+
+/// A partitioned standby misses batches and rejoins through the
+/// `CheckpointTransfer` resync when its uplink heals — and the healed
+/// replica keeps matching the primary's fingerprints afterwards.
+#[test]
+fn replica_partition_heals_through_checkpoint_resync() {
+    let (s, heal_at) = chaos::replica_partition(2);
+    let cfg = s.cfg;
+    let r = run(&s);
+    let primary = r.controller.as_ref().unwrap();
+    let standby = r.standby.as_ref().unwrap();
+    assert!(primary.replica_resyncs > 0, "primary never served a checkpoint");
+    assert!(standby.replica_resyncs > 0, "standby never applied a checkpoint");
+    assert_eq!(primary.replica_divergences, 0, "resynced replica must match");
+    assert!(!primary.replica_quarantined);
+    verify_recovery(&r, &cfg, heal_at, RECOVERY_INTERVALS).unwrap();
+}
+
 #[test]
 fn random_chaos_is_panic_free_and_deterministic() {
     let go = || chaos::fingerprint(&run(&random_chaos(7).0));

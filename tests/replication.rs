@@ -1,0 +1,460 @@
+//! Differential coverage for the replicated controller state machine
+//! (DESIGN.md §14): every replica of a [`Cluster`] is a byte-exact twin of
+//! the primary, failover resumes the suggestion stream with zero
+//! re-learning, silent divergence (a bit flip) is caught and quarantined
+//! the interval it first surfaces, a partitioned replica rejoins through
+//! the real `toposense.checkpoint.v1` JSON resync path, and
+//! checkpoint→restore→resume is byte-identical to an uninterrupted run —
+//! for the full and the change-driven pipeline alike.
+//!
+//! Comparisons are exact (`==` on floats included), same contract as
+//! `tests/incremental.rs`.
+
+use netsim::{
+    AppId, DirLinkId, GroupId, GroupSnapshot, NodeId, RngStream, SessionId, SimDuration, SimTime,
+};
+use proptest::prelude::*;
+use topology::discovery::{LinkView, TopologyView};
+use topology::SessionTree;
+use toposense::algorithm::{AlgorithmInputs, AlgorithmOutputs, AlgorithmState, ReceiverReport};
+use toposense::replication::Cluster;
+use toposense::{fingerprint_outputs, Config, Snapshot};
+use traffic::LayerSpec;
+
+/// Build a session tree from a parent vector: node `i + 1` attaches under
+/// node `parents[i] % (i + 1)` (same generator as `tests/incremental.rs`).
+fn session_tree(parents: &[usize], session: u32) -> SessionTree {
+    let mut links = Vec::new();
+    let mut active = Vec::new();
+    for (i, &p) in parents.iter().enumerate() {
+        let child = NodeId(i as u32 + 1);
+        let parent = NodeId((p % (i + 1)) as u32);
+        let id = DirLinkId(i as u32);
+        links.push(LinkView { id, from: parent, to: child });
+        active.push(id);
+    }
+    let all: Vec<NodeId> = (0..=parents.len() as u32).map(NodeId).collect();
+    let view = TopologyView {
+        time: SimTime::ZERO,
+        links,
+        groups: vec![GroupSnapshot {
+            group: GroupId(0),
+            root: NodeId(0),
+            active_links: active,
+            member_nodes: all,
+        }],
+    };
+    SessionTree::build(&view, SessionId(session), &[GroupId(0)]).unwrap()
+}
+
+fn leaf_receivers(tree: &SessionTree) -> Vec<NodeId> {
+    tree.tree().leaves().filter(|&n| n != tree.tree().root()).collect()
+}
+
+fn reports_for(leaves: &[NodeId]) -> Vec<ReceiverReport> {
+    leaves
+        .iter()
+        .enumerate()
+        .map(|(i, &node)| ReceiverReport {
+            receiver: AppId(500 + i as u32),
+            node,
+            session: SessionId(0),
+            level: 3,
+            // Every other receiver starts lossy so congestion histories
+            // carry information from the first interval on.
+            received: if i % 2 == 0 { 100 } else { 90 },
+            lost: if i % 2 == 0 { 0 } else { 10 },
+            bytes: 25_000,
+        })
+        .collect()
+}
+
+fn registry_for(leaves: &[NodeId]) -> Vec<(AppId, NodeId, SessionId)> {
+    leaves
+        .iter()
+        .enumerate()
+        .map(|(i, &node)| (AppId(500 + i as u32), node, SessionId(0)))
+        .collect()
+}
+
+/// Randomly perturb report values in place (keys stay stable).
+fn churn(reports: &mut [ReceiverReport], rng: &mut RngStream) {
+    for r in reports.iter_mut() {
+        let x = rng.f64();
+        if x < 0.30 {
+            r.bytes = 10_000 + (rng.f64() * 40_000.0) as u64;
+        } else if x < 0.50 {
+            let lossy = rng.f64() < 0.5;
+            r.received = if lossy { 90 } else { 100 };
+            r.lost = if lossy { 10 } else { 0 };
+        } else if x < 0.60 {
+            r.level = 1 + (rng.f64() * 5.0) as u8;
+        }
+    }
+}
+
+fn inputs_at<'a>(
+    now_secs: u64,
+    trees: &'a [SessionTree],
+    specs: &'a [&'a LayerSpec],
+    registry: &'a [(AppId, NodeId, SessionId)],
+    reports: &'a [ReceiverReport],
+) -> AlgorithmInputs<'a> {
+    AlgorithmInputs {
+        now: SimTime::from_secs(now_secs),
+        interval: SimDuration::from_secs(2),
+        trees,
+        specs,
+        registry,
+        reports,
+    }
+}
+
+/// Field-wise byte-identity on everything except the path diagnostics.
+macro_rules! assert_outputs_eq {
+    ($assert:ident, $a:expr, $b:expr, $ctx:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $assert!(a.suggestions == b.suggestions, "suggestions diverged at {}", $ctx);
+        $assert!(a.estimated_links == b.estimated_links, "estimates diverged at {}", $ctx);
+        $assert!(a.congested_nodes == b.congested_nodes, "congested count diverged at {}", $ctx);
+        $assert!(a.root_supply == b.root_supply, "root supply diverged at {}", $ctx);
+    }};
+}
+
+/// The oracle: a single never-interrupted `AlgorithmState` fed the same
+/// inputs the cluster gets.
+fn oracle_run(
+    state: &mut AlgorithmState,
+    cfg: &Config,
+    inputs: &AlgorithmInputs<'_>,
+) -> AlgorithmOutputs {
+    if cfg.incremental {
+        state.run_incremental(inputs)
+    } else {
+        state.run(inputs)
+    }
+}
+
+/// Crash the primary mid-stream: the promoted replica must resume the
+/// suggestion stream byte-identically to a no-crash oracle from the first
+/// post-takeover interval onward — zero re-learning, the ISSUE 7
+/// acceptance bound.
+#[test]
+fn failover_resumes_byte_identical_to_no_crash_oracle() {
+    let parents = [0usize, 0, 1, 1, 2, 3, 3, 4];
+    let trees = vec![session_tree(&parents, 0)];
+    let leaves = leaf_receivers(&trees[0]);
+    let spec = LayerSpec::paper_default();
+    let specs: Vec<&LayerSpec> = vec![&spec];
+    let registry = registry_for(&leaves);
+    let mut reports = reports_for(&leaves);
+    let mut rng = RngStream::derive(11, "replication/failover");
+
+    let cfg = Config::default();
+    let mut cluster = Cluster::new(cfg, 11, 3);
+    let mut oracle = AlgorithmState::new(cfg, 11);
+
+    for round in 1..=16u64 {
+        if round == 8 {
+            cluster.crash_primary();
+            assert_eq!(cluster.primary(), 1, "smallest-id live replica is promoted");
+            assert_eq!(cluster.view_changes, 1);
+        }
+        churn(&mut reports, &mut rng);
+        let inputs = inputs_at(2 * round, &trees, &specs, &registry, &reports);
+        let want = oracle_run(&mut oracle, &cfg, &inputs);
+        let got = cluster.tick(&inputs);
+        assert_outputs_eq!(assert, want, got.outputs, format_args!("round {round}"));
+        assert_eq!(got.fingerprint, fingerprint_outputs(&want), "round {round}");
+        assert!(got.newly_quarantined.is_empty(), "round {round}: healthy run quarantined someone");
+    }
+    assert_eq!(cluster.divergences, 0);
+}
+
+/// A single silent bit flip in a replica's state is caught by the
+/// fingerprint cross-check within one interval and the replica is
+/// quarantined; the cluster's answer never wavers from the oracle.
+#[test]
+fn bit_flip_divergence_is_detected_and_quarantined_within_one_interval() {
+    let parents = [0usize, 0, 1, 2, 2, 3];
+    let trees = vec![session_tree(&parents, 0)];
+    let leaves = leaf_receivers(&trees[0]);
+    let spec = LayerSpec::paper_default();
+    let specs: Vec<&LayerSpec> = vec![&spec];
+    let registry = registry_for(&leaves);
+    let mut reports = reports_for(&leaves);
+    let mut rng = RngStream::derive(23, "replication/bitflip");
+
+    let cfg = Config::default();
+    let mut cluster = Cluster::new(cfg, 23, 3);
+    let mut oracle = AlgorithmState::new(cfg, 23);
+
+    for round in 1..=4u64 {
+        churn(&mut reports, &mut rng);
+        let inputs = inputs_at(2 * round, &trees, &specs, &registry, &reports);
+        let want = oracle_run(&mut oracle, &cfg, &inputs);
+        let got = cluster.tick(&inputs);
+        assert_outputs_eq!(assert, want, got.outputs, format_args!("warmup round {round}"));
+    }
+
+    // Corrupt follower 1's congestion memory by one bit.
+    cluster.bit_flip(1);
+    churn(&mut reports, &mut rng);
+    let inputs = inputs_at(10, &trees, &specs, &registry, &reports);
+    let want = oracle_run(&mut oracle, &cfg, &inputs);
+    let got = cluster.tick(&inputs);
+    assert_eq!(got.newly_quarantined, vec![1], "divergence must be caught the same interval");
+    assert!(!got.view_changed, "a follower's divergence must not depose the primary");
+    assert!(cluster.replica(1).quarantined);
+    assert_eq!(cluster.divergences, 1);
+    assert_outputs_eq!(assert, want, got.outputs, "divergence round");
+
+    // The quarantined replica stays out; the survivors keep matching.
+    for round in 6..=9u64 {
+        churn(&mut reports, &mut rng);
+        let inputs = inputs_at(2 * round, &trees, &specs, &registry, &reports);
+        let want = oracle_run(&mut oracle, &cfg, &inputs);
+        let got = cluster.tick(&inputs);
+        assert_outputs_eq!(assert, want, got.outputs, format_args!("round {round}"));
+        assert!(got.newly_quarantined.is_empty());
+    }
+    assert_eq!(cluster.divergences, 1, "one flip, one divergence");
+}
+
+/// When the *primary's* state is the one corrupted, the majority vote
+/// deposes it: the cross-check quarantines the primary, a clean follower
+/// is promoted, and the cluster's answer is still the oracle's.
+#[test]
+fn corrupted_primary_is_deposed_by_the_majority() {
+    let parents = [0usize, 0, 1, 2, 2, 3];
+    let trees = vec![session_tree(&parents, 0)];
+    let leaves = leaf_receivers(&trees[0]);
+    let spec = LayerSpec::paper_default();
+    let specs: Vec<&LayerSpec> = vec![&spec];
+    let registry = registry_for(&leaves);
+    let mut reports = reports_for(&leaves);
+    let mut rng = RngStream::derive(29, "replication/depose");
+
+    let cfg = Config::default();
+    let mut cluster = Cluster::new(cfg, 29, 3);
+    let mut oracle = AlgorithmState::new(cfg, 29);
+
+    for round in 1..=3u64 {
+        churn(&mut reports, &mut rng);
+        let inputs = inputs_at(2 * round, &trees, &specs, &registry, &reports);
+        let want = oracle_run(&mut oracle, &cfg, &inputs);
+        let got = cluster.tick(&inputs);
+        assert_outputs_eq!(assert, want, got.outputs, format_args!("warmup round {round}"));
+    }
+
+    // The flip corrupts state silently; the cross-check deposes the
+    // primary the *first interval the corruption alters an output* — which
+    // is exactly the guarantee that matters: no decision ever leaves the
+    // cluster carrying the corruption, because the healthy majority's
+    // answer wins every interval including the detection one.
+    cluster.bit_flip(0);
+    let mut deposed_at = None;
+    for round in 4..=8u64 {
+        churn(&mut reports, &mut rng);
+        let inputs = inputs_at(2 * round, &trees, &specs, &registry, &reports);
+        let want = oracle_run(&mut oracle, &cfg, &inputs);
+        let got = cluster.tick(&inputs);
+        assert_outputs_eq!(assert, want, got.outputs, format_args!("round {round}"));
+        if got.view_changed {
+            assert_eq!(got.newly_quarantined, vec![0], "the corrupted primary is the minority");
+            deposed_at = Some(round);
+            break;
+        }
+    }
+    deposed_at.expect("corrupted primary was never deposed — the flip stayed invisible");
+    assert_eq!(cluster.primary(), 1);
+    assert!(cluster.replica(0).quarantined);
+    assert_eq!(cluster.divergences, 1);
+}
+
+/// A partitioned replica misses batches, falls behind, and rejoins through
+/// a checkpoint resync over the real JSON encode/decode path. The restored
+/// replica is a true twin: promoted later, it carries the stream on.
+#[test]
+fn partitioned_replica_resyncs_through_checkpoint_json_and_can_lead() {
+    let parents = [0usize, 0, 1, 1, 2, 3, 4];
+    let trees = vec![session_tree(&parents, 0)];
+    let leaves = leaf_receivers(&trees[0]);
+    let spec = LayerSpec::paper_default();
+    let specs: Vec<&LayerSpec> = vec![&spec];
+    let registry = registry_for(&leaves);
+    let mut reports = reports_for(&leaves);
+    let mut rng = RngStream::derive(47, "replication/partition");
+
+    let cfg = Config::default();
+    let mut cluster = Cluster::new(cfg, 47, 3);
+    let mut oracle = AlgorithmState::new(cfg, 47);
+    let drive = |cluster: &mut Cluster,
+                 oracle: &mut AlgorithmState,
+                 reports: &mut Vec<ReceiverReport>,
+                 rng: &mut RngStream,
+                 round: u64| {
+        churn(reports, rng);
+        let inputs = inputs_at(2 * round, &trees, &specs, &registry, reports);
+        let want = oracle_run(oracle, &cfg, &inputs);
+        let got = cluster.tick(&inputs);
+        assert_outputs_eq!(assert, want, got.outputs, format_args!("round {round}"));
+    };
+
+    for round in 1..=3u64 {
+        drive(&mut cluster, &mut oracle, &mut reports, &mut rng, round);
+    }
+    cluster.partition(2);
+    for round in 4..=6u64 {
+        drive(&mut cluster, &mut oracle, &mut reports, &mut rng, round);
+    }
+    assert_eq!(cluster.replica(2).next_seq, 3, "partitioned replica missed the batches");
+
+    cluster.heal(2).expect("checkpoint resync round-trips");
+    assert_eq!(cluster.replica(2).next_seq, cluster.seq(), "resync lands at the primary's seq");
+
+    for round in 7..=9u64 {
+        drive(&mut cluster, &mut oracle, &mut reports, &mut rng, round);
+    }
+    assert_eq!(cluster.divergences, 0, "a resynced replica votes with the majority");
+
+    // Promote the resynced replica by crashing everyone ahead of it — the
+    // restored state must carry the stream without a hiccup.
+    cluster.crash_primary();
+    assert_eq!(cluster.primary(), 1);
+    cluster.crash_primary();
+    assert_eq!(cluster.primary(), 2, "the healed replica is the last one standing");
+    for round in 10..=13u64 {
+        drive(&mut cluster, &mut oracle, &mut reports, &mut rng, round);
+    }
+    assert_eq!(cluster.divergences, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// checkpoint → encode → decode → restore → resume is byte-identical
+    /// to the uninterrupted twin, wherever the cut lands and on either
+    /// pipeline (full or change-driven), with or without membership churn
+    /// mid-stream.
+    #[test]
+    fn checkpoint_restore_resume_matches_uninterrupted_twin(
+        parents in prop::collection::vec(0usize..10, 3..12),
+        seed in 0u64..500,
+        cut in 1u64..7,
+        incremental in any::<bool>(),
+        member_churn in any::<bool>(),
+    ) {
+        let trees = vec![session_tree(&parents, 0)];
+        let leaves = leaf_receivers(&trees[0]);
+        let spec = LayerSpec::paper_default();
+        let specs: Vec<&LayerSpec> = vec![&spec];
+        let all_registry = registry_for(&leaves);
+        let all_reports = reports_for(&leaves);
+        let half_registry: Vec<_> = all_registry.iter().step_by(2).copied().collect();
+        let half_reports: Vec<_> = all_reports.iter().step_by(2).cloned().collect();
+        let mut rng = RngStream::derive(seed, "replication/ckpt-resume");
+        let cfg = Config { incremental, ..Config::default() };
+
+        let mut uninterrupted = AlgorithmState::new(cfg, seed);
+        let mut resumed = AlgorithmState::new(cfg, seed);
+
+        for round in 1..=10u64 {
+            // Membership churn mid-stream exercises the full-run fallback
+            // (and a checkpoint cut right on the flip boundary).
+            let (registry, mut reports) = if member_churn && (5..=7).contains(&round) {
+                (&half_registry, half_reports.clone())
+            } else {
+                (&all_registry, all_reports.clone())
+            };
+            churn(&mut reports, &mut rng);
+            let inputs = inputs_at(2 * round, &trees, &specs, registry, &reports);
+            let a = oracle_run(&mut uninterrupted, &cfg, &inputs);
+            let b = oracle_run(&mut resumed, &cfg, &inputs);
+            assert_outputs_eq!(prop_assert, a, b, format_args!("round {round} (cut {cut})"));
+
+            if round == cut {
+                // Interrupt the twin: serialize, parse, restore.
+                let snap = resumed.checkpoint();
+                let blob = snap.encode();
+                let parsed = Snapshot::decode(&blob).expect("canonical blob parses");
+                prop_assert!(parsed == snap, "JSON round-trip must be the identity");
+                resumed = AlgorithmState::restore(cfg, &parsed).expect("same-config restore");
+                prop_assert!(resumed.runs() == round, "restore must resume at the cut");
+            }
+        }
+    }
+
+    /// The checkpoint is config-bound: restoring under a different Config
+    /// is refused instead of silently misinterpreting the state.
+    #[test]
+    fn restore_refuses_a_foreign_config(
+        seed in 0u64..200,
+    ) {
+        let state = AlgorithmState::new(Config::default(), seed);
+        let snap = state.checkpoint();
+        let other = Config { capacity_creep: 2.0, ..Config::default() };
+        prop_assert!(AlgorithmState::restore(other, &snap).is_err());
+    }
+}
+
+// ---------------------------------------------------------------- wire level
+
+/// End-to-end over the simulator: with replication on (the default), the
+/// warm standby applies the primary's input batches, acks fingerprints,
+/// and takes over inside the heartbeat bound when the primary dies
+/// mid-interval.
+#[test]
+fn wire_failover_standby_is_input_synced_and_takes_over_in_bound() {
+    let (scenario, crash_at) = scenarios::chaos::primary_crash_mid_interval(5);
+    let cfg = scenario.cfg;
+    let r = scenarios::run(&scenario);
+
+    let ctrl = r.controller.as_ref().expect("primary stats");
+    let standby = r.standby.as_ref().expect("standby stats");
+
+    // Before the crash the pair ran the replication protocol for real.
+    assert!(standby.replica_applied > 0, "standby never applied a batch");
+    assert!(ctrl.replica_acks > 0, "primary never saw a matching ack");
+    assert_eq!(ctrl.replica_divergences, 0);
+    assert!(!ctrl.replica_quarantined);
+
+    // Takeover within failover_after + one interval of the mid-interval
+    // crash (heartbeat silence is only observable at the next check).
+    let at = standby.failover_at.expect("standby must take over");
+    let bound = cfg.failover_after + cfg.interval;
+    assert!(
+        at.since(crash_at) <= bound,
+        "takeover at {at:?} missed the bound {bound:?} after the {crash_at:?} crash"
+    );
+
+    // The promoted standby kept steering: its own first interval followed
+    // within one control interval of the takeover.
+    let first_steer = standby
+        .suggestion_series
+        .iter()
+        .find(|(t, s)| *t >= at && !s.is_empty())
+        .map(|&(t, _)| t)
+        .expect("promoted standby never sent a suggestion");
+    assert!(
+        first_steer.since(at) <= cfg.interval,
+        "first post-takeover steer at {first_steer:?} is later than one interval after {at:?}"
+    );
+}
+
+/// End-to-end over the simulator: a partitioned standby misses batches and
+/// rejoins through a `CheckpointTransfer` when its uplink heals.
+#[test]
+fn wire_partitioned_standby_resyncs_via_checkpoint_transfer() {
+    let (scenario, _heal) = scenarios::chaos::replica_partition(3);
+    let r = scenarios::run(&scenario);
+
+    let ctrl = r.controller.as_ref().expect("primary stats");
+    let standby = r.standby.as_ref().expect("standby stats");
+
+    assert!(standby.replica_applied > 0, "standby applied batches before/after the partition");
+    assert!(ctrl.replica_resyncs > 0, "primary never served a checkpoint resync");
+    assert!(standby.replica_resyncs > 0, "standby never applied a checkpoint resync");
+    assert_eq!(ctrl.replica_divergences, 0, "a resynced replica must not diverge");
+    assert!(!ctrl.replica_quarantined);
+}
