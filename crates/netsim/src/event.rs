@@ -71,6 +71,23 @@ pub enum QueueBackend {
     BinaryHeap,
 }
 
+/// Calendar-wheel activity counters — the profiler's view of where queue
+/// work goes (cascade traffic and lazy-sort pressure are what the sharded-
+/// simulator roadmap item needs to size per-domain wheels). Pure observers:
+/// they never influence scheduling. All zeros on the heap backend.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WheelStats {
+    /// Upper-level slots cascaded down as the cursor reached them.
+    pub cascades: u64,
+    /// Entries re-filed by those cascades.
+    pub cascaded_entries: u64,
+    /// Level-0 slots sorted lazily on first pop.
+    pub lazy_sorts: u64,
+    /// Entries filed into the unordered overflow bucket (beyond the wheel
+    /// horizon), including re-filings when the bucket respills.
+    pub overflow_filed: u64,
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Entry {
     time: SimTime,
@@ -139,6 +156,8 @@ struct CalendarWheel {
     /// Reused buffer for cascading a slot without reallocating.
     cascade_buf: Vec<Entry>,
     len: usize,
+    /// Profiler counters ([`WheelStats`]) — write-only observers.
+    stats: WheelStats,
 }
 
 #[inline]
@@ -157,6 +176,7 @@ impl CalendarWheel {
             overflow: Vec::new(),
             cascade_buf: Vec::new(),
             len: 0,
+            stats: WheelStats::default(),
         }
     }
 
@@ -191,6 +211,7 @@ impl CalendarWheel {
                 return;
             }
         }
+        self.stats.overflow_filed += 1;
         self.overflow.push(e);
     }
 
@@ -275,6 +296,7 @@ impl CalendarWheel {
                     // order it descending once, then drain from the back.
                     slot.sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.seq)));
                     self.sorted |= bit;
+                    self.stats.lazy_sorts += 1;
                 }
                 let entry = slot.pop().expect("candidate slot is non-empty");
                 if slot.is_empty() {
@@ -289,6 +311,8 @@ impl CalendarWheel {
             let mut buf = std::mem::take(&mut self.cascade_buf);
             std::mem::swap(&mut buf, &mut self.slots[level * SLOTS + idx]);
             self.occupied[level] &= !(1 << idx);
+            self.stats.cascades += 1;
+            self.stats.cascaded_entries += buf.len() as u64;
             for e in buf.drain(..) {
                 self.file(e);
             }
@@ -350,6 +374,8 @@ pub struct EventQueue {
     backing: Backing,
     next_seq: u64,
     scheduled: u64,
+    /// Most events ever pending at once (profiler high-water mark).
+    pending_hwm: usize,
 }
 
 impl Default for EventQueue {
@@ -369,7 +395,7 @@ impl EventQueue {
             QueueBackend::CalendarWheel => Backing::Wheel(CalendarWheel::new()),
             QueueBackend::BinaryHeap => Backing::Heap(BinaryHeap::new()),
         };
-        EventQueue { backing, next_seq: 0, scheduled: 0 }
+        EventQueue { backing, next_seq: 0, scheduled: 0, pending_hwm: 0 }
     }
 
     /// Which backend this queue runs on.
@@ -399,6 +425,7 @@ impl EventQueue {
             Backing::Wheel(w) => w.insert(entry),
             Backing::Heap(h) => h.push(entry),
         }
+        self.pending_hwm = self.pending_hwm.max(self.len());
     }
 
     /// Pop the earliest event, if any.
@@ -460,6 +487,19 @@ impl EventQueue {
     /// Total number of events ever scheduled (diagnostics).
     pub fn total_scheduled(&self) -> u64 {
         self.scheduled
+    }
+
+    /// Most events ever pending at once.
+    pub fn pending_hwm(&self) -> usize {
+        self.pending_hwm
+    }
+
+    /// Calendar-wheel activity counters; all zeros on the heap backend.
+    pub fn wheel_stats(&self) -> WheelStats {
+        match &self.backing {
+            Backing::Wheel(w) => w.stats,
+            Backing::Heap(_) => WheelStats::default(),
+        }
     }
 
     /// Wheel invariant audit (no-op on the heap backend).
@@ -602,6 +642,30 @@ mod tests {
             })
             .collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn wheel_stats_count_cascades_sorts_and_overflow() {
+        let mut q = EventQueue::with_backend(QueueBackend::CalendarWheel);
+        // Same-tick burst: one lazy sort on first pop.
+        for token in 0..10 {
+            q.schedule(SimTime(5), timer(token));
+        }
+        // Far-future entry: lands above level 0 and cascades on the way out.
+        q.schedule(SimTime(1 << 30), timer(100));
+        // Beyond the wheel horizon: overflow bucket.
+        q.schedule(SimTime(1 << 55), timer(101));
+        assert_eq!(q.pending_hwm(), 12);
+        while q.pop().is_some() {}
+        let s = q.wheel_stats();
+        assert!(s.lazy_sorts >= 1, "same-tick burst must lazy-sort: {s:?}");
+        assert!(s.cascades >= 1 && s.cascaded_entries >= 1, "upper level must cascade: {s:?}");
+        assert_eq!(s.overflow_filed, 1, "one entry beyond the horizon: {s:?}");
+        // The heap backend reports zeros (it has no wheel machinery).
+        let mut h = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        h.schedule(SimTime(1), timer(0));
+        assert_eq!(h.wheel_stats(), WheelStats::default());
+        assert_eq!(h.pending_hwm(), 1);
     }
 
     /// Randomized differential: the wheel must agree with the heap oracle

@@ -37,13 +37,14 @@ pub mod time;
 pub mod trace;
 
 pub use app::{App, AppId, Ctx};
-pub use event::{Event, EventQueue, QueueBackend};
+pub use event::{Event, EventQueue, QueueBackend, WheelStats};
 pub use faults::{FaultKind, FaultPlan};
 pub use link::{DirLinkId, Link, LinkConfig, LinkStats, QueueDiscipline, QueuedPacket};
 pub use multicast::{GroupId, GroupSnapshot, MulticastConfig, TreeOp};
 pub use node::{Node, NodeId, Routing};
 pub use packet::{ControlBody, Dest, Packet, PacketId, PacketSlab, Payload, SessionId};
 pub use rng::{derive_stream_seed, RngStream};
-pub use sim::{NetworkBuilder, SimConfig, Simulator};
+pub use sim::{NetworkBuilder, SimConfig, SimProfile, Simulator};
 pub use stats::{LossWindow, SeqTracker};
 pub use time::{SimDuration, SimTime};
+pub use trace::{DropReason, TraceEvent, TraceLog};

@@ -113,16 +113,21 @@ pub struct LinkStats {
     pub dropped_packets: u64,
     /// Packets corrupted on the wire (random-loss model).
     pub corrupted_packets: u64,
-    /// Packets lost to a fault: arrivals refused while the link is failed
-    /// plus queues flushed by an outage (link failure or transmitting-router
-    /// crash — both fault kinds account flushes identically). A subset of
+    /// Packets lost to a fault: arrivals refused while the link is failed,
+    /// queues flushed by an outage (link failure or transmitting-router
+    /// crash — both fault kinds account flushes identically), and
+    /// transmissions aborted by a mid-serialization outage. A subset of
     /// `dropped_packets`, kept separately so fault post-mortems can tell
-    /// congestion loss from outage loss per link.
+    /// congestion loss from outage loss per link. Congestion (queue-full)
+    /// loss is the difference `dropped_packets - down_dropped_packets`.
     pub down_dropped_packets: u64,
     /// Bytes dropped at the queue tail.
     pub dropped_bytes: u64,
     /// Packets offered to the link (tx + queued + dropped).
     pub offered_packets: u64,
+    /// Most packets ever waiting in the queue at once (excluding the one in
+    /// transmission) — the profiler's per-link queue high-water mark.
+    pub queue_hwm: u64,
 }
 
 impl LinkStats {
@@ -245,6 +250,7 @@ impl Link {
             Enqueue::StartTx(ser)
         } else if self.queue.len() < self.queue_limit {
             self.queue.push_back(packet);
+            self.stats.queue_hwm = self.stats.queue_hwm.max(self.queue.len() as u64);
             Enqueue::Queued { evicted: None }
         } else {
             match self.discipline {
@@ -340,13 +346,15 @@ impl Link {
     }
 
     /// Abort the in-flight transmission (link or transmitting router went
-    /// down before serialization finished): the packet counts as dropped
-    /// and nothing arrives. Returns it so the caller can release its slab
-    /// reference; `None` when the transmitter is idle.
+    /// down before serialization finished): the packet counts as dropped —
+    /// as outage loss, since aborts only happen on a fault — and nothing
+    /// arrives. Returns it so the caller can release its slab reference;
+    /// `None` when the transmitter is idle.
     pub fn abort_tx(&mut self) -> Option<QueuedPacket> {
         let aborted = self.in_flight.take();
         if let Some(p) = aborted {
             self.drop_counted(p);
+            self.stats.down_dropped_packets += 1;
         }
         aborted
     }
@@ -590,7 +598,24 @@ mod tests {
         let aborted = l.abort_tx().expect("in-flight packet");
         assert_eq!(aborted, qp(7, 1000, 2));
         assert_eq!(l.stats.dropped_packets, 1);
+        assert_eq!(l.stats.down_dropped_packets, 1, "an abort is fault loss, not congestion");
         assert!(!l.is_busy());
+    }
+
+    #[test]
+    fn queue_high_water_mark_tracks_peak_occupancy() {
+        let mut l = link(32.0, 4);
+        assert_eq!(l.stats.queue_hwm, 0);
+        assert!(matches!(l.enqueue(pkt(1000)), Enqueue::StartTx(_)));
+        assert_eq!(l.stats.queue_hwm, 0, "the in-flight packet is not queue occupancy");
+        assert!(queued(l.enqueue(pkt(1000))));
+        assert!(queued(l.enqueue(pkt(1000))));
+        assert_eq!(l.stats.queue_hwm, 2);
+        // Draining does not lower the mark.
+        let _ = l.tx_done();
+        let _ = l.tx_done();
+        assert_eq!(l.queue_len(), 0);
+        assert_eq!(l.stats.queue_hwm, 2);
     }
 
     #[test]

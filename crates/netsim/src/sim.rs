@@ -8,7 +8,7 @@
 //! flushes) lives in reusable scratch buffers on the [`Simulator`].
 
 use crate::app::{App, AppId, Ctx};
-use crate::event::{Event, EventQueue, QueueBackend};
+use crate::event::{Event, EventQueue, QueueBackend, WheelStats};
 use crate::faults::{FaultKind, FaultPlan};
 use crate::link::{DirLinkId, Enqueue, Link, LinkConfig, QueuedPacket};
 use crate::multicast::{GroupId, GroupSnapshot, MulticastConfig, MulticastState, TreeOp};
@@ -16,7 +16,7 @@ use crate::node::{Node, NodeId, Routing};
 use crate::packet::{Dest, PacketId, PacketSlab};
 use crate::rng::RngStream;
 use crate::time::SimTime;
-use crate::trace::TraceLog;
+use crate::trace::{DropReason, TraceLog};
 
 /// Global simulation parameters.
 #[derive(Clone, Copy, Debug)]
@@ -182,11 +182,72 @@ impl NetworkBuilder {
             cfg: self.cfg,
             events_done: 0,
             corruption_rng: RngStream::derive(self.cfg.seed, "netsim/corruption"),
+            ev_counts: [0; 7],
+            drop_counts: [0; 3],
             trace: TraceLog::disabled(),
             scratch_links: Vec::new(),
             scratch_apps: Vec::new(),
             scratch_flush: Vec::new(),
         }
+    }
+}
+
+/// A profiler snapshot: where events went, where memory and queues peaked.
+///
+/// Every field is a pure observer — collecting them never changes a run.
+/// Drop counts split loss by [`DropReason`], so congestion loss (the control
+/// loop's signal) is distinguishable from fault loss (the chaos plan's).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimProfile {
+    /// Total events processed.
+    pub events_total: u64,
+    /// Events processed, by type.
+    pub ev_link_tx_done: u64,
+    pub ev_link_deliver: u64,
+    pub ev_inject: u64,
+    pub ev_timer: u64,
+    pub ev_graft_done: u64,
+    pub ev_prune_done: u64,
+    pub ev_fault: u64,
+    /// Packets dropped, by reason (includes priority-drop evictions under
+    /// `queue_full`).
+    pub drops_queue_full: u64,
+    pub drops_link_down: u64,
+    pub drops_node_down: u64,
+    /// Peak concurrent packets alive in the slab (slots ever allocated).
+    pub slab_hwm: u64,
+    /// Packets alive right now (nonzero after drain indicates a leak).
+    pub slab_live: u64,
+    /// Peak number of pending events in the queue.
+    pub pending_events_hwm: u64,
+    /// Peak per-link queue occupancy, max over all directed links.
+    pub max_link_queue_hwm: u64,
+    /// Calendar-wheel internals (zeros on the heap oracle backend).
+    pub wheel: WheelStats,
+}
+
+impl SimProfile {
+    /// Flat `("name", value)` pairs for folding into a counter registry.
+    pub fn counter_entries(&self) -> [(&'static str, u64); 17] {
+        [
+            ("ev_link_tx_done", self.ev_link_tx_done),
+            ("ev_link_deliver", self.ev_link_deliver),
+            ("ev_inject", self.ev_inject),
+            ("ev_timer", self.ev_timer),
+            ("ev_graft_done", self.ev_graft_done),
+            ("ev_prune_done", self.ev_prune_done),
+            ("ev_fault", self.ev_fault),
+            ("drops_queue_full", self.drops_queue_full),
+            ("drops_link_down", self.drops_link_down),
+            ("drops_node_down", self.drops_node_down),
+            ("slab_hwm", self.slab_hwm),
+            ("pending_events_hwm", self.pending_events_hwm),
+            ("max_link_queue_hwm", self.max_link_queue_hwm),
+            ("wheel_cascades", self.wheel.cascades),
+            ("wheel_cascaded_entries", self.wheel.cascaded_entries),
+            ("wheel_lazy_sorts", self.wheel.lazy_sorts),
+            ("wheel_overflow_filed", self.wheel.overflow_filed),
+        ]
     }
 }
 
@@ -205,6 +266,10 @@ pub struct Simulator {
     events_done: u64,
     /// Randomness for the per-link corruption (random-loss) model.
     corruption_rng: RngStream,
+    /// Events processed, indexed by event type (see `event_type_index`).
+    ev_counts: [u64; 7],
+    /// Packets dropped, indexed by `DropReason as usize`.
+    drop_counts: [u64; 3],
     /// Optional structured trace (drops, subscription changes, …).
     pub trace: TraceLog,
     /// Reusable fan-out buffer (active out-links of the current hop).
@@ -324,7 +389,51 @@ impl Simulator {
         Some(time)
     }
 
+    /// Stable index of an event's type (profiler bucketing).
+    fn event_type_index(event: &Event) -> usize {
+        match event {
+            Event::LinkTxDone(_) => 0,
+            Event::LinkDeliver(_) => 1,
+            Event::Inject { .. } => 2,
+            Event::Timer { .. } => 3,
+            Event::GraftDone { .. } => 4,
+            Event::PruneDone { .. } => 5,
+            Event::Fault(_) => 6,
+        }
+    }
+
+    /// Snapshot the profiler counters. Cheap; callable at any point.
+    pub fn profile(&self) -> SimProfile {
+        let wheel = self.queue.wheel_stats();
+        let max_link_queue_hwm =
+            self.net.links.iter().map(|l| l.stats.queue_hwm).max().unwrap_or(0);
+        SimProfile {
+            events_total: self.events_done,
+            ev_link_tx_done: self.ev_counts[0],
+            ev_link_deliver: self.ev_counts[1],
+            ev_inject: self.ev_counts[2],
+            ev_timer: self.ev_counts[3],
+            ev_graft_done: self.ev_counts[4],
+            ev_prune_done: self.ev_counts[5],
+            ev_fault: self.ev_counts[6],
+            drops_queue_full: self.drop_counts[DropReason::QueueFull as usize],
+            drops_link_down: self.drop_counts[DropReason::LinkDown as usize],
+            drops_node_down: self.drop_counts[DropReason::NodeDown as usize],
+            slab_hwm: self.slab.capacity() as u64,
+            slab_live: self.slab.live() as u64,
+            pending_events_hwm: self.queue.pending_hwm() as u64,
+            max_link_queue_hwm,
+            wheel,
+        }
+    }
+
+    fn count_drop(&mut self, l: DirLinkId, bytes: u32, reason: DropReason) {
+        self.drop_counts[reason as usize] += 1;
+        self.trace.drop(self.clock, l, bytes, reason);
+    }
+
     fn handle(&mut self, event: Event) {
+        self.ev_counts[Self::event_type_index(&event)] += 1;
         match event {
             Event::LinkTxDone(l) => self.link_tx_done(l),
             Event::LinkDeliver(l) => self.link_deliver(l),
@@ -364,12 +473,16 @@ impl Simulator {
     /// Drop every packet flushed into `scratch_flush` by an outage: trace
     /// the loss and release the slab references. Restores the scratch
     /// buffer afterwards.
-    fn account_outage_flush(&mut self, l: DirLinkId, mut flushed: Vec<QueuedPacket>) {
-        for qp in &flushed {
-            self.trace.drop(self.clock, l, qp.size);
+    fn account_outage_flush(
+        &mut self,
+        l: DirLinkId,
+        mut flushed: Vec<QueuedPacket>,
+        reason: DropReason,
+    ) {
+        for qp in flushed.drain(..) {
+            self.count_drop(l, qp.size, reason);
             self.slab.release(qp.id);
         }
-        flushed.clear();
         self.scratch_flush = flushed;
     }
 
@@ -380,7 +493,7 @@ impl Simulator {
                     let mut flushed = std::mem::take(&mut self.scratch_flush);
                     flushed.clear();
                     self.net.links[l.0 as usize].set_down(&mut flushed);
-                    self.account_outage_flush(l, flushed);
+                    self.account_outage_flush(l, flushed, DropReason::LinkDown);
                     self.trace.link_state(self.clock, l, false);
                 }
             }
@@ -405,7 +518,7 @@ impl Simulator {
                     let mut flushed = std::mem::take(&mut self.scratch_flush);
                     flushed.clear();
                     self.net.links[l.0 as usize].flush_outage(&mut flushed);
-                    self.account_outage_flush(l, flushed);
+                    self.account_outage_flush(l, flushed, DropReason::NodeDown);
                 }
                 outs.clear();
                 self.scratch_links = outs;
@@ -443,16 +556,26 @@ impl Simulator {
         // healed faster than the serialization time, the packet survives:
         // a store-and-forward hop never noticed the micro-flap.)
         if !self.net.links[l.0 as usize].is_up() || !tail_up {
+            // The reason is the link itself when it is down; otherwise the
+            // transmitting node crashed out from under a healthy wire.
+            let reason = if !self.net.links[l.0 as usize].is_up() {
+                DropReason::LinkDown
+            } else {
+                DropReason::NodeDown
+            };
             let mut flushed = std::mem::take(&mut self.scratch_flush);
             flushed.clear();
-            {
+            let aborted = {
                 let link = &mut self.net.links[l.0 as usize];
-                if let Some(aborted) = link.abort_tx() {
-                    self.slab.release(aborted.id);
-                }
+                let aborted = link.abort_tx();
                 link.flush_outage(&mut flushed);
+                aborted
+            };
+            if let Some(qp) = aborted {
+                self.count_drop(l, qp.size, reason);
+                self.slab.release(qp.id);
             }
-            self.account_outage_flush(l, flushed);
+            self.account_outage_flush(l, flushed, reason);
             return;
         }
         let (sent, next, arrive_at, corrupted) = {
@@ -498,11 +621,19 @@ impl Simulator {
             }
             Enqueue::Queued { evicted: None } => {}
             Enqueue::Queued { evicted: Some(victim) } => {
-                // Priority-drop eviction: counted in link stats, untraced.
+                // Priority-drop eviction: congestion loss like drop-tail.
+                self.count_drop(l, victim.size, DropReason::QueueFull);
                 self.slab.release(victim.id);
             }
             Enqueue::Dropped => {
-                self.trace.drop(self.clock, l, size);
+                // A down link refuses everything; a full queue on a live
+                // link is congestion.
+                let reason = if self.net.links[l.0 as usize].is_up() {
+                    DropReason::QueueFull
+                } else {
+                    DropReason::LinkDown
+                };
+                self.count_drop(l, size, reason);
                 self.slab.release(pid);
             }
         }
@@ -1013,6 +1144,61 @@ mod tests {
         // The heap oracle produces the identical run.
         assert_eq!(wheel, run(QueueBackend::BinaryHeap));
         assert_eq!(wheel.2, 0, "faulted run must not leak packets");
+    }
+
+    #[test]
+    fn profile_buckets_events_and_drop_reasons() {
+        // Overload run: all loss is congestion (queue_full).
+        let mut b = NetworkBuilder::new(SimConfig::default());
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        let (ab, _) = b.add_link(a, c, LinkConfig::kbps(32.0).with_queue(2));
+        let mut sim = b.build();
+        let g = sim.create_group(a);
+        let got = Arc::new(AtomicU64::new(0));
+        sim.add_app(c, Box::new(Counter { group: g, got }));
+        sim.add_app(a, Box::new(TimedBurst { group: g, at: SimDuration::from_secs(1), n: 10 }));
+        sim.run_until(SimTime::from_secs(30));
+        let p = sim.profile();
+        assert_eq!(p.drops_queue_full, 7);
+        assert_eq!(p.drops_link_down, 0);
+        assert_eq!(p.drops_node_down, 0);
+        assert_eq!(p.drops_queue_full, sim.network().link(ab).stats.dropped_packets);
+        let by_type = p.ev_link_tx_done
+            + p.ev_link_deliver
+            + p.ev_inject
+            + p.ev_timer
+            + p.ev_graft_done
+            + p.ev_prune_done
+            + p.ev_fault;
+        assert_eq!(by_type, p.events_total, "per-type counts must sum to the total");
+        assert_eq!(p.events_total, sim.events_processed());
+        assert!(p.slab_hwm > 0, "the burst must have allocated slab slots");
+        assert_eq!(p.slab_live, 0, "drained run holds no live packets");
+        assert!(p.pending_events_hwm >= 2);
+        assert_eq!(p.max_link_queue_hwm, 2, "queue of 2 filled to the brim");
+
+        // Fault run: the aborted in-flight packet and the flushed queue are
+        // link_down loss, not congestion.
+        let mut b = NetworkBuilder::new(SimConfig::default());
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        let (ab, _) = b.add_link(a, c, LinkConfig::kbps(32.0));
+        let mut sim = b.build();
+        let g = sim.create_group(a);
+        let got = Arc::new(AtomicU64::new(0));
+        sim.add_app(c, Box::new(Counter { group: g, got }));
+        sim.add_app(a, Box::new(TimedBurst { group: g, at: SimDuration::from_secs(1), n: 3 }));
+        let plan = FaultPlan::new()
+            .at(SimTime::from_millis(1300), FaultKind::LinkDown(ab))
+            .at(SimTime::from_secs(3), FaultKind::LinkUp(ab));
+        sim.install_faults(&plan);
+        sim.run_until(SimTime::from_secs(5));
+        let p = sim.profile();
+        assert_eq!(p.drops_queue_full, 0);
+        assert_eq!(p.drops_link_down, 2);
+        assert_eq!(p.drops_node_down, 0);
+        assert_eq!(p.ev_fault, 2);
     }
 
     #[test]

@@ -206,6 +206,11 @@ pub struct CampaignReport {
     /// truncated, …). Recorded here *and* counted by the binary; a cap
     /// that was applied but not recorded is a `SILENT-CAP` CI failure.
     pub coverage_caps: Vec<String>,
+    /// One black-box dump per failed run (`(run id, dump)`), built at
+    /// judging time from the run's flight window and profile counters.
+    /// [`CampaignReport::write_artifacts`] lands each one next to the
+    /// run's JSON as `runs/<id>.blackbox.json`.
+    pub blackboxes: Vec<(String, telemetry::Blackbox)>,
 }
 
 impl CampaignReport {
@@ -316,6 +321,11 @@ impl CampaignReport {
             let p = runs_dir.join(format!("{}.json", r.id.replace('/', "_")));
             let body = serde_json::to_string_pretty(&r.to_json()).expect("pure-value tree");
             std::fs::write(&p, body + "\n")?;
+            paths.push(p);
+        }
+        for (id, bb) in &self.blackboxes {
+            let p = runs_dir.join(format!("{}.blackbox.json", id.replace('/', "_")));
+            bb.write(&p)?;
             paths.push(p);
         }
         Ok(paths)
@@ -956,9 +966,43 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
     cells.extend(failover_cells(spec));
     let scenarios: Vec<Scenario> = cells.iter().map(|c| c.scenario.clone()).collect();
     let results = runner::run_many(&scenarios);
+    let mut blackboxes: Vec<(String, telemetry::Blackbox)> = Vec::new();
     for (cell, result) in cells.iter().zip(&results) {
-        runs.push(judge_scenario(cell, result));
+        let rec = judge_scenario(cell, result);
+        if rec.failed() {
+            // Capture the failing run's last moments — flight window,
+            // profile counters, seed — so the gate report is actionable
+            // without a re-run.
+            let bb =
+                chaos::blackbox(result, &cell.cfg, cell.seed, "campaign_gate_failure", &cell.id);
+            blackboxes.push((rec.id.clone(), bb));
+        }
+        runs.push(rec);
     }
+    // Pipeline-level cells have no simulator behind them; a failed one
+    // still gets a minimal dump so every red gate leaves a black box.
+    for rec in runs.iter().filter(|r| r.failed()) {
+        if blackboxes.iter().any(|(id, _)| id == &rec.id) {
+            continue;
+        }
+        blackboxes.push((
+            rec.id.clone(),
+            telemetry::Blackbox {
+                reason: "campaign_gate_failure".into(),
+                label: rec.id.clone(),
+                seed: rec.seed,
+                config_fingerprint: format!("{:016x}", spec.base_config().fingerprint()),
+                t_ns: 0,
+                counters: vec![(
+                    "gates_failed".into(),
+                    rec.gates.iter().filter(|g| g.status == GateStatus::Fail).count() as u64,
+                )],
+                occurrences: Vec::new(),
+                ring_dropped: 0,
+            },
+        ));
+    }
+    blackboxes.sort_by(|a, b| a.0.cmp(&b.0));
 
     let report = CampaignReport {
         name: spec.name.clone(),
@@ -966,6 +1010,7 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
         profile: spec.profile,
         runs,
         coverage_caps: caps,
+        blackboxes,
     };
     if tel.is_enabled() {
         tel.set("campaign.runs", report.runs.len() as u64);
@@ -973,6 +1018,7 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
         tel.set("campaign.gates_failed", report.gates_failed() as u64);
         tel.set("campaign.gates_skipped", report.gates_skipped() as u64);
         tel.set("campaign.coverage_caps", report.coverage_caps.len() as u64);
+        tel.set("campaign.blackboxes", report.blackboxes.len() as u64);
     }
     report
 }
@@ -1031,6 +1077,7 @@ mod tests {
                 ],
             }],
             coverage_caps: vec!["w: capped".into()],
+            blackboxes: Vec::new(),
         };
         assert!(report.passed());
         assert_eq!(report.gates_passed(), 1);

@@ -271,6 +271,48 @@ pub fn verify_recovery(
     Ok(())
 }
 
+/// Build a `blackbox.v1` failure dump from a completed run: the
+/// controllers' flight-recorder windows, the simulator's profile counters,
+/// the seed and the effective-config fingerprint. Harnesses write it next
+/// to their artifacts when [`verify_recovery`] trips or a campaign gate
+/// fails, so the last moments survive without a re-run.
+pub fn blackbox(
+    r: &ScenarioResult,
+    cfg: &toposense::Config,
+    seed: u64,
+    reason: &str,
+    label: &str,
+) -> telemetry::Blackbox {
+    let mut counters: Vec<(String, u64)> = r
+        .profile
+        .counter_entries()
+        .iter()
+        .map(|&(n, v)| (format!("netsim.profile.{n}"), v))
+        .collect();
+    counters.push(("scenario.control_bytes".into(), r.control_bytes));
+    counters.push(("scenario.events".into(), r.events));
+    counters.push(("scenario.total_drops".into(), r.total_drops));
+    counters.sort();
+    let mut occurrences = Vec::new();
+    let mut ring_dropped = 0;
+    for c in [r.controller.as_ref(), r.standby.as_ref()].into_iter().flatten() {
+        occurrences.extend(c.flight.occurrences());
+        ring_dropped += c.flight.dropped();
+    }
+    // Two rings interleave (primary + standby); restore one timeline.
+    occurrences.sort_by_key(|o| (o.t_ns, o.seq));
+    telemetry::Blackbox {
+        reason: reason.to_string(),
+        label: label.to_string(),
+        seed,
+        config_fingerprint: format!("{:016x}", cfg.fingerprint()),
+        t_ns: r.duration.nanos(),
+        counters,
+        occurrences,
+        ring_dropped,
+    }
+}
+
 /// A stable, fully-deterministic text rendering of a scenario result — the
 /// CI determinism check runs a fixed fault plan twice and diffs this.
 pub fn fingerprint(r: &ScenarioResult) -> String {

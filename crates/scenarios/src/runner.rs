@@ -226,6 +226,9 @@ pub struct ReceiverOutcome {
     pub spec_node: usize,
     /// Simulator node id.
     pub node: NodeId,
+    /// Simulator app id — the `receiver` field of the run's `"trace"`
+    /// records, so chains reconstruct from a [`ScenarioResult`] alone.
+    pub app: netsim::AppId,
     pub session: u32,
     pub set: u32,
     /// Oracle-optimal subscription level.
@@ -294,6 +297,9 @@ pub struct ScenarioResult {
     pub trace_overflowed: bool,
     /// How many trace events were discarded past the bound.
     pub trace_dropped: u64,
+    /// The simulator's always-on profile: per-event-type counts, drop
+    /// reasons, slab/queue high-water marks, wheel internals.
+    pub profile: netsim::SimProfile,
 }
 
 impl ScenarioResult {
@@ -449,7 +455,7 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
 
     // Receivers.
     let optima = oracle::optimal_levels(topo, &scenario.layers, 1.0);
-    let mut handles: Vec<(usize, NodeId, u32, u32, ReceiverHandle)> = Vec::new();
+    let mut handles: Vec<(usize, NodeId, netsim::AppId, u32, u32, ReceiverHandle)> = Vec::new();
     for (i, (node_idx, (session, set))) in topo.receivers().into_iter().enumerate() {
         let node = built.node_ids[node_idx];
         let def = catalog.get(SessionId(session)).clone();
@@ -462,33 +468,29 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
             .find(|&&(s, _)| s == session)
             .map(|&(_, c)| c)
             .unwrap_or(scenario.control);
-        let handle = match control {
+        let (app, handle) = match control {
             ControlMode::TopoSense { .. } => {
                 let ctrl_node = controller_handle
                     .as_ref()
                     .map(|&(n, _)| n)
                     .expect("TopoSense mode has a controller");
                 let (rx, handle) = Receiver::new(def, ctrl_node, scenario.cfg, seed, &label);
-                sim.add_app(node, Box::new(rx));
-                handle
+                (sim.add_app(node, Box::new(rx)), handle)
             }
             ControlMode::Rlm(params) => {
                 let (rx, handle) = RlmReceiver::new(def, params, seed, &label);
-                sim.add_app(node, Box::new(rx));
-                handle
+                (sim.add_app(node, Box::new(rx)), handle)
             }
             ControlMode::Tfrc(params) => {
                 let (rx, handle) = TfrcReceiver::new(def, params, seed, &label);
-                sim.add_app(node, Box::new(rx));
-                handle
+                (sim.add_app(node, Box::new(rx)), handle)
             }
             ControlMode::Fixed(level) => {
                 let (rx, handle) = FixedReceiver::new(def, level);
-                sim.add_app(node, Box::new(rx));
-                handle
+                (sim.add_app(node, Box::new(rx)), handle)
             }
         };
-        handles.push((node_idx, node, session, set, handle));
+        handles.push((node_idx, node, app, session, set, handle));
     }
 
     // Faults: resolve spec indices to simulator ids and install the plan.
@@ -531,10 +533,10 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
     let harvest_span = Span::new();
     let receivers: Vec<ReceiverOutcome> = handles
         .into_iter()
-        .map(|(spec_node, node, session, set, handle)| {
+        .map(|(spec_node, node, app, session, set, handle)| {
             let stats = handle.lock().unwrap().clone();
             let optimal = oracle::optimal_for_node(&optima, spec_node);
-            ReceiverOutcome { spec_node, node, session, set, optimal, stats }
+            ReceiverOutcome { spec_node, node, app, session, set, optimal, stats }
         })
         .collect();
     let net = sim.network();
@@ -570,12 +572,30 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
                 (sim.events_processed() as f64 / (run_wall_ns as f64 / 1e9)) as u64
             },
         );
+        for (name, value) in sim.profile().counter_entries() {
+            tel.set(&format!("netsim.profile.{name}"), value);
+        }
         let sum = |f: fn(&ReceiverShared) -> u64| receivers.iter().map(|r| f(&r.stats)).sum();
         tel.set("receivers.reports_sent", sum(|s| s.reports_sent));
         tel.set("receivers.register_retries", sum(|s| s.registers_sent.saturating_sub(1)));
         tel.set("receivers.unilateral_actions", sum(|s| s.unilateral_actions));
         tel.set("receivers.dead_air_rejoins", sum(|s| s.rejoins));
         tel.set("receivers.suggestions_received", sum(|s| s.suggestions_received));
+        // Close each causal chain: one "apply" hop per layer change a
+        // suggestion actually caused (recorded receiver-side).
+        for r in &receivers {
+            for &(when, cause, _old, new) in &r.stats.applies {
+                tel.emit(&Record::Trace {
+                    seq: 0,
+                    t_ns: when.nanos(),
+                    phase: "apply".to_string(),
+                    session: r.session as u64,
+                    receiver: r.app.0 as u64,
+                    cause,
+                    level: new as u64,
+                });
+            }
+        }
     }
     let harvest_wall_ns = harvest_span.elapsed_ns();
     tel.record_span_ns("scenario_harvest", harvest_wall_ns);
@@ -597,6 +617,7 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
         harvest_wall_ns,
         trace_overflowed: sim.trace.overflowed(),
         trace_dropped: sim.trace.dropped(),
+        profile: sim.profile(),
     }
 }
 
@@ -656,6 +677,7 @@ mod tests {
             harvest_wall_ns: 0,
             trace_overflowed: false,
             trace_dropped: 0,
+            profile: netsim::SimProfile::default(),
         };
         assert_eq!(r.mean_relative_deviation(SimTime::ZERO, SimTime::from_secs(10)), None);
     }

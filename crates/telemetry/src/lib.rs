@@ -21,12 +21,18 @@
 //! everything else in the trail is a function of the simulation state
 //! alone.
 
+pub mod blackbox;
+pub mod causal;
 pub mod counters;
+pub mod flight;
 pub mod record;
 pub mod sink;
 pub mod timers;
 
+pub use blackbox::{Blackbox, BLACKBOX_SCHEMA};
+pub use causal::{Chain, Hop};
 pub use counters::Counters;
+pub use flight::{FlightRecorder, Occurrence};
 pub use record::{
     BottleneckNode, CapacityLink, CongestionNode, IntervalAudit, Record, SessionNodes,
     SharingEntry, StageBody, SubscriptionNode, TimerStat, SCHEMA_VERSION,

@@ -10,7 +10,10 @@
 //!   simulated time in nanoseconds;
 //! * `"counters"` — a sorted dump of the counter registry;
 //! * `"timers"` — per-stage wall-clock histograms (non-deterministic;
-//!   determinism checks filter this kind out).
+//!   determinism checks filter this kind out);
+//! * `"trace"` — one causal hop of a suggestion chain (`"phase"` ∈
+//!   `report | decide | apply`), keyed by the deterministic cause id the
+//!   receiver minted when it sent the report (`trace.v1`).
 //!
 //! Encoding and decoding are exact inverses over the shim's compact
 //! serializer: `decode(parse(line))` re-encodes to the original line
@@ -120,10 +123,37 @@ impl StageBody {
 /// One JSONL line of the audit trail.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Record {
-    Run { label: String, seed: u64, duration_ns: u64 },
-    Stage { seq: u64, t_ns: u64, body: StageBody },
-    Counters { t_ns: u64, entries: Vec<(String, u64)> },
-    Timers { entries: Vec<TimerStat> },
+    Run {
+        label: String,
+        seed: u64,
+        duration_ns: u64,
+    },
+    Stage {
+        seq: u64,
+        t_ns: u64,
+        body: StageBody,
+    },
+    Counters {
+        t_ns: u64,
+        entries: Vec<(String, u64)>,
+    },
+    Timers {
+        entries: Vec<TimerStat>,
+    },
+    /// One causal hop of a suggestion chain: the receiver's report
+    /// (`phase: "report"`), the controller decision it fed
+    /// (`phase: "decide"`), or the layer change it produced
+    /// (`phase: "apply"`). Hops sharing a `cause` id are one chain;
+    /// `level` is the layer count reported, suggested, or applied.
+    Trace {
+        seq: u64,
+        t_ns: u64,
+        phase: String,
+        session: u64,
+        receiver: u64,
+        cause: u64,
+        level: u64,
+    },
 }
 
 /// All five stage outputs of one control interval, filled by the
@@ -282,6 +312,17 @@ impl ToJson for Record {
                 "schema": SCHEMA_VERSION,
                 "kind": "timers",
                 "timers": entries,
+            }),
+            Record::Trace { seq, t_ns, phase, session, receiver, cause, level } => json!({
+                "schema": SCHEMA_VERSION,
+                "kind": "trace",
+                "phase": phase,
+                "seq": seq,
+                "t_ns": t_ns,
+                "session": session,
+                "receiver": receiver,
+                "cause": cause,
+                "level": level,
             }),
         }
     }
@@ -471,6 +512,15 @@ impl Record {
                     .collect::<Result<_, String>>()?;
                 Ok(Record::Timers { entries })
             }
+            "trace" => Ok(Record::Trace {
+                seq: get_u64(v, "seq")?,
+                t_ns: get_u64(v, "t_ns")?,
+                phase: get_str(v, "phase")?,
+                session: get_u64(v, "session")?,
+                receiver: get_u64(v, "receiver")?,
+                cause: get_u64(v, "cause")?,
+                level: get_u64(v, "level")?,
+            }),
             other => Err(format!("unknown record kind '{other}'")),
         }
     }
@@ -572,6 +622,15 @@ mod tests {
                     max_ns: 9_000,
                     buckets: vec![(11, 10), (13, 4)],
                 }],
+            },
+            Record::Trace {
+                seq: 3,
+                t_ns: 8_000_000_000,
+                phase: "decide".into(),
+                session: 1,
+                receiver: 2,
+                cause: 0x9e37_79b9_7f4a_7c15,
+                level: 4,
             },
         ]
     }

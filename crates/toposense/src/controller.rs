@@ -45,13 +45,17 @@ use crate::sync::lock_or_recover;
 use netsim::{App, AppId, ControlBody, Ctx, NodeId, SessionId, SimDuration, SimTime};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
-use telemetry::{IntervalAudit, Telemetry};
+use telemetry::{FlightRecorder, IntervalAudit, Record, Telemetry};
 use topology::discovery::{DiscoveryTool, SnapshotError, TopologyView};
 use topology::SessionTree;
 use traffic::{LayerSpec, SessionCatalog};
 
 const TOKEN_TICK: u64 = 1;
 const TOKEN_SEND: u64 = 2;
+
+/// Control-plane flight-recorder depth: the last N interval/replication
+/// occurrences survive for black-box dumps.
+const FLIGHT_CAP: usize = 128;
 
 /// Gap between consecutive suggestion packets. Sending the whole batch
 /// back-to-back would tail-drop the same receivers' suggestions every
@@ -102,6 +106,9 @@ pub struct ControllerShared {
     pub replica_quarantined: bool,
     /// Checkpoint resyncs served (active) or applied (standing by).
     pub replica_resyncs: u64,
+    /// Last-N control-plane occurrences (interval start/end, fallback,
+    /// quarantine, takeover, checkpoint) for black-box dumps.
+    pub flight: FlightRecorder,
 }
 
 /// Handle for reading controller stats after a run.
@@ -114,6 +121,8 @@ struct Pending {
     lost: u64,
     bytes: u64,
     last_at: Option<SimTime>,
+    /// Cause id of the most recent report folded into this entry.
+    cause: u64,
 }
 
 /// The controller application.
@@ -130,6 +139,10 @@ pub struct Controller {
     inbox: std::collections::VecDeque<(SimTime, Report)>,
     /// Reports accumulated since the last interval (already aged).
     pending: HashMap<AppId, Pending>,
+    /// Latest causal-trace id per receiver ([`crate::messages::cause_id`]),
+    /// kept OUT of [`ReceiverReport`] so the ever-changing id never dirties
+    /// the incremental pipeline's slot cache.
+    cause_of: HashMap<AppId, u64>,
     /// Most recent interval data per receiver, reused when reports are lost.
     last_known: HashMap<AppId, (SimTime, ReceiverReport)>,
     /// Administrative-domain filter (Fig. 3): when set, the controller
@@ -184,6 +197,7 @@ impl Controller {
     ) -> (Self, ControllerHandle) {
         cfg.validate();
         let shared: ControllerHandle = Arc::default();
+        lock_or_recover(&shared).flight = FlightRecorder::new(FLIGHT_CAP);
         let c = Controller {
             catalog,
             cfg,
@@ -192,6 +206,7 @@ impl Controller {
             registry: HashMap::new(),
             inbox: std::collections::VecDeque::new(),
             pending: HashMap::new(),
+            cause_of: HashMap::new(),
             last_known: HashMap::new(),
             domain: None,
             outbox: Vec::new(),
@@ -270,6 +285,12 @@ impl Controller {
 
     fn tick(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
+        lock_or_recover(&self.shared).flight.note(
+            now.nanos(),
+            "interval_start",
+            self.state.runs(),
+            "",
+        );
         // Hard deadlines first: forget receivers silent past evict_after.
         let evicted = self.sweep_silent(now);
         // 0. Age the loss reports: only reports older than the staleness
@@ -281,12 +302,27 @@ impl Controller {
                 break;
             }
             let (_, r) = self.inbox.pop_front().expect("front just peeked");
+            if self.telemetry.is_enabled() {
+                // First hop of the causal chain: the report became visible
+                // to this interval. t_ns is the window close, so the chain
+                // reads in report-time order.
+                self.telemetry.emit(&Record::Trace {
+                    seq: self.state.runs(),
+                    t_ns: r.time.nanos(),
+                    phase: "report".into(),
+                    session: r.session.0 as u64,
+                    receiver: r.receiver.0 as u64,
+                    cause: r.cause,
+                    level: r.level as u64,
+                });
+            }
             let p = self.pending.entry(r.receiver).or_default();
             p.level = r.level;
             p.received += r.received;
             p.lost += r.lost;
             p.bytes += r.bytes;
             p.last_at = Some(r.time);
+            p.cause = r.cause;
         }
 
         // 1. Record ground truth (clipped to this controller's domain),
@@ -328,6 +364,7 @@ impl Controller {
                     let mut sh = lock_or_recover(&self.shared);
                     sh.suspended_intervals += 1;
                     sh.evicted += evicted;
+                    sh.flight.note(now.nanos(), "fallback", self.state.runs(), "suspended");
                     return;
                 }
             },
@@ -371,6 +408,10 @@ impl Controller {
                     lost: p.lost,
                     bytes: p.bytes,
                 };
+                // The cause id travels alongside — never inside — the
+                // ReceiverReport, so the incremental pipeline's slot cache
+                // never sees it change.
+                self.cause_of.insert(app, p.cause);
                 self.last_known.insert(app, (now, r));
                 reports.push(r);
             } else if let Some(&(t, r)) = self.last_known.get(&app) {
@@ -419,12 +460,25 @@ impl Controller {
         let my_node = ctx.node_id();
         for s in &outputs.suggestions {
             let Some(&(node, _)) = self.registry.get(&s.receiver) else { continue };
+            let cause = self.cause_of.get(&s.receiver).copied().unwrap_or(0);
+            if self.telemetry.is_enabled() {
+                self.telemetry.emit(&Record::Trace {
+                    seq,
+                    t_ns: now.nanos(),
+                    phase: "decide".into(),
+                    session: s.session.0 as u64,
+                    receiver: s.receiver.0 as u64,
+                    cause,
+                    level: s.level as u64,
+                });
+            }
             let sug = Suggestion {
                 receiver: s.receiver,
                 session: s.session,
                 level: s.level,
                 time: now,
                 from: my_node,
+                cause,
             };
             let at = self.rng.range_u64(0, self.outbox.len() as u64 + 1) as usize;
             self.outbox.insert(at, (node, sug));
@@ -488,6 +542,10 @@ impl Controller {
         sh.partial_intervals += partial as u64;
         sh.quarantined = quarantined;
         sh.evicted += evicted;
+        if degraded {
+            sh.flight.note(now.nanos(), "fallback", seq, "degraded");
+        }
+        sh.flight.note(now.nanos(), "interval_end", seq, "");
     }
 
     /// Evict receivers silent past `evict_after`; returns how many fell.
@@ -504,6 +562,7 @@ impl Controller {
             self.last_heard.remove(a);
             self.pending.remove(a);
             self.last_known.remove(a);
+            self.cause_of.remove(a);
         }
         stale.len() as u64
     }
@@ -561,6 +620,7 @@ impl Controller {
         let mut sh = lock_or_recover(&self.shared);
         sh.failover_at.get_or_insert(now);
         sh.acks_sent += acks;
+        sh.flight.note(now.nanos(), "takeover", self.state.runs(), format!("{acks} acks"));
     }
 
     /// Standing-by only: apply one replicated input batch through our own
@@ -648,6 +708,12 @@ impl Controller {
                 let mut sh = lock_or_recover(&self.shared);
                 sh.replica_divergences += 1;
                 sh.replica_quarantined = true;
+                sh.flight.note(
+                    ctx.now().nanos(),
+                    "quarantine",
+                    a.seq,
+                    format!("node {}", a.from.index()),
+                );
             }
             Some(AckVerdict::Behind) => {
                 // Bring the replica to our current state; it resumes the
@@ -662,7 +728,9 @@ impl Controller {
                     Arc::new(CheckpointTransfer { next_seq, blob, from: ctx.node_id() });
                 ctx.send_control(a.from, size, body);
                 self.telemetry.incr("controller.replica_resyncs", 1);
-                lock_or_recover(&self.shared).replica_resyncs += 1;
+                let mut sh = lock_or_recover(&self.shared);
+                sh.replica_resyncs += 1;
+                sh.flight.note(ctx.now().nanos(), "checkpoint", next_seq, "served");
             }
             None => {} // stale ack outside the window
         }
@@ -670,14 +738,16 @@ impl Controller {
 
     /// Standing-by only: restore a checkpoint transfer and rejoin the
     /// input stream at the primary's run count.
-    fn apply_checkpoint(&mut self, t: &CheckpointTransfer) {
+    fn apply_checkpoint(&mut self, now: SimTime, t: &CheckpointTransfer) {
         match Snapshot::decode(&t.blob).and_then(|s| AlgorithmState::restore(self.cfg, &s)) {
             Ok(state) => {
                 debug_assert_eq!(state.runs(), t.next_seq);
                 self.state = state;
                 self.repl_next_seq = Some(t.next_seq);
                 self.telemetry.incr("controller.replica_resyncs", 1);
-                lock_or_recover(&self.shared).replica_resyncs += 1;
+                let mut sh = lock_or_recover(&self.shared);
+                sh.replica_resyncs += 1;
+                sh.flight.note(now.nanos(), "checkpoint", t.next_seq, "applied");
             }
             Err(_) => {
                 // A corrupt transfer is dropped; the next batch's gap ack
@@ -740,6 +810,7 @@ impl App for Controller {
             self.last_heard.remove(&d.receiver);
             self.pending.remove(&d.receiver);
             self.last_known.remove(&d.receiver);
+            self.cause_of.remove(&d.receiver);
             if self.active {
                 if let Some(peer) = self.peer {
                     ctx.send_control(peer, self.cfg.deregister_size, Arc::new(d.clone()));
@@ -769,7 +840,7 @@ impl App for Controller {
         }
         if let Some(t) = packet.control_as::<CheckpointTransfer>() {
             if !self.active && Some(t.from) == self.peer {
-                self.apply_checkpoint(t);
+                self.apply_checkpoint(ctx.now(), t);
             }
         }
     }
@@ -1076,6 +1147,7 @@ mod tests {
                         lost: 30, // 30% loss, well above p_threshold
                         bytes: 20_000,
                         time: now,
+                        cause: 0,
                     });
                     ctx.send_control(self.controller, 64, body);
                 }

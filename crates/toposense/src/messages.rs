@@ -9,6 +9,33 @@ use crate::algorithm::ReceiverReport;
 use netsim::{AppId, NodeId, SessionId, SimDuration, SimTime};
 use topology::discovery::TopologyView;
 
+/// Deterministic cause id for one receiver report: a splitmix64-style mix
+/// of (receiver, session, report sequence number). The receiver mints it
+/// when the report is sent; the controller copies it onto the decision the
+/// report feeds and onto the suggestion it sends back, and the receiver
+/// stamps it onto the layer change it applies — one id, one causal chain,
+/// reconstructable from the JSONL trail (`telemetry::causal`). This is
+/// also the correlation-id groundwork a real transport needs.
+///
+/// Zero is reserved for "no known cause" (e.g. a fallback suggestion from
+/// a standby that never saw the triggering report).
+pub fn cause_id(receiver: u64, session: u64, seq: u64) -> u64 {
+    let mut z = receiver
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(session.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(seq)
+        .wrapping_add(0x94d0_49bb_1331_11eb);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    // Never collide with the reserved "no cause" value.
+    if z == 0 {
+        1
+    } else {
+        z
+    }
+}
+
 /// Receiver -> controller: announce existence (sent once at startup and
 /// re-sent until the first suggestion arrives).
 #[derive(Clone, Debug, PartialEq)]
@@ -36,6 +63,9 @@ pub struct Report {
     pub bytes: u64,
     /// When the window closed.
     pub time: SimTime,
+    /// Deterministic causal-trace id ([`cause_id`]). Wire size is fixed by
+    /// config, so carrying it never changes simulation behaviour.
+    pub cause: u64,
 }
 
 impl Report {
@@ -63,6 +93,9 @@ pub struct Suggestion {
     /// last spoke to them, so suggestions from a failed-over standby
     /// redirect the control plane without extra round trips.
     pub from: NodeId,
+    /// Cause id of the report that fed this decision (`0` = none known,
+    /// e.g. a suggestion computed without a fresh report).
+    pub cause: u64,
 }
 
 /// Controller -> receiver: registration confirmed. Lets the receiver stop
@@ -165,10 +198,22 @@ mod tests {
             lost: 10,
             bytes: 90_000,
             time: SimTime::ZERO,
+            cause: cause_id(1, 0, 0),
         };
         assert!((r.loss_rate() - 0.1).abs() < 1e-12);
         r.received = 0;
         r.lost = 0;
         assert_eq!(r.loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn cause_ids_are_deterministic_distinct_and_never_zero() {
+        assert_eq!(cause_id(1, 0, 0), cause_id(1, 0, 0));
+        assert_ne!(cause_id(1, 0, 0), cause_id(1, 0, 1));
+        assert_ne!(cause_id(1, 0, 0), cause_id(2, 0, 0));
+        assert_ne!(cause_id(1, 0, 0), cause_id(1, 1, 0));
+        for seq in 0..64 {
+            assert_ne!(cause_id(0, 0, seq), 0, "zero is reserved for 'no cause'");
+        }
     }
 }

@@ -24,7 +24,7 @@
 //!   hosting node crashes and comes back.
 
 use crate::config::Config;
-use crate::messages::{Deregister, Register, RegisterAck, Report, Suggestion};
+use crate::messages::{cause_id, Deregister, Register, RegisterAck, Report, Suggestion};
 use crate::sync::lock_or_recover;
 use netsim::{App, ControlBody, Ctx, NodeId, RngStream, SeqTracker, SimDuration, SimTime};
 use std::sync::{Arc, Mutex};
@@ -55,6 +55,11 @@ pub struct ReceiverShared {
     /// Dead-air repairs: re-joins of all subscribed groups after consecutive
     /// empty report windows.
     pub rejoins: u64,
+    /// Suggestion-driven level changes with their causal-trace ids:
+    /// `(when, cause id of the suggestion, old level, new level)`. Kept
+    /// separate from `changes` (which is fingerprint-pinned) so the trace
+    /// plumbing never perturbs existing determinism checks.
+    pub applies: Vec<(SimTime, u64, u8, u8)>,
 }
 
 impl ReceiverShared {
@@ -209,6 +214,9 @@ impl Receiver {
             lost += w.lost;
             bytes += w.bytes;
         }
+        // Mint the causal-trace id from this report's sequence number; the
+        // controller echoes it on the suggestion this report produces.
+        let seq = lock_or_recover(&self.shared).reports_sent;
         let report = Report {
             receiver: ctx.app_id(),
             node: ctx.node_id(),
@@ -218,6 +226,7 @@ impl Receiver {
             lost,
             bytes,
             time: ctx.now(),
+            cause: cause_id(ctx.app_id().0 as u64, self.def.id.0 as u64, seq),
         };
         let loss = report.loss_rate();
         {
@@ -336,12 +345,17 @@ impl App for Receiver {
                 self.controller = s.from;
                 lock_or_recover(&self.shared).suggestions_received += 1;
                 let level = s.level;
+                let cause = s.cause;
                 if level > self.level && ctx.now() < self.raise_guard_until {
                     // A raise computed before our unilateral drop: skip it,
                     // the next interval's suggestion will reflect reality.
                     return;
                 }
+                let old = self.level;
                 self.set_level(ctx, level);
+                if self.level != old {
+                    lock_or_recover(&self.shared).applies.push((ctx.now(), cause, old, self.level));
+                }
             }
         }
     }
@@ -502,6 +516,7 @@ mod tests {
                     level,
                     time: ctx.now(),
                     from: ctx.node_id(),
+                    cause: 42,
                 });
                 ctx.send_control(self.dest_node, 64, body);
             }
@@ -520,6 +535,9 @@ mod tests {
         let levels: Vec<(u8, u8)> = s.changes.iter().map(|&(_, o, n)| (o, n)).collect();
         assert_eq!(levels, vec![(0, 1), (1, 4), (4, 2)]);
         assert_eq!(s.final_level(), 2);
+        // Both applied suggestions carry the suggester's cause id.
+        let applies: Vec<(u64, u8, u8)> = s.applies.iter().map(|&(_, c, o, n)| (c, o, n)).collect();
+        assert_eq!(applies, vec![(42, 1, 4), (42, 4, 2)]);
     }
 
     #[test]
@@ -567,6 +585,7 @@ mod tests {
                     level: 5,
                     time: ctx.now(),
                     from: ctx.node_id(),
+                    cause: 0,
                 });
                 ctx.send_control(self.dest_node, 64, body);
             }

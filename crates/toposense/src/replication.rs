@@ -24,6 +24,7 @@ use crate::algorithm::{AlgorithmInputs, AlgorithmOutputs, AlgorithmState};
 use crate::checkpoint::Snapshot;
 use crate::config::Config;
 use std::collections::VecDeque;
+use telemetry::{Blackbox, FlightRecorder};
 
 /// Canonical digest of one interval's pipeline outputs.
 ///
@@ -174,6 +175,12 @@ pub struct Cluster {
     pub divergences: u64,
     /// Cumulative view changes (primary deposed or crashed).
     pub view_changes: u64,
+    /// Last-N replication occurrences (quarantine, view change, resync) —
+    /// the window a [`Cluster::blackbox`] dump carries.
+    pub flight: FlightRecorder,
+    /// Simulated time of the last tick; faults injected between ticks
+    /// (crash, heal) are stamped with it.
+    last_t_ns: u64,
 }
 
 impl Cluster {
@@ -191,7 +198,17 @@ impl Cluster {
                 next_seq: 0,
             })
             .collect();
-        Cluster { cfg, seed, replicas, primary: 0, seq: 0, divergences: 0, view_changes: 0 }
+        Cluster {
+            cfg,
+            seed,
+            replicas,
+            primary: 0,
+            seq: 0,
+            divergences: 0,
+            view_changes: 0,
+            flight: FlightRecorder::new(64),
+            last_t_ns: 0,
+        }
     }
 
     /// The current primary's id.
@@ -223,6 +240,7 @@ impl Cluster {
     /// if *it* is the minority.
     pub fn tick(&mut self, inputs: &AlgorithmInputs<'_>) -> TickOutcome {
         assert!(self.replicas[self.primary].live, "ticking a crashed primary");
+        self.last_t_ns = inputs.now.nanos();
         let mut votes: Vec<(usize, u64, AlgorithmOutputs)> = Vec::new();
         for i in 0..self.replicas.len() {
             if !self.votable(&self.replicas[i]) {
@@ -260,6 +278,8 @@ impl Cluster {
                 self.replicas[i].quarantined = true;
                 self.divergences += 1;
                 newly_quarantined.push(i);
+                self.flight.note(self.last_t_ns, "divergence", self.seq, format!("replica {i}"));
+                self.flight.note(self.last_t_ns, "quarantine", self.seq, format!("replica {i}"));
             }
         }
 
@@ -291,6 +311,7 @@ impl Cluster {
             .find(|r| r.live && !r.quarantined && !r.partitioned && r.next_seq == self.seq)
             .map(|r| r.id)
             .expect("no promotable replica left");
+        self.flight.note(self.last_t_ns, "view_change", self.seq, format!("primary -> {next}"));
         self.primary = next;
     }
 
@@ -313,6 +334,7 @@ impl Cluster {
         r.live = true;
         r.next_seq = snap.runs;
         debug_assert_eq!(snap.runs, self.seq);
+        self.flight.note(self.last_t_ns, "checkpoint", self.seq, format!("resync replica {id}"));
         Ok(())
     }
 
@@ -340,6 +362,26 @@ impl Cluster {
     /// The algorithm seed every member was created with.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Build a failure dump from the cluster's current state: the flight
+    /// window, the replication counters, the seed and config fingerprint.
+    /// The caller picks `reason` (e.g. `"replica_quarantine"`) and a label.
+    pub fn blackbox(&self, reason: &str, label: &str) -> Blackbox {
+        Blackbox {
+            reason: reason.to_string(),
+            label: label.to_string(),
+            seed: self.seed,
+            config_fingerprint: format!("{:016x}", self.cfg.fingerprint()),
+            t_ns: self.last_t_ns,
+            counters: vec![
+                ("repl.divergences".to_string(), self.divergences),
+                ("repl.seq".to_string(), self.seq),
+                ("repl.view_changes".to_string(), self.view_changes),
+            ],
+            occurrences: self.flight.occurrences(),
+            ring_dropped: self.flight.dropped(),
+        }
     }
 }
 

@@ -16,6 +16,15 @@
 //! audit trail (one JSONL record per pipeline stage per interval, plus
 //! counters and stage timers) to `<path>`. Telemetry is a pure observer:
 //! stdout stays byte-identical to a run without it — CI diffs the two.
+//!
+//! Set `QUICKSTART_RECORDER=1` to additionally arm the simulator's
+//! structured trace ring. Same pure-observer contract, same CI diff: the
+//! recorder reports on stderr only and stdout stays byte-identical.
+//!
+//! In chaos mode, a violated recovery bound writes a `blackbox.v1` dump
+//! (flight-recorder window + profile counters) to `blackbox.json` — or to
+//! `$QUICKSTART_BLACKBOX` — before exiting non-zero, so CI failures carry
+//! their own forensics.
 
 use netsim::sim::{NetworkBuilder, SimConfig};
 use netsim::{GroupId, LinkConfig, SessionId, SimDuration, SimTime};
@@ -48,6 +57,10 @@ fn main() {
     b.add_link(src, mid, LinkConfig::kbps(10_000.0));
     b.add_link(mid, rcv, LinkConfig::kbps(250.0));
     let mut sim = b.build();
+    let recorder = std::env::var_os("QUICKSTART_RECORDER").is_some();
+    if recorder {
+        sim.trace.enable(4096);
+    }
 
     // 2. Advertise one session: 6 cumulative layers, base 32 kb/s,
     //    doubling — one multicast group per layer, rooted at the source.
@@ -66,10 +79,27 @@ fn main() {
     sim.add_app(src, Box::new(controller));
     sim.add_app(src, Box::new(LayeredSource::new(def.clone(), TrafficModel::Cbr, 2)));
     let (receiver, rcv_stats) = Receiver::new(def, src, cfg, 3, "r0");
-    sim.add_app(rcv, Box::new(receiver));
+    let rx_app = sim.add_app(rcv, Box::new(receiver));
 
-    // 4. Run five simulated minutes.
+    // 4. Run five simulated minutes. The closing telemetry mirrors the
+    //    scenario harness: apply-side trace hops (closing each causal
+    //    chain) and the simulator profile, then counters and timers.
     sim.run_until(SimTime::from_secs(300));
+    for &(when, cause, _old, new) in &rcv_stats.lock().unwrap().applies {
+        telemetry.emit(&Record::Trace {
+            seq: 0,
+            t_ns: when.nanos(),
+            phase: "apply".to_string(),
+            session: 0,
+            receiver: rx_app.0 as u64,
+            cause,
+            level: new as u64,
+        });
+    }
+    for (name, value) in sim.profile().counter_entries() {
+        telemetry.set(&format!("netsim.profile.{name}"), value);
+    }
+    telemetry.set("netsim.events", sim.events_processed());
     telemetry.emit_counters(sim.now().nanos());
     telemetry.emit_timers();
     telemetry.flush();
@@ -86,6 +116,23 @@ fn main() {
     println!("suggestions obeyed:     {}", r.suggestions_received);
     println!("controller intervals:   {}", c.intervals);
     println!("events processed:       {}", sim.events_processed());
+    if recorder {
+        // Stderr only: stdout must stay byte-identical to a plain run.
+        let p = sim.profile();
+        eprintln!(
+            "recorder: {} trace events ({} dropped), {} sim events, slab hwm {}, queue hwm {}",
+            sim.trace.events().len(),
+            sim.trace.dropped(),
+            p.events_total,
+            p.slab_hwm,
+            p.pending_events_hwm,
+        );
+        eprintln!(
+            "flight:   {} control-plane occurrences ({} rolled off)",
+            c.flight.len(),
+            c.flight.dropped(),
+        );
+    }
     assert!((2..=4).contains(&r.final_level()), "expected convergence near 3 layers");
 }
 
@@ -96,7 +143,19 @@ fn chaos_mode() {
     let (scenario, heal_at) = scenarios::chaos::link_flap(42);
     let result = scenarios::run(&scenario);
     print!("{}", scenarios::chaos::fingerprint(&result));
-    scenarios::chaos::verify_recovery(&result, &scenario.cfg, heal_at, 10)
-        .expect("recovery bound violated under the link-flap plan");
+    if let Err(e) = scenarios::chaos::verify_recovery(&result, &scenario.cfg, heal_at, 10) {
+        let path = std::env::var("QUICKSTART_BLACKBOX").unwrap_or_else(|_| "blackbox.json".into());
+        let bb = scenarios::chaos::blackbox(
+            &result,
+            &scenario.cfg,
+            scenario.seed,
+            "chaos_recovery_failure",
+            "quickstart-link-flap",
+        );
+        bb.write(&path).expect("write blackbox dump");
+        eprintln!("recovery bound violated: {e}");
+        eprintln!("black box written to {path}");
+        std::process::exit(1);
+    }
     println!("recovery bound held: all receivers within 1 layer of oracle after heal");
 }

@@ -8,6 +8,9 @@
 //! cargo run --release --bin inspect -- timeline <trail.jsonl> <session> <node>
 //! cargo run --release --bin inspect -- diff     <trail.jsonl> <seqA> <seqB>
 //! cargo run --release --bin inspect -- counters <trail.jsonl> [top_n]
+//! cargo run --release --bin inspect -- trace    <trail.jsonl> <session> <receiver>
+//! cargo run --release --bin inspect -- profile  <trail.jsonl>
+//! cargo run --release --bin inspect -- blackbox <blackbox.json>
 //! cargo run --release --bin inspect -- snapshot validate <ckpt.json>
 //! cargo run --release --bin inspect -- snapshot summary  <ckpt.json>
 //! cargo run --release --bin inspect -- snapshot diff     <a.json> <b.json>
@@ -41,8 +44,13 @@ fn main() {
         Some("timeline") => timeline(&args[2..]),
         Some("diff") => diff(&args[2..]),
         Some("counters") => counters(&args[2..]),
+        Some("trace") => trace(&args[2..]),
+        Some("profile") => profile(&args[2..]),
+        Some("blackbox") => blackbox(&args[2..]),
         Some("snapshot") => snapshot(&args[2..]),
-        _ => scenario_mode(&args),
+        Some("a2" | "b4" | "fig1") => scenario_mode(&args),
+        Some(other) => usage(&format!("unknown subcommand '{other}'")),
+        None => usage("no subcommand given"),
     }
 }
 
@@ -55,6 +63,9 @@ fn usage(msg: &str) -> ! {
     eprintln!("       inspect timeline <trail.jsonl> <session> <node>");
     eprintln!("       inspect diff <trail.jsonl> <seqA> <seqB>");
     eprintln!("       inspect counters <trail.jsonl> [top_n]");
+    eprintln!("       inspect trace <trail.jsonl> <session> <receiver>");
+    eprintln!("       inspect profile <trail.jsonl>");
+    eprintln!("       inspect blackbox <blackbox.json>");
     eprintln!("       inspect snapshot validate|summary <ckpt.json>");
     eprintln!("       inspect snapshot diff <a.json> <b.json>");
     std::process::exit(2);
@@ -152,6 +163,7 @@ fn validate(args: &[String]) {
             Record::Stage { body, .. } => format!("stage.{}", body.stage_name()),
             Record::Counters { .. } => "counters".to_string(),
             Record::Timers { .. } => "timers".to_string(),
+            Record::Trace { phase, .. } => format!("trace.{phase}"),
         };
         *kinds.entry(kind).or_insert(0u64) += 1;
     }
@@ -192,6 +204,7 @@ fn summary(args: &[String]) {
                     );
                 }
             }
+            Record::Trace { .. } => {}
         }
     }
     match (intervals.first(), intervals.last()) {
@@ -383,6 +396,142 @@ fn counters(args: &[String]) {
     entries.sort_by(|x, y| y.1.cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
     for (name, value) in entries.into_iter().take(top) {
         println!("{value:>12}  {name}");
+    }
+}
+
+/// `trace <trail.jsonl> --session <S> --receiver <R>` (flags may also be
+/// given positionally): reconstruct every report → decide → apply chain of
+/// one (session, receiver) pair from the trail's `"trace"` records.
+fn trace(args: &[String]) {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut session: Option<u64> = None;
+    let mut receiver: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--session" => {
+                session = args.get(i + 1).and_then(|s| s.parse().ok());
+                if session.is_none() {
+                    usage("--session needs a number");
+                }
+                i += 2;
+            }
+            "--receiver" => {
+                receiver = args.get(i + 1).and_then(|s| s.parse().ok());
+                if receiver.is_none() {
+                    usage("--receiver needs a number");
+                }
+                i += 2;
+            }
+            _ => {
+                positional.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let mut positional = positional.into_iter();
+    let Some(path) = positional.next() else { usage("trace needs a trail file") };
+    let session = session
+        .or_else(|| positional.next().and_then(|s| s.parse().ok()))
+        .unwrap_or_else(|| usage("trace needs --session <n>"));
+    let receiver = receiver
+        .or_else(|| positional.next().and_then(|s| s.parse().ok()))
+        .unwrap_or_else(|| usage("trace needs --receiver <n>"));
+    let records: Vec<Record> = load(path).into_iter().map(|(_, _, r)| r).collect();
+    let chains = telemetry::causal::reconstruct(&records, session, receiver);
+    if chains.is_empty() {
+        eprintln!("no trace records for session {session} receiver {receiver} in {path}");
+        std::process::exit(1);
+    }
+    let complete = chains.iter().filter(|c| c.is_complete()).count();
+    for c in &chains {
+        println!(
+            "cause {:016x} — {} hop{} ({})",
+            c.cause,
+            c.hops.len(),
+            if c.hops.len() == 1 { "" } else { "s" },
+            if c.is_complete() { "complete" } else { "incomplete" },
+        );
+        for h in &c.hops {
+            println!(
+                "  {:<7} seq={:<5} t={:>8.1}s level={}",
+                h.phase,
+                h.seq,
+                h.t_ns as f64 / 1e9,
+                h.level,
+            );
+        }
+    }
+    println!(
+        "{} chains ({complete} complete) for session {session} receiver {receiver}",
+        chains.len()
+    );
+}
+
+/// `profile <trail.jsonl>`: the simulator's per-event-type counters, drop
+/// reasons, and high-water marks from the trail's closing counters record.
+fn profile(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| usage("profile needs a file"));
+    let records = load(path);
+    let last = records.iter().rev().find_map(|(_, _, r)| match r {
+        Record::Counters { entries, .. } => Some(entries.clone()),
+        _ => None,
+    });
+    let Some(entries) = last else {
+        eprintln!("no counters record in {path}");
+        std::process::exit(1);
+    };
+    let mut shown = 0usize;
+    for (name, value) in &entries {
+        if let Some(short) = name.strip_prefix("netsim.profile.") {
+            println!("{value:>12}  {short}");
+            shown += 1;
+        }
+    }
+    if shown == 0 {
+        eprintln!("no netsim.profile.* counters in {path} (recorded before the profiler?)");
+        std::process::exit(1);
+    }
+    for key in ["netsim.events", "netsim.events_per_sec"] {
+        if let Some((_, v)) = entries.iter().find(|(n, _)| n == key) {
+            println!("{v:>12}  {}", key.strip_prefix("netsim.").unwrap());
+        }
+    }
+}
+
+/// `blackbox <blackbox.json>`: validate a failure dump (schema + canonical
+/// round-trip) and print its story.
+fn blackbox(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| usage("blackbox needs a file"));
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => usage(&format!("cannot read {path}: {e}")),
+    };
+    let bb = match telemetry::Blackbox::decode(text.trim_end()) {
+        Ok(bb) => bb,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if bb.encode() != text.trim_end() {
+        eprintln!("{path}: decode/re-encode mismatch (non-canonical rendering)");
+        std::process::exit(1);
+    }
+    println!("{path}: valid {} dump", telemetry::BLACKBOX_SCHEMA);
+    println!("  reason  {}", bb.reason);
+    println!("  label   {}", bb.label);
+    println!("  seed    {}", bb.seed);
+    println!("  config  {}", bb.config_fingerprint);
+    println!("  at      {:.1}s", bb.t_ns as f64 / 1e9);
+    println!("  counters ({}):", bb.counters.len());
+    for (name, value) in &bb.counters {
+        println!("    {name:<34} {value}");
+    }
+    println!("  occurrences ({}, {} rolled off):", bb.occurrences.len(), bb.ring_dropped);
+    for o in &bb.occurrences {
+        let detail = if o.detail.is_empty() { String::new() } else { format!("  ({})", o.detail) };
+        println!("    {:>8.1}s  {:<15} seq={}{detail}", o.t_ns as f64 / 1e9, o.kind, o.seq);
     }
 }
 
