@@ -131,7 +131,8 @@ const LEVELS: usize = 6;
 ///   slot indices (`abs_slot & 63`) are unambiguous.
 /// * An entry is filed at the lowest level whose window can hold it;
 ///   entries beyond the top level's window live in `overflow` (unordered)
-///   until the wheel drains and the cursor jumps forward.
+///   until the cursor comes within the top level's horizon of the bucket's
+///   earliest time, at which point the bucket respills into the wheel.
 struct CalendarWheel {
     /// `LEVELS * SLOTS` buckets; unordered within a slot.
     slots: Vec<Vec<Entry>>,
@@ -153,6 +154,10 @@ struct CalendarWheel {
     cursor: u64,
     /// Entries beyond the top level's horizon (~52 simulated days out).
     overflow: Vec<Entry>,
+    /// Earliest time in `overflow` (`u64::MAX` when empty) — checked on
+    /// every slow-path pop so the bucket respills the moment its minimum
+    /// re-enters the wheel's horizon, not only once the wheel drains.
+    overflow_min: u64,
     /// Reused buffer for cascading a slot without reallocating.
     cascade_buf: Vec<Entry>,
     len: usize,
@@ -174,6 +179,7 @@ impl CalendarWheel {
             active: None,
             cursor: 0,
             overflow: Vec::new(),
+            overflow_min: u64::MAX,
             cascade_buf: Vec::new(),
             len: 0,
             stats: WheelStats::default(),
@@ -212,7 +218,21 @@ impl CalendarWheel {
             }
         }
         self.stats.overflow_filed += 1;
+        self.overflow_min = self.overflow_min.min(t);
         self.overflow.push(e);
+    }
+
+    /// Refile the whole overflow bucket; entries still beyond the horizon
+    /// land back in (the now-fresh) `overflow`, the rest enter the wheel.
+    fn respill_overflow(&mut self) {
+        let mut spill = std::mem::take(&mut self.overflow);
+        self.overflow_min = u64::MAX;
+        for e in spill.drain(..) {
+            self.file(e);
+        }
+        if self.overflow.is_empty() {
+            self.overflow = spill; // keep the allocated buffer
+        }
     }
 
     fn insert(&mut self, e: Entry) {
@@ -253,6 +273,24 @@ impl CalendarWheel {
             return Some(entry);
         }
         loop {
+            // Respill the overflow bucket the moment its earliest entry
+            // re-enters the top level's window. Waiting for the wheel to
+            // drain completely (the old behaviour) let an in-wheel entry
+            // scheduled *later* — with a later time, or the same time and
+            // a higher seq — pop ahead of an overflow entry whose horizon
+            // had already arrived: ordering drift vs the heap oracle.
+            if !self.overflow.is_empty() {
+                let s = shift(LEVELS - 1);
+                if self.occupied.iter().all(|&b| b == 0) {
+                    // Wheel empty: jump straight to the earliest overflow
+                    // entry so at least it lands inside the window.
+                    self.cursor = self.cursor.max(self.overflow_min);
+                }
+                if (self.overflow_min >> s).saturating_sub(self.cursor >> s) < SLOTS as u64 {
+                    self.respill_overflow();
+                    continue;
+                }
+            }
             // Best = earliest slot start over all levels; ties go to the
             // higher level so wide slots cascade before narrow ones pop
             // (a level-1 slot starting at the same instant as a level-0
@@ -266,24 +304,10 @@ impl CalendarWheel {
                 }
             }
             let Some((start, level)) = best else {
-                // Wheel empty but len > 0: everything lives in overflow.
-                // Jump the cursor to the earliest overflow entry and refile;
-                // at least that entry now fits the top level's window.
-                debug_assert!(!self.overflow.is_empty());
-                let min_t =
-                    self.overflow.iter().map(|e| e.time.nanos()).min().expect("overflow entry");
-                self.cursor = self.cursor.max(min_t);
-                let mut spill = std::mem::take(&mut self.overflow);
-                for e in spill.drain(..) {
-                    // May push entries still beyond the horizon back into
-                    // (the now-fresh) self.overflow — at least the minimum
-                    // entry is guaranteed to land in the wheel.
-                    self.file(e);
-                }
-                if self.overflow.is_empty() {
-                    self.overflow = spill; // keep the allocated buffer
-                }
-                continue;
+                // len > 0 with an empty wheel means everything lived in
+                // overflow, and the respill above already moved the
+                // earliest entry in.
+                unreachable!("pending entries but wheel and overflow both empty");
             };
             self.cursor = self.cursor.max(start);
             let s = shift(level);
@@ -350,6 +374,8 @@ impl CalendarWheel {
                 }
             }
         }
+        let min_o = self.overflow.iter().map(|e| e.time.nanos()).min().unwrap_or(u64::MAX);
+        assert_eq!(self.overflow_min, min_o, "overflow_min desync");
         if let Some(idx) = self.active {
             assert!(!self.slots[idx as usize].is_empty(), "active slot is empty");
             assert!(self.sorted & (1 << idx) != 0, "active slot not sorted");
@@ -666,6 +692,37 @@ mod tests {
         h.schedule(SimTime(1), timer(0));
         assert_eq!(h.wheel_stats(), WheelStats::default());
         assert_eq!(h.pending_hwm(), 1);
+    }
+
+    /// Regression for the overflow refile path: an overflow-bucket entry
+    /// whose time has come inside the wheel's horizon must pop before any
+    /// later-scheduled in-wheel entry — including the tie-on-time case,
+    /// where the overflow entry's lower seq must win. The old code only
+    /// respilled once the wheel was *empty*, so a non-empty wheel let a
+    /// later event jump the queue.
+    #[test]
+    fn overflow_entry_pops_in_order_once_horizon_arrives() {
+        let horizon = 1u64 << (GRAN_BITS + LEVEL_BITS as u32 * LEVELS as u32);
+        let far = horizon + (1 << 20); // beyond the horizon as seen from 0
+        for in_wheel_dt in [1u64, 0] {
+            // dt=1: strictly-later in-wheel event; dt=0: same-time,
+            // higher-seq in-wheel event. Both must pop *after* the
+            // overflow entry.
+            let mut q = EventQueue::with_backend(QueueBackend::CalendarWheel);
+            q.schedule(SimTime(far), timer(0)); // -> overflow bucket
+                                                // A stepping stone the cursor can advance through so `far`
+                                                // comes inside the horizon while the wheel stays non-empty.
+            q.schedule(SimTime(far - (1 << 30)), timer(1));
+            let (t, _) = q.pop().unwrap();
+            assert_eq!(t.nanos(), far - (1 << 30));
+            // The cursor now sits well within the horizon of `far`; an
+            // event scheduled in-wheel at (or just after) `far` must not
+            // overtake the overflow entry.
+            q.schedule(SimTime(far + in_wheel_dt), timer(2));
+            q.audit();
+            let order: Vec<u64> = tokens(&mut q);
+            assert_eq!(order, vec![0, 2], "in_wheel_dt={in_wheel_dt}");
+        }
     }
 
     /// Randomized differential: the wheel must agree with the heap oracle

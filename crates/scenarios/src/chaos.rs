@@ -115,6 +115,57 @@ pub fn failover_topo() -> TopoSpec {
     s
 }
 
+/// `failover_topo` with the controller on a *slow* control uplink (3 s
+/// one-way on `ctl — core`): every report reaches the controller 3.4 s
+/// after it was sent, so the controller's first post-restart tick (+2 s)
+/// provably runs before any post-restart report can have arrived.
+fn blackout_topo() -> TopoSpec {
+    let fat = || LinkConfig::kbps(100_000.0).with_delay(LATENCY);
+    let slow = LinkConfig::kbps(100_000.0).with_delay(SimDuration::from_secs(3));
+    let thin = |kbps: f64| LinkConfig::kbps(kbps).with_delay(LATENCY);
+    let mut s = TopoSpec::new("blackout-a");
+    let src = s.node("src", vec![NodeRole::Source { session: 0 }]);
+    let ctl = s.node("ctl", vec![NodeRole::Controller]);
+    let core = s.node("core", vec![NodeRole::Router]);
+    s.link(src, core, fat());
+    s.link(ctl, core, slow);
+    for (set, cap) in [(0u32, 150.0), (1u32, 600.0)] {
+        let lan = s.node(format!("lan{set}"), vec![NodeRole::Router]);
+        s.link(core, lan, thin(cap));
+        for r in 0..2 {
+            let rcv = s.node(format!("rcv{set}.{r}"), vec![NodeRole::Receiver { session: 0, set }]);
+            s.link(lan, rcv, fat());
+        }
+    }
+    s
+}
+
+/// Solo-controller blackout: the only controller (`blackout_topo`'s `ctl`,
+/// spec node 1 — no standby) goes dark from 40 s to 72 s and restarts.
+/// Its uplink (spec link 1) fails for the same window, flushing the
+/// reports already riding the 3 s wire — so the first post-restart tick
+/// at 74 s provably runs before any report can have refreshed a silence
+/// clock (earliest post-heal arrival is ≥ 75 s). The outage (32 s) is
+/// longer than `evict_after` (24 s): only the restart-instant re-anchor
+/// keeps the registry from being evicted wholesale for quiet accrued
+/// during the controller's *own* outage.
+pub fn controller_blackout(seed: u64) -> (Scenario, SimTime) {
+    let s = Scenario::new(blackout_topo(), TrafficModel::Cbr, seed)
+        .with_config(chaos_config())
+        .with_duration(SimDuration::from_secs(150))
+        .with_fault(SpecFault::NodeOutage {
+            node: 1,
+            from: SimTime::from_secs(40),
+            until: SimTime::from_secs(72),
+        })
+        .with_fault(SpecFault::LinkOutage {
+            link: 1,
+            from: SimTime::from_secs(40),
+            until: SimTime::from_secs(72),
+        });
+    (s, SimTime::from_secs(72))
+}
+
 /// Controller failover: the primary's node (spec node 1) crashes for good
 /// at 40 s; the warm standby on spec node 2 must take over and keep
 /// steering the receivers.

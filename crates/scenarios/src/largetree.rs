@@ -143,6 +143,79 @@ pub fn churn_fraction(reports: &mut [ReceiverReport], dirty_fraction: f64, round
 }
 
 // ---------------------------------------------------------------------------
+// Federated multi-domain worlds (DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+/// Build `k` federated domains, each a balanced `fanout^depth` subtree with
+/// its own registry — the multi-domain world the federation campaign and
+/// `tests/multidomain.rs` drive (10 domains × fanout 10 × depth 4 is the
+/// full-profile 100k-receiver world). Every domain gets its own
+/// deterministic pipeline stream derived from `(seed, domain id)`. Returns
+/// the domains plus the shared per-domain leaf list (all domains are
+/// shape-identical, so one list serves them all).
+pub fn federated_domains(
+    k: usize,
+    fanout: usize,
+    depth: usize,
+    cfg: toposense::Config,
+    seed: u64,
+) -> (Vec<toposense::federation::Domain>, Vec<NodeId>) {
+    assert!(k >= 1);
+    let mut domains = Vec::with_capacity(k);
+    let mut shared_leaves = Vec::new();
+    for i in 0..k {
+        let (tree, leaves) = balanced_session_tree(0, fanout, depth);
+        let registry = registry_for_leaves(0, &leaves);
+        domains.push(toposense::federation::Domain::new(
+            i as u32,
+            cfg,
+            seed,
+            tree,
+            traffic::LayerSpec::paper_default(),
+            registry,
+        ));
+        shared_leaves = leaves;
+    }
+    (domains, shared_leaves)
+}
+
+/// The reports a domain's receivers file when the whole domain sits behind
+/// one `cap_bps` border link: a receiver subscribed past the fitting level
+/// sees loss in proportion to the overshoot, and delivered bytes saturate
+/// at the link capacity — the deterministic capacity oracle the federated
+/// drives use in place of a packet-level simulation.
+pub fn reports_behind_border(
+    session: u32,
+    leaves: &[NodeId],
+    levels: &[u8],
+    cap_bps: f64,
+    spec: &traffic::LayerSpec,
+    window: SimDuration,
+) -> Vec<ReceiverReport> {
+    assert_eq!(levels.len(), leaves.len());
+    assert!(cap_bps > 0.0);
+    leaves
+        .iter()
+        .zip(levels)
+        .enumerate()
+        .map(|(i, (&node, &level))| {
+            let cum = spec.cumulative_rate(level);
+            let frac = if cum <= cap_bps { 1.0 } else { cap_bps / cum };
+            let received = (100.0 * frac).round() as u64;
+            ReceiverReport {
+                receiver: AppId(1000 + i as u32),
+                node,
+                session: SessionId(session),
+                level,
+                received,
+                lost: 100 - received,
+                bytes: (cum.min(cap_bps) / 8.0 * window.as_secs_f64()) as u64,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
 // Campaign zoo: flash crowds, diurnal churn, heterogeneous last miles
 // (DESIGN.md §13)
 // ---------------------------------------------------------------------------
@@ -433,6 +506,31 @@ mod tests {
         assert_eq!(rep_after.len(), leaves.len());
         // The core keeps its identities across the join (no re-keying).
         assert_eq!(&reg_after[..3], &reg_before[..]);
+    }
+
+    #[test]
+    fn border_capacity_oracle_matches_fitting_levels() {
+        let spec = traffic::LayerSpec::paper_default();
+        let (_, leaves) = balanced_session_tree(0, 2, 2);
+        let fit = vec![2u8; leaves.len()];
+        let ok =
+            reports_behind_border(0, &leaves, &fit, 150_000.0, &spec, SimDuration::from_secs(2));
+        assert!(ok.iter().all(|r| r.lost == 0), "at the fitting level nothing is lost");
+        let over = vec![3u8; leaves.len()];
+        let lossy =
+            reports_behind_border(0, &leaves, &over, 150_000.0, &spec, SimDuration::from_secs(2));
+        assert!(lossy.iter().all(|r| r.lost > 0), "overshooting the border loses packets");
+        // Bytes saturate at the border: observed throughput re-derives the
+        // capacity, which is what parent stage 2 learns from the fold.
+        assert_eq!(lossy[0].bytes, (150_000.0 / 8.0 * 2.0) as u64);
+    }
+
+    #[test]
+    fn federated_world_shape() {
+        let (domains, leaves) = federated_domains(3, 2, 2, toposense::Config::default(), 1);
+        assert_eq!(domains.len(), 3);
+        assert_eq!(leaves.len(), 4);
+        assert!(domains.iter().all(|d| d.receivers() == 4));
     }
 
     #[test]

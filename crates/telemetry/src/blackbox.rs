@@ -80,6 +80,8 @@ fn intern_kind(kind: &str) -> Result<&'static str, String> {
         "recovery_failure",
         "view_change",
         "divergence",
+        "border_summary",
+        "border_fold",
     ];
     KINDS
         .iter()

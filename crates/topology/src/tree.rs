@@ -605,6 +605,51 @@ mod tests {
         assert!(!d.contains(6));
     }
 
+    /// ISSUE 9 satellite: epoch wrap + shrink-then-regrow. `begin` never
+    /// shrinks `stamp`, so slots past the current tree keep old stamps —
+    /// none of those may ever read back as marked after the tree regrows,
+    /// and the `u32::MAX` wrap must flush every stamp in the array
+    /// (including the beyond-`len` tail a shrink left behind).
+    #[test]
+    fn dirty_set_epoch_wrap_and_shrink_regrow_leave_no_stale_marks() {
+        let mut d = DirtySet::new();
+        d.begin(8);
+        for s in 0..8 {
+            assert!(d.mark(s));
+        }
+        // Shrink to 3 slots: the stamp array keeps length 8, so slots 3..8
+        // still carry the previous round's epoch.
+        d.begin(3);
+        assert!(d.is_empty());
+        assert!(d.mark(1));
+        // Regrow to 8 without an epoch wrap: the kept tail must stay clean.
+        d.begin(8);
+        for s in 0..8 {
+            assert!(!d.contains(s), "stale mark survived shrink-then-regrow at slot {s}");
+        }
+        assert!(d.mark(5));
+        // Drive the counter to the wrap point with marks outstanding in
+        // both the live range and the stale tail, then shrink and wrap.
+        d.epoch = u32::MAX - 1;
+        d.slots.clear();
+        d.begin(8); // epoch -> u32::MAX: every stamp slot now matches it
+        for s in 0..8 {
+            assert!(d.mark(s));
+        }
+        d.begin(3); // wrap: re-zero + epoch = 1
+        assert!(d.is_empty());
+        for s in 0..3 {
+            assert!(!d.contains(s), "stale mark survived the epoch wrap at slot {s}");
+        }
+        assert_eq!(d.epoch, 1, "wrap must restart the epoch counter");
+        // And the regrow after the wrap is clean too.
+        d.begin(8);
+        for s in 0..8 {
+            assert!(!d.contains(s), "stale mark survived wrap-then-regrow at slot {s}");
+        }
+        assert!(d.mark(2) && !d.mark(2));
+    }
+
     #[test]
     fn mark_ancestors_walks_to_root_and_stops_at_marked() {
         let t = fig1();

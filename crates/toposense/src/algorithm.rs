@@ -207,6 +207,11 @@ struct IncCache {
     /// Every link any session crosses, sorted (dedup of `usage_meta`'s
     /// link column).
     crossed_links: Vec<DirLinkId>,
+    /// The border caps in force when the cache was last primed/refreshed.
+    /// A cap change is an *input* change at the root slot: the incremental
+    /// path diffs against this copy and marks the root dirty, and the
+    /// full-width top-down supply pass propagates the new ceiling.
+    border_caps: Vec<(SessionId, u8)>,
     sessions: Vec<SessionCache>,
 }
 
@@ -226,6 +231,14 @@ pub struct AlgorithmState {
     /// Second marking set for stage 5: candidate slots whose inputs may
     /// have moved (`dirty` holds the slots whose decisions must re-run).
     dirty_aux: topology::DirtySet,
+    /// Per-session root-level ceilings imposed from outside the domain
+    /// (federation border aggregation, DESIGN.md §16). Sorted by session,
+    /// deduplicated; `u8::MAX` / absence means uncapped. These are
+    /// per-interval *external inputs*, not persistent state: checkpoints
+    /// do not capture them — the aggregator re-sends them every interval,
+    /// so a restored or promoted controller is reprimed before its next
+    /// run (the determinism argument is in DESIGN.md §16).
+    border_caps: Vec<(SessionId, u8)>,
 }
 
 impl AlgorithmState {
@@ -244,7 +257,40 @@ impl AlgorithmState {
             cache: IncCache::default(),
             dirty: topology::DirtySet::new(),
             dirty_aux: topology::DirtySet::new(),
+            border_caps: Vec::new(),
         }
+    }
+
+    /// Install the per-session border caps for the *next* run. `caps` is
+    /// normalized (sorted by session, last write wins, `u8::MAX` rows
+    /// dropped) so two callers handing over the same set in any order
+    /// leave byte-identical state. Does not invalidate the change cache:
+    /// a cap change is tracked as a root-slot input change by the
+    /// incremental path.
+    pub fn set_border_caps(&mut self, caps: &[(SessionId, u8)]) {
+        self.border_caps.clear();
+        self.border_caps.extend_from_slice(caps);
+        self.border_caps.sort_by_key(|&(sid, _)| sid.0);
+        // Last write per session wins; drop uncapped rows.
+        let mut out: Vec<(SessionId, u8)> = Vec::with_capacity(self.border_caps.len());
+        for &(sid, cap) in &self.border_caps {
+            match out.last_mut() {
+                Some(last) if last.0 == sid => last.1 = cap,
+                _ => out.push((sid, cap)),
+            }
+        }
+        out.retain(|&(_, cap)| cap != u8::MAX);
+        self.border_caps = out;
+    }
+
+    /// The border caps currently in force (sorted by session).
+    pub fn border_caps(&self) -> &[(SessionId, u8)] {
+        &self.border_caps
+    }
+
+    /// The effective root-level ceiling for `sid` (`u8::MAX` = uncapped).
+    fn border_cap_of(caps: &[(SessionId, u8)], sid: SessionId) -> u8 {
+        caps.binary_search_by_key(&sid.0, |&(s, _)| s.0).map(|i| caps[i].1).unwrap_or(u8::MAX)
     }
 
     /// The configuration in force.
@@ -475,6 +521,7 @@ impl AlgorithmState {
                 &sc.states,
                 &sc.mem,
                 &sc.max_handle,
+                Self::border_cap_of(&self.border_caps, sid),
                 &mut sc.inputs,
                 &mut sc.level_cap,
             );
@@ -822,6 +869,8 @@ impl AlgorithmState {
         c.registry.extend_from_slice(inputs.registry);
         c.reports.clear();
         c.reports.extend_from_slice(inputs.reports);
+        c.border_caps.clear();
+        c.border_caps.extend_from_slice(&self.border_caps);
 
         c.report_target.clear();
         for r in inputs.reports {
@@ -1145,6 +1194,8 @@ impl AlgorithmState {
             let sc = &mut scratch[k];
             let cs = &mut cache.sessions[k];
 
+            let border_cap = Self::border_cap_of(&self.border_caps, sid);
+            let border_cap_moved = border_cap != Self::border_cap_of(&cache.border_caps, sid);
             dirty.begin(t.len());
             if refreshed_sessions.binary_search(&(k as u32)).is_ok() {
                 // Sharing refreshed this session's allowances: any slot's
@@ -1161,6 +1212,7 @@ impl AlgorithmState {
                     &sc.states,
                     &sc.mem,
                     &sc.max_handle,
+                    border_cap,
                     &mut sc.inputs_new,
                     &mut sc.level_cap_new,
                 );
@@ -1179,6 +1231,13 @@ impl AlgorithmState {
                 // state change at the slot, its parent, or a sibling.
                 // Rebuild inputs for exactly those candidates.
                 dirty_aux.begin(t.len());
+                if border_cap_moved {
+                    // The cap feeds exactly one input — the root's level
+                    // cap — so the root is the (only) candidate; the
+                    // full-width supply pass below propagates the change
+                    // to every descendant.
+                    dirty_aux.mark(0);
+                }
                 for &s in &sc.obs_dirty {
                     dirty_aux.mark(s as usize);
                 }
@@ -1222,6 +1281,7 @@ impl AlgorithmState {
                         &sc.states,
                         &sc.mem,
                         &sc.max_handle,
+                        border_cap,
                         s,
                     );
                     if inp != sc.inputs[s] || lc != sc.level_cap[s] {
@@ -1376,10 +1436,13 @@ impl AlgorithmState {
         outputs.slots_recomputed = slots_recomputed;
 
         // Refresh the cache for the next interval: new report values
-        // (keys unchanged), fresh backoff snapshots, and — without an
-        // audit — stale branch labels at the slots just re-decided.
+        // (keys unchanged), the border caps just applied, fresh backoff
+        // snapshots, and — without an audit — stale branch labels at the
+        // slots just re-decided.
         cache.reports.clear();
         cache.reports.extend_from_slice(inputs.reports);
+        cache.border_caps.clear();
+        cache.border_caps.extend_from_slice(&self.border_caps);
         for (k, tree) in inputs.trees.iter().enumerate() {
             let t = tree.tree();
             let cs = &mut cache.sessions[k];
@@ -1428,6 +1491,7 @@ fn build_stage5_inputs(
     states: &[NodeState],
     mem: &[NodeMemory],
     max_handle: &[f64],
+    border_cap: u8,
     inputs: &mut Vec<NodeInputs>,
     level_cap: &mut Vec<u8>,
 ) {
@@ -1436,7 +1500,8 @@ fn build_stage5_inputs(
     level_cap.clear();
     for s in t.slots() {
         let (inp, lc) = stage5_input_at(
-            tree, sess_idx, spec, cfg, interval, sharing, obs, states, mem, max_handle, s,
+            tree, sess_idx, spec, cfg, interval, sharing, obs, states, mem, max_handle, border_cap,
+            s,
         );
         inputs.push(inp);
         level_cap.push(lc);
@@ -1458,6 +1523,7 @@ fn stage5_input_at(
     states: &[NodeState],
     mem: &[NodeMemory],
     max_handle: &[f64],
+    border_cap: u8,
     s: usize,
 ) -> (NodeInputs, u8) {
     let t = tree.tree();
@@ -1506,7 +1572,15 @@ fn stage5_input_at(
             / interval.as_secs_f64().max(1e-9),
     };
     let bw = sharing.allowed_at(sess_idx, s).min(max_handle[s]);
-    (inp, spec.level_fitting(bw))
+    let mut lc = spec.level_fitting(bw);
+    if s == 0 {
+        // Federation border cap (DESIGN.md §16): an externally imposed
+        // ceiling on what this domain's root may carry. Applied at the
+        // root only — the top-down supply pass min-folds it over every
+        // slot, so one capped slot steers the whole domain.
+        lc = lc.min(border_cap);
+    }
+    (inp, lc)
 }
 
 /// Stage-1 audit record, shared by the full and incremental paths.

@@ -283,6 +283,15 @@ impl Controller {
         &self.state
     }
 
+    /// Install per-session border caps from a federation parent
+    /// (DESIGN.md §16): root-level ceilings the next interval's stage 5
+    /// honors. Caps are per-interval external inputs — the aggregator
+    /// re-sends them each interval — and are forwarded to an input-synced
+    /// replica with the rest of the interval's inputs.
+    pub fn apply_border_caps(&mut self, caps: &[(SessionId, u8)]) {
+        self.state.set_border_caps(caps);
+    }
+
     fn tick(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
         lock_or_recover(&self.shared).flight.note(
@@ -507,6 +516,7 @@ impl Controller {
                     view: view.clone(),
                     registry: registry.clone(),
                     reports: reports.clone(),
+                    border_caps: self.state.border_caps().to_vec(),
                     fingerprint,
                     from: my_node,
                 });
@@ -662,6 +672,9 @@ impl Controller {
         }
         let specs: Vec<&LayerSpec> =
             trees.iter().map(|t| &self.catalog.get(t.session()).spec).collect();
+        // Border caps are pipeline inputs too: the twin must run under the
+        // same root ceilings or its fingerprint diverges.
+        self.state.set_border_caps(&m.border_caps);
         let inputs = AlgorithmInputs {
             now: m.now,
             interval: m.interval,
@@ -890,6 +903,17 @@ impl App for Controller {
             // receivers after a crash.
             self.active = false;
             self.last_heartbeat_at = Some(ctx.now());
+        } else if self.active {
+            // Solo restart: every registered receiver was silent only
+            // because *we* were down. Re-anchor the silence clocks to the
+            // restart instant (the mirror of the `take_over` re-anchor) so
+            // the first tick back does not quarantine — or, after an
+            // outage longer than `evict_after`, evict — receivers for
+            // quiet accrued during our own outage.
+            let now = ctx.now();
+            for (&app, _) in self.registry.iter() {
+                self.last_heard.insert(app, now);
+            }
         }
         ctx.set_timer(self.cfg.interval, TOKEN_TICK);
     }

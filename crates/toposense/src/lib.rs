@@ -34,6 +34,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod controller;
 pub mod decision;
+pub mod federation;
 pub mod history;
 pub mod messages;
 pub mod receiver;
@@ -46,6 +47,7 @@ pub use checkpoint::Snapshot;
 pub use config::Config;
 pub use controller::{Controller, ControllerShared};
 pub use decision::{Action, NodeKind, SupplyWindow};
+pub use federation::{BorderSummary, Domain, Federation, FederationInterval};
 pub use history::{BwEquality, CongestionHistory};
 pub use receiver::{Receiver, ReceiverShared};
 pub use replication::{fingerprint_outputs, AckVerdict, Cluster, ReplicaTracker};

@@ -151,6 +151,11 @@ pub struct ReplicateInputs {
     pub registry: Vec<(AppId, NodeId, SessionId)>,
     /// The interval's report batch, exactly as the pipeline consumed it.
     pub reports: Vec<ReceiverReport>,
+    /// The border caps in force when the primary ran (federation input,
+    /// DESIGN.md §16). Replicated like every other pipeline input so the
+    /// twin's root ceilings — and therefore its output fingerprint — stay
+    /// byte-identical to the primary's.
+    pub border_caps: Vec<(SessionId, u8)>,
     /// The primary's own output fingerprint for this interval
     /// ([`crate::replication::fingerprint_outputs`]) — what the replica's
     /// ack is cross-checked against.

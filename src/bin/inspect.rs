@@ -10,6 +10,7 @@
 //! cargo run --release --bin inspect -- counters <trail.jsonl> [top_n]
 //! cargo run --release --bin inspect -- trace    <trail.jsonl> <session> <receiver>
 //! cargo run --release --bin inspect -- profile  <trail.jsonl>
+//! cargo run --release --bin inspect -- federation <trail.jsonl>
 //! cargo run --release --bin inspect -- blackbox <blackbox.json>
 //! cargo run --release --bin inspect -- snapshot validate <ckpt.json>
 //! cargo run --release --bin inspect -- snapshot summary  <ckpt.json>
@@ -46,6 +47,7 @@ fn main() {
         Some("counters") => counters(&args[2..]),
         Some("trace") => trace(&args[2..]),
         Some("profile") => profile(&args[2..]),
+        Some("federation") => federation(&args[2..]),
         Some("blackbox") => blackbox(&args[2..]),
         Some("snapshot") => snapshot(&args[2..]),
         Some("a2" | "b4" | "fig1") => scenario_mode(&args),
@@ -65,6 +67,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("       inspect counters <trail.jsonl> [top_n]");
     eprintln!("       inspect trace <trail.jsonl> <session> <receiver>");
     eprintln!("       inspect profile <trail.jsonl>");
+    eprintln!("       inspect federation <trail.jsonl>");
     eprintln!("       inspect blackbox <blackbox.json>");
     eprintln!("       inspect snapshot validate|summary <ckpt.json>");
     eprintln!("       inspect snapshot diff <a.json> <b.json>");
@@ -495,6 +498,44 @@ fn profile(args: &[String]) {
     for key in ["netsim.events", "netsim.events_per_sec"] {
         if let Some((_, v)) = entries.iter().find(|(n, _)| n == key) {
             println!("{v:>12}  {}", key.strip_prefix("netsim.").unwrap());
+        }
+    }
+}
+
+/// `federation <trail.jsonl>`: the control plane's federation counters
+/// (`federation.*`) from the trail's last counters record — how many
+/// domains the run sharded into, how many border summaries crossed the
+/// wire, and how many the parent aggregator folded.
+fn federation(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| usage("federation needs a file"));
+    let records = load(path);
+    let last = records.iter().rev().find_map(|(_, _, r)| match r {
+        Record::Counters { entries, .. } => Some(entries.clone()),
+        _ => None,
+    });
+    let Some(entries) = last else {
+        eprintln!("no counters record in {path}");
+        std::process::exit(1);
+    };
+    let mut shown = 0usize;
+    for (name, value) in &entries {
+        if let Some(short) = name.strip_prefix("federation.") {
+            println!("{value:>12}  {short}");
+            shown += 1;
+        }
+    }
+    if shown == 0 {
+        eprintln!("no federation.* counters in {path} (single-domain run?)");
+        std::process::exit(1);
+    }
+    // Summaries and folds should stay in lock-step: every summary sent is
+    // folded exactly once by the parent. Call out a mismatch loudly.
+    let get = |key: &str| entries.iter().find(|(n, _)| n == key).map(|(_, v)| *v);
+    if let (Some(sent), Some(folds)) =
+        (get("federation.summaries_sent"), get("federation.border_folds"))
+    {
+        if sent != folds {
+            println!("warning: summaries_sent ({sent}) != border_folds ({folds})");
         }
     }
 }

@@ -20,10 +20,12 @@
 use netsim::SimDuration;
 use netsim::SimTime;
 use scenarios::largetree::{
-    balanced_session_tree, churn_fraction, registry_for_leaves, reports_for_leaves,
+    balanced_session_tree, churn_fraction, federated_domains, registry_for_leaves,
+    reports_behind_border, reports_for_leaves,
 };
 use scenarios::{chaos, runner};
-use toposense::algorithm::{AlgorithmInputs, AlgorithmState};
+use toposense::algorithm::{AlgorithmInputs, AlgorithmState, ReceiverReport};
+use toposense::federation::Federation;
 use traffic::LayerSpec;
 
 /// (name, FNV-1a 64 digest of the canned fingerprint).
@@ -34,6 +36,7 @@ const BASELINES: &[(&str, u64)] = &[
     ("chaos/controller_failover/s1", 0x86017b30b21c9ab4),
     ("chaos/random_chaos/s7", 0x44fe62775b1cb2cb),
     ("incremental/diurnal_1k/s1", 0x9a6a1869cc0331fe),
+    ("federation/border_aggregation/s1", 0x6cc9e582868478ea),
 ];
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -80,6 +83,47 @@ fn incremental_fingerprint(seed: u64) -> String {
     out_text
 }
 
+/// Digest of a canned federated drive: three 4-leaf domains behind
+/// heterogeneous border bandwidth, ten intervals, rendering each
+/// interval's federation fingerprint and the caps the parent handed back.
+fn federation_fingerprint(seed: u64) -> String {
+    use std::fmt::Write;
+    let cfg = chaos::chaos_config();
+    let (domains, leaves) = federated_domains(3, 2, 2, cfg, seed);
+    let spec = LayerSpec::paper_default();
+    let caps_bps = [150_000.0, 300_000.0, 600_000.0];
+    let mut fed = Federation::new(cfg, seed, domains, spec.clone());
+    let mut levels = vec![vec![1u8; leaves.len()]; caps_bps.len()];
+    let mut out_text = String::new();
+    for round in 1..=10u64 {
+        let reports: Vec<Vec<ReceiverReport>> = (0..caps_bps.len())
+            .map(|d| {
+                reports_behind_border(
+                    0,
+                    &leaves,
+                    &levels[d],
+                    caps_bps[d],
+                    &spec,
+                    SimDuration::from_secs(2),
+                )
+            })
+            .collect();
+        let out =
+            fed.run_interval(SimTime::from_secs(2 * round), SimDuration::from_secs(2), reports);
+        for (d, dom) in out.domain_outputs.iter().enumerate() {
+            for s in &dom.suggestions {
+                levels[d][(s.receiver.0 - 1000) as usize] = s.level;
+            }
+        }
+        write!(out_text, "r{round} fp={:#018x} caps=[", out.fingerprint()).unwrap();
+        for c in &out.caps {
+            write!(out_text, "{c},").unwrap();
+        }
+        out_text.push_str("]\n");
+    }
+    out_text
+}
+
 fn compute(name: &str) -> u64 {
     let text = match name {
         "chaos/link_flap/s1" => chaos::fingerprint(&runner::run(&chaos::link_flap(1).0)),
@@ -92,6 +136,7 @@ fn compute(name: &str) -> u64 {
         }
         "chaos/random_chaos/s7" => chaos::fingerprint(&runner::run(&chaos::random_chaos(7).0)),
         "incremental/diurnal_1k/s1" => incremental_fingerprint(1),
+        "federation/border_aggregation/s1" => federation_fingerprint(1),
         other => panic!("unknown baseline {other}"),
     };
     fnv1a(text.as_bytes())

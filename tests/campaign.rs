@@ -51,6 +51,7 @@ fn smoke_campaign_is_deterministic_and_covers_the_zoo() {
         "het-lastmile",
         "mixed-sessions",
         "primary-crash-mid-interval",
+        "federation",
     ] {
         assert!(workloads.contains(w), "workload {w} missing from campaign");
     }

@@ -7,8 +7,8 @@
 
 use netsim::{SimDuration, SimTime};
 use scenarios::chaos::{
-    self, chaos_config, controller_failover, discovery_outage, link_flap, partial_discovery_outage,
-    random_chaos, router_crash, verify_recovery,
+    self, chaos_config, controller_blackout, controller_failover, discovery_outage, link_flap,
+    partial_discovery_outage, random_chaos, router_crash, verify_recovery,
 };
 use scenarios::{run, ControlMode, Scenario, SpecFault};
 use topology::generators;
@@ -77,10 +77,33 @@ fn controller_failover_keeps_steering_receivers() {
     );
     assert!(standby.suggestions_sent > 0, "standby steered after takeover");
     assert!(standby.acks_sent >= r.receivers.len() as u64, "receivers re-ACKed on takeover");
+    // ISSUE 9 satellite: takeover re-anchors the silence clocks — nobody
+    // is evicted for quiet accrued while the standby was passive.
+    assert_eq!(standby.evicted, 0, "takeover evicted receivers for failover-window silence");
     // Receivers followed the standby: suggestions kept arriving after the
     // primary died, so they reported (and listened) to the new controller.
     for rec in &r.receivers {
         assert!(rec.stats.suggestions_received > 0);
+    }
+}
+
+/// ISSUE 9 satellite: a solo controller restarting after an outage longer
+/// than `evict_after` must not evict (or quarantine) receivers whose only
+/// silence was the controller's own downtime. The blackout plan slows
+/// reports to one per 10 s, so the first post-restart tick at +2 s runs on
+/// silence clocks no report could have refreshed — with the restart
+/// re-anchor missing, that tick evicted the whole registry.
+#[test]
+fn controller_restart_does_not_evict_quiet_receivers() {
+    let (s, heal_at) = controller_blackout(3);
+    let r = run(&s);
+    let c = r.controller.as_ref().unwrap();
+    assert!(c.suggestions_sent > 0, "controller steered");
+    assert_eq!(c.evicted, 0, "restart evicted receivers silent only during the outage");
+    assert_eq!(c.registered, r.receivers.len(), "registry must survive the blackout intact");
+    verify_recovery(&r, &s.cfg, heal_at, RECOVERY_INTERVALS).unwrap();
+    for rec in &r.receivers {
+        assert!(rec.stats.suggestions_received > 0, "receiver kept being steered");
     }
 }
 

@@ -25,7 +25,15 @@ fn no_args_and_unknown_subcommand_exit_two_with_usage() {
     assert!(err.contains("no subcommand given"));
     assert!(err.contains("usage:"));
     for sub in [
-        "validate", "summary", "timeline", "diff", "counters", "trace", "profile", "blackbox",
+        "validate",
+        "summary",
+        "timeline",
+        "diff",
+        "counters",
+        "trace",
+        "profile",
+        "federation",
+        "blackbox",
         "snapshot",
     ] {
         assert!(err.contains(sub), "usage must mention '{sub}'");
@@ -105,6 +113,71 @@ fn trail_queries_work_against_a_recorded_run() {
     assert_eq!(miss.status.code(), Some(1));
 
     let _ = std::fs::remove_file(&path);
+}
+
+/// Record a federated run's counters, then summarize them with the
+/// `federation` subcommand; a trail without federation counters is a
+/// hard miss.
+#[test]
+fn federation_subcommand_summarizes_border_counters() {
+    use netsim::SimTime;
+    use scenarios::largetree::{federated_domains, reports_behind_border};
+    use toposense::federation::Federation;
+    use traffic::LayerSpec;
+
+    let path =
+        std::env::temp_dir().join(format!("toposense-inspect-fed-{}.jsonl", std::process::id()));
+    let tel = Telemetry::jsonl_file(&path).expect("create trail file");
+    let cfg = scenarios::chaos::chaos_config();
+    let (domains, leaves) = federated_domains(2, 2, 2, cfg, 3);
+    let spec = LayerSpec::paper_default();
+    let mut fed = Federation::new(cfg, 3, domains, spec.clone()).with_telemetry(tel.clone());
+    for round in 1..=4u64 {
+        let reports = (0..2)
+            .map(|_| {
+                reports_behind_border(
+                    0,
+                    &leaves,
+                    &vec![1u8; leaves.len()],
+                    300_000.0,
+                    &spec,
+                    SimDuration::from_secs(2),
+                )
+            })
+            .collect();
+        fed.run_interval(SimTime::from_secs(2 * round), SimDuration::from_secs(2), reports);
+    }
+    tel.emit_counters(8_000_000_000);
+    tel.flush();
+    let trail = path.to_str().expect("utf8 temp path");
+
+    let f = inspect(&["federation", trail]);
+    assert_eq!(
+        f.status.code(),
+        Some(0),
+        "federation failed: {}",
+        String::from_utf8_lossy(&f.stderr)
+    );
+    let out = String::from_utf8_lossy(&f.stdout);
+    for counter in ["domains", "summaries_sent", "border_folds"] {
+        assert!(out.contains(counter), "federation output missing {counter}:\n{out}");
+    }
+    // 2 domains x 4 intervals, every summary folded exactly once.
+    assert!(out.contains("           8"), "expected 8 summaries in:\n{out}");
+    assert!(!out.contains("warning:"), "summary/fold ledgers out of lock-step:\n{out}");
+
+    // A trail with no federation counters must exit 1, not print nothing.
+    let bare = std::env::temp_dir()
+        .join(format!("toposense-inspect-fed-bare-{}.jsonl", std::process::id()));
+    let tel2 = Telemetry::jsonl_file(&bare).expect("create trail file");
+    tel2.incr("netsim.events", 1);
+    tel2.emit_counters(1_000_000_000);
+    tel2.flush();
+    let miss = inspect(&["federation", bare.to_str().expect("utf8 temp path")]);
+    assert_eq!(miss.status.code(), Some(1), "federation-free trail must exit 1");
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&bare);
 }
 
 #[test]

@@ -175,6 +175,59 @@ proptest! {
     }
 }
 
+/// Far-future events (beyond the wheel's ~52-day horizon, in its overflow
+/// bucket) must obey the same `(time, seq)` total order as everything else
+/// — in particular when the cursor advances to within the horizon of an
+/// overflow entry while the wheel is still busy, and later events are then
+/// scheduled in-wheel at or after the overflow entry's time. The old code
+/// only respilled the bucket once the wheel drained, letting those later
+/// events jump the queue.
+#[test]
+fn far_future_events_keep_total_order_against_heap_oracle() {
+    use netsim::rng::RngStream;
+    use netsim::{Event, EventQueue};
+    let timer = |token: u64| Event::Timer { app: netsim::AppId(0), token };
+    let horizon = 1u64 << 52;
+    let mut rng = RngStream::derive(0xFA2F, "differential/far-future");
+    let mut wheel = EventQueue::with_backend(QueueBackend::CalendarWheel);
+    let mut heap = EventQueue::with_backend(QueueBackend::BinaryHeap);
+    let mut now = 0u64;
+    let mut token = 0u64;
+    let sched = |w: &mut EventQueue, h: &mut EventQueue, t: u64, tok: u64| {
+        w.schedule(SimTime(t), timer(tok));
+        h.schedule(SimTime(t), timer(tok));
+    };
+    for _ in 0..6_000 {
+        if rng.chance(0.55) || wheel.is_empty() {
+            // Heavy tail past the horizon, plus exact-collision times so
+            // the seq tie-break is exercised across the overflow boundary.
+            let t = match rng.range_u64(0, 100) {
+                0..=29 => now + rng.range_u64(0, 1 << 20),
+                30..=54 => now + horizon + rng.range_u64(0, 1 << 24),
+                55..=74 => now + horizon + (1 << 22), // deliberate collisions
+                _ => now + rng.range_u64(0, horizon / 2),
+            };
+            sched(&mut wheel, &mut heap, t, token);
+            token += 1;
+        } else {
+            let a = wheel.pop();
+            let b = heap.pop();
+            assert_eq!(a, b, "wheel diverged from heap oracle mid-run");
+            if let Some((t, _)) = a {
+                now = t.nanos();
+            }
+        }
+    }
+    loop {
+        let a = wheel.pop();
+        let b = heap.pop();
+        assert_eq!(a, b, "wheel diverged from heap oracle during drain");
+        if a.is_none() {
+            break;
+        }
+    }
+}
+
 /// Every canned chaos plan — the full controller/receiver stack under
 /// faults — produces a byte-identical fingerprint (events, drops, control
 /// counters, and each receiver's full suggestion/level-change series) under
