@@ -1,0 +1,84 @@
+//! Sharded parallel runner vs the sequential oracle on the federated
+//! packet world (DESIGN.md §17).
+//!
+//! Both sides run the identical workload — 4 federation domains of a
+//! balanced fanout-10 depth-3 tree (4,444 nodes each) fed across 20 ms
+//! handoffs — and the differential suite pins them bit-identical, so the
+//! only thing measured here is the runner: one wheel in one thread versus
+//! one wheel per shard under conservative barrier epochs. The domain is
+//! built and warmed once; each iteration advances a fixed 100 ms sim-time
+//! slice, so the measurement is pure event-loop cost.
+//!
+//! The worker count is baked into the sharded benchmark id (`..._w{N}`):
+//! on a 1-worker box the sharded run is the sequential wheel plus barrier
+//! bookkeeping, and its numbers measure that overhead — *not* parallel
+//! speedup. Speedup claims require `w > 1` in the recorded id.
+//!
+//! Regenerate the JSON with
+//! `CRITERION_JSON=/tmp/sharded.json cargo bench -p toposense-bench --bench netsim_sharded`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netsim::{QueueBackend, SimDuration, SimTime};
+use toposense_bench::{federated_media_sharded, federated_media_world, FederationWorldParams};
+
+fn params() -> FederationWorldParams {
+    FederationWorldParams {
+        domains: 4,
+        fanout: 10,
+        depth: 3,
+        sink_stride: 2,
+        rate_pps: 200,
+        handoff_delay: SimDuration::from_millis(20),
+        backend: QueueBackend::CalendarWheel,
+        trace_cap: 0,
+    }
+}
+
+fn bench_sharded_vs_oracle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim_sharded");
+    g.sample_size(10);
+    let slice = SimDuration::from_millis(100);
+
+    // Sequential oracle: the same federated world in a single simulator.
+    {
+        let mut w = federated_media_world(params());
+        w.oracle.run_until(SimTime::from_secs(1));
+        let warm = w.oracle.events_processed();
+        let mut deadline = w.oracle.now() + slice;
+        w.oracle.run_until(deadline);
+        g.throughput(Throughput::Elements(w.oracle.events_processed() - warm));
+        g.bench_with_input(BenchmarkId::new("oracle", "federated_100ms"), &(), |b, _| {
+            b.iter(|| {
+                deadline += slice;
+                w.oracle.run_until(deadline);
+                w.oracle.events_processed()
+            });
+        });
+    }
+
+    // Sharded runner: per-domain wheels, conservative 20 ms lookahead.
+    {
+        let mut w = federated_media_sharded(params());
+        let workers = w.sharded.workers();
+        w.sharded.run_until(SimTime::from_secs(1));
+        let warm = w.sharded.events_processed();
+        let mut deadline = w.sharded.now() + slice;
+        w.sharded.run_until(deadline);
+        g.throughput(Throughput::Elements(w.sharded.events_processed() - warm));
+        g.bench_with_input(
+            BenchmarkId::new(format!("sharded_w{workers}"), "federated_100ms"),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    deadline += slice;
+                    w.sharded.run_until(deadline);
+                    w.sharded.events_processed()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sharded_vs_oracle);
+criterion_main!(benches);

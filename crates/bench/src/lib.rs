@@ -7,8 +7,8 @@
 //! bench keeps a single import path.
 
 pub use scenarios::largetree::{
-    balanced_session_tree, churn_fraction, media_sim, registry_for_leaves, reports_for_leaves,
-    MediaSim,
+    balanced_session_tree, churn_fraction, federated_media_sharded, federated_media_world,
+    media_sim, registry_for_leaves, reports_for_leaves, FederationWorldParams, MediaSim,
 };
 
 #[cfg(test)]

@@ -30,7 +30,13 @@ impl AppId {
 /// Handlers receive a [`Ctx`] scoped to this app and the current instant.
 /// All methods have empty defaults so simple apps implement only what they
 /// need.
-pub trait App {
+///
+/// `Send` is a supertrait so a whole [`crate::sim::Simulator`] (which owns
+/// its apps) can move to a worker thread — the sharded runner executes one
+/// simulator per shard under `std::thread::scope`. Apps still run
+/// single-threaded within their shard; share observations across threads
+/// with `Arc<AtomicU64>`/`Arc<Mutex<..>>` instead of `Rc<Cell<..>>`.
+pub trait App: Send {
     /// Called once when the simulation starts (in app-id order).
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         let _ = ctx;
@@ -111,6 +117,17 @@ impl Ctx<'_> {
         // The packet moves into the slab here — events only carry its id.
         let id = self.slab.insert(packet);
         self.queue.schedule(self.now, Event::Inject { node: self.node, packet: id });
+    }
+
+    /// Re-originate `packet` from `node` after `delay`, rewriting its
+    /// source/destination. This is the single-process stand-in for a
+    /// cross-shard handoff: the sharded runner carries the packet through a
+    /// mailbox and injects it at the destination shard `delay` later, while
+    /// the sequential oracle calls `relay` to schedule the identical
+    /// injection inside one event queue.
+    pub fn relay(&mut self, node: NodeId, delay: SimDuration, packet: &Packet) {
+        let id = self.slab.insert(packet.forwarded_to(self.node, node));
+        self.queue.schedule(self.now + delay, Event::Inject { node, packet: id });
     }
 
     /// Subscribe this app to `group` (grafting the distribution tree).

@@ -344,6 +344,109 @@ impl CalendarWheel {
         }
     }
 
+    /// Pop the earliest entry iff its time is `<= deadline`, committing *no*
+    /// cursor movement past the deadline otherwise.
+    ///
+    /// This is not an optimization of `pop` + re-insert: that pair advances
+    /// the cursor to the future entry's slot, which forbids ever scheduling
+    /// anything earlier again. Epoch-based callers (the sharded runner)
+    /// alternate `run_until(epoch)` with cross-shard injections just after
+    /// the epoch boundary — legal times, but behind where a careless pop
+    /// would have parked the cursor. Bounding every cursor advance by
+    /// `deadline` keeps the wheel's invariant exactly as strong as the
+    /// caller's contract (nothing is ever scheduled before the last
+    /// deadline it finished).
+    fn pop_due(&mut self, deadline: SimTime) -> Option<Entry> {
+        if self.len == 0 {
+            return None;
+        }
+        // Fast path: the active slot is sorted descending; its back is the
+        // earliest pending entry overall.
+        if let Some(idx) = self.active {
+            let slot = &mut self.slots[idx as usize];
+            if slot.last().expect("active slot is non-empty").time > deadline {
+                return None;
+            }
+            let entry = slot.pop().expect("active slot is non-empty");
+            if slot.is_empty() {
+                self.occupied[0] &= !(1u64 << idx);
+                self.active = None;
+            }
+            self.len -= 1;
+            return Some(entry);
+        }
+        loop {
+            if !self.overflow.is_empty() {
+                let s = shift(LEVELS - 1);
+                if self.occupied.iter().all(|&b| b == 0) {
+                    // Wheel empty: everything pending is in overflow. If even
+                    // the earliest overflow entry is past the deadline, stop
+                    // without touching the cursor.
+                    if SimTime(self.overflow_min) > deadline {
+                        return None;
+                    }
+                    self.cursor = self.cursor.max(self.overflow_min);
+                }
+                if (self.overflow_min >> s).saturating_sub(self.cursor >> s) < SLOTS as u64 {
+                    self.respill_overflow();
+                    continue;
+                }
+            }
+            let mut best: Option<(u64, usize)> = None;
+            for level in 0..LEVELS {
+                if let Some(start) = self.candidate(level) {
+                    if best.is_none_or(|(bs, _)| start <= bs) {
+                        best = Some((start, level));
+                    }
+                }
+            }
+            let Some((start, level)) = best else {
+                unreachable!("pending entries but wheel and overflow both empty");
+            };
+            // Every entry in the best slot is at or after the slot start; if
+            // even that is past the deadline, nothing is due. The cursor has
+            // not moved beyond previously-popped ground.
+            if SimTime(start) > deadline {
+                return None;
+            }
+            self.cursor = self.cursor.max(start);
+            let s = shift(level);
+            let idx = ((start >> s) & (SLOTS as u64 - 1)) as usize;
+            if level == 0 {
+                let bit = 1u64 << idx;
+                let slot = &mut self.slots[idx];
+                if self.sorted & bit == 0 {
+                    slot.sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.seq)));
+                    self.sorted |= bit;
+                    self.stats.lazy_sorts += 1;
+                }
+                // A level-0 slot spans 64 ns of granularity: its earliest
+                // entry can still exceed the deadline.
+                if slot.last().expect("candidate slot is non-empty").time > deadline {
+                    return None;
+                }
+                let entry = slot.pop().expect("candidate slot is non-empty");
+                if slot.is_empty() {
+                    self.occupied[0] &= !bit;
+                } else {
+                    self.active = Some(idx as u8);
+                }
+                self.len -= 1;
+                return Some(entry);
+            }
+            // Cascade the whole slot down now that the cursor reached it.
+            let mut buf = std::mem::take(&mut self.cascade_buf);
+            std::mem::swap(&mut buf, &mut self.slots[level * SLOTS + idx]);
+            self.occupied[level] &= !(1 << idx);
+            self.stats.cascades += 1;
+            self.stats.cascaded_entries += buf.len() as u64;
+            for e in buf.drain(..) {
+                self.file(e);
+            }
+            self.cascade_buf = buf;
+        }
+    }
+
     /// Validate occupancy bitmaps, len accounting, and window bounds
     /// (test-only: O(slots + pending) per call).
     #[cfg(test)]
@@ -468,16 +571,7 @@ impl EventQueue {
     /// peek-then-pop. Events past the deadline stay pending.
     pub fn pop_due(&mut self, deadline: SimTime) -> Option<(SimTime, Event)> {
         match &mut self.backing {
-            Backing::Wheel(w) => {
-                let entry = w.pop()?;
-                if entry.time > deadline {
-                    // Re-file with its original seq: total order is intact.
-                    w.insert(entry);
-                    None
-                } else {
-                    Some((entry.time, entry.event))
-                }
-            }
+            Backing::Wheel(w) => w.pop_due(deadline).map(|e| (e.time, e.event)),
             Backing::Heap(h) => {
                 if h.peek().is_some_and(|e| e.time <= deadline) {
                     h.pop().map(|e| (e.time, e.event))
@@ -702,7 +796,7 @@ mod tests {
     /// later event jump the queue.
     #[test]
     fn overflow_entry_pops_in_order_once_horizon_arrives() {
-        let horizon = 1u64 << (GRAN_BITS + LEVEL_BITS as u32 * LEVELS as u32);
+        let horizon = 1u64 << (GRAN_BITS + LEVEL_BITS * LEVELS as u32);
         let far = horizon + (1 << 20); // beyond the horizon as seen from 0
         for in_wheel_dt in [1u64, 0] {
             // dt=1: strictly-later in-wheel event; dt=0: same-time,

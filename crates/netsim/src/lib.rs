@@ -31,6 +31,7 @@ pub mod multicast;
 pub mod node;
 pub mod packet;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -44,6 +45,7 @@ pub use multicast::{GroupId, GroupSnapshot, MulticastConfig, TreeOp};
 pub use node::{Node, NodeId, Routing};
 pub use packet::{ControlBody, Dest, Packet, PacketId, PacketSlab, Payload, SessionId};
 pub use rng::{derive_stream_seed, RngStream};
+pub use shard::{EgressApp, Outbox, RelayApp, ShardedSim};
 pub use sim::{NetworkBuilder, SimConfig, SimProfile, Simulator};
 pub use stats::{LossWindow, SeqTracker};
 pub use time::{SimDuration, SimTime};

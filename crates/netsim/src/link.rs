@@ -131,6 +131,17 @@ pub struct LinkStats {
 }
 
 impl LinkStats {
+    /// Account a packet this link delivered into a crashed node. The link
+    /// did complete the transmission (`tx_*` already counted it), but the
+    /// payload was lost on arrival; charging the loss here keeps drop
+    /// accounting attributable to the link's owning shard instead of
+    /// vanishing into a global unowned bucket.
+    pub fn count_dead_arrival(&mut self, bytes: u32) {
+        self.dropped_packets += 1;
+        self.down_dropped_packets += 1;
+        self.dropped_bytes += bytes as u64;
+    }
+
     /// Fraction of offered packets that were dropped.
     pub fn drop_rate(&self) -> f64 {
         if self.offered_packets == 0 {

@@ -12,12 +12,19 @@
 //! if membership changed again in flight, a stale graft does not activate a
 //! link nobody wants, and a stale prune does not cut a link that regained a
 //! subscriber.
+//!
+//! Hot state is structure-of-arrays over dense `u32` ids: per-link bitmaps
+//! for active/pending-graft/pending-prune (one bit per directed link, so a
+//! 2M-link federation costs 256 KiB per group instead of hash tables of
+//! 8-byte entries), a dense refcount vector for desire, and per-node
+//! active-out adjacency. Join/leave walk only the member's root path —
+//! O(depth) — instead of scanning every link; `join_batch` coalesces a
+//! flash crowd into one membership pass plus one deduplicated graft sweep.
 
 use crate::app::AppId;
 use crate::link::DirLinkId;
 use crate::node::{NodeId, Routing};
 use crate::time::SimDuration;
-use std::collections::HashSet;
 
 /// Index of a multicast group. Layered sessions use one group per layer.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -65,8 +72,9 @@ struct GroupState {
     /// walks (desired-link recomputation, snapshots) iterate this instead of
     /// scanning every node.
     member_nodes: Vec<NodeId>,
-    /// Links currently carrying the group.
-    active: HashSet<DirLinkId>,
+    /// One bit per directed link, set iff the link currently carries the
+    /// group.
+    active_bits: Vec<u64>,
     /// Refcounted desired-link set, dense by directed-link id: how many
     /// current members' root-paths traverse each link. Maintained
     /// incrementally on join/leave/crash (routing is static, so a member's
@@ -81,10 +89,10 @@ struct GroupState {
     /// One bit per node, set iff `active_out[node]` is non-empty; lets the
     /// fan-out probe at leaf routers skip the table load entirely.
     active_out_bits: Vec<u64>,
-    /// Grafts in flight.
-    pending_graft: HashSet<DirLinkId>,
-    /// Prunes in flight.
-    pending_prune: HashSet<DirLinkId>,
+    /// One bit per directed link: graft in flight.
+    graft_bits: Vec<u64>,
+    /// One bit per directed link: prune in flight.
+    prune_bits: Vec<u64>,
 }
 
 #[inline]
@@ -100,6 +108,39 @@ fn bit_set(bits: &mut [u64], i: usize) {
 #[inline]
 fn bit_clear(bits: &mut [u64], i: usize) {
     bits[i >> 6] &= !(1 << (i & 63));
+}
+
+/// Indices of all set bits, ascending.
+fn bit_indices(bits: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    bits.iter().enumerate().flat_map(|(w, &word)| {
+        let mut rest = word;
+        std::iter::from_fn(move || {
+            if rest == 0 {
+                return None;
+            }
+            let b = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            Some((w << 6) | b)
+        })
+    })
+}
+
+impl GroupState {
+    /// Root path of `node`, ascending by link id (the deterministic order
+    /// every graft/prune emission uses).
+    fn sorted_path(
+        &self,
+        node: NodeId,
+        routing: &Routing,
+        link_to: &impl Fn(DirLinkId) -> NodeId,
+    ) -> Vec<DirLinkId> {
+        if node == self.root {
+            return Vec::new();
+        }
+        let mut path = routing.path(self.root, node, link_to);
+        path.sort_unstable();
+        path
+    }
 }
 
 /// All multicast state of the network.
@@ -120,17 +161,18 @@ impl MulticastState {
     pub fn create_group(&mut self, root: NodeId) -> GroupId {
         let id = GroupId(self.groups.len() as u32);
         let words = self.num_nodes.div_ceil(64).max(1);
+        let link_words = self.num_links.div_ceil(64).max(1);
         self.groups.push(GroupState {
             root,
             members: vec![Vec::new(); self.num_nodes],
             member_bits: vec![0; words],
             member_nodes: Vec::new(),
-            active: HashSet::new(),
+            active_bits: vec![0; link_words],
             desired_refs: vec![0; self.num_links],
             active_out: vec![Vec::new(); self.num_nodes],
             active_out_bits: vec![0; words],
-            pending_graft: HashSet::new(),
-            pending_prune: HashSet::new(),
+            graft_bits: vec![0; link_words],
+            prune_bits: vec![0; link_words],
         });
         id
     }
@@ -171,55 +213,18 @@ impl MulticastState {
 
     /// Whether a directed link currently carries `group`.
     pub fn is_active(&self, group: GroupId, link: DirLinkId) -> bool {
-        self.groups[group.0 as usize].active.contains(&link)
+        bit_get(&self.groups[group.0 as usize].active_bits, link.0 as usize)
     }
 
-    /// A node became a member: count its root-path links into the desired
-    /// set. No-op for the root itself (it needs no links to reach itself).
-    fn desired_add(
+    /// Record membership for one `(node, app)` pair; returns the sorted root
+    /// path, with desire refcounts bumped if the node is newly a member.
+    fn join_membership(
         g: &mut GroupState,
-        node: NodeId,
-        routing: &Routing,
-        link_to: &impl Fn(DirLinkId) -> NodeId,
-    ) {
-        if node == g.root {
-            return;
-        }
-        for l in routing.path(g.root, node, link_to) {
-            g.desired_refs[l.0 as usize] += 1;
-        }
-    }
-
-    /// A node stopped being a member: uncount its root-path links. Routing
-    /// is static, so this walks exactly the links `desired_add` counted.
-    fn desired_remove(
-        g: &mut GroupState,
-        node: NodeId,
-        routing: &Routing,
-        link_to: &impl Fn(DirLinkId) -> NodeId,
-    ) {
-        if node == g.root {
-            return;
-        }
-        for l in routing.path(g.root, node, link_to) {
-            let refs = &mut g.desired_refs[l.0 as usize];
-            debug_assert!(*refs > 0, "desired refcount underflow on {l:?}");
-            *refs -= 1;
-        }
-    }
-
-    /// Subscribe `app` at `node` to `group`. Returns the tree operations the
-    /// simulator must schedule.
-    pub fn join(
-        &mut self,
-        group: GroupId,
         node: NodeId,
         app: AppId,
         routing: &Routing,
-        link_to: impl Fn(DirLinkId) -> NodeId,
-    ) -> Vec<TreeOp> {
-        let graft_latency = self.cfg.graft_latency;
-        let g = &mut self.groups[group.0 as usize];
+        link_to: &impl Fn(DirLinkId) -> NodeId,
+    ) -> Vec<DirLinkId> {
         let apps = &mut g.members[node.index()];
         let was_member = !apps.is_empty();
         if !was_member {
@@ -231,30 +236,75 @@ impl MulticastState {
         if let Err(pos) = apps.binary_search(&app) {
             apps.insert(pos, app);
         }
+        let path = g.sorted_path(node, routing, link_to);
         if !was_member {
-            Self::desired_add(g, node, routing, &link_to);
-        }
-        // Scan in link-id order so the scheduled event order is
-        // deterministic (and identical to the sorted order the recomputing
-        // implementation produced).
-        let mut ops = Vec::new();
-        for (i, &refs) in g.desired_refs.iter().enumerate() {
-            if refs == 0 {
-                continue;
+            for &l in &path {
+                g.desired_refs[l.0 as usize] += 1;
             }
-            let l = DirLinkId(i as u32);
-            // A link desired again cancels its pending prune logically: the
-            // prune re-checks desire when it fires. Only schedule a graft for
-            // links that are neither active nor already being grafted.
-            if !g.active.contains(&l) && !g.pending_graft.contains(&l) {
-                g.pending_graft.insert(l);
+        }
+        path
+    }
+
+    /// Emit grafts for every link in `links` (sorted, deduplicated) that is
+    /// desired but neither active nor already being grafted. This is where a
+    /// retry of a previously failed graft on the member's own path happens.
+    fn graft_missing(&mut self, group: GroupId, links: &[DirLinkId], ops: &mut Vec<TreeOp>) {
+        let graft_latency = self.cfg.graft_latency;
+        let g = &mut self.groups[group.0 as usize];
+        for &l in links {
+            let i = l.0 as usize;
+            if g.desired_refs[i] > 0 && !bit_get(&g.active_bits, i) && !bit_get(&g.graft_bits, i) {
+                bit_set(&mut g.graft_bits, i);
                 ops.push(TreeOp::Graft { group, link: l, after: graft_latency });
             }
         }
+    }
+
+    /// Subscribe `app` at `node` to `group`. Returns the tree operations the
+    /// simulator must schedule. Only the member's own root path is examined
+    /// — O(depth), not O(links) — so a stale failed graft elsewhere in the
+    /// tree is retried by *its* subtree's next join, not by every join.
+    pub fn join(
+        &mut self,
+        group: GroupId,
+        node: NodeId,
+        app: AppId,
+        routing: &Routing,
+        link_to: impl Fn(DirLinkId) -> NodeId,
+    ) -> Vec<TreeOp> {
+        let g = &mut self.groups[group.0 as usize];
+        let path = Self::join_membership(g, node, app, routing, &link_to);
+        let mut ops = Vec::new();
+        self.graft_missing(group, &path, &mut ops);
         ops
     }
 
-    /// Unsubscribe `app` at `node` from `group`.
+    /// Subscribe a whole batch of `(node, app)` pairs at once — the flash
+    /// crowd path. Membership and desire refcounts are applied for every
+    /// member first, then one deduplicated sweep over the union of touched
+    /// paths emits each needed graft exactly once (per-event joins would
+    /// re-check shared ancestor links once per member).
+    pub fn join_batch(
+        &mut self,
+        group: GroupId,
+        members: &[(NodeId, AppId)],
+        routing: &Routing,
+        link_to: impl Fn(DirLinkId) -> NodeId,
+    ) -> Vec<TreeOp> {
+        let g = &mut self.groups[group.0 as usize];
+        let mut touched: Vec<DirLinkId> = Vec::new();
+        for &(node, app) in members {
+            touched.extend(Self::join_membership(g, node, app, routing, &link_to));
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        let mut ops = Vec::new();
+        self.graft_missing(group, &touched, &mut ops);
+        ops
+    }
+
+    /// Unsubscribe `app` at `node` from `group`. Examines only the member's
+    /// own root path for links whose desire dropped to zero.
     pub fn leave(
         &mut self,
         group: GroupId,
@@ -270,19 +320,24 @@ impl MulticastState {
         if let Ok(pos) = apps.binary_search(&app) {
             apps.remove(pos);
         }
-        if was_member && apps.is_empty() {
+        let now_empty = was_member && apps.is_empty();
+        if now_empty {
             bit_clear(&mut g.member_bits, node.index());
             if let Ok(pos) = g.member_nodes.binary_search(&node) {
                 g.member_nodes.remove(pos);
             }
-            Self::desired_remove(g, node, routing, &link_to);
         }
-        let mut active: Vec<DirLinkId> = g.active.iter().copied().collect();
-        active.sort_unstable();
+        let path = g.sorted_path(node, routing, &link_to);
         let mut ops = Vec::new();
-        for l in active {
-            if g.desired_refs[l.0 as usize] == 0 && !g.pending_prune.contains(&l) {
-                g.pending_prune.insert(l);
+        for &l in &path {
+            let i = l.0 as usize;
+            if now_empty {
+                let refs = &mut g.desired_refs[i];
+                debug_assert!(*refs > 0, "desired refcount underflow on {l:?}");
+                *refs -= 1;
+            }
+            if g.desired_refs[i] == 0 && bit_get(&g.active_bits, i) && !bit_get(&g.prune_bits, i) {
+                bit_set(&mut g.prune_bits, i);
                 ops.push(TreeOp::Prune { group, link: l, after: leave_latency });
             }
         }
@@ -292,8 +347,10 @@ impl MulticastState {
     /// A graft completed. Activates the link iff it is still desired.
     pub fn graft_done(&mut self, group: GroupId, link: DirLinkId, link_from: NodeId) {
         let g = &mut self.groups[group.0 as usize];
-        g.pending_graft.remove(&link);
-        if g.desired_refs[link.0 as usize] > 0 && g.active.insert(link) {
+        let i = link.0 as usize;
+        bit_clear(&mut g.graft_bits, i);
+        if g.desired_refs[i] > 0 && !bit_get(&g.active_bits, i) {
+            bit_set(&mut g.active_bits, i);
             g.active_out[link_from.index()].push(link);
             bit_set(&mut g.active_out_bits, link_from.index());
         }
@@ -302,7 +359,7 @@ impl MulticastState {
     /// A graft could not take effect (an endpoint was down when it fired).
     /// The pending marker is cleared so a later join can retry the graft.
     pub fn graft_failed(&mut self, group: GroupId, link: DirLinkId) {
-        self.groups[group.0 as usize].pending_graft.remove(&link);
+        bit_clear(&mut self.groups[group.0 as usize].graft_bits, link.0 as usize);
     }
 
     /// A router crashed: it loses all multicast forwarding state. Every
@@ -319,7 +376,7 @@ impl MulticastState {
     ) {
         for g in &mut self.groups {
             for l in std::mem::take(&mut g.active_out[node.index()]) {
-                g.active.remove(&l);
+                bit_clear(&mut g.active_bits, l.0 as usize);
             }
             bit_clear(&mut g.active_out_bits, node.index());
             if !g.members[node.index()].is_empty() {
@@ -327,7 +384,13 @@ impl MulticastState {
                 if let Ok(pos) = g.member_nodes.binary_search(&node) {
                     g.member_nodes.remove(pos);
                 }
-                Self::desired_remove(g, node, routing, &link_to);
+                if node != g.root {
+                    for l in routing.path(g.root, node, &link_to) {
+                        let refs = &mut g.desired_refs[l.0 as usize];
+                        debug_assert!(*refs > 0, "desired refcount underflow on {l:?}");
+                        *refs -= 1;
+                    }
+                }
             }
             bit_clear(&mut g.member_bits, node.index());
         }
@@ -336,8 +399,10 @@ impl MulticastState {
     /// A prune completed. Deactivates the link iff it is still undesired.
     pub fn prune_done(&mut self, group: GroupId, link: DirLinkId, link_from: NodeId) {
         let g = &mut self.groups[group.0 as usize];
-        g.pending_prune.remove(&link);
-        if g.desired_refs[link.0 as usize] == 0 && g.active.remove(&link) {
+        let i = link.0 as usize;
+        bit_clear(&mut g.prune_bits, i);
+        if g.desired_refs[i] == 0 && bit_get(&g.active_bits, i) {
+            bit_clear(&mut g.active_bits, i);
             let outs = &mut g.active_out[link_from.index()];
             outs.retain(|&x| x != link);
             if outs.is_empty() {
@@ -356,14 +421,81 @@ impl MulticastState {
             .map(|(i, g)| GroupSnapshot {
                 group: GroupId(i as u32),
                 root: g.root,
-                active_links: {
-                    let mut v: Vec<DirLinkId> = g.active.iter().copied().collect();
-                    v.sort_unstable();
-                    v
-                },
+                active_links: bit_indices(&g.active_bits).map(|i| DirLinkId(i as u32)).collect(),
                 member_nodes: g.member_nodes.clone(),
             })
             .collect()
+    }
+
+    /// Cross-check every SoA view against the others — bitmaps vs sorted
+    /// vectors vs refcounts. O(members × depth + links/64) per group; meant
+    /// for tests and post-run harness assertions, not the hot path. Returns
+    /// the first inconsistency found.
+    pub fn audit(
+        &self,
+        routing: &Routing,
+        link_to: impl Fn(DirLinkId) -> NodeId,
+    ) -> Result<(), String> {
+        for (gi, g) in self.groups.iter().enumerate() {
+            // Membership: bitmap ⇔ non-empty sorted app vector ⇔ member_nodes.
+            let mut expect_nodes = Vec::new();
+            for n in 0..self.num_nodes {
+                let apps = &g.members[n];
+                if !apps.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(format!("group {gi}: members[{n}] not strictly sorted"));
+                }
+                if bit_get(&g.member_bits, n) == apps.is_empty() {
+                    return Err(format!("group {gi}: member bit mismatch at node {n}"));
+                }
+                if !apps.is_empty() {
+                    expect_nodes.push(NodeId(n as u32));
+                }
+            }
+            if g.member_nodes != expect_nodes {
+                return Err(format!("group {gi}: member_nodes diverges from members table"));
+            }
+            // Desire: refcounts must equal a fresh recount of member paths.
+            let mut refs = vec![0u32; self.num_links];
+            for &n in &g.member_nodes {
+                if n != g.root {
+                    for l in routing.path(g.root, n, &link_to) {
+                        refs[l.0 as usize] += 1;
+                    }
+                }
+            }
+            if refs != g.desired_refs {
+                return Err(format!("group {gi}: desired_refs diverges from member paths"));
+            }
+            // Active set: each active_out entry is unique, has its active
+            // bit set, and every active bit is owned by exactly one node
+            // (counts match ⇒ bijection).
+            let mut out_total = 0usize;
+            for n in 0..self.num_nodes {
+                let outs = &g.active_out[n];
+                if bit_get(&g.active_out_bits, n) == outs.is_empty() {
+                    return Err(format!("group {gi}: active_out bit mismatch at node {n}"));
+                }
+                for (i, &l) in outs.iter().enumerate() {
+                    if outs[..i].contains(&l) {
+                        return Err(format!("group {gi}: duplicate active_out {l:?} at {n}"));
+                    }
+                    if !bit_get(&g.active_bits, l.0 as usize) {
+                        return Err(format!("group {gi}: active_out {l:?} not in active bitmap"));
+                    }
+                }
+                out_total += outs.len();
+            }
+            if out_total != bit_indices(&g.active_bits).count() {
+                return Err(format!("group {gi}: active bitmap count != active_out total"));
+            }
+            // A link being grafted is by construction not active yet.
+            for (w, (&gb, &ab)) in g.graft_bits.iter().zip(&g.active_bits).enumerate() {
+                if gb & ab != 0 {
+                    return Err(format!("group {gi}: graft pending on active link (word {w})"));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -416,6 +548,7 @@ mod tests {
         assert!(m.is_active(g, DirLinkId(2)));
         assert_eq!(m.active_out(g, NodeId(0)), &[DirLinkId(0)]);
         assert_eq!(m.active_out(g, NodeId(1)), &[DirLinkId(2)]);
+        m.audit(&r, to).unwrap();
     }
 
     #[test]
@@ -443,6 +576,7 @@ mod tests {
         m.prune_done(g, DirLinkId(2), NodeId(1));
         assert!(!m.is_active(g, DirLinkId(2)));
         assert!(m.is_active(g, DirLinkId(0)));
+        m.audit(&r, to).unwrap();
     }
 
     #[test]
@@ -466,6 +600,7 @@ mod tests {
         m.prune_done(g, DirLinkId(2), NodeId(1));
         assert!(m.is_active(g, DirLinkId(0)));
         assert!(m.is_active(g, DirLinkId(2)));
+        m.audit(&r, to).unwrap();
     }
 
     #[test]
@@ -479,6 +614,7 @@ mod tests {
         m.graft_done(g, DirLinkId(2), NodeId(1));
         assert!(!m.is_active(g, DirLinkId(0)));
         assert!(!m.is_active(g, DirLinkId(2)));
+        m.audit(&r, to).unwrap();
     }
 
     #[test]
@@ -499,6 +635,7 @@ mod tests {
         assert!(m.leave(g, NodeId(2), AppId(1), &r, to).is_empty());
         // Last app leaves: prunes scheduled.
         assert_eq!(m.leave(g, NodeId(2), AppId(2), &r, to).len(), 2);
+        m.audit(&r, to).unwrap();
     }
 
     #[test]
@@ -508,6 +645,7 @@ mod tests {
         assert!(m.join(g, NodeId(0), AppId(9), &r, to).is_empty());
         assert!(m.is_subscribed(g, NodeId(0), AppId(9)));
         assert_eq!(m.subscribers_at(g, NodeId(0)), &[AppId(9)]);
+        m.audit(&r, to).unwrap();
     }
 
     #[test]
@@ -526,6 +664,7 @@ mod tests {
         assert!(m.is_active(g, DirLinkId(0)));
         assert!(!m.is_active(g, DirLinkId(2)));
         assert!(m.active_out(g, NodeId(1)).is_empty());
+        m.audit(&r, to).unwrap();
         // The downstream member survives in the member list (its node did
         // not crash) so a re-join can re-graft the lost link.
         let ops = m.join(g, NodeId(2), AppId(2), &r, to);
@@ -549,6 +688,7 @@ mod tests {
         // A later join retries both grafts.
         let retry = m.join(g, NodeId(2), AppId(2), &r, to);
         assert_eq!(retry.len(), 2);
+        m.audit(&r, to).unwrap();
     }
 
     #[test]
@@ -566,5 +706,59 @@ mod tests {
         assert_eq!(snap[0].root, NodeId(0));
         assert_eq!(snap[0].active_links, vec![DirLinkId(0), DirLinkId(2)]);
         assert_eq!(snap[0].member_nodes, vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn join_batch_matches_sequential_joins() {
+        let links = vec![
+            (DirLinkId(0), NodeId(0), NodeId(1)),
+            (DirLinkId(1), NodeId(1), NodeId(0)),
+            (DirLinkId(2), NodeId(1), NodeId(2)),
+            (DirLinkId(3), NodeId(2), NodeId(1)),
+            (DirLinkId(4), NodeId(1), NodeId(3)),
+            (DirLinkId(5), NodeId(3), NodeId(1)),
+        ];
+        let routing = Routing::build(4, &links);
+        let to = |l: DirLinkId| match l.0 {
+            0 => NodeId(1),
+            1 => NodeId(0),
+            2 => NodeId(2),
+            3 => NodeId(1),
+            4 => NodeId(3),
+            5 => NodeId(1),
+            _ => unreachable!(),
+        };
+        let crowd = [(NodeId(2), AppId(1)), (NodeId(3), AppId(2)), (NodeId(1), AppId(3))];
+
+        let mut seq = MulticastState::new(MulticastConfig::default(), 4, 6);
+        let gs = seq.create_group(NodeId(0));
+        let mut seq_links: Vec<DirLinkId> = Vec::new();
+        for &(n, a) in &crowd {
+            for op in seq.join(gs, n, a, &routing, to) {
+                if let TreeOp::Graft { link, .. } = op {
+                    seq_links.push(link);
+                }
+            }
+        }
+        seq_links.sort_unstable();
+
+        let mut bat = MulticastState::new(MulticastConfig::default(), 4, 6);
+        let gb = bat.create_group(NodeId(0));
+        let mut bat_links: Vec<DirLinkId> = bat
+            .join_batch(gb, &crowd, &routing, to)
+            .iter()
+            .map(|op| match op {
+                TreeOp::Graft { link, .. } => *link,
+                other => panic!("expected graft, got {other:?}"),
+            })
+            .collect();
+        bat_links.sort_unstable();
+
+        // Same graft set, each shared ancestor link exactly once.
+        assert_eq!(seq_links, bat_links);
+        assert_eq!(bat_links, vec![DirLinkId(0), DirLinkId(2), DirLinkId(4)]);
+        bat.audit(&routing, to).unwrap();
+        // And identical desire/membership state afterwards.
+        assert_eq!(seq.snapshot(), bat.snapshot());
     }
 }

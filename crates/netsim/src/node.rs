@@ -1,14 +1,19 @@
 //! Nodes (routers/hosts) and unicast routing.
 //!
 //! A node is a router that may also host application agents (a media source,
-//! a receiver, a controller). Unicast routing is precomputed: after the
-//! topology is frozen, a breadth-first search from every node fills a
-//! next-hop table. All evaluation topologies in the paper are trees, so the
-//! routes are the unique tree paths, but the BFS works for any connected
-//! graph.
+//! a receiver, a controller). Unicast routing is precomputed after the
+//! topology is frozen. All evaluation topologies in the paper are trees, so
+//! the build detects tree/forest graphs and stores an O(n) interval-labelled
+//! routing structure (parent links + Euler tin/tout ranges + a CSR child
+//! table); the dense BFS next-hop table is kept as a fallback for arbitrary
+//! connected graphs, where shortest-path choice genuinely needs a search.
+//! On a tree both representations answer identically because paths are
+//! unique — the interval form just avoids the O(n²) memory that made
+//! million-node domains impossible to even allocate.
 
 use crate::app::AppId;
 use crate::link::DirLinkId;
+use std::collections::HashSet;
 use std::collections::VecDeque;
 
 /// Index of a node.
@@ -38,16 +43,188 @@ pub struct Node {
     pub label: String,
 }
 
-/// Precomputed next-hop table: `next[from][to]` is the directed link to take
-/// at `from` for a packet headed to `to`.
+/// Precomputed unicast routing. `next_hop(from, to)` is the directed link to
+/// take at `from` for a packet headed to `to`.
 pub struct Routing {
-    next: Vec<Vec<Option<DirLinkId>>>,
+    num_nodes: usize,
+    backing: Backing,
+}
+
+enum Backing {
+    /// Dense N×N next-hop table from all-sources BFS (arbitrary graphs).
+    Dense(Vec<Vec<Option<DirLinkId>>>),
+    /// O(n) tree/forest routing: go up towards the root unless the
+    /// destination's Euler interval nests inside ours, in which case descend
+    /// into the unique child subtree containing it.
+    Tree(TreeRouting),
+}
+
+struct TreeRouting {
+    /// Connected-component id per node (forests route `None` across them).
+    comp: Vec<u32>,
+    /// Directed link towards the parent; `None` at component roots.
+    up: Vec<Option<DirLinkId>>,
+    /// Euler entry label per node (DFS preorder, unique).
+    tin: Vec<u32>,
+    /// Largest `tin` in the node's subtree (inclusive).
+    tout: Vec<u32>,
+    /// CSR offsets into `child_tin`/`child_link`, length `n + 1`.
+    child_start: Vec<u32>,
+    /// `tin` of each child, ascending within a node (DFS order).
+    child_tin: Vec<u32>,
+    /// Directed link parent → child, parallel to `child_tin`.
+    child_link: Vec<DirLinkId>,
+}
+
+impl TreeRouting {
+    fn next_hop(&self, from: NodeId, to: NodeId) -> Option<DirLinkId> {
+        let (f, t) = (from.index(), to.index());
+        if f == t || self.comp[f] != self.comp[t] {
+            return None;
+        }
+        let tt = self.tin[t];
+        if self.tin[f] < tt && tt <= self.tout[f] {
+            // `to` is in our subtree: descend into the child whose Euler
+            // interval contains it. Children are interval-contiguous in DFS
+            // order, so it is the last child with `tin <= tt`.
+            let (lo, hi) = (self.child_start[f] as usize, self.child_start[f + 1] as usize);
+            let kids = &self.child_tin[lo..hi];
+            let idx = kids.partition_point(|&k| k <= tt) - 1;
+            Some(self.child_link[lo + idx])
+        } else {
+            // `to` is outside our subtree: the unique path leads through the
+            // parent. Roots always hit the descend branch for same-component
+            // destinations, so `up` is present here.
+            self.up[f]
+        }
+    }
+}
+
+/// Try to interpret `links` as a duplex tree/forest: every directed link has
+/// exactly one reverse twin, no parallel edges, and the undirected edge set
+/// is acyclic. Returns per-node `(up-link, children)` adjacency on success.
+#[allow(clippy::type_complexity)]
+fn duplex_forest(
+    num_nodes: usize,
+    links: &[(DirLinkId, NodeId, NodeId)],
+) -> Option<Vec<Vec<(DirLinkId, NodeId)>>> {
+    if !links.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(links.len());
+    for &(_, from, to) in links {
+        if from == to || !seen.insert((from.0, to.0)) {
+            return None; // self-loop or parallel edge
+        }
+    }
+    // Every directed link needs its reverse twin.
+    for &(_, from, to) in links {
+        if !seen.contains(&(to.0, from.0)) {
+            return None;
+        }
+    }
+    // Union-find acyclicity over the undirected edges.
+    let mut parent: Vec<u32> = (0..num_nodes as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    let mut adj: Vec<Vec<(DirLinkId, NodeId)>> = vec![Vec::new(); num_nodes];
+    for &(id, from, to) in links {
+        adj[from.index()].push((id, to));
+        if from.0 < to.0 {
+            let (a, b) = (find(&mut parent, from.0), find(&mut parent, to.0));
+            if a == b {
+                return None; // cycle
+            }
+            parent[a as usize] = b;
+        }
+    }
+    Some(adj)
 }
 
 impl Routing {
-    /// Build by BFS from every destination over `links`, where each entry is
-    /// `(id, from, to)` of a directed link.
+    /// Build from `links`, where each entry is `(id, from, to)` of a directed
+    /// link. Trees/forests get the O(n) interval representation; anything
+    /// else falls back to the dense all-sources BFS table.
     pub fn build(num_nodes: usize, links: &[(DirLinkId, NodeId, NodeId)]) -> Self {
+        if let Some(adj) = duplex_forest(num_nodes, links) {
+            return Routing {
+                num_nodes,
+                backing: Backing::Tree(Self::build_tree(num_nodes, &adj)),
+            };
+        }
+        Routing { num_nodes, backing: Backing::Dense(Self::build_dense(num_nodes, links)) }
+    }
+
+    fn build_tree(num_nodes: usize, adj: &[Vec<(DirLinkId, NodeId)>]) -> TreeRouting {
+        let mut comp = vec![u32::MAX; num_nodes];
+        let mut up = vec![None; num_nodes];
+        let mut tin = vec![0u32; num_nodes];
+        let mut tout = vec![0u32; num_nodes];
+        let mut children: Vec<Vec<(u32, DirLinkId)>> = vec![Vec::new(); num_nodes];
+        let mut clock = 0u32;
+        let mut ncomp = 0u32;
+        // Iterative DFS per component; the component root is the smallest
+        // unvisited node id, children are visited in adjacency (= link
+        // insertion) order, matching the BFS table's deterministic choice.
+        let mut stack: Vec<(usize, usize)> = Vec::new(); // (node, next child idx)
+        for root in 0..num_nodes {
+            if comp[root] != u32::MAX {
+                continue;
+            }
+            comp[root] = ncomp;
+            tin[root] = clock;
+            clock += 1;
+            stack.push((root, 0));
+            while let Some(top) = stack.last_mut() {
+                let (n, i) = (top.0, top.1);
+                top.1 += 1;
+                if i < adj[n].len() {
+                    let (l, nb) = adj[n][i];
+                    if comp[nb.index()] == u32::MAX {
+                        comp[nb.index()] = ncomp;
+                        tin[nb.index()] = clock;
+                        clock += 1;
+                        // The reverse twin exists by construction; find it.
+                        let rev = adj[nb.index()]
+                            .iter()
+                            .find(|&&(_, t)| t.index() == n)
+                            .expect("duplex twin")
+                            .0;
+                        up[nb.index()] = Some(rev);
+                        children[n].push((tin[nb.index()], l));
+                        stack.push((nb.index(), 0));
+                    }
+                } else {
+                    tout[n] = clock - 1;
+                    stack.pop();
+                }
+            }
+            ncomp += 1;
+        }
+        // Flatten children into CSR (already tin-ascending: DFS order).
+        let mut child_start = Vec::with_capacity(num_nodes + 1);
+        let mut child_tin = Vec::new();
+        let mut child_link = Vec::new();
+        child_start.push(0u32);
+        for kids in &children {
+            for &(t, l) in kids {
+                child_tin.push(t);
+                child_link.push(l);
+            }
+            child_start.push(child_tin.len() as u32);
+        }
+        TreeRouting { comp, up, tin, tout, child_start, child_tin, child_link }
+    }
+
+    fn build_dense(
+        num_nodes: usize,
+        links: &[(DirLinkId, NodeId, NodeId)],
+    ) -> Vec<Vec<Option<DirLinkId>>> {
         // Adjacency: for each node, its outgoing (link, neighbor) pairs.
         let mut adj: Vec<Vec<(DirLinkId, NodeId)>> = vec![Vec::new(); num_nodes];
         for &(id, from, to) in links {
@@ -78,13 +255,21 @@ impl Routing {
                 }
             }
         }
-        Routing { next }
+        next
+    }
+
+    /// Whether the compact tree representation is in use (diagnostics).
+    pub fn is_tree(&self) -> bool {
+        matches!(self.backing, Backing::Tree(_))
     }
 
     /// Next directed link at `from` toward `to`, or `None` if unreachable or
     /// already there.
     pub fn next_hop(&self, from: NodeId, to: NodeId) -> Option<DirLinkId> {
-        self.next[from.index()][to.index()]
+        match &self.backing {
+            Backing::Dense(next) => next[from.index()][to.index()],
+            Backing::Tree(t) => t.next_hop(from, to),
+        }
     }
 
     /// The sequence of directed links on the path `from -> to`.
@@ -103,7 +288,7 @@ impl Routing {
             let l = self.next_hop(cur, to).unwrap_or_else(|| panic!("no route {cur:?} -> {to:?}"));
             path.push(l);
             cur = link_to(l);
-            assert!(path.len() <= self.next.len(), "routing loop {from:?} -> {to:?}");
+            assert!(path.len() <= self.num_nodes, "routing loop {from:?} -> {to:?}");
         }
         path
     }
@@ -127,6 +312,7 @@ mod tests {
     #[test]
     fn next_hops_on_chain() {
         let r = chain();
+        assert!(r.is_tree());
         assert_eq!(r.next_hop(NodeId(0), NodeId(1)), Some(DirLinkId(0)));
         assert_eq!(r.next_hop(NodeId(0), NodeId(2)), Some(DirLinkId(0)));
         assert_eq!(r.next_hop(NodeId(1), NodeId(2)), Some(DirLinkId(2)));
@@ -160,6 +346,7 @@ mod tests {
             id += 1;
         }
         let r = Routing::build(4, &links);
+        assert!(r.is_tree());
         // leaf 1 -> leaf 2 goes via its uplink to the hub.
         assert_eq!(r.next_hop(NodeId(1), NodeId(2)), Some(DirLinkId(1)));
         assert_eq!(r.next_hop(NodeId(0), NodeId(3)), Some(DirLinkId(4)));
@@ -169,6 +356,86 @@ mod tests {
     fn unreachable_is_none() {
         // Two disconnected nodes.
         let r = Routing::build(2, &[]);
+        assert!(r.is_tree()); // a forest of singletons
         assert_eq!(r.next_hop(NodeId(0), NodeId(1)), None);
+    }
+
+    #[test]
+    fn forest_routes_within_components_only() {
+        // Two separate chains: 0-1 and 2-3.
+        let links = vec![
+            (DirLinkId(0), NodeId(0), NodeId(1)),
+            (DirLinkId(1), NodeId(1), NodeId(0)),
+            (DirLinkId(2), NodeId(2), NodeId(3)),
+            (DirLinkId(3), NodeId(3), NodeId(2)),
+        ];
+        let r = Routing::build(4, &links);
+        assert!(r.is_tree());
+        assert_eq!(r.next_hop(NodeId(0), NodeId(1)), Some(DirLinkId(0)));
+        assert_eq!(r.next_hop(NodeId(3), NodeId(2)), Some(DirLinkId(3)));
+        assert_eq!(r.next_hop(NodeId(0), NodeId(3)), None);
+        assert_eq!(r.next_hop(NodeId(2), NodeId(1)), None);
+    }
+
+    #[test]
+    fn cyclic_graph_falls_back_to_dense_bfs() {
+        // Triangle 0-1-2-0: not a tree, must still route shortest paths.
+        let mut links = Vec::new();
+        let mut id = 0;
+        for (a, b) in [(0u32, 1u32), (1, 2), (2, 0)] {
+            links.push((DirLinkId(id), NodeId(a), NodeId(b)));
+            id += 1;
+            links.push((DirLinkId(id), NodeId(b), NodeId(a)));
+            id += 1;
+        }
+        let r = Routing::build(3, &links);
+        assert!(!r.is_tree());
+        // One hop everywhere.
+        assert_eq!(r.next_hop(NodeId(0), NodeId(1)), Some(DirLinkId(0)));
+        assert_eq!(r.next_hop(NodeId(0), NodeId(2)), Some(DirLinkId(5)));
+        assert_eq!(r.next_hop(NodeId(2), NodeId(1)), Some(DirLinkId(3)));
+    }
+
+    #[test]
+    fn unidirectional_link_falls_back_to_dense() {
+        // 0 -> 1 with no reverse: tree form can't represent asymmetric
+        // reachability, so the dense table must take over.
+        let r = Routing::build(2, &[(DirLinkId(0), NodeId(0), NodeId(1))]);
+        assert!(!r.is_tree());
+        assert_eq!(r.next_hop(NodeId(0), NodeId(1)), Some(DirLinkId(0)));
+        assert_eq!(r.next_hop(NodeId(1), NodeId(0)), None);
+    }
+
+    /// The interval form and the dense BFS table agree hop-for-hop on random
+    /// trees (unique paths make them necessarily equal; this pins the
+    /// interval arithmetic).
+    #[test]
+    fn tree_and_dense_agree_on_random_trees() {
+        use crate::rng::RngStream;
+        let mut rng = RngStream::derive(0x7EE5, "node/tree-vs-dense");
+        for n in [2usize, 3, 7, 17, 40] {
+            let mut links = Vec::new();
+            let mut id = 0u32;
+            for i in 1..n {
+                let p = rng.range_u64(0, i as u64) as u32;
+                links.push((DirLinkId(id), NodeId(p), NodeId(i as u32)));
+                id += 1;
+                links.push((DirLinkId(id), NodeId(i as u32), NodeId(p)));
+                id += 1;
+            }
+            let tree = Routing::build(n, &links);
+            assert!(tree.is_tree());
+            let dense =
+                Routing { num_nodes: n, backing: Backing::Dense(Routing::build_dense(n, &links)) };
+            for a in 0..n as u32 {
+                for b in 0..n as u32 {
+                    assert_eq!(
+                        tree.next_hop(NodeId(a), NodeId(b)),
+                        dense.next_hop(NodeId(a), NodeId(b)),
+                        "divergence at {a}->{b} (n={n})"
+                    );
+                }
+            }
+        }
     }
 }

@@ -114,6 +114,14 @@ impl Packet {
         }
     }
 
+    /// A copy of this packet re-addressed for re-origination at a relay:
+    /// same size and payload (media fields or shared control body), new
+    /// source and unicast destination. Cross-shard handoffs use this to
+    /// carry a packet into the destination shard's id space.
+    pub fn forwarded_to(&self, src: NodeId, dest: NodeId) -> Packet {
+        Packet { src, dest: Dest::Node(dest), size: self.size, payload: self.payload.clone() }
+    }
+
     /// The media layer this packet carries; control packets rank as layer 0
     /// (most protected under priority dropping).
     pub fn layer(&self) -> u8 {

@@ -13,7 +13,7 @@ use crate::faults::{FaultKind, FaultPlan};
 use crate::link::{DirLinkId, Enqueue, Link, LinkConfig, QueuedPacket};
 use crate::multicast::{GroupId, GroupSnapshot, MulticastConfig, MulticastState, TreeOp};
 use crate::node::{Node, NodeId, Routing};
-use crate::packet::{Dest, PacketId, PacketSlab};
+use crate::packet::{Dest, Packet, PacketId, PacketSlab};
 use crate::rng::RngStream;
 use crate::time::SimTime;
 use crate::trace::{DropReason, TraceLog};
@@ -120,6 +120,22 @@ impl Network {
         let links = &self.links;
         self.mcast.leave(group, node, app, &self.routing, |l| links[l.0 as usize].to)
     }
+
+    pub(crate) fn join_group_batch(
+        &mut self,
+        group: GroupId,
+        members: &[(NodeId, AppId)],
+    ) -> Vec<TreeOp> {
+        let links = &self.links;
+        self.mcast.join_batch(group, members, &self.routing, |l| links[l.0 as usize].to)
+    }
+
+    /// Cross-check the multicast SoA views (bitmaps vs sorted vectors vs
+    /// desire refcounts) — post-run harness assertion, not a hot path.
+    pub fn multicast_audit(&self) -> Result<(), String> {
+        let links = &self.links;
+        self.mcast.audit(&self.routing, |l| links[l.0 as usize].to)
+    }
 }
 
 /// Builds the static topology, then freezes it into a [`Simulator`].
@@ -224,11 +240,26 @@ pub struct SimProfile {
     pub max_link_queue_hwm: u64,
     /// Calendar-wheel internals (zeros on the heap oracle backend).
     pub wheel: WheelStats,
+    /// Shards in the run (1 for a plain sequential simulator, even though
+    /// it never crosses a barrier — keeps ratios like events/shard honest).
+    pub shards: u64,
+    /// Packets handed across shard boundaries through mailboxes.
+    pub shard_handoffs: u64,
+    /// Barrier epochs executed by the sharded runner.
+    pub shard_barrier_epochs: u64,
+    /// Epochs in which at least one shard processed zero events — the
+    /// conservative lookahead starving a wheel, visible in trails before it
+    /// shows up as wall-clock.
+    pub shard_lookahead_stalls: u64,
+    /// Smallest per-shard event count (load-balance floor).
+    pub shard_events_min: u64,
+    /// Largest per-shard event count (load-balance ceiling).
+    pub shard_events_max: u64,
 }
 
 impl SimProfile {
     /// Flat `("name", value)` pairs for folding into a counter registry.
-    pub fn counter_entries(&self) -> [(&'static str, u64); 17] {
+    pub fn counter_entries(&self) -> [(&'static str, u64); 23] {
         [
             ("ev_link_tx_done", self.ev_link_tx_done),
             ("ev_link_deliver", self.ev_link_deliver),
@@ -247,7 +278,41 @@ impl SimProfile {
             ("wheel_cascaded_entries", self.wheel.cascaded_entries),
             ("wheel_lazy_sorts", self.wheel.lazy_sorts),
             ("wheel_overflow_filed", self.wheel.overflow_filed),
+            ("shard.count", self.shards),
+            ("shard.handoffs", self.shard_handoffs),
+            ("shard.barrier_epochs", self.shard_barrier_epochs),
+            ("shard.lookahead_stalls", self.shard_lookahead_stalls),
+            ("shard.events_min", self.shard_events_min),
+            ("shard.events_max", self.shard_events_max),
         ]
+    }
+
+    /// Fold another shard's profile into this one: counters add, peaks max.
+    /// The sharded runner merges per-shard snapshots through this and then
+    /// overwrites the `shard_*` fields with its own barrier bookkeeping.
+    pub fn merge(&mut self, other: &SimProfile) {
+        self.events_total += other.events_total;
+        self.ev_link_tx_done += other.ev_link_tx_done;
+        self.ev_link_deliver += other.ev_link_deliver;
+        self.ev_inject += other.ev_inject;
+        self.ev_timer += other.ev_timer;
+        self.ev_graft_done += other.ev_graft_done;
+        self.ev_prune_done += other.ev_prune_done;
+        self.ev_fault += other.ev_fault;
+        self.drops_queue_full += other.drops_queue_full;
+        self.drops_link_down += other.drops_link_down;
+        self.drops_node_down += other.drops_node_down;
+        self.slab_hwm += other.slab_hwm;
+        self.slab_live += other.slab_live;
+        self.pending_events_hwm = self.pending_events_hwm.max(other.pending_events_hwm);
+        self.max_link_queue_hwm = self.max_link_queue_hwm.max(other.max_link_queue_hwm);
+        self.wheel.cascades += other.wheel.cascades;
+        self.wheel.cascaded_entries += other.wheel.cascaded_entries;
+        self.wheel.lazy_sorts += other.wheel.lazy_sorts;
+        self.wheel.overflow_filed += other.wheel.overflow_filed;
+        self.shards += other.shards;
+        self.shard_events_min = self.shard_events_min.min(other.events_total);
+        self.shard_events_max = self.shard_events_max.max(other.events_total);
     }
 }
 
@@ -346,6 +411,33 @@ impl Simulator {
         }
     }
 
+    /// Inject `packet` at `node` at absolute time `at` — the sharded
+    /// runner's mailbox drain lands cross-shard packets here. `at` must not
+    /// be in this shard's past; conservative lookahead guarantees that as
+    /// long as the handoff delay is at least one epoch long.
+    pub fn schedule_arrival(&mut self, at: SimTime, node: NodeId, packet: Packet) {
+        assert!(at >= self.clock, "cross-shard arrival at {at:?} is in the past");
+        let id = self.slab.insert(packet);
+        self.queue.schedule(at, Event::Inject { node, packet: id });
+    }
+
+    /// Subscribe a flash crowd of `(node, app)` pairs to `group` in one
+    /// batched pass (see [`crate::multicast::MulticastState::join_batch`]):
+    /// membership and desire are applied for the whole crowd, then each
+    /// needed graft is scheduled exactly once, in link-id order.
+    pub fn batch_join(&mut self, group: GroupId, members: &[(NodeId, AppId)]) {
+        for op in self.net.join_group_batch(group, members) {
+            match op {
+                TreeOp::Graft { group, link, after } => {
+                    self.queue.schedule(self.clock + after, Event::GraftDone { group, link });
+                }
+                TreeOp::Prune { group, link, after } => {
+                    self.queue.schedule(self.clock + after, Event::PruneDone { group, link });
+                }
+            }
+        }
+    }
+
     fn start(&mut self) {
         self.started = true;
         // Pre-size the hot-path stores from the topology: at steady state
@@ -424,6 +516,12 @@ impl Simulator {
             pending_events_hwm: self.queue.pending_hwm() as u64,
             max_link_queue_hwm,
             wheel,
+            shards: 1,
+            shard_handoffs: 0,
+            shard_barrier_epochs: 0,
+            shard_lookahead_stalls: 0,
+            shard_events_min: self.events_done,
+            shard_events_max: self.events_done,
         }
     }
 
@@ -641,8 +739,17 @@ impl Simulator {
 
     fn arrive(&mut self, node: NodeId, from_link: Option<DirLinkId>, pid: PacketId) {
         // A crashed router forwards nothing and delivers nothing; packets
-        // already in flight toward it are lost on arrival.
+        // already in flight toward it are lost on arrival. The loss is
+        // charged to the link that carried the packet in — each shard owns
+        // its links' stats, so a handoff lost at a dead border node shows up
+        // on the destination shard's ledger, not in a global untraceable
+        // bucket (injections have no carrying link and stay unattributed).
         if !self.net.node_up[node.index()] {
+            if let Some(l) = from_link {
+                let size = self.slab.get(pid).size;
+                self.net.links[l.0 as usize].stats.count_dead_arrival(size);
+                self.count_drop(l, size, DropReason::NodeDown);
+            }
             self.slab.release(pid);
             return;
         }

@@ -10,13 +10,13 @@
 //! inputs. `crates/bench`'s `incremental` bench and the large-tree smoke
 //! test in `tests/incremental.rs` both draw their workloads from here.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use netsim::sim::{NetworkBuilder, SimConfig};
 use netsim::{
-    App, AppId, Ctx, DirLinkId, GroupId, GroupSnapshot, LinkConfig, NodeId, Packet, QueueBackend,
-    SessionId, SimDuration, SimTime, Simulator,
+    App, AppId, Ctx, DirLinkId, EgressApp, GroupId, GroupSnapshot, LinkConfig, NodeId, Outbox,
+    Packet, QueueBackend, RelayApp, SessionId, ShardedSim, SimDuration, SimTime, Simulator,
 };
 use topology::discovery::{LinkView, TopologyView};
 use topology::SessionTree;
@@ -328,7 +328,7 @@ impl App for MediaSource {
 /// A counting receiver that joins the group on start.
 struct MediaSink {
     group: GroupId,
-    delivered: Rc<Cell<u64>>,
+    delivered: Arc<AtomicU64>,
 }
 
 impl App for MediaSink {
@@ -336,7 +336,7 @@ impl App for MediaSink {
         ctx.join(self.group);
     }
     fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _packet: &Packet) {
-        self.delivered.set(self.delivered.get() + 1);
+        self.delivered.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -347,13 +347,13 @@ pub struct MediaSim {
     pub root: NodeId,
     pub leaves: Vec<NodeId>,
     pub sinks: usize,
-    delivered: Rc<Cell<u64>>,
+    delivered: Arc<AtomicU64>,
 }
 
 impl MediaSim {
     /// Packets delivered to sinks so far.
     pub fn delivered(&self) -> u64 {
-        self.delivered.get()
+        self.delivered.load(Ordering::Relaxed)
     }
 }
 
@@ -393,16 +393,416 @@ pub fn media_sim(
     }
     let mut sim = nb.build();
     let group = sim.create_group(root);
-    let delivered = Rc::new(Cell::new(0u64));
+    let delivered = Arc::new(AtomicU64::new(0));
     let mut sinks = 0usize;
     for (i, &leaf) in leaves.iter().enumerate() {
         if i % sink_stride == 0 {
-            sim.add_app(leaf, Box::new(MediaSink { group, delivered: Rc::clone(&delivered) }));
+            sim.add_app(leaf, Box::new(MediaSink { group, delivered: Arc::clone(&delivered) }));
             sinks += 1;
         }
     }
     sim.add_app(root, Box::new(MediaSource { group, rate_pps, seq: 0 }));
     MediaSim { sim, group, root, leaves, sinks, delivered }
+}
+
+// ---------------------------------------------------------------------------
+// Federated packet world: sharded twin + sequential oracle (DESIGN.md §17)
+// ---------------------------------------------------------------------------
+
+/// Shape of a federated packet-level world: a core shard (source plus one
+/// border stub per domain) feeding `domains` balanced `fanout^depth`
+/// multicast domains across fixed-latency inter-domain handoffs.
+#[derive(Clone, Copy, Debug)]
+pub struct FederationWorldParams {
+    /// Federation domains (each becomes one shard; the core is shard 0).
+    pub domains: usize,
+    /// Branching factor of each domain's balanced tree.
+    pub fanout: usize,
+    /// Depth of each domain's balanced tree (`fanout^depth` leaves).
+    pub depth: usize,
+    /// Every `sink_stride`-th leaf hosts a counting receiver.
+    pub sink_stride: usize,
+    /// Core feed rate: control packets per second towards every stub.
+    pub rate_pps: u64,
+    /// Inter-domain propagation latency — the conservative lookahead.
+    pub handoff_delay: SimDuration,
+    /// Event-queue backend for every shard and the oracle.
+    pub backend: QueueBackend,
+    /// Structured-trace capacity per simulator (0 disables tracing).
+    pub trace_cap: usize,
+}
+
+impl Default for FederationWorldParams {
+    fn default() -> Self {
+        FederationWorldParams {
+            domains: 3,
+            fanout: 3,
+            depth: 2,
+            sink_stride: 2,
+            rate_pps: 100,
+            handoff_delay: SimDuration::from_millis(20),
+            backend: QueueBackend::CalendarWheel,
+            trace_cap: 0,
+        }
+    }
+}
+
+impl FederationWorldParams {
+    /// Receivers across all domains (`domains * ceil(leaves / stride)`).
+    pub fn receivers(&self) -> usize {
+        let leaves = self.fanout.pow(self.depth as u32);
+        self.domains * leaves.div_ceil(self.sink_stride)
+    }
+}
+
+/// Ticks `period`-spaced control packets to every border stub — the core
+/// traffic that crosses the inter-domain handoffs.
+struct FeedSource {
+    stubs: Vec<NodeId>,
+    period: SimDuration,
+}
+
+impl App for FeedSource {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(SimDuration::from_millis(1), 0);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        for &s in &self.stubs {
+            ctx.send_control(s, 1000, Arc::new(()));
+        }
+        ctx.set_timer(self.period, 0);
+    }
+}
+
+/// Re-originates every packet arriving at a domain border as a media packet
+/// on the domain's local multicast group.
+struct BorderFeeder {
+    group: GroupId,
+    seq: u64,
+}
+
+impl App for BorderFeeder {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _packet: &Packet) {
+        ctx.send_media(self.group, SessionId(0), 0, self.seq, 1000);
+        self.seq += 1;
+    }
+}
+
+/// A counting receiver. It is subscribed via the batched join at build time
+/// and re-joins itself after a crash/restart cycle (a crash wipes the
+/// node's membership), exercising both the batched and the incremental
+/// graft paths.
+struct DomainSink {
+    group: GroupId,
+    delivered: Arc<AtomicU64>,
+}
+
+impl App for DomainSink {
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _packet: &Packet) {
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.join(self.group);
+    }
+}
+
+/// A federated packet world built twice from the same parameters: once as a
+/// [`ShardedSim`] (core shard + one shard per domain, mailbox handoffs) and
+/// once as a single sequential [`Simulator`] where each border stub hosts a
+/// [`RelayApp`] — the differential oracle. Node and link id maps translate
+/// oracle ids to `(shard, local id)` so fault plans and per-link stats can
+/// be compared across the two worlds.
+pub struct FederatedMediaWorld {
+    pub params: FederationWorldParams,
+    pub sharded: ShardedSim,
+    pub oracle: Simulator,
+    /// Per-domain delivery counters in the sharded world.
+    pub delivered_sharded: Vec<Arc<AtomicU64>>,
+    /// Per-domain delivery counters in the oracle.
+    pub delivered_oracle: Vec<Arc<AtomicU64>>,
+    /// Oracle node id (by index) → `(shard, shard-local node id)`.
+    pub node_map: Vec<(usize, NodeId)>,
+    /// Oracle directed link id (by index) → `(shard, shard-local link id)`.
+    pub link_map: Vec<(usize, DirLinkId)>,
+    /// Oracle duplex pairs of the core `src → stub` links, one per domain.
+    pub core_links: Vec<(DirLinkId, DirLinkId)>,
+    /// Oracle node ids per domain, border first then breadth-first tiers.
+    pub domain_nodes: Vec<Vec<NodeId>>,
+    /// Oracle duplex link pairs per domain, in construction order.
+    pub domain_links: Vec<Vec<(DirLinkId, DirLinkId)>>,
+}
+
+/// Add one balanced `fanout^depth` domain tree to `nb`. Returns the border
+/// (root), all nodes breadth-first (border first), the leaves, and the
+/// duplex link pairs in construction order.
+#[allow(clippy::type_complexity)]
+fn add_domain_tree(
+    nb: &mut NetworkBuilder,
+    domain: usize,
+    fanout: usize,
+    depth: usize,
+) -> (NodeId, Vec<NodeId>, Vec<NodeId>, Vec<(DirLinkId, DirLinkId)>) {
+    let border = nb.add_node(format!("d{domain}/border"));
+    let mut all = vec![border];
+    let mut leaves = Vec::new();
+    let mut links = Vec::new();
+    let mut frontier = vec![border];
+    for level in 0..depth {
+        let mut next = Vec::with_capacity(frontier.len() * fanout);
+        for &parent in &frontier {
+            for _ in 0..fanout {
+                let n = nb.add_node("n");
+                links.push(nb.add_link(parent, n, LinkConfig::kbps(100_000.0)));
+                if level + 1 == depth {
+                    leaves.push(n);
+                }
+                all.push(n);
+                next.push(n);
+            }
+        }
+        frontier = next;
+    }
+    (border, all, leaves, links)
+}
+
+/// Per-domain topology handles: `(border, all nodes, leaves, duplex links)`
+/// in the id space of whichever builder produced them.
+type DomainHandles = (NodeId, Vec<NodeId>, Vec<NodeId>, Vec<(DirLinkId, DirLinkId)>);
+
+/// The sharded half of a federated world on its own — what the 1M-receiver
+/// wall-budget runs and the throughput bench use, where building the
+/// sequential oracle twin alongside would double the footprint for nothing.
+pub struct FederatedShardedWorld {
+    pub params: FederationWorldParams,
+    pub sharded: ShardedSim,
+    /// Per-domain delivery counters.
+    pub delivered: Vec<Arc<AtomicU64>>,
+}
+
+impl FederatedShardedWorld {
+    /// Total deliveries across all domains.
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// Assemble the sharded half: core shard + one shard per domain, handoffs
+/// registered. Also returns the per-domain shard-local handles and the
+/// core duplex pairs so the twin builder can line up its id maps.
+#[allow(clippy::type_complexity)]
+fn build_sharded_half(
+    params: &FederationWorldParams,
+) -> (ShardedSim, Vec<Arc<AtomicU64>>, Vec<DomainHandles>, Vec<(DirLinkId, DirLinkId)>) {
+    assert!(params.domains >= 1 && params.fanout >= 1 && params.depth >= 1);
+    assert!(params.sink_stride >= 1 && params.rate_pps >= 1);
+    let cfg = || SimConfig { queue: params.backend, ..SimConfig::default() };
+    let period = SimDuration(1_000_000_000 / params.rate_pps);
+
+    // Core shard 0: source plus one egress stub per domain.
+    let mut nb0 = NetworkBuilder::new(cfg());
+    let src = nb0.add_node("src");
+    let stubs: Vec<NodeId> =
+        (0..params.domains).map(|d| nb0.add_node(format!("stub{d}"))).collect();
+    let core_pairs: Vec<(DirLinkId, DirLinkId)> =
+        stubs.iter().map(|&s| nb0.add_link(src, s, LinkConfig::kbps(100_000.0))).collect();
+    let mut core = nb0.build();
+    if params.trace_cap > 0 {
+        core.trace.enable(params.trace_cap);
+    }
+    core.add_app(src, Box::new(FeedSource { stubs: stubs.clone(), period }));
+    let outboxes: Vec<Outbox> = (0..params.domains).map(|_| Outbox::default()).collect();
+    for (d, &stub) in stubs.iter().enumerate() {
+        core.add_app(stub, Box::new(EgressApp::new(Arc::clone(&outboxes[d]))));
+    }
+
+    // One shard per domain: border feeder plus batch-joined sinks.
+    let mut shards = vec![core];
+    let mut shard_domains = Vec::new();
+    let mut delivered_sharded = Vec::new();
+    for d in 0..params.domains {
+        let mut nb = NetworkBuilder::new(cfg());
+        let (border, all, leaves, links) = add_domain_tree(&mut nb, d, params.fanout, params.depth);
+        let mut sim = nb.build();
+        if params.trace_cap > 0 {
+            sim.trace.enable(params.trace_cap);
+        }
+        let group = sim.create_group(border);
+        sim.add_app(border, Box::new(BorderFeeder { group, seq: 0 }));
+        let delivered = Arc::new(AtomicU64::new(0));
+        let mut members = Vec::new();
+        for (i, &leaf) in leaves.iter().enumerate() {
+            if i % params.sink_stride == 0 {
+                let app = sim.add_app(
+                    leaf,
+                    Box::new(DomainSink { group, delivered: Arc::clone(&delivered) }),
+                );
+                members.push((leaf, app));
+            }
+        }
+        sim.batch_join(group, &members);
+        delivered_sharded.push(delivered);
+        shards.push(sim);
+        shard_domains.push((border, all, leaves, links));
+    }
+
+    let mut sharded = ShardedSim::new(shards);
+    for (d, outbox) in outboxes.into_iter().enumerate() {
+        let border = shard_domains[d].0;
+        sharded.add_handoff(0, outbox, d + 1, border, params.handoff_delay);
+    }
+    (sharded, delivered_sharded, shard_domains, core_pairs)
+}
+
+/// Build only the sharded half of a federated world (no oracle twin).
+pub fn federated_media_sharded(params: FederationWorldParams) -> FederatedShardedWorld {
+    let (sharded, delivered, _, _) = build_sharded_half(&params);
+    FederatedShardedWorld { params, sharded, delivered }
+}
+
+/// Build the sharded world and its sequential oracle from one parameter set.
+///
+/// Both worlds are constructed in the identical order (core first, then each
+/// domain), so the oracle's core ids coincide with shard 0's local ids and
+/// every domain maps by a fixed offset; the maps in the returned world make
+/// that explicit. The only structural difference is the stub app: an
+/// [`EgressApp`] capturing into the handoff mailbox on the sharded side, a
+/// [`RelayApp`] re-injecting after the same delay on the oracle side.
+pub fn federated_media_world(params: FederationWorldParams) -> FederatedMediaWorld {
+    let (sharded, delivered_sharded, shard_domains, core_pairs) = build_sharded_half(&params);
+    let cfg = || SimConfig { queue: params.backend, ..SimConfig::default() };
+    let period = SimDuration(1_000_000_000 / params.rate_pps);
+
+    // Core ids coincide between shard 0 and the oracle (identical build
+    // order), so the maps start as the identity.
+    let mut node_map: Vec<(usize, NodeId)> =
+        (0..1 + params.domains as u32).map(|i| (0, NodeId(i))).collect();
+    let mut link_map: Vec<(usize, DirLinkId)> =
+        (0..2 * params.domains as u32).map(|i| (0, DirLinkId(i))).collect();
+
+    // --- Oracle: the same world in one simulator ---------------------------
+    let mut nb = NetworkBuilder::new(cfg());
+    let osrc = nb.add_node("src");
+    let ostubs: Vec<NodeId> =
+        (0..params.domains).map(|d| nb.add_node(format!("stub{d}"))).collect();
+    let core_links: Vec<(DirLinkId, DirLinkId)> =
+        ostubs.iter().map(|&s| nb.add_link(osrc, s, LinkConfig::kbps(100_000.0))).collect();
+    // Identical build order makes the core id maps the identity.
+    assert_eq!(core_pairs, core_links);
+    let mut oracle_domains = Vec::new();
+    for d in 0..params.domains {
+        oracle_domains.push(add_domain_tree(&mut nb, d, params.fanout, params.depth));
+    }
+    let mut oracle = nb.build();
+    if params.trace_cap > 0 {
+        oracle.trace.enable(params.trace_cap);
+    }
+    oracle.add_app(osrc, Box::new(FeedSource { stubs: ostubs.clone(), period }));
+    for (d, &stub) in ostubs.iter().enumerate() {
+        let border = oracle_domains[d].0;
+        oracle.add_app(stub, Box::new(RelayApp { dest: border, delay: params.handoff_delay }));
+    }
+    let mut delivered_oracle = Vec::new();
+    let mut domain_nodes = Vec::new();
+    let mut domain_links = Vec::new();
+    for (d, (border, all, leaves, links)) in oracle_domains.iter().enumerate() {
+        let group = oracle.create_group(*border);
+        oracle.add_app(*border, Box::new(BorderFeeder { group, seq: 0 }));
+        let delivered = Arc::new(AtomicU64::new(0));
+        let mut members = Vec::new();
+        for (i, &leaf) in leaves.iter().enumerate() {
+            if i % params.sink_stride == 0 {
+                let app = oracle.add_app(
+                    leaf,
+                    Box::new(DomainSink { group, delivered: Arc::clone(&delivered) }),
+                );
+                members.push((leaf, app));
+            }
+        }
+        oracle.batch_join(group, &members);
+        delivered_oracle.push(delivered);
+
+        // Extend the id maps: oracle id → (shard d+1, domain-local id).
+        // Both worlds built the domain with the same helper, so the oracle
+        // ids are exactly the next contiguous block and zip lines them up.
+        let (_, local_all, _, local_links) = &shard_domains[d];
+        assert_eq!(all.len(), local_all.len());
+        for (o, &l) in all.iter().zip(local_all) {
+            assert_eq!(o.index(), node_map.len());
+            node_map.push((d + 1, l));
+        }
+        for (&(oa, _), &(la, lb)) in links.iter().zip(local_links) {
+            assert_eq!(oa.0 as usize, link_map.len());
+            link_map.push((d + 1, la));
+            link_map.push((d + 1, lb));
+        }
+        domain_nodes.push(all.clone());
+        domain_links.push(links.clone());
+    }
+
+    FederatedMediaWorld {
+        params,
+        sharded,
+        oracle,
+        delivered_sharded,
+        delivered_oracle,
+        node_map,
+        link_map,
+        core_links,
+        domain_nodes,
+        domain_links,
+    }
+}
+
+impl FederatedMediaWorld {
+    /// Install one fault plan (expressed in oracle ids) into both worlds:
+    /// verbatim into the oracle, and partitioned by node/link ownership into
+    /// per-shard plans with shard-local ids. Must be called before either
+    /// world starts running.
+    pub fn install_faults(&mut self, plan: &netsim::FaultPlan) {
+        use netsim::FaultKind;
+        self.oracle.install_faults(plan);
+        let mut per_shard: Vec<netsim::FaultPlan> =
+            (0..self.sharded.shard_count()).map(|_| netsim::FaultPlan::new()).collect();
+        for &(t, kind) in plan.events() {
+            let (shard, local) = match kind {
+                FaultKind::LinkDown(l) => {
+                    let (s, ll) = self.link_map[l.0 as usize];
+                    (s, FaultKind::LinkDown(ll))
+                }
+                FaultKind::LinkUp(l) => {
+                    let (s, ll) = self.link_map[l.0 as usize];
+                    (s, FaultKind::LinkUp(ll))
+                }
+                FaultKind::NodeCrash(n) => {
+                    let (s, ln) = self.node_map[n.index()];
+                    (s, FaultKind::NodeCrash(ln))
+                }
+                FaultKind::NodeRestart(n) => {
+                    let (s, ln) = self.node_map[n.index()];
+                    (s, FaultKind::NodeRestart(ln))
+                }
+            };
+            per_shard[shard] = std::mem::take(&mut per_shard[shard]).at(t, local);
+        }
+        for (s, p) in per_shard.iter().enumerate() {
+            if !p.is_empty() {
+                self.sharded.install_faults(s, p);
+            }
+        }
+    }
+
+    /// Run both worlds to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.sharded.run_until(deadline);
+        self.oracle.run_until(deadline);
+    }
+
+    /// Total deliveries per world: `(sharded, oracle)`.
+    pub fn delivered(&self) -> (u64, u64) {
+        let s = self.delivered_sharded.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        let o = self.delivered_oracle.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        (s, o)
+    }
 }
 
 #[cfg(test)]
@@ -531,6 +931,41 @@ mod tests {
         assert_eq!(domains.len(), 3);
         assert_eq!(leaves.len(), 4);
         assert!(domains.iter().all(|d| d.receivers() == 4));
+    }
+
+    #[test]
+    fn federated_media_world_twin_agrees() {
+        let mut w = federated_media_world(FederationWorldParams::default());
+        assert_eq!(w.sharded.shard_count(), 4, "core + 3 domains");
+        // Maps cover every oracle node and directed link.
+        assert_eq!(w.node_map.len(), w.oracle.network().node_count());
+        assert_eq!(w.link_map.len(), w.oracle.network().link_count());
+        w.run_until(SimTime::from_secs(2));
+        let (s, o) = w.delivered();
+        assert_eq!(s, o, "sharded and oracle deliveries diverged");
+        assert!(s > 0, "the twin must carry real traffic");
+        assert_eq!(w.sharded.events_processed(), w.oracle.events_processed());
+        assert_eq!(w.sharded.packets_live(), w.oracle.packets_live());
+        for i in 0..w.sharded.shard_count() {
+            w.sharded.shard(i).network().multicast_audit().unwrap();
+        }
+        w.oracle.network().multicast_audit().unwrap();
+    }
+
+    #[test]
+    fn federated_media_world_faults_stay_twinned() {
+        let mut w = federated_media_world(FederationWorldParams::default());
+        // Crash a mid-tier node of domain 1 and flap its border link to the
+        // core — faults on both sides of a handoff, in oracle ids.
+        let mid = w.domain_nodes[1][1];
+        let plan = netsim::FaultPlan::new()
+            .node_outage(mid, SimTime::from_millis(300), SimTime::from_millis(900))
+            .link_outage(w.core_links[1], SimTime::from_millis(500), SimTime::from_millis(700));
+        w.install_faults(&plan);
+        w.run_until(SimTime::from_secs(2));
+        let (s, o) = w.delivered();
+        assert_eq!(s, o, "faulted sharded and oracle deliveries diverged");
+        assert_eq!(w.sharded.events_processed(), w.oracle.events_processed());
     }
 
     #[test]

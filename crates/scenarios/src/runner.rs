@@ -540,6 +540,10 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
         })
         .collect();
     let net = sim.network();
+    // Every finished run must leave the SoA multicast state internally
+    // consistent — bitmaps, sorted member vectors, and desire refcounts are
+    // re-derived from first principles and cross-checked.
+    net.multicast_audit().expect("SoA multicast invariants violated after run");
     let total_drops: u64 = (0..net.link_count() as u32)
         .map(|i| net.link(netsim::DirLinkId(i)).stats.dropped_packets)
         .sum();

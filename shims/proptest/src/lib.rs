@@ -168,6 +168,19 @@ impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, 
     }
 }
 
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy for (A, B, C, D, E) {
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+            self.4.generate(rng),
+        )
+    }
+}
+
 /// Types with a canonical whole-domain strategy (`any::<T>()`).
 pub trait Arbitrary: Sized {
     fn arbitrary(rng: &mut TestRng) -> Self;

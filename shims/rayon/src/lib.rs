@@ -19,6 +19,15 @@ pub mod prelude {
     };
 }
 
+/// The worker width a parallel region gets on this machine — the shim's
+/// analogue of `rayon::current_num_threads()`. There is no persistent pool:
+/// each `collect` spawns up to this many scoped threads. Benchmarks record
+/// this next to any scaling ratio, because a "parallel" sweep on a 1-core
+/// box is sequential and its numbers must not be read as speedup.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
 fn worker_count(items: usize) -> usize {
     if items <= 1 {
         return 1;

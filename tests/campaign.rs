@@ -52,6 +52,7 @@ fn smoke_campaign_is_deterministic_and_covers_the_zoo() {
         "mixed-sessions",
         "primary-crash-mid-interval",
         "federation",
+        "federation-packet",
     ] {
         assert!(workloads.contains(w), "workload {w} missing from campaign");
     }

@@ -9,19 +9,20 @@
 //! `(time, insertion-seq)` order. A divergence anywhere is a wheel bug, not
 //! a tolerance to calibrate.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use netsim::sim::{NetworkBuilder, SimConfig};
 use netsim::trace::TraceEvent;
 use netsim::{
-    App, Ctx, FaultPlan, GroupId, LinkConfig, LinkStats, Packet, QueueBackend, SessionId,
-    SimDuration, SimTime,
+    App, Ctx, DirLinkId, FaultPlan, GroupId, LinkConfig, LinkStats, NodeId, Packet, QueueBackend,
+    SessionId, SimDuration, SimTime,
 };
 use proptest::prelude::*;
 use scenarios::chaos::{
     self, discovery_outage, link_flap, partial_discovery_outage, random_chaos, router_crash,
 };
+use scenarios::largetree::{federated_media_world, FederatedMediaWorld, FederationWorldParams};
 use scenarios::{run, runner, Scenario};
 use topology::generators;
 use traffic::TrafficModel;
@@ -48,7 +49,7 @@ impl App for Source {
 /// Counting receiver.
 struct Sink {
     group: GroupId,
-    delivered: Rc<Cell<u64>>,
+    delivered: Arc<AtomicU64>,
 }
 
 impl App for Sink {
@@ -56,7 +57,7 @@ impl App for Sink {
         ctx.join(self.group);
     }
     fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _packet: &Packet) {
-        self.delivered.set(self.delivered.get() + 1);
+        self.delivered.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -103,16 +104,16 @@ fn run_world(
     let mut sim = nb.build();
     sim.trace.enable(1 << 20);
     let group = sim.create_group(nodes[0]);
-    let delivered = Rc::new(Cell::new(0u64));
+    let delivered = Arc::new(AtomicU64::new(0));
     let mut any_sink = false;
     for i in 1..n {
         if sinks[(i - 1) % sinks.len()] {
-            sim.add_app(nodes[i], Box::new(Sink { group, delivered: Rc::clone(&delivered) }));
+            sim.add_app(nodes[i], Box::new(Sink { group, delivered: Arc::clone(&delivered) }));
             any_sink = true;
         }
     }
     if !any_sink {
-        sim.add_app(nodes[n - 1], Box::new(Sink { group, delivered: Rc::clone(&delivered) }));
+        sim.add_app(nodes[n - 1], Box::new(Sink { group, delivered: Arc::clone(&delivered) }));
     }
     sim.add_app(nodes[0], Box::new(Source { group, rate_pps, size, seq: 0 }));
 
@@ -134,7 +135,7 @@ fn run_world(
     let net = sim.network();
     Digest {
         events: sim.events_processed(),
-        delivered: delivered.get(),
+        delivered: delivered.load(Ordering::Relaxed),
         live: sim.packets_live(),
         trace: sim.trace.events().to_vec(),
         links: (0..net.link_count() as u32).map(|i| net.link(netsim::DirLinkId(i)).stats).collect(),
@@ -268,5 +269,320 @@ fn parallel_seed_sweep_matches_sequential() {
             "sweep result {i} (seed {}) diverged from a solo run",
             seeds[i]
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded parallel runner vs the sequential oracle (DESIGN.md §17)
+// ---------------------------------------------------------------------------
+
+/// Canonically ordered trace: `(time, rendered event)` sorted, so the merged
+/// per-shard streams compare against the oracle's single stream without
+/// depending on the interleaving of same-instant events across shards.
+fn canonical_trace(events: Vec<TraceEvent>) -> Vec<(u64, String)> {
+    let mut v: Vec<(u64, String)> =
+        events.into_iter().map(|e| (e.time().nanos(), format!("{e:?}"))).collect();
+    v.sort();
+    v
+}
+
+/// Run both halves of a federated twin and require every observable to
+/// match: event totals, live packets, per-domain deliveries, per-link stats
+/// through the id map, and the merged-stream trace fingerprint with shard
+/// ids remapped to oracle ids. Finishes with a full SoA multicast audit of
+/// every simulator.
+fn assert_federated_twin_matches(w: &mut FederatedMediaWorld, until: SimTime) {
+    w.run_until(until);
+
+    assert_eq!(w.sharded.events_processed(), w.oracle.events_processed(), "event totals diverged");
+    assert_eq!(w.sharded.packets_live(), w.oracle.packets_live(), "live packets diverged");
+    for (d, (s, o)) in w.delivered_sharded.iter().zip(&w.delivered_oracle).enumerate() {
+        assert_eq!(
+            s.load(Ordering::Relaxed),
+            o.load(Ordering::Relaxed),
+            "domain {d} deliveries diverged"
+        );
+    }
+
+    for (oid, &(shard, local)) in w.link_map.iter().enumerate() {
+        let o = w.oracle.network().link(DirLinkId(oid as u32)).stats;
+        let s = w.sharded.shard(shard).network().link(local).stats;
+        assert_eq!(s, o, "stats diverged on oracle link {oid} (shard {shard})");
+    }
+
+    let shards = w.sharded.shard_count();
+    let mut node_inv: Vec<Vec<u32>> =
+        (0..shards).map(|s| vec![u32::MAX; w.sharded.shard(s).network().node_count()]).collect();
+    for (oid, &(s, l)) in w.node_map.iter().enumerate() {
+        node_inv[s][l.index()] = oid as u32;
+    }
+    let mut link_inv: Vec<Vec<u32>> =
+        (0..shards).map(|s| vec![u32::MAX; w.sharded.shard(s).network().link_count()]).collect();
+    for (oid, &(s, l)) in w.link_map.iter().enumerate() {
+        link_inv[s][l.0 as usize] = oid as u32;
+    }
+    let mut merged = Vec::new();
+    for s in 0..shards {
+        for e in w.sharded.shard(s).trace.events() {
+            merged.push(match e {
+                TraceEvent::Drop { time, link, bytes, reason } => TraceEvent::Drop {
+                    time,
+                    link: DirLinkId(link_inv[s][link.0 as usize]),
+                    bytes,
+                    reason,
+                },
+                TraceEvent::LinkState { time, link, up } => TraceEvent::LinkState {
+                    time,
+                    link: DirLinkId(link_inv[s][link.0 as usize]),
+                    up,
+                },
+                TraceEvent::NodeState { time, node, up } => {
+                    TraceEvent::NodeState { time, node: NodeId(node_inv[s][node.index()]), up }
+                }
+            });
+        }
+    }
+    assert_eq!(
+        canonical_trace(merged),
+        canonical_trace(w.oracle.trace.events()),
+        "merged-stream trace fingerprint diverged from the sequential run"
+    );
+
+    for s in 0..shards {
+        w.sharded.shard(s).network().multicast_audit().unwrap();
+    }
+    w.oracle.network().multicast_audit().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The sharded tentpole contract: for any federated world shape,
+    /// handoff latency, queue backend, and fault plan, the parallel sharded
+    /// run's merged per-shard event streams must fingerprint-match the
+    /// sequential oracle exactly.
+    #[test]
+    fn sharded_matches_sequential_on_federated_worlds(
+        domains in 1usize..4,
+        fanout in 1usize..4,
+        depth in 1usize..3,
+        sink_stride in 1usize..3,
+        rate_pps in 40u64..160,
+        delay_ms in 5u64..40,
+        heap in any::<bool>(),
+        faults in prop::collection::vec(
+            (0usize..1000, 0usize..4, 0usize..1000, 150u64..1200, 100u64..800),
+            0..4,
+        ),
+    ) {
+        let backend =
+            if heap { QueueBackend::BinaryHeap } else { QueueBackend::CalendarWheel };
+        let mut w = federated_media_world(FederationWorldParams {
+            domains,
+            fanout,
+            depth,
+            sink_stride,
+            rate_pps,
+            handoff_delay: SimDuration::from_millis(delay_ms),
+            backend,
+            trace_cap: 1 << 20,
+        });
+        let mut plan = FaultPlan::new();
+        for &(dsel, kind, target, from_ms, len_ms) in &faults {
+            let d = dsel % domains;
+            let from = SimTime::from_millis(from_ms);
+            let until = SimTime::from_millis(from_ms + len_ms);
+            match kind {
+                0 => {
+                    let ls = &w.domain_links[d];
+                    plan = plan.link_outage(ls[target % ls.len()], from, until);
+                }
+                1 => {
+                    let ns = &w.domain_nodes[d];
+                    plan = plan.node_outage(ns[target % ns.len()], from, until);
+                }
+                2 => {
+                    let ns = &w.domain_nodes[d];
+                    plan = plan.node_crash(ns[target % ns.len()], from);
+                }
+                _ => plan = plan.link_outage(w.core_links[d], from, until),
+            }
+        }
+        if !plan.is_empty() {
+            w.install_faults(&plan);
+        }
+        assert_federated_twin_matches(&mut w, SimTime::from_secs(2));
+    }
+}
+
+/// The five chaos archetypes from the scenario zoo, re-expressed as
+/// packet-level fault plans over the federated world — each must leave the
+/// sharded run bit-identical to the sequential oracle, and the SoA
+/// membership state must pass a full audit afterwards.
+#[test]
+fn federated_chaos_archetypes_match_sequential() {
+    let mk = || {
+        federated_media_world(FederationWorldParams {
+            domains: 3,
+            fanout: 3,
+            depth: 2,
+            sink_stride: 2,
+            rate_pps: 120,
+            handoff_delay: SimDuration::from_millis(15),
+            backend: QueueBackend::CalendarWheel,
+            trace_cap: 1 << 20,
+        })
+    };
+    type PlanOf = fn(&FederatedMediaWorld) -> FaultPlan;
+    let archetypes: [(&str, PlanOf); 5] = [
+        ("link_flap", |w| {
+            FaultPlan::new().link_flap(
+                w.domain_links[0][0],
+                SimTime::from_millis(300),
+                SimDuration::from_millis(120),
+                SimDuration::from_millis(400),
+                5,
+            )
+        }),
+        ("router_crash", |w| {
+            FaultPlan::new()
+                .node_outage(
+                    w.domain_nodes[1][1],
+                    SimTime::from_millis(400),
+                    SimTime::from_millis(1400),
+                )
+                .node_crash(w.domain_nodes[0][2], SimTime::from_millis(900))
+        }),
+        ("border_outage", |w| {
+            FaultPlan::new().node_outage(
+                w.domain_nodes[2][0],
+                SimTime::from_millis(500),
+                SimTime::from_millis(1200),
+            )
+        }),
+        ("core_partition", |w| {
+            FaultPlan::new().node_partition(
+                &w.core_links,
+                SimTime::from_millis(600),
+                SimTime::from_millis(1100),
+            )
+        }),
+        ("random_chaos", |w| {
+            let links: Vec<_> =
+                w.core_links.iter().chain(w.domain_links.iter().flatten()).copied().collect();
+            let nodes: Vec<_> = w.domain_nodes.iter().flatten().copied().collect();
+            FaultPlan::new().chaos(
+                7,
+                &links,
+                &nodes,
+                SimTime::from_millis(200),
+                SimTime::from_millis(2800),
+                10,
+            )
+        }),
+    ];
+    for (name, plan_of) in archetypes {
+        let mut w = mk();
+        let plan = plan_of(&w);
+        assert!(!plan.is_empty(), "{name}: archetype must inject something");
+        w.install_faults(&plan);
+        assert_federated_twin_matches(&mut w, SimTime::from_secs(3));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SoA membership bitmaps under churn (DESIGN.md §17)
+// ---------------------------------------------------------------------------
+
+/// Deterministic join/leave churner driven by a pre-baked schedule; re-joins
+/// after a crash/restart cycle the way a real receiver would.
+struct Churner {
+    group: GroupId,
+    schedule: Vec<(SimDuration, bool)>,
+}
+
+impl App for Churner {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for (i, &(at, _)) in self.schedule.iter().enumerate() {
+            ctx.set_timer(at, i as u64);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let (_, join) = self.schedule[token as usize];
+        if join {
+            ctx.join(self.group);
+        } else {
+            ctx.leave(self.group);
+        }
+    }
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.join(self.group);
+    }
+}
+
+/// Random tree + churn schedule + crash/restart plan under one backend.
+/// Returns the event total after asserting the full SoA membership audit.
+fn run_churn_world(
+    parents: &[usize],
+    ops: &[(usize, u64, bool)],
+    faults: &[(usize, u64, u64, bool)],
+    backend: QueueBackend,
+) -> u64 {
+    let n = parents.len() + 1;
+    let mut nb = NetworkBuilder::new(SimConfig { queue: backend, ..SimConfig::default() });
+    let mut nodes = vec![nb.add_node("root")];
+    for (i, &p) in parents.iter().enumerate() {
+        let node = nb.add_node("n");
+        nb.add_link(nodes[p % (i + 1)], node, LinkConfig::kbps(2_000.0));
+        nodes.push(node);
+    }
+    let mut sim = nb.build();
+    let group = sim.create_group(nodes[0]);
+    let mut scheds: Vec<Vec<(SimDuration, bool)>> = vec![Vec::new(); n];
+    for &(sel, at_ms, join) in ops {
+        scheds[1 + sel % (n - 1)].push((SimDuration::from_millis(at_ms), join));
+    }
+    for i in 1..n {
+        sim.add_app(nodes[i], Box::new(Churner { group, schedule: scheds[i].clone() }));
+    }
+    sim.add_app(nodes[0], Box::new(Source { group, rate_pps: 50, size: 1000, seq: 0 }));
+    let mut plan = FaultPlan::new();
+    for &(sel, from_ms, len_ms, permanent) in faults {
+        let node = nodes[1 + sel % (n - 1)];
+        let from = SimTime::from_millis(from_ms);
+        if permanent {
+            plan = plan.node_crash(node, from);
+        } else {
+            plan = plan.node_outage(node, from, SimTime::from_millis(from_ms + len_ms));
+        }
+    }
+    if !plan.is_empty() {
+        sim.install_faults(&plan);
+    }
+    sim.run_until(SimTime::from_secs(3));
+    sim.network().multicast_audit().expect("bitmaps diverged from sorted member vectors");
+    sim.events_processed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Satellite contract: the dense membership bitmaps must stay
+    /// bit-for-bit consistent with the sorted member vectors under
+    /// arbitrary join/leave/crash/restart churn — `multicast_audit`
+    /// recomputes every invariant from first principles — and the churned
+    /// run must stay identical across queue backends.
+    #[test]
+    fn membership_bitmaps_survive_churn(
+        parents in prop::collection::vec(0usize..1000, 3..16),
+        ops in prop::collection::vec((0usize..1000, 0u64..2900, any::<bool>()), 0..40),
+        faults in prop::collection::vec(
+            (0usize..1000, 200u64..2500, 100u64..1500, any::<bool>()),
+            0..4,
+        ),
+    ) {
+        let wheel = run_churn_world(&parents, &ops, &faults, QueueBackend::CalendarWheel);
+        let heap = run_churn_world(&parents, &ops, &faults, QueueBackend::BinaryHeap);
+        prop_assert_eq!(wheel, heap);
     }
 }
